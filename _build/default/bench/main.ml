@@ -1,0 +1,77 @@
+(* Benchmark / reproduction harness.
+
+   Two jobs in one executable:
+
+   1. Regenerate every reconstructed table/figure (E1..E12 + ablations)
+      and print the rows — the artifact EXPERIMENTS.md records.
+   2. Time each experiment builder with Bechamel (one Test.make per
+      table/figure, as a grouped suite) so regressions in the underlying
+      models show up as timing anomalies.
+
+   Usage:
+     bench/main.exe                 print all reports, then run timings
+     bench/main.exe --run E7        print one report
+     bench/main.exe --reports-only  skip the Bechamel pass
+     bench/main.exe --list          list experiment ids *)
+
+open Bechamel
+open Toolkit
+
+let print_reports which =
+  let selected =
+    match which with
+    | None -> Amb_core.Experiments.all
+    | Some id -> (
+      match Amb_core.Experiments.find id with
+      | Some e -> [ e ]
+      | None ->
+        Printf.eprintf "unknown experiment id %s\n" id;
+        exit 1)
+  in
+  List.iter
+    (fun (id, desc, build) ->
+      Printf.printf "=== %s — %s ===\n%s\n" id desc (Amb_core.Report.to_string (build ())))
+    selected
+
+let bechamel_suite () =
+  let test_of (id, _, build) =
+    Test.make ~name:id (Staged.stage (fun () -> ignore (build ())))
+  in
+  Test.make_grouped ~name:"experiments" (List.map test_of Amb_core.Experiments.all)
+
+let run_timings () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (bechamel_suite ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let estimate =
+          match Analyze.OLS.estimates result with Some (e :: _) -> e | _ -> Float.nan
+        in
+        let r2 = match Analyze.OLS.r_square result with Some r -> r | None -> Float.nan in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  print_endline "=== Bechamel timings (ns per experiment build, OLS on monotonic clock) ===";
+  Printf.printf "%-28s %14s %8s\n" "experiment" "ns/run" "r^2";
+  List.iter
+    (fun (name, ns, r2) -> Printf.printf "%-28s %14.0f %8.3f\n" name ns r2)
+    rows
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--list" :: _ ->
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc)
+      Amb_core.Experiments.all
+  | _ :: "--run" :: id :: _ -> print_reports (Some id)
+  | _ :: "--reports-only" :: _ -> print_reports None
+  | _ ->
+    print_reports None;
+    run_timings ()

@@ -1,0 +1,294 @@
+(* `ambient` — command-line front end for the toolkit.
+
+   Subcommands:
+     graph        print the power-information graph (E1)
+     classes      print the device-class table (E2)
+     classify     classify a power draw into a device class
+     experiment   run one or all reconstructed experiments
+     case-study   print a case study (A, B or C) with its tables
+     lifetime     battery/harvester lifetime for a load
+     simulate     discrete-event node-lifetime simulation
+     map          map the ambient functions onto the smart-home network *)
+
+open Cmdliner
+open Amb_units
+
+let print_report report = print_string (Amb_core.Report.to_string report)
+
+(* --- graph --- *)
+
+let graph_cmd =
+  let doc = "Print the power-information graph (experiment E1)." in
+  let run () = print_report (Amb_core.Experiments.e1 ()) in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ const ())
+
+(* --- classes --- *)
+
+let classes_cmd =
+  let doc = "Print the three device classes (experiment E2)." in
+  let run () = print_report (Amb_core.Experiments.e2 ()) in
+  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ const ())
+
+(* --- classify --- *)
+
+let classify_cmd =
+  let doc = "Classify an average power draw (in watts) into a device class." in
+  let watts =
+    Arg.(required & pos 0 (some float) None & info [] ~docv:"WATTS" ~doc:"average power in watts")
+  in
+  let run watts =
+    let p = Power.watts watts in
+    let cls = Amb_core.Device_class.of_power p in
+    Printf.printf "%s -> %s\n  energy source: %s\n  design challenge: %s\n"
+      (Power.to_string p)
+      (Amb_core.Device_class.name cls)
+      (Amb_core.Device_class.energy_source cls)
+      (Amb_core.Device_class.design_challenge cls)
+  in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ watts)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let doc = "Run one experiment by id (e.g. E7), or all when no id is given." in
+  let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID") in
+  let run id =
+    match id with
+    | None ->
+      List.iter
+        (fun (eid, desc, build) ->
+          Printf.printf "=== %s — %s ===\n" eid desc;
+          print_report (build ()))
+        Amb_core.Experiments.all
+    | Some id -> (
+      match Amb_core.Experiments.find id with
+      | Some (_, _, build) -> print_report (build ())
+      | None ->
+        Printf.eprintf "unknown experiment %s; known: %s\n" id
+          (String.concat ", " (List.map (fun (e, _, _) -> e) Amb_core.Experiments.all));
+        exit 1)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id)
+
+(* --- case-study --- *)
+
+let case_study_cmd =
+  let doc = "Print a reconstructed case study: A (uW), B (mW) or C (W)." in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"A|B|C") in
+  let run id =
+    match Amb_core.Case_study.find id with
+    | Some cs -> print_string (Amb_core.Case_study.render cs)
+    | None ->
+      Printf.eprintf "unknown case study %s (use A, B or C)\n" id;
+      exit 1
+  in
+  Cmd.v (Cmd.info "case-study" ~doc) Term.(const run $ id)
+
+(* --- lifetime --- *)
+
+let battery_of_name name =
+  match Amb_energy.Battery.find name with
+  | Some b -> b
+  | None -> (
+    match String.lowercase_ascii name with
+    | "cr2032" | "coin" -> Amb_energy.Battery.cr2032
+    | "aa" -> Amb_energy.Battery.two_aa_alkaline
+    | "liion" | "li-ion" -> Amb_energy.Battery.liion_phone
+    | "lipo" -> Amb_energy.Battery.lipo_wearable
+    | _ ->
+      Printf.eprintf "unknown battery %s (cr2032, aa, liion, lipo)\n" name;
+      exit 1)
+
+let environment_of_name name =
+  match
+    List.find_opt
+      (fun e -> e.Amb_energy.Harvester.name = name)
+      Amb_energy.Harvester.environments
+  with
+  | Some e -> Some e
+  | None -> (
+    match String.lowercase_ascii name with
+    | "office" -> Some Amb_energy.Harvester.office_indoor
+    | "home" -> Some Amb_energy.Harvester.home_living_room
+    | "outdoor" -> Some Amb_energy.Harvester.outdoor_daylight
+    | "industrial" -> Some Amb_energy.Harvester.industrial_machinery
+    | "body" -> Some Amb_energy.Harvester.on_body
+    | "none" -> None
+    | _ ->
+      Printf.eprintf "unknown environment %s (office, home, outdoor, industrial, body, none)\n"
+        name;
+      exit 1)
+
+let lifetime_cmd =
+  let doc = "Lifetime of a battery (plus optional PV harvester) under an average load." in
+  let load_uw =
+    Arg.(required & opt (some float) None & info [ "load-uw" ] ~docv:"UW" ~doc:"average load, uW")
+  in
+  let battery =
+    Arg.(value & opt string "cr2032" & info [ "battery" ] ~docv:"NAME" ~doc:"cr2032, aa, liion, lipo")
+  in
+  let pv_cm2 =
+    Arg.(value & opt float 0.0 & info [ "pv-cm2" ] ~docv:"CM2" ~doc:"solar cell area (0 = none)")
+  in
+  let env =
+    Arg.(value & opt string "office" & info [ "env" ] ~docv:"ENV" ~doc:"harvesting environment")
+  in
+  let run load_uw battery pv_cm2 env =
+    let b = battery_of_name battery in
+    let load = Power.microwatts load_uw in
+    let supply =
+      if pv_cm2 > 0.0 then
+        match environment_of_name env with
+        | Some e ->
+          let cell =
+            Amb_energy.Harvester.Photovoltaic
+              { area = Area.square_centimetres pv_cm2; efficiency = 0.05 }
+          in
+          Amb_energy.Supply.harvester_and_battery ~name:"pv+battery" cell e b
+        | None -> Amb_energy.Supply.battery_only ~name:battery b
+      else Amb_energy.Supply.battery_only ~name:battery b
+    in
+    let verdict = Amb_energy.Lifetime.evaluate supply load in
+    Printf.printf "battery: %s\nload:    %s\nincome:  %s\nverdict: %s\n" b.Amb_energy.Battery.name
+      (Power.to_string load)
+      (Power.to_string (Amb_energy.Supply.harvest_income supply))
+      (Amb_energy.Lifetime.verdict_to_string verdict)
+  in
+  Cmd.v (Cmd.info "lifetime" ~doc) Term.(const run $ load_uw $ battery $ pv_cm2 $ env)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let doc = "Discrete-event lifetime simulation of the reference microwatt node." in
+  let rate =
+    Arg.(value & opt float (1.0 /. 30.0)
+         & info [ "rate" ] ~docv:"HZ" ~doc:"activation rate, events/s")
+  in
+  let days =
+    Arg.(value & opt float 30.0 & info [ "days" ] ~docv:"DAYS" ~doc:"simulation horizon")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let poisson =
+    Arg.(value & flag & info [ "poisson" ] ~doc:"Poisson activations instead of periodic")
+  in
+  let harvest = Arg.(value & flag & info [ "harvest" ] ~doc:"include the PV harvester") in
+  let run rate days seed poisson harvest =
+    let node = Amb_node.Reference_designs.microwatt_node () in
+    let act = Amb_node.Reference_designs.microwatt_activation in
+    let profile = Amb_node.Node_model.duty_profile node act in
+    let supply =
+      if harvest then node.Amb_node.Node_model.supply
+      else Amb_energy.Supply.battery_only ~name:"cr2032" Amb_energy.Battery.cr2032
+    in
+    let traffic =
+      if poisson then Amb_workload.Traffic.poisson rate
+      else Amb_workload.Traffic.periodic (Time_span.seconds (1.0 /. rate))
+    in
+    let cfg =
+      Amb_node.Lifetime_sim.config ~profile ~supply ~activation_traffic:traffic
+        ~horizon:(Time_span.days days) ()
+    in
+    let o = Amb_node.Lifetime_sim.run cfg ~seed in
+    Printf.printf
+      "lifetime:    %s%s\nactivations: %d\nconsumed:    %s\nharvested:   %s\navg power:   %s\n"
+      (Time_span.to_human_string o.Amb_node.Lifetime_sim.lifetime)
+      (if o.Amb_node.Lifetime_sim.died then " (battery exhausted)" else " (horizon reached)")
+      o.Amb_node.Lifetime_sim.activations
+      (Energy.to_string o.Amb_node.Lifetime_sim.energy_consumed)
+      (Energy.to_string o.Amb_node.Lifetime_sim.energy_harvested)
+      (Power.to_string o.Amb_node.Lifetime_sim.average_power)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ rate $ days $ seed $ poisson $ harvest)
+
+(* --- map --- *)
+
+let map_cmd =
+  let doc = "Map the standard ambient functions onto the smart-home device network (E10)." in
+  let run () = print_report (Amb_core.Experiments.e10 ()) in
+  Cmd.v (Cmd.info "map" ~doc) Term.(const run $ const ())
+
+(* --- design-space --- *)
+
+let design_space_cmd =
+  let doc = "Explore node designs for the autonomous-sensing mission (E22)." in
+  let rate =
+    Arg.(value & opt float (1.0 /. 30.0)
+         & info [ "rate" ] ~docv:"HZ" ~doc:"activation rate, events/s")
+  in
+  let years =
+    Arg.(value & opt float 5.0 & info [ "years" ] ~docv:"Y" ~doc:"required unattended lifetime")
+  in
+  let env =
+    Arg.(value & opt string "office" & info [ "env" ] ~docv:"ENV" ~doc:"harvesting environment")
+  in
+  let run rate years env =
+    let environment =
+      match environment_of_name env with
+      | Some e -> e
+      | None -> Amb_energy.Harvester.office_indoor
+    in
+    let mission =
+      Amb_core.Design_space.mission ~name:"autonomous sensing" ~environment
+        ~activation:Amb_node.Reference_designs.microwatt_activation ~rate
+        ~lifetime_target:(Time_span.years years)
+        ~class_limit:Amb_core.Device_class.Microwatt ()
+    in
+    print_report (Amb_core.Design_space.to_report mission);
+    match Amb_core.Design_space.best mission with
+    | Some v ->
+      Printf.printf "\nrecommended: %s (%s average)\n"
+        v.Amb_core.Design_space.candidate.Amb_core.Design_space.label
+        (Power.to_string v.Amb_core.Design_space.average_power)
+    | None -> print_endline "\nno feasible design for this mission"
+  in
+  Cmd.v (Cmd.info "design-space" ~doc) Term.(const run $ rate $ years $ env)
+
+(* --- roadmap --- *)
+
+let roadmap_cmd =
+  let doc = "Print the ten-year silicon/vision timeline (E23)." in
+  let run () = print_report (Amb_core.Experiments.e23 ()) in
+  Cmd.v (Cmd.info "roadmap" ~doc) Term.(const run $ const ())
+
+(* --- full-report --- *)
+
+let full_report_cmd =
+  let doc = "Render the whole reproduction (case studies + all experiments) as one document." in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write to FILE instead of stdout")
+  in
+  let run output =
+    let buffer = Buffer.create 65536 in
+    Buffer.add_string buffer
+      "# amblib reproduction report\n\n\
+       Reconstruction of \"IC Design Challenges for Ambient Intelligence\"\n\
+       (Aarts & Roovers, DATE 2003).  See DESIGN.md for the substitution\n\
+       rationale and EXPERIMENTS.md for expected-shape vs measured.\n\n";
+    List.iter
+      (fun cs -> Buffer.add_string buffer (Amb_core.Case_study.render cs ^ "\n"))
+      Amb_core.Case_study.all;
+    Buffer.add_string buffer "# All experiments\n\n";
+    List.iter
+      (fun (id, desc, build) ->
+        Buffer.add_string buffer (Printf.sprintf "<!-- %s: %s -->\n" id desc);
+        Buffer.add_string buffer (Amb_core.Report.to_string (build ()) ^ "\n"))
+      Amb_core.Experiments.all;
+    match output with
+    | None -> print_string (Buffer.contents buffer)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Buffer.contents buffer);
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (Buffer.length buffer)
+  in
+  Cmd.v (Cmd.info "full-report" ~doc) Term.(const run $ output)
+
+let main_cmd =
+  let doc = "ambient-intelligence IC design exploration toolkit" in
+  let info = Cmd.info "ambient" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ graph_cmd; classes_cmd; classify_cmd; experiment_cmd; case_study_cmd; lifetime_cmd;
+      simulate_cmd; map_cmd; design_space_cmd; roadmap_cmd; full_report_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

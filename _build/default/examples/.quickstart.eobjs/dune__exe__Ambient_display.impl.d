@@ -1,0 +1,1 @@
+examples/ambient_display.ml: Amb_circuit Amb_core Amb_radio Amb_tech Amb_units Amb_workload Float Frequency List Power Printf

@@ -1,0 +1,1 @@
+examples/ambient_display.mli:

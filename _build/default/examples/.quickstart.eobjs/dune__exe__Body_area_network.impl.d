@@ -1,0 +1,1 @@
+examples/body_area_network.ml: Amb_circuit Amb_core Amb_energy Amb_node Amb_radio Amb_sim Amb_units Amb_workload Frequency Fun List Power Printf Time_span

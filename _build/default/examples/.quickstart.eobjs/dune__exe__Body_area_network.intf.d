@@ -1,0 +1,1 @@
+examples/body_area_network.mli:

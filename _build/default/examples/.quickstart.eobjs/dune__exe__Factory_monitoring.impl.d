@@ -1,0 +1,1 @@
+examples/factory_monitoring.ml: Amb_circuit Amb_energy Amb_net Amb_node Amb_radio Amb_sim Amb_units Energy Power Printf Time_span

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amb_core Amb_energy Amb_node Amb_units Data_rate Energy List Power Printf Time_span

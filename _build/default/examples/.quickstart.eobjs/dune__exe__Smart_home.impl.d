@@ -1,0 +1,1 @@
+examples/smart_home.ml: Amb_circuit Amb_core Amb_energy Amb_net Amb_node Amb_radio Amb_tech Amb_units Amb_workload Energy List Power Printf Time_span

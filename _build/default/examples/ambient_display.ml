@@ -1,0 +1,74 @@
+(* Ambient display: the static Watt-node across silicon generations.
+
+   Run with:  dune exec examples/ambient_display.exe
+
+   A wall display decodes a video stream and renders it.  We walk the
+   same SoC design across process nodes (case study C), compare display
+   technologies for an always-on information surface, and check the
+   WLAN link feeding the panel. *)
+
+open Amb_units
+
+let () =
+  print_endline "=== The video SoC across process nodes ===";
+  List.iter
+    (fun node ->
+      let soc = Amb_core.Experiments.media_soc node in
+      let b = Amb_tech.Soc.breakdown soc in
+      Printf.printf "  %-6s total %-9s leakage share %4.1f%%  density %.2f W/cm^2\n"
+        node.Amb_tech.Process_node.name
+        (Power.to_string b.Amb_tech.Soc.total)
+        (100.0 *. Power.to_watts b.Amb_tech.Soc.leakage /. Power.to_watts b.Amb_tech.Soc.total)
+        (Amb_tech.Soc.power_density soc))
+    Amb_tech.Process_node.catalogue;
+
+  print_endline "\n=== Always-on information surface: which display technology? ===";
+  (* An ambient display shows mostly static information, updated once a
+     minute. *)
+  let updates_per_s = 1.0 /. 60.0 in
+  List.iter
+    (fun d ->
+      let p = Amb_circuit.Display.average_power d ~brightness:0.6 ~updates_per_s in
+      Printf.printf "  %-22s %10s  (%s)\n" d.Amb_circuit.Display.name (Power.to_string p)
+        (Amb_core.Device_class.short_name (Amb_core.Device_class.of_power p)))
+    Amb_circuit.Display.catalogue;
+  print_endline "  -> e-ink turns an ambient display from a W-node into a uW-node";
+
+  print_endline "\n=== Feeding the panel: WLAN link budget ===";
+  let link =
+    Amb_radio.Link_budget.make ~radio:Amb_circuit.Radio_frontend.wlan
+      ~channel:Amb_radio.Path_loss.indoor ()
+  in
+  List.iter
+    (fun d ->
+      match Amb_radio.Link_budget.required_tx_dbm link ~distance_m:d with
+      | Some dbm ->
+        let snr = Amb_radio.Link_budget.snr_db link ~tx_dbm:dbm ~distance_m:d in
+        Printf.printf "  %5.1f m: TX %+.1f dBm (SNR %.1f dB)\n" d dbm snr
+      | None -> Printf.printf "  %5.1f m: out of reach\n" d)
+    [ 2.0; 5.0; 10.0; 20.0; 40.0 ];
+
+  print_endline "\n=== Decode workload on the media processor ===";
+  let dag = Amb_workload.Task_graph.video_decoder in
+  let proc = Amb_circuit.Processor.media_processor in
+  let fps = 25.0 in
+  let demand = Frequency.hertz (fps *. Amb_workload.Task_graph.total_ops dag) in
+  Printf.printf "  SD decode: %.0f Mops/frame, %.2f Gops/s at %.0f fps\n"
+    (Amb_workload.Task_graph.total_ops dag /. 1e6)
+    (Frequency.to_hertz demand /. 1e9)
+    fps;
+  (match Amb_circuit.Processor.dvfs_power proc demand with
+  | Some p ->
+    Printf.printf "  media processor handles it at %s average\n" (Power.to_string p)
+  | None ->
+    Printf.printf "  exceeds one core (capacity %.2f Gops/s): needs %d cores\n"
+      (Frequency.to_hertz (Amb_circuit.Processor.max_throughput proc) /. 1e9)
+      (int_of_float
+         (Float.ceil
+            (Frequency.to_hertz demand
+            /. Frequency.to_hertz (Amb_circuit.Processor.max_throughput proc)))));
+
+  print_endline "\n=== Case study C, in full ===";
+  match Amb_core.Case_study.find "C" with
+  | Some cs -> print_string (Amb_core.Case_study.render cs)
+  | None -> ()

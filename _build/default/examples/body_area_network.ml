@@ -1,0 +1,79 @@
+(* Body-area network: wearable ambient intelligence.
+
+   Run with:  dune exec examples/body_area_network.exe
+
+   Six on-body sensor patches (microWatt class, thermoelectric +
+   coin-cell powered) report to a wearable hub (milliWatt class).  We
+   size the MAC duty cycle, check the patches' class membership, and
+   evaluate the hub's battery life while it also runs the voice
+   interface. *)
+
+open Amb_units
+
+let () =
+  print_endline "=== Patch radio: picking the MAC wake-up interval ===";
+  let radio = Amb_circuit.Radio_frontend.low_power_uhf in
+  let packet = Amb_radio.Packet.sensor_reading in
+  let tx_rate = 1.0 /. 5.0 (* one reading every 5 s *) and rx_rate = 0.01 in
+  let mac t = Amb_radio.Mac_duty_cycle.make ~radio ~t_wakeup:t ~packet () in
+  let opt = Amb_radio.Mac_duty_cycle.optimal_wakeup (mac (Time_span.seconds 1.0)) ~tx_rate ~rx_rate in
+  let p_opt = Amb_radio.Mac_duty_cycle.average_power (mac opt) ~tx_rate ~rx_rate in
+  Printf.printf "  optimal wake-up interval: %s -> radio average %s\n"
+    (Time_span.to_human_string opt) (Power.to_string p_opt);
+  Printf.printf "  one-hop latency at the optimum: %s\n"
+    (Time_span.to_human_string (Amb_radio.Mac_duty_cycle.latency (mac opt)));
+
+  print_endline "\n=== Patch energy: thermoelectric harvesting on the body ===";
+  let teg_income =
+    Amb_energy.Harvester.output Amb_energy.Harvester.body_teg Amb_energy.Harvester.on_body
+  in
+  Printf.printf "  4 cm^2 TEG on skin: %s\n" (Power.to_string teg_income);
+  let patch_power = Power.add p_opt (Power.microwatts 8.0 (* MCU + sensor floor *)) in
+  Printf.printf "  patch total: %s -> class %s\n" (Power.to_string patch_power)
+    (Amb_core.Device_class.short_name (Amb_core.Device_class.of_power patch_power));
+  if Power.ge teg_income patch_power then print_endline "  the patch is energy-autonomous"
+  else begin
+    let battery = Amb_energy.Battery.lipo_wearable in
+    let supply =
+      Amb_energy.Supply.harvester_and_battery ~name:"teg+lipo" Amb_energy.Harvester.body_teg
+        Amb_energy.Harvester.on_body battery
+    in
+    Printf.printf "  TEG covers %.0f%%; battery bridges the rest for %s\n"
+      (100.0 *. Power.to_watts teg_income /. Power.to_watts patch_power)
+      (Time_span.to_human_string (Amb_energy.Supply.lifetime supply patch_power))
+  end;
+
+  print_endline "\n=== Hub: voice interface on the wearable ===";
+  let hub = Amb_node.Reference_designs.milliwatt_node () in
+  let arm = hub.Amb_node.Node_model.processor in
+  (* The speech front-end DAG once per utterance window. *)
+  let dag = Amb_workload.Task_graph.speech_frontend in
+  Printf.printf "  speech front-end: %.0f kops total, critical path %.0f kops, parallelism %.2f\n"
+    (Amb_workload.Task_graph.total_ops dag /. 1e3)
+    (Amb_workload.Task_graph.critical_path_ops dag /. 1e3)
+    (Amb_workload.Task_graph.parallelism dag);
+  (* 100 windows/s while listening. *)
+  let demand = Frequency.hertz (100.0 *. Amb_workload.Task_graph.total_ops dag) in
+  (match
+     ( Amb_circuit.Processor.race_to_idle_power arm demand,
+       Amb_circuit.Processor.dvfs_power arm demand )
+   with
+  | Some race, Some dvfs ->
+    Printf.printf "  listening continuously: race-to-idle %s, DVFS %s (%.0f%% saved)\n"
+      (Power.to_string race) (Power.to_string dvfs)
+      (100.0 *. (Power.to_watts race -. Power.to_watts dvfs) /. Power.to_watts race);
+    let battery = Amb_energy.Battery.liion_phone in
+    Printf.printf "  wearable battery life while listening: %s (DVFS)\n"
+      (Time_span.to_human_string (Amb_energy.Battery.lifetime battery dvfs))
+  | _ -> print_endline "  speech demand infeasible on this core");
+
+  print_endline "\n=== Aggregate traffic at the hub ===";
+  let rng = Amb_sim.Rng.create 2003 in
+  let per_patch = Amb_workload.Traffic.poisson tx_rate in
+  let total =
+    List.fold_left
+      (fun acc _ -> acc + Amb_workload.Traffic.events_in rng per_patch (Time_span.hours 1.0))
+      0 (List.init 6 Fun.id)
+  in
+  Printf.printf "  six patches deliver %d readings in a simulated hour (expected ~%d)\n" total
+    (int_of_float (6.0 *. tx_rate *. 3600.0))

@@ -1,0 +1,55 @@
+(* Quickstart: the toolkit in five minutes.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   1. Place a technology on the power-information graph.
+   2. Classify devices into the keynote's three classes.
+   3. Size a duty-cycled sensor node and find out whether it can live on
+      scavenged light. *)
+
+open Amb_units
+
+let () =
+  print_endline "--- 1. The power-information graph ---";
+  (* Every entry is a (information rate, power) point; efficiency is
+     bits per joule. *)
+  let entries = Amb_core.Power_information.catalogue () in
+  Printf.printf "catalogue: %d technologies\n" (List.length entries);
+  let frontier = Amb_core.Power_information.pareto_frontier entries in
+  print_endline "Pareto frontier (best rate-for-power trade-offs):";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-34s %12s at %10s\n" e.Amb_core.Power_information.name
+        (Data_rate.to_string e.Amb_core.Power_information.info_rate)
+        (Power.to_string e.Amb_core.Power_information.power))
+    frontier;
+
+  print_endline "\n--- 2. The three device classes ---";
+  let show p =
+    let cls = Amb_core.Device_class.of_power p in
+    Printf.printf "  %10s -> %s\n" (Power.to_string p) (Amb_core.Device_class.name cls)
+  in
+  List.iter show [ Power.microwatts 80.0; Power.milliwatts 120.0; Power.watts 15.0 ];
+
+  print_endline "\n--- 3. Sizing an autonomous sensor node ---";
+  let node = Amb_node.Reference_designs.microwatt_node () in
+  let act = Amb_node.Reference_designs.microwatt_activation in
+  let breakdown = Amb_node.Node_model.cycle_breakdown node act in
+  Printf.printf "energy per sense-process-transmit cycle: %s (radio share %.0f%%)\n"
+    (Energy.to_string breakdown.Amb_node.Node_model.total)
+    (100.0
+    *. Energy.to_joules breakdown.Amb_node.Node_model.communication
+    /. Energy.to_joules breakdown.Amb_node.Node_model.total);
+  let rate = 1.0 /. 30.0 in
+  let p = Amb_node.Node_model.average_power node act ~rate in
+  Printf.printf "average power at one report per 30 s: %s\n" (Power.to_string p);
+  let profile = Amb_node.Node_model.duty_profile node act in
+  (match Amb_node.Duty_cycle.autonomy_rate profile node.Amb_node.Node_model.supply with
+  | Some r ->
+    Printf.printf "indoor solar cell sustains up to %.2f reports/s forever\n" r
+  | None -> print_endline "sleep power alone exceeds the harvest: never autonomous");
+  let battery_only =
+    Amb_energy.Supply.battery_only ~name:"CR2032" Amb_energy.Battery.cr2032
+  in
+  Printf.printf "on the coin cell alone it would last %s\n"
+    (Time_span.to_human_string (Amb_energy.Supply.lifetime battery_only p))

@@ -1,0 +1,74 @@
+(* Smart home: the keynote's "network of devices" end to end.
+
+   Run with:  dune exec examples/smart_home.exe
+
+   A living room hosts four autonomous sensor nodes, a wearable, a
+   handheld, and one mains-powered media hub.  We (1) map the standard
+   ambient functions onto that network, (2) check every radio link
+   closes, and (3) simulate a day of operation for the sensor nodes. *)
+
+open Amb_units
+
+let () =
+  print_endline "=== Mapping ambient functions onto the home network ===";
+  let hosts = Amb_core.Experiments.smart_home_hosts () in
+  let assignment = Amb_core.Mapping.assign ~hosts ~functions:Amb_core.Ami_function.catalogue in
+  print_string (Amb_core.Report.to_string (Amb_core.Mapping.to_report assignment));
+  Printf.printf "network total: %s, feasible: %b\n\n"
+    (Power.to_string (Amb_core.Mapping.total_power assignment))
+    (Amb_core.Mapping.feasible assignment);
+
+  print_endline "=== Radio coverage of the room (6 x 5 m) ===";
+  (* Sensor nodes in the corners, hub in the middle. *)
+  let positions =
+    [| { Amb_net.Topology.x = 3.0; y = 2.5 } (* hub *);
+       { Amb_net.Topology.x = 0.2; y = 0.2 };
+       { Amb_net.Topology.x = 5.8; y = 0.2 };
+       { Amb_net.Topology.x = 0.2; y = 4.8 };
+       { Amb_net.Topology.x = 5.8; y = 4.8 };
+    |]
+  in
+  let topo = Amb_net.Topology.of_positions ~width_m:6.0 ~height_m:5.0 positions in
+  let link =
+    Amb_radio.Link_budget.make ~radio:Amb_circuit.Radio_frontend.low_power_uhf
+      ~channel:Amb_radio.Path_loss.indoor ()
+  in
+  for sensor = 1 to 4 do
+    let d = Amb_net.Topology.pair_distance topo 0 sensor in
+    match Amb_radio.Link_budget.required_tx_dbm link ~distance_m:d with
+    | Some dbm ->
+      Printf.printf "  sensor-%d at %.1f m: link closes at %+.1f dBm TX\n" sensor d dbm
+    | None -> Printf.printf "  sensor-%d at %.1f m: OUT OF REACH\n" sensor d
+  done;
+
+  print_endline "\n=== One simulated day per sensor node ===";
+  let node = Amb_node.Reference_designs.microwatt_node ~environment:Amb_energy.Harvester.home_living_room () in
+  let act = Amb_node.Reference_designs.microwatt_activation in
+  let profile = Amb_node.Node_model.duty_profile node act in
+  List.iteri
+    (fun i seed ->
+      let cfg =
+        Amb_node.Lifetime_sim.config ~profile ~supply:node.Amb_node.Node_model.supply
+          ~activation_traffic:(Amb_workload.Traffic.poisson (1.0 /. 30.0))
+          ~horizon:(Time_span.days 1.0) ()
+      in
+      let o = Amb_node.Lifetime_sim.run cfg ~seed in
+      Printf.printf "  sensor-%d: %4d reports, consumed %s, harvested %s, avg %s\n" (i + 1)
+        o.Amb_node.Lifetime_sim.activations
+        (Energy.to_string o.Amb_node.Lifetime_sim.energy_consumed)
+        (Energy.to_string o.Amb_node.Lifetime_sim.energy_harvested)
+        (Power.to_string o.Amb_node.Lifetime_sim.average_power))
+    [ 11; 22; 33; 44 ];
+
+  print_endline "\n=== The media hub's silicon budget (from case study C) ===";
+  let soc = Amb_core.Experiments.media_soc Amb_tech.Process_node.contemporary in
+  let b = Amb_tech.Soc.breakdown soc in
+  Printf.printf "  SoC at %s: total %s (dynamic %s, leakage %s)\n"
+    Amb_tech.Process_node.contemporary.Amb_tech.Process_node.name
+    (Power.to_string b.Amb_tech.Soc.total)
+    (Power.to_string b.Amb_tech.Soc.dynamic)
+    (Power.to_string b.Amb_tech.Soc.leakage);
+  Printf.printf "  panel at 80%% brightness: %s\n"
+    (Power.to_string
+       (Amb_circuit.Display.average_power Amb_circuit.Display.tv_panel ~brightness:0.8
+          ~updates_per_s:0.0))

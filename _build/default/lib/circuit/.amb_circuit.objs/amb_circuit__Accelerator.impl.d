@@ -1,0 +1,1 @@
+lib/circuit/accelerator.ml: Amb_tech Amb_units Frequency List Power Process_node Processor

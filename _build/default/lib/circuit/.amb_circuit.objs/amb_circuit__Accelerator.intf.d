@@ -1,0 +1,1 @@
+lib/circuit/accelerator.mli: Amb_tech Amb_units Frequency Power Process_node Processor

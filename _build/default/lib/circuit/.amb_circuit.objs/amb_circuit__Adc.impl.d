@@ -1,0 +1,1 @@
+lib/circuit/adc.ml: Amb_units Data_rate Energy Float Frequency Power

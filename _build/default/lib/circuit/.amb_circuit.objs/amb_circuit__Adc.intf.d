@@ -1,0 +1,1 @@
+lib/circuit/adc.mli: Amb_units Data_rate Energy Frequency Power

@@ -1,0 +1,1 @@
+lib/circuit/clocking.ml: Amb_units Energy Frequency Power Time_span

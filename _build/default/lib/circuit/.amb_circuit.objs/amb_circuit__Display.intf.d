@@ -1,0 +1,1 @@
+lib/circuit/display.mli: Amb_units Area Data_rate Energy Frequency Power

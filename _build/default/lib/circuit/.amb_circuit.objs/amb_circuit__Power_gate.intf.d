@@ -1,0 +1,1 @@
+lib/circuit/power_gate.mli: Amb_units Energy Power Time_span

@@ -1,0 +1,1 @@
+lib/circuit/processor.ml: Amb_tech Amb_units Energy Float Frequency Power Process_node Voltage

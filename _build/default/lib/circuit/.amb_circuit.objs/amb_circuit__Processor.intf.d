@@ -1,0 +1,1 @@
+lib/circuit/processor.mli: Amb_tech Amb_units Energy Frequency Power Process_node Voltage

@@ -1,0 +1,1 @@
+lib/circuit/radio_frontend.ml: Amb_units Data_rate Energy Float Power Time_span

@@ -1,0 +1,1 @@
+lib/circuit/radio_frontend.mli: Amb_units Data_rate Energy Power Time_span

@@ -1,0 +1,1 @@
+lib/circuit/sensor.mli: Amb_units Data_rate Energy Frequency Power Time_span

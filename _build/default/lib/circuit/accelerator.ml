@@ -1,0 +1,124 @@
+(** Hardwired and reconfigurable accelerators.
+
+    The gap analysis (experiment E5) shows technology scaling alone cannot
+    bring ambient functions into the lower device classes on schedule; the
+    keynote's answer is architecture.  This module models the efficiency
+    ladder the era measured: dedicated silicon is ~50-100x more
+    operations-per-joule than a general-purpose core, DSPs sit ~5-10x
+    above the core, and FPGA fabric lands an order of magnitude below
+    dedicated silicon (cf. the DATE 2003 reconfigurable-computing
+    sessions). *)
+
+open Amb_units
+open Amb_tech
+
+type kind =
+  | Fixed_function  (** hardwired ASIC block *)
+  | Programmable_dsp
+  | Reconfigurable_fabric  (** FPGA/eFPGA implementation *)
+
+let kind_name = function
+  | Fixed_function -> "fixed-function"
+  | Programmable_dsp -> "DSP"
+  | Reconfigurable_fabric -> "reconfigurable"
+
+type t = {
+  name : string;
+  kind : kind;
+  node : Process_node.t;
+  throughput : Frequency.t;  (** equivalent ops/s delivered *)
+  power : Power.t;  (** power at full throughput *)
+  standby : Power.t;
+  area_mm2 : float;
+  supported : string list;  (** function names this block can host *)
+}
+
+let make ~name ~kind ~node ~throughput_mops ~power_mw ~standby_uw ~area_mm2 ~supported =
+  if throughput_mops <= 0.0 then invalid_arg "Accelerator.make: non-positive throughput";
+  if power_mw <= 0.0 then invalid_arg "Accelerator.make: non-positive power";
+  {
+    name;
+    kind;
+    node;
+    throughput = Frequency.megahertz throughput_mops;
+    power = Power.milliwatts power_mw;
+    standby = Power.microwatts standby_uw;
+    area_mm2;
+    supported;
+  }
+
+(** [ops_per_joule a] — delivered efficiency at full throughput. *)
+let ops_per_joule a = Frequency.to_hertz a.throughput /. Power.to_watts a.power
+
+(** [speedup_over a processor] — efficiency advantage (ops/J ratio) over a
+    programmable core. *)
+let speedup_over a processor = ops_per_joule a /. Processor.ops_per_joule processor
+
+(** [power_at a rate] — duty-cycled power sustaining [rate] ops/s (standby
+    charged on the idle fraction); raises when [rate] exceeds the block's
+    throughput. *)
+let power_at a rate =
+  let cap = Frequency.to_hertz a.throughput in
+  let r = Frequency.to_hertz rate in
+  if r < 0.0 || r > cap *. (1.0 +. 1e-9) then
+    invalid_arg "Accelerator.power_at: rate outside capacity";
+  let duty = r /. cap in
+  Power.add (Power.scale duty a.power) (Power.scale (1.0 -. duty) a.standby)
+
+(* The 130 nm-era ladder.  A dedicated video pipeline delivers a few Gops
+   at tens of mW; mapped on FPGA fabric the same function costs ~10x; on a
+   DSP it costs a few x less than on a RISC. *)
+
+let video_pipeline_asic =
+  make ~name:"video pipeline (ASIC)" ~kind:Fixed_function ~node:Process_node.n130
+    ~throughput_mops:3000.0 ~power_mw:45.0 ~standby_uw:150.0 ~area_mm2:4.0
+    ~supported:[ "video streaming"; "media server" ]
+
+let audio_codec_asic =
+  make ~name:"audio codec (ASIC)" ~kind:Fixed_function ~node:Process_node.n130
+    ~throughput_mops:80.0 ~power_mw:1.2 ~standby_uw:10.0 ~area_mm2:0.5
+    ~supported:[ "audio playback" ]
+
+let speech_frontend_asic =
+  make ~name:"speech front-end (ASIC)" ~kind:Fixed_function ~node:Process_node.n130
+    ~throughput_mops:50.0 ~power_mw:0.8 ~standby_uw:5.0 ~area_mm2:0.4
+    ~supported:[ "voice interface" ]
+
+let des_crypto_engine =
+  make ~name:"DES crypto engine" ~kind:Fixed_function ~node:Process_node.n180
+    ~throughput_mops:400.0 ~power_mw:8.0 ~standby_uw:20.0 ~area_mm2:0.8
+    ~supported:[ "link encryption" ]
+
+let fft_dsp =
+  make ~name:"FFT/filter DSP" ~kind:Programmable_dsp ~node:Process_node.n130
+    ~throughput_mops:1000.0 ~power_mw:125.0 ~standby_uw:500.0 ~area_mm2:6.0
+    ~supported:[ "voice interface"; "audio playback"; "software radio" ]
+
+let efpga_fabric =
+  make ~name:"embedded FPGA fabric" ~kind:Reconfigurable_fabric ~node:Process_node.n130
+    ~throughput_mops:600.0 ~power_mw:180.0 ~standby_uw:2000.0 ~area_mm2:12.0
+    ~supported:[ "video streaming"; "voice interface"; "software radio"; "link encryption" ]
+
+let catalogue =
+  [ video_pipeline_asic; audio_codec_asic; speech_frontend_asic; des_crypto_engine; fft_dsp;
+    efpga_fabric ]
+
+(** [supports a function_name]. *)
+let supports a function_name = List.mem function_name a.supported
+
+(** [best_for ~function_name ~rate] — the most efficient catalogue block
+    that hosts [function_name] at [rate] ops/s; [None] when nothing
+    fits. *)
+let best_for ~function_name ~rate =
+  let candidates =
+    List.filter
+      (fun a -> supports a function_name && Frequency.ge a.throughput rate)
+      catalogue
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best a -> if ops_per_joule a > ops_per_joule best then a else best)
+         first rest)

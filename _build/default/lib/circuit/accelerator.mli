@@ -1,0 +1,59 @@
+(** Hardwired and reconfigurable accelerators — the architecture ladder
+    (RISC < FPGA fabric < DSP-class < ASIC in ops/J) that closes the
+    efficiency gaps technology scaling cannot (experiment E13). *)
+
+open Amb_units
+open Amb_tech
+
+type kind =
+  | Fixed_function  (** hardwired ASIC block *)
+  | Programmable_dsp
+  | Reconfigurable_fabric  (** FPGA/eFPGA implementation *)
+
+val kind_name : kind -> string
+
+type t = {
+  name : string;
+  kind : kind;
+  node : Process_node.t;
+  throughput : Frequency.t;  (** equivalent ops/s delivered *)
+  power : Power.t;  (** power at full throughput *)
+  standby : Power.t;
+  area_mm2 : float;
+  supported : string list;  (** function names this block can host *)
+}
+
+val make :
+  name:string ->
+  kind:kind ->
+  node:Process_node.t ->
+  throughput_mops:float ->
+  power_mw:float ->
+  standby_uw:float ->
+  area_mm2:float ->
+  supported:string list ->
+  t
+(** Raises [Invalid_argument] on non-positive throughput or power. *)
+
+val video_pipeline_asic : t
+val audio_codec_asic : t
+val speech_frontend_asic : t
+val des_crypto_engine : t
+val fft_dsp : t
+val efpga_fabric : t
+val catalogue : t list
+
+val ops_per_joule : t -> float
+(** Delivered efficiency at full throughput. *)
+
+val speedup_over : t -> Processor.t -> float
+(** Efficiency advantage (ops/J ratio) over a programmable core. *)
+
+val power_at : t -> Frequency.t -> Power.t
+(** Duty-cycled power sustaining a rate; raises [Invalid_argument] beyond
+    the block's throughput. *)
+
+val supports : t -> string -> bool
+
+val best_for : function_name:string -> rate:Frequency.t -> t option
+(** Most efficient catalogue block hosting a function at a rate. *)

@@ -1,0 +1,77 @@
+(** Analog-to-digital converter model.
+
+    Converter power is governed by the figure of merit
+    P = FoM * 2^ENOB * f_s.  Era-typical FoMs: ~5 pJ/conversion-step for
+    general-purpose converters around 2003, ~0.5 pJ for state-of-the-art
+    low-power designs.  The ADC is the canonical "interface electronics" of
+    the keynote: it converts physical information into bits, so its
+    (rate, power) point sits directly on the power-information graph. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  bits : int;  (** nominal resolution *)
+  enob : float;  (** effective number of bits *)
+  sample_rate : Frequency.t;
+  fom_j_per_step : float;  (** energy per conversion-step *)
+  standby : Power.t;
+}
+
+let make ~name ~bits ~enob ~sample_rate_hz ~fom_pj_per_step ~standby_uw =
+  if bits <= 0 || bits > 32 then invalid_arg "Adc.make: bits outside 1..32";
+  if enob <= 0.0 || enob > Float.of_int bits then invalid_arg "Adc.make: enob outside (0,bits]";
+  if fom_pj_per_step <= 0.0 then invalid_arg "Adc.make: non-positive FoM";
+  {
+    name;
+    bits;
+    enob;
+    sample_rate = Frequency.hertz sample_rate_hz;
+    fom_j_per_step = fom_pj_per_step *. 1e-12;
+    standby = Power.microwatts standby_uw;
+  }
+
+let sensor_adc =
+  make ~name:"10-bit 10 kS/s sensor ADC" ~bits:10 ~enob:9.2 ~sample_rate_hz:10e3
+    ~fom_pj_per_step:1.0 ~standby_uw:0.1
+
+let audio_adc =
+  make ~name:"16-bit 48 kS/s audio sigma-delta" ~bits:16 ~enob:14.0 ~sample_rate_hz:48e3
+    ~fom_pj_per_step:3.0 ~standby_uw:5.0
+
+let video_adc =
+  make ~name:"10-bit 27 MS/s video ADC" ~bits:10 ~enob:9.0 ~sample_rate_hz:27e6
+    ~fom_pj_per_step:5.0 ~standby_uw:100.0
+
+let baseband_adc =
+  make ~name:"8-bit 20 MS/s baseband ADC" ~bits:8 ~enob:7.4 ~sample_rate_hz:20e6
+    ~fom_pj_per_step:2.0 ~standby_uw:50.0
+
+let catalogue = [ sensor_adc; audio_adc; video_adc; baseband_adc ]
+
+(** [active_power adc] — conversion power at the full sample rate. *)
+let active_power adc =
+  Power.watts (adc.fom_j_per_step *. (2.0 ** adc.enob) *. Frequency.to_hertz adc.sample_rate)
+
+(** [energy_per_sample adc]. *)
+let energy_per_sample adc = Energy.joules (adc.fom_j_per_step *. (2.0 ** adc.enob))
+
+(** [output_rate adc] — information rate produced, bits/s. *)
+let output_rate adc =
+  Data_rate.bits_per_second (Float.of_int adc.bits *. Frequency.to_hertz adc.sample_rate)
+
+(** [snr_db adc] — signal-to-noise ratio implied by the ENOB:
+    SNR = 6.02 * ENOB + 1.76 dB. *)
+let snr_db adc = (6.02 *. adc.enob) +. 1.76
+
+(** [enob_of_snr_db snr] — inverse of {!snr_db}. *)
+let enob_of_snr_db snr = (snr -. 1.76) /. 6.02
+
+(** [power_at_rate adc rate] — duty-cycled conversion power at a reduced
+    sample rate (standby power charged during the idle fraction). *)
+let power_at_rate adc rate =
+  let full = Frequency.to_hertz adc.sample_rate in
+  let r = Frequency.to_hertz rate in
+  if r < 0.0 || r > full then invalid_arg "Adc.power_at_rate: rate outside [0, sample_rate]";
+  let duty = if full <= 0.0 then 0.0 else r /. full in
+  Power.add (Power.scale duty (active_power adc)) (Power.scale (1.0 -. duty) adc.standby)

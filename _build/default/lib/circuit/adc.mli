@@ -1,0 +1,49 @@
+(** Analog-to-digital converter model, governed by the figure of merit
+    P = FoM * 2^ENOB * f_s.  The ADC is the canonical "interface
+    electronics" of the keynote: its (rate, power) point sits directly on
+    the power-information graph. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  bits : int;  (** nominal resolution *)
+  enob : float;  (** effective number of bits *)
+  sample_rate : Frequency.t;
+  fom_j_per_step : float;  (** energy per conversion-step *)
+  standby : Power.t;
+}
+
+val make :
+  name:string ->
+  bits:int ->
+  enob:float ->
+  sample_rate_hz:float ->
+  fom_pj_per_step:float ->
+  standby_uw:float ->
+  t
+(** Raises [Invalid_argument] on bits outside 1..32, enob outside
+    (0,bits], or non-positive FoM. *)
+
+val sensor_adc : t
+val audio_adc : t
+val video_adc : t
+val baseband_adc : t
+val catalogue : t list
+
+val active_power : t -> Power.t
+(** Conversion power at the full sample rate. *)
+
+val energy_per_sample : t -> Energy.t
+
+val output_rate : t -> Data_rate.t
+(** Information rate produced, bits/s. *)
+
+val snr_db : t -> float
+(** SNR implied by the ENOB: 6.02 * ENOB + 1.76 dB. *)
+
+val enob_of_snr_db : float -> float
+
+val power_at_rate : t -> Frequency.t -> Power.t
+(** Duty-cycled conversion power at a reduced sample rate; raises
+    [Invalid_argument] outside [0, sample_rate]. *)

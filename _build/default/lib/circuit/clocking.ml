@@ -1,0 +1,48 @@
+(** Clock sources.
+
+    The always-on watch crystal is the heartbeat of the duty-cycled
+    microWatt node; the PLL is the price of fast wake-up.  The start-up
+    times here bound how quickly a sleeping node can react. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  frequency : Frequency.t;
+  power : Power.t;
+  startup : Time_span.t;
+  accuracy_ppm : float;
+}
+
+let make ~name ~frequency_hz ~power_uw ~startup_ms ~accuracy_ppm =
+  {
+    name;
+    frequency = Frequency.hertz frequency_hz;
+    power = Power.microwatts power_uw;
+    startup = Time_span.milliseconds startup_ms;
+    accuracy_ppm;
+  }
+
+let watch_crystal =
+  make ~name:"32.768 kHz watch crystal" ~frequency_hz:32768.0 ~power_uw:0.5 ~startup_ms:300.0
+    ~accuracy_ppm:20.0
+
+let mems_oscillator =
+  make ~name:"MEMS oscillator 1 MHz" ~frequency_hz:1e6 ~power_uw:50.0 ~startup_ms:0.1
+    ~accuracy_ppm:100.0
+
+let crystal_16mhz =
+  make ~name:"16 MHz crystal" ~frequency_hz:16e6 ~power_uw:300.0 ~startup_ms:1.0 ~accuracy_ppm:10.0
+
+let pll_200mhz =
+  make ~name:"200 MHz PLL" ~frequency_hz:200e6 ~power_uw:5000.0 ~startup_ms:0.05
+    ~accuracy_ppm:10.0
+
+let catalogue = [ watch_crystal; mems_oscillator; crystal_16mhz; pll_200mhz ]
+
+(** [drift_over clock t] — worst-case clock drift accumulated over [t];
+    determines the guard times of synchronised MAC protocols. *)
+let drift_over clock t = Time_span.scale (clock.accuracy_ppm *. 1e-6) t
+
+(** [startup_energy clock] — energy wasted waiting for a stable clock. *)
+let startup_energy clock = Energy.of_power_time clock.power clock.startup

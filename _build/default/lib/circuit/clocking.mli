@@ -1,0 +1,27 @@
+(** Clock sources: the always-on watch crystal is the heartbeat of the
+    duty-cycled microWatt node; the PLL is the price of fast wake-up. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  frequency : Frequency.t;
+  power : Power.t;
+  startup : Time_span.t;
+  accuracy_ppm : float;
+}
+
+val make :
+  name:string -> frequency_hz:float -> power_uw:float -> startup_ms:float -> accuracy_ppm:float -> t
+
+val watch_crystal : t
+val mems_oscillator : t
+val crystal_16mhz : t
+val pll_200mhz : t
+val catalogue : t list
+
+val drift_over : t -> Time_span.t -> Time_span.t
+(** Worst-case clock drift accumulated over a duration — determines the
+    guard times of synchronised MAC protocols. *)
+
+val startup_energy : t -> Energy.t

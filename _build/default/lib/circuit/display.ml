@@ -1,0 +1,80 @@
+(** Display / output interface electronics.
+
+    Emissive panels cost power proportional to lit area and brightness;
+    bistable (e-ink) panels cost energy per update only.  Displays anchor
+    the top-right of the power-information graph: high information rate,
+    high power. *)
+
+open Amb_units
+
+type technology =
+  | Lcd_transmissive  (** backlight dominates *)
+  | Oled
+  | Electrophoretic  (** e-ink: zero static power *)
+  | Led_indicator
+
+type t = {
+  name : string;
+  technology : technology;
+  area : Area.t;
+  pixels : float;
+  power_per_area_w_m2 : float;  (** at full brightness, emissive panels *)
+  driver_power : Power.t;
+  update_energy : Energy.t;  (** per full-frame update, bistable panels *)
+  refresh_rate : Frequency.t;
+  bits_per_pixel : float;
+}
+
+let make ~name ~technology ~area_cm2 ~pixels ~power_per_area_w_m2 ~driver_power_mw
+    ~update_energy_mj ~refresh_hz ~bits_per_pixel =
+  {
+    name;
+    technology;
+    area = Area.square_centimetres area_cm2;
+    pixels;
+    power_per_area_w_m2;
+    driver_power = Power.milliwatts driver_power_mw;
+    update_energy = Energy.millijoules update_energy_mj;
+    refresh_rate = Frequency.hertz refresh_hz;
+    bits_per_pixel;
+  }
+
+let status_led =
+  make ~name:"status LED" ~technology:Led_indicator ~area_cm2:0.01 ~pixels:1.0
+    ~power_per_area_w_m2:0.0 ~driver_power_mw:2.0 ~update_energy_mj:0.0 ~refresh_hz:1.0
+    ~bits_per_pixel:1.0
+
+let eink_label =
+  make ~name:"e-ink label 2\"" ~technology:Electrophoretic ~area_cm2:12.0 ~pixels:(200.0 *. 100.0)
+    ~power_per_area_w_m2:0.0 ~driver_power_mw:0.0 ~update_energy_mj:20.0 ~refresh_hz:0.1
+    ~bits_per_pixel:1.0
+
+let pda_lcd =
+  make ~name:"PDA LCD 3.5\"" ~technology:Lcd_transmissive ~area_cm2:38.0
+    ~pixels:(320.0 *. 240.0) ~power_per_area_w_m2:150.0 ~driver_power_mw:30.0
+    ~update_energy_mj:0.0 ~refresh_hz:60.0 ~bits_per_pixel:16.0
+
+let tv_panel =
+  make ~name:"flat-TV panel 32\"" ~technology:Lcd_transmissive ~area_cm2:2800.0
+    ~pixels:(1280.0 *. 768.0) ~power_per_area_w_m2:350.0 ~driver_power_mw:2000.0
+    ~update_energy_mj:0.0 ~refresh_hz:60.0 ~bits_per_pixel:24.0
+
+let catalogue = [ status_led; eink_label; pda_lcd; tv_panel ]
+
+(** [average_power display ~brightness ~updates_per_s] — emissive panels
+    scale with brightness; bistable panels pay per update. *)
+let average_power display ~brightness ~updates_per_s =
+  if brightness < 0.0 || brightness > 1.0 then
+    invalid_arg "Display.average_power: brightness outside [0,1]";
+  if updates_per_s < 0.0 then invalid_arg "Display.average_power: negative update rate";
+  match display.technology with
+  | Electrophoretic ->
+    Power.watts (updates_per_s *. Energy.to_joules display.update_energy)
+  | Lcd_transmissive | Oled | Led_indicator ->
+    let panel = Area.power_at_density (display.power_per_area_w_m2 *. brightness) display.area in
+    Power.add panel display.driver_power
+
+(** [information_rate display] — pixel-stream rate at the native refresh. *)
+let information_rate display =
+  Data_rate.bits_per_second
+    (display.pixels *. display.bits_per_pixel *. Frequency.to_hertz display.refresh_rate)

@@ -1,0 +1,49 @@
+(** Display / output interface electronics.  Emissive panels cost power
+    proportional to lit area and brightness; bistable (e-ink) panels cost
+    energy per update only — which moves an ambient display across device
+    classes (see the ambient_display example). *)
+
+open Amb_units
+
+type technology =
+  | Lcd_transmissive  (** backlight dominates *)
+  | Oled
+  | Electrophoretic  (** e-ink: zero static power *)
+  | Led_indicator
+
+type t = {
+  name : string;
+  technology : technology;
+  area : Area.t;
+  pixels : float;
+  power_per_area_w_m2 : float;  (** at full brightness, emissive panels *)
+  driver_power : Power.t;
+  update_energy : Energy.t;  (** per full-frame update, bistable panels *)
+  refresh_rate : Frequency.t;
+  bits_per_pixel : float;
+}
+
+val make :
+  name:string ->
+  technology:technology ->
+  area_cm2:float ->
+  pixels:float ->
+  power_per_area_w_m2:float ->
+  driver_power_mw:float ->
+  update_energy_mj:float ->
+  refresh_hz:float ->
+  bits_per_pixel:float ->
+  t
+
+val status_led : t
+val eink_label : t
+val pda_lcd : t
+val tv_panel : t
+val catalogue : t list
+
+val average_power : t -> brightness:float -> updates_per_s:float -> Power.t
+(** Raises [Invalid_argument] for brightness outside [0,1] or negative
+    update rates. *)
+
+val information_rate : t -> Data_rate.t
+(** Pixel-stream rate at the native refresh. *)

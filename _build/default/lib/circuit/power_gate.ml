@@ -1,0 +1,42 @@
+(** Power gating and sleep-mode economics.
+
+    Cutting a block's supply eliminates (most of) its leakage but costs a
+    fixed wake-up energy and latency.  Gating pays off only for idle
+    periods longer than the break-even time — a constraint that shapes
+    every duty-cycling decision in the toolkit. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  leakage_active : Power.t;  (** leakage with supply on *)
+  retention_factor : float;  (** residual leakage fraction when gated *)
+  wakeup_energy : Energy.t;
+  wakeup_latency : Time_span.t;
+}
+
+let make ~name ~leakage_active ~retention_factor ~wakeup_energy ~wakeup_latency =
+  if retention_factor < 0.0 || retention_factor > 1.0 then
+    invalid_arg "Power_gate.make: retention factor outside [0,1]";
+  { name; leakage_active; retention_factor; wakeup_energy; wakeup_latency }
+
+let leakage_gated g = Power.scale g.retention_factor g.leakage_active
+let leakage_saved g = Power.sub g.leakage_active (leakage_gated g)
+
+(** [break_even_time g] — minimum idle duration for which gating saves
+    energy: E_wake / P_saved.  [Time_span.forever] when nothing is
+    saved. *)
+let break_even_time g =
+  let saved = Power.to_watts (leakage_saved g) in
+  if saved <= 0.0 then Time_span.forever
+  else Time_span.seconds (Energy.to_joules g.wakeup_energy /. saved)
+
+(** [idle_energy g ~idle ~gated] — energy burnt across an idle period of
+    length [idle], with or without gating. *)
+let idle_energy g ~idle ~gated =
+  if gated then Energy.add (Energy.of_power_time (leakage_gated g) idle) g.wakeup_energy
+  else Energy.of_power_time g.leakage_active idle
+
+(** [should_gate g ~idle] — the optimal decision for a known idle length. *)
+let should_gate g ~idle =
+  Energy.lt (idle_energy g ~idle ~gated:true) (idle_energy g ~idle ~gated:false)

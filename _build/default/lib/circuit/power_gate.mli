@@ -1,0 +1,34 @@
+(** Power gating and sleep-mode economics: cutting a block's supply
+    eliminates (most of) its leakage but costs a fixed wake-up energy and
+    latency; gating pays off only beyond the break-even idle time. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  leakage_active : Power.t;  (** leakage with supply on *)
+  retention_factor : float;  (** residual leakage fraction when gated *)
+  wakeup_energy : Energy.t;
+  wakeup_latency : Time_span.t;
+}
+
+val make :
+  name:string ->
+  leakage_active:Power.t ->
+  retention_factor:float ->
+  wakeup_energy:Energy.t ->
+  wakeup_latency:Time_span.t ->
+  t
+(** Raises [Invalid_argument] for retention outside [0,1]. *)
+
+val leakage_gated : t -> Power.t
+val leakage_saved : t -> Power.t
+
+val break_even_time : t -> Time_span.t
+(** Minimum idle duration for which gating saves energy;
+    [Time_span.forever] when nothing is saved. *)
+
+val idle_energy : t -> idle:Time_span.t -> gated:bool -> Energy.t
+
+val should_gate : t -> idle:Time_span.t -> bool
+(** The optimal decision for a known idle length. *)

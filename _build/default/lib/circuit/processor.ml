@@ -1,0 +1,157 @@
+(** Programmable-core model with voltage/frequency scaling.
+
+    Energy per operation follows E = C_eff * V^2; achievable frequency
+    follows the alpha-power law f ∝ (V - Vth)^alpha / V.  Together they
+    give the cubic-ish energy/throughput trade-off that dynamic voltage
+    scaling (the mW-node's central technique, experiment E6) exploits. *)
+
+open Amb_units
+open Amb_tech
+
+type t = {
+  name : string;
+  node : Process_node.t;
+  c_eff_per_op_f : float;  (** effective switched capacitance per op, farads *)
+  f_max : Frequency.t;  (** clock at nominal supply *)
+  ops_per_cycle : float;
+  alpha : float;  (** velocity-saturation exponent, 1.3..2.0 *)
+  leakage : Power.t;  (** standby leakage at nominal Vdd *)
+  v_min : Voltage.t;  (** lowest functional supply *)
+}
+
+let make ~name ~node ~c_eff_per_op_pf ~f_max_mhz ~ops_per_cycle ~alpha ~leakage_mw ~v_min_v =
+  if c_eff_per_op_pf <= 0.0 then invalid_arg "Processor.make: non-positive capacitance";
+  if alpha < 1.0 || alpha > 2.0 then invalid_arg "Processor.make: alpha outside [1,2]";
+  {
+    name;
+    node;
+    c_eff_per_op_f = c_eff_per_op_pf *. 1e-12;
+    f_max = Frequency.megahertz f_max_mhz;
+    ops_per_cycle;
+    alpha;
+    leakage = Power.milliwatts leakage_mw;
+    v_min = Voltage.volts v_min_v;
+  }
+
+(* Reference cores, one per keynote device class plus a DSP.  Energy/op
+   figures are era-typical: an MSP430-class MCU ~0.5 nJ/op at 1 MIPS, an
+   ARM7-class core ~1 nJ/op at 100 MIPS, a VLIW DSP ~0.25 nJ/op, a media
+   processor ~0.4 nJ/op at several GOPS. *)
+
+let mcu_8bit =
+  make ~name:"8-bit MCU (sensor-node class)" ~node:Process_node.n350 ~c_eff_per_op_pf:60.0
+    ~f_max_mhz:4.0 ~ops_per_cycle:0.25 ~alpha:1.8 ~leakage_mw:0.0005 ~v_min_v:1.8
+
+let mcu_16bit =
+  make ~name:"16-bit MCU (MSP430 class)" ~node:Process_node.n180 ~c_eff_per_op_pf:45.0
+    ~f_max_mhz:8.0 ~ops_per_cycle:1.0 ~alpha:1.6 ~leakage_mw:0.002 ~v_min_v:1.0
+
+let arm7_class =
+  make ~name:"32-bit RISC (ARM7 class)" ~node:Process_node.n180 ~c_eff_per_op_pf:300.0
+    ~f_max_mhz:100.0 ~ops_per_cycle:0.9 ~alpha:1.5 ~leakage_mw:0.5 ~v_min_v:0.9
+
+let dsp_vliw =
+  make ~name:"VLIW DSP (Lx/TM class)" ~node:Process_node.n130 ~c_eff_per_op_pf:170.0
+    ~f_max_mhz:250.0 ~ops_per_cycle:4.0 ~alpha:1.4 ~leakage_mw:5.0 ~v_min_v:0.8
+
+let media_processor =
+  make ~name:"media processor (TriMedia class)" ~node:Process_node.n130 ~c_eff_per_op_pf:280.0
+    ~f_max_mhz:350.0 ~ops_per_cycle:5.0 ~alpha:1.4 ~leakage_mw:40.0 ~v_min_v:0.8
+
+let catalogue = [ mcu_8bit; mcu_16bit; arm7_class; dsp_vliw; media_processor ]
+
+let vdd_nominal p = p.node.Process_node.vdd
+let vth p = p.node.Process_node.vth
+
+(* Alpha-power-law speed factor, normalised to 1.0 at nominal Vdd. *)
+let speed_factor p v =
+  let vth = Voltage.to_volts (vth p) in
+  let vnom = Voltage.to_volts (vdd_nominal p) in
+  let vv = Voltage.to_volts v in
+  if vv <= vth then 0.0
+  else
+    let shape u = ((u -. vth) ** p.alpha) /. u in
+    shape vv /. shape vnom
+
+(** [frequency_at p v] — achievable clock at supply [v] (0 Hz at or below
+    threshold). *)
+let frequency_at p v = Frequency.scale (speed_factor p v) p.f_max
+
+(** [energy_per_op_at p v] — dynamic energy of one operation at supply
+    [v]. *)
+let energy_per_op_at p v = Energy.joules (p.c_eff_per_op_f *. Voltage.squared v)
+
+let energy_per_op p = energy_per_op_at p (vdd_nominal p)
+
+(** [throughput_at p v] — operations per second at supply [v]. *)
+let throughput_at p v =
+  Frequency.hertz (Frequency.to_hertz (frequency_at p v) *. p.ops_per_cycle)
+
+let max_throughput p = throughput_at p (vdd_nominal p)
+
+(* Leakage scales roughly linearly with Vdd at system level. *)
+let leakage_at p v =
+  Power.scale (Voltage.to_volts v /. Voltage.to_volts (vdd_nominal p)) p.leakage
+
+(** [power_at p v ~utilization] — average power when the core is busy a
+    fraction [utilization] of the time at supply [v] (idle cycles are
+    clock-gated: leakage only). *)
+let power_at p v ~utilization =
+  if utilization < 0.0 || utilization > 1.0 then
+    invalid_arg "Processor.power_at: utilization outside [0,1]";
+  let dynamic =
+    Power.watts
+      (utilization *. Energy.to_joules (energy_per_op_at p v)
+      *. Frequency.to_hertz (throughput_at p v))
+  in
+  Power.add dynamic (leakage_at p v)
+
+(** [min_voltage_for p rate] — the lowest supply sustaining [rate] ops/s
+    ([None] if even nominal Vdd is too slow).  Monotone bisection between
+    [v_min] and nominal. *)
+let min_voltage_for p rate =
+  let target = Frequency.to_hertz rate in
+  if target <= 0.0 then Some p.v_min
+  else if target > Frequency.to_hertz (max_throughput p) *. (1.0 +. 1e-12) then None
+  else
+    let ok v = Frequency.to_hertz (throughput_at p (Voltage.volts v)) >= target in
+    let lo = Voltage.to_volts p.v_min and hi = Voltage.to_volts (vdd_nominal p) in
+    if ok lo then Some p.v_min
+    else
+      let rec bisect lo hi n =
+        if n = 0 then hi
+        else
+          let mid = 0.5 *. (lo +. hi) in
+          if ok mid then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+      in
+      Some (Voltage.volts (bisect lo hi 60))
+
+(** [dvfs_power p rate] — average power sustaining [rate] ops/s at the
+    lowest adequate voltage, running continuously at reduced speed (the
+    ideal-DVFS policy); [None] when the core cannot reach [rate]. *)
+let dvfs_power p rate =
+  match min_voltage_for p rate with
+  | None -> None
+  | Some v ->
+    let capacity = Frequency.to_hertz (throughput_at p v) in
+    let utilization = if capacity <= 0.0 then 0.0 else Float.min 1.0 (Frequency.to_hertz rate /. capacity) in
+    Some (power_at p v ~utilization)
+
+(** [race_to_idle_power p rate] — average power of the no-DVFS policy: run
+    at nominal voltage and clock-gate when done; [None] when the core
+    cannot reach [rate]. *)
+let race_to_idle_power p rate =
+  let capacity = Frequency.to_hertz (max_throughput p) in
+  if Frequency.to_hertz rate > capacity *. (1.0 +. 1e-12) then None
+  else
+    let utilization = Float.min 1.0 (Frequency.to_hertz rate /. capacity) in
+    Some (power_at p (vdd_nominal p) ~utilization)
+
+(** [ops_per_joule p] — headline efficiency at nominal supply (the y/x
+    ratio this core contributes to the power-information graph). *)
+let ops_per_joule p =
+  let pw = Power.to_watts (power_at p (vdd_nominal p) ~utilization:1.0) in
+  if pw <= 0.0 then Float.infinity else Frequency.to_hertz (max_throughput p) /. pw
+
+(** [mips_per_mw p] — the Gene's-law units used in experiment E5. *)
+let mips_per_mw p = ops_per_joule p /. 1e9

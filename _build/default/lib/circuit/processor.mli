@@ -1,0 +1,78 @@
+(** Programmable-core model with voltage/frequency scaling.
+
+    Energy per operation follows E = C_eff * V^2; achievable frequency
+    follows the alpha-power law f prop. (V - Vth)^alpha / V — together the
+    cubic-ish energy/throughput trade-off that DVFS (experiment E6)
+    exploits. *)
+
+open Amb_units
+open Amb_tech
+
+type t = {
+  name : string;
+  node : Process_node.t;
+  c_eff_per_op_f : float;  (** effective switched capacitance per op, farads *)
+  f_max : Frequency.t;  (** clock at nominal supply *)
+  ops_per_cycle : float;
+  alpha : float;  (** velocity-saturation exponent, 1.3..2.0 *)
+  leakage : Power.t;  (** standby leakage at nominal Vdd *)
+  v_min : Voltage.t;  (** lowest functional supply *)
+}
+
+val make :
+  name:string ->
+  node:Process_node.t ->
+  c_eff_per_op_pf:float ->
+  f_max_mhz:float ->
+  ops_per_cycle:float ->
+  alpha:float ->
+  leakage_mw:float ->
+  v_min_v:float ->
+  t
+(** Raises [Invalid_argument] on non-positive capacitance or alpha outside
+    [1,2]. *)
+
+val mcu_8bit : t
+val mcu_16bit : t
+val arm7_class : t
+val dsp_vliw : t
+val media_processor : t
+val catalogue : t list
+
+val vdd_nominal : t -> Voltage.t
+val vth : t -> Voltage.t
+
+val frequency_at : t -> Voltage.t -> Frequency.t
+(** Achievable clock at a supply (0 Hz at or below threshold). *)
+
+val energy_per_op_at : t -> Voltage.t -> Energy.t
+val energy_per_op : t -> Energy.t
+
+val throughput_at : t -> Voltage.t -> Frequency.t
+(** Operations per second at a supply. *)
+
+val max_throughput : t -> Frequency.t
+val leakage_at : t -> Voltage.t -> Power.t
+
+val power_at : t -> Voltage.t -> utilization:float -> Power.t
+(** Average power when busy a fraction [utilization] of the time (idle
+    cycles are clock-gated: leakage only).  Raises [Invalid_argument] for
+    utilization outside [0,1]. *)
+
+val min_voltage_for : t -> Frequency.t -> Voltage.t option
+(** Lowest supply sustaining a given ops/s rate; [None] beyond nominal
+    capability. *)
+
+val dvfs_power : t -> Frequency.t -> Power.t option
+(** Average power sustaining a rate at the lowest adequate voltage
+    (ideal-DVFS policy). *)
+
+val race_to_idle_power : t -> Frequency.t -> Power.t option
+(** Average power of the no-DVFS policy: nominal voltage, clock-gate when
+    done. *)
+
+val ops_per_joule : t -> float
+(** Headline efficiency at nominal supply. *)
+
+val mips_per_mw : t -> float
+(** The Gene's-law units used in experiment E5. *)

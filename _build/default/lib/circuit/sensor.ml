@@ -1,0 +1,74 @@
+(** Transducer models — the contextual-awareness inputs of the keynote. *)
+
+open Amb_units
+
+type modality = Temperature | Light | Acceleration | Acoustic | Passive_infrared | Image
+
+let modality_name = function
+  | Temperature -> "temperature"
+  | Light -> "light"
+  | Acceleration -> "acceleration"
+  | Acoustic -> "acoustic"
+  | Passive_infrared -> "PIR"
+  | Image -> "image"
+
+type t = {
+  name : string;
+  modality : modality;
+  sample_energy : Energy.t;  (** transducer + conditioning energy per sample *)
+  settle_time : Time_span.t;  (** warm-up before a valid sample *)
+  standby : Power.t;
+  max_sample_rate : Frequency.t;
+  bits_per_sample : float;
+}
+
+let make ~name ~modality ~sample_energy_uj ~settle_ms ~standby_nw ~max_sample_rate_hz
+    ~bits_per_sample =
+  {
+    name;
+    modality;
+    sample_energy = Energy.microjoules sample_energy_uj;
+    settle_time = Time_span.milliseconds settle_ms;
+    standby = Power.nanowatts standby_nw;
+    max_sample_rate = Frequency.hertz max_sample_rate_hz;
+    bits_per_sample;
+  }
+
+let temperature =
+  make ~name:"temperature sensor" ~modality:Temperature ~sample_energy_uj:0.5 ~settle_ms:1.0
+    ~standby_nw:50.0 ~max_sample_rate_hz:10.0 ~bits_per_sample:12.0
+
+let light =
+  make ~name:"ambient-light sensor" ~modality:Light ~sample_energy_uj:0.2 ~settle_ms:0.5
+    ~standby_nw:30.0 ~max_sample_rate_hz:100.0 ~bits_per_sample:10.0
+
+let accelerometer =
+  make ~name:"MEMS accelerometer" ~modality:Acceleration ~sample_energy_uj:1.0 ~settle_ms:2.0
+    ~standby_nw:300.0 ~max_sample_rate_hz:1000.0 ~bits_per_sample:12.0
+
+let microphone =
+  make ~name:"microphone front-end" ~modality:Acoustic ~sample_energy_uj:0.05 ~settle_ms:5.0
+    ~standby_nw:500.0 ~max_sample_rate_hz:48000.0 ~bits_per_sample:16.0
+
+let pir =
+  make ~name:"PIR presence detector" ~modality:Passive_infrared ~sample_energy_uj:0.1
+    ~settle_ms:100.0 ~standby_nw:1000.0 ~max_sample_rate_hz:10.0 ~bits_per_sample:1.0
+
+let camera_qcif =
+  make ~name:"QCIF image sensor" ~modality:Image ~sample_energy_uj:300.0 ~settle_ms:30.0
+    ~standby_nw:10000.0 ~max_sample_rate_hz:15.0 ~bits_per_sample:(176.0 *. 144.0 *. 8.0)
+
+let catalogue = [ temperature; light; accelerometer; microphone; pir; camera_qcif ]
+
+(** [average_power sensor rate] — standby floor plus per-sample energy at
+    [rate] samples/s (clamped check against the sensor's maximum). *)
+let average_power sensor rate =
+  let r = Frequency.to_hertz rate in
+  if r < 0.0 then invalid_arg "Sensor.average_power: negative rate";
+  if r > Frequency.to_hertz sensor.max_sample_rate *. (1.0 +. 1e-9) then
+    invalid_arg "Sensor.average_power: rate above sensor maximum";
+  Power.add sensor.standby (Power.watts (r *. Energy.to_joules sensor.sample_energy))
+
+(** [information_rate sensor rate] — bits/s produced at [rate] samples/s. *)
+let information_rate sensor rate =
+  Data_rate.bits_per_second (Frequency.to_hertz rate *. sensor.bits_per_sample)

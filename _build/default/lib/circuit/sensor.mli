@@ -1,0 +1,43 @@
+(** Transducer models — the contextual-awareness inputs of the keynote. *)
+
+open Amb_units
+
+type modality = Temperature | Light | Acceleration | Acoustic | Passive_infrared | Image
+
+val modality_name : modality -> string
+
+type t = {
+  name : string;
+  modality : modality;
+  sample_energy : Energy.t;  (** transducer + conditioning energy per sample *)
+  settle_time : Time_span.t;  (** warm-up before a valid sample *)
+  standby : Power.t;
+  max_sample_rate : Frequency.t;
+  bits_per_sample : float;
+}
+
+val make :
+  name:string ->
+  modality:modality ->
+  sample_energy_uj:float ->
+  settle_ms:float ->
+  standby_nw:float ->
+  max_sample_rate_hz:float ->
+  bits_per_sample:float ->
+  t
+
+val temperature : t
+val light : t
+val accelerometer : t
+val microphone : t
+val pir : t
+val camera_qcif : t
+val catalogue : t list
+
+val average_power : t -> Frequency.t -> Power.t
+(** Standby floor plus per-sample energy at a rate; raises
+    [Invalid_argument] for negative rates or rates above the sensor's
+    maximum. *)
+
+val information_rate : t -> Frequency.t -> Data_rate.t
+(** Bits/s produced at a sample rate. *)

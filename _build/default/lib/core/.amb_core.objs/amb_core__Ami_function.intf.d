@@ -1,0 +1,1 @@
+lib/core/ami_function.mli: Amb_units Amb_workload Data_rate Device_class Energy Frequency Power Scenario

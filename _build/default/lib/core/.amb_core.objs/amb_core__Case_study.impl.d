@@ -1,0 +1,1 @@
+lib/core/case_study.ml: Buffer Device_class Experiments List Printf Report String

@@ -1,0 +1,1 @@
+lib/core/challenge.ml: Amb_circuit Amb_tech Amb_units Ami_function Device_class Float Frequency List Power Printf Process_node Processor Report Scaling Time_span

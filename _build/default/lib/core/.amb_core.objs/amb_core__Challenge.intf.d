@@ -1,0 +1,1 @@
+lib/core/challenge.mli: Amb_circuit Amb_units Ami_function Device_class Power Processor Report Time_span

@@ -1,0 +1,1 @@
+lib/core/design_space.mli: Amb_energy Amb_node Amb_units Device_class Harvester Node_model Power Report Storage Time_span

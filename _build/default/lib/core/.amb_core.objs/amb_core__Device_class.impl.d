@@ -1,0 +1,1 @@
+lib/core/device_class.ml: Amb_units Float Format Power Stdlib Time_span

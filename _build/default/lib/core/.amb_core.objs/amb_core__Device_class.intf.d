@@ -1,0 +1,1 @@
+lib/core/device_class.mli: Amb_units Format Power Time_span

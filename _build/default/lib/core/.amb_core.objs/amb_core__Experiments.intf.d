@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Amb_tech Mapping Process_node Report Soc

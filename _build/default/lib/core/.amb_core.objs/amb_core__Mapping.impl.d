@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Amb_circuit Amb_energy Amb_node Amb_units Ami_function Battery Data_rate Device_class Energy Float Frequency List Power Processor Radio_frontend Report Stdlib String Supply

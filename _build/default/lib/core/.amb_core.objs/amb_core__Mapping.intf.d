@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Amb_energy Amb_node Amb_units Ami_function Data_rate Device_class Energy Frequency Power Report

@@ -1,0 +1,1 @@
+lib/core/power_information.ml: Adc Amb_circuit Amb_units Data_rate Device_class Display Float Frequency List Power Printf Processor Radio_frontend Report Sensor

@@ -1,0 +1,1 @@
+lib/core/power_information.mli: Adc Amb_circuit Amb_units Data_rate Device_class Display Power Processor Radio_frontend Report Sensor

@@ -1,0 +1,1 @@
+lib/core/report.ml: Amb_units Array Buffer Float List Printf Stdlib String

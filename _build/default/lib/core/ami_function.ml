@@ -1,0 +1,71 @@
+(** Ambient-intelligence functions and their resource demands.
+
+    "Ambient intelligent functions are realized by a network of these
+    devices."  A function is a demand vector — sustained computation,
+    communication, sensing and interface activity — that the mapping layer
+    places onto nodes.  Demands derive from the workload scenarios. *)
+
+open Amb_units
+open Amb_workload
+
+type t = {
+  name : string;
+  scenario : Scenario.t;
+  needs_sensing : bool;
+  needs_display : bool;
+  energy_per_op : Energy.t;  (** efficiency assumed when estimating power *)
+  energy_per_bit : Energy.t;  (** communication efficiency assumed *)
+}
+
+let make ?(needs_sensing = false) ?(needs_display = false)
+    ?(energy_per_op = Energy.picojoules 500.0) ?(energy_per_bit = Energy.nanojoules 200.0)
+    ~scenario () =
+  { name = scenario.Scenario.name; scenario; needs_sensing; needs_display; energy_per_op;
+    energy_per_bit }
+
+(** [average_compute f] — long-run ops/s demand. *)
+let average_compute f = Scenario.average_compute f.scenario
+
+(** [average_comm f] — long-run bits/s demand. *)
+let average_comm f = Scenario.average_comm f.scenario
+
+(** [estimated_power f] — first-order average power of hosting [f]:
+    compute demand at [energy_per_op] plus traffic at [energy_per_bit]. *)
+let estimated_power f =
+  let compute =
+    Frequency.to_hertz (average_compute f) *. Energy.to_joules f.energy_per_op
+  in
+  let comm = Data_rate.to_bits_per_second (average_comm f) *. Energy.to_joules f.energy_per_bit in
+  Power.watts (compute +. comm)
+
+(** [minimum_class f] — the least power-hungry device class whose average
+    budget covers the function's estimated power. *)
+let minimum_class f =
+  let p = estimated_power f in
+  let fits cls = Power.le p (Device_class.average_budget cls) in
+  match List.filter fits Device_class.all with
+  | cls :: _ -> cls
+  | [] -> Device_class.Watt
+
+(* The standard function set of an ambient room, one per scenario. *)
+let environmental_sensing = make ~scenario:Scenario.environmental_sensing ~needs_sensing:true ()
+let presence_detection = make ~scenario:Scenario.presence_detection ~needs_sensing:true ()
+
+let voice_interface =
+  make ~scenario:Scenario.voice_interface ~needs_sensing:true
+    ~energy_per_op:(Energy.picojoules 300.0) ()
+
+let audio_playback =
+  make ~scenario:Scenario.audio_playback ~energy_per_op:(Energy.picojoules 300.0) ()
+
+let video_streaming =
+  make ~scenario:Scenario.video_streaming ~needs_display:true
+    ~energy_per_op:(Energy.picojoules 400.0) ~energy_per_bit:(Energy.nanojoules 50.0) ()
+
+let media_server =
+  make ~scenario:Scenario.media_server ~energy_per_op:(Energy.picojoules 400.0)
+    ~energy_per_bit:(Energy.nanojoules 50.0) ()
+
+let catalogue =
+  [ environmental_sensing; presence_detection; voice_interface; audio_playback; video_streaming;
+    media_server ]

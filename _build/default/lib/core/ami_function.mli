@@ -1,0 +1,44 @@
+(** Ambient-intelligence functions and their resource demands: the demand
+    vectors the mapping layer places onto nodes, derived from the workload
+    scenarios. *)
+
+open Amb_units
+open Amb_workload
+
+type t = {
+  name : string;
+  scenario : Scenario.t;
+  needs_sensing : bool;
+  needs_display : bool;
+  energy_per_op : Energy.t;  (** efficiency assumed when estimating power *)
+  energy_per_bit : Energy.t;  (** communication efficiency assumed *)
+}
+
+val make :
+  ?needs_sensing:bool ->
+  ?needs_display:bool ->
+  ?energy_per_op:Energy.t ->
+  ?energy_per_bit:Energy.t ->
+  scenario:Scenario.t ->
+  unit ->
+  t
+
+val average_compute : t -> Frequency.t
+(** Long-run ops/s demand. *)
+
+val average_comm : t -> Data_rate.t
+
+val estimated_power : t -> Power.t
+(** First-order average power of hosting the function. *)
+
+val minimum_class : t -> Device_class.t
+(** The least power-hungry class whose average budget covers the
+    function. *)
+
+val environmental_sensing : t
+val presence_detection : t
+val voice_interface : t
+val audio_playback : t
+val video_streaming : t
+val media_server : t
+val catalogue : t list

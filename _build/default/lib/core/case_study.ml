@@ -1,0 +1,86 @@
+(** The three case studies of the keynote, reconstructed.
+
+    Each case study is a narrative plus the experiments that quantify it
+    (see DESIGN.md for the substitution rationale).  The CLI's
+    [case-study] subcommand and the examples print these. *)
+
+type t = {
+  id : string;
+  title : string;
+  device_class : Device_class.t;
+  challenge : string;
+  experiment_ids : string list;
+  narrative : string list;
+}
+
+let cs_a =
+  {
+    id = "A";
+    title = "autonomous sensor node (microWatt)";
+    device_class = Device_class.Microwatt;
+    challenge = Device_class.design_challenge Device_class.Microwatt;
+    experiment_ids = [ "E3"; "E4"; "E8"; "E9" ];
+    narrative =
+      [ "A wall-switch-sized node senses, processes and reports over radio,";
+        "powered by a coin cell plus a 5 cm^2 indoor solar cell.";
+        "The budget table (E3) shows the radio dominating the cycle energy;";
+        "the lifetime curve (E4) locates the autonomy boundary, and the MAC";
+        "analysis (E9) shows how listening cost, not transmission, limits it.";
+      ];
+  }
+
+let cs_b =
+  {
+    id = "B";
+    title = "personal audio/voice device (milliWatt)";
+    device_class = Device_class.Milliwatt;
+    challenge = Device_class.design_challenge Device_class.Milliwatt;
+    experiment_ids = [ "E5"; "E6" ];
+    narrative =
+      [ "A wearable device runs audio decode and a speech front-end on a";
+        "rechargeable battery.  The gap analysis (E5) measures how far the";
+        "required MOPS/mW exceeds what contemporary cores deliver; voltage";
+        "scaling (E6) recovers part of the gap when utilisation is low.";
+      ];
+  }
+
+let cs_c =
+  {
+    id = "C";
+    title = "static media node (Watt)";
+    device_class = Device_class.Watt;
+    challenge = Device_class.design_challenge Device_class.Watt;
+    experiment_ids = [ "E7" ];
+    narrative =
+      [ "A mains-powered media hub decodes and distributes video.  Re-";
+        "targeting the same SoC across process nodes (E7) shows dynamic";
+        "power falling while leakage and memory traffic take over the";
+        "budget - the post-Dennard design challenge.";
+      ];
+  }
+
+let all = [ cs_a; cs_b; cs_c ]
+
+let find id =
+  let target = String.uppercase_ascii id in
+  List.find_opt (fun cs -> cs.id = target) all
+
+(** [reports cs] — build the case study's experiment reports. *)
+let reports cs =
+  List.filter_map
+    (fun eid ->
+      match Experiments.find eid with
+      | Some (_, _, build) -> Some (build ())
+      | None -> None)
+    cs.experiment_ids
+
+(** [render cs] — narrative followed by the reports. *)
+let render cs =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Printf.sprintf "# Case study %s: %s\n  class: %s\n  challenge: %s\n\n" cs.id cs.title
+       (Device_class.name cs.device_class) cs.challenge);
+  List.iter (fun line -> Buffer.add_string buffer ("  " ^ line ^ "\n")) cs.narrative;
+  Buffer.add_char buffer '\n';
+  List.iter (fun report -> Buffer.add_string buffer (Report.to_string report ^ "\n")) (reports cs);
+  Buffer.contents buffer

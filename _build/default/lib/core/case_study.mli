@@ -1,0 +1,32 @@
+(** The three case studies of the keynote, reconstructed: a narrative plus
+    the experiments that quantify it (see DESIGN.md for the substitution
+    rationale). *)
+
+type t = {
+  id : string;
+  title : string;
+  device_class : Device_class.t;
+  challenge : string;
+  experiment_ids : string list;
+  narrative : string list;
+}
+
+val cs_a : t
+(** Autonomous sensor node (microWatt). *)
+
+val cs_b : t
+(** Personal audio/voice device (milliWatt). *)
+
+val cs_c : t
+(** Static media node (Watt). *)
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by id (A, B, C). *)
+
+val reports : t -> Report.t list
+(** Build the case study's experiment reports. *)
+
+val render : t -> string
+(** Narrative followed by the reports. *)

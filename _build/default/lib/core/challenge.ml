@@ -1,0 +1,114 @@
+(** Design-challenge gap analysis.
+
+    The keynote's quantitative argument: ambient functions demand an
+    energy efficiency (operations per joule, bits per joule) that the
+    contemporary silicon of 2003 does not deliver; technology scaling
+    closes the gap only after N more generations, and architectural
+    innovation must supply the rest.  This module computes the gaps and
+    the scaling-only closing years — experiment E5. *)
+
+open Amb_units
+open Amb_tech
+open Amb_circuit
+
+type gap = {
+  subject : string;
+  required_ops_per_joule : float;
+  available_ops_per_joule : float;
+  ratio : float;  (** required / available; > 1 means a gap *)
+  closing_time : Time_span.t;  (** scaling-only time to close the gap *)
+  closing_year : int;  (** base year + closing time *)
+}
+
+(** [doubling_period ()] — efficiency-doubling period fitted on the
+    process-node catalogue (Gene's-law analogue). *)
+let doubling_period () = Scaling.efficiency_doubling_period Process_node.catalogue
+
+(** [compute_gap ~subject ~required ~available ~base_year] — the gap
+    record for a required vs available ops/J pair. *)
+let compute_gap ~subject ~required ~available ~base_year =
+  if required <= 0.0 || available <= 0.0 then invalid_arg "Challenge.compute_gap: non-positive efficiency";
+  let ratio = required /. available in
+  let closing_time = Scaling.years_to_close ~doubling_period:(doubling_period ()) ~gap:ratio in
+  let closing_year =
+    if Time_span.is_forever closing_time then max_int
+    else base_year + int_of_float (Float.ceil (Time_span.to_years closing_time))
+  in
+  { subject; required_ops_per_joule = required; available_ops_per_joule = available; ratio;
+    closing_time; closing_year }
+
+(** [function_gap f ~processor ~budget ~base_year] — the efficiency a
+    function demands of a core limited to [budget], against what
+    [processor] delivers today. *)
+let function_gap (f : Ami_function.t) ~processor ~budget ~base_year =
+  let demand_ops = Frequency.to_hertz (Ami_function.average_compute f) in
+  let budget_w = Power.to_watts budget in
+  if budget_w <= 0.0 then invalid_arg "Challenge.function_gap: non-positive budget";
+  let required = demand_ops /. budget_w in
+  let available = Processor.ops_per_joule processor in
+  compute_gap ~subject:f.Ami_function.name ~required ~available ~base_year
+
+let core_for cls =
+  match cls with
+  | Device_class.Microwatt -> Processor.mcu_16bit
+  | Device_class.Milliwatt -> Processor.arm7_class
+  | Device_class.Watt -> Processor.media_processor
+
+let class_below = function
+  | Device_class.Watt -> Some Device_class.Milliwatt
+  | Device_class.Milliwatt -> Some Device_class.Microwatt
+  | Device_class.Microwatt -> None
+
+(* Compute gets half the class budget; the other half goes to radio and
+   interfaces. *)
+let compute_budget cls = Power.scale 0.5 (Device_class.average_budget cls)
+
+(** [standard_gaps ()] — the keynote-flavoured gap set.  For each ambient
+    function, two rows: hosted on its minimum adequate device class
+    (today's placement), and pushed one class *down* — the ambient-
+    intelligence ambition (video on the personal device, speech on the
+    autonomous node) whose efficiency gap is the paper's argument. *)
+let standard_gaps ?(base_year = 2003) () =
+  let rows f =
+    let cls = Ami_function.minimum_class f in
+    let in_class =
+      let g = function_gap f ~processor:(core_for cls) ~budget:(compute_budget cls) ~base_year in
+      { g with subject = Printf.sprintf "%s [%s]" g.subject (Device_class.short_name cls) }
+    in
+    match class_below cls with
+    | None -> [ in_class ]
+    | Some lower ->
+      let ambition =
+        let g =
+          function_gap f ~processor:(core_for lower) ~budget:(compute_budget lower) ~base_year
+        in
+        { g with
+          subject = Printf.sprintf "%s [-> %s]" g.subject (Device_class.short_name lower) }
+      in
+      [ in_class; ambition ]
+  in
+  List.concat_map rows Ami_function.catalogue
+
+(** [to_report gaps] — the E5 table. *)
+let to_report gaps =
+  let row g =
+    [ g.subject;
+      Printf.sprintf "%.3g" g.required_ops_per_joule;
+      Printf.sprintf "%.3g" g.available_ops_per_joule;
+      Printf.sprintf "%.2fx" g.ratio;
+      (if Time_span.is_forever g.closing_time then "never (scaling alone)"
+       else if g.ratio <= 1.0 then "closed"
+       else Printf.sprintf "%.1f years" (Time_span.to_years g.closing_time));
+      (if g.closing_year = max_int then "-"
+       else if g.ratio <= 1.0 then "now"
+       else string_of_int g.closing_year);
+    ]
+  in
+  Report.make ~title:"E5: energy-efficiency gaps and scaling-only closing years"
+    ~header:[ "function"; "required ops/J"; "available ops/J"; "gap"; "time to close"; "year" ]
+    (List.map row gaps)
+    ~notes:
+      [ Printf.sprintf "efficiency doubling period fitted on the node catalogue: %s"
+          (Time_span.to_human_string (doubling_period ()));
+        "gaps > 1 must be closed by architecture (parallelism, accelerators), not scaling alone";
+      ]

@@ -1,0 +1,40 @@
+(** Design-challenge gap analysis: the efficiency each ambient function
+    demands versus what contemporary silicon delivers, and the
+    scaling-only closing years (experiment E5). *)
+
+open Amb_units
+open Amb_circuit
+
+type gap = {
+  subject : string;
+  required_ops_per_joule : float;
+  available_ops_per_joule : float;
+  ratio : float;  (** required / available; > 1 means a gap *)
+  closing_time : Time_span.t;  (** scaling-only time to close the gap *)
+  closing_year : int;  (** base year + closing time; [max_int] if never *)
+}
+
+val doubling_period : unit -> Time_span.t
+(** Efficiency-doubling period fitted on the process-node catalogue. *)
+
+val compute_gap : subject:string -> required:float -> available:float -> base_year:int -> gap
+(** Raises [Invalid_argument] on non-positive efficiencies. *)
+
+val function_gap : Ami_function.t -> processor:Processor.t -> budget:Power.t -> base_year:int -> gap
+(** The efficiency a function demands of a core limited to [budget],
+    against what [processor] delivers. *)
+
+val core_for : Device_class.t -> Processor.t
+(** The era's best-fitting core per class. *)
+
+val class_below : Device_class.t -> Device_class.t option
+
+val compute_budget : Device_class.t -> Power.t
+(** Compute's share (half) of the class's average budget. *)
+
+val standard_gaps : ?base_year:int -> unit -> gap list
+(** The keynote-flavoured gap set: each function hosted on its minimum
+    class (closed today) and pushed one class down — the ambition whose
+    gap is the paper's argument. *)
+
+val to_report : gap list -> Report.t

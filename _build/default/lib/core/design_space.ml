@@ -1,0 +1,189 @@
+(** Design-space exploration for ambient-intelligence nodes.
+
+    The keynote's title question — what must the IC designer solve? — made
+    executable: enumerate the component catalogues (processor x radio x
+    battery x harvester x buffer) for a target mission, check each
+    combination's constraints, and rank the feasible designs.  The
+    constraint set encodes exactly the challenges the device classes name:
+    average-power budget, peak-current delivery, unattended lifetime, and
+    energy autonomy (experiment E22). *)
+
+open Amb_units
+open Amb_circuit
+open Amb_energy
+open Amb_node
+
+(** What the node must do and for how long. *)
+type mission = {
+  mission_name : string;
+  activation : Node_model.activation;
+  rate : float;  (** activations per second *)
+  environment : Harvester.environment;
+  lifetime_target : Time_span.t;  (** required unattended operation *)
+  class_limit : Device_class.t;  (** the device class the node must stay in *)
+}
+
+let mission ?(environment = Harvester.office_indoor) ~name ~activation ~rate ~lifetime_target
+    ~class_limit () =
+  if rate <= 0.0 then invalid_arg "Design_space.mission: non-positive rate";
+  { mission_name = name; activation; rate; environment; lifetime_target; class_limit }
+
+(** The keynote's standing mission: an autonomous sensor reporting every
+    30 s for five years minimum. *)
+let autonomous_sensing =
+  mission ~name:"autonomous sensing"
+    ~activation:Reference_designs.microwatt_activation ~rate:(1.0 /. 30.0)
+    ~lifetime_target:(Time_span.years 5.0) ~class_limit:Device_class.Microwatt ()
+
+type candidate = {
+  label : string;
+  node : Node_model.t;
+  buffer : Storage.t option;  (** burst buffer in front of the battery *)
+}
+
+type verdict = {
+  candidate : candidate;
+  average_power : Power.t;
+  lifetime : Time_span.t;
+  autonomous : bool;
+  rate_ok : bool;  (** the activation fits within a duty cycle of 1 *)
+  class_ok : bool;
+  peak_ok : bool;  (** battery current rating, or buffered bursts *)
+  lifetime_ok : bool;
+  feasible : bool;
+}
+
+(* Candidate axes: the low-power corners of each catalogue. *)
+let processor_options = [ Processor.mcu_8bit; Processor.mcu_16bit; Processor.arm7_class ]
+let radio_options = [ Radio_frontend.low_power_uhf; Radio_frontend.zigbee_class;
+                      Radio_frontend.personal_area ]
+
+let supply_options environment =
+  [ ("CR2032", Supply.battery_only ~name:"CR2032" Battery.cr2032, None);
+    ( "CR2032+buffer",
+      Supply.battery_only ~name:"CR2032" Battery.cr2032,
+      Some Storage.supercap_100mf );
+    ("2xAA", Supply.battery_only ~name:"2xAA" Battery.two_aa_alkaline, None);
+    ( "PV5cm2+CR2032",
+      Supply.harvester_and_battery ~name:"PV+CR2032" Harvester.small_solar_cell environment
+        Battery.cr2032,
+      Some Storage.supercap_100mf );
+    ( "vibration+CR2032",
+      Supply.harvester_and_battery ~name:"vib+CR2032" Harvester.vibration_scavenger environment
+        Battery.cr2032,
+      Some Storage.supercap_100mf );
+  ]
+
+(** [enumerate m] — all candidate nodes for mission [m]. *)
+let enumerate m =
+  List.concat_map
+    (fun processor ->
+      List.concat_map
+        (fun radio ->
+          List.map
+            (fun (supply_label, supply, buffer) ->
+              let label =
+                Printf.sprintf "%s / %s / %s"
+                  processor.Processor.name radio.Amb_circuit.Radio_frontend.name supply_label
+              in
+              (* The node's sleep floor is the MCU+sensor retention floor
+                 plus the radio's own sleep draw — the term that
+                 disqualifies power-hungry-standby radios from the uW
+                 class. *)
+              let sleep_power =
+                Power.add (Power.microwatts 4.0) radio.Amb_circuit.Radio_frontend.p_sleep
+              in
+              let node =
+                Node_model.make ~name:label ~processor ~radio
+                  ~sensors:[ Sensor.temperature; Sensor.light ] ~adc:Adc.sensor_adc ~supply
+                  ~sleep_power ~tx_dbm:0.0 ()
+              in
+              { label; node; buffer })
+            (supply_options m.environment))
+        radio_options)
+    processor_options
+
+(* Peak delivery: either the battery's continuous rating covers the
+   burst, or a buffer holds (many) bursts and the average refill keeps
+   up. *)
+let peak_feasible m candidate =
+  if Node_model.supports_peak candidate.node then true
+  else
+    match candidate.buffer with
+    | None -> false
+    | Some cap ->
+      let burst = Node_model.cycle_energy candidate.node m.activation in
+      Storage.burst_capacity cap burst >= 1.0
+
+(** [evaluate m candidate] — check every mission constraint.  A design
+    whose activation cannot physically sustain the mission rate (duty
+    cycle above 1) is evaluated at its saturated rate and marked
+    infeasible rather than rejected with an exception. *)
+let evaluate m candidate =
+  let profile = Node_model.duty_profile candidate.node m.activation in
+  let duration = Time_span.to_seconds profile.Duty_cycle.cycle_duration in
+  let max_physical_rate = if duration <= 0.0 then Float.infinity else 1.0 /. duration in
+  let rate_ok = m.rate <= max_physical_rate in
+  let effective_rate = Float.min m.rate max_physical_rate in
+  let average_power = Duty_cycle.average_power profile ~rate:effective_rate in
+  let lifetime = Supply.lifetime candidate.node.Node_model.supply average_power in
+  let autonomous = Supply.is_autonomous candidate.node.Node_model.supply average_power in
+  let class_ok = Device_class.compare (Device_class.of_power average_power) m.class_limit <= 0 in
+  let peak_ok = peak_feasible m candidate in
+  let lifetime_ok = Time_span.ge lifetime m.lifetime_target in
+  {
+    candidate;
+    average_power;
+    lifetime;
+    autonomous;
+    rate_ok;
+    class_ok;
+    peak_ok;
+    lifetime_ok;
+    feasible = rate_ok && class_ok && peak_ok && lifetime_ok;
+  }
+
+(** [explore m] — evaluate the whole space; feasible designs first,
+    lowest average power first within each group. *)
+let explore m =
+  let verdicts = List.map (evaluate m) (enumerate m) in
+  List.sort
+    (fun a b ->
+      match (b.feasible, a.feasible) with
+      | true, false -> 1
+      | false, true -> -1
+      | _ -> Power.compare a.average_power b.average_power)
+    verdicts
+
+(** [best m] — the cheapest feasible design, if any. *)
+let best m = List.find_opt (fun v -> v.feasible) (explore m)
+
+(** [to_report m] — the E22 table: the whole (pruned) design space with
+    per-constraint verdicts. *)
+let to_report ?(max_rows = 14) m =
+  let verdicts = explore m in
+  let shown = List.filteri (fun i _ -> i < max_rows) verdicts in
+  let mark ok = if ok then "ok" else "X" in
+  let row v =
+    [ v.candidate.label;
+      Report.cell_power v.average_power;
+      Time_span.to_human_string v.lifetime;
+      (if v.autonomous then "yes" else "no");
+      mark v.class_ok;
+      mark v.peak_ok;
+      mark v.lifetime_ok;
+      (if v.feasible then "FEASIBLE" else "-");
+    ]
+  in
+  let feasible_count = List.length (List.filter (fun v -> v.feasible) verdicts) in
+  Report.make
+    ~title:
+      (Printf.sprintf "E22: design space for '%s' (%d candidates, %d feasible)" m.mission_name
+         (List.length verdicts) feasible_count)
+    ~header:[ "design"; "avg power"; "lifetime"; "auto"; "class"; "peak"; "5y"; "verdict" ]
+    (List.map row shown)
+    ~notes:
+      [ "constraints: class band, peak-current delivery (battery rating or burst buffer), lifetime target";
+        Printf.sprintf "showing the best %d of %d candidates" (List.length shown)
+          (List.length verdicts);
+      ]

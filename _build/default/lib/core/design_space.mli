@@ -1,0 +1,66 @@
+(** Design-space exploration for ambient-intelligence nodes: enumerate the
+    component catalogues for a target mission, check each combination's
+    constraints (class band, peak-current delivery, lifetime, autonomy)
+    and rank the feasible designs (experiment E22). *)
+
+open Amb_units
+open Amb_energy
+open Amb_node
+
+(** What the node must do and for how long. *)
+type mission = {
+  mission_name : string;
+  activation : Node_model.activation;
+  rate : float;  (** activations per second *)
+  environment : Harvester.environment;
+  lifetime_target : Time_span.t;  (** required unattended operation *)
+  class_limit : Device_class.t;  (** the device class the node must stay in *)
+}
+
+val mission :
+  ?environment:Harvester.environment ->
+  name:string ->
+  activation:Node_model.activation ->
+  rate:float ->
+  lifetime_target:Time_span.t ->
+  class_limit:Device_class.t ->
+  unit ->
+  mission
+(** Raises [Invalid_argument] on non-positive rates. *)
+
+val autonomous_sensing : mission
+(** The keynote's standing mission: one report per 30 s, five unattended
+    years, microwatt class. *)
+
+type candidate = {
+  label : string;
+  node : Node_model.t;
+  buffer : Storage.t option;  (** burst buffer in front of the battery *)
+}
+
+type verdict = {
+  candidate : candidate;
+  average_power : Power.t;
+  lifetime : Time_span.t;
+  autonomous : bool;
+  rate_ok : bool;  (** the activation fits within a duty cycle of 1 *)
+  class_ok : bool;
+  peak_ok : bool;  (** battery current rating, or buffered bursts *)
+  lifetime_ok : bool;
+  feasible : bool;
+}
+
+val enumerate : mission -> candidate list
+(** All candidate nodes (processor x radio x supply/buffer axes). *)
+
+val evaluate : mission -> candidate -> verdict
+
+val explore : mission -> verdict list
+(** Whole space, feasible designs first, lowest average power first
+    within each group. *)
+
+val best : mission -> verdict option
+(** The cheapest feasible design, if any. *)
+
+val to_report : ?max_rows:int -> mission -> Report.t
+(** The E22 table (default: best 14 rows). *)

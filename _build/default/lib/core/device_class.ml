@@ -1,0 +1,83 @@
+(** The three device classes of the ambient-intelligence keynote.
+
+    "Based on the differences in power consumption, three types of devices
+    are introduced: the autonomous or microWatt-node, the personal or
+    milliWatt-node and the static or Watt-node."  The class boundaries are
+    the power decades: below 1 mW average, a device can live on scavenged
+    energy; below ~1 W it can live on a pocketable battery; above that it
+    needs the mains. *)
+
+open Amb_units
+
+type t =
+  | Microwatt  (** autonomous: scavenging / coin cell, years unattended *)
+  | Milliwatt  (** personal: rechargeable battery, days between charges *)
+  | Watt  (** static: mains powered, thermally limited *)
+
+let all = [ Microwatt; Milliwatt; Watt ]
+
+let name = function
+  | Microwatt -> "microWatt-node (autonomous)"
+  | Milliwatt -> "milliWatt-node (personal)"
+  | Watt -> "Watt-node (static)"
+
+let short_name = function Microwatt -> "uW" | Milliwatt -> "mW" | Watt -> "W"
+
+(** [band cls] — (inclusive lower, exclusive upper) average-power band. *)
+let band = function
+  | Microwatt -> (Power.zero, Power.milliwatts 1.0)
+  | Milliwatt -> (Power.milliwatts 1.0, Power.watts 1.0)
+  | Watt -> (Power.watts 1.0, Power.watts Float.infinity)
+
+(** [of_power p] — classify an average power draw. *)
+let of_power p =
+  if Power.lt p (Power.milliwatts 1.0) then Microwatt
+  else if Power.lt p (Power.watts 1.0) then Milliwatt
+  else Watt
+
+(** [average_budget cls] — design-target average power for the class. *)
+let average_budget = function
+  | Microwatt -> Power.microwatts 100.0
+  | Milliwatt -> Power.milliwatts 100.0
+  | Watt -> Power.watts 10.0
+
+(** [peak_budget cls] — tolerable burst power. *)
+let peak_budget = function
+  | Microwatt -> Power.milliwatts 10.0
+  | Milliwatt -> Power.watts 1.0
+  | Watt -> Power.watts 60.0
+
+(** [energy_source cls] — the supply archetype of the class. *)
+let energy_source = function
+  | Microwatt -> "energy scavenging + coin cell"
+  | Milliwatt -> "rechargeable battery"
+  | Watt -> "mains"
+
+(** [lifetime_target cls] — unattended-operation requirement; [None] for
+    the mains-powered class. *)
+let lifetime_target = function
+  | Microwatt -> Some (Time_span.years 5.0)
+  | Milliwatt -> Some (Time_span.days 7.0)
+  | Watt -> None
+
+(** [typical_functions cls]. *)
+let typical_functions = function
+  | Microwatt -> [ "context sensing"; "presence detection"; "identification (tags)" ]
+  | Milliwatt -> [ "personal audio"; "voice interface"; "wearable computing" ]
+  | Watt -> [ "video processing"; "media serving"; "ambient displays" ]
+
+(** [design_challenge cls] — the IC challenge the keynote attaches to the
+    class. *)
+let design_challenge = function
+  | Microwatt -> "uW standby power, radio start-up energy, energy scavenging"
+  | Milliwatt -> "energy-efficient signal processing, voltage scaling"
+  | Watt -> "power density, leakage, memory bandwidth"
+
+(** [compatible cls p] — does average power [p] fit the class band? *)
+let compatible cls p = of_power p = cls || Power.lt p (fst (band cls))
+
+let compare a b =
+  let rank = function Microwatt -> 0 | Milliwatt -> 1 | Watt -> 2 in
+  Stdlib.compare (rank a) (rank b)
+
+let pp fmt cls = Format.pp_print_string fmt (name cls)

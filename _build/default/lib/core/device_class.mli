@@ -1,0 +1,40 @@
+(** The three device classes of the keynote: "the autonomous or
+    microWatt-node, the personal or milliWatt-node and the static or
+    Watt-node."  Class boundaries are the power decades: below 1 mW
+    average a device can live on scavenged energy; below ~1 W on a
+    pocketable battery; above that it needs the mains. *)
+
+open Amb_units
+
+type t =
+  | Microwatt  (** autonomous: scavenging / coin cell, years unattended *)
+  | Milliwatt  (** personal: rechargeable battery, days between charges *)
+  | Watt  (** static: mains powered, thermally limited *)
+
+val all : t list
+val name : t -> string
+val short_name : t -> string
+
+val band : t -> Power.t * Power.t
+(** (inclusive lower, exclusive upper) average-power band. *)
+
+val of_power : Power.t -> t
+(** Classify an average power draw. *)
+
+val average_budget : t -> Power.t
+(** Design-target average power for the class. *)
+
+val peak_budget : t -> Power.t
+val energy_source : t -> string
+
+val lifetime_target : t -> Time_span.t option
+(** Unattended-operation requirement; [None] for the mains class. *)
+
+val typical_functions : t -> string list
+
+val design_challenge : t -> string
+(** The IC challenge the keynote attaches to the class. *)
+
+val compatible : t -> Power.t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,839 @@
+(** The reconstructed experiment suite — one builder per table/figure.
+
+    Each experiment E1..E12 (plus ablations A1..A3) regenerates one
+    paper-shaped artifact as a {!Report.t}.  DESIGN.md maps each id to the
+    modules it exercises; EXPERIMENTS.md records expected-shape vs
+    measured.  The bench harness and the CLI both dispatch through
+    {!all}. *)
+
+open Amb_units
+open Amb_tech
+open Amb_energy
+open Amb_circuit
+open Amb_radio
+open Amb_node
+
+(* ------------------------------------------------------------------ *)
+(* E1 — power-information graph                                        *)
+
+let e1 () = Power_information.to_report (Power_information.catalogue ())
+
+(* ------------------------------------------------------------------ *)
+(* E2 — the three device classes                                       *)
+
+let e2 () =
+  let row cls =
+    let lo, hi = Device_class.band cls in
+    [ Device_class.name cls;
+      Printf.sprintf "%s .. %s" (Power.to_string lo) (Power.to_string hi);
+      Report.cell_power (Device_class.average_budget cls);
+      Device_class.energy_source cls;
+      (match Device_class.lifetime_target cls with
+      | None -> "n/a (mains)"
+      | Some t -> Time_span.to_human_string t);
+      String.concat ", " (Device_class.typical_functions cls);
+    ]
+  in
+  Report.make ~title:"E2: the three device classes"
+    ~header:[ "class"; "power band"; "avg budget"; "energy source"; "lifetime target"; "functions" ]
+    (List.map row Device_class.all)
+    ~notes:[ "challenges: " ^ String.concat " | "
+               (List.map (fun c -> Device_class.short_name c ^ ": " ^ Device_class.design_challenge c)
+                  Device_class.all) ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — CS-A energy budget per activation                              *)
+
+let e3 () =
+  let node = Reference_designs.microwatt_node () in
+  let act = Reference_designs.microwatt_activation in
+  let b = Node_model.cycle_breakdown node act in
+  let total = Energy.to_joules b.Node_model.total in
+  let share e = if total <= 0.0 then 0.0 else Energy.to_joules e /. total in
+  let row name e = [ name; Report.cell_energy e; Report.cell_percent (share e) ] in
+  Report.make ~title:"E3: microwatt-node energy budget per sense-process-transmit cycle"
+    ~header:[ "subsystem"; "energy"; "share" ]
+    [ row "sensing" b.Node_model.sensing;
+      row "A/D conversion" b.Node_model.conversion;
+      row "computation" b.Node_model.computation;
+      row "communication (radio)" b.Node_model.communication;
+      row "total" b.Node_model.total;
+    ]
+    ~notes:
+      [ Printf.sprintf "radio start-up alone: %s"
+          (Energy.to_string (Radio_frontend.startup_energy node.Node_model.radio));
+        "communication dominates: the radio, not the MCU, sets the duty-cycle budget";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — CS-A lifetime vs activation rate (+ ablation A1)               *)
+
+let e4_rates = [ 1.0 /. 3600.0; 1.0 /. 600.0; 1.0 /. 60.0; 1.0 /. 10.0; 1.0; 5.0 ]
+
+let e4_core ~peukert () =
+  let env = Harvester.office_indoor in
+  let node = Reference_designs.microwatt_node ~environment:env () in
+  let act = Reference_designs.microwatt_activation in
+  let profile = Node_model.duty_profile node act in
+  let battery = if peukert then Battery.cr2032 else { Battery.cr2032 with Battery.peukert_exponent = 1.0 } in
+  let battery_supply = Supply.battery_only ~name:"CR2032 only" battery in
+  let harvest_supply = node.Node_model.supply in
+  let row rate =
+    let p = Duty_cycle.average_power profile ~rate in
+    let life_batt = Supply.lifetime battery_supply p in
+    let verdict = Lifetime.evaluate harvest_supply p in
+    [ Printf.sprintf "%.4g" rate;
+      Report.cell_power p;
+      Time_span.to_human_string life_batt;
+      Lifetime.verdict_to_string verdict;
+    ]
+  in
+  let autonomy =
+    match Duty_cycle.autonomy_rate profile harvest_supply with
+    | Some r when r < Float.infinity -> Printf.sprintf "%.3g activations/s" r
+    | Some _ -> "unlimited"
+    | None -> "none (sleep exceeds harvest)"
+  in
+  Report.make
+    ~title:
+      (Printf.sprintf "E4%s: microwatt-node lifetime vs activation rate"
+         (if peukert then "" else " (A1: Peukert off)"))
+    ~header:[ "rate (1/s)"; "avg power"; "CR2032 alone"; "PV + CR2032" ]
+    (List.map row e4_rates)
+    ~notes:
+      [ "PV cell: 5 cm^2 amorphous Si in office light (5 W/m^2)";
+        "autonomy boundary (harvester covers load) at " ^ autonomy;
+      ]
+
+let e4 () = e4_core ~peukert:true ()
+let a1 () = e4_core ~peukert:false ()
+
+(* ------------------------------------------------------------------ *)
+(* E5 — DSP efficiency gaps                                            *)
+
+let e5 () = Challenge.to_report (Challenge.standard_gaps ())
+
+(* ------------------------------------------------------------------ *)
+(* E6 — DVFS vs race-to-idle on the mW node                            *)
+
+let e6 () =
+  let p = Processor.arm7_class in
+  let capacity = Frequency.to_hertz (Processor.max_throughput p) in
+  let utilizations = [ 0.05; 0.1; 0.2; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
+  let row u =
+    let rate = Frequency.hertz (u *. capacity) in
+    match (Processor.race_to_idle_power p rate, Processor.dvfs_power p rate) with
+    | Some race, Some dvfs ->
+      let v =
+        match Processor.min_voltage_for p rate with
+        | Some v -> Printf.sprintf "%.2f V" (Voltage.to_volts v)
+        | None -> "-"
+      in
+      let saving = (Power.to_watts race -. Power.to_watts dvfs) /. Power.to_watts race in
+      [ Report.cell_percent u; v; Report.cell_power race; Report.cell_power dvfs;
+        Report.cell_percent saving ]
+    | _ -> [ Report.cell_percent u; "-"; "-"; "-"; "infeasible" ]
+  in
+  Report.make ~title:"E6: voltage scaling vs race-to-idle (ARM7-class core)"
+    ~header:[ "utilization"; "DVFS Vdd"; "race-to-idle"; "DVFS"; "saving" ]
+    (List.map row utilizations)
+    ~notes:[ "savings grow as utilization falls until leakage dominates" ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — W-node SoC across process nodes (+ ablation A2)                *)
+
+let media_soc node =
+  Soc.make ~name:"SD media SoC" ~node ~clock:(Frequency.megahertz 200.0)
+    ~logic_blocks:
+      [ Logic.block ~name:"video core" ~gates:2_000_000.0 ~activity:0.15;
+        Logic.block ~name:"audio+control" ~gates:500_000.0 ~activity:0.10;
+        Logic.block ~name:"peripherals" ~gates:300_000.0 ~activity:0.05;
+      ]
+    ~memories:
+      [ Memory.make ~name:"L1+buffers" ~kind:Memory.Sram ~bits:(2_000_000.0 *. 8.0) ~node;
+      ]
+    ~offchip_accesses_per_s:50.0e6
+
+let e7 () =
+  let row node =
+    let soc = media_soc node in
+    let b = Soc.breakdown soc in
+    let leak_frac =
+      Power.to_watts b.Soc.leakage /. Float.max 1e-30 (Power.to_watts b.Soc.total)
+    in
+    [ node.Process_node.name;
+      Report.cell_power b.Soc.dynamic;
+      Report.cell_power b.Soc.leakage;
+      Report.cell_power (Power.add b.Soc.onchip_memory b.Soc.offchip_memory);
+      Report.cell_power b.Soc.total;
+      Report.cell_percent leak_frac;
+      Printf.sprintf "%.2f W/cm^2" (Soc.power_density soc);
+    ]
+  in
+  Report.make ~title:"E7: media SoC power across process nodes (fixed 200 MHz architecture)"
+    ~header:[ "node"; "dynamic"; "leakage"; "memory"; "total"; "leak frac"; "density" ]
+    (List.map row Process_node.catalogue)
+    ~notes:[ "dynamic falls with scaling; leakage and memory traffic take over" ]
+
+let a2 () =
+  let base = Process_node.n130 in
+  let project regime = Scaling.project regime base ~to_nm:65.0 in
+  let row name node =
+    let soc = media_soc node in
+    let b = Soc.breakdown soc in
+    [ name; Report.cell_power b.Soc.dynamic; Report.cell_power b.Soc.leakage;
+      Report.cell_power b.Soc.total ]
+  in
+  Report.make ~title:"A2: 130->65 nm projection, ideal Dennard vs leakage-aware"
+    ~header:[ "projection"; "dynamic"; "leakage"; "total" ]
+    [ row "130 nm (base)" base;
+      row "65 nm Dennard" (project Scaling.Dennard);
+      row "65 nm leakage-aware" (project Scaling.Leakage_aware);
+      row "65 nm (catalogue)" Process_node.n65;
+    ]
+    ~notes:[ "ideal scaling predicts ~8x energy gain; leakage erodes most of it" ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — radio energy per delivered bit vs range and packet size        *)
+
+let e8 () =
+  let radio = Radio_frontend.low_power_uhf in
+  let link = Link_budget.make ~radio ~channel:Path_loss.indoor () in
+  let distances = [ 1.0; 3.0; 10.0; 30.0; 60.0; 100.0; 150.0; 250.0 ] in
+  let packets =
+    [ ("4 B reading", Packet.sensor_reading); ("32 B report", Packet.sensor_report);
+      ("1500 B frame", Packet.stream_frame) ]
+  in
+  let row d =
+    let cells =
+      List.map
+        (fun (_, p) ->
+          match
+            Link_budget.energy_per_delivered_bit link ~distance_m:d
+              ~packet_bits:(Packet.total_bits p)
+          with
+          | None -> "out of reach"
+          | Some e -> Energy.to_string e)
+        packets
+    in
+    Printf.sprintf "%.0f m" d
+    :: (match Link_budget.required_tx_dbm link ~distance_m:d with
+       | None -> "-"
+       | Some dbm -> Printf.sprintf "%.1f dBm" dbm)
+    :: cells
+  in
+  Report.make ~title:"E8: TX energy per bit vs distance (868 MHz, indoor n=3.3)"
+    ~header:([ "distance"; "required TX" ] @ List.map fst packets)
+    (List.map row distances)
+    ~notes:
+      [ Printf.sprintf "radio start-up energy %s is amortised over the packet"
+          (Energy.to_string (Radio_frontend.startup_energy radio));
+        "short packets pay mostly overhead: framing + start-up dominate";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E9 — preamble-sampling MAC power vs wake-up interval (+ A3)         *)
+
+let e9_core ~with_startup () =
+  let radio =
+    if with_startup then Radio_frontend.low_power_uhf
+    else { Radio_frontend.low_power_uhf with Radio_frontend.startup_time = Time_span.zero }
+  in
+  let packet = Packet.sensor_report in
+  let tx_rate = 1.0 /. 30.0 and rx_rate = 1.0 /. 30.0 in
+  let intervals = [ 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ] in
+  let mac t = Mac_duty_cycle.make ~radio ~t_wakeup:(Time_span.seconds t) ~packet () in
+  let row t =
+    let p = Mac_duty_cycle.average_power (mac t) ~tx_rate ~rx_rate in
+    [ Printf.sprintf "%.2f s" t; Report.cell_power p ]
+  in
+  let opt = Mac_duty_cycle.optimal_wakeup (mac 1.0) ~tx_rate ~rx_rate in
+  let opt_num = Mac_duty_cycle.optimal_wakeup_numeric (mac 1.0) ~tx_rate ~rx_rate in
+  let p_opt = Mac_duty_cycle.average_power (mac (Time_span.to_seconds opt)) ~tx_rate ~rx_rate in
+  Report.make
+    ~title:
+      (Printf.sprintf "E9%s: preamble-sampling MAC power vs wake-up interval"
+         (if with_startup then "" else " (A3: start-up cost removed)"))
+    ~header:[ "wake-up interval"; "avg radio power" ]
+    (List.map row intervals)
+    ~notes:
+      [ Printf.sprintf "closed-form optimum %.3f s (numeric %.3f s) -> %s"
+          (Time_span.to_seconds opt) (Time_span.to_seconds opt_num) (Power.to_string p_opt);
+        "traffic: one 32 B report sent and received every 30 s";
+      ]
+
+let e9 () = e9_core ~with_startup:true ()
+let a3 () = e9_core ~with_startup:false ()
+
+(* ------------------------------------------------------------------ *)
+(* E10 — ambient functions mapped on a smart-home network              *)
+
+let smart_home_hosts () =
+  let uw i = Mapping.of_node_model (Reference_designs.microwatt_node ()) |> fun h ->
+    { h with Mapping.host_name = Printf.sprintf "sensor-%d" i } in
+  let mw name =
+    Mapping.of_node_model (Reference_designs.milliwatt_node ()) |> fun h ->
+    { h with Mapping.host_name = name }
+  in
+  (* The hub is an 8-way media MPSoC: one W-node with eight media-processor
+     cores (the "scaling into ambient intelligence" architecture). *)
+  let w name =
+    Mapping.of_node_model ~cores:8 (Reference_designs.watt_node ()) |> fun h ->
+    { h with Mapping.host_name = name }
+  in
+  [ uw 1; uw 2; uw 3; uw 4; mw "wearable"; mw "handheld"; w "media-hub" ]
+
+let e10 () =
+  let assignment = Mapping.assign ~hosts:(smart_home_hosts ()) ~functions:Ami_function.catalogue in
+  Mapping.to_report assignment
+
+(* ------------------------------------------------------------------ *)
+(* E11 — sensor-field lifetime vs routing policy                       *)
+
+let e11 () =
+  let rng = Amb_sim.Rng.create 42 in
+  let nodes = 60 in
+  (* 300x300 m: the low-power radio reaches ~110 m indoors, so traffic to
+     the corner sink needs 2-4 hops and forwarding load matters. *)
+  let topology = Amb_net.Topology.random rng ~nodes ~width_m:300.0 ~height_m:300.0 in
+  let radio = Radio_frontend.low_power_uhf in
+  let link = Link_budget.make ~radio ~channel:Path_loss.indoor () in
+  let packet = Packet.sensor_report in
+  let router = Amb_net.Routing.make ~topology ~link ~packet in
+  (* Each node dedicates 10% of a CR2032 to forwarding. *)
+  let budget _ = Energy.scale 0.1 (Battery.energy Battery.cr2032) in
+  let sink = 0 in
+  let row policy =
+    let tree = Amb_net.Flow.collection_tree router ~policy ~residual:budget ~sink in
+    let connected = Amb_net.Flow.connected_count tree in
+    let rounds =
+      Amb_net.Flow.simulate_depletion router ~policy ~budget ~sink ~rebuild_every:500.0
+    in
+    let lifetime = Time_span.seconds (rounds *. 30.0) in
+    [ Amb_net.Routing.policy_name policy;
+      Printf.sprintf "%d/%d" connected nodes;
+      Printf.sprintf "%.4g" rounds;
+      Time_span.to_human_string lifetime;
+    ]
+  in
+  Report.make
+    ~title:"E11: sensor-field lifetime vs routing policy (60 nodes, 300x300 m, 10% CR2032)"
+    ~header:[ "policy"; "connected"; "rounds to first death"; "lifetime @30s/round" ]
+    (List.map row
+       [ Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy; Amb_net.Routing.Max_lifetime ])
+    ~notes:
+      [ "max-lifetime reroutes around draining bottlenecks (tree rebuilt every 500 rounds)" ]
+
+(* ------------------------------------------------------------------ *)
+(* E12 — simulator vs closed form                                      *)
+
+let e12 () =
+  let node = Reference_designs.microwatt_node () in
+  let act = Reference_designs.microwatt_activation in
+  let profile = Node_model.duty_profile node act in
+  let supply = Supply.battery_only ~name:"CR2032 only" Battery.cr2032 in
+  let rates = [ (1.0 /. 300.0, "periodic"); (1.0 /. 30.0, "periodic"); (1.0 /. 30.0, "poisson") ] in
+  let row (rate, kind) =
+    let traffic =
+      match kind with
+      | "poisson" -> Amb_workload.Traffic.poisson rate
+      | _ -> Amb_workload.Traffic.periodic (Time_span.seconds (1.0 /. rate))
+    in
+    let cfg =
+      Lifetime_sim.config ~profile ~supply ~activation_traffic:traffic
+        ~horizon:(Time_span.days 30.0) ()
+    in
+    let outcome = Lifetime_sim.run cfg ~seed:7 in
+    let analytic = Duty_cycle.average_power profile ~rate in
+    let measured = outcome.Lifetime_sim.average_power in
+    let err =
+      Float.abs (Power.to_watts measured -. Power.to_watts analytic)
+      /. Float.max 1e-30 (Power.to_watts analytic)
+    in
+    [ Printf.sprintf "%.4g /s %s" rate kind;
+      Report.cell_power analytic;
+      Report.cell_power measured;
+      Report.cell_percent err;
+      string_of_int outcome.Lifetime_sim.activations;
+    ]
+  in
+  Report.make ~title:"E12: discrete-event simulation vs closed-form duty-cycle power (30 days)"
+    ~header:[ "activation process"; "analytic"; "simulated"; "rel. error"; "activations" ]
+    (List.map row rates)
+    ~notes:[ "closed form excludes the per-activation sleep displacement; expect ~duty-sized error" ]
+
+(* ------------------------------------------------------------------ *)
+(* E13 — closing the E5 gap by architecture                            *)
+
+let e13 () =
+  (* The hardest ambition row of E5: motion video on the personal (mW)
+     device.  Required efficiency = demand / (half the mW budget). *)
+  let f = Ami_function.video_streaming in
+  let demand = Frequency.to_hertz (Ami_function.average_compute f) in
+  let budget = Power.to_watts (Power.scale 0.5 (Device_class.average_budget Device_class.Milliwatt)) in
+  let required = demand /. budget in
+  let architectures =
+    [ ("32-bit RISC (software)", Processor.ops_per_joule Processor.arm7_class);
+      ("VLIW DSP (software)", Processor.ops_per_joule Processor.dsp_vliw);
+      ("embedded FPGA fabric", Accelerator.ops_per_joule Accelerator.efpga_fabric);
+      ("dedicated video ASIC", Accelerator.ops_per_joule Accelerator.video_pipeline_asic);
+    ]
+  in
+  let doubling = Scaling.efficiency_doubling_period Process_node.catalogue in
+  let row (name, available) =
+    let gap = required /. available in
+    let closing = Scaling.years_to_close ~doubling_period:doubling ~gap in
+    [ name;
+      Printf.sprintf "%.3g" available;
+      Printf.sprintf "%.2fx" gap;
+      (if gap <= 1.0 then "fits today"
+       else Printf.sprintf "+%.1f years of scaling" (Time_span.to_years closing));
+    ]
+  in
+  Report.make
+    ~title:"E13: closing the video-on-mW gap by architecture (130 nm era)"
+    ~header:[ "architecture"; "ops/J"; "gap vs required"; "verdict" ]
+    (List.map row architectures)
+    ~notes:
+      [ Printf.sprintf "required: %.3g ops/J (SD video in half the mW-node budget)" required;
+        "the efficiency ladder RISC < FPGA < DSP-class < ASIC is what closes the gap, not scaling";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E14 — riding through the night: diurnal harvesting                  *)
+
+let e14 () =
+  let node = Reference_designs.microwatt_node () in
+  let act = Reference_designs.microwatt_activation in
+  let profile = Node_model.duty_profile node act in
+  let rate = 1.0 /. 30.0 in
+  let load = Duty_cycle.average_power profile ~rate in
+  let peak_income = Supply.harvest_income node.Node_model.supply in
+  let day_profiles =
+    [ Day_profile.constant; Day_profile.office_lighting; Day_profile.living_room_lighting;
+      Day_profile.outdoor_diurnal ]
+  in
+  let row dp =
+    let avg = Day_profile.average_income dp peak_income in
+    let sustainable = Day_profile.sustainable dp ~load ~income:peak_income in
+    let buffer = Day_profile.buffer_energy_required dp ~load ~income:peak_income in
+    let cap_f =
+      Day_profile.buffer_capacitance_required dp ~load ~income:peak_income
+        ~v_max:(Voltage.volts 3.3) ~v_min:(Voltage.volts 1.8)
+    in
+    (* Cross-check with the discrete-event simulator over 30 days on a
+       small buffer-sized reserve. *)
+    let sim_supply =
+      { (node.Node_model.supply) with Supply.battery = Some Battery.cr2032 }
+    in
+    let cfg =
+      Lifetime_sim.config ~profile ~supply:sim_supply
+        ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 30.0))
+        ~horizon:(Time_span.days 30.0)
+        ~income_multiplier:(Day_profile.income_multiplier dp) ()
+    in
+    let o = Lifetime_sim.run cfg ~seed:14 in
+    [ dp.Day_profile.name;
+      Report.cell_power avg;
+      (if sustainable then "yes" else "NO");
+      Report.cell_energy buffer;
+      Printf.sprintf "%.2f F" cap_f;
+      (if o.Lifetime_sim.died then "died" else "alive @30d");
+    ]
+  in
+  Report.make ~title:"E14: diurnal harvesting - long-run balance and night buffer"
+    ~header:[ "day profile"; "avg income"; "sustainable"; "night buffer"; "supercap"; "30-day sim" ]
+    (List.map row day_profiles)
+    ~notes:
+      [ Printf.sprintf "load: %s at one report per 30 s; peak income %s" (Power.to_string load)
+          (Power.to_string peak_income);
+        "buffer = energy to carry the load through the darkest stretch";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E15 — MPSoC interconnect: shared bus vs network-on-chip             *)
+
+let e15 () =
+  let demand_per_core = 2.0e9 (* bits/s: media streams between cores *) in
+  let row cores =
+    let t = Noc.make ~node:Process_node.n130 ~cores ~die_edge_mm:10.0 () in
+    let bus = Noc.evaluate_bus t ~demand_per_core in
+    let noc = Noc.evaluate_noc t ~demand_per_core in
+    let bus_power = Noc.communication_power t ~demand_per_core ~use_noc:false in
+    let noc_power = Noc.communication_power t ~demand_per_core ~use_noc:true in
+    [ string_of_int cores;
+      Report.cell_energy bus.Noc.energy_per_bit;
+      (if bus.Noc.saturated then "SATURATED" else Report.cell_power bus_power);
+      Report.cell_energy noc.Noc.energy_per_bit;
+      (if noc.Noc.saturated then "SATURATED" else Report.cell_power noc_power);
+    ]
+  in
+  let crossover =
+    Noc.crossover_cores ~node:Process_node.n130 ~die_edge_mm:10.0 ~demand_per_core
+  in
+  Report.make ~title:"E15: MPSoC interconnect - shared bus vs 2D-mesh NoC (10 mm die)"
+    ~header:[ "cores"; "bus J/bit"; "bus power"; "NoC J/bit"; "NoC power" ]
+    (List.map row [ 2; 4; 8; 16; 32; 64 ])
+    ~notes:
+      [ (match crossover with
+        | Some n -> Printf.sprintf "bus saturates (NoC does not) from %d cores" n
+        | None -> "no crossover in 1..1024 cores");
+        "per-core demand 2 Gbit/s of inter-core traffic";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E16 — event-driven MAC simulation vs the ALOHA closed form          *)
+
+let e16 () =
+  let cfg =
+    Mac_sim.config ~radio:Radio_frontend.low_power_uhf ~packet:Packet.sensor_report ~nodes:20
+      ~per_node_rate:0.1 ~horizon:(Time_span.hours 2.0)
+  in
+  let loads = [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ] in
+  let rows = Mac_sim.sweep cfg ~loads ~seed:16 in
+  let row (g, simulated, analytic, throughput) =
+    [ Printf.sprintf "%.2f" g;
+      Report.cell_percent simulated;
+      Report.cell_percent analytic;
+      Printf.sprintf "%.3f" throughput;
+    ]
+  in
+  Report.make ~title:"E16: shared-channel simulation vs pure-ALOHA closed form (20 nodes)"
+    ~header:[ "offered load g"; "sim success"; "exp(-2g)"; "sim throughput S" ]
+    (List.map row rows)
+    ~notes:
+      [ "burst collisions make the simulation slightly stricter than exp(-2g) at high load";
+        "throughput peaks near g = 0.5, as the closed form predicts";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E17 — the regulator sets the sleep floor                            *)
+
+let e17 () =
+  let sleeps = [ Power.microwatts 1.0; Power.microwatts 5.0; Power.microwatts 50.0;
+                 Power.milliwatts 1.0 ] in
+  let regs = Regulator.catalogue in
+  let row sleep =
+    let cells =
+      List.map
+        (fun reg ->
+          let seen = Regulator.effective_sleep_floor reg ~sleep in
+          Printf.sprintf "%s (%.0f%%)" (Power.to_string seen)
+            (100.0 *. Regulator.efficiency_at reg ~load:sleep))
+        regs
+    in
+    Report.cell_power sleep :: cells
+  in
+  Report.make ~title:"E17: what the battery sees while the silicon sleeps (regulator overheads)"
+    ~header:("silicon sleep" :: List.map (fun (r : Regulator.t) -> r.Regulator.name) regs)
+    (List.map row sleeps)
+    ~notes:
+      [ "a mW-class buck makes a 5 uW sleeper look like ~360 uW to the battery";
+        Printf.sprintf "knee loads: %s"
+          (String.concat ", "
+             (List.map
+                (fun (r : Regulator.t) ->
+                  Printf.sprintf "%s %s" r.Regulator.name (Power.to_string (Regulator.knee_load r)))
+                regs));
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E18 — leakage spread from process variability                       *)
+
+let e18 () =
+  let block_gates = 2_000_000.0 in
+  let row node =
+    let spread = Variability.spread_of node in
+    let stats = Variability.monte_carlo spread ~dies:20_000 ~seed:18 in
+    let nominal = Power.scale block_gates node.Process_node.leakage_per_gate in
+    [ node.Process_node.name;
+      Printf.sprintf "%.1f mV" spread.Variability.sigma_vth_mv;
+      Report.cell_power nominal;
+      Printf.sprintf "%.2fx" stats.Variability.mean_multiplier;
+      Printf.sprintf "%.2fx" stats.Variability.p95_multiplier;
+      Printf.sprintf "%.2fx" stats.Variability.spread_ratio;
+    ]
+  in
+  Report.make
+    ~title:"E18: per-die leakage spread across nodes (2 Mgate block, 20k dies)"
+    ~header:[ "node"; "sigma Vth"; "nominal leak"; "mean/nom"; "p95/nom"; "p95/median" ]
+    (List.map row Process_node.catalogue)
+    ~notes:
+      [ "Vth sigma grows as features shrink; leakage is exponential in Vth";
+        "the p95/median spread is the statistical-design margin the W-node must carry";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E19 — sensitivity of the autonomy boundary to model constants       *)
+
+let e19 () =
+  let autonomy_with ~startup_scale ~pv_efficiency ~sleep_uw =
+    let radio =
+      let base = Radio_frontend.low_power_uhf in
+      { base with
+        Radio_frontend.startup_time = Time_span.scale startup_scale base.Radio_frontend.startup_time }
+    in
+    let cell =
+      Harvester.Photovoltaic { area = Area.square_centimetres 5.0; efficiency = pv_efficiency }
+    in
+    let supply =
+      Supply.harvester_and_battery ~name:"pv+coin" cell Harvester.office_indoor Battery.cr2032
+    in
+    let node =
+      Node_model.make ~name:"sensitivity node" ~processor:Processor.mcu_16bit ~radio
+        ~sensors:[ Sensor.temperature; Sensor.light ] ~adc:Adc.sensor_adc ~supply
+        ~sleep_power:(Power.microwatts sleep_uw) ~tx_dbm:0.0 ()
+    in
+    let profile = Node_model.duty_profile node Reference_designs.microwatt_activation in
+    match Duty_cycle.autonomy_rate profile supply with
+    | Some r -> r
+    | None -> 0.0
+  in
+  let nominal = autonomy_with ~startup_scale:1.0 ~pv_efficiency:0.05 ~sleep_uw:5.0 in
+  let row (name, low, high) =
+    [ name;
+      Printf.sprintf "%.3g /s (%+.0f%%)" low (100.0 *. ((low /. nominal) -. 1.0));
+      Printf.sprintf "%.3g /s" nominal;
+      Printf.sprintf "%.3g /s (%+.0f%%)" high (100.0 *. ((high /. nominal) -. 1.0));
+    ]
+  in
+  let rows =
+    [ ( "radio start-up time x0.5 / x2",
+        autonomy_with ~startup_scale:2.0 ~pv_efficiency:0.05 ~sleep_uw:5.0,
+        autonomy_with ~startup_scale:0.5 ~pv_efficiency:0.05 ~sleep_uw:5.0 );
+      ( "PV efficiency 2.5% / 10%",
+        autonomy_with ~startup_scale:1.0 ~pv_efficiency:0.025 ~sleep_uw:5.0,
+        autonomy_with ~startup_scale:1.0 ~pv_efficiency:0.10 ~sleep_uw:5.0 );
+      ( "sleep power 10 uW / 2.5 uW",
+        autonomy_with ~startup_scale:1.0 ~pv_efficiency:0.05 ~sleep_uw:10.0,
+        autonomy_with ~startup_scale:1.0 ~pv_efficiency:0.05 ~sleep_uw:2.5 );
+    ]
+  in
+  Report.make
+    ~title:"E19: sensitivity of the uW node's autonomy boundary (activations/s)"
+    ~header:[ "parameter (pessimistic / optimistic)"; "pessimistic"; "nominal"; "optimistic" ]
+    (List.map row rows)
+    ~notes:
+      [ "the boundary scales ~linearly with harvest income and is robust to 2x model-constant error";
+        "conclusion preserved in all variants: >= 1 report / 30 s remains autonomous";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E20 — packet-level network simulation vs analytic depletion         *)
+
+let e20 () =
+  let rng = Amb_sim.Rng.create 20 in
+  let nodes = 30 in
+  let topology = Amb_net.Topology.random rng ~nodes ~width_m:250.0 ~height_m:250.0 in
+  let link = Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor () in
+  let router = Amb_net.Routing.make ~topology ~link ~packet:Packet.sensor_report in
+  (* Small budgets so deaths happen within a tractable horizon. *)
+  let budget _ = Energy.joules 20.0 in
+  let report_period = Time_span.seconds 30.0 in
+  let sink = 0 in
+  let row policy =
+    let analytic_rounds =
+      Amb_net.Flow.simulate_depletion router ~policy ~budget ~sink ~rebuild_every:500.0
+    in
+    let analytic_death = Time_span.scale analytic_rounds report_period in
+    let cfg =
+      Amb_net.Net_sim.config ~router ~sink ~policy ~report_period ~budget
+        ~horizon:(Time_span.scale 3.0 analytic_death) ()
+    in
+    let o = Amb_net.Net_sim.run cfg ~seed:20 in
+    let simulated_death =
+      match o.Amb_net.Net_sim.first_death with
+      | Some t -> Time_span.to_human_string t
+      | None -> "none"
+    in
+    let err =
+      match o.Amb_net.Net_sim.first_death with
+      | Some t ->
+        Report.cell_percent
+          (Float.abs (Time_span.to_seconds t -. Time_span.to_seconds analytic_death)
+          /. Time_span.to_seconds analytic_death)
+      | None -> "-"
+    in
+    [ Amb_net.Routing.policy_name policy;
+      Time_span.to_human_string analytic_death;
+      simulated_death;
+      err;
+      Report.cell_percent o.Amb_net.Net_sim.delivery_ratio;
+      string_of_int o.Amb_net.Net_sim.dead_at_end;
+    ]
+  in
+  Report.make
+    ~title:"E20: packet-level network simulation vs analytic depletion (30 nodes, 20 J budgets)"
+    ~header:[ "policy"; "analytic 1st death"; "simulated"; "error"; "delivery (to 3x)"; "dead @end" ]
+    (List.map row [ Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy ])
+    ~notes:
+      [ "simulation runs to 3x the analytic first-death time; delivery degrades after deaths";
+        "agreement validates the closed-form block analysis used by E11";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E21 — analytic schedulability vs event-driven scheduling            *)
+
+let e21 () =
+  let open Amb_workload in
+  let capacity = Processor.max_throughput Processor.arm7_class in
+  let cap_hz = Frequency.to_hertz capacity in
+  let make_set utilization count =
+    List.init count (fun i ->
+        let period = Time_span.milliseconds (Float.of_int ((i + 1) * 10)) in
+        Task.make
+          ~name:(Printf.sprintf "t%d" i)
+          ~ops:(utilization /. Float.of_int count *. cap_hz *. Time_span.to_seconds period)
+          ~period ())
+  in
+  let horizon = Time_span.seconds 6.0 in
+  let row (label, tasks) =
+    let u = Task.total_utilization tasks ~capacity in
+    let simulate policy =
+      let o = Edf_sim.run ~policy ~tasks ~capacity ~horizon in
+      Printf.sprintf "%d/%d" o.Edf_sim.deadline_misses o.Edf_sim.jobs_released
+    in
+    [ label;
+      Printf.sprintf "%.2f" u;
+      (if Scheduler.rm_schedulable tasks ~capacity then "yes" else "no");
+      simulate Edf_sim.Rate_monotonic;
+      (if Scheduler.edf_schedulable tasks ~capacity then "yes" else "no");
+      simulate Edf_sim.Earliest_deadline_first;
+    ]
+  in
+  Report.make
+    ~title:"E21: analytic schedulability vs simulated deadline misses (6 s horizon)"
+    ~header:[ "task set"; "U"; "RM bound"; "RM misses"; "EDF test"; "EDF misses" ]
+    (List.map row
+       [ ("3 tasks, light", make_set 0.5 3);
+         ("3 tasks, U=0.78 (RM-hard)", make_set 0.78 3);
+         ("3 tasks, U=0.95", make_set 0.95 3);
+         ("3 tasks, overload U=1.2", make_set 1.2 3);
+       ])
+    ~notes:
+      [ "the RM bound is sufficient, not necessary: sets above it may still simulate clean";
+        "EDF is exact for deadline=period sets: misses appear exactly when U > 1";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E22 — the autonomous node's design space                            *)
+
+let e22 () = Design_space.to_report Design_space.autonomous_sensing
+
+(* ------------------------------------------------------------------ *)
+(* E23 — the ten-year vision timeline                                  *)
+
+let e23 () =
+  (* Which push-down ambitions (E5) become scaling-feasible in which
+     year?  Reference: what each class's core delivers in 2003. *)
+  let ambitions =
+    List.filter (fun g -> String.contains g.Challenge.subject '>') (Challenge.standard_gaps ())
+  in
+  let milestone_rows =
+    List.map
+      (fun (m : Roadmap.milestone) ->
+        let feasible =
+          List.filter_map
+            (fun g ->
+              let available =
+                Roadmap.efficiency_in m.Roadmap.year
+                  ~reference_ops_per_joule:g.Challenge.available_ops_per_joule
+                  ~reference_year:2003
+              in
+              if available >= g.Challenge.required_ops_per_joule then
+                (* Strip the "[-> cls]" suffix for readability. *)
+                Some (String.sub g.Challenge.subject 0 (String.index g.Challenge.subject '['))
+              else None)
+            ambitions
+        in
+        [ string_of_int m.Roadmap.year;
+          m.Roadmap.node.Process_node.name;
+          Report.cell_energy m.Roadmap.gate_energy;
+          Printf.sprintf "%.1fx" m.Roadmap.relative_efficiency;
+          (if feasible = [] then "-" else String.concat ", " (List.map String.trim feasible));
+        ])
+      (Roadmap.timeline ~from_year:2003 ~to_year:2015)
+  in
+  Report.make
+    ~title:"E23: the ten-year vision timeline (leakage-aware scaling, class-down ambitions)"
+    ~header:[ "year"; "node"; "gate energy"; "efficiency vs 2003"; "ambitions feasible by scaling" ]
+    milestone_rows
+    ~notes:
+      [ "an ambition is feasible when scaled silicon alone reaches its required ops/J (E5)";
+        "E13 shows dedicated architecture gets there a decade earlier";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E24 — 2.4 GHz coexistence in the ambient home                       *)
+
+let e24 () =
+  let radio = Radio_frontend.zigbee_class in
+  let packet = Packet.sensor_report in
+  (* A sensor 10 m from its hub: received level from the link budget. *)
+  let link = Link_budget.make ~radio ~channel:Path_loss.indoor () in
+  let victim_rssi_dbm = Link_budget.received_dbm link ~tx_dbm:0.0 ~distance_m:10.0 in
+  let rows =
+    Coexistence.victim_report radio packet ~victim_rssi_dbm ~mixes:Coexistence.home_mixes
+  in
+  let base_energy =
+    Radio_frontend.transmit_energy radio ~tx_dbm:0.0 ~bits:(Packet.total_bits packet)
+      ~include_startup:true
+  in
+  let row (mix, p, multiplier) =
+    [ mix;
+      Report.cell_percent p;
+      (match multiplier with
+      | None -> "unreliable (>1% loss after retries)"
+      | Some m -> Printf.sprintf "%.2fx (%s)" m (Energy.to_string (Energy.scale m base_energy)));
+    ]
+  in
+  Report.make
+    ~title:"E24: 2.4 GHz coexistence - sensor report delivery across home interference mixes"
+    ~header:[ "interference mix"; "first-try delivery"; "energy multiplier (per delivered)" ]
+    (List.map row rows)
+    ~notes:
+      [ Printf.sprintf "victim: 802.15.4-class report, RSSI %.1f dBm at 10 m, 10 dB capture margin"
+          victim_rssi_dbm;
+        "retransmissions multiply the uW node's dominant (radio) energy term";
+      ]
+
+(* ------------------------------------------------------------------ *)
+
+(** [all] — experiment id, description, builder. *)
+let all : (string * string * (unit -> Report.t)) list =
+  [ ("E1", "power-information graph", e1);
+    ("E2", "three device classes", e2);
+    ("E3", "microwatt-node energy budget", e3);
+    ("E4", "microwatt-node lifetime curve", e4);
+    ("E5", "efficiency gaps vs roadmap", e5);
+    ("E6", "DVFS vs race-to-idle", e6);
+    ("E7", "media SoC across nodes", e7);
+    ("E8", "radio energy per bit vs range", e8);
+    ("E9", "MAC duty-cycling optimum", e9);
+    ("E10", "functions mapped on network", e10);
+    ("E11", "network lifetime vs routing", e11);
+    ("E12", "simulation vs closed form", e12);
+    ("E13", "closing the gap by architecture", e13);
+    ("E14", "diurnal harvesting buffer", e14);
+    ("E15", "bus vs NoC interconnect", e15);
+    ("E16", "MAC simulation vs ALOHA", e16);
+    ("E17", "regulator sleep floor", e17);
+    ("E18", "leakage variability", e18);
+    ("E19", "autonomy sensitivity", e19);
+    ("E20", "packet-level net sim vs analytic", e20);
+    ("E21", "scheduling sim vs bounds", e21);
+    ("E22", "autonomous-node design space", e22);
+    ("E23", "ten-year vision timeline", e23);
+    ("E24", "2.4 GHz coexistence", e24);
+    ("A1", "ablation: Peukert off", a1);
+    ("A2", "ablation: Dennard vs leakage-aware", a2);
+    ("A3", "ablation: radio start-up off", a3);
+  ]
+
+(** [find id] — builder for an experiment id (case-insensitive). *)
+let find id =
+  let target = String.uppercase_ascii id in
+  List.find_opt (fun (eid, _, _) -> eid = target) all
+
+(** [run_all ()] — build and render every report, in order. *)
+let run_all () = List.map (fun (id, desc, build) -> (id, desc, build ())) all

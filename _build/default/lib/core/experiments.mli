@@ -1,0 +1,102 @@
+(** The reconstructed experiment suite — one builder per table/figure
+    (E1..E15 plus ablations A1..A3); see DESIGN.md for the id-to-module
+    map and EXPERIMENTS.md for expected-shape vs measured. *)
+
+open Amb_tech
+
+val e1 : unit -> Report.t
+(** Power-information graph. *)
+
+val e2 : unit -> Report.t
+(** The three device classes. *)
+
+val e3 : unit -> Report.t
+(** CS-A energy budget per activation. *)
+
+val e4 : unit -> Report.t
+(** CS-A lifetime vs activation rate. *)
+
+val e5 : unit -> Report.t
+(** Efficiency gaps vs roadmap. *)
+
+val e6 : unit -> Report.t
+(** DVFS vs race-to-idle. *)
+
+val e7 : unit -> Report.t
+(** Media SoC across process nodes. *)
+
+val e8 : unit -> Report.t
+(** Radio energy per bit vs range. *)
+
+val e9 : unit -> Report.t
+(** Preamble-sampling MAC optimum. *)
+
+val e10 : unit -> Report.t
+(** Functions mapped on the smart-home network. *)
+
+val e11 : unit -> Report.t
+(** Sensor-field lifetime vs routing policy. *)
+
+val e12 : unit -> Report.t
+(** Discrete-event simulation vs closed form. *)
+
+val e13 : unit -> Report.t
+(** Closing the video-on-mW gap by architecture. *)
+
+val e14 : unit -> Report.t
+(** Diurnal harvesting: balance and night buffer. *)
+
+val e15 : unit -> Report.t
+(** MPSoC interconnect: shared bus vs NoC. *)
+
+val e16 : unit -> Report.t
+(** Shared-channel MAC simulation vs pure-ALOHA closed form. *)
+
+val e17 : unit -> Report.t
+(** Regulator overheads set the sleep floor. *)
+
+val e18 : unit -> Report.t
+(** Per-die leakage spread from process variability. *)
+
+val e19 : unit -> Report.t
+(** Sensitivity of the autonomy boundary to model constants. *)
+
+val e20 : unit -> Report.t
+(** Packet-level network simulation vs analytic depletion. *)
+
+val e21 : unit -> Report.t
+(** Analytic schedulability bounds vs simulated deadline misses. *)
+
+val e22 : unit -> Report.t
+(** Design space of the autonomous sensing node. *)
+
+val e23 : unit -> Report.t
+(** The ten-year vision timeline: which class-down ambitions scaling
+    alone reaches, by year. *)
+
+val e24 : unit -> Report.t
+(** 2.4 GHz coexistence: sensor delivery under home interference mixes. *)
+
+val a1 : unit -> Report.t
+(** Ablation: Peukert derating off. *)
+
+val a2 : unit -> Report.t
+(** Ablation: Dennard vs leakage-aware projection. *)
+
+val a3 : unit -> Report.t
+(** Ablation: radio start-up cost removed. *)
+
+val media_soc : Process_node.t -> Soc.t
+(** The fixed-architecture SD media SoC retargeted across nodes (E7). *)
+
+val smart_home_hosts : unit -> Mapping.host list
+(** The E10 network: four sensors, wearable, handheld, 8-core media
+    hub. *)
+
+val all : (string * string * (unit -> Report.t)) list
+(** (id, description, builder), in presentation order. *)
+
+val find : string -> (string * string * (unit -> Report.t)) option
+(** Case-insensitive lookup by experiment id. *)
+
+val run_all : unit -> (string * string * Report.t) list

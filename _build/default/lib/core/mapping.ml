@@ -1,0 +1,199 @@
+(** Mapping ambient functions onto a heterogeneous device network.
+
+    The keynote's system-level claim: ambient intelligent functions are
+    realised not by one device but by a *network* of µW/mW/W nodes, each
+    hosting the functions that fit its power budget.  This module performs
+    the assignment greedily (largest function first, cheapest feasible
+    host) and verifies per-host capacity and power-budget feasibility —
+    experiment E10. *)
+
+open Amb_units
+
+type host = {
+  host_name : string;
+  host_class : Device_class.t;
+  compute_capacity : Frequency.t;  (** sustained ops/s available *)
+  comm_capacity : Data_rate.t;  (** sustained bits/s available *)
+  has_sensing : bool;
+  has_display : bool;
+  power_budget : Power.t;  (** average power available for functions *)
+  energy_per_op : Energy.t;
+  energy_per_bit : Energy.t;
+  base_power : Power.t;  (** idle floor charged regardless of load *)
+}
+
+let host ?(has_sensing = false) ?(has_display = false) ?(base_power = Power.zero) ~name
+    ~host_class ~compute_capacity ~comm_capacity ~power_budget ~energy_per_op ~energy_per_bit () =
+  {
+    host_name = name;
+    host_class;
+    compute_capacity;
+    comm_capacity;
+    has_sensing;
+    has_display;
+    power_budget;
+    energy_per_op;
+    energy_per_bit;
+    base_power;
+  }
+
+(** [class_of_supply supply] — the keynote's own classification: the
+    energy source determines the class (mains -> W, rechargeable -> mW,
+    scavenger/primary cell -> uW). *)
+let class_of_supply (supply : Amb_energy.Supply.t) =
+  let open Amb_energy in
+  if supply.Supply.mains then Device_class.Watt
+  else if supply.Supply.harvester <> None then Device_class.Microwatt
+  else
+    match supply.Supply.battery with
+    | Some { Battery.chemistry = Battery.Lithium_ion | Battery.Lithium_polymer
+             | Battery.Nickel_metal_hydride; _ } ->
+      Device_class.Milliwatt
+    | Some { Battery.chemistry = Battery.Lithium_coin | Battery.Alkaline; _ } ->
+      Device_class.Microwatt
+    | None -> Device_class.Microwatt
+
+(** [of_node_model node] — derive a host from a composed
+    [Amb_node.Node_model.t]: class from its energy source, capacities from
+    its processor and radio, budget from its class band, efficiencies from
+    its blocks. *)
+let of_node_model ?(cores = 1) (node : Amb_node.Node_model.t) =
+  let open Amb_circuit in
+  let processor = node.Amb_node.Node_model.processor in
+  let radio = node.Amb_node.Node_model.radio in
+  let cls = class_of_supply node.Amb_node.Node_model.supply in
+  let full_power =
+    Processor.power_at processor (Processor.vdd_nominal processor) ~utilization:1.0
+  in
+  host ~name:node.Amb_node.Node_model.name ~host_class:cls
+    ~compute_capacity:(Frequency.scale (Float.of_int cores) (Processor.max_throughput processor))
+    ~comm_capacity:radio.Radio_frontend.bitrate
+    ~has_sensing:(node.Amb_node.Node_model.sensors <> [])
+    ~has_display:(node.Amb_node.Node_model.display <> None)
+    ~power_budget:(Device_class.average_budget cls)
+    ~energy_per_op:
+      (Energy.div
+         (Energy.joules (Power.to_watts full_power))
+         (Frequency.to_hertz (Processor.max_throughput processor)))
+    ~energy_per_bit:(Radio_frontend.energy_per_bit_rx radio)
+    ~base_power:node.Amb_node.Node_model.sleep_power ()
+
+type load = {
+  mutable used_compute : float;  (** ops/s committed *)
+  mutable used_comm : float;  (** bits/s committed *)
+  mutable used_power : float;  (** watts committed, incl. base *)
+  mutable hosted : Ami_function.t list;
+}
+
+type assignment = {
+  hosts : (host * load) list;
+  placed : (Ami_function.t * host) list;
+  unplaced : Ami_function.t list;
+}
+
+let function_power_on host f =
+  let compute =
+    Frequency.to_hertz (Ami_function.average_compute f) *. Energy.to_joules host.energy_per_op
+  in
+  let comm =
+    Data_rate.to_bits_per_second (Ami_function.average_comm f)
+    *. Energy.to_joules host.energy_per_bit
+  in
+  Power.watts (compute +. comm)
+
+let fits host load f =
+  let compute_ok =
+    load.used_compute +. Frequency.to_hertz (Ami_function.average_compute f)
+    <= Frequency.to_hertz host.compute_capacity
+  in
+  let comm_ok =
+    load.used_comm +. Data_rate.to_bits_per_second (Ami_function.average_comm f)
+    <= Data_rate.to_bits_per_second host.comm_capacity
+  in
+  let power_ok =
+    load.used_power +. Power.to_watts (function_power_on host f)
+    <= Power.to_watts host.power_budget
+  in
+  let sensing_ok = (not f.Ami_function.needs_sensing) || host.has_sensing in
+  let display_ok = (not f.Ami_function.needs_display) || host.has_display in
+  compute_ok && comm_ok && power_ok && sensing_ok && display_ok
+
+(** [assign ~hosts ~functions] — greedy placement: functions in decreasing
+    estimated-power order, each onto the feasible host of the smallest
+    adequate device class (the keynote's "push functions to the leaves"
+    principle), with least added power as the tie-break within a class. *)
+let assign ~hosts ~functions =
+  let loads =
+    List.map (fun h -> (h, { used_compute = 0.0; used_comm = 0.0;
+                             used_power = Power.to_watts h.base_power; hosted = [] }))
+      hosts
+  in
+  let ordered =
+    List.sort
+      (fun a b -> Power.compare (Ami_function.estimated_power b) (Ami_function.estimated_power a))
+      functions
+  in
+  let place (placed, unplaced) f =
+    let candidates = List.filter (fun (h, load) -> fits h load f) loads in
+    let better (h1, _) (h2, _) =
+      let by_class = Device_class.compare h1.host_class h2.host_class in
+      if by_class <> 0 then by_class
+      else
+        Stdlib.compare
+          (Power.to_watts (function_power_on h1 f))
+          (Power.to_watts (function_power_on h2 f))
+    in
+    match List.sort better candidates with
+    | [] -> (placed, f :: unplaced)
+    | (h, load) :: _ ->
+      load.used_compute <- load.used_compute +. Frequency.to_hertz (Ami_function.average_compute f);
+      load.used_comm <- load.used_comm +. Data_rate.to_bits_per_second (Ami_function.average_comm f);
+      load.used_power <- load.used_power +. Power.to_watts (function_power_on h f);
+      load.hosted <- f :: load.hosted;
+      ((f, h) :: placed, unplaced)
+  in
+  let placed, unplaced = List.fold_left place ([], []) ordered in
+  { hosts = loads; placed = List.rev placed; unplaced = List.rev unplaced }
+
+(** [feasible a] — everything placed. *)
+let feasible a = a.unplaced = []
+
+(** [host_power a host_name] — committed average power on a host. *)
+let host_power a host_name =
+  match List.find_opt (fun (h, _) -> h.host_name = host_name) a.hosts with
+  | None -> raise Not_found
+  | Some (_, load) -> Power.watts load.used_power
+
+(** [total_power a] — network-wide committed power. *)
+let total_power a =
+  Power.watts (List.fold_left (fun acc (_, load) -> acc +. load.used_power) 0.0 a.hosts)
+
+(** [within_class_budgets a] — every host's committed power stays inside
+    its device-class band. *)
+let within_class_budgets a =
+  List.for_all
+    (fun (h, load) -> Power.le (Power.watts load.used_power) (Device_class.average_budget h.host_class))
+    a.hosts
+
+(** [to_report a] — the E10 table. *)
+let to_report a =
+  let row (h, load) =
+    let names = List.rev_map (fun f -> f.Ami_function.name) load.hosted in
+    [ h.host_name;
+      Device_class.short_name h.host_class;
+      String.concat ", " (if names = [] then [ "-" ] else names);
+      Report.cell_power (Power.watts load.used_power);
+      Report.cell_power (Device_class.average_budget h.host_class);
+      (if Power.le (Power.watts load.used_power) (Device_class.average_budget h.host_class)
+       then "ok" else "OVER");
+    ]
+  in
+  let rows = List.map row a.hosts in
+  let unplaced_note =
+    match a.unplaced with
+    | [] -> "all functions placed"
+    | fs -> "UNPLACED: " ^ String.concat ", " (List.map (fun f -> f.Ami_function.name) fs)
+  in
+  Report.make ~title:"E10: ambient functions mapped onto the device network"
+    ~header:[ "host"; "class"; "functions"; "committed"; "class budget"; "status" ]
+    rows ~notes:[ unplaced_note ]

@@ -1,0 +1,74 @@
+(** Mapping ambient functions onto a heterogeneous device network: the
+    keynote's claim that ambient functions are realised by a *network* of
+    uW/mW/W nodes, each hosting what fits its power budget
+    (experiment E10). *)
+
+open Amb_units
+
+type host = {
+  host_name : string;
+  host_class : Device_class.t;
+  compute_capacity : Frequency.t;  (** sustained ops/s available *)
+  comm_capacity : Data_rate.t;  (** sustained bits/s available *)
+  has_sensing : bool;
+  has_display : bool;
+  power_budget : Power.t;  (** average power available for functions *)
+  energy_per_op : Energy.t;
+  energy_per_bit : Energy.t;
+  base_power : Power.t;  (** idle floor charged regardless of load *)
+}
+
+val host :
+  ?has_sensing:bool ->
+  ?has_display:bool ->
+  ?base_power:Power.t ->
+  name:string ->
+  host_class:Device_class.t ->
+  compute_capacity:Frequency.t ->
+  comm_capacity:Data_rate.t ->
+  power_budget:Power.t ->
+  energy_per_op:Energy.t ->
+  energy_per_bit:Energy.t ->
+  unit ->
+  host
+
+val class_of_supply : Amb_energy.Supply.t -> Device_class.t
+(** The keynote's own classification: the energy source determines the
+    class (mains -> W, rechargeable -> mW, scavenger/primary cell ->
+    uW). *)
+
+val of_node_model : ?cores:int -> Amb_node.Node_model.t -> host
+(** Derive a host from a composed node model; [cores] scales the compute
+    capacity for multiprocessor SoCs. *)
+
+type load = {
+  mutable used_compute : float;  (** ops/s committed *)
+  mutable used_comm : float;  (** bits/s committed *)
+  mutable used_power : float;  (** watts committed, incl. base *)
+  mutable hosted : Ami_function.t list;
+}
+
+type assignment = {
+  hosts : (host * load) list;
+  placed : (Ami_function.t * host) list;
+  unplaced : Ami_function.t list;
+}
+
+val function_power_on : host -> Ami_function.t -> Power.t
+
+val assign : hosts:host list -> functions:Ami_function.t list -> assignment
+(** Greedy placement: functions in decreasing estimated-power order, each
+    onto the feasible host of the smallest adequate class ("push
+    functions to the leaves"), least added power as tie-break. *)
+
+val feasible : assignment -> bool
+(** Everything placed. *)
+
+val host_power : assignment -> string -> Power.t
+(** Raises [Not_found] on unknown hosts. *)
+
+val total_power : assignment -> Power.t
+val within_class_budgets : assignment -> bool
+
+val to_report : assignment -> Report.t
+(** The E10 table. *)

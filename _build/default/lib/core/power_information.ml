@@ -1,0 +1,149 @@
+(** The power-information graph — the keynote's central figure.
+
+    Every technology involved in ambient intelligence is placed on a
+    (information rate, power) plane: computing devices by the bit-rate
+    they process, communication devices by the bit-rate they move,
+    interface devices (sensors, converters, displays) by the bit-rate they
+    transduce.  The three device classes appear as horizontal power bands;
+    the distance to the efficiency frontier is the design challenge. *)
+
+open Amb_units
+open Amb_circuit
+
+type kind = Computing | Communication | Interface | Sensing
+
+let kind_name = function
+  | Computing -> "computing"
+  | Communication -> "communication"
+  | Interface -> "interface"
+  | Sensing -> "sensing"
+
+type entry = {
+  name : string;
+  kind : kind;
+  info_rate : Data_rate.t;  (** bits/s processed, moved or transduced *)
+  power : Power.t;  (** average power while performing at [info_rate] *)
+}
+
+let entry ~name ~kind ~info_rate ~power =
+  if Power.to_watts power < 0.0 then invalid_arg "Power_information.entry: negative power";
+  if Data_rate.to_bits_per_second info_rate < 0.0 then
+    invalid_arg "Power_information.entry: negative rate";
+  { name; kind; info_rate; power }
+
+(** [efficiency e] — bits per joule, the graph's diagonal metric. *)
+let efficiency e = Data_rate.bits_per_joule e.power e.info_rate
+
+(** [classify e] — the device-class band the entry's power falls in. *)
+let classify e = Device_class.of_power e.power
+
+(* Bits processed per operation for placing computing devices on the
+   information axis: a 32-bit datapath moves 32 bits per operation. *)
+let bits_per_op = 32.0
+
+let of_processor p =
+  let rate =
+    Data_rate.bits_per_second (Frequency.to_hertz (Processor.max_throughput p) *. bits_per_op)
+  in
+  let power = Processor.power_at p (Processor.vdd_nominal p) ~utilization:1.0 in
+  entry ~name:p.Processor.name ~kind:Computing ~info_rate:rate ~power
+
+let of_radio (r : Radio_frontend.t) =
+  (* Communication device placed at its bitrate and the mean of TX (at
+     0 dBm or max, whichever is lower) and RX power. *)
+  let tx = Radio_frontend.tx_power r ~tx_dbm:(Float.min 0.0 r.Radio_frontend.max_tx_dbm) in
+  let power = Power.scale 0.5 (Power.add tx r.Radio_frontend.p_rx) in
+  entry ~name:r.Radio_frontend.name ~kind:Communication ~info_rate:r.Radio_frontend.bitrate ~power
+
+let of_adc (a : Adc.t) =
+  entry ~name:a.Adc.name ~kind:Interface ~info_rate:(Adc.output_rate a) ~power:(Adc.active_power a)
+
+let of_sensor (s : Sensor.t) =
+  let rate = Sensor.information_rate s s.Sensor.max_sample_rate in
+  let power = Sensor.average_power s s.Sensor.max_sample_rate in
+  entry ~name:s.Sensor.name ~kind:Sensing ~info_rate:rate ~power
+
+let of_display (d : Display.t) =
+  let updates = match d.Display.technology with
+    | Display.Electrophoretic -> Frequency.to_hertz d.Display.refresh_rate
+    | Display.Lcd_transmissive | Display.Oled | Display.Led_indicator -> 0.0
+  in
+  entry ~name:d.Display.name ~kind:Interface ~info_rate:(Display.information_rate d)
+    ~power:(Display.average_power d ~brightness:0.8 ~updates_per_s:updates)
+
+(** The technology catalogue placed on the graph: every block model in
+    [Amb_circuit] plus a few literal anchors (an RFID tag, a desktop CPU)
+    that frame the axes. *)
+let catalogue () =
+  let literal =
+    [ entry ~name:"passive RFID tag" ~kind:Communication
+        ~info_rate:(Data_rate.kilobits_per_second 10.0) ~power:(Power.microwatts 10.0);
+      entry ~name:"wristwatch MCU" ~kind:Computing
+        ~info_rate:(Data_rate.kilobits_per_second 32.0 (* 1 kops/s * 32 *))
+        ~power:(Power.microwatts 1.0);
+      entry ~name:"desktop CPU (2 GHz class)" ~kind:Computing
+        ~info_rate:(Data_rate.gigabits_per_second 64.0) ~power:(Power.watts 60.0);
+      entry ~name:"hearing-aid DSP" ~kind:Computing
+        ~info_rate:(Data_rate.megabits_per_second 32.0) ~power:(Power.milliwatts 1.0);
+      entry ~name:"audio output stage" ~kind:Interface
+        ~info_rate:(Data_rate.kilobits_per_second 705.6) ~power:(Power.milliwatts 100.0);
+    ]
+  in
+  List.concat
+    [ List.map of_processor Processor.catalogue;
+      List.map of_radio Radio_frontend.catalogue;
+      List.map of_adc Adc.catalogue;
+      List.map of_sensor Sensor.catalogue;
+      List.map of_display Display.catalogue;
+      literal;
+    ]
+
+(** [pareto_frontier entries] — entries not dominated in (higher rate,
+    lower power); sorted by rate. *)
+let pareto_frontier entries =
+  let dominates a b =
+    Data_rate.ge a.info_rate b.info_rate
+    && Power.le a.power b.power
+    && (Data_rate.gt a.info_rate b.info_rate || Power.lt a.power b.power)
+  in
+  let non_dominated e = not (List.exists (fun other -> dominates other e) entries) in
+  List.filter non_dominated entries
+  |> List.sort (fun a b -> Data_rate.compare a.info_rate b.info_rate)
+
+(** [by_class entries] — entries grouped into the three power bands. *)
+let by_class entries =
+  List.map
+    (fun cls -> (cls, List.filter (fun e -> classify e = cls) entries))
+    Device_class.all
+
+(** [best_efficiency entries] — the frontier entry with the most bits per
+    joule. *)
+let best_efficiency entries =
+  match entries with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun best e -> if efficiency e > efficiency best then e else best)
+            first rest)
+
+(** [to_report entries] — the E1 table: one row per technology, sorted by
+    power. *)
+let to_report entries =
+  let sorted = List.sort (fun a b -> Power.compare a.power b.power) entries in
+  let frontier = pareto_frontier entries in
+  let row e =
+    [ e.name;
+      kind_name e.kind;
+      Report.cell_rate e.info_rate;
+      Report.cell_power e.power;
+      Printf.sprintf "%.3g" (efficiency e);
+      Device_class.short_name (classify e);
+      (if List.memq e frontier then "*" else "");
+    ]
+  in
+  Report.make ~title:"E1: power-information graph"
+    ~header:[ "technology"; "kind"; "info rate"; "power"; "bits/J"; "class"; "Pareto" ]
+    (List.map row sorted)
+    ~notes:
+      [ "class bands: uW < 1 mW <= mW < 1 W <= W";
+        "* marks the (rate up, power down) Pareto frontier";
+      ]

@@ -1,0 +1,50 @@
+(** The power-information graph — the keynote's central figure: every
+    ambient-intelligence technology placed on a (information rate, power)
+    plane, with the three device classes as horizontal power bands and
+    bits-per-joule as the efficiency diagonal. *)
+
+open Amb_units
+open Amb_circuit
+
+type kind = Computing | Communication | Interface | Sensing
+
+val kind_name : kind -> string
+
+type entry = {
+  name : string;
+  kind : kind;
+  info_rate : Data_rate.t;  (** bits/s processed, moved or transduced *)
+  power : Power.t;  (** average power while performing at [info_rate] *)
+}
+
+val entry : name:string -> kind:kind -> info_rate:Data_rate.t -> power:Power.t -> entry
+(** Raises [Invalid_argument] on negative power or rate. *)
+
+val efficiency : entry -> float
+(** Bits per joule. *)
+
+val classify : entry -> Device_class.t
+
+val bits_per_op : float
+(** Bits processed per operation when placing computing devices on the
+    information axis (32-bit datapath convention). *)
+
+val of_processor : Processor.t -> entry
+val of_radio : Radio_frontend.t -> entry
+val of_adc : Adc.t -> entry
+val of_sensor : Sensor.t -> entry
+val of_display : Display.t -> entry
+
+val catalogue : unit -> entry list
+(** Every block model in [Amb_circuit] plus literal anchors (RFID tag,
+    desktop CPU) framing the axes. *)
+
+val pareto_frontier : entry list -> entry list
+(** Entries not dominated in (higher rate, lower power), sorted by
+    rate. *)
+
+val by_class : entry list -> (Device_class.t * entry list) list
+val best_efficiency : entry list -> entry option
+
+val to_report : entry list -> Report.t
+(** The E1 table, sorted by power, frontier entries starred. *)

@@ -1,0 +1,62 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every reconstructed table/figure prints through this module so that
+    bench output, examples and EXPERIMENTS.md rows share one format. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg (Printf.sprintf "Report.make(%s): row width mismatch" title))
+    rows;
+  { title; header; rows; notes }
+
+let column_widths report =
+  let cells = report.header :: report.rows in
+  let widths = Array.make (List.length report.header) 0 in
+  let consider row =
+    List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  List.iter consider cells;
+  widths
+
+let render_row widths row =
+  let cells = List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row in
+  "| " ^ String.concat " | " cells ^ " |"
+
+let separator widths =
+  let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+  "|-" ^ String.concat "-|-" dashes ^ "-|"
+
+(** [to_string report] — markdown-ish table with title and notes. *)
+let to_string report =
+  let widths = column_widths report in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer ("## " ^ report.title ^ "\n");
+  Buffer.add_string buffer (render_row widths report.header ^ "\n");
+  Buffer.add_string buffer (separator widths ^ "\n");
+  List.iter (fun row -> Buffer.add_string buffer (render_row widths row ^ "\n")) report.rows;
+  List.iter (fun note -> Buffer.add_string buffer ("  note: " ^ note ^ "\n")) report.notes;
+  Buffer.contents buffer
+
+let print report = print_string (to_string report)
+
+(* Cell formatting helpers: stable significant-digit rendering so the
+   replicated rows do not wobble across runs/platforms. *)
+let cell_float ?(digits = 3) v =
+  if Float.is_nan v then "nan"
+  else if Float.abs v >= 1e15 || v = Float.infinity then "inf"
+  else Printf.sprintf "%.4g" (Amb_units.Si.round_to ~digits v)
+
+let cell_power p = Amb_units.Power.to_string p
+let cell_energy e = Amb_units.Energy.to_string e
+let cell_time t = Amb_units.Time_span.to_human_string t
+let cell_rate r = Amb_units.Data_rate.to_string r
+let cell_percent f = Printf.sprintf "%.1f%%" (100.0 *. f)

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the experiment harness: bench output,
+    examples and EXPERIMENTS.md rows share one format. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : ?notes:string list -> title:string -> header:string list -> string list list -> t
+(** Raises [Invalid_argument] when a row's width differs from the
+    header's. *)
+
+val to_string : t -> string
+(** Markdown-ish table with title and notes. *)
+
+val print : t -> unit
+
+val cell_float : ?digits:int -> float -> string
+(** Stable significant-digit rendering (default 3 digits). *)
+
+val cell_power : Amb_units.Power.t -> string
+val cell_energy : Amb_units.Energy.t -> string
+val cell_time : Amb_units.Time_span.t -> string
+val cell_rate : Amb_units.Data_rate.t -> string
+val cell_percent : float -> string

@@ -1,0 +1,1 @@
+lib/energy/battery.ml: Amb_units Charge Energy Float List Power Time_span Voltage

@@ -1,0 +1,1 @@
+lib/energy/battery.mli: Amb_units Charge Energy Power Time_span Voltage

@@ -1,0 +1,1 @@
+lib/energy/day_profile.ml: Amb_units Energy Float List Power Time_span Voltage

@@ -1,0 +1,1 @@
+lib/energy/day_profile.mli: Amb_units Energy Power Time_span Voltage

@@ -1,0 +1,1 @@
+lib/energy/harvester.ml: Amb_units Area Float Power Printf

@@ -1,0 +1,1 @@
+lib/energy/lifetime.ml: Amb_units Energy Float Power Supply Time_span

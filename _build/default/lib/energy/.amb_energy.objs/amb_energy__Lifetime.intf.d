@@ -1,0 +1,1 @@
+lib/energy/lifetime.mli: Amb_units Energy Power Supply Time_span

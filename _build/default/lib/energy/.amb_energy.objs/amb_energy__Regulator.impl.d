@@ -1,0 +1,1 @@
+lib/energy/regulator.ml: Amb_units List Power

@@ -1,0 +1,1 @@
+lib/energy/regulator.mli: Amb_units Power

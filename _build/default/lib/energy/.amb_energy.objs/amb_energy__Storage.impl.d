@@ -1,0 +1,1 @@
+lib/energy/storage.ml: Amb_units Energy Float Power Time_span Voltage

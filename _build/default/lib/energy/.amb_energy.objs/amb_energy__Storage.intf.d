@@ -1,0 +1,1 @@
+lib/energy/storage.mli: Amb_units Energy Power Time_span Voltage

@@ -1,0 +1,1 @@
+lib/energy/supply.ml: Amb_units Battery Float Harvester Power Storage Time_span

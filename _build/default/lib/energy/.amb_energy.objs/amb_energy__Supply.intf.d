@@ -1,0 +1,1 @@
+lib/energy/supply.mli: Amb_units Battery Harvester Power Storage Time_span

@@ -1,0 +1,120 @@
+(** Primary and secondary battery models.
+
+    The autonomous microWatt-node of the keynote lives or dies by what a
+    coin cell can deliver; the personal milliWatt-node by what a
+    rechargeable pack can.  The model captures the three effects that
+    matter at system level: rated capacity, Peukert-style derating at high
+    draw, and self-discharge (which bounds lifetime even at zero load). *)
+
+open Amb_units
+
+type chemistry =
+  | Lithium_coin  (** e.g. CR2032 primary cell *)
+  | Alkaline  (** AA/AAA primary *)
+  | Nickel_metal_hydride
+  | Lithium_ion
+  | Lithium_polymer
+
+let chemistry_name = function
+  | Lithium_coin -> "Li coin"
+  | Alkaline -> "alkaline"
+  | Nickel_metal_hydride -> "NiMH"
+  | Lithium_ion -> "Li-ion"
+  | Lithium_polymer -> "Li-polymer"
+
+type t = {
+  name : string;
+  chemistry : chemistry;
+  voltage : Voltage.t;  (** nominal terminal voltage *)
+  capacity : Charge.t;  (** rated capacity at the nominal (C/20-ish) rate *)
+  rated_current_a : float;  (** discharge current at which capacity is rated *)
+  peukert_exponent : float;  (** 1.0 = ideal; >1 derates high-rate draw *)
+  self_discharge_per_year : float;  (** fraction of capacity lost per year *)
+  max_continuous_current_a : float;
+  mass_g : float;
+}
+
+let make ~name ~chemistry ~voltage_v ~capacity_mah ~rated_current_ma ~peukert_exponent
+    ~self_discharge_per_year ~max_continuous_current_ma ~mass_g =
+  if capacity_mah <= 0.0 then invalid_arg "Battery.make: non-positive capacity";
+  if peukert_exponent < 1.0 then invalid_arg "Battery.make: Peukert exponent < 1";
+  if self_discharge_per_year < 0.0 || self_discharge_per_year >= 1.0 then
+    invalid_arg "Battery.make: self-discharge outside [0,1)";
+  {
+    name;
+    chemistry;
+    voltage = Voltage.volts voltage_v;
+    capacity = Charge.milliamp_hours capacity_mah;
+    rated_current_a = rated_current_ma *. 1e-3;
+    peukert_exponent;
+    self_discharge_per_year;
+    max_continuous_current_a = max_continuous_current_ma *. 1e-3;
+    mass_g;
+  }
+
+let cr2032 =
+  make ~name:"CR2032 coin cell" ~chemistry:Lithium_coin ~voltage_v:3.0 ~capacity_mah:220.0
+    ~rated_current_ma:0.2 ~peukert_exponent:1.05 ~self_discharge_per_year:0.01
+    ~max_continuous_current_ma:3.0 ~mass_g:3.0
+
+let aa_alkaline =
+  make ~name:"AA alkaline" ~chemistry:Alkaline ~voltage_v:1.5 ~capacity_mah:2500.0
+    ~rated_current_ma:25.0 ~peukert_exponent:1.15 ~self_discharge_per_year:0.03
+    ~max_continuous_current_ma:500.0 ~mass_g:23.0
+
+let two_aa_alkaline =
+  make ~name:"2x AA alkaline" ~chemistry:Alkaline ~voltage_v:3.0 ~capacity_mah:2500.0
+    ~rated_current_ma:25.0 ~peukert_exponent:1.15 ~self_discharge_per_year:0.03
+    ~max_continuous_current_ma:500.0 ~mass_g:46.0
+
+let liion_phone =
+  make ~name:"Li-ion 650 mAh (handheld)" ~chemistry:Lithium_ion ~voltage_v:3.7 ~capacity_mah:650.0
+    ~rated_current_ma:130.0 ~peukert_exponent:1.03 ~self_discharge_per_year:0.05
+    ~max_continuous_current_ma:1300.0 ~mass_g:18.0
+
+let lipo_wearable =
+  make ~name:"Li-polymer 120 mAh (wearable)" ~chemistry:Lithium_polymer ~voltage_v:3.7
+    ~capacity_mah:120.0 ~rated_current_ma:24.0 ~peukert_exponent:1.03
+    ~self_discharge_per_year:0.05 ~max_continuous_current_ma:240.0 ~mass_g:3.5
+
+let catalogue = [ cr2032; aa_alkaline; two_aa_alkaline; liion_phone; lipo_wearable ]
+let find name = List.find_opt (fun b -> b.name = name) catalogue
+
+(** [energy battery] — rated energy content. *)
+let energy battery = Charge.energy_at battery.capacity battery.voltage
+
+(** [effective_capacity battery ~draw_a] — Peukert-derated capacity at a
+    constant draw of [draw_a] amperes.  Draws at or below the rated current
+    return the full rated capacity (we do not credit low-rate gains). *)
+let effective_capacity battery ~draw_a =
+  if draw_a <= 0.0 then battery.capacity
+  else if draw_a <= battery.rated_current_a then battery.capacity
+  else
+    let derate = (battery.rated_current_a /. draw_a) ** (battery.peukert_exponent -. 1.0) in
+    Charge.scale derate battery.capacity
+
+(** [lifetime battery load] — how long [battery] sustains average power
+    [load], combining Peukert derating and self-discharge:
+    1/L = P/E_eff + k_self.  [Time_span.forever] at zero load with zero
+    self-discharge. *)
+let lifetime battery load =
+  let w = Power.to_watts load in
+  let draw_a = w /. Voltage.to_volts battery.voltage in
+  let e = Charge.energy_at (effective_capacity battery ~draw_a) battery.voltage in
+  let seconds_per_year = 86400.0 *. 365.25 in
+  let load_rate = if w <= 0.0 then 0.0 else w /. Energy.to_joules e in
+  let self_rate = battery.self_discharge_per_year /. seconds_per_year in
+  let total_rate = load_rate +. self_rate in
+  if total_rate <= 0.0 then Time_span.forever else Time_span.seconds (1.0 /. total_rate)
+
+(** [supports battery load] — whether the continuous current implied by
+    [load] stays within the cell's maximum continuous current (the reason a
+    coin cell cannot feed a WLAN radio no matter the duty cycle of the
+    average). *)
+let supports battery ~peak =
+  Power.to_watts peak /. Voltage.to_volts battery.voltage <= battery.max_continuous_current_a
+
+(** [energy_density_j_per_g battery] — gravimetric energy density. *)
+let energy_density_j_per_g battery =
+  if battery.mass_g <= 0.0 then Float.infinity
+  else Energy.to_joules (energy battery) /. battery.mass_g

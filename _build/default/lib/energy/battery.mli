@@ -1,0 +1,69 @@
+(** Primary and secondary battery models: rated capacity, Peukert-style
+    high-rate derating, self-discharge, and maximum continuous current.
+    The autonomous microWatt-node lives or dies by what a coin cell can
+    deliver; the personal milliWatt-node by what a rechargeable pack
+    can. *)
+
+open Amb_units
+
+type chemistry =
+  | Lithium_coin  (** e.g. CR2032 primary cell *)
+  | Alkaline  (** AA/AAA primary *)
+  | Nickel_metal_hydride
+  | Lithium_ion
+  | Lithium_polymer
+
+val chemistry_name : chemistry -> string
+
+type t = {
+  name : string;
+  chemistry : chemistry;
+  voltage : Voltage.t;  (** nominal terminal voltage *)
+  capacity : Charge.t;  (** rated capacity at the nominal rate *)
+  rated_current_a : float;  (** discharge current at which capacity is rated *)
+  peukert_exponent : float;  (** 1.0 = ideal; >1 derates high-rate draw *)
+  self_discharge_per_year : float;  (** fraction of capacity lost per year *)
+  max_continuous_current_a : float;
+  mass_g : float;
+}
+
+val make :
+  name:string ->
+  chemistry:chemistry ->
+  voltage_v:float ->
+  capacity_mah:float ->
+  rated_current_ma:float ->
+  peukert_exponent:float ->
+  self_discharge_per_year:float ->
+  max_continuous_current_ma:float ->
+  mass_g:float ->
+  t
+(** Raises [Invalid_argument] on non-positive capacity, Peukert exponent
+    below 1, or self-discharge outside [0,1). *)
+
+val cr2032 : t
+val aa_alkaline : t
+val two_aa_alkaline : t
+val liion_phone : t
+val lipo_wearable : t
+val catalogue : t list
+val find : string -> t option
+
+val energy : t -> Energy.t
+(** Rated energy content. *)
+
+val effective_capacity : t -> draw_a:float -> Charge.t
+(** Peukert-derated capacity at a constant draw; draws at or below the
+    rated current return the full rated capacity. *)
+
+val lifetime : t -> Power.t -> Time_span.t
+(** How long the battery sustains an average load, combining Peukert
+    derating and self-discharge: 1/L = P/E_eff + k_self.
+    [Time_span.forever] at zero load with zero self-discharge. *)
+
+val supports : t -> peak:Power.t -> bool
+(** Whether the continuous current implied by [peak] stays within the
+    cell's maximum — the reason a coin cell cannot feed a WLAN radio no
+    matter how low the duty-cycled average is. *)
+
+val energy_density_j_per_g : t -> float

@@ -1,0 +1,130 @@
+(** Diurnal harvesting profiles.
+
+    Indoor light is not constant: an office is lit ~10 hours a day and
+    nearly dark the rest.  An "autonomous" node must either ride through
+    the dark stretch on stored energy or lower its duty cycle.  This
+    module describes periodic day profiles as piecewise-constant scale
+    factors on a harvesting environment and sizes the storage buffer the
+    dark stretch requires (experiment E14). *)
+
+open Amb_units
+
+type segment = { duration : Time_span.t; scale : float }
+
+type t = {
+  name : string;
+  segments : segment list;  (** one period, repeated forever *)
+}
+
+let make ~name segments =
+  if segments = [] then invalid_arg "Day_profile.make: empty profile";
+  List.iter
+    (fun s ->
+      if Time_span.to_seconds s.duration <= 0.0 then
+        invalid_arg "Day_profile.make: non-positive segment";
+      if s.scale < 0.0 then invalid_arg "Day_profile.make: negative scale")
+    segments;
+  { name; segments }
+
+let period t = Time_span.sum (List.map (fun s -> s.duration) t.segments)
+
+(** Office lighting: 10 h at full level, 14 h at 2% (emergency lights /
+    residual daylight). *)
+let office_lighting =
+  make ~name:"office lighting"
+    [ { duration = Time_span.hours 10.0; scale = 1.0 };
+      { duration = Time_span.hours 14.0; scale = 0.02 };
+    ]
+
+(** Living-room lighting: two lit stretches (morning, evening). *)
+let living_room_lighting =
+  make ~name:"living-room lighting"
+    [ { duration = Time_span.hours 2.0; scale = 1.0 };
+      { duration = Time_span.hours 8.0; scale = 0.1 };
+      { duration = Time_span.hours 5.0; scale = 1.0 };
+      { duration = Time_span.hours 9.0; scale = 0.02 };
+    ]
+
+(** Outdoor sun: 12 h day / 12 h night. *)
+let outdoor_diurnal =
+  make ~name:"outdoor diurnal"
+    [ { duration = Time_span.hours 12.0; scale = 1.0 };
+      { duration = Time_span.hours 12.0; scale = 0.0 };
+    ]
+
+(** Constant (the default the rest of the toolkit assumes). *)
+let constant = make ~name:"constant" [ { duration = Time_span.hours 24.0; scale = 1.0 } ]
+
+(** [scale_at t time] — the multiplier in effect at [time] (periodic). *)
+let scale_at t time =
+  let p = Time_span.to_seconds (period t) in
+  let s = Float.rem (Time_span.to_seconds time) p in
+  let s = if s < 0.0 then s +. p else s in
+  let rec walk segments offset =
+    match segments with
+    | [] -> 1.0
+    | seg :: rest ->
+      let next = offset +. Time_span.to_seconds seg.duration in
+      if s < next then seg.scale else walk rest next
+  in
+  walk t.segments 0.0
+
+(** [average_scale t] — duration-weighted mean multiplier: the factor by
+    which the constant-income analyses overestimate real harvest. *)
+let average_scale t =
+  let total = Time_span.to_seconds (period t) in
+  List.fold_left
+    (fun acc s -> acc +. (s.scale *. Time_span.to_seconds s.duration /. total))
+    0.0 t.segments
+
+(** [average_income t peak_income] — long-run harvested power when the
+    nominal environment yields [peak_income]. *)
+let average_income t peak_income = Power.scale (average_scale t) peak_income
+
+(** [darkest_stretch t ~threshold] — the longest contiguous run of
+    segments whose scale stays below [threshold], accounting for
+    wrap-around across the period boundary. *)
+let darkest_stretch t ~threshold =
+  let dark s = s.scale < threshold in
+  let doubled = t.segments @ t.segments in
+  let best, _current =
+    List.fold_left
+      (fun (best, current) s ->
+        if dark s then
+          let current = Time_span.add current s.duration in
+          (Time_span.max best current, current)
+        else (best, Time_span.zero))
+      (Time_span.zero, Time_span.zero)
+      doubled
+  in
+  (* A fully dark profile would double-count; cap at the period. *)
+  Time_span.min best (period t)
+
+(** [buffer_energy_required t ~load ~income] — energy a storage buffer
+    must hold to carry [load] through the darkest stretch, crediting the
+    residual income during it. *)
+let buffer_energy_required t ~load ~income =
+  let stretch = darkest_stretch t ~threshold:0.5 in
+  (* Worst-case residual income during the stretch: the minimum scale. *)
+  let min_scale =
+    List.fold_left (fun acc s -> Float.min acc s.scale) Float.infinity t.segments
+  in
+  let residual = Power.scale min_scale income in
+  let net = Power.max Power.zero (Power.sub load residual) in
+  Energy.of_power_time net stretch
+
+(** [buffer_capacitance_required t ~load ~income ~v_max ~v_min] — the
+    supercapacitor value implementing {!buffer_energy_required} within the
+    usable voltage window. *)
+let buffer_capacitance_required t ~load ~income ~v_max ~v_min =
+  let window = Voltage.squared v_max -. Voltage.squared v_min in
+  if window <= 0.0 then invalid_arg "Day_profile.buffer_capacitance_required: empty window";
+  2.0 *. Energy.to_joules (buffer_energy_required t ~load ~income) /. window
+
+(** [sustainable t ~load ~income] — the long-run balance test: average
+    harvested income covers the load. *)
+let sustainable t ~load ~income = Power.ge (average_income t income) load
+
+(** [income_multiplier t] — a [time_s -> multiplier] function for the
+    discrete-event simulator. *)
+let income_multiplier t time_s = scale_at t (Time_span.seconds time_s)

@@ -1,0 +1,85 @@
+(** Ambient energy scavengers.
+
+    The keynote's autonomous node must ultimately run on scavenged energy.
+    Output figures follow the published surveys of the era (Roundy et al.):
+    indoor light ~10 uW/cm^2 of cell, outdoor sun ~10 mW/cm^2, vibration
+    ~100 uW/cm^3, body heat a few tens of uW/cm^2. *)
+
+open Amb_units
+
+type source =
+  | Photovoltaic of { area : Area.t; efficiency : float }
+      (** [efficiency] converts incident irradiance to electrical output *)
+  | Vibration of { volume_cm3 : float; density_uw_per_cm3 : float }
+  | Thermoelectric of { area : Area.t; power_per_area_per_k : float; delta_t_k : float }
+      (** [power_per_area_per_k] in W/m^2/K across the module *)
+  | Rf_field of { area : Area.t; field_power_w_m2 : float; efficiency : float }
+
+type environment = {
+  name : string;
+  irradiance_w_m2 : float;  (** incident light *)
+  vibration_scale : float;  (** 1.0 = the nominal machinery vibration *)
+  ambient_delta_t_k : float;  (** thermal gradient available *)
+  rf_power_w_m2 : float;  (** ambient RF field *)
+}
+
+let office_indoor =
+  { name = "office (indoor)"; irradiance_w_m2 = 5.0; vibration_scale = 0.1;
+    ambient_delta_t_k = 2.0; rf_power_w_m2 = 1e-6 }
+
+let home_living_room =
+  { name = "living room"; irradiance_w_m2 = 2.0; vibration_scale = 0.05;
+    ambient_delta_t_k = 2.0; rf_power_w_m2 = 1e-6 }
+
+let outdoor_daylight =
+  { name = "outdoor daylight"; irradiance_w_m2 = 500.0; vibration_scale = 0.1;
+    ambient_delta_t_k = 5.0; rf_power_w_m2 = 1e-6 }
+
+let industrial_machinery =
+  { name = "industrial (machinery)"; irradiance_w_m2 = 10.0; vibration_scale = 1.0;
+    ambient_delta_t_k = 10.0; rf_power_w_m2 = 1e-5 }
+
+let on_body =
+  { name = "on body"; irradiance_w_m2 = 3.0; vibration_scale = 0.3; ambient_delta_t_k = 5.0;
+    rf_power_w_m2 = 1e-6 }
+
+let environments =
+  [ office_indoor; home_living_room; outdoor_daylight; industrial_machinery; on_body ]
+
+(** [output source env] — average electrical output of [source] in
+    environment [env]. *)
+let output source env =
+  match source with
+  | Photovoltaic { area; efficiency } ->
+    Area.power_at_density (env.irradiance_w_m2 *. efficiency) area
+  | Vibration { volume_cm3; density_uw_per_cm3 } ->
+    Power.microwatts (volume_cm3 *. density_uw_per_cm3 *. env.vibration_scale)
+  | Thermoelectric { area; power_per_area_per_k; delta_t_k } ->
+    let usable_dt = Float.min delta_t_k env.ambient_delta_t_k in
+    Area.power_at_density (power_per_area_per_k *. usable_dt) area
+  | Rf_field { area; field_power_w_m2; efficiency } ->
+    let density = Float.min field_power_w_m2 env.rf_power_w_m2 in
+    Area.power_at_density (density *. efficiency) area
+
+(** A 5 cm^2 amorphous-silicon cell, the form factor of a wall-switch-sized
+    autonomous node. *)
+let small_solar_cell =
+  Photovoltaic { area = Area.square_centimetres 5.0; efficiency = 0.05 }
+
+(** A 1 cm^3 cantilever vibration scavenger (Roundy-style, ~100 uW/cm^3 on
+    machinery). *)
+let vibration_scavenger = Vibration { volume_cm3 = 1.0; density_uw_per_cm3 = 100.0 }
+
+(** A 4 cm^2 body-worn thermoelectric generator. *)
+let body_teg =
+  Thermoelectric
+    { area = Area.square_centimetres 4.0; power_per_area_per_k = 0.05; delta_t_k = 5.0 }
+
+(** [describe source] — human-readable source kind. *)
+let describe = function
+  | Photovoltaic { area; _ } ->
+    Printf.sprintf "photovoltaic %.1f cm^2" (Area.to_square_centimetres area)
+  | Vibration { volume_cm3; _ } -> Printf.sprintf "vibration %.1f cm^3" volume_cm3
+  | Thermoelectric { area; _ } ->
+    Printf.sprintf "thermoelectric %.1f cm^2" (Area.to_square_centimetres area)
+  | Rf_field { area; _ } -> Printf.sprintf "RF %.1f cm^2" (Area.to_square_centimetres area)

@@ -1,0 +1,41 @@
+(** Ambient energy scavengers: photovoltaic, vibration, thermoelectric
+    and RF sources, with output figures following the published surveys of
+    the era (indoor light ~10 uW/cm^2 of cell, outdoor sun ~10 mW/cm^2,
+    vibration ~100 uW/cm^3, body heat tens of uW/cm^2). *)
+
+open Amb_units
+
+type source =
+  | Photovoltaic of { area : Area.t; efficiency : float }
+  | Vibration of { volume_cm3 : float; density_uw_per_cm3 : float }
+  | Thermoelectric of { area : Area.t; power_per_area_per_k : float; delta_t_k : float }
+  | Rf_field of { area : Area.t; field_power_w_m2 : float; efficiency : float }
+
+type environment = {
+  name : string;
+  irradiance_w_m2 : float;  (** incident light *)
+  vibration_scale : float;  (** 1.0 = nominal machinery vibration *)
+  ambient_delta_t_k : float;  (** thermal gradient available *)
+  rf_power_w_m2 : float;  (** ambient RF field *)
+}
+
+val office_indoor : environment
+val home_living_room : environment
+val outdoor_daylight : environment
+val industrial_machinery : environment
+val on_body : environment
+val environments : environment list
+
+val output : source -> environment -> Power.t
+(** Average electrical output of [source] in [environment]. *)
+
+val small_solar_cell : source
+(** A 5 cm^2 amorphous-silicon cell (wall-switch form factor). *)
+
+val vibration_scavenger : source
+(** A 1 cm^3 cantilever vibration scavenger. *)
+
+val body_teg : source
+(** A 4 cm^2 body-worn thermoelectric generator. *)
+
+val describe : source -> string

@@ -1,0 +1,54 @@
+(** Closed-form lifetime analyses.
+
+    These are the analytic counterparts of the discrete-event simulation in
+    [Amb_node.Lifetime_sim]; experiment E12 cross-checks the two. *)
+
+open Amb_units
+
+type verdict =
+  | Autonomous  (** harvest (or mains) covers the load indefinitely *)
+  | Finite of Time_span.t
+  | Dead_on_arrival  (** no source can power the load at all *)
+
+let verdict_to_string = function
+  | Autonomous -> "autonomous"
+  | Finite t -> Time_span.to_human_string t
+  | Dead_on_arrival -> "dead on arrival"
+
+(** [evaluate supply load] — classify the (supply, load) pair. *)
+let evaluate supply load =
+  if Supply.is_autonomous supply load then Autonomous
+  else
+    let t = Supply.lifetime supply load in
+    if Time_span.is_forever t then Autonomous
+    else if Time_span.le t Time_span.zero then Dead_on_arrival
+    else Finite t
+
+(** [duty_cycle_for_autonomy ~active ~sleep ~income] — the largest activity
+    fraction [d] such that [d * active + (1-d) * sleep <= income]; [None]
+    when even pure sleep exceeds the income, [Some 1.0] when full activity
+    is covered. *)
+let duty_cycle_for_autonomy ~active ~sleep ~income =
+  let a = Power.to_watts active
+  and s = Power.to_watts sleep
+  and i = Power.to_watts income in
+  if s > i then None
+  else if a <= i then Some 1.0
+  else Some ((i -. s) /. (a -. s))
+
+(** [rate_for_autonomy ~cycle_energy ~sleep ~income] — the highest
+    activation rate (events/s) a harvester income sustains when each event
+    costs [cycle_energy] on top of a [sleep] floor; [None] when sleep alone
+    exceeds income. *)
+let rate_for_autonomy ~cycle_energy ~sleep ~income =
+  let s = Power.to_watts sleep and i = Power.to_watts income in
+  let e = Energy.to_joules cycle_energy in
+  if s > i then None
+  else if e <= 0.0 then Some Float.infinity
+  else Some ((i -. s) /. e)
+
+(** [average_load ~active ~sleep ~duty] — the duty-cycle power identity
+    used everywhere in the toolkit. *)
+let average_load ~active ~sleep ~duty =
+  if duty < 0.0 || duty > 1.0 then invalid_arg "Lifetime.average_load: duty outside [0,1]";
+  Power.add (Power.scale duty active) (Power.scale (1.0 -. duty) sleep)

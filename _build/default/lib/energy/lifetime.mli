@@ -1,0 +1,27 @@
+(** Closed-form lifetime analyses — the analytic counterparts of the
+    discrete-event simulation in [Amb_node.Lifetime_sim] (cross-checked by
+    experiment E12). *)
+
+open Amb_units
+
+type verdict =
+  | Autonomous  (** harvest (or mains) covers the load indefinitely *)
+  | Finite of Time_span.t
+  | Dead_on_arrival  (** no source can power the load at all *)
+
+val verdict_to_string : verdict -> string
+
+val evaluate : Supply.t -> Power.t -> verdict
+
+val duty_cycle_for_autonomy : active:Power.t -> sleep:Power.t -> income:Power.t -> float option
+(** Largest activity fraction [d] with [d*active + (1-d)*sleep <= income];
+    [None] when sleep alone exceeds income, [Some 1.0] when full activity
+    is covered. *)
+
+val rate_for_autonomy : cycle_energy:Energy.t -> sleep:Power.t -> income:Power.t -> float option
+(** Highest activation rate a harvester income sustains when each event
+    costs [cycle_energy] on top of a [sleep] floor. *)
+
+val average_load : active:Power.t -> sleep:Power.t -> duty:float -> Power.t
+(** The duty-cycle power identity; raises [Invalid_argument] for duty
+    outside [0,1]. *)

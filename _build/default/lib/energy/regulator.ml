@@ -1,0 +1,89 @@
+(** DC-DC converter efficiency curves.
+
+    The constant regulator efficiency used by {!Supply} is a fair model at
+    rated load, but real converters collapse at light load: the controller
+    quiescent current and switching overhead are paid regardless of how
+    little the load draws.  For a microWatt node that spends its life
+    asleep, the regulator — not the silicon — can set the sleep-power
+    floor (experiment E17). *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  peak_efficiency : float;  (** at and above the knee load *)
+  quiescent : Power.t;  (** controller bias, paid always *)
+  switching_overhead : Power.t;  (** fixed gate-drive/switching loss while converting *)
+  rated_load : Power.t;
+}
+
+let make ~name ~peak_efficiency ~quiescent_uw ~switching_overhead_uw ~rated_load_mw =
+  if peak_efficiency <= 0.0 || peak_efficiency > 1.0 then
+    invalid_arg "Regulator.make: peak efficiency outside (0,1]";
+  if rated_load_mw <= 0.0 then invalid_arg "Regulator.make: non-positive rated load";
+  {
+    name;
+    peak_efficiency;
+    quiescent = Power.microwatts quiescent_uw;
+    switching_overhead = Power.microwatts switching_overhead_uw;
+    rated_load = Power.milliwatts rated_load_mw;
+  }
+
+(** A 2003-era buck converter for mW-class loads: 90% peak, ~50 uA
+    controller. *)
+let buck_mw_class =
+  make ~name:"buck (mW class)" ~peak_efficiency:0.90 ~quiescent_uw:150.0
+    ~switching_overhead_uw:200.0 ~rated_load_mw:500.0
+
+(** A micropower boost converter designed for harvester nodes: lower peak
+    efficiency but ~1 uA quiescent. *)
+let micropower_boost =
+  make ~name:"micropower boost" ~peak_efficiency:0.82 ~quiescent_uw:3.0
+    ~switching_overhead_uw:2.0 ~rated_load_mw:10.0
+
+(** A linear LDO: efficiency bounded by the voltage ratio (here fixed at
+    60%), nearly no quiescent. *)
+let ldo_linear =
+  make ~name:"LDO (linear)" ~peak_efficiency:0.60 ~quiescent_uw:1.0 ~switching_overhead_uw:0.0
+    ~rated_load_mw:100.0
+
+let catalogue = [ buck_mw_class; micropower_boost; ldo_linear ]
+
+(** [input_power reg ~load] — power drawn from the source to deliver
+    [load]: conversion loss at the peak efficiency plus the fixed
+    overheads.  Raises [Invalid_argument] beyond the rated load. *)
+let input_power reg ~load =
+  if Power.gt load reg.rated_load then invalid_arg "Regulator.input_power: load above rating";
+  let conversion = Power.to_watts load /. reg.peak_efficiency in
+  Power.watts
+    (conversion +. Power.to_watts reg.quiescent +. Power.to_watts reg.switching_overhead)
+
+(** [efficiency_at reg ~load] — delivered / drawn; tends to
+    [peak_efficiency] at the rated load and to zero at no load. *)
+let efficiency_at reg ~load =
+  let input = Power.to_watts (input_power reg ~load) in
+  if input <= 0.0 then 0.0 else Power.to_watts load /. input
+
+(** [knee_load reg] — the load at which efficiency reaches half the peak:
+    where the fixed overheads equal the scaled conversion draw. *)
+let knee_load reg =
+  let fixed = Power.to_watts reg.quiescent +. Power.to_watts reg.switching_overhead in
+  Power.watts (fixed *. reg.peak_efficiency)
+
+(** [effective_sleep_floor reg ~sleep] — what the source really sees when
+    the silicon sleeps at [sleep]: the regulator's overheads usually
+    dominate. *)
+let effective_sleep_floor reg ~sleep = input_power reg ~load:sleep
+
+(** [best_for ~load] — the catalogue regulator drawing the least input
+    power at [load]. *)
+let best_for ~load =
+  let feasible = List.filter (fun r -> Power.le load r.rated_load) catalogue in
+  match feasible with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best r ->
+           if Power.lt (input_power r ~load) (input_power best ~load) then r else best)
+         first rest)

@@ -1,0 +1,45 @@
+(** DC-DC converter efficiency curves: peak efficiency at rated load,
+    collapse at light load from quiescent + switching overheads.  For a
+    node that spends its life asleep, the regulator can set the
+    sleep-power floor (experiment E17). *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  peak_efficiency : float;  (** at and above the knee load *)
+  quiescent : Power.t;  (** controller bias, paid always *)
+  switching_overhead : Power.t;  (** fixed loss while converting *)
+  rated_load : Power.t;
+}
+
+val make :
+  name:string ->
+  peak_efficiency:float ->
+  quiescent_uw:float ->
+  switching_overhead_uw:float ->
+  rated_load_mw:float ->
+  t
+(** Raises [Invalid_argument] on efficiency outside (0,1] or non-positive
+    ratings. *)
+
+val buck_mw_class : t
+val micropower_boost : t
+val ldo_linear : t
+val catalogue : t list
+
+val input_power : t -> load:Power.t -> Power.t
+(** Power drawn from the source to deliver [load]; raises
+    [Invalid_argument] beyond the rating. *)
+
+val efficiency_at : t -> load:Power.t -> float
+(** Delivered / drawn: peak at rated load, zero at no load. *)
+
+val knee_load : t -> Power.t
+(** The load at which efficiency reaches half the peak. *)
+
+val effective_sleep_floor : t -> sleep:Power.t -> Power.t
+(** What the source sees when the silicon sleeps at [sleep]. *)
+
+val best_for : load:Power.t -> t option
+(** The catalogue regulator drawing the least input power at [load]. *)

@@ -1,0 +1,51 @@
+(** Capacitive energy buffers.
+
+    Harvest-powered nodes buffer scavenged energy in a supercapacitor and
+    run bursts off it.  Usable energy is the difference of the two
+    quadratic terms between the maximum voltage and the regulator's
+    drop-out voltage. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  capacitance_f : float;
+  v_max : Voltage.t;
+  v_min : Voltage.t;  (** regulator drop-out: energy below this is stranded *)
+  leakage : Power.t;  (** self-leakage of the capacitor *)
+}
+
+let make ~name ~capacitance_f ~v_max_v ~v_min_v ~leakage_uw =
+  if capacitance_f <= 0.0 then invalid_arg "Storage.make: non-positive capacitance";
+  if v_min_v < 0.0 || v_min_v >= v_max_v then invalid_arg "Storage.make: need 0 <= v_min < v_max";
+  {
+    name;
+    capacitance_f;
+    v_max = Voltage.volts v_max_v;
+    v_min = Voltage.volts v_min_v;
+    leakage = Power.microwatts leakage_uw;
+  }
+
+let supercap_100mf = make ~name:"100 mF supercap" ~capacitance_f:0.1 ~v_max_v:3.3 ~v_min_v:1.8 ~leakage_uw:1.0
+let supercap_1f = make ~name:"1 F supercap" ~capacitance_f:1.0 ~v_max_v:2.7 ~v_min_v:1.2 ~leakage_uw:5.0
+
+(** [usable_energy cap] — 1/2 C (Vmax^2 - Vmin^2). *)
+let usable_energy cap =
+  Energy.joules (0.5 *. cap.capacitance_f *. (Voltage.squared cap.v_max -. Voltage.squared cap.v_min))
+
+(** [total_energy cap] — 1/2 C Vmax^2 (includes the stranded part). *)
+let total_energy cap = Energy.joules (0.5 *. cap.capacitance_f *. Voltage.squared cap.v_max)
+
+(** [charge_time cap source_power] — time to fill the usable window from
+    empty at constant net input power (leakage already deducted by the
+    caller if desired). *)
+let charge_time cap source_power =
+  let w = Power.to_watts source_power in
+  if w <= 0.0 then Time_span.forever
+  else Time_span.seconds (Energy.to_joules (usable_energy cap) /. w)
+
+(** [burst_capacity cap burst_energy] — how many bursts of [burst_energy]
+    one full usable window sustains. *)
+let burst_capacity cap burst_energy =
+  let e = Energy.to_joules burst_energy in
+  if e <= 0.0 then Float.infinity else Energy.to_joules (usable_energy cap) /. e

@@ -1,0 +1,31 @@
+(** Capacitive energy buffers.  Harvest-powered nodes buffer scavenged
+    energy in a supercapacitor and run bursts off it; usable energy is
+    1/2 C (Vmax^2 - Vmin^2) above the regulator's drop-out. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  capacitance_f : float;
+  v_max : Voltage.t;
+  v_min : Voltage.t;  (** regulator drop-out: energy below this is stranded *)
+  leakage : Power.t;
+}
+
+val make :
+  name:string -> capacitance_f:float -> v_max_v:float -> v_min_v:float -> leakage_uw:float -> t
+(** Raises [Invalid_argument] unless [0 <= v_min < v_max] and capacitance
+    is positive. *)
+
+val supercap_100mf : t
+val supercap_1f : t
+
+val usable_energy : t -> Energy.t
+val total_energy : t -> Energy.t
+
+val charge_time : t -> Power.t -> Time_span.t
+(** Time to fill the usable window at a constant net input power;
+    [Time_span.forever] for non-positive input. *)
+
+val burst_capacity : t -> Energy.t -> float
+(** How many bursts of a given energy one full window sustains. *)

@@ -1,0 +1,98 @@
+(** Node power-supply chains.
+
+    A supply combines at most one battery, at most one harvester (with its
+    environment), an optional storage buffer and a regulator efficiency.
+    The three keynote device classes map onto three archetypes:
+    µW-node = harvester (+ coin cell), mW-node = rechargeable battery,
+    W-node = mains. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  battery : Battery.t option;
+  harvester : (Harvester.source * Harvester.environment) option;
+  storage : Storage.t option;
+  regulator_efficiency : float;  (** fraction of source energy reaching the load *)
+  mains : bool;
+}
+
+let make ?battery ?harvester ?storage ?(regulator_efficiency = 0.85) ?(mains = false) ~name () =
+  if regulator_efficiency <= 0.0 || regulator_efficiency > 1.0 then
+    invalid_arg "Supply.make: regulator efficiency outside (0,1]";
+  { name; battery; harvester; storage; regulator_efficiency; mains }
+
+let battery_only ~name battery = make ~name ~battery ()
+
+let harvester_with_buffer ~name source env storage =
+  make ~name ~harvester:(source, env) ~storage ()
+
+let harvester_and_battery ~name source env battery = make ~name ~harvester:(source, env) ~battery ()
+let mains ~name = make ~name ~mains:true ~regulator_efficiency:0.8 ()
+
+(** [harvest_income supply] — average harvested power delivered to the load
+    (after the regulator, minus storage leakage). *)
+let harvest_income supply =
+  match supply.harvester with
+  | None -> Power.zero
+  | Some (source, env) ->
+    let raw = Harvester.output source env in
+    let after_reg = Power.scale supply.regulator_efficiency raw in
+    let leak = match supply.storage with None -> Power.zero | Some s -> s.Storage.leakage in
+    Power.max Power.zero (Power.sub after_reg leak)
+
+(** [net_drain supply load] — average power drawn from the battery once the
+    harvester's contribution is subtracted; zero when the harvester covers
+    the load (energy-autonomous operation). *)
+let net_drain supply load =
+  (* [harvest_income] is measured on the load side (post-regulator), so it
+     offsets the load directly; the remainder is drawn from the battery
+     through the regulator. *)
+  let uncovered_load = Power.max Power.zero (Power.sub load (harvest_income supply)) in
+  Power.div uncovered_load supply.regulator_efficiency
+
+(** [is_autonomous supply load] — true when the node never touches a
+    battery: mains powered, or harvest income >= load. *)
+let is_autonomous supply load =
+  supply.mains || Power.ge (harvest_income supply) load
+
+(** [lifetime supply load] — expected lifetime at average [load]:
+    [Time_span.forever] for mains or fully harvester-covered operation;
+    battery lifetime at the net drain otherwise; zero when there is no
+    energy source at all. *)
+let lifetime supply load =
+  if is_autonomous supply load then Time_span.forever
+  else
+    match supply.battery with
+    | None -> Time_span.zero
+    | Some battery -> Battery.lifetime battery (net_drain supply load)
+
+(** [power_budget_for_lifetime supply target] — the largest average load
+    sustainable for [target] (binary search over the lifetime curve);
+    [None] when no finite budget reaches the target (e.g. no battery and
+    no harvester). *)
+let power_budget_for_lifetime supply target =
+  if supply.mains then Some (Power.watts Float.infinity)
+  else
+    let ok load = Time_span.ge (lifetime supply load) target in
+    if not (ok Power.zero) then None
+    else
+      (* Exponential bracket then bisection on the monotone lifetime curve. *)
+      let rec bracket hi n =
+        if n = 0 then hi else if ok (Power.watts hi) then bracket (hi *. 2.0) (n - 1) else hi
+      in
+      let hi = bracket 1e-9 120 in
+      let budget =
+        if ok (Power.watts hi) then hi
+        else
+          let rec bisect lo hi n =
+            if n = 0 then lo
+            else
+              let mid = 0.5 *. (lo +. hi) in
+              if ok (Power.watts mid) then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+          in
+          bisect 0.0 hi 60
+      in
+      (* Only the zero budget works when the supply has no energy source at
+         all: report that as "no budget". *)
+      if budget <= 1e-12 then None else Some (Power.watts budget)

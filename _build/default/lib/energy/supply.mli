@@ -1,0 +1,52 @@
+(** Node power-supply chains: at most one battery, at most one harvester
+    (with its environment), an optional storage buffer, a regulator
+    efficiency, or mains.  The three keynote classes map onto three
+    archetypes: uW = harvester (+ coin cell), mW = rechargeable battery,
+    W = mains. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  battery : Battery.t option;
+  harvester : (Harvester.source * Harvester.environment) option;
+  storage : Storage.t option;
+  regulator_efficiency : float;  (** fraction of source energy reaching the load *)
+  mains : bool;
+}
+
+val make :
+  ?battery:Battery.t ->
+  ?harvester:Harvester.source * Harvester.environment ->
+  ?storage:Storage.t ->
+  ?regulator_efficiency:float ->
+  ?mains:bool ->
+  name:string ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on a regulator efficiency outside (0,1]. *)
+
+val battery_only : name:string -> Battery.t -> t
+val harvester_with_buffer : name:string -> Harvester.source -> Harvester.environment -> Storage.t -> t
+val harvester_and_battery : name:string -> Harvester.source -> Harvester.environment -> Battery.t -> t
+val mains : name:string -> t
+
+val harvest_income : t -> Power.t
+(** Average harvested power delivered to the load (post-regulator, minus
+    storage leakage). *)
+
+val net_drain : t -> Power.t -> Power.t
+(** Average power drawn from the battery once the harvester's
+    contribution is subtracted; zero under energy-autonomous operation. *)
+
+val is_autonomous : t -> Power.t -> bool
+(** Mains powered, or harvest income covers the load. *)
+
+val lifetime : t -> Power.t -> Time_span.t
+(** [Time_span.forever] when autonomous; battery lifetime at the net
+    drain otherwise; zero with no energy source at all. *)
+
+val power_budget_for_lifetime : t -> Time_span.t -> Power.t option
+(** The largest average load sustainable for a target lifetime (bisection
+    over the monotone lifetime curve); [None] when only the zero budget
+    works; infinite for mains. *)

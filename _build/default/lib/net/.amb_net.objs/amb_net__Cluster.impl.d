@@ -1,0 +1,1 @@
+lib/net/cluster.ml: Amb_units Energy Float

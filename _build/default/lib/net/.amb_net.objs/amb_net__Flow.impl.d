@@ -1,0 +1,1 @@
+lib/net/flow.ml: Amb_units Array Energy Float Graph Routing Topology

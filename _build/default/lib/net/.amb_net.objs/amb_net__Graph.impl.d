@@ -1,0 +1,1 @@
+lib/net/graph.ml: Amb_sim Array Float List Printf Queue Stdlib

@@ -1,0 +1,1 @@
+lib/net/net_sim.ml: Amb_sim Amb_units Array Energy Engine Float Graph Option Rng Routing Time_span Topology

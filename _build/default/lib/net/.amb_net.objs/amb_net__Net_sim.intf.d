@@ -1,0 +1,1 @@
+lib/net/net_sim.mli: Amb_units Energy Routing Time_span

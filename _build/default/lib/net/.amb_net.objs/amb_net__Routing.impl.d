@@ -1,0 +1,1 @@
+lib/net/routing.ml: Amb_circuit Amb_radio Amb_units Energy Float Graph Link_budget Packet Topology

@@ -1,0 +1,1 @@
+lib/net/routing.mli: Amb_radio Amb_units Energy Graph Link_budget Packet Topology

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Amb_sim Array Float Graph List Stdlib

@@ -1,0 +1,90 @@
+(** Cluster-based data collection (LEACH-style analysis).
+
+    A fraction [p] of nodes act as cluster heads each round: members send
+    one short hop to their head, heads aggregate and send one long hop to
+    the sink.  The analytic model exposes the classic optimum head
+    fraction and the energy benefit of aggregation. *)
+
+open Amb_units
+
+type t = {
+  nodes : int;
+  field_m : float;  (** square field edge length *)
+  sink_distance_m : float;  (** average head-to-sink distance *)
+  e_elec_per_bit : Energy.t;  (** electronics energy per bit, TX or RX *)
+  e_amp_j_per_bit_m2 : float;  (** PA energy per bit per m^2 (free-space model) *)
+  aggregation_ratio : float;  (** head output bits / total member input bits *)
+  bits_per_round : float;  (** bits produced per node per round *)
+}
+
+let make ?(aggregation_ratio = 0.1) ~nodes ~field_m ~sink_distance_m ~e_elec_nj_per_bit
+    ~e_amp_pj_per_bit_m2 ~bits_per_round () =
+  if nodes <= 1 then invalid_arg "Cluster.make: need at least two nodes";
+  if aggregation_ratio < 0.0 || aggregation_ratio > 1.0 then
+    invalid_arg "Cluster.make: aggregation ratio outside [0,1]";
+  {
+    nodes;
+    field_m;
+    sink_distance_m;
+    e_elec_per_bit = Energy.nanojoules e_elec_nj_per_bit;
+    e_amp_j_per_bit_m2 = e_amp_pj_per_bit_m2 *. 1e-12;
+    aggregation_ratio;
+    bits_per_round;
+  }
+
+(* Expected squared member-to-head distance for k heads uniformly covering
+   a square field of side M: M^2 / (2 pi k)  (the standard LEACH result). *)
+let expected_member_distance_sq t ~head_fraction =
+  let k = Float.max 1.0 (head_fraction *. Float.of_int t.nodes) in
+  t.field_m *. t.field_m /. (2.0 *. Float.pi *. k)
+
+let tx_energy t ~bits ~distance_sq =
+  Energy.add (Energy.scale bits t.e_elec_per_bit)
+    (Energy.joules (bits *. t.e_amp_j_per_bit_m2 *. distance_sq))
+
+let rx_energy t ~bits = Energy.scale bits t.e_elec_per_bit
+
+(** [round_energy t ~head_fraction] — expected total network energy per
+    collection round at the given head fraction. *)
+let round_energy t ~head_fraction =
+  if head_fraction <= 0.0 || head_fraction > 1.0 then
+    invalid_arg "Cluster.round_energy: head fraction outside (0,1]";
+  let n = Float.of_int t.nodes in
+  let heads = Float.max 1.0 (head_fraction *. n) in
+  let members = n -. heads in
+  let members_per_head = members /. heads in
+  let d2_member = expected_member_distance_sq t ~head_fraction in
+  (* Members transmit one short hop. *)
+  let e_members = Energy.scale members (tx_energy t ~bits:t.bits_per_round ~distance_sq:d2_member) in
+  (* Heads receive all member traffic, aggregate, and forward to the sink.
+     Aggregation is LEACH-style: the head emits one fixed-size composite
+     frame plus a residual [aggregation_ratio] share of the member input
+     (ratio 0 = perfect aggregation, 1 = pure relaying). *)
+  let e_head_rx =
+    Energy.scale heads (rx_energy t ~bits:(members_per_head *. t.bits_per_round))
+  in
+  let aggregated_bits =
+    t.bits_per_round +. (t.aggregation_ratio *. members_per_head *. t.bits_per_round)
+  in
+  let d2_sink = t.sink_distance_m *. t.sink_distance_m in
+  let e_head_tx = Energy.scale heads (tx_energy t ~bits:aggregated_bits ~distance_sq:d2_sink) in
+  Energy.sum [ e_members; e_head_rx; e_head_tx ]
+
+(** [direct_energy t] — every node transmits straight to the sink (no
+    clustering): the baseline the keynote's network argument beats. *)
+let direct_energy t =
+  let d2 = t.sink_distance_m *. t.sink_distance_m in
+  Energy.scale (Float.of_int t.nodes) (tx_energy t ~bits:t.bits_per_round ~distance_sq:d2)
+
+(** [optimal_head_fraction t] — numeric minimiser of {!round_energy} over
+    (0, 0.5]. *)
+let optimal_head_fraction t =
+  let energy_at p = Energy.to_joules (round_energy t ~head_fraction:p) in
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec golden lo hi n =
+    if n = 0 then 0.5 *. (lo +. hi)
+    else
+      let a = hi -. ((hi -. lo) *. phi) and b = lo +. ((hi -. lo) *. phi) in
+      if energy_at a < energy_at b then golden lo b (n - 1) else golden a hi (n - 1)
+  in
+  golden 0.005 0.5 80

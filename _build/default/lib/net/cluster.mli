@@ -1,0 +1,42 @@
+(** Cluster-based data collection (LEACH-style analysis): a fraction of
+    nodes act as heads each round; members send one short hop, heads
+    aggregate and send one long hop to the sink. *)
+
+open Amb_units
+
+type t = {
+  nodes : int;
+  field_m : float;  (** square field edge length *)
+  sink_distance_m : float;  (** average head-to-sink distance *)
+  e_elec_per_bit : Energy.t;  (** electronics energy per bit, TX or RX *)
+  e_amp_j_per_bit_m2 : float;  (** PA energy per bit per m^2 (free-space) *)
+  aggregation_ratio : float;  (** residual member-traffic share a head re-emits *)
+  bits_per_round : float;  (** bits produced per node per round *)
+}
+
+val make :
+  ?aggregation_ratio:float ->
+  nodes:int ->
+  field_m:float ->
+  sink_distance_m:float ->
+  e_elec_nj_per_bit:float ->
+  e_amp_pj_per_bit_m2:float ->
+  bits_per_round:float ->
+  unit ->
+  t
+(** Default aggregation ratio 0.1.  Raises [Invalid_argument] with fewer
+    than two nodes or a ratio outside [0,1]. *)
+
+val expected_member_distance_sq : t -> head_fraction:float -> float
+(** Expected squared member-to-head distance: M^2 / (2 pi k). *)
+
+val round_energy : t -> head_fraction:float -> Energy.t
+(** Expected total network energy per collection round; raises
+    [Invalid_argument] for fractions outside (0,1]. *)
+
+val direct_energy : t -> Energy.t
+(** The no-clustering baseline: every node transmits straight to the
+    sink. *)
+
+val optimal_head_fraction : t -> float
+(** Numeric minimiser of {!round_energy} over (0, 0.5]. *)

@@ -1,0 +1,125 @@
+(** Weighted directed graphs over integer node ids.
+
+    Small, dependency-free graph kernel: adjacency lists, Dijkstra
+    shortest paths, BFS hop counts and connectivity — everything the
+    routing layer needs. *)
+
+type edge = { dst : int; weight : float }
+
+type t = {
+  node_count : int;
+  adjacency : edge list array;
+}
+
+let create node_count =
+  if node_count < 0 then invalid_arg "Graph.create: negative node count";
+  { node_count; adjacency = Array.make (Stdlib.max node_count 1) [] }
+
+let node_count g = g.node_count
+
+let check_node g v =
+  if v < 0 || v >= g.node_count then
+    invalid_arg (Printf.sprintf "Graph: node %d outside 0..%d" v (g.node_count - 1))
+
+(** [add_edge g ~src ~dst ~weight] — directed edge; negative weights are
+    rejected (Dijkstra). *)
+let add_edge g ~src ~dst ~weight =
+  check_node g src;
+  check_node g dst;
+  if weight < 0.0 then invalid_arg "Graph.add_edge: negative weight";
+  g.adjacency.(src) <- { dst; weight } :: g.adjacency.(src)
+
+(** [add_undirected g a b ~weight] — edge in both directions. *)
+let add_undirected g a b ~weight =
+  add_edge g ~src:a ~dst:b ~weight;
+  add_edge g ~src:b ~dst:a ~weight
+
+let neighbors g v =
+  check_node g v;
+  g.adjacency.(v)
+
+let edge_count g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.adjacency
+
+(** [dijkstra g ~src] — arrays of (distance, predecessor) from [src];
+    unreachable nodes have infinite distance and predecessor -1. *)
+let dijkstra g ~src =
+  check_node g src;
+  let dist = Array.make g.node_count Float.infinity in
+  let prev = Array.make g.node_count (-1) in
+  let visited = Array.make g.node_count false in
+  dist.(src) <- 0.0;
+  (* A simple heap of (distance, node); stale entries are skipped. *)
+  let heap = Amb_sim.Event_queue.create () in
+  Amb_sim.Event_queue.push heap ~time:0.0 src;
+  let rec loop () =
+    match Amb_sim.Event_queue.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if (not visited.(u)) && d <= dist.(u) then begin
+        visited.(u) <- true;
+        let relax { dst; weight } =
+          let candidate = dist.(u) +. weight in
+          if candidate < dist.(dst) then begin
+            dist.(dst) <- candidate;
+            prev.(dst) <- u;
+            Amb_sim.Event_queue.push heap ~time:candidate dst
+          end
+        in
+        List.iter relax g.adjacency.(u)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, prev)
+
+(** [shortest_path g ~src ~dst] — node list from [src] to [dst] inclusive,
+    or [None] when unreachable. *)
+let shortest_path g ~src ~dst =
+  check_node g dst;
+  let dist, prev = dijkstra g ~src in
+  if dist.(dst) = Float.infinity then None
+  else
+    let rec walk v acc = if v = src then src :: acc else walk prev.(v) (v :: acc) in
+    Some (walk dst [])
+
+(** [path_cost g path] — sum of edge weights along [path]; raises
+    [Not_found] if an edge is missing. *)
+let path_cost g path =
+  let edge_weight u v =
+    match List.find_opt (fun e -> e.dst = v) g.adjacency.(u) with
+    | Some e -> e.weight
+    | None -> raise Not_found
+  in
+  let rec walk = function
+    | [] | [ _ ] -> 0.0
+    | u :: (v :: _ as rest) -> edge_weight u v +. walk rest
+  in
+  walk path
+
+(** [hops g ~src] — BFS hop counts from [src] (edges treated as unit
+    weight); -1 for unreachable nodes. *)
+let hops g ~src =
+  check_node g src;
+  let dist = Array.make g.node_count (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let visit { dst; _ } =
+      if dist.(dst) < 0 then begin
+        dist.(dst) <- dist.(u) + 1;
+        Queue.push dst q
+      end
+    in
+    List.iter visit g.adjacency.(u)
+  done;
+  dist
+
+(** [is_connected g] — every node reachable from node 0 (undirected
+    usage). *)
+let is_connected g =
+  if g.node_count = 0 then true
+  else
+    let dist = hops g ~src:0 in
+    Array.for_all (fun d -> d >= 0) dist

@@ -1,0 +1,179 @@
+(** Packet-level sensor-network simulation.
+
+    The full-stack counterpart of the analytic collection-tree model:
+    every node periodically generates a report (with jitter), reports are
+    forwarded hop by hop along a collection tree, every transmission and
+    reception drains the sender's and forwarder's energy budgets, dead
+    nodes drop traffic and trigger a tree rebuild.  Experiment E20 checks
+    the simulated first-death time against {!Flow.simulate_depletion}'s
+    closed-form block analysis. *)
+
+open Amb_units
+open Amb_sim
+
+type config = {
+  router : Routing.t;
+  sink : int;
+  policy : Routing.policy;
+  report_period : Time_span.t;  (** per-node generation period *)
+  budget : int -> Energy.t;  (** per-node radio energy budget *)
+  horizon : Time_span.t;
+  rebuild_period : Time_span.t;  (** periodic residual-aware tree rebuild *)
+}
+
+let config ?(rebuild_period = Time_span.hours 4.0) ~router ~sink ~policy ~report_period ~budget
+    ~horizon () =
+  if Time_span.to_seconds report_period <= 0.0 then
+    invalid_arg "Net_sim.config: non-positive report period";
+  if Time_span.to_seconds horizon <= 0.0 then invalid_arg "Net_sim.config: non-positive horizon";
+  { router; sink; policy; report_period; budget; horizon; rebuild_period }
+
+type outcome = {
+  generated : int;
+  delivered : int;
+  dropped : int;
+  first_death : Time_span.t option;  (** first node exhaustion instant *)
+  dead_at_end : int;
+  delivery_ratio : float;
+  energy_spent : Energy.t;
+}
+
+type state = {
+  residual : float array;
+  alive : bool array;
+  mutable parent : int array;
+  mutable generated : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable first_death : float option;
+  mutable spent : float;
+}
+
+(* Rebuild the collection tree over the alive subgraph, weighting edges by
+   the routing policy (residual-aware for Max_lifetime). *)
+let rebuild cfg st =
+  let topo = cfg.router.Routing.topology in
+  let n = Topology.node_count topo in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && st.alive.(i) && st.alive.(j) then begin
+        let d = Topology.pair_distance topo i j in
+        if d <= cfg.router.Routing.range_m then
+          match Routing.hop_energy cfg.router ~distance_m:d with
+          | None -> ()
+          | Some e ->
+            let joules = Energy.to_joules e in
+            let weight =
+              match cfg.policy with
+              | Routing.Min_hop -> 1.0
+              | Routing.Min_energy -> joules
+              | Routing.Max_lifetime ->
+                if st.residual.(i) <= 0.0 then Float.max_float /. 1e6
+                else joules /. st.residual.(i)
+            in
+            Graph.add_edge g ~src:i ~dst:j ~weight
+      end
+    done
+  done;
+  let _, prev = Graph.dijkstra g ~src:cfg.sink in
+  st.parent <-
+    Array.init n (fun i ->
+        if i = cfg.sink then -1 else if prev.(i) < 0 || not st.alive.(i) then -2 else prev.(i))
+
+let kill cfg st engine node =
+  if st.alive.(node) then begin
+    st.alive.(node) <- false;
+    if st.first_death = None then
+      st.first_death <- Some (Time_span.to_seconds (Engine.now engine));
+    rebuild cfg st
+  end
+
+(* Charge [joules] to [node]; returns false (and kills the node) when the
+   budget runs out. *)
+let charge cfg st engine node joules =
+  st.spent <- st.spent +. joules;
+  st.residual.(node) <- st.residual.(node) -. joules;
+  if st.residual.(node) <= 0.0 then begin
+    kill cfg st engine node;
+    false
+  end
+  else true
+
+(* Forward one report from [src] towards the sink along the current tree;
+   per hop, the sender pays TX energy (distance-dependent) and the
+   receiver pays RX energy. *)
+let forward cfg st engine src =
+  let topo = cfg.router.Routing.topology in
+  let rec hop node ttl =
+    if ttl <= 0 then st.dropped <- st.dropped + 1
+    else if node = cfg.sink then st.delivered <- st.delivered + 1
+    else
+      let parent = st.parent.(node) in
+      if parent < 0 || not st.alive.(node) then st.dropped <- st.dropped + 1
+      else
+        let d = Topology.pair_distance topo node parent in
+        match Routing.sender_energy cfg.router ~distance_m:d with
+        | None -> st.dropped <- st.dropped + 1
+        | Some e_tx ->
+          let sender_ok = charge cfg st engine node (Energy.to_joules e_tx) in
+          let receiver_ok =
+            parent = cfg.sink
+            || charge cfg st engine parent
+                 (Energy.to_joules (Routing.receiver_energy cfg.router))
+          in
+          if sender_ok && receiver_ok then hop parent (ttl - 1)
+          else st.dropped <- st.dropped + 1
+  in
+  hop src (Topology.node_count topo)
+
+let run cfg ~seed =
+  let topo = cfg.router.Routing.topology in
+  let n = Topology.node_count topo in
+  let rng = Rng.create seed in
+  let engine = Engine.create () in
+  let st =
+    {
+      residual = Array.init n (fun i -> Energy.to_joules (cfg.budget i));
+      alive = Array.make n true;
+      parent = Array.make n (-2);
+      generated = 0;
+      delivered = 0;
+      dropped = 0;
+      first_death = None;
+      spent = 0.0;
+    }
+  in
+  rebuild cfg st;
+  (* Periodic reporting per node, staggered by a random phase. *)
+  let period = Time_span.to_seconds cfg.report_period in
+  for node = 0 to n - 1 do
+    if node <> cfg.sink then begin
+      let phase = Rng.uniform rng 0.0 period in
+      Engine.schedule engine ~delay:(Time_span.seconds phase) (fun engine ->
+          let rec report engine =
+            if st.alive.(node) then begin
+              st.generated <- st.generated + 1;
+              forward cfg st engine node;
+              Engine.schedule engine ~delay:cfg.report_period report
+            end
+          in
+          report engine)
+    end
+  done;
+  (* Periodic residual-aware rebuild (matters for Max_lifetime). *)
+  Engine.every engine ~period:cfg.rebuild_period ~until:cfg.horizon (fun _ ->
+      rebuild cfg st;
+      true);
+  let _ = Engine.run ~until:cfg.horizon engine in
+  let dead = Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 st.alive in
+  {
+    generated = st.generated;
+    delivered = st.delivered;
+    dropped = st.dropped;
+    first_death = Option.map Time_span.seconds st.first_death;
+    dead_at_end = dead;
+    delivery_ratio =
+      (if st.generated = 0 then 0.0 else Float.of_int st.delivered /. Float.of_int st.generated);
+    energy_spent = Energy.joules st.spent;
+  }

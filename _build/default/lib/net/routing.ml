@@ -1,0 +1,107 @@
+(** Multi-hop routing policies over a radio topology.
+
+    Edge costs derive from the physical layer: transmitting over distance
+    [d] costs the minimum closing TX energy per bit (via the link budget),
+    plus the receiver's energy per bit.  Three policies:
+    - [Min_hop] — fewest transmissions;
+    - [Min_energy] — least total energy per delivered bit;
+    - [Max_lifetime] — avoid draining bottleneck nodes (energy cost scaled
+      by the inverse of the forwarder's residual energy). *)
+
+open Amb_units
+open Amb_radio
+
+type policy = Min_hop | Min_energy | Max_lifetime
+
+let policy_name = function
+  | Min_hop -> "min-hop"
+  | Min_energy -> "min-energy"
+  | Max_lifetime -> "max-lifetime"
+
+type t = {
+  topology : Topology.t;
+  link : Link_budget.t;
+  packet : Packet.t;
+  range_m : float;
+}
+
+let make ~topology ~link ~packet =
+  let range_m = Link_budget.max_range link ~tx_dbm:link.Link_budget.radio.Amb_circuit.Radio_frontend.max_tx_dbm in
+  { topology; link; packet; range_m }
+
+(** [hop_energy router ~distance_m] — energy to move one packet one hop of
+    [distance_m]: minimum closing TX energy plus RX energy; [None] beyond
+    radio reach. *)
+let hop_energy router ~distance_m =
+  match Link_budget.required_tx_dbm router.link ~distance_m with
+  | None -> None
+  | Some tx_dbm ->
+    let bits = Packet.total_bits router.packet in
+    let radio = router.link.Link_budget.radio in
+    let e_tx = Amb_circuit.Radio_frontend.transmit_energy radio ~tx_dbm ~bits ~include_startup:true in
+    let e_rx = Amb_circuit.Radio_frontend.receive_energy radio ~bits ~include_startup:true in
+    Some (Energy.add e_tx e_rx)
+
+(** [build_graph router ~policy ~residual] — weighted graph for [policy].
+    [residual] gives each node's remaining energy (used by
+    [Max_lifetime]); pass the same value for all nodes to recover
+    [Min_energy] behaviour. *)
+let build_graph router ~policy ~residual =
+  let n = Topology.node_count router.topology in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d = Topology.pair_distance router.topology i j in
+        if d <= router.range_m then
+          match hop_energy router ~distance_m:d with
+          | None -> ()
+          | Some e ->
+            let joules = Energy.to_joules e in
+            let weight =
+              match policy with
+              | Min_hop -> 1.0
+              | Min_energy -> joules
+              | Max_lifetime ->
+                let r = Energy.to_joules (residual i) in
+                if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
+            in
+            Graph.add_edge g ~src:i ~dst:j ~weight
+      end
+    done
+  done;
+  g
+
+(** [route router ~policy ~residual ~src ~dst] — the chosen path, or
+    [None] when disconnected. *)
+let route router ~policy ~residual ~src ~dst =
+  let g = build_graph router ~policy ~residual in
+  Graph.shortest_path g ~src ~dst
+
+(** [path_energy router path] — total radio energy to deliver one packet
+    along [path]; [None] if a hop is out of range. *)
+let path_energy router path =
+  let rec walk = function
+    | [] | [ _ ] -> Some Energy.zero
+    | u :: (v :: _ as rest) -> (
+      let d = Topology.pair_distance router.topology u v in
+      match (hop_energy router ~distance_m:d, walk rest) with
+      | Some e, Some tail -> Some (Energy.add e tail)
+      | _, _ -> None)
+  in
+  walk path
+
+(** [sender_energy router ~distance_m] — TX-side-only energy for one hop
+    (used when accounting per-node depletion). *)
+let sender_energy router ~distance_m =
+  match Link_budget.required_tx_dbm router.link ~distance_m with
+  | None -> None
+  | Some tx_dbm ->
+    Some
+      (Amb_circuit.Radio_frontend.transmit_energy router.link.Link_budget.radio ~tx_dbm
+         ~bits:(Packet.total_bits router.packet) ~include_startup:true)
+
+(** [receiver_energy router] — RX-side-only energy for one hop. *)
+let receiver_energy router =
+  Amb_circuit.Radio_frontend.receive_energy router.link.Link_budget.radio
+    ~bits:(Packet.total_bits router.packet) ~include_startup:true

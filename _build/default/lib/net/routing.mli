@@ -1,0 +1,41 @@
+(** Multi-hop routing over a radio topology.  Edge costs derive from the
+    physical layer (minimum closing TX energy per hop plus RX energy).
+    Policies: fewest transmissions, least total energy, or avoid draining
+    bottleneck nodes. *)
+
+open Amb_units
+open Amb_radio
+
+type policy = Min_hop | Min_energy | Max_lifetime
+
+val policy_name : policy -> string
+
+type t = {
+  topology : Topology.t;
+  link : Link_budget.t;
+  packet : Packet.t;
+  range_m : float;
+}
+
+val make : topology:Topology.t -> link:Link_budget.t -> packet:Packet.t -> t
+(** The radio range is derived from the link budget at maximum TX
+    power. *)
+
+val hop_energy : t -> distance_m:float -> Energy.t option
+(** Energy to move one packet one hop: minimum closing TX energy plus RX
+    energy; [None] beyond radio reach. *)
+
+val build_graph : t -> policy:policy -> residual:(int -> Energy.t) -> Graph.t
+(** Weighted graph for a policy; [residual] feeds [Max_lifetime] (pass a
+    constant to recover [Min_energy] behaviour). *)
+
+val route : t -> policy:policy -> residual:(int -> Energy.t) -> src:int -> dst:int -> int list option
+
+val path_energy : t -> int list -> Energy.t option
+(** Total radio energy to deliver one packet along a path. *)
+
+val sender_energy : t -> distance_m:float -> Energy.t option
+(** TX-side-only energy for one hop (per-node depletion accounting). *)
+
+val receiver_energy : t -> Energy.t
+(** RX-side-only energy for one hop. *)

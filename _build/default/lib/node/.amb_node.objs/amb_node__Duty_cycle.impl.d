@@ -1,0 +1,1 @@
+lib/node/duty_cycle.ml: Amb_energy Amb_units Energy Float Lifetime List Power Supply Time_span

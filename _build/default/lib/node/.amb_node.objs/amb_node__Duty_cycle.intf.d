@@ -1,0 +1,1 @@
+lib/node/duty_cycle.mli: Amb_energy Amb_units Energy Power Supply Time_span

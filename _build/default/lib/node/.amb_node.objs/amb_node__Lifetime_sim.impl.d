@@ -1,0 +1,1 @@
+lib/node/lifetime_sim.ml: Amb_energy Amb_sim Amb_units Amb_workload Battery Duty_cycle Energy Engine Float List Power Rng Stat Supply Time_span

@@ -1,0 +1,1 @@
+lib/node/lifetime_sim.mli: Amb_energy Amb_units Amb_workload Duty_cycle Energy Power Supply Time_span

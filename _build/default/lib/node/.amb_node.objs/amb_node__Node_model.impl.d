@@ -1,0 +1,1 @@
+lib/node/node_model.ml: Adc Amb_circuit Amb_energy Amb_units Battery Data_rate Display Duty_cycle Energy Float Frequency List Power Processor Radio_frontend Sensor Supply Time_span

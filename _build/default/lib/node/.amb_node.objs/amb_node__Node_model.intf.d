@@ -1,0 +1,1 @@
+lib/node/node_model.mli: Adc Amb_circuit Amb_energy Amb_units Display Duty_cycle Energy Power Processor Radio_frontend Sensor Supply Time_span

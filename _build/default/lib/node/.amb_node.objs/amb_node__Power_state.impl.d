@@ -1,0 +1,1 @@
+lib/node/power_state.ml: Amb_units Energy List Power Time_span

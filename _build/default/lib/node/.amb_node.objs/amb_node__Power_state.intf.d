@@ -1,0 +1,1 @@
+lib/node/power_state.mli: Amb_units Energy Power Time_span

@@ -1,0 +1,1 @@
+lib/node/reference_designs.ml: Adc Amb_circuit Amb_energy Amb_radio Amb_units Battery Display Harvester Node_model Power Processor Radio_frontend Sensor Supply

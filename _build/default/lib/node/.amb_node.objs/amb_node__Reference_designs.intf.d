@@ -1,0 +1,1 @@
+lib/node/reference_designs.mli: Amb_energy Harvester Node_model

@@ -1,0 +1,1 @@
+lib/node/state_sim.ml: Amb_sim Amb_units Array Energy Engine Power Power_state Si Stat Time_span Trace

@@ -1,0 +1,1 @@
+lib/node/state_sim.mli: Amb_sim Amb_units Energy Power Power_state Time_span Trace

@@ -1,0 +1,74 @@
+(** Duty-cycle algebra for sense-process-transmit nodes.
+
+    The microWatt node's whole design space is a single trade-off: how
+    often to wake.  Given the energy of one activation cycle and the sleep
+    floor, this module answers the three standing questions — average
+    power at a rate, maximum rate within a power budget, and lifetime on a
+    given supply. *)
+
+open Amb_units
+open Amb_energy
+
+type profile = {
+  cycle_energy : Energy.t;  (** energy of one full activation *)
+  cycle_duration : Time_span.t;  (** active time of one activation *)
+  sleep_power : Power.t;  (** floor while idle *)
+}
+
+let make ~cycle_energy ~cycle_duration ~sleep_power =
+  if Time_span.to_seconds cycle_duration < 0.0 then
+    invalid_arg "Duty_cycle.make: negative cycle duration";
+  { cycle_energy; cycle_duration; sleep_power }
+
+(** [average_power profile ~rate] — sleep floor plus amortised cycle cost
+    at [rate] activations per second.  Raises when the duty cycle would
+    exceed 1. *)
+let average_power profile ~rate =
+  if rate < 0.0 then invalid_arg "Duty_cycle.average_power: negative rate";
+  let duty = rate *. Time_span.to_seconds profile.cycle_duration in
+  if duty > 1.0 +. 1e-9 then invalid_arg "Duty_cycle.average_power: duty cycle above 1";
+  (* The sleep floor applies to the idle fraction only; the active
+     fraction's power is inside cycle_energy. *)
+  Power.add
+    (Power.scale (1.0 -. Float.min 1.0 duty) profile.sleep_power)
+    (Power.watts (rate *. Energy.to_joules profile.cycle_energy))
+
+(** [duty profile ~rate] — active fraction of time. *)
+let duty profile ~rate = Float.min 1.0 (rate *. Time_span.to_seconds profile.cycle_duration)
+
+(** [max_rate profile ~budget] — highest activation rate whose average
+    power stays within [budget]; [None] when even pure sleep exceeds it. *)
+let max_rate profile ~budget =
+  let b = Power.to_watts budget and s = Power.to_watts profile.sleep_power in
+  if b < s then None
+  else
+    let e = Energy.to_joules profile.cycle_energy in
+    let dur = Time_span.to_seconds profile.cycle_duration in
+    if e <= s *. dur then
+      (* Each activation is cheaper than sleeping through it: rate is
+         bounded only by back-to-back activation. *)
+      Some (if dur <= 0.0 then Float.infinity else 1.0 /. dur)
+    else
+      let rate = (b -. s) /. (e -. (s *. dur)) in
+      let max_physical = if dur <= 0.0 then Float.infinity else 1.0 /. dur in
+      Some (Float.min rate max_physical)
+
+(** [lifetime profile supply ~rate] — node lifetime on [supply] at
+    [rate]. *)
+let lifetime profile supply ~rate = Supply.lifetime supply (average_power profile ~rate)
+
+(** [autonomy_rate profile supply] — highest activation rate the supply's
+    harvester sustains forever; [None] when even sleep exceeds the
+    harvest income. *)
+let autonomy_rate profile supply =
+  let income = Supply.harvest_income supply in
+  Lifetime.rate_for_autonomy ~cycle_energy:profile.cycle_energy ~sleep:profile.sleep_power ~income
+
+(** [sweep profile supply ~rates] — (rate, average power, lifetime) rows:
+    the data behind the E4 lifetime curve. *)
+let sweep profile supply ~rates =
+  let row rate =
+    let p = average_power profile ~rate in
+    (rate, p, Supply.lifetime supply p)
+  in
+  List.map row rates

@@ -1,0 +1,34 @@
+(** Duty-cycle algebra for sense-process-transmit nodes: average power at
+    an activation rate, maximum rate within a power budget, and lifetime
+    on a supply. *)
+
+open Amb_units
+open Amb_energy
+
+type profile = {
+  cycle_energy : Energy.t;  (** energy of one full activation *)
+  cycle_duration : Time_span.t;  (** active time of one activation *)
+  sleep_power : Power.t;  (** floor while idle *)
+}
+
+val make : cycle_energy:Energy.t -> cycle_duration:Time_span.t -> sleep_power:Power.t -> profile
+(** Raises [Invalid_argument] on negative cycle durations. *)
+
+val average_power : profile -> rate:float -> Power.t
+(** Sleep floor (idle fraction) plus amortised cycle cost; raises when
+    the duty cycle would exceed 1. *)
+
+val duty : profile -> rate:float -> float
+(** Active fraction of time. *)
+
+val max_rate : profile -> budget:Power.t -> float option
+(** Highest activation rate within an average-power budget; [None] when
+    even pure sleep exceeds it; capped at back-to-back activation. *)
+
+val lifetime : profile -> Supply.t -> rate:float -> Time_span.t
+
+val autonomy_rate : profile -> Supply.t -> float option
+(** Highest rate the supply's harvester sustains forever. *)
+
+val sweep : profile -> Supply.t -> rates:float list -> (float * Power.t * Time_span.t) list
+(** (rate, average power, lifetime) rows — the E4 lifetime curve. *)

@@ -1,0 +1,144 @@
+(** Event-driven node-lifetime simulation.
+
+    The discrete-event counterpart of the closed-form duty-cycle algebra:
+    a node wakes according to a traffic process, spends the activation
+    cycle's energy, sleeps in between, harvests continuously, and dies
+    when its battery is exhausted.  Experiment E12 checks this simulator
+    against {!Duty_cycle.average_power}; experiment E4 uses it for
+    lifetime curves with stochastic activity. *)
+
+open Amb_units
+open Amb_energy
+open Amb_sim
+
+type outcome = {
+  lifetime : Time_span.t;  (** simulated time until death (or the horizon) *)
+  died : bool;
+  activations : int;
+  energy_consumed : Energy.t;
+  energy_harvested : Energy.t;
+  average_power : Power.t;  (** net consumption averaged over the run *)
+}
+
+type config = {
+  profile : Duty_cycle.profile;
+  supply : Supply.t;
+  activation_traffic : Amb_workload.Traffic.t;
+  horizon : Time_span.t;  (** stop simulating here even if still alive *)
+  harvest_update_period : Time_span.t;  (** harvester integration step *)
+  income_multiplier : (float -> float) option;
+      (** optional diurnal profile: simulation time (s) -> harvest scale;
+          see [Amb_energy.Day_profile.income_multiplier] *)
+}
+
+let config ?(harvest_update_period = Time_span.minutes 10.0) ?income_multiplier ~profile
+    ~supply ~activation_traffic ~horizon () =
+  if Time_span.to_seconds horizon <= 0.0 then invalid_arg "Lifetime_sim.config: non-positive horizon";
+  { profile; supply; activation_traffic; horizon; harvest_update_period; income_multiplier }
+
+(** [run cfg ~seed] — simulate one node until battery death or the
+    horizon. *)
+let run cfg ~seed =
+  let rng = Rng.create seed in
+  let engine = Engine.create () in
+  let battery_energy =
+    match cfg.supply.Supply.battery with
+    | Some b -> Energy.to_joules (Battery.energy b)
+    | None -> 0.0
+  in
+  let reserve = ref battery_energy in
+  let consumed = ref 0.0 in
+  let harvested = ref 0.0 in
+  let activations = ref 0 in
+  let death_time = ref None in
+  let income_w = Power.to_watts (Supply.harvest_income cfg.supply) in
+  let sleep_w = Power.to_watts cfg.profile.Duty_cycle.sleep_power in
+  let regulator = cfg.supply.Supply.regulator_efficiency in
+  let last_account = ref 0.0 in
+  let alive () = !death_time = None in
+  (* Settle the continuous flows (sleep drain, harvest income) since the
+     last accounting instant; record death when the reserve crosses zero. *)
+  let account engine =
+    let now = Time_span.to_seconds (Engine.now engine) in
+    let dt = now -. !last_account in
+    if dt > 0.0 && alive () then begin
+      let drain = sleep_w /. regulator *. dt in
+      (* The diurnal multiplier is sampled at the interval midpoint; the
+         accounting period bounds the integration error. *)
+      let scale =
+        match cfg.income_multiplier with
+        | None -> 1.0
+        | Some f -> f (!last_account +. (0.5 *. dt))
+      in
+      let gain = income_w *. scale *. dt in
+      consumed := !consumed +. (sleep_w *. dt);
+      harvested := !harvested +. gain;
+      let net = drain -. gain in
+      let before = !reserve in
+      reserve := Float.min battery_energy (!reserve -. net);
+      if !reserve <= 0.0 && battery_energy > 0.0 then begin
+        (* Interpolate the crossing instant within this interval. *)
+        let rate = net /. dt in
+        let t_cross = if rate > 0.0 then !last_account +. (before /. rate) else now in
+        death_time := Some t_cross;
+        Engine.stop engine
+      end
+      else if battery_energy > 0.0 && income_w < sleep_w /. regulator && !reserve <= 0.0 then begin
+        death_time := Some now;
+        Engine.stop engine
+      end
+    end;
+    last_account := now
+  in
+  let spend engine joules =
+    account engine;
+    if alive () then begin
+      consumed := !consumed +. joules;
+      let from_battery = joules /. regulator in
+      reserve := !reserve -. from_battery;
+      if !reserve <= 0.0 && battery_energy > 0.0 then begin
+        death_time := Some (Time_span.to_seconds (Engine.now engine));
+        Engine.stop engine
+      end
+    end
+  in
+  (* Activation process. *)
+  let rec schedule_activation engine =
+    let gap = Amb_workload.Traffic.next_interval rng cfg.activation_traffic in
+    Engine.schedule engine ~delay:gap (fun engine ->
+        if alive () then begin
+          spend engine (Energy.to_joules cfg.profile.Duty_cycle.cycle_energy);
+          if alive () then begin
+            incr activations;
+            schedule_activation engine
+          end
+        end)
+  in
+  schedule_activation engine;
+  (* Periodic continuous-flow accounting. *)
+  Engine.every engine ~period:cfg.harvest_update_period ~until:cfg.horizon (fun engine ->
+      account engine;
+      alive ());
+  let _ = Engine.run ~until:cfg.horizon engine in
+  let end_time =
+    match !death_time with Some t -> t | None -> Time_span.to_seconds cfg.horizon
+  in
+  let average_power =
+    if end_time > 0.0 then Power.watts (!consumed /. end_time) else Power.zero
+  in
+  {
+    lifetime = Time_span.seconds end_time;
+    died = not (alive ());
+    activations = !activations;
+    energy_consumed = Energy.joules !consumed;
+    energy_harvested = Energy.joules !harvested;
+    average_power;
+  }
+
+(** [replicate cfg ~seeds] — independent replications; returns (mean
+    lifetime, lifetime std-error, outcomes). *)
+let replicate cfg ~seeds =
+  let outcomes = List.map (fun seed -> run cfg ~seed) seeds in
+  let w = Stat.welford () in
+  List.iter (fun o -> Stat.add w (Time_span.to_seconds o.lifetime)) outcomes;
+  (Time_span.seconds (Stat.mean w), Time_span.seconds (Stat.std_error w), outcomes)

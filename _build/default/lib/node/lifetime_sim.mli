@@ -1,0 +1,47 @@
+(** Event-driven node-lifetime simulation — the discrete-event
+    counterpart of the closed-form duty-cycle algebra (cross-checked by
+    experiment E12): activations drawn from a traffic process, continuous
+    sleep drain and (optionally diurnal) harvest income, death on battery
+    exhaustion. *)
+
+open Amb_units
+open Amb_energy
+
+type outcome = {
+  lifetime : Time_span.t;  (** simulated time until death (or the horizon) *)
+  died : bool;
+  activations : int;
+  energy_consumed : Energy.t;
+  energy_harvested : Energy.t;
+  average_power : Power.t;  (** consumption averaged over the run *)
+}
+
+type config = {
+  profile : Duty_cycle.profile;
+  supply : Supply.t;
+  activation_traffic : Amb_workload.Traffic.t;
+  horizon : Time_span.t;  (** stop simulating here even if still alive *)
+  harvest_update_period : Time_span.t;  (** harvester integration step *)
+  income_multiplier : (float -> float) option;
+      (** optional diurnal profile: simulation time (s) -> harvest scale *)
+}
+
+val config :
+  ?harvest_update_period:Time_span.t ->
+  ?income_multiplier:(float -> float) ->
+  profile:Duty_cycle.profile ->
+  supply:Supply.t ->
+  activation_traffic:Amb_workload.Traffic.t ->
+  horizon:Time_span.t ->
+  unit ->
+  config
+(** Default integration step 10 minutes.  Raises [Invalid_argument] on a
+    non-positive horizon. *)
+
+val run : config -> seed:int -> outcome
+(** Simulate one node until battery death or the horizon; deterministic
+    in the seed. *)
+
+val replicate : config -> seeds:int list -> Time_span.t * Time_span.t * outcome list
+(** Independent replications: (mean lifetime, lifetime std-error,
+    outcomes). *)

@@ -1,0 +1,138 @@
+(** Composed device model: processor + radio + sensors + supply.
+
+    This is the "device" of the keynote: computing, communication and
+    interface electronics drawn from [Amb_circuit], powered by an
+    [Amb_energy.Supply].  The model can evaluate a sense-process-transmit
+    activation cycle and its long-run average power under a scenario. *)
+
+open Amb_units
+open Amb_circuit
+open Amb_energy
+
+type t = {
+  name : string;
+  processor : Processor.t;
+  radio : Radio_frontend.t;
+  sensors : Sensor.t list;
+  adc : Adc.t option;
+  display : Display.t option;
+  supply : Supply.t;
+  sleep_power : Power.t;  (** whole-node retention floor *)
+  tx_dbm : float;  (** default transmit level *)
+}
+
+let make ?(sensors = []) ?adc ?display ?(tx_dbm = 0.0) ~name ~processor ~radio ~supply
+    ~sleep_power () =
+  { name; processor; radio; sensors; adc; display; supply; sleep_power; tx_dbm }
+
+(** One activation: sample the sensors, run [compute_ops] on the
+    processor, exchange [tx_bits]/[rx_bits] over the radio. *)
+type activation = {
+  samples_per_sensor : float;
+  compute_ops : float;
+  tx_bits : float;
+  rx_bits : float;
+}
+
+let activation ?(samples_per_sensor = 1.0) ?(rx_bits = 0.0) ~compute_ops ~tx_bits () =
+  if compute_ops < 0.0 || tx_bits < 0.0 || rx_bits < 0.0 || samples_per_sensor < 0.0 then
+    invalid_arg "Node_model.activation: negative demand";
+  { samples_per_sensor; compute_ops; tx_bits; rx_bits }
+
+type cycle_breakdown = {
+  sensing : Energy.t;
+  conversion : Energy.t;
+  computation : Energy.t;
+  communication : Energy.t;
+  total : Energy.t;
+}
+
+(** [cycle_breakdown node act] — per-subsystem energy of one activation
+    (the E3 budget table). *)
+let cycle_breakdown node act =
+  let sensing =
+    Energy.scale act.samples_per_sensor
+      (Energy.sum (List.map (fun s -> s.Sensor.sample_energy) node.sensors))
+  in
+  let conversion =
+    match node.adc with
+    | None -> Energy.zero
+    | Some adc ->
+      let samples = act.samples_per_sensor *. Float.of_int (List.length node.sensors) in
+      Energy.scale samples (Adc.energy_per_sample adc)
+  in
+  let computation = Energy.scale act.compute_ops (Processor.energy_per_op node.processor) in
+  let communication =
+    let tx =
+      if act.tx_bits > 0.0 then
+        Radio_frontend.transmit_energy node.radio ~tx_dbm:node.tx_dbm ~bits:act.tx_bits
+          ~include_startup:true
+      else Energy.zero
+    in
+    let rx =
+      if act.rx_bits > 0.0 then
+        Radio_frontend.receive_energy node.radio ~bits:act.rx_bits ~include_startup:false
+      else Energy.zero
+    in
+    Energy.add tx rx
+  in
+  let total = Energy.sum [ sensing; conversion; computation; communication ] in
+  { sensing; conversion; computation; communication; total }
+
+(** [cycle_energy node act]. *)
+let cycle_energy node act = (cycle_breakdown node act).total
+
+(** [cycle_duration node act] — active wall-clock time of one activation:
+    sensing settles, compute runs at full throughput, radio bursts at the
+    bitrate (sequential model). *)
+let cycle_duration node act =
+  let settle =
+    List.fold_left (fun acc s -> Time_span.max acc s.Sensor.settle_time) Time_span.zero
+      node.sensors
+  in
+  let compute =
+    let capacity = Frequency.to_hertz (Processor.max_throughput node.processor) in
+    if capacity <= 0.0 then Time_span.zero else Time_span.seconds (act.compute_ops /. capacity)
+  in
+  let airtime =
+    let bits = act.tx_bits +. act.rx_bits in
+    if bits <= 0.0 then Time_span.zero
+    else
+      Time_span.add
+        (Data_rate.transfer_time node.radio.Radio_frontend.bitrate bits)
+        node.radio.Radio_frontend.startup_time
+  in
+  Time_span.sum [ settle; compute; airtime ]
+
+(** [duty_profile node act] — the {!Duty_cycle.profile} of this node under
+    activation [act]. *)
+let duty_profile node act =
+  Duty_cycle.make ~cycle_energy:(cycle_energy node act) ~cycle_duration:(cycle_duration node act)
+    ~sleep_power:node.sleep_power
+
+(** [average_power node act ~rate] — long-run power at [rate]
+    activations/s. *)
+let average_power node act ~rate = Duty_cycle.average_power (duty_profile node act) ~rate
+
+(** [lifetime node act ~rate] — on the node's own supply. *)
+let lifetime node act ~rate = Supply.lifetime node.supply (average_power node act ~rate)
+
+(** [peak_power node] — all subsystems on at once: the constraint the
+    battery's maximum continuous current must satisfy. *)
+let peak_power node =
+  let processor = Processor.power_at node.processor (Processor.vdd_nominal node.processor) ~utilization:1.0 in
+  let radio = Radio_frontend.tx_power node.radio ~tx_dbm:node.tx_dbm in
+  let interface =
+    match node.display with
+    | None -> Power.zero
+    | Some d -> Display.average_power d ~brightness:1.0 ~updates_per_s:0.0
+  in
+  Power.sum [ processor; radio; interface ]
+
+(** [supports_peak node] — does the supply's battery deliver the peak
+    current?  Mains and battery-less harvester nodes (buffered by storage)
+    pass trivially. *)
+let supports_peak node =
+  match node.supply.Supply.battery with
+  | None -> true
+  | Some battery -> Battery.supports battery ~peak:(peak_power node)

@@ -1,0 +1,76 @@
+(** Composed device model: processor + radio + sensors + supply — the
+    "device" of the keynote, with computing, communication and interface
+    electronics from [Amb_circuit] powered by an [Amb_energy.Supply]. *)
+
+open Amb_units
+open Amb_circuit
+open Amb_energy
+
+type t = {
+  name : string;
+  processor : Processor.t;
+  radio : Radio_frontend.t;
+  sensors : Sensor.t list;
+  adc : Adc.t option;
+  display : Display.t option;
+  supply : Supply.t;
+  sleep_power : Power.t;  (** whole-node retention floor *)
+  tx_dbm : float;  (** default transmit level *)
+}
+
+val make :
+  ?sensors:Sensor.t list ->
+  ?adc:Adc.t ->
+  ?display:Display.t ->
+  ?tx_dbm:float ->
+  name:string ->
+  processor:Processor.t ->
+  radio:Radio_frontend.t ->
+  supply:Supply.t ->
+  sleep_power:Power.t ->
+  unit ->
+  t
+
+(** One activation: sample the sensors, run [compute_ops], exchange
+    [tx_bits]/[rx_bits]. *)
+type activation = {
+  samples_per_sensor : float;
+  compute_ops : float;
+  tx_bits : float;
+  rx_bits : float;
+}
+
+val activation :
+  ?samples_per_sensor:float -> ?rx_bits:float -> compute_ops:float -> tx_bits:float -> unit -> activation
+(** Raises [Invalid_argument] on negative demands. *)
+
+type cycle_breakdown = {
+  sensing : Energy.t;
+  conversion : Energy.t;
+  computation : Energy.t;
+  communication : Energy.t;
+  total : Energy.t;
+}
+
+val cycle_breakdown : t -> activation -> cycle_breakdown
+(** Per-subsystem energy of one activation (the E3 budget table). *)
+
+val cycle_energy : t -> activation -> Energy.t
+
+val cycle_duration : t -> activation -> Time_span.t
+(** Active wall-clock time of one activation (sequential model). *)
+
+val duty_profile : t -> activation -> Duty_cycle.profile
+
+val average_power : t -> activation -> rate:float -> Power.t
+(** Long-run power at a given activation rate. *)
+
+val lifetime : t -> activation -> rate:float -> Time_span.t
+
+val peak_power : t -> Power.t
+(** All subsystems on at once — the constraint on the battery's maximum
+    continuous current. *)
+
+val supports_peak : t -> bool
+(** Does the supply's battery deliver the peak current?  (Mains and
+    battery-less nodes pass trivially.) *)

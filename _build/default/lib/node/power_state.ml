@@ -1,0 +1,118 @@
+(** Node power-state machines.
+
+    A node is, at any instant, in one named state with a constant power
+    draw; transitions cost fixed energy and latency (oscillator start-up,
+    voltage-rail ramping, radio synthesizer settling).  Average power over
+    a repeating schedule is the weighted state power plus the transition
+    energy amortised over the cycle — the identity experiment E12 checks
+    against the discrete-event simulator. *)
+
+open Amb_units
+
+type state = { name : string; power : Power.t }
+
+type transition = {
+  from_state : string;
+  to_state : string;
+  latency : Time_span.t;
+  energy : Energy.t;
+}
+
+type t = {
+  states : state list;
+  transitions : transition list;
+  initial : string;
+}
+
+let make ~states ~transitions ~initial =
+  if not (List.exists (fun s -> s.name = initial) states) then
+    invalid_arg "Power_state.make: unknown initial state";
+  let known name = List.exists (fun s -> s.name = name) states in
+  List.iter
+    (fun t ->
+      if not (known t.from_state && known t.to_state) then
+        invalid_arg "Power_state.make: transition references unknown state")
+    transitions;
+  { states; transitions; initial }
+
+(** [power_of machine name] — draw of state [name]; raises [Not_found]. *)
+let power_of machine name =
+  match List.find_opt (fun s -> s.name = name) machine.states with
+  | Some s -> s.power
+  | None -> raise Not_found
+
+(** [transition machine ~from_state ~to_state] — the declared transition,
+    or a free instantaneous one if none is declared. *)
+let transition machine ~from_state ~to_state =
+  match
+    List.find_opt (fun t -> t.from_state = from_state && t.to_state = to_state)
+      machine.transitions
+  with
+  | Some t -> t
+  | None -> { from_state; to_state; latency = Time_span.zero; energy = Energy.zero }
+
+(** A step of a repeating schedule: dwell in [state] for [dwell]. *)
+type schedule_step = { state : string; dwell : Time_span.t }
+
+(** [cycle_energy machine schedule] — energy of one pass through
+    [schedule], including the transition closing the loop back to the
+    first step.  Raises on an empty schedule or non-positive dwell. *)
+let cycle_energy machine schedule =
+  match schedule with
+  | [] -> invalid_arg "Power_state.cycle_energy: empty schedule"
+  | first :: _ ->
+    let rec walk steps acc =
+      match steps with
+      | [] -> acc
+      | [ last ] ->
+        let dwell = Energy.of_power_time (power_of machine last.state) last.dwell in
+        let loop_back = transition machine ~from_state:last.state ~to_state:first.state in
+        Energy.sum [ acc; dwell; loop_back.energy ]
+      | a :: (b :: _ as rest) ->
+        let dwell = Energy.of_power_time (power_of machine a.state) a.dwell in
+        let hop = transition machine ~from_state:a.state ~to_state:b.state in
+        walk rest (Energy.sum [ acc; dwell; hop.energy ])
+    in
+    walk schedule Energy.zero
+
+(** [cycle_duration machine schedule] — wall-clock length of one pass,
+    transition latencies included. *)
+let cycle_duration machine schedule =
+  match schedule with
+  | [] -> invalid_arg "Power_state.cycle_duration: empty schedule"
+  | first :: _ ->
+    let rec walk steps acc =
+      match steps with
+      | [] -> acc
+      | [ last ] ->
+        let loop_back = transition machine ~from_state:last.state ~to_state:first.state in
+        Time_span.sum [ acc; last.dwell; loop_back.latency ]
+      | a :: (b :: _ as rest) ->
+        let hop = transition machine ~from_state:a.state ~to_state:b.state in
+        walk rest (Time_span.sum [ acc; a.dwell; hop.latency ])
+    in
+    walk schedule Time_span.zero
+
+(** [average_power machine schedule] — cycle energy over cycle duration. *)
+let average_power machine schedule =
+  let e = cycle_energy machine schedule and t = cycle_duration machine schedule in
+  Energy.average_power e t
+
+(** [stretch_sleep machine schedule ~sleep_state ~period] — pad the
+    schedule's [sleep_state] step so that the full cycle lasts exactly
+    [period]; raises if the active part already exceeds [period] or the
+    schedule has no such step. *)
+let stretch_sleep machine schedule ~sleep_state ~period =
+  if not (List.exists (fun step -> step.state = sleep_state) schedule) then
+    invalid_arg "Power_state.stretch_sleep: no sleep step in schedule";
+  let zero_sleep =
+    List.map (fun step -> if step.state = sleep_state then { step with dwell = Time_span.zero } else step)
+      schedule
+  in
+  let active = cycle_duration machine zero_sleep in
+  let slack = Time_span.sub period active in
+  if Time_span.to_seconds slack < 0.0 then
+    invalid_arg "Power_state.stretch_sleep: active time exceeds period";
+  List.map
+    (fun step -> if step.state = sleep_state then { step with dwell = slack } else step)
+    zero_sleep

@@ -1,0 +1,48 @@
+(** Node power-state machines: one named state with a constant draw at any
+    instant, transitions with fixed energy and latency.  Average power
+    over a repeating schedule is the identity experiment E12 checks
+    against the discrete-event simulator. *)
+
+open Amb_units
+
+type state = { name : string; power : Power.t }
+
+type transition = {
+  from_state : string;
+  to_state : string;
+  latency : Time_span.t;
+  energy : Energy.t;
+}
+
+type t = {
+  states : state list;
+  transitions : transition list;
+  initial : string;
+}
+
+val make : states:state list -> transitions:transition list -> initial:string -> t
+(** Raises [Invalid_argument] on unknown initial or transition states. *)
+
+val power_of : t -> string -> Power.t
+(** Raises [Not_found] on unknown states. *)
+
+val transition : t -> from_state:string -> to_state:string -> transition
+(** The declared transition, or a free instantaneous one if none is
+    declared. *)
+
+(** A step of a repeating schedule: dwell in [state] for [dwell]. *)
+type schedule_step = { state : string; dwell : Time_span.t }
+
+val cycle_energy : t -> schedule_step list -> Energy.t
+(** Energy of one pass through the schedule, including the loop-back
+    transition; raises on an empty schedule. *)
+
+val cycle_duration : t -> schedule_step list -> Time_span.t
+(** Wall-clock length of one pass, transition latencies included. *)
+
+val average_power : t -> schedule_step list -> Power.t
+
+val stretch_sleep : t -> schedule_step list -> sleep_state:string -> period:Time_span.t -> schedule_step list
+(** Pad the schedule's (single) [sleep_state] step so the cycle lasts
+    exactly [period]; raises if the active part already exceeds it or no
+    such step exists. *)

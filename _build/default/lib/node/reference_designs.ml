@@ -1,0 +1,70 @@
+(** Reference designs — one per keynote device class.
+
+    These are the reconstructed case-study vehicles (see DESIGN.md): the
+    paper's own three designs are unpublished, so each reference design is
+    assembled from the era-typical building blocks of [Amb_circuit] such
+    that it exercises the IC design challenge the abstract names for its
+    class. *)
+
+open Amb_units
+open Amb_circuit
+open Amb_energy
+
+(** CS-A vehicle: autonomous microWatt sensor node.  16-bit MCU,
+    868 MHz short-range radio, temperature + light sensing, coin cell plus
+    a 5 cm^2 indoor solar cell. *)
+let microwatt_node ?(environment = Harvester.office_indoor) () =
+  let supply =
+    Supply.harvester_and_battery ~name:"PV 5cm^2 + CR2032" Harvester.small_solar_cell environment
+      Battery.cr2032
+  in
+  Node_model.make ~name:"autonomous sensor node (uW class)" ~processor:Processor.mcu_16bit
+    ~radio:Radio_frontend.low_power_uhf
+    ~sensors:[ Sensor.temperature; Sensor.light ]
+    ~adc:Adc.sensor_adc ~supply
+    ~sleep_power:(Power.microwatts 5.0)
+    ~tx_dbm:0.0 ()
+
+(** The microwatt node's standard activation: sample both sensors, filter
+    and pack (5 kops), send one 32-byte report. *)
+let microwatt_activation =
+  Node_model.activation ~samples_per_sensor:1.0 ~compute_ops:5_000.0
+    ~tx_bits:(Amb_radio.Packet.total_bits Amb_radio.Packet.sensor_report) ()
+
+(** CS-B vehicle: personal milliWatt device.  ARM7-class core with DVFS,
+    Bluetooth-class radio, audio codec path, 650 mAh Li-ion. *)
+let milliwatt_node () =
+  let supply = Supply.battery_only ~name:"Li-ion 650 mAh" Battery.liion_phone in
+  Node_model.make ~name:"personal device (mW class)" ~processor:Processor.arm7_class
+    ~radio:Radio_frontend.personal_area
+    ~sensors:[ Sensor.microphone ]
+    ~adc:Adc.audio_adc ~display:Display.pda_lcd ~supply
+    ~sleep_power:(Power.milliwatts 2.0)
+    ~tx_dbm:0.0 ()
+
+(** The milliwatt node's standard activation: one second of audio
+    processing (30 Mops) plus streaming traffic. *)
+let milliwatt_activation =
+  Node_model.activation ~samples_per_sensor:44100.0 ~compute_ops:30.0e6
+    ~tx_bits:16_000.0 ~rx_bits:128_000.0 ()
+
+(** CS-C vehicle: static Watt node.  Media processor, WLAN radio, large
+    panel, mains powered. *)
+let watt_node () =
+  let supply = Supply.mains ~name:"mains" in
+  Node_model.make ~name:"static media node (W class)" ~processor:Processor.media_processor
+    ~radio:Radio_frontend.wlan ~display:Display.tv_panel ~supply
+    ~sleep_power:(Power.milliwatts 500.0)
+    ~tx_dbm:15.0 ()
+
+(** The watt node's standard activation: one second of SD video decode
+    (2.5 Gops) plus 4 Mbit of stream traffic. *)
+let watt_activation =
+  Node_model.activation ~compute_ops:2.5e9 ~tx_bits:100_000.0 ~rx_bits:4.0e6 ()
+
+(** All three vehicles with their standard activations. *)
+let all () =
+  [ (microwatt_node (), microwatt_activation);
+    (milliwatt_node (), milliwatt_activation);
+    (watt_node (), watt_activation);
+  ]

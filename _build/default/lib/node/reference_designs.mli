@@ -1,0 +1,29 @@
+(** Reference designs — one per keynote device class, assembled from the
+    era-typical blocks of [Amb_circuit] so each exercises the IC design
+    challenge the abstract names for its class (the paper's own three
+    case-study designs are unpublished; see DESIGN.md). *)
+
+open Amb_energy
+
+val microwatt_node : ?environment:Harvester.environment -> unit -> Node_model.t
+(** CS-A vehicle: 16-bit MCU, 868 MHz radio, temperature + light sensing,
+    coin cell plus 5 cm^2 solar cell (default: office light). *)
+
+val microwatt_activation : Node_model.activation
+(** Sample both sensors, filter and pack (5 kops), send one 32-byte
+    report. *)
+
+val milliwatt_node : unit -> Node_model.t
+(** CS-B vehicle: ARM7-class core with DVFS, Bluetooth-class radio, audio
+    codec path, 650 mAh Li-ion. *)
+
+val milliwatt_activation : Node_model.activation
+(** One second of audio processing plus streaming traffic. *)
+
+val watt_node : unit -> Node_model.t
+(** CS-C vehicle: media processor, WLAN radio, large panel, mains. *)
+
+val watt_activation : Node_model.activation
+(** One second of SD video decode plus stream traffic. *)
+
+val all : unit -> (Node_model.t * Node_model.activation) list

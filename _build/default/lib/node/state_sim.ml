@@ -1,0 +1,87 @@
+(** Executing power-state schedules on the discrete-event engine.
+
+    Where {!Power_state.average_power} computes the closed-form average of
+    a repeating schedule, this module actually *runs* the schedule on
+    [Amb_sim.Engine], records a state trace, and measures average power
+    with a time-weighted accumulator plus transition-energy impulses.
+    The two must agree exactly — a structural invariant tested in the
+    node suite. *)
+
+open Amb_units
+open Amb_sim
+
+type outcome = {
+  cycles_completed : int;
+  simulated_time : Time_span.t;
+  energy : Energy.t;  (** dwell energy + transition impulses *)
+  average_power : Power.t;
+  trace : Trace.t;  (** one entry per state entry/transition *)
+}
+
+(** [run machine schedule ~cycles] — execute [cycles] passes through the
+    schedule.  Raises like {!Power_state.cycle_energy} on invalid
+    schedules, and [Invalid_argument] on non-positive cycle counts. *)
+let run machine schedule ~cycles =
+  if cycles <= 0 then invalid_arg "State_sim.run: non-positive cycle count";
+  (* Validate the schedule once up front (raises on empty/unknown). *)
+  let _ = Power_state.cycle_energy machine schedule in
+  let engine = Engine.create () in
+  let trace = Trace.create () in
+  let accumulator = Stat.time_weighted () in
+  let impulse_energy = ref 0.0 in
+  let completed = ref 0 in
+  let steps = Array.of_list schedule in
+  let step_count = Array.length steps in
+  let record engine label power =
+    let t = Time_span.to_seconds (Engine.now engine) in
+    Trace.record trace ~time:t label;
+    Stat.update accumulator ~time:t ~value:(Power.to_watts power)
+  in
+  (* Enter step [i] of the current cycle: dwell, then transition to the
+     next step (possibly wrapping into the next cycle). *)
+  let rec enter engine i remaining_cycles =
+    let step = steps.(i) in
+    let power = Power_state.power_of machine step.Power_state.state in
+    record engine ("enter:" ^ step.Power_state.state) power;
+    Engine.schedule engine ~delay:step.Power_state.dwell (fun engine ->
+        let next_index = (i + 1) mod step_count in
+        let wrapping = next_index = 0 in
+        let remaining_cycles = if wrapping then remaining_cycles - 1 else remaining_cycles in
+        let transition =
+          Power_state.transition machine ~from_state:step.Power_state.state
+            ~to_state:steps.(next_index).Power_state.state
+        in
+        impulse_energy := !impulse_energy +. Energy.to_joules transition.Power_state.energy;
+        record engine
+          ("transition:" ^ step.Power_state.state ^ "->" ^ steps.(next_index).Power_state.state)
+          Power.zero;
+        Engine.schedule engine ~delay:transition.Power_state.latency (fun engine ->
+            if wrapping then incr completed;
+            if remaining_cycles > 0 then enter engine next_index remaining_cycles
+            else Engine.stop engine))
+  in
+  enter engine 0 cycles;
+  let final = Engine.run engine in
+  Stat.close accumulator ~time:(Time_span.to_seconds final);
+  let dwell_energy = Stat.integral accumulator in
+  let total_energy = dwell_energy +. !impulse_energy in
+  let elapsed = Time_span.to_seconds final in
+  {
+    cycles_completed = !completed;
+    simulated_time = final;
+    energy = Energy.joules total_energy;
+    average_power =
+      (if elapsed > 0.0 then Power.watts (total_energy /. elapsed) else Power.zero);
+    trace;
+  }
+
+(** [matches_closed_form machine schedule ~cycles ~rel] — does the
+    simulated average power agree with {!Power_state.average_power} to
+    relative tolerance [rel]?  (Transition power during latency windows is
+    modelled as zero in both.) *)
+let matches_closed_form machine schedule ~cycles ~rel =
+  let simulated = run machine schedule ~cycles in
+  let analytic = Power_state.average_power machine schedule in
+  Si.approx_equal ~rel
+    (Power.to_watts simulated.average_power)
+    (Power.to_watts analytic)

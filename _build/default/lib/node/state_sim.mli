@@ -1,0 +1,25 @@
+(** Executing power-state schedules on the discrete-event engine,
+    measuring average power with a time-weighted accumulator plus
+    transition-energy impulses — must agree exactly with
+    {!Power_state.average_power}. *)
+
+open Amb_units
+open Amb_sim
+
+type outcome = {
+  cycles_completed : int;
+  simulated_time : Time_span.t;
+  energy : Energy.t;  (** dwell energy + transition impulses *)
+  average_power : Power.t;
+  trace : Trace.t;  (** one entry per state entry/transition *)
+}
+
+val run : Power_state.t -> Power_state.schedule_step list -> cycles:int -> outcome
+(** Execute a number of passes through the schedule.  Raises like
+    {!Power_state.cycle_energy} on invalid schedules and
+    [Invalid_argument] on non-positive cycle counts. *)
+
+val matches_closed_form :
+  Power_state.t -> Power_state.schedule_step list -> cycles:int -> rel:float -> bool
+(** Simulated average power vs {!Power_state.average_power} at a relative
+    tolerance. *)

@@ -1,0 +1,1 @@
+lib/radio/coexistence.ml: Amb_circuit Amb_units Data_rate Float List Packet Radio_frontend Time_span

@@ -1,0 +1,1 @@
+lib/radio/coexistence.mli: Amb_circuit Amb_units Packet Radio_frontend Time_span

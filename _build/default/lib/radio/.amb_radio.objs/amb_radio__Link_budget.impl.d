@@ -1,0 +1,1 @@
+lib/radio/link_budget.ml: Amb_circuit Amb_units Decibel Path_loss Radio_frontend

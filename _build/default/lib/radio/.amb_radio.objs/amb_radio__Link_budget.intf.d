@@ -1,0 +1,1 @@
+lib/radio/link_budget.mli: Amb_circuit Amb_units Path_loss Radio_frontend

@@ -1,0 +1,1 @@
+lib/radio/mac_csma.ml: Amb_circuit Amb_units Data_rate Energy Float Packet Radio_frontend Time_span

@@ -1,0 +1,1 @@
+lib/radio/mac_csma.mli: Amb_circuit Amb_units Energy Packet Radio_frontend Time_span

@@ -1,0 +1,1 @@
+lib/radio/mac_duty_cycle.ml: Amb_circuit Amb_units Data_rate Energy Float Packet Power Radio_frontend Time_span

@@ -1,0 +1,1 @@
+lib/radio/mac_duty_cycle.mli: Amb_circuit Amb_units Energy Packet Power Radio_frontend Time_span

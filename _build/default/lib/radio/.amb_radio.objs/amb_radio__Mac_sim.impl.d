@@ -1,0 +1,1 @@
+lib/radio/mac_sim.ml: Amb_circuit Amb_sim Amb_units Data_rate Energy Engine Float List Mac_csma Packet Radio_frontend Rng Time_span

@@ -1,0 +1,1 @@
+lib/radio/mac_tdma.ml: Amb_circuit Amb_units Clocking Data_rate Energy Float Power Radio_frontend Time_span

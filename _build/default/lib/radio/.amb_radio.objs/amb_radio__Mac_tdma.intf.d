@@ -1,0 +1,1 @@
+lib/radio/mac_tdma.mli: Amb_circuit Amb_units Clocking Data_rate Power Radio_frontend Time_span

@@ -1,0 +1,1 @@
+lib/radio/packet.ml: Amb_units Data_rate Time_span

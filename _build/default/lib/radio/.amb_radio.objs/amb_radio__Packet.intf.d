@@ -1,0 +1,1 @@
+lib/radio/packet.mli: Amb_units Data_rate Time_span

@@ -1,0 +1,1 @@
+lib/radio/path_loss.mli:

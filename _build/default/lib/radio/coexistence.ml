@@ -1,0 +1,106 @@
+(** Coexistence in shared spectrum.
+
+    The ambient home piles Bluetooth-class links, WLAN and sensor radios
+    into the same 2.4 GHz band.  For a victim packet of airtime [T_v]
+    under Poisson interference bursts of rate [lambda] and duration
+    [T_i], the overlap probability is 1 - exp(-lambda (T_v + T_i)); a
+    capture margin lets strong victims survive overlaps.  Experiment E24
+    tabulates the delivery probability and retransmission-energy
+    multiplier of a sensor report across home interference mixes. *)
+
+open Amb_units
+open Amb_circuit
+
+type interferer = {
+  name : string;
+  burst_rate_hz : float;  (** bursts per second on the victim's channel *)
+  burst_airtime : Time_span.t;  (** duration of one burst *)
+  typical_rssi_dbm : float;  (** interferer level at the victim receiver *)
+}
+
+let interferer ~name ~burst_rate_hz ~burst_airtime ~typical_rssi_dbm =
+  if burst_rate_hz < 0.0 then invalid_arg "Coexistence.interferer: negative rate";
+  if Time_span.to_seconds burst_airtime <= 0.0 then
+    invalid_arg "Coexistence.interferer: non-positive airtime";
+  { name; burst_rate_hz; burst_airtime; typical_rssi_dbm }
+
+(* Era-typical interference mixes at a living-room sensor. *)
+
+let bluetooth_voice =
+  (* A voice link hops across 79 channels at 1600 slots/s; a victim on a
+     2 MHz channel sees ~2/79 of the slots. *)
+  interferer ~name:"Bluetooth voice link" ~burst_rate_hz:(1600.0 *. 2.0 /. 79.0)
+    ~burst_airtime:(Time_span.microseconds 366.0) ~typical_rssi_dbm:(-55.0)
+
+let wlan_light =
+  (* Browsing-grade WLAN: ~50 frames/s of ~1 ms, overlapping the victim
+     channel. *)
+  interferer ~name:"WLAN (light browsing)" ~burst_rate_hz:50.0
+    ~burst_airtime:(Time_span.milliseconds 1.0) ~typical_rssi_dbm:(-45.0)
+
+let wlan_streaming =
+  (* A video stream: ~600 frames/s of ~1.2 ms. *)
+  interferer ~name:"WLAN (video streaming)" ~burst_rate_hz:600.0
+    ~burst_airtime:(Time_span.milliseconds 1.2) ~typical_rssi_dbm:(-45.0)
+
+let microwave_oven =
+  (* Magnetron duty: ~50% of a 20 ms mains cycle, wideband. *)
+  interferer ~name:"microwave oven" ~burst_rate_hz:50.0
+    ~burst_airtime:(Time_span.milliseconds 10.0) ~typical_rssi_dbm:(-40.0)
+
+(** [overlap_probability ~victim_airtime i] — probability one victim
+    packet overlaps at least one burst of interferer [i]. *)
+let overlap_probability ~victim_airtime i =
+  let window = Time_span.to_seconds victim_airtime +. Time_span.to_seconds i.burst_airtime in
+  1.0 -. Float.exp (-.i.burst_rate_hz *. window)
+
+(** [survives_overlap ~victim_rssi_dbm ~capture_margin_db i] — the capture
+    effect: the victim decodes through the collision when it is at least
+    [capture_margin_db] stronger than the interferer. *)
+let survives_overlap ~victim_rssi_dbm ~capture_margin_db i =
+  victim_rssi_dbm -. i.typical_rssi_dbm >= capture_margin_db
+
+(** [delivery_probability ~victim_airtime ~victim_rssi_dbm
+    ~capture_margin_db interferers] — probability a victim packet gets
+    through the whole mix (independent interferers). *)
+let delivery_probability ?(capture_margin_db = 10.0) ~victim_airtime ~victim_rssi_dbm interferers =
+  List.fold_left
+    (fun acc i ->
+      if survives_overlap ~victim_rssi_dbm ~capture_margin_db i then acc
+      else acc *. (1.0 -. overlap_probability ~victim_airtime i))
+    1.0 interferers
+
+(** [energy_multiplier ~p_success ~max_retries] — expected transmissions
+    per delivered packet with truncated retransmission; [None] when the
+    delivery probability after all retries stays under 99%. *)
+let energy_multiplier ~p_success ~max_retries =
+  if p_success <= 0.0 then None
+  else
+    let n = Float.of_int (max_retries + 1) in
+    let p_fail_all = (1.0 -. p_success) ** n in
+    if p_fail_all > 0.01 then None else Some ((1.0 -. p_fail_all) /. p_success)
+
+(** [victim_report radio packet ~victim_rssi_dbm ~mixes] — rows of
+    (mix name, delivery probability, energy multiplier) for a victim
+    radio/frame pair. *)
+let victim_report ?(capture_margin_db = 10.0) ?(max_retries = 7) (radio : Radio_frontend.t)
+    packet ~victim_rssi_dbm ~mixes =
+  let victim_airtime =
+    Data_rate.transfer_time radio.Radio_frontend.bitrate (Packet.total_bits packet)
+  in
+  List.map
+    (fun (mix_name, interferers) ->
+      let p =
+        delivery_probability ~capture_margin_db ~victim_airtime ~victim_rssi_dbm interferers
+      in
+      (mix_name, p, energy_multiplier ~p_success:p ~max_retries))
+    mixes
+
+(** The standard home mixes of experiment E24. *)
+let home_mixes =
+  [ ("quiet home", []);
+    ("Bluetooth voice", [ bluetooth_voice ]);
+    ("light WLAN", [ wlan_light ]);
+    ("streaming WLAN", [ wlan_streaming ]);
+    ("WLAN + microwave", [ wlan_streaming; microwave_oven ]);
+  ]

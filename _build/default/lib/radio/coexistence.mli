@@ -1,0 +1,59 @@
+(** Coexistence in shared spectrum: overlap probability of a victim packet
+    under Poisson interference bursts, capture effect, and the
+    retransmission-energy multiplier (experiment E24). *)
+
+open Amb_units
+open Amb_circuit
+
+type interferer = {
+  name : string;
+  burst_rate_hz : float;  (** bursts per second on the victim's channel *)
+  burst_airtime : Time_span.t;  (** duration of one burst *)
+  typical_rssi_dbm : float;  (** interferer level at the victim receiver *)
+}
+
+val interferer :
+  name:string -> burst_rate_hz:float -> burst_airtime:Time_span.t -> typical_rssi_dbm:float -> interferer
+(** Raises [Invalid_argument] on negative rates or non-positive
+    airtimes. *)
+
+val bluetooth_voice : interferer
+val wlan_light : interferer
+val wlan_streaming : interferer
+val microwave_oven : interferer
+
+val overlap_probability : victim_airtime:Time_span.t -> interferer -> float
+(** Probability one victim packet overlaps at least one burst:
+    1 - exp(-rate * (T_victim + T_burst)). *)
+
+val survives_overlap :
+  victim_rssi_dbm:float -> capture_margin_db:float -> interferer -> bool
+(** The capture effect: decode through the collision when the victim is
+    sufficiently stronger. *)
+
+val delivery_probability :
+  ?capture_margin_db:float ->
+  victim_airtime:Time_span.t ->
+  victim_rssi_dbm:float ->
+  interferer list ->
+  float
+(** Through the whole mix (independent interferers); default capture
+    margin 10 dB. *)
+
+val energy_multiplier : p_success:float -> max_retries:int -> float option
+(** Expected transmissions per delivered packet with truncated
+    retransmission; [None] when delivery stays unreliable after all
+    retries. *)
+
+val victim_report :
+  ?capture_margin_db:float ->
+  ?max_retries:int ->
+  Radio_frontend.t ->
+  Packet.t ->
+  victim_rssi_dbm:float ->
+  mixes:(string * interferer list) list ->
+  (string * float * float option) list
+(** (mix name, delivery probability, energy multiplier) rows. *)
+
+val home_mixes : (string * interferer list) list
+(** The standard home interference mixes of experiment E24. *)

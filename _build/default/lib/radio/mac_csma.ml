@@ -1,0 +1,73 @@
+(** Unslotted random access (pure-ALOHA-style contention model).
+
+    For lightly loaded ambient networks, random access is attractive
+    because idle nodes pay nothing for coordination; the price is
+    collisions.  The classic analysis: with normalised offered load [g]
+    (attempts per packet airtime), a transmission succeeds with
+    probability exp(-2g). *)
+
+open Amb_units
+open Amb_circuit
+
+type t = {
+  radio : Radio_frontend.t;
+  packet : Packet.t;
+  tx_dbm : float;
+  max_retries : int;
+}
+
+let make ?(tx_dbm = 0.0) ?(max_retries = 7) ~radio ~packet () =
+  if max_retries < 0 then invalid_arg "Mac_csma.make: negative retry limit";
+  { radio; packet; tx_dbm; max_retries }
+
+let packet_airtime mac =
+  Data_rate.transfer_time mac.radio.Radio_frontend.bitrate (Packet.total_bits mac.packet)
+
+(** [offered_load mac ~attempt_rate] — normalised load g = rate x airtime
+    (aggregate over the contention domain). *)
+let offered_load mac ~attempt_rate = attempt_rate *. Time_span.to_seconds (packet_airtime mac)
+
+(** [success_probability ~g] — pure-ALOHA vulnerability window of two
+    airtimes. *)
+let success_probability ~g =
+  if g < 0.0 then invalid_arg "Mac_csma.success_probability: negative load";
+  Float.exp (-2.0 *. g)
+
+(** [throughput ~g] — normalised channel throughput S = g exp(-2g); maximal
+    at g = 0.5. *)
+let throughput ~g = g *. success_probability ~g
+
+(** [expected_attempts mac ~g] — mean transmissions per delivered packet,
+    truncated at the retry limit; [None] when delivery fails even after all
+    retries with probability > 1%. *)
+let expected_attempts mac ~g =
+  let p = success_probability ~g in
+  if p <= 0.0 then None
+  else
+    let n = Float.of_int (mac.max_retries + 1) in
+    let p_fail_all = (1.0 -. p) ** n in
+    if p_fail_all > 0.01 then None
+    else
+      (* Truncated-geometric mean number of trials. *)
+      Some ((1.0 -. p_fail_all) /. p)
+
+(** [energy_per_delivered_packet mac ~g] — TX energy times expected
+    attempts, plus one receive-side frame; [None] when the load makes
+    delivery unreliable. *)
+let energy_per_delivered_packet mac ~g =
+  match expected_attempts mac ~g with
+  | None -> None
+  | Some attempts ->
+    let e_tx =
+      Radio_frontend.transmit_energy mac.radio ~tx_dbm:mac.tx_dbm
+        ~bits:(Packet.total_bits mac.packet) ~include_startup:true
+    in
+    let e_rx =
+      Radio_frontend.receive_energy mac.radio ~bits:(Packet.total_bits mac.packet)
+        ~include_startup:true
+    in
+    Some (Energy.add (Energy.scale attempts e_tx) e_rx)
+
+(** [optimal_load] — the throughput-maximising normalised load (0.5 for
+    the two-airtime vulnerability window). *)
+let optimal_load = 0.5

@@ -1,0 +1,39 @@
+(** Unslotted random access (pure-ALOHA-style contention): idle nodes pay
+    nothing for coordination, colliding ones pay retransmissions.  With
+    normalised offered load [g], a transmission succeeds with probability
+    exp(-2g). *)
+
+open Amb_units
+open Amb_circuit
+
+type t = {
+  radio : Radio_frontend.t;
+  packet : Packet.t;
+  tx_dbm : float;
+  max_retries : int;
+}
+
+val make : ?tx_dbm:float -> ?max_retries:int -> radio:Radio_frontend.t -> packet:Packet.t -> unit -> t
+(** Default 7 retries; raises [Invalid_argument] on negative limits. *)
+
+val packet_airtime : t -> Time_span.t
+
+val offered_load : t -> attempt_rate:float -> float
+(** Normalised load g = rate x airtime (aggregate over the contention
+    domain). *)
+
+val success_probability : g:float -> float
+(** exp(-2g); raises [Invalid_argument] on negative loads. *)
+
+val throughput : g:float -> float
+(** Normalised channel throughput S = g exp(-2g); maximal at g = 0.5. *)
+
+val expected_attempts : t -> g:float -> float option
+(** Mean transmissions per delivered packet, truncated at the retry
+    limit; [None] when delivery still fails with probability > 1%. *)
+
+val energy_per_delivered_packet : t -> g:float -> Energy.t option
+(** TX energy times expected attempts plus one receive-side frame. *)
+
+val optimal_load : float
+(** The throughput-maximising normalised load (0.5). *)

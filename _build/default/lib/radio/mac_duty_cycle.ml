@@ -1,0 +1,102 @@
+(** Preamble-sampling (low-power-listening) MAC, analysed in closed form.
+
+    The canonical microWatt-node MAC (B-MAC / WiseMAC family): receivers
+    sleep and sample the channel every wake-up interval [t_wakeup]; senders
+    stretch the preamble to one full interval so the receiver cannot miss
+    it.  The wake-up interval trades sampling cost (short intervals) against
+    preamble cost (long intervals); experiment E9 regenerates the resulting
+    U-shaped power curve and its optimum. *)
+
+open Amb_units
+open Amb_circuit
+
+type t = {
+  radio : Radio_frontend.t;
+  t_wakeup : Time_span.t;  (** channel-sampling period *)
+  t_cca : Time_span.t;  (** clear-channel-assessment duration per sample *)
+  tx_dbm : float;
+  packet : Packet.t;
+}
+
+let make ?(t_cca = Time_span.microseconds 350.0) ?(tx_dbm = 0.0) ~radio ~t_wakeup ~packet () =
+  if Time_span.to_seconds t_wakeup <= 0.0 then
+    invalid_arg "Mac_duty_cycle.make: non-positive wake-up interval";
+  { radio; t_wakeup; t_cca; tx_dbm; packet }
+
+let packet_airtime mac =
+  Data_rate.transfer_time mac.radio.Radio_frontend.bitrate (Packet.total_bits mac.packet)
+
+(** [sampling_power mac] — cost of periodically listening: each sample pays
+    a radio start-up plus a CCA at RX power. *)
+let sampling_power mac =
+  let per_sample =
+    Energy.add
+      (Radio_frontend.startup_energy mac.radio)
+      (Energy.of_power_time mac.radio.Radio_frontend.p_rx mac.t_cca)
+  in
+  Power.watts (Energy.to_joules per_sample /. Time_span.to_seconds mac.t_wakeup)
+
+(** [tx_energy_per_packet mac] — start-up + full-interval preamble +
+    frame. *)
+let tx_energy_per_packet mac =
+  let p_tx = Radio_frontend.tx_power mac.radio ~tx_dbm:mac.tx_dbm in
+  let preamble = Energy.of_power_time p_tx mac.t_wakeup in
+  let frame = Energy.of_power_time p_tx (packet_airtime mac) in
+  Energy.sum [ Radio_frontend.startup_energy mac.radio; preamble; frame ]
+
+(** [rx_energy_per_packet mac] — the receiver wakes in the middle of the
+    preamble on average: half an interval of listening plus the frame. *)
+let rx_energy_per_packet mac =
+  let half_preamble = Energy.of_power_time mac.radio.Radio_frontend.p_rx
+                        (Time_span.scale 0.5 mac.t_wakeup) in
+  let frame = Energy.of_power_time mac.radio.Radio_frontend.p_rx (packet_airtime mac) in
+  Energy.add half_preamble frame
+
+(** [average_power mac ~tx_rate ~rx_rate] — node-level average radio power
+    at [tx_rate] sent and [rx_rate] received packets per second. *)
+let average_power mac ~tx_rate ~rx_rate =
+  if tx_rate < 0.0 || rx_rate < 0.0 then invalid_arg "Mac_duty_cycle.average_power: negative rate";
+  Power.sum
+    [ mac.radio.Radio_frontend.p_sleep;
+      sampling_power mac;
+      Power.watts (tx_rate *. Energy.to_joules (tx_energy_per_packet mac));
+      Power.watts (rx_rate *. Energy.to_joules (rx_energy_per_packet mac));
+    ]
+
+(** [optimal_wakeup mac ~tx_rate ~rx_rate] — the interval minimising
+    {!average_power}, in closed form: the sampling term falls as 1/T, the
+    preamble terms grow linearly in T, so
+    T* = sqrt(E_sample / (tx_rate * P_tx + rx_rate * P_rx / 2)). *)
+let optimal_wakeup mac ~tx_rate ~rx_rate =
+  let e_sample =
+    Energy.to_joules
+      (Energy.add
+         (Radio_frontend.startup_energy mac.radio)
+         (Energy.of_power_time mac.radio.Radio_frontend.p_rx mac.t_cca))
+  in
+  let p_tx = Power.to_watts (Radio_frontend.tx_power mac.radio ~tx_dbm:mac.tx_dbm) in
+  let p_rx = Power.to_watts mac.radio.Radio_frontend.p_rx in
+  let slope = (tx_rate *. p_tx) +. (0.5 *. rx_rate *. p_rx) in
+  if slope <= 0.0 then Time_span.forever
+  else Time_span.seconds (Float.sqrt (e_sample /. slope))
+
+(** [optimal_wakeup_numeric mac ~tx_rate ~rx_rate] — golden-section search
+    over {!average_power}; the unit tests check it agrees with the closed
+    form. *)
+let optimal_wakeup_numeric mac ~tx_rate ~rx_rate =
+  let power_at t =
+    Power.to_watts (average_power { mac with t_wakeup = Time_span.seconds t } ~tx_rate ~rx_rate)
+  in
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec golden lo hi n =
+    if n = 0 then 0.5 *. (lo +. hi)
+    else
+      let a = hi -. ((hi -. lo) *. phi) and b = lo +. ((hi -. lo) *. phi) in
+      if power_at a < power_at b then golden lo b (n - 1) else golden a hi (n - 1)
+  in
+  Time_span.seconds (golden 1e-4 100.0 100)
+
+(** [latency mac] — expected one-hop delivery latency: half a wake-up
+    interval of preamble plus the frame airtime. *)
+let latency mac =
+  Time_span.add (Time_span.scale 0.5 mac.t_wakeup) (packet_airtime mac)

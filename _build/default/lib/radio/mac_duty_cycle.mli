@@ -1,0 +1,53 @@
+(** Preamble-sampling (low-power-listening) MAC, analysed in closed form:
+    receivers sample the channel every wake-up interval; senders stretch
+    the preamble to one full interval.  The interval trades sampling cost
+    against preamble cost — experiment E9 regenerates the U-curve and its
+    optimum. *)
+
+open Amb_units
+open Amb_circuit
+
+type t = {
+  radio : Radio_frontend.t;
+  t_wakeup : Time_span.t;  (** channel-sampling period *)
+  t_cca : Time_span.t;  (** clear-channel-assessment duration per sample *)
+  tx_dbm : float;
+  packet : Packet.t;
+}
+
+val make :
+  ?t_cca:Time_span.t ->
+  ?tx_dbm:float ->
+  radio:Radio_frontend.t ->
+  t_wakeup:Time_span.t ->
+  packet:Packet.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on a non-positive wake-up interval. *)
+
+val packet_airtime : t -> Time_span.t
+
+val sampling_power : t -> Power.t
+(** Cost of periodic listening: per sample, a radio start-up plus a CCA at
+    RX power. *)
+
+val tx_energy_per_packet : t -> Energy.t
+(** Start-up + full-interval preamble + frame. *)
+
+val rx_energy_per_packet : t -> Energy.t
+(** Half an interval of preamble listening (mean) plus the frame. *)
+
+val average_power : t -> tx_rate:float -> rx_rate:float -> Power.t
+(** Node-level average radio power at given sent/received packet rates;
+    raises [Invalid_argument] on negative rates. *)
+
+val optimal_wakeup : t -> tx_rate:float -> rx_rate:float -> Time_span.t
+(** Closed-form power-minimising interval:
+    T* = sqrt(E_sample / (tx_rate * P_tx + rx_rate * P_rx / 2)). *)
+
+val optimal_wakeup_numeric : t -> tx_rate:float -> rx_rate:float -> Time_span.t
+(** Golden-section check of {!optimal_wakeup}. *)
+
+val latency : t -> Time_span.t
+(** Expected one-hop delivery latency: half an interval plus the frame
+    airtime. *)

@@ -1,0 +1,69 @@
+(** Synchronised TDMA MAC.
+
+    The alternative to preamble sampling: nodes share a slotted frame and
+    wake only in their own slots, paying instead for periodic
+    resynchronisation and clock-drift guard times.  Used by the network
+    experiments to contrast scheduled against asynchronous access. *)
+
+open Amb_units
+open Amb_circuit
+
+type t = {
+  radio : Radio_frontend.t;
+  slot : Time_span.t;
+  slots_per_frame : int;
+  sync_listen : Time_span.t;  (** beacon listen per frame *)
+  clock : Clocking.t;  (** the timebase that keeps slots aligned *)
+  tx_dbm : float;
+}
+
+let make ?(tx_dbm = 0.0) ~radio ~slot ~slots_per_frame ~sync_listen ~clock () =
+  if slots_per_frame <= 0 then invalid_arg "Mac_tdma.make: non-positive slot count";
+  if Time_span.to_seconds slot <= 0.0 then invalid_arg "Mac_tdma.make: non-positive slot";
+  { radio; slot; slots_per_frame; sync_listen; clock; tx_dbm }
+
+let frame_period mac = Time_span.scale (Float.of_int mac.slots_per_frame) mac.slot
+
+(** [guard_time mac] — worst-case two-sided clock drift accumulated over a
+    frame; each active slot is padded by it. *)
+let guard_time mac = Time_span.scale 2.0 (Clocking.drift_over mac.clock (frame_period mac))
+
+(** [duty_cycle mac ~tx_slots ~rx_slots] — fraction of time awake. *)
+let duty_cycle mac ~tx_slots ~rx_slots =
+  if tx_slots < 0 || rx_slots < 0 then invalid_arg "Mac_tdma.duty_cycle: negative slot count";
+  if tx_slots + rx_slots > mac.slots_per_frame then
+    invalid_arg "Mac_tdma.duty_cycle: more active slots than frame slots";
+  let active = Float.of_int (tx_slots + rx_slots) in
+  let guard = Time_span.to_seconds (guard_time mac) in
+  let awake =
+    (active *. (Time_span.to_seconds mac.slot +. guard)) +. Time_span.to_seconds mac.sync_listen
+  in
+  Float.min 1.0 (awake /. Time_span.to_seconds (frame_period mac))
+
+(** [average_power mac ~tx_slots ~rx_slots] — node-level average radio
+    power with [tx_slots] transmit and [rx_slots] receive slots per
+    frame. *)
+let average_power mac ~tx_slots ~rx_slots =
+  let frame = Time_span.to_seconds (frame_period mac) in
+  let guard = guard_time mac in
+  let slot_plus_guard = Time_span.add mac.slot guard in
+  let p_tx = Radio_frontend.tx_power mac.radio ~tx_dbm:mac.tx_dbm in
+  let e_tx = Energy.scale (Float.of_int tx_slots) (Energy.of_power_time p_tx slot_plus_guard) in
+  let e_rx =
+    Energy.scale (Float.of_int rx_slots)
+      (Energy.of_power_time mac.radio.Radio_frontend.p_rx slot_plus_guard)
+  in
+  let e_sync = Energy.of_power_time mac.radio.Radio_frontend.p_rx mac.sync_listen in
+  let wakeups = Float.of_int (tx_slots + rx_slots) +. 1.0 in
+  let e_startup = Energy.scale wakeups (Radio_frontend.startup_energy mac.radio) in
+  let active_energy = Energy.sum [ e_tx; e_rx; e_sync; e_startup ] in
+  Power.add mac.radio.Radio_frontend.p_sleep (Power.watts (Energy.to_joules active_energy /. frame))
+
+(** [throughput mac ~tx_slots] — payload-agnostic raw throughput of the
+    assigned transmit slots. *)
+let throughput mac ~tx_slots =
+  let share = Float.of_int tx_slots /. Float.of_int mac.slots_per_frame in
+  Data_rate.scale share mac.radio.Radio_frontend.bitrate
+
+(** [latency mac] — expected wait for the node's next slot: half a frame. *)
+let latency mac = Time_span.scale 0.5 (frame_period mac)

@@ -1,0 +1,42 @@
+(** Synchronised TDMA MAC: nodes share a slotted frame and wake only in
+    their own slots, paying for periodic resynchronisation and clock-drift
+    guard times instead of idle listening. *)
+
+open Amb_units
+open Amb_circuit
+
+type t = {
+  radio : Radio_frontend.t;
+  slot : Time_span.t;
+  slots_per_frame : int;
+  sync_listen : Time_span.t;  (** beacon listen per frame *)
+  clock : Clocking.t;  (** the timebase keeping slots aligned *)
+  tx_dbm : float;
+}
+
+val make :
+  ?tx_dbm:float ->
+  radio:Radio_frontend.t ->
+  slot:Time_span.t ->
+  slots_per_frame:int ->
+  sync_listen:Time_span.t ->
+  clock:Clocking.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on non-positive slot counts or durations. *)
+
+val frame_period : t -> Time_span.t
+
+val guard_time : t -> Time_span.t
+(** Worst-case two-sided clock drift over one frame; pads each active
+    slot. *)
+
+val duty_cycle : t -> tx_slots:int -> rx_slots:int -> float
+(** Fraction of time awake; raises [Invalid_argument] when the active
+    slots exceed the frame. *)
+
+val average_power : t -> tx_slots:int -> rx_slots:int -> Power.t
+val throughput : t -> tx_slots:int -> Data_rate.t
+
+val latency : t -> Time_span.t
+(** Expected wait for the node's next slot: half a frame. *)

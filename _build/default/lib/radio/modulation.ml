@@ -1,0 +1,68 @@
+(** Modulation schemes and bit-error-rate models.
+
+    BER as a function of per-bit SNR (Eb/N0, linear) for the schemes the
+    era's low-power radios used.  The Q-function is evaluated through a
+    numerically stable erfc approximation. *)
+
+type t =
+  | Ook  (** on-off keying, non-coherent *)
+  | Fsk_noncoherent
+  | Bpsk
+  | Qpsk
+
+let name = function
+  | Ook -> "OOK"
+  | Fsk_noncoherent -> "FSK (non-coherent)"
+  | Bpsk -> "BPSK"
+  | Qpsk -> "QPSK"
+
+let bits_per_symbol = function Ook | Fsk_noncoherent | Bpsk -> 1.0 | Qpsk -> 2.0
+
+(* Abramowitz & Stegun 7.1.26 rational approximation of erfc, max abs error
+   1.5e-7 — ample for link-budget work. *)
+let erfc x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  let e = poly *. Float.exp (-.x *. x) in
+  if sign > 0.0 then e else 2.0 -. e
+
+(** Gaussian tail probability Q(x) = erfc(x / sqrt 2) / 2. *)
+let q_function x = 0.5 *. erfc (x /. Float.sqrt 2.0)
+
+(** [ber modulation ~ebn0] — bit error rate at linear per-bit SNR [ebn0]. *)
+let ber modulation ~ebn0 =
+  if ebn0 < 0.0 then invalid_arg "Modulation.ber: negative Eb/N0";
+  match modulation with
+  | Ook -> 0.5 *. Float.exp (-.ebn0 /. 4.0)
+  | Fsk_noncoherent -> 0.5 *. Float.exp (-.ebn0 /. 2.0)
+  | Bpsk -> q_function (Float.sqrt (2.0 *. ebn0))
+  | Qpsk -> q_function (Float.sqrt (2.0 *. ebn0))
+
+(** [packet_success_probability modulation ~ebn0 ~bits] — probability that
+    all [bits] arrive uncorrupted (independent bit errors). *)
+let packet_success_probability modulation ~ebn0 ~bits =
+  if bits < 0.0 then invalid_arg "Modulation.packet_success_probability: negative bits";
+  let p = ber modulation ~ebn0 in
+  (1.0 -. p) ** bits
+
+(** [required_ebn0 modulation ~target_ber] — the Eb/N0 achieving
+    [target_ber] (monotone bisection). *)
+let required_ebn0 modulation ~target_ber =
+  if target_ber <= 0.0 || target_ber >= 0.5 then
+    invalid_arg "Modulation.required_ebn0: target outside (0, 0.5)";
+  let ok e = ber modulation ~ebn0:e <= target_ber in
+  let rec bracket hi n = if n = 0 || ok hi then hi else bracket (hi *. 2.0) (n - 1) in
+  let hi = bracket 1.0 60 in
+  let rec bisect lo hi n =
+    if n = 0 then hi
+    else
+      let mid = 0.5 *. (lo +. hi) in
+      if ok mid then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+  in
+  bisect 0.0 hi 80

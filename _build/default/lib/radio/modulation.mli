@@ -1,0 +1,29 @@
+(** Modulation schemes and bit-error-rate models as functions of per-bit
+    SNR (Eb/N0, linear), using a numerically stable erfc approximation. *)
+
+type t =
+  | Ook  (** on-off keying, non-coherent *)
+  | Fsk_noncoherent
+  | Bpsk
+  | Qpsk
+
+val name : t -> string
+val bits_per_symbol : t -> float
+
+val erfc : float -> float
+(** Abramowitz & Stegun 7.1.26 rational approximation (max abs error
+    1.5e-7). *)
+
+val q_function : float -> float
+(** Gaussian tail probability Q(x) = erfc(x / sqrt 2) / 2. *)
+
+val ber : t -> ebn0:float -> float
+(** Bit error rate at linear per-bit SNR; raises [Invalid_argument] on
+    negative Eb/N0. *)
+
+val packet_success_probability : t -> ebn0:float -> bits:float -> float
+(** Probability that all bits arrive uncorrupted (independent errors). *)
+
+val required_ebn0 : t -> target_ber:float -> float
+(** The Eb/N0 achieving a target BER (monotone bisection); raises
+    [Invalid_argument] for targets outside (0, 0.5). *)

@@ -1,0 +1,38 @@
+(** Frame formats.  Ambient traffic is dominated by tiny payloads, so
+    framing overhead and radio start-up — not the payload — set the energy
+    cost; this module makes the overhead explicit. *)
+
+open Amb_units
+
+type t = {
+  preamble_bits : float;
+  header_bits : float;
+  payload_bits : float;
+  crc_bits : float;
+}
+
+val make : ?preamble_bits:float -> ?header_bits:float -> ?crc_bits:float -> payload_bits:float -> unit -> t
+(** Defaults: 32-bit preamble, 64-bit header, 16-bit CRC.  Raises
+    [Invalid_argument] on negative payloads. *)
+
+val sensor_reading : t
+(** A 4-byte reading in a conventional short frame. *)
+
+val sensor_report : t
+(** A 32-byte aggregated report. *)
+
+val stream_frame : t
+(** A 1500-byte streaming frame. *)
+
+val total_bits : t -> float
+
+val overhead_fraction : t -> float
+(** Share of on-air bits carrying no payload. *)
+
+val airtime : t -> Data_rate.t -> Time_span.t
+
+val goodput : t -> Data_rate.t -> Data_rate.t
+(** Payload bits per second of airtime. *)
+
+val with_preamble : t -> preamble_bits:float -> t
+(** Same frame with a stretched preamble (for preamble-sampling MACs). *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Amb_units Event_queue Float Time_span

@@ -1,0 +1,49 @@
+(** Samplable probability distributions for workload generators. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Gaussian of { mu : float; sigma : float }
+  | Bimodal of { p_first : float; first : float; second : float }
+      (** mixture of two point masses, e.g. short/long packets *)
+
+let constant v = Constant v
+
+let uniform lo hi =
+  if hi < lo then invalid_arg "Distribution.uniform: empty interval";
+  Uniform { lo; hi }
+
+let exponential mean =
+  if mean <= 0.0 then invalid_arg "Distribution.exponential: non-positive mean";
+  Exponential { mean }
+
+let gaussian mu sigma =
+  if sigma < 0.0 then invalid_arg "Distribution.gaussian: negative sigma";
+  Gaussian { mu; sigma }
+
+let bimodal ~p_first ~first ~second =
+  if p_first < 0.0 || p_first > 1.0 then invalid_arg "Distribution.bimodal: p outside [0,1]";
+  Bimodal { p_first; first; second }
+
+(** [sample rng d] — one draw. *)
+let sample rng = function
+  | Constant v -> v
+  | Uniform { lo; hi } -> Rng.uniform rng lo hi
+  | Exponential { mean } -> Rng.exponential rng ~mean
+  | Gaussian { mu; sigma } -> Rng.gaussian rng ~mu ~sigma
+  | Bimodal { p_first; first; second } -> if Rng.bernoulli rng p_first then first else second
+
+(** [mean d] — analytic expectation. *)
+let mean = function
+  | Constant v -> v
+  | Uniform { lo; hi } -> 0.5 *. (lo +. hi)
+  | Exponential { mean } -> mean
+  | Gaussian { mu; _ } -> mu
+  | Bimodal { p_first; first; second } -> (p_first *. first) +. ((1.0 -. p_first) *. second)
+
+(** [sample_positive rng d] — redraw until the sample is non-negative
+    (used for durations that must not be negative). *)
+let rec sample_positive rng d =
+  let v = sample rng d in
+  if v >= 0.0 then v else sample_positive rng d

@@ -1,0 +1,24 @@
+(** Samplable probability distributions for workload generators. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Gaussian of { mu : float; sigma : float }
+  | Bimodal of { p_first : float; first : float; second : float }
+      (** mixture of two point masses, e.g. short/long packets *)
+
+val constant : float -> t
+val uniform : float -> float -> t
+val exponential : float -> t
+val gaussian : float -> float -> t
+val bimodal : p_first:float -> first:float -> second:float -> t
+
+val sample : Rng.t -> t -> float
+(** One draw. *)
+
+val mean : t -> float
+(** Analytic expectation. *)
+
+val sample_positive : Rng.t -> t -> float
+(** Redraw until the sample is non-negative (for durations). *)

@@ -1,0 +1,86 @@
+(** Discrete-event simulation engine.
+
+    A thin, deterministic event loop: callbacks scheduled at absolute or
+    relative simulation times, executed in (time, insertion) order.  All
+    node- and network-level simulations in the toolkit run on this
+    engine. *)
+
+open Amb_units
+
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable clock : float;  (** current simulation time, seconds *)
+  mutable running : bool;
+  mutable executed : int;
+  mutable horizon : float;  (** events beyond this are never executed *)
+}
+
+let create () =
+  { queue = Event_queue.create (); clock = 0.0; running = false; executed = 0; horizon = Float.infinity }
+
+(** [now engine] — current simulation time. *)
+let now engine = Time_span.seconds engine.clock
+
+(** [event_count engine] — number of callbacks executed so far. *)
+let event_count engine = engine.executed
+
+(** [pending engine] — number of scheduled, not-yet-run callbacks. *)
+let pending engine = Event_queue.length engine.queue
+
+(** [schedule_at engine time callback] — run [callback] at absolute
+    simulation [time].  Raises [Invalid_argument] for times in the past. *)
+let schedule_at engine time callback =
+  let s = Time_span.to_seconds time in
+  if s < engine.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push engine.queue ~time:s callback
+
+(** [schedule engine ~delay callback] — run [callback] after [delay]. *)
+let schedule engine ~delay callback =
+  let d = Time_span.to_seconds delay in
+  if d < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push engine.queue ~time:(engine.clock +. d) callback
+
+(** [stop engine] — abort the run after the current callback returns. *)
+let stop engine = engine.running <- false
+
+(** [run ?until engine] — execute events in order until the queue is empty,
+    [stop] is called, or simulation time would pass [until].  Returns the
+    final simulation time.  When stopping at [until], the clock is advanced
+    to exactly [until]. *)
+let run ?until engine =
+  let limit = match until with None -> Float.infinity | Some t -> Time_span.to_seconds t in
+  engine.horizon <- limit;
+  engine.running <- true;
+  let rec loop () =
+    if not engine.running then ()
+    else
+      match Event_queue.peek engine.queue with
+      | None -> ()
+      | Some (time, _) when time > limit -> engine.clock <- Float.min limit (Float.max engine.clock limit)
+      | Some _ ->
+        (match Event_queue.pop engine.queue with
+        | None -> ()
+        | Some (time, callback) ->
+          engine.clock <- time;
+          engine.executed <- engine.executed + 1;
+          callback engine;
+          loop ())
+  in
+  loop ();
+  engine.running <- false;
+  if Float.is_finite limit && engine.clock < limit && Event_queue.is_empty engine.queue then
+    engine.clock <- limit;
+  now engine
+
+(** [every engine ~period ?until callback] — periodic process: [callback]
+    runs every [period] starting one period from now, until it returns
+    [false] or the optional absolute [until] time is passed. *)
+let every engine ~period ?until callback =
+  let p = Time_span.to_seconds period in
+  if p <= 0.0 then invalid_arg "Engine.every: non-positive period";
+  let limit = match until with None -> Float.infinity | Some t -> Time_span.to_seconds t in
+  let rec tick e =
+    if e.clock <= limit && callback e then
+      if e.clock +. p <= limit then Event_queue.push e.queue ~time:(e.clock +. p) tick
+  in
+  Event_queue.push engine.queue ~time:(engine.clock +. p) tick

@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine: a thin, deterministic event loop.
+    All node- and network-level simulations in the toolkit run on it. *)
+
+open Amb_units
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time_span.t
+(** Current simulation time. *)
+
+val event_count : t -> int
+(** Callbacks executed so far. *)
+
+val pending : t -> int
+(** Scheduled, not-yet-run callbacks. *)
+
+val schedule_at : t -> Time_span.t -> (t -> unit) -> unit
+(** Run a callback at an absolute simulation time; raises
+    [Invalid_argument] for times in the past. *)
+
+val schedule : t -> delay:Time_span.t -> (t -> unit) -> unit
+(** Run a callback after a delay; raises [Invalid_argument] for negative
+    delays. *)
+
+val stop : t -> unit
+(** Abort the run after the current callback returns. *)
+
+val run : ?until:Time_span.t -> t -> Time_span.t
+(** Execute events in order until the queue is empty, {!stop} is called,
+    or simulation time would pass [until] (then the clock is advanced to
+    exactly [until]).  Returns the final simulation time. *)
+
+val every : t -> period:Time_span.t -> ?until:Time_span.t -> (t -> bool) -> unit
+(** Periodic process: the callback runs every [period] starting one
+    period from now, until it returns [false] or [until] passes.  Raises
+    [Invalid_argument] for non-positive periods. *)

@@ -1,0 +1,86 @@
+(** Binary-heap priority queue for discrete-event simulation.
+
+    Events are ordered by (time, insertion sequence): ties in time pop in
+    insertion order, which keeps simulations deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (** heap.(0 .. size-1) is a min-heap *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let capacity = Array.length q.heap in
+  if q.size >= capacity then begin
+    let new_capacity = Stdlib.max 16 (capacity * 2) in
+    let bigger = Array.make new_capacity q.heap.(0) in
+    Array.blit q.heap 0 bigger 0 q.size;
+    q.heap <- bigger
+  end
+
+let rec sift_up heap i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before heap.(i) heap.(parent) then begin
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(parent);
+      heap.(parent) <- tmp;
+      sift_up heap parent
+    end
+  end
+
+let rec sift_down heap size i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < size && entry_before heap.(left) heap.(i) then left else i in
+  let smallest = if right < size && entry_before heap.(right) heap.(smallest) then right else smallest in
+  if smallest <> i then begin
+    let tmp = heap.(i) in
+    heap.(i) <- heap.(smallest);
+    heap.(smallest) <- tmp;
+    sift_down heap size smallest
+  end
+
+(** [push q ~time payload] — enqueue an event.  Raises [Invalid_argument]
+    for NaN times. *)
+let push q ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  if q.size = 0 && Array.length q.heap = 0 then
+    q.heap <- Array.make 16 { time; seq = 0; payload }
+  else grow q;
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q.heap (q.size - 1)
+
+(** [peek q] — earliest (time, payload) without removing it. *)
+let peek q = if q.size = 0 then None else Some (q.heap.(0).time, q.heap.(0).payload)
+
+(** [pop q] — remove and return the earliest (time, payload). *)
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q.heap q.size 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+(** [clear q] — drop all pending events. *)
+let clear q = q.size <- 0
+
+(** [drain q] — pop everything, in order. *)
+let drain q =
+  let rec loop acc = match pop q with None -> List.rev acc | Some e -> loop (e :: acc) in
+  loop []

@@ -1,0 +1,86 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic element of the toolkit draws from an explicit [Rng.t]
+    with an explicit seed, so simulations, tests and benchmarks are exactly
+    reproducible.  Splitmix64 is small, fast and passes BigCrush for the
+    purposes at hand. *)
+
+type t = { mutable state : int64; mutable cached_gaussian : float option }
+
+let create seed = { state = Int64.of_int seed; cached_gaussian = None }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 core step. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [float t] — uniform in [0, 1). *)
+let float t =
+  let bits53 = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+(** [uniform t a b] — uniform in [a, b). *)
+let uniform t a b =
+  if b < a then invalid_arg "Rng.uniform: empty interval";
+  a +. ((b -. a) *. float t)
+
+(** [int t bound] — uniform in 0 .. bound-1. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Stdlib.abs (Int64.to_int (next_int64 t)) mod bound
+
+(** [bool t]. *)
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [bernoulli t p] — true with probability [p]. *)
+let bernoulli t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  float t < p
+
+(** [exponential t ~mean] — exponential variate. *)
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: non-positive mean";
+  let u = 1.0 -. float t in
+  -.mean *. Float.log u
+
+(** [gaussian t ~mu ~sigma] — normal variate (Box-Muller, cached pair). *)
+let gaussian t ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Rng.gaussian: negative sigma";
+  match t.cached_gaussian with
+  | Some z ->
+    t.cached_gaussian <- None;
+    mu +. (sigma *. z)
+  | None ->
+    let rec draw () =
+      let u = float t in
+      if u <= 1e-300 then draw () else u
+    in
+    let u1 = draw () and u2 = float t in
+    let r = Float.sqrt (-2.0 *. Float.log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.cached_gaussian <- Some (r *. Float.sin theta);
+    mu +. (sigma *. (r *. Float.cos theta))
+
+(** [split t] — an independent generator derived from [t]'s stream
+    (consumes one draw from [t]). *)
+let split t = { state = next_int64 t; cached_gaussian = None }
+
+(** [shuffle t arr] — in-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [choose t lst] — uniform element of a non-empty list. *)
+let choose t lst =
+  match lst with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth lst (int t (List.length lst))

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random numbers (splitmix64).  Every stochastic
+    element of the toolkit draws from an explicit [Rng.t] with an explicit
+    seed, so simulations, tests and benchmarks are exactly
+    reproducible. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [a, b); raises [Invalid_argument] on an empty interval. *)
+
+val int : t -> int -> int
+(** Uniform in 0 .. bound-1; raises [Invalid_argument] on a non-positive
+    bound. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** True with probability [p]; raises [Invalid_argument] outside [0,1]. *)
+
+val exponential : t -> mean:float -> float
+(** Raises [Invalid_argument] on a non-positive mean. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal variate; raises [Invalid_argument] on negative
+    sigma. *)
+
+val split : t -> t
+(** An independent generator derived from this stream (consumes one
+    draw). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list; raises [Invalid_argument] on an
+    empty one. *)

@@ -1,0 +1,104 @@
+(** Online statistics accumulators.
+
+    Welford's algorithm for sample statistics, a time-weighted accumulator
+    for state residencies (the basis of average-power measurement in the
+    node simulator), and a fixed-bin histogram. *)
+
+type welford = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let welford () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add w x =
+  w.n <- w.n + 1;
+  let delta = x -. w.mean in
+  w.mean <- w.mean +. (delta /. Float.of_int w.n);
+  w.m2 <- w.m2 +. (delta *. (x -. w.mean))
+
+let count w = w.n
+let mean w = if w.n = 0 then Float.nan else w.mean
+let variance w = if w.n < 2 then Float.nan else w.m2 /. Float.of_int (w.n - 1)
+let stddev w = Float.sqrt (variance w)
+
+(** Standard error of the mean. *)
+let std_error w = if w.n < 2 then Float.nan else stddev w /. Float.sqrt (Float.of_int w.n)
+
+(** Time-weighted accumulator: integrates a piecewise-constant signal.
+    [update] records a change of value at a timestamp; [time_average]
+    yields integral / elapsed. *)
+type time_weighted = {
+  mutable last_time : float;
+  mutable last_value : float;
+  mutable integral : float;
+  mutable started : bool;
+  mutable start_time : float;
+}
+
+let time_weighted () =
+  { last_time = 0.0; last_value = 0.0; integral = 0.0; started = false; start_time = 0.0 }
+
+let update tw ~time ~value =
+  if tw.started && time < tw.last_time then invalid_arg "Stat.update: time went backwards";
+  if tw.started then tw.integral <- tw.integral +. (tw.last_value *. (time -. tw.last_time))
+  else begin
+    tw.started <- true;
+    tw.start_time <- time
+  end;
+  tw.last_time <- time;
+  tw.last_value <- value
+
+(** [close tw ~time] — extend the last value up to [time] without changing
+    it (used at the end of a simulation). *)
+let close tw ~time = update tw ~time ~value:tw.last_value
+
+let integral tw = tw.integral
+
+let time_average tw =
+  let elapsed = tw.last_time -. tw.start_time in
+  if (not tw.started) || elapsed <= 0.0 then Float.nan else tw.integral /. elapsed
+
+(** Fixed-bin histogram over [lo, hi); out-of-range samples land in
+    saturating edge bins. *)
+type histogram = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+}
+
+let histogram ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Stat.histogram: empty range";
+  if bins <= 0 then invalid_arg "Stat.histogram: non-positive bin count";
+  { lo; hi; bins = Array.make bins 0; total = 0 }
+
+let observe h x =
+  let k = Array.length h.bins in
+  let idx =
+    if x < h.lo then 0
+    else if x >= h.hi then k - 1
+    else Stdlib.min (k - 1) (int_of_float (Float.of_int k *. (x -. h.lo) /. (h.hi -. h.lo)))
+  in
+  h.bins.(idx) <- h.bins.(idx) + 1;
+  h.total <- h.total + 1
+
+let bin_count h i = h.bins.(i)
+let total_count h = h.total
+
+let bin_fraction h i =
+  if h.total = 0 then 0.0 else Float.of_int h.bins.(i) /. Float.of_int h.total
+
+(** [quantile_estimate h q] — q-quantile from the binned counts (midpoint
+    of the containing bin). *)
+let quantile_estimate h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stat.quantile_estimate: q outside [0,1]";
+  if h.total = 0 then Float.nan
+  else
+    let target = q *. Float.of_int h.total in
+    let k = Array.length h.bins in
+    let width = (h.hi -. h.lo) /. Float.of_int k in
+    let rec scan i acc =
+      if i >= k then h.hi
+      else
+        let acc' = acc +. Float.of_int h.bins.(i) in
+        if acc' >= target then h.lo +. (width *. (Float.of_int i +. 0.5)) else scan (i + 1) acc'
+    in
+    scan 0 0.0

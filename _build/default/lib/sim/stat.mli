@@ -1,0 +1,47 @@
+(** Online statistics accumulators: Welford sample statistics, a
+    time-weighted accumulator for state residencies (the basis of
+    average-power measurement in the node simulator), and a fixed-bin
+    histogram. *)
+
+type welford
+
+val welford : unit -> welford
+val add : welford -> float -> unit
+val count : welford -> int
+val mean : welford -> float
+val variance : welford -> float
+(** Sample (n-1) variance; NaN below two samples. *)
+
+val stddev : welford -> float
+val std_error : welford -> float
+
+type time_weighted
+
+val time_weighted : unit -> time_weighted
+
+val update : time_weighted -> time:float -> value:float -> unit
+(** Record a change of value at a timestamp; raises [Invalid_argument]
+    when time goes backwards. *)
+
+val close : time_weighted -> time:float -> unit
+(** Extend the last value up to [time] (used at the end of a
+    simulation). *)
+
+val integral : time_weighted -> float
+val time_average : time_weighted -> float
+
+type histogram
+
+val histogram : lo:float -> hi:float -> bins:int -> histogram
+(** Fixed bins over [lo, hi); out-of-range samples land in saturating
+    edge bins.  Raises [Invalid_argument] on an empty range or
+    non-positive bin count. *)
+
+val observe : histogram -> float -> unit
+val bin_count : histogram -> int -> int
+val total_count : histogram -> int
+val bin_fraction : histogram -> int -> float
+
+val quantile_estimate : histogram -> float -> float
+(** q-quantile from the binned counts (midpoint of the containing bin);
+    raises [Invalid_argument] for q outside [0,1]. *)

@@ -1,0 +1,43 @@
+(** Bounded event traces for debugging and assertions in tests.
+
+    A trace records (time, label) pairs up to a capacity; older entries are
+    dropped FIFO so long simulations cannot exhaust memory. *)
+
+type entry = { time : float; label : string }
+
+type t = {
+  capacity : int;
+  entries : entry Queue.t;
+  mutable recorded : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: non-positive capacity";
+  { capacity; entries = Queue.create (); recorded = 0; dropped = 0 }
+
+let record t ~time label =
+  Queue.push { time; label } t.entries;
+  t.recorded <- t.recorded + 1;
+  if Queue.length t.entries > t.capacity then begin
+    ignore (Queue.pop t.entries);
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = Queue.length t.entries
+let recorded t = t.recorded
+let dropped t = t.dropped
+let to_list t = Queue.fold (fun acc e -> e :: acc) [] t.entries |> List.rev
+
+(** [labels t] — the retained labels, oldest first. *)
+let labels t = List.map (fun e -> e.label) (to_list t)
+
+(** [count_matching t prefix] — retained entries whose label starts with
+    [prefix]. *)
+let count_matching t prefix =
+  let matches e = String.length e.label >= String.length prefix
+                  && String.sub e.label 0 (String.length prefix) = prefix in
+  List.length (List.filter matches (to_list t))
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%12.6f  %s@." e.time e.label) (to_list t)

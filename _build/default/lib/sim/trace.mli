@@ -1,0 +1,26 @@
+(** Bounded event traces for debugging and assertions in tests: (time,
+    label) pairs up to a capacity, older entries dropped FIFO. *)
+
+type entry = { time : float; label : string }
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Raises [Invalid_argument] on a non-positive capacity (default
+    10,000). *)
+
+val record : t -> time:float -> string -> unit
+val length : t -> int
+
+val recorded : t -> int
+(** Total entries ever recorded (including dropped ones). *)
+
+val dropped : t -> int
+val to_list : t -> entry list
+
+val labels : t -> string list
+(** Retained labels, oldest first. *)
+
+val count_matching : t -> string -> int
+(** Retained entries whose label starts with a prefix. *)
+
+val pp : Format.formatter -> t -> unit

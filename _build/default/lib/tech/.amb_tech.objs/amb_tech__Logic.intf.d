@@ -1,0 +1,1 @@
+lib/tech/logic.mli: Amb_units Area Energy Frequency Power Process_node

@@ -1,0 +1,1 @@
+lib/tech/memory.ml: Amb_units Area Energy Float Frequency Power Process_node

@@ -1,0 +1,1 @@
+lib/tech/memory.mli: Amb_units Area Energy Frequency Power Process_node

@@ -1,0 +1,1 @@
+lib/tech/noc.ml: Amb_units Data_rate Energy Float Frequency Power Process_node

@@ -1,0 +1,1 @@
+lib/tech/noc.mli: Amb_units Data_rate Energy Frequency Power Process_node

@@ -1,0 +1,1 @@
+lib/tech/process_node.ml: Amb_units Energy Format Frequency List Power Voltage

@@ -1,0 +1,1 @@
+lib/tech/process_node.mli: Amb_units Energy Format Frequency Power Voltage

@@ -1,0 +1,1 @@
+lib/tech/roadmap.ml: Amb_units Energy Float List Process_node Scaling

@@ -1,0 +1,1 @@
+lib/tech/roadmap.mli: Amb_units Energy Process_node

@@ -1,0 +1,1 @@
+lib/tech/scaling.ml: Amb_units Energy Float List Power Printf Process_node Time_span

@@ -1,0 +1,1 @@
+lib/tech/scaling.mli: Amb_units Energy Power Process_node Time_span

@@ -1,0 +1,1 @@
+lib/tech/soc.ml: Amb_units Area Energy Float Frequency List Logic Memory Power Process_node

@@ -1,0 +1,1 @@
+lib/tech/soc.mli: Amb_units Area Frequency Logic Memory Power Process_node

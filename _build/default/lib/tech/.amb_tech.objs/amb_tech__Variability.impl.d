@@ -1,0 +1,1 @@
+lib/tech/variability.ml: Amb_sim Amb_units Array Float Power Process_node Stdlib

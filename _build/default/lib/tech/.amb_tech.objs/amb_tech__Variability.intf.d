@@ -1,0 +1,1 @@
+lib/tech/variability.mli: Amb_units Power Process_node

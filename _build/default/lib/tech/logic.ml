@@ -1,0 +1,55 @@
+(** Digital-logic power on a given process node.
+
+    The classic decomposition: P = alpha * N * E_gate * f  +  N * P_leak,
+    with [alpha] the switching-activity factor. *)
+
+open Amb_units
+
+type block = {
+  name : string;
+  gates : float;  (** equivalent 2-input NAND gates *)
+  activity : float;  (** fraction of gates switching per cycle, 0..1 *)
+}
+
+let block ~name ~gates ~activity =
+  if gates < 0.0 then invalid_arg "Logic.block: negative gate count";
+  if activity < 0.0 || activity > 1.0 then invalid_arg "Logic.block: activity outside [0,1]";
+  { name; gates; activity }
+
+(** [dynamic_power node blk f] — switching power of [blk] clocked at [f]. *)
+let dynamic_power (node : Process_node.t) blk f =
+  let energy_per_cycle = blk.activity *. blk.gates *. Energy.to_joules node.gate_energy in
+  Power.watts (energy_per_cycle *. Frequency.to_hertz f)
+
+(** [leakage_power node blk] — standby leakage of [blk]. *)
+let leakage_power (node : Process_node.t) blk =
+  Power.scale blk.gates node.leakage_per_gate
+
+(** [total_power node blk f] — dynamic + leakage. *)
+let total_power node blk f = Power.add (dynamic_power node blk f) (leakage_power node blk)
+
+(** [energy_per_cycle node blk] — dynamic energy of one clock cycle. *)
+let energy_per_cycle (node : Process_node.t) blk =
+  Energy.scale (blk.activity *. blk.gates) node.gate_energy
+
+(** [area node blk] — silicon area of [blk] on [node]. *)
+let area (node : Process_node.t) blk =
+  Area.square_millimetres (blk.gates /. (node.density_kgates_per_mm2 *. 1000.0))
+
+(** [leakage_fraction node blk f] — share of leakage in the total power;
+    the quantity whose growth across nodes experiment E7 tracks. *)
+let leakage_fraction node blk f =
+  let total = Power.to_watts (total_power node blk f) in
+  if total <= 0.0 then 0.0 else Power.to_watts (leakage_power node blk) /. total
+
+(** [frequency_for_power node blk p] — the highest clock at which [blk]
+    stays within power budget [p]; [None] if even leakage alone exceeds
+    the budget. *)
+let frequency_for_power node blk p =
+  let leak = Power.to_watts (leakage_power node blk) in
+  let budget = Power.to_watts p in
+  if budget < leak then None
+  else
+    let energy_per_cycle = blk.activity *. blk.gates *. Energy.to_joules node.gate_energy in
+    if energy_per_cycle <= 0.0 then Some Frequency.(of_float Float.infinity)
+    else Some (Frequency.hertz ((budget -. leak) /. energy_per_cycle))

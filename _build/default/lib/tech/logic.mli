@@ -1,0 +1,28 @@
+(** Digital-logic power on a given process node:
+    P = alpha * N * E_gate * f + N * P_leak. *)
+
+open Amb_units
+
+type block = {
+  name : string;
+  gates : float;  (** equivalent 2-input NAND gates *)
+  activity : float;  (** fraction of gates switching per cycle, 0..1 *)
+}
+
+val block : name:string -> gates:float -> activity:float -> block
+(** Raises [Invalid_argument] on negative gates or activity outside
+    [0,1]. *)
+
+val dynamic_power : Process_node.t -> block -> Frequency.t -> Power.t
+val leakage_power : Process_node.t -> block -> Power.t
+val total_power : Process_node.t -> block -> Frequency.t -> Power.t
+val energy_per_cycle : Process_node.t -> block -> Energy.t
+val area : Process_node.t -> block -> Area.t
+
+val leakage_fraction : Process_node.t -> block -> Frequency.t -> float
+(** Share of leakage in the total power — the quantity whose growth
+    across nodes experiment E7 tracks. *)
+
+val frequency_for_power : Process_node.t -> block -> Power.t -> Frequency.t option
+(** Highest clock within a power budget; [None] if leakage alone exceeds
+    it. *)

@@ -1,0 +1,64 @@
+(** Embedded-memory energy models.
+
+    Access energy of an SRAM grows with macro size (longer bit/word lines);
+    we use the common square-root law E(bits) = e0 * sqrt(bits / b0)
+    anchored on a 32-kbit macro.  Off-chip DRAM access is two to three
+    orders of magnitude more expensive — the reason the keynote's media
+    node (CS-C) is dominated by memory-traffic power. *)
+
+open Amb_units
+
+type kind =
+  | Sram  (** on-chip embedded SRAM *)
+  | Dram_offchip  (** external (S)DRAM including I/O energy *)
+
+type t = {
+  name : string;
+  kind : kind;
+  bits : float;
+  node : Process_node.t;
+}
+
+let make ~name ~kind ~bits ~node =
+  if bits <= 0.0 then invalid_arg "Memory.make: non-positive size";
+  { name; kind; bits; node }
+
+(* Anchors: ~10 pJ per 32-bit read from a 32-kbit SRAM at 130 nm; ~4 nJ per
+   32-bit off-chip DRAM access (pins + DLL + core), roughly node
+   independent because I/O dominates. *)
+let sram_anchor_bits = 32.0 *. 1024.0
+let sram_anchor_energy_pj_130 = 10.0
+let dram_access_energy_nj = 4.0
+
+(** [access_energy mem] — energy of one 32-bit word access. *)
+let access_energy mem =
+  match mem.kind with
+  | Dram_offchip -> Energy.nanojoules dram_access_energy_nj
+  | Sram ->
+    (* Scale the 130 nm anchor with the node's gate energy: bitline swings
+       track the same C*V^2 product as logic. *)
+    let node_scale =
+      Energy.ratio mem.node.Process_node.gate_energy Process_node.n130.Process_node.gate_energy
+    in
+    let size_scale = Float.sqrt (mem.bits /. sram_anchor_bits) in
+    Energy.picojoules (sram_anchor_energy_pj_130 *. node_scale *. size_scale)
+
+(** [access_power mem rate] — average power at [rate] accesses/s. *)
+let access_power mem rate =
+  Power.watts (Energy.to_joules (access_energy mem) *. Frequency.to_hertz rate)
+
+(** [leakage_power mem] — SRAM standby leakage (6 transistors per bit,
+    scaled from the node's per-gate figure at 4 transistors per gate);
+    zero for off-chip DRAM, whose standby power we charge to the board,
+    not to the SoC. *)
+let leakage_power mem =
+  match mem.kind with
+  | Dram_offchip -> Power.zero
+  | Sram -> Power.scale (mem.bits *. 6.0 /. 4.0) mem.node.Process_node.leakage_per_gate
+
+(** [area mem] — silicon area of an on-chip macro; zero for off-chip. *)
+let area mem =
+  match mem.kind with
+  | Dram_offchip -> Area.zero
+  | Sram ->
+    Area.square_millimetres (mem.bits *. mem.node.Process_node.sram_bit_area_um2 /. 1e6)

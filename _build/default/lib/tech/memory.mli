@@ -1,0 +1,36 @@
+(** Embedded-memory energy: sqrt-size SRAM access law anchored on a
+    32-kbit macro; off-chip DRAM at a roughly node-independent nJ-scale
+    cost (I/O dominates).  The reason the keynote's media node is
+    dominated by memory-traffic power. *)
+
+open Amb_units
+
+type kind =
+  | Sram  (** on-chip embedded SRAM *)
+  | Dram_offchip  (** external (S)DRAM including I/O energy *)
+
+type t = {
+  name : string;
+  kind : kind;
+  bits : float;
+  node : Process_node.t;
+}
+
+val make : name:string -> kind:kind -> bits:float -> node:Process_node.t -> t
+(** Raises [Invalid_argument] on non-positive size. *)
+
+val sram_anchor_bits : float
+val sram_anchor_energy_pj_130 : float
+val dram_access_energy_nj : float
+
+val access_energy : t -> Energy.t
+(** Energy of one 32-bit word access. *)
+
+val access_power : t -> Frequency.t -> Power.t
+(** Average power at a given access rate. *)
+
+val leakage_power : t -> Power.t
+(** SRAM standby leakage; zero for off-chip DRAM (charged to the board). *)
+
+val area : t -> Area.t
+(** Silicon area of an on-chip macro; zero for off-chip. *)

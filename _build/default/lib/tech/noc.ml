@@ -1,0 +1,114 @@
+(** On-chip interconnect energy: shared bus vs network-on-chip.
+
+    The keynote's Watt-node grows into a multiprocessor SoC; how its cores
+    talk dominates both energy and scalability (the DATE 2003 NoC track's
+    argument).  Model: a shared bus spans the whole die, so every transfer
+    charges the full global wire, and all cores share one transaction at
+    a time; a 2D-mesh NoC charges per hop (short link + router), and
+    bisection bandwidth grows with the mesh.  Experiment E15 locates the
+    crossover. *)
+
+open Amb_units
+
+type t = {
+  node : Process_node.t;
+  cores : int;
+  die_edge_mm : float;
+  wire_energy_pj_per_bit_mm : float;  (** global-wire switching energy *)
+  router_energy_pj_per_bit : float;  (** per-router traversal energy *)
+  bus_frequency : Frequency.t;
+  bus_width_bits : float;
+  link_frequency : Frequency.t;
+  link_width_bits : float;
+}
+
+let make ?(wire_energy_pj_per_bit_mm = 0.25) ?(router_energy_pj_per_bit = 0.4)
+    ?(bus_frequency = Frequency.megahertz 200.0) ?(bus_width_bits = 64.0)
+    ?(link_frequency = Frequency.megahertz 400.0) ?(link_width_bits = 32.0) ~node ~cores
+    ~die_edge_mm () =
+  if cores < 1 then invalid_arg "Noc.make: need at least one core";
+  if die_edge_mm <= 0.0 then invalid_arg "Noc.make: non-positive die edge";
+  {
+    node;
+    cores;
+    die_edge_mm;
+    wire_energy_pj_per_bit_mm;
+    router_energy_pj_per_bit;
+    bus_frequency;
+    bus_width_bits;
+    link_frequency;
+    link_width_bits;
+  }
+
+let mesh_side t = int_of_float (Float.ceil (Float.sqrt (Float.of_int t.cores)))
+
+(** [mean_hops t] — expected Manhattan distance between two uniformly
+    random mesh tiles: E|x1-x2| on 0..k-1 is (k^2-1)/(3k), summed over the
+    two axes. *)
+let mean_hops t =
+  let k = Float.of_int (mesh_side t) in
+  Float.max 1.0 (2.0 *. ((k *. k) -. 1.0) /. (3.0 *. k))
+
+(** [bus_energy_per_bit t] — every transfer drives the full-die global
+    bus. *)
+let bus_energy_per_bit t =
+  Energy.picojoules (t.wire_energy_pj_per_bit_mm *. t.die_edge_mm)
+
+(** [noc_energy_per_bit t] — per-hop link (one tile pitch) plus router
+    traversal, times the mean hop count (+1 router for injection). *)
+let noc_energy_per_bit t =
+  let tile_pitch = t.die_edge_mm /. Float.of_int (mesh_side t) in
+  let hops = mean_hops t in
+  let per_hop = (t.wire_energy_pj_per_bit_mm *. tile_pitch) +. t.router_energy_pj_per_bit in
+  Energy.picojoules ((hops *. per_hop) +. t.router_energy_pj_per_bit)
+
+(** [bus_capacity t] — one transaction at a time, shared by everyone. *)
+let bus_capacity t =
+  Data_rate.bits_per_second (Frequency.to_hertz t.bus_frequency *. t.bus_width_bits)
+
+(** [noc_capacity t] — sustained uniform-traffic throughput: each
+    delivered bit occupies [mean_hops] links, so the aggregate is bounded
+    by total link bandwidth / mean hops (~6 * side * link_bw for a k x k
+    mesh — it grows with the mesh, which is the point). *)
+let noc_capacity t =
+  let k = Float.of_int (mesh_side t) in
+  let link_bw = Frequency.to_hertz t.link_frequency *. t.link_width_bits in
+  let directed_links = Float.max 1.0 (4.0 *. k *. (k -. 1.0)) in
+  Data_rate.bits_per_second (directed_links *. link_bw /. mean_hops t)
+
+(** [saturates t ~demand_per_core] — whether aggregate traffic exceeds an
+    interconnect's capacity. *)
+type verdict = { energy_per_bit : Energy.t; capacity : Data_rate.t; saturated : bool }
+
+let evaluate_bus t ~demand_per_core =
+  let aggregate = demand_per_core *. Float.of_int t.cores in
+  let cap = bus_capacity t in
+  { energy_per_bit = bus_energy_per_bit t; capacity = cap;
+    saturated = aggregate > Data_rate.to_bits_per_second cap }
+
+let evaluate_noc t ~demand_per_core =
+  let aggregate = demand_per_core *. Float.of_int t.cores in
+  let cap = noc_capacity t in
+  { energy_per_bit = noc_energy_per_bit t; capacity = cap;
+    saturated = aggregate > Data_rate.to_bits_per_second cap }
+
+(** [communication_power t ~demand_per_core ~use_noc] — aggregate
+    interconnect power when each core moves [demand_per_core] bits/s. *)
+let communication_power t ~demand_per_core ~use_noc =
+  let v = if use_noc then evaluate_noc t ~demand_per_core else evaluate_bus t ~demand_per_core in
+  let aggregate = demand_per_core *. Float.of_int t.cores in
+  Power.watts (aggregate *. Energy.to_joules v.energy_per_bit)
+
+(** [crossover_cores ~node ~die_edge_mm ~demand_per_core] — the smallest
+    core count at which the bus saturates while the NoC does not: the
+    point where the MPSoC must adopt a network. *)
+let crossover_cores ~node ~die_edge_mm ~demand_per_core =
+  let rec search cores =
+    if cores > 1024 then None
+    else
+      let t = make ~node ~cores ~die_edge_mm () in
+      let bus = evaluate_bus t ~demand_per_core in
+      let noc = evaluate_noc t ~demand_per_core in
+      if bus.saturated && not noc.saturated then Some cores else search (cores + 1)
+  in
+  search 1

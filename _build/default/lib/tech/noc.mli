@@ -1,0 +1,56 @@
+(** On-chip interconnect energy: shared bus vs 2D-mesh network-on-chip.
+    A bus charges the full-die global wire per transfer and serialises
+    everyone; a mesh charges per hop and its bisection grows with size.
+    Experiment E15 locates the crossover. *)
+
+open Amb_units
+
+type t = {
+  node : Process_node.t;
+  cores : int;
+  die_edge_mm : float;
+  wire_energy_pj_per_bit_mm : float;  (** global-wire switching energy *)
+  router_energy_pj_per_bit : float;  (** per-router traversal energy *)
+  bus_frequency : Frequency.t;
+  bus_width_bits : float;
+  link_frequency : Frequency.t;
+  link_width_bits : float;
+}
+
+val make :
+  ?wire_energy_pj_per_bit_mm:float ->
+  ?router_energy_pj_per_bit:float ->
+  ?bus_frequency:Frequency.t ->
+  ?bus_width_bits:float ->
+  ?link_frequency:Frequency.t ->
+  ?link_width_bits:float ->
+  node:Process_node.t ->
+  cores:int ->
+  die_edge_mm:float ->
+  unit ->
+  t
+
+val mesh_side : t -> int
+(** Side length of the smallest square mesh holding all cores. *)
+
+val mean_hops : t -> float
+(** Expected Manhattan distance between two uniformly random tiles. *)
+
+val bus_energy_per_bit : t -> Energy.t
+val noc_energy_per_bit : t -> Energy.t
+val bus_capacity : t -> Data_rate.t
+val noc_capacity : t -> Data_rate.t
+
+type verdict = { energy_per_bit : Energy.t; capacity : Data_rate.t; saturated : bool }
+
+val evaluate_bus : t -> demand_per_core:float -> verdict
+val evaluate_noc : t -> demand_per_core:float -> verdict
+
+val communication_power : t -> demand_per_core:float -> use_noc:bool -> Power.t
+(** Aggregate interconnect power when each core moves [demand_per_core]
+    bits/s. *)
+
+val crossover_cores :
+  node:Process_node.t -> die_edge_mm:float -> demand_per_core:float -> int option
+(** Smallest core count at which the bus saturates while the NoC does
+    not; [None] if no crossover below 1024 cores. *)

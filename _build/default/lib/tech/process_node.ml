@@ -1,0 +1,89 @@
+(** CMOS process-node parameters.
+
+    The catalogue spans the technology generations surrounding the DATE 2003
+    keynote (0.35 um down to 65 nm).  Absolute values are
+    published-order-of-magnitude figures, not any foundry's proprietary
+    data; the analyses in [amb_core] only rely on the trends across nodes
+    (see DESIGN.md, "Substitutions"). *)
+
+open Amb_units
+
+type t = {
+  name : string;  (** conventional node name, e.g. ["180nm"] *)
+  feature_nm : float;  (** drawn feature size in nanometres *)
+  year : int;  (** approximate year of volume production *)
+  vdd : Voltage.t;  (** nominal supply *)
+  vth : Voltage.t;  (** nominal threshold *)
+  gate_energy : Energy.t;  (** dynamic energy per average gate switch *)
+  gate_delay_ps : float;  (** FO4-loaded gate delay, picoseconds *)
+  leakage_per_gate : Power.t;  (** standby leakage per gate at 25 C *)
+  density_kgates_per_mm2 : float;  (** logic density, kgates / mm^2 *)
+  sram_bit_area_um2 : float;  (** 6T SRAM cell area, um^2 *)
+}
+
+let make ~name ~feature_nm ~year ~vdd_v ~vth_v ~gate_energy_fj ~gate_delay_ps
+    ~leakage_pw_per_gate ~density_kgates_per_mm2 ~sram_bit_area_um2 =
+  {
+    name;
+    feature_nm;
+    year;
+    vdd = Voltage.volts vdd_v;
+    vth = Voltage.volts vth_v;
+    gate_energy = Energy.femtojoules gate_energy_fj;
+    gate_delay_ps;
+    leakage_per_gate = Power.watts (leakage_pw_per_gate *. 1e-12);
+    density_kgates_per_mm2;
+    sram_bit_area_um2;
+  }
+
+(* Leakage per gate grows by roughly an order of magnitude per generation
+   below 180 nm as threshold voltages drop — the "leakage explosion" that is
+   one of the keynote's headline IC-design challenges. *)
+let n350 =
+  make ~name:"350nm" ~feature_nm:350.0 ~year:1997 ~vdd_v:3.3 ~vth_v:0.60 ~gate_energy_fj:60.0
+    ~gate_delay_ps:90.0 ~leakage_pw_per_gate:0.2 ~density_kgates_per_mm2:20.0
+    ~sram_bit_area_um2:15.0
+
+let n250 =
+  make ~name:"250nm" ~feature_nm:250.0 ~year:1999 ~vdd_v:2.5 ~vth_v:0.50 ~gate_energy_fj:28.0
+    ~gate_delay_ps:60.0 ~leakage_pw_per_gate:0.8 ~density_kgates_per_mm2:40.0
+    ~sram_bit_area_um2:7.0
+
+let n180 =
+  make ~name:"180nm" ~feature_nm:180.0 ~year:2001 ~vdd_v:1.8 ~vth_v:0.45 ~gate_energy_fj:12.0
+    ~gate_delay_ps:40.0 ~leakage_pw_per_gate:4.0 ~density_kgates_per_mm2:80.0
+    ~sram_bit_area_um2:4.0
+
+let n130 =
+  make ~name:"130nm" ~feature_nm:130.0 ~year:2003 ~vdd_v:1.2 ~vth_v:0.40 ~gate_energy_fj:5.0
+    ~gate_delay_ps:27.0 ~leakage_pw_per_gate:40.0 ~density_kgates_per_mm2:160.0
+    ~sram_bit_area_um2:2.0
+
+let n90 =
+  make ~name:"90nm" ~feature_nm:90.0 ~year:2005 ~vdd_v:1.0 ~vth_v:0.35 ~gate_energy_fj:2.2
+    ~gate_delay_ps:19.0 ~leakage_pw_per_gate:300.0 ~density_kgates_per_mm2:320.0
+    ~sram_bit_area_um2:1.0
+
+let n65 =
+  make ~name:"65nm" ~feature_nm:65.0 ~year:2007 ~vdd_v:0.9 ~vth_v:0.32 ~gate_energy_fj:1.1
+    ~gate_delay_ps:14.0 ~leakage_pw_per_gate:900.0 ~density_kgates_per_mm2:640.0
+    ~sram_bit_area_um2:0.5
+
+(** Catalogue, oldest node first. *)
+let catalogue = [ n350; n250; n180; n130; n90; n65 ]
+
+(** [find name] looks a node up by its conventional name. *)
+let find name = List.find_opt (fun n -> n.name = name) catalogue
+
+(** The node contemporary with the keynote (2003). *)
+let contemporary = n130
+
+(** [max_frequency node] — rough upper clock bound for synthesized logic on
+    [node]: 25 FO4 gate delays per cycle, a common pipeline depth
+    assumption. *)
+let max_frequency node =
+  let cycle_ps = 25.0 *. node.gate_delay_ps in
+  Frequency.hertz (1e12 /. cycle_ps)
+
+(** [pp] prints the node name. *)
+let pp fmt node = Format.pp_print_string fmt node.name

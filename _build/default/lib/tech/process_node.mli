@@ -1,0 +1,56 @@
+(** CMOS process-node parameters.
+
+    The catalogue spans the technology generations surrounding the DATE
+    2003 keynote (0.35 um down to 65 nm).  Absolute values are published-
+    order-of-magnitude figures; the analyses in [Amb_core] rely on the
+    trends across nodes, not the absolutes (DESIGN.md, "Substitutions"). *)
+
+open Amb_units
+
+type t = {
+  name : string;  (** conventional node name, e.g. ["180nm"] *)
+  feature_nm : float;  (** drawn feature size in nanometres *)
+  year : int;  (** approximate year of volume production *)
+  vdd : Voltage.t;  (** nominal supply *)
+  vth : Voltage.t;  (** nominal threshold *)
+  gate_energy : Energy.t;  (** dynamic energy per average gate switch *)
+  gate_delay_ps : float;  (** FO4-loaded gate delay, picoseconds *)
+  leakage_per_gate : Power.t;  (** standby leakage per gate at 25 C *)
+  density_kgates_per_mm2 : float;  (** logic density, kgates / mm^2 *)
+  sram_bit_area_um2 : float;  (** 6T SRAM cell area, um^2 *)
+}
+
+val make :
+  name:string ->
+  feature_nm:float ->
+  year:int ->
+  vdd_v:float ->
+  vth_v:float ->
+  gate_energy_fj:float ->
+  gate_delay_ps:float ->
+  leakage_pw_per_gate:float ->
+  density_kgates_per_mm2:float ->
+  sram_bit_area_um2:float ->
+  t
+
+val n350 : t
+val n250 : t
+val n180 : t
+val n130 : t
+val n90 : t
+val n65 : t
+
+val catalogue : t list
+(** All built-in nodes, oldest first. *)
+
+val find : string -> t option
+(** Look a node up by its conventional name. *)
+
+val contemporary : t
+(** The node contemporary with the keynote (2003): 130 nm. *)
+
+val max_frequency : t -> Frequency.t
+(** Rough upper clock bound for synthesized logic: 25 FO4 delays per
+    cycle. *)
+
+val pp : Format.formatter -> t -> unit

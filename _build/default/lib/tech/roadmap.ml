@@ -1,0 +1,84 @@
+(** Technology roadmap: from the node catalogue to a year-indexed
+    projection of silicon capability.
+
+    The keynote frames ambient intelligence as a ten-year vision; this
+    module answers "what does silicon offer in year Y?" by interpolating
+    the catalogue and extrapolating beyond it with the leakage-aware
+    scaling regime — so the gap analysis can be phrased as a timeline
+    (experiment E23). *)
+
+open Amb_units
+
+(** [node_for_year year] — the newest catalogue node in production by
+    [year]; the oldest node for years before the catalogue starts. *)
+let node_for_year year =
+  let rec newest best = function
+    | [] -> best
+    | (n : Process_node.t) :: rest ->
+      if n.Process_node.year <= year then newest n rest else best
+  in
+  match Process_node.catalogue with
+  | [] -> invalid_arg "Roadmap.node_for_year: empty catalogue"
+  | first :: rest -> newest first rest
+
+(** [projected_node year] — a node for [year], extrapolated beyond the
+    catalogue with leakage-aware scaling at one generation (x sqrt 2
+    shrink) per two years from the last catalogue entry. *)
+let projected_node year =
+  let last = List.nth Process_node.catalogue (List.length Process_node.catalogue - 1) in
+  if year <= last.Process_node.year then node_for_year year
+  else
+    let generations = Float.of_int (year - last.Process_node.year) /. 2.0 in
+    let shrink = Float.sqrt 2.0 ** generations in
+    let to_nm = last.Process_node.feature_nm /. shrink in
+    { (Scaling.project Scaling.Leakage_aware last ~to_nm) with Process_node.year = year }
+
+(** [efficiency_in year ~reference_ops_per_joule ~reference_year] — the
+    ops/J a design achieving [reference_ops_per_joule] in
+    [reference_year] reaches in [year], riding gate-energy scaling
+    alone. *)
+let efficiency_in year ~reference_ops_per_joule ~reference_year =
+  let e_ref = (projected_node reference_year).Process_node.gate_energy in
+  let e_now = (projected_node year).Process_node.gate_energy in
+  reference_ops_per_joule *. Energy.ratio e_ref e_now
+
+(** [year_when ~required_ops_per_joule ~reference_ops_per_joule
+    ~reference_year] — the first year scaling alone delivers the required
+    efficiency; [None] when not reached by 2020. *)
+let year_when ~required_ops_per_joule ~reference_ops_per_joule ~reference_year =
+  let rec search year =
+    if year > 2020 then None
+    else if
+      efficiency_in year ~reference_ops_per_joule ~reference_year >= required_ops_per_joule
+    then Some year
+    else search (year + 1)
+  in
+  search reference_year
+
+(** One row of the vision timeline. *)
+type milestone = {
+  year : int;
+  node : Process_node.t;
+  gate_energy : Energy.t;
+  relative_efficiency : float;  (** vs the 2003 node *)
+}
+
+(** [timeline ~from_year ~to_year] — year-by-two-years milestones. *)
+let timeline ~from_year ~to_year =
+  if to_year < from_year then invalid_arg "Roadmap.timeline: empty range";
+  let base = (projected_node 2003).Process_node.gate_energy in
+  let rec build year acc =
+    if year > to_year then List.rev acc
+    else
+      let node = projected_node year in
+      let m =
+        {
+          year;
+          node;
+          gate_energy = node.Process_node.gate_energy;
+          relative_efficiency = Energy.ratio base node.Process_node.gate_energy;
+        }
+      in
+      build (year + 2) (m :: acc)
+  in
+  build from_year []

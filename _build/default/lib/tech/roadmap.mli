@@ -1,0 +1,32 @@
+(** Technology roadmap: year-indexed silicon capability, interpolating the
+    node catalogue and extrapolating beyond it with leakage-aware scaling
+    (one generation per two years) — the timeline view of the gap
+    analysis (experiment E23). *)
+
+open Amb_units
+
+val node_for_year : int -> Process_node.t
+(** The newest catalogue node in production by a year. *)
+
+val projected_node : int -> Process_node.t
+(** A (possibly extrapolated) node for a year. *)
+
+val efficiency_in : int -> reference_ops_per_joule:float -> reference_year:int -> float
+(** The ops/J a reference design reaches in a year, riding gate-energy
+    scaling alone. *)
+
+val year_when :
+  required_ops_per_joule:float -> reference_ops_per_joule:float -> reference_year:int -> int option
+(** First year scaling alone delivers a required efficiency; [None] when
+    not reached by 2020. *)
+
+type milestone = {
+  year : int;
+  node : Process_node.t;
+  gate_energy : Energy.t;
+  relative_efficiency : float;  (** vs the 2003 node *)
+}
+
+val timeline : from_year:int -> to_year:int -> milestone list
+(** Milestones every two years; raises [Invalid_argument] on an empty
+    range. *)

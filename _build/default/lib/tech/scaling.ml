@@ -1,0 +1,91 @@
+(** Technology scaling laws.
+
+    Ideal (Dennard) scaling: shrinking feature size by factor [s > 1]
+    divides gate delay by [s], multiplies density by [s^2], and divides
+    switching energy by [s^3] (C and V each scale by [1/s]).  Below 130 nm
+    the V-scaling slows and leakage rises, so the toolkit also offers a
+    leakage-aware projection and an empirical fit over the catalogue.  The
+    difference between the two projections *is* one of the keynote's design
+    challenges (experiment E7 / ablation A2). *)
+
+open Amb_units
+
+type regime =
+  | Dennard  (** ideal constant-field scaling *)
+  | Leakage_aware
+      (** voltage scaling saturates and leakage grows ~8x per
+                       generation — post-130 nm reality *)
+
+(** [factor ~from_nm ~to_nm] — the linear shrink factor [s]. *)
+let factor ~from_nm ~to_nm =
+  if from_nm <= 0.0 || to_nm <= 0.0 then invalid_arg "Scaling.factor: non-positive feature size"
+  else from_nm /. to_nm
+
+(** [scale_energy regime e s] — switching energy after shrinking by [s]. *)
+let scale_energy regime e s =
+  match regime with
+  | Dennard -> Energy.scale (1.0 /. (s ** 3.0)) e
+  (* Voltage saturates: only C shrinks, and only ~1/s^2 of the ideal
+     energy gain is realised. *)
+  | Leakage_aware -> Energy.scale (1.0 /. (s ** 2.0)) e
+
+(** [scale_delay e s] — gate delay after shrinking by [s] (both regimes). *)
+let scale_delay delay_ps s = delay_ps /. s
+
+(** [scale_leakage regime p s] — leakage per gate after shrinking by [s].
+    One generation is [s = sqrt 2]; leakage grows ~8x per generation in the
+    leakage-aware regime, stays flat under ideal scaling. *)
+let scale_leakage regime p s =
+  match regime with
+  | Dennard -> p
+  | Leakage_aware ->
+    let generations = Float.log s /. Float.log (Float.sqrt 2.0) in
+    Power.scale (8.0 ** generations) p
+
+(** [project regime node ~to_nm] — a synthetic process node extrapolated
+    from [node] under the given scaling [regime].  Density always scales as
+    [s^2]. *)
+let project regime (node : Process_node.t) ~to_nm =
+  let s = factor ~from_nm:node.feature_nm ~to_nm in
+  {
+    node with
+    Process_node.name = Printf.sprintf "%.0fnm(proj)" to_nm;
+    feature_nm = to_nm;
+    gate_energy = scale_energy regime node.gate_energy s;
+    gate_delay_ps = scale_delay node.gate_delay_ps s;
+    leakage_per_gate = scale_leakage regime node.leakage_per_gate s;
+    density_kgates_per_mm2 = node.density_kgates_per_mm2 *. s *. s;
+    sram_bit_area_um2 = node.sram_bit_area_um2 /. (s *. s);
+  }
+
+(** [efficiency_doubling_period nodes] — least-squares fit of
+    log2(1 / gate_energy) against year over a node list, returned as the
+    time it takes for energy efficiency to double.  On the built-in
+    catalogue this lands near the folklore "Gene's law" figure of ~18
+    months. *)
+let efficiency_doubling_period nodes =
+  match nodes with
+  | [] | [ _ ] -> invalid_arg "Scaling.efficiency_doubling_period: need >= 2 nodes"
+  | _ ->
+    let points =
+      List.map
+        (fun (n : Process_node.t) ->
+          let eff = 1.0 /. Energy.to_joules n.Process_node.gate_energy in
+          (Float.of_int n.Process_node.year, Float.log eff /. Float.log 2.0))
+        nodes
+    in
+    let n = Float.of_int (List.length points) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    let slope = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+    if slope <= 0.0 then Time_span.forever else Time_span.years (1.0 /. slope)
+
+(** [years_to_close ~doubling_period ~gap] — time for technology scaling to
+    close an efficiency [gap] (required/available ratio > 1), the
+    gap-closing metric of experiment E5.  Zero when the gap is already
+    closed. *)
+let years_to_close ~doubling_period ~gap =
+  if gap <= 1.0 then Time_span.zero
+  else Time_span.scale (Float.log gap /. Float.log 2.0) doubling_period

@@ -1,0 +1,40 @@
+(** Technology scaling laws: ideal (Dennard) constant-field scaling and a
+    leakage-aware variant reflecting the post-130 nm slowdown.  The
+    difference between the two projections is one of the keynote's design
+    challenges (experiment E7 / ablation A2). *)
+
+open Amb_units
+
+type regime =
+  | Dennard  (** ideal constant-field scaling *)
+  | Leakage_aware
+      (** voltage scaling saturates and leakage grows ~8x per
+          generation — post-130 nm reality *)
+
+val factor : from_nm:float -> to_nm:float -> float
+(** [factor ~from_nm ~to_nm] — linear shrink factor [s]; raises
+    [Invalid_argument] on non-positive sizes. *)
+
+val scale_energy : regime -> Energy.t -> float -> Energy.t
+(** Switching energy after shrinking by [s]: [1/s^3] under {!Dennard},
+    [1/s^2] under {!Leakage_aware}. *)
+
+val scale_delay : float -> float -> float
+(** [scale_delay delay_ps s] — gate delay after shrinking by [s]. *)
+
+val scale_leakage : regime -> Power.t -> float -> Power.t
+(** Leakage per gate after shrinking by [s]: flat under {!Dennard}, ~8x
+    per generation ([s = sqrt 2]) under {!Leakage_aware}. *)
+
+val project : regime -> Process_node.t -> to_nm:float -> Process_node.t
+(** A synthetic node extrapolated from an existing one under the given
+    regime; density always scales as [s^2]. *)
+
+val efficiency_doubling_period : Process_node.t list -> Time_span.t
+(** Least-squares fit of log2(1 / gate_energy) against year: the time for
+    energy efficiency to double (Gene's-law analogue).  Raises
+    [Invalid_argument] with fewer than two nodes. *)
+
+val years_to_close : doubling_period:Time_span.t -> gap:float -> Time_span.t
+(** Time for scaling alone to close an efficiency [gap] (ratio > 1); zero
+    when already closed. *)

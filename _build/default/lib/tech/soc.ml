@@ -1,0 +1,77 @@
+(** System-on-chip power/area roll-up.
+
+    A SoC is a clocked collection of logic blocks and memory macros plus an
+    off-chip memory traffic figure.  This is the model behind experiment E7:
+    re-target the same media SoC across process nodes and watch dynamic
+    power fall while leakage and memory-traffic power take over. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  node : Process_node.t;
+  clock : Frequency.t;
+  logic_blocks : Logic.block list;
+  memories : Memory.t list;
+  offchip_accesses_per_s : float;  (** 32-bit off-chip accesses per second *)
+}
+
+let make ~name ~node ~clock ~logic_blocks ~memories ~offchip_accesses_per_s =
+  if offchip_accesses_per_s < 0.0 then invalid_arg "Soc.make: negative off-chip rate";
+  { name; node; clock; logic_blocks; memories; offchip_accesses_per_s }
+
+let dynamic_power soc =
+  Power.sum (List.map (fun b -> Logic.dynamic_power soc.node b soc.clock) soc.logic_blocks)
+
+let leakage_power soc =
+  let logic = Power.sum (List.map (Logic.leakage_power soc.node) soc.logic_blocks) in
+  let mem = Power.sum (List.map Memory.leakage_power soc.memories) in
+  Power.add logic mem
+
+(* On-chip memories are accessed once per cycle per macro at the given
+   activity; we fold that into the macro list by charging each macro at the
+   SoC clock scaled by a fixed 0.2 access activity. *)
+let memory_access_activity = 0.2
+
+let onchip_memory_power soc =
+  let rate = Frequency.scale memory_access_activity soc.clock in
+  Power.sum (List.map (fun m -> Memory.access_power m rate) soc.memories)
+
+let offchip_power soc =
+  Power.watts (soc.offchip_accesses_per_s *. Energy.to_joules (Energy.nanojoules Memory.dram_access_energy_nj))
+
+let total_power soc =
+  Power.sum [ dynamic_power soc; leakage_power soc; onchip_memory_power soc; offchip_power soc ]
+
+type breakdown = {
+  dynamic : Power.t;
+  leakage : Power.t;
+  onchip_memory : Power.t;
+  offchip_memory : Power.t;
+  total : Power.t;
+}
+
+let breakdown soc =
+  {
+    dynamic = dynamic_power soc;
+    leakage = leakage_power soc;
+    onchip_memory = onchip_memory_power soc;
+    offchip_memory = offchip_power soc;
+    total = total_power soc;
+  }
+
+let area soc =
+  let logic = Area.sum (List.map (Logic.area soc.node) soc.logic_blocks) in
+  let mem = Area.sum (List.map Memory.area soc.memories) in
+  Area.add logic mem
+
+(** [power_density soc] in W/cm^2 — the thermal-limit metric of CS-C. *)
+let power_density soc =
+  let a = Area.to_square_centimetres (area soc) in
+  if a <= 0.0 then Float.infinity else Power.to_watts (total_power soc) /. a
+
+(** [retarget soc node] — the same design ported to another process node,
+    keeping clock and architecture constant. *)
+let retarget soc node =
+  let memories = List.map (fun m -> { m with Memory.node }) soc.memories in
+  { soc with node; memories }

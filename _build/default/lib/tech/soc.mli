@@ -1,0 +1,48 @@
+(** System-on-chip power/area roll-up: clocked logic blocks + memory
+    macros + off-chip traffic.  The model behind experiment E7. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  node : Process_node.t;
+  clock : Frequency.t;
+  logic_blocks : Logic.block list;
+  memories : Memory.t list;
+  offchip_accesses_per_s : float;  (** 32-bit off-chip accesses per second *)
+}
+
+val make :
+  name:string ->
+  node:Process_node.t ->
+  clock:Frequency.t ->
+  logic_blocks:Logic.block list ->
+  memories:Memory.t list ->
+  offchip_accesses_per_s:float ->
+  t
+
+val memory_access_activity : float
+(** Fraction of SoC cycles each on-chip macro is accessed. *)
+
+val dynamic_power : t -> Power.t
+val leakage_power : t -> Power.t
+val onchip_memory_power : t -> Power.t
+val offchip_power : t -> Power.t
+val total_power : t -> Power.t
+
+type breakdown = {
+  dynamic : Power.t;
+  leakage : Power.t;
+  onchip_memory : Power.t;
+  offchip_memory : Power.t;
+  total : Power.t;
+}
+
+val breakdown : t -> breakdown
+val area : t -> Area.t
+
+val power_density : t -> float
+(** W/cm^2 — the thermal-limit metric of case study C. *)
+
+val retarget : t -> Process_node.t -> t
+(** The same design ported to another node, architecture unchanged. *)

@@ -1,0 +1,92 @@
+(** Process variability and its power consequences.
+
+    As nodes shrink, threshold-voltage spread grows (random dopant
+    fluctuation scales as 1/sqrt(gate area)) while subthreshold leakage
+    depends exponentially on Vth — so the *distribution* of die leakage
+    widens dramatically even when the mean is controlled.  Experiment E18
+    Monte-Carlos the per-die leakage spread across the node catalogue:
+    the statistical-design challenge the DATE 2003 timing/variability
+    track revolves around. *)
+
+open Amb_units
+
+(** Subthreshold slope factor times thermal voltage at 25 C: leakage
+    changes by e per [n * vT] ~ 38 mV of Vth. *)
+let leakage_exponential_mv = 38.0
+
+type spread = {
+  node : Process_node.t;
+  sigma_vth_mv : float;  (** within-die + die-to-die Vth sigma *)
+}
+
+(* Sigma(Vth) scales inversely with sqrt(gate area): ~8 mV at 350 nm
+   growing toward ~30 mV at 65 nm. *)
+let sigma_for (node : Process_node.t) =
+  let reference = 8.0 (* mV at 350 nm *) in
+  reference *. Float.sqrt (350.0 /. node.Process_node.feature_nm)
+
+let spread_of node = { node; sigma_vth_mv = sigma_for node }
+
+(** [leakage_multiplier spread ~delta_vth_mv] — per-gate leakage relative
+    to nominal when Vth deviates by [delta_vth_mv] (negative deviations
+    leak more). *)
+let leakage_multiplier ~delta_vth_mv =
+  Float.exp (-.delta_vth_mv /. leakage_exponential_mv)
+
+type die_statistics = {
+  mean_multiplier : float;  (** mean die leakage / nominal *)
+  median_multiplier : float;
+  p95_multiplier : float;  (** 95th-percentile die *)
+  spread_ratio : float;  (** p95 / median *)
+}
+
+(** [monte_carlo spread ~dies ~gates_per_die ~seed] — sample [dies] dies;
+    each die has a global Vth shift (die-to-die, sigma/2) plus per-gate
+    variation approximated analytically: the expected per-gate multiplier
+    of a lognormal is exp(sigma_ln^2 / 2), applied on top of the die
+    shift.  Returns the die-leakage distribution statistics. *)
+let monte_carlo spread ~dies ~seed =
+  if dies < 10 then invalid_arg "Variability.monte_carlo: need at least 10 dies";
+  let rng = Amb_sim.Rng.create seed in
+  let sigma_die = spread.sigma_vth_mv /. 2.0 in
+  let sigma_within = spread.sigma_vth_mv /. 2.0 in
+  (* Within-die average multiplier: lognormal mean correction. *)
+  let sigma_ln = sigma_within /. leakage_exponential_mv in
+  let within_mean = Float.exp (sigma_ln *. sigma_ln /. 2.0) in
+  let samples =
+    Array.init dies (fun _ ->
+        let die_shift = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma:sigma_die in
+        leakage_multiplier ~delta_vth_mv:die_shift *. within_mean)
+  in
+  Array.sort Float.compare samples;
+  let mean = Array.fold_left ( +. ) 0.0 samples /. Float.of_int dies in
+  let quantile q = samples.(Stdlib.min (dies - 1) (int_of_float (q *. Float.of_int dies))) in
+  let median = quantile 0.5 in
+  let p95 = quantile 0.95 in
+  { mean_multiplier = mean; median_multiplier = median; p95_multiplier = p95;
+    spread_ratio = p95 /. median }
+
+(** [worst_case_leakage node stats block_gates] — the 95th-percentile
+    die's standby leakage for a block of [block_gates] gates. *)
+let worst_case_leakage (node : Process_node.t) stats block_gates =
+  Power.scale (block_gates *. stats.p95_multiplier) node.Process_node.leakage_per_gate
+
+(** [yield_against_budget spread ~dies ~seed ~block_gates ~budget] — the
+    fraction of sampled dies whose block leakage stays within [budget]:
+    parametric-yield loss from leakage alone. *)
+let yield_against_budget spread ~dies ~seed ~block_gates ~budget =
+  if dies < 10 then invalid_arg "Variability.yield_against_budget: need at least 10 dies";
+  let rng = Amb_sim.Rng.create seed in
+  let sigma_die = spread.sigma_vth_mv /. 2.0 in
+  let sigma_within = spread.sigma_vth_mv /. 2.0 in
+  let sigma_ln = sigma_within /. leakage_exponential_mv in
+  let within_mean = Float.exp (sigma_ln *. sigma_ln /. 2.0) in
+  let nominal = Power.to_watts spread.node.Process_node.leakage_per_gate *. block_gates in
+  let budget_w = Power.to_watts budget in
+  let pass = ref 0 in
+  for _ = 1 to dies do
+    let die_shift = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma:sigma_die in
+    let leak = nominal *. leakage_multiplier ~delta_vth_mv:die_shift *. within_mean in
+    if leak <= budget_w then incr pass
+  done;
+  Float.of_int !pass /. Float.of_int dies

@@ -1,0 +1,44 @@
+(** Process variability and its power consequences: Vth spread grows as
+    nodes shrink (1/sqrt(gate area)) while leakage depends exponentially
+    on Vth, so the per-die leakage distribution widens dramatically
+    (experiment E18). *)
+
+open Amb_units
+
+val leakage_exponential_mv : float
+(** Leakage changes by a factor e per this many mV of Vth (subthreshold
+    slope x thermal voltage, ~38 mV at 25 C). *)
+
+type spread = {
+  node : Process_node.t;
+  sigma_vth_mv : float;  (** within-die + die-to-die Vth sigma *)
+}
+
+val sigma_for : Process_node.t -> float
+(** Vth sigma scaling as 1/sqrt(feature size), ~8 mV at 350 nm. *)
+
+val spread_of : Process_node.t -> spread
+
+val leakage_multiplier : delta_vth_mv:float -> float
+(** Per-gate leakage relative to nominal at a Vth deviation (negative
+    deviations leak more). *)
+
+type die_statistics = {
+  mean_multiplier : float;  (** mean die leakage / nominal *)
+  median_multiplier : float;
+  p95_multiplier : float;  (** 95th-percentile die *)
+  spread_ratio : float;  (** p95 / median *)
+}
+
+val monte_carlo : spread -> dies:int -> seed:int -> die_statistics
+(** Sample die-to-die Vth shifts (within-die variation folded in as the
+    lognormal mean correction); raises [Invalid_argument] below 10
+    dies. *)
+
+val worst_case_leakage : Process_node.t -> die_statistics -> float -> Power.t
+(** The 95th-percentile die's standby leakage for a gate count. *)
+
+val yield_against_budget :
+  spread -> dies:int -> seed:int -> block_gates:float -> budget:Power.t -> float
+(** Fraction of sampled dies whose block leakage stays within a budget:
+    parametric-yield loss from leakage alone. *)

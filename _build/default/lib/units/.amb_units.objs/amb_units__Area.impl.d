@@ -1,0 +1,1 @@
+lib/units/area.ml: Power Quantity

@@ -1,0 +1,1 @@
+lib/units/area.mli: Power Quantity

@@ -1,0 +1,1 @@
+lib/units/charge.ml: Energy Quantity Time_span Voltage

@@ -1,0 +1,1 @@
+lib/units/charge.mli: Energy Quantity Time_span Voltage

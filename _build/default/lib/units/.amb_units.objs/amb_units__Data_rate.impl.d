@@ -1,0 +1,1 @@
+lib/units/data_rate.ml: Energy Float Power Quantity Time_span

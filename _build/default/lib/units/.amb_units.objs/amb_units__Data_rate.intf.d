@@ -1,0 +1,1 @@
+lib/units/data_rate.mli: Energy Power Quantity Time_span

@@ -1,0 +1,1 @@
+lib/units/decibel.ml: Float Power

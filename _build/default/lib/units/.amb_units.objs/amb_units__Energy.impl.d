@@ -1,0 +1,1 @@
+lib/units/energy.ml: Power Quantity Time_span

@@ -1,0 +1,1 @@
+lib/units/energy.mli: Power Quantity Time_span

@@ -1,0 +1,1 @@
+lib/units/frequency.ml: Quantity Time_span

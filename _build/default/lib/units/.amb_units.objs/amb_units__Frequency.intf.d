@@ -1,0 +1,1 @@
+lib/units/frequency.mli: Quantity Time_span

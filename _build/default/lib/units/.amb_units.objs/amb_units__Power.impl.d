@@ -1,0 +1,1 @@
+lib/units/power.ml: List Quantity

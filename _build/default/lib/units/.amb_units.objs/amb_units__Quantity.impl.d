@@ -1,0 +1,1 @@
+lib/units/quantity.ml: Float Format List Printf Si

@@ -1,0 +1,1 @@
+lib/units/time_span.ml: Float Format Quantity Si

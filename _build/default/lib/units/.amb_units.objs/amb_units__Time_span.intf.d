@@ -1,0 +1,1 @@
+lib/units/time_span.mli: Format Quantity

@@ -1,0 +1,1 @@
+lib/units/voltage.ml: Quantity

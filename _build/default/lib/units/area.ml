@@ -1,0 +1,26 @@
+(** Surface area, stored in square metres.
+
+    Used for harvester apertures (solar cells), display panels and silicon
+    die area / power density. *)
+
+include Quantity.Make (struct
+  let symbol = "m^2"
+end)
+
+let square_metres = of_float
+let square_centimetres v = of_float (v *. 1e-4)
+let square_millimetres v = of_float (v *. 1e-6)
+let to_square_metres = to_float
+let to_square_centimetres a = to_float a *. 1e4
+let to_square_millimetres a = to_float a *. 1e6
+
+(** [power_density p a] in W/m^2; raises [Invalid_argument] for non-positive
+    area. *)
+let power_density p a =
+  let m2 = to_float a in
+  if m2 <= 0.0 then invalid_arg "Area.power_density: non-positive area"
+  else Power.to_watts p /. m2
+
+(** [power_at_density d a] — power collected/dissipated by area [a] at
+    surface density [d] W/m^2. *)
+let power_at_density d a = Power.watts (d *. to_float a)

@@ -1,0 +1,19 @@
+(** Surface area, stored in square metres.  Used for harvester apertures,
+    display panels and silicon die area / power density. *)
+
+include Quantity.S
+
+val square_metres : float -> t
+val square_centimetres : float -> t
+val square_millimetres : float -> t
+val to_square_metres : t -> float
+val to_square_centimetres : t -> float
+val to_square_millimetres : t -> float
+
+val power_density : Power.t -> t -> float
+(** [power_density p a] in W/m^2; raises [Invalid_argument] for
+    non-positive [a]. *)
+
+val power_at_density : float -> t -> Power.t
+(** [power_at_density d a] — power over area [a] at surface density [d]
+    W/m^2. *)

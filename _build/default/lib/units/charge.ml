@@ -1,0 +1,26 @@
+(** Electric charge, stored in coulombs.
+
+    Battery capacities are conventionally given in mAh; this module converts
+    between the datasheet unit and the SI quantity, and between charge and
+    energy at a given terminal voltage. *)
+
+include Quantity.Make (struct
+  let symbol = "C"
+end)
+
+let coulombs = of_float
+let milliamp_hours v = of_float (v *. 3.6)
+let amp_hours v = of_float (v *. 3600.0)
+let to_coulombs = to_float
+let to_milliamp_hours q = to_float q /. 3.6
+
+(** [energy_at q v] — energy released by charge [q] at constant voltage
+    [v]. *)
+let energy_at q v = Energy.joules (to_float q *. Voltage.to_volts v)
+
+(** [current_draw q t] — the constant current (amperes) that empties charge
+    [q] in duration [t]. *)
+let current_draw q t =
+  let s = Time_span.to_seconds t in
+  if s <= 0.0 then invalid_arg "Charge.current_draw: non-positive duration"
+  else to_float q /. s

@@ -1,0 +1,18 @@
+(** Electric charge, stored in coulombs.  Converts between the mAh of
+    battery datasheets and SI, and between charge and energy at a given
+    terminal voltage. *)
+
+include Quantity.S
+
+val coulombs : float -> t
+val milliamp_hours : float -> t
+val amp_hours : float -> t
+val to_coulombs : t -> float
+val to_milliamp_hours : t -> float
+
+val energy_at : t -> Voltage.t -> Energy.t
+(** [energy_at q v] — energy released by charge [q] at constant [v]. *)
+
+val current_draw : t -> Time_span.t -> float
+(** [current_draw q t] — the constant current (amperes) emptying [q] in
+    [t]; raises [Invalid_argument] for non-positive [t]. *)

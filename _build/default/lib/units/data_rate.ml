@@ -1,0 +1,39 @@
+(** Information rate, stored in bits per second.
+
+    The x-axis of the keynote's power-information graph: how much
+    information a technology processes, communicates or presents per
+    second. *)
+
+include Quantity.Make (struct
+  let symbol = "bit/s"
+end)
+
+let bits_per_second = of_float
+let kilobits_per_second v = of_float (v *. 1e3)
+let megabits_per_second v = of_float (v *. 1e6)
+let gigabits_per_second v = of_float (v *. 1e9)
+let to_bits_per_second = to_float
+let to_kilobits_per_second r = to_float r /. 1e3
+
+(** [transfer_time r bits] is the airtime/processing time of [bits] at rate
+    [r]; raises [Invalid_argument] for non-positive [r]. *)
+let transfer_time r bits =
+  let bps = to_float r in
+  if bps <= 0.0 then invalid_arg "Data_rate.transfer_time: non-positive rate"
+  else Time_span.seconds (bits /. bps)
+
+(** [bits_in r t] counts bits moved at rate [r] during [t]. *)
+let bits_in r t = to_float r *. Time_span.to_seconds t
+
+(** [energy_per_bit power r] — joules spent per bit when a block consuming
+    [power] sustains rate [r]. *)
+let energy_per_bit power r =
+  let bps = to_float r in
+  if bps <= 0.0 then invalid_arg "Data_rate.energy_per_bit: non-positive rate"
+  else Energy.joules (Power.to_watts power /. bps)
+
+(** [bits_per_joule power r] — the efficiency metric of the
+    power-information graph (higher is better). *)
+let bits_per_joule power r =
+  let w = Power.to_watts power in
+  if w <= 0.0 then Float.infinity else to_float r /. w

@@ -1,0 +1,26 @@
+(** Information rate, stored in bits per second — the x-axis of the
+    keynote's power-information graph. *)
+
+include Quantity.S
+
+val bits_per_second : float -> t
+val kilobits_per_second : float -> t
+val megabits_per_second : float -> t
+val gigabits_per_second : float -> t
+val to_bits_per_second : t -> float
+val to_kilobits_per_second : t -> float
+
+val transfer_time : t -> float -> Time_span.t
+(** [transfer_time r bits] — airtime/processing time of [bits] at rate
+    [r]; raises [Invalid_argument] for non-positive [r]. *)
+
+val bits_in : t -> Time_span.t -> float
+(** [bits_in r t] — bits moved at rate [r] during [t]. *)
+
+val energy_per_bit : Power.t -> t -> Energy.t
+(** [energy_per_bit power r] — joules per bit for a block consuming
+    [power] at rate [r]. *)
+
+val bits_per_joule : Power.t -> t -> float
+(** The power-information graph's efficiency metric; infinite at zero
+    power. *)

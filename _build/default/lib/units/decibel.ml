@@ -1,0 +1,32 @@
+(** Decibel arithmetic for link budgets.
+
+    RF engineering works in dB (power ratios) and dBm (absolute power
+    referenced to 1 mW); this module is the single place where the
+    logarithmic and linear worlds meet. *)
+
+(** [of_ratio r] is [10 log10 r]; raises [Invalid_argument] for non-positive
+    [r]. *)
+let of_ratio r =
+  if r <= 0.0 then invalid_arg "Decibel.of_ratio: non-positive ratio" else 10.0 *. Float.log10 r
+
+(** [to_ratio db] is the linear power ratio [10^(db/10)]. *)
+let to_ratio db = 10.0 ** (db /. 10.0)
+
+(** [dbm_of_power p]; raises [Invalid_argument] for non-positive power. *)
+let dbm_of_power p =
+  let w = Power.to_watts p in
+  if w <= 0.0 then invalid_arg "Decibel.dbm_of_power: non-positive power"
+  else 10.0 *. Float.log10 (w /. 1e-3)
+
+(** [power_of_dbm dbm] is the absolute power of a dBm figure. *)
+let power_of_dbm dbm = Power.watts (1e-3 *. to_ratio dbm)
+
+(** Thermal noise power density at 290 K, the universal reference:
+    -174 dBm/Hz. *)
+let thermal_noise_dbm_per_hz = -173.977
+
+(** [noise_floor_dbm ~bandwidth_hz ~noise_figure_db] — receiver noise floor
+    in dBm. *)
+let noise_floor_dbm ~bandwidth_hz ~noise_figure_db =
+  if bandwidth_hz <= 0.0 then invalid_arg "Decibel.noise_floor_dbm: non-positive bandwidth"
+  else thermal_noise_dbm_per_hz +. (10.0 *. Float.log10 bandwidth_hz) +. noise_figure_db

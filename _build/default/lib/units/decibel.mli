@@ -1,0 +1,21 @@
+(** Decibel arithmetic for link budgets — the single meeting point of the
+    logarithmic (dB/dBm) and linear (watts) worlds. *)
+
+val of_ratio : float -> float
+(** [of_ratio r] is [10 log10 r]; raises [Invalid_argument] for
+    non-positive [r]. *)
+
+val to_ratio : float -> float
+(** [to_ratio db] — linear power ratio [10^(db/10)]. *)
+
+val dbm_of_power : Power.t -> float
+(** Raises [Invalid_argument] for non-positive power. *)
+
+val power_of_dbm : float -> Power.t
+
+val thermal_noise_dbm_per_hz : float
+(** Thermal noise density at 290 K: -174 dBm/Hz. *)
+
+val noise_floor_dbm : bandwidth_hz:float -> noise_figure_db:float -> float
+(** Receiver noise floor in dBm; raises [Invalid_argument] for
+    non-positive bandwidth. *)

@@ -1,0 +1,39 @@
+(** Energy, stored in joules.
+
+    Energy is the central currency of the toolkit: batteries hold it,
+    harvesters produce it, circuit activations consume it, and every
+    design-challenge metric of the keynote reduces to joules per useful
+    bit or operation. *)
+
+include Quantity.Make (struct
+  let symbol = "J"
+end)
+
+let joules = of_float
+let kilojoules v = of_float (v *. 1e3)
+let millijoules v = of_float (v *. 1e-3)
+let microjoules v = of_float (v *. 1e-6)
+let nanojoules v = of_float (v *. 1e-9)
+let picojoules v = of_float (v *. 1e-12)
+let femtojoules v = of_float (v *. 1e-15)
+let watt_hours v = of_float (v *. 3600.0)
+let milliwatt_hours v = of_float (v *. 3.6)
+let to_joules = to_float
+let to_watt_hours e = to_float e /. 3600.0
+let to_millijoules e = to_float e *. 1e3
+
+(** [of_power_time p t] is the energy drawn by a constant power [p] over
+    duration [t]. *)
+let of_power_time p t = of_float (Power.to_watts p *. Time_span.to_seconds t)
+
+(** [average_power e t] spreads energy [e] over duration [t]. *)
+let average_power e t =
+  let s = Time_span.to_seconds t in
+  if s <= 0.0 then invalid_arg "Energy.average_power: non-positive duration"
+  else Power.watts (to_float e /. s)
+
+(** [duration_at e p] is how long energy [e] sustains constant power [p];
+    [Time_span.forever] when [p] is zero or negative. *)
+let duration_at e p =
+  let w = Power.to_watts p in
+  if w <= 0.0 then Time_span.forever else Time_span.seconds (to_float e /. w)

@@ -1,0 +1,30 @@
+(** Energy, stored in joules — the central currency of the toolkit:
+    batteries hold it, harvesters produce it, circuit activations consume
+    it, and every design-challenge metric reduces to joules per useful bit
+    or operation. *)
+
+include Quantity.S
+
+val joules : float -> t
+val kilojoules : float -> t
+val millijoules : float -> t
+val microjoules : float -> t
+val nanojoules : float -> t
+val picojoules : float -> t
+val femtojoules : float -> t
+val watt_hours : float -> t
+val milliwatt_hours : float -> t
+val to_joules : t -> float
+val to_watt_hours : t -> float
+val to_millijoules : t -> float
+
+val of_power_time : Power.t -> Time_span.t -> t
+(** [of_power_time p t] — energy drawn by constant power [p] over [t]. *)
+
+val average_power : t -> Time_span.t -> Power.t
+(** [average_power e t] — [e] spread over duration [t]; raises
+    [Invalid_argument] on non-positive [t]. *)
+
+val duration_at : t -> Power.t -> Time_span.t
+(** [duration_at e p] — how long [e] sustains constant power [p];
+    [Time_span.forever] for non-positive [p]. *)

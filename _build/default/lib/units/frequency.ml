@@ -1,0 +1,27 @@
+(** Frequency, stored in hertz.  Also used for operation rates (ops/s). *)
+
+include Quantity.Make (struct
+  let symbol = "Hz"
+end)
+
+let hertz = of_float
+let kilohertz v = of_float (v *. 1e3)
+let megahertz v = of_float (v *. 1e6)
+let gigahertz v = of_float (v *. 1e9)
+let to_hertz = to_float
+let to_megahertz f = to_float f /. 1e6
+
+(** [period f] is [1/f]; raises [Invalid_argument] for non-positive [f]. *)
+let period f =
+  let hz = to_float f in
+  if hz <= 0.0 then invalid_arg "Frequency.period: non-positive frequency"
+  else Time_span.seconds (1.0 /. hz)
+
+(** [of_period t] is [1/t]; raises [Invalid_argument] for non-positive [t]. *)
+let of_period t =
+  let s = Time_span.to_seconds t in
+  if s <= 0.0 then invalid_arg "Frequency.of_period: non-positive period"
+  else of_float (1.0 /. s)
+
+(** [cycles f t] counts cycles of frequency [f] elapsed during [t]. *)
+let cycles f t = to_float f *. Time_span.to_seconds t

@@ -1,0 +1,20 @@
+(** Frequency, stored in hertz.  Also used for operation rates (ops/s)
+    and sample rates. *)
+
+include Quantity.S
+
+val hertz : float -> t
+val kilohertz : float -> t
+val megahertz : float -> t
+val gigahertz : float -> t
+val to_hertz : t -> float
+val to_megahertz : t -> float
+
+val period : t -> Time_span.t
+(** [period f] is [1/f]; raises [Invalid_argument] for non-positive [f]. *)
+
+val of_period : Time_span.t -> t
+(** [of_period t] is [1/t]; raises [Invalid_argument] for non-positive [t]. *)
+
+val cycles : t -> Time_span.t -> float
+(** [cycles f t] — cycles of frequency [f] elapsed during [t]. *)

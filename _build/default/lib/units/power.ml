@@ -1,0 +1,32 @@
+(** Electrical power, stored in watts.
+
+    The three device classes of the ambient-intelligence keynote are named
+    after the decades of this quantity: the microWatt-node, the
+    milliWatt-node and the Watt-node. *)
+
+include Quantity.Make (struct
+  let symbol = "W"
+end)
+
+let watts = of_float
+let kilowatts v = of_float (v *. 1e3)
+let milliwatts v = of_float (v *. 1e-3)
+let microwatts v = of_float (v *. 1e-6)
+let nanowatts v = of_float (v *. 1e-9)
+let to_watts = to_float
+let to_milliwatts p = to_float p *. 1e3
+let to_microwatts p = to_float p *. 1e6
+
+(** Weighted average of [(power, weight)] pairs; weights need not be
+    normalised.  Used for duty-cycle averaging.  Raises [Invalid_argument]
+    on an empty list or all-zero weights. *)
+let weighted_average contributions =
+  match contributions with
+  | [] -> invalid_arg "Power.weighted_average: empty"
+  | _ ->
+    let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 contributions in
+    if total_weight <= 0.0 then
+      invalid_arg "Power.weighted_average: non-positive total weight"
+    else
+      let weighted = List.fold_left (fun acc (p, w) -> acc +. (to_float p *. w)) 0.0 contributions in
+      of_float (weighted /. total_weight)

@@ -1,0 +1,21 @@
+(** Electrical power, stored in watts.
+
+    The three device classes of the ambient-intelligence keynote are named
+    after the decades of this quantity: the microWatt-node, the
+    milliWatt-node and the Watt-node. *)
+
+include Quantity.S
+
+val watts : float -> t
+val kilowatts : float -> t
+val milliwatts : float -> t
+val microwatts : float -> t
+val nanowatts : float -> t
+val to_watts : t -> float
+val to_milliwatts : t -> float
+val to_microwatts : t -> float
+
+val weighted_average : (t * float) list -> t
+(** Weighted average of [(power, weight)] pairs; weights need not be
+    normalised.  Raises [Invalid_argument] on an empty list or
+    non-positive total weight. *)

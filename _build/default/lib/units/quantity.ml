@@ -1,0 +1,93 @@
+(** Functor generating a typed scalar quantity.
+
+    Each physical dimension used in the toolkit (power, energy, time, ...)
+    instantiates {!Make} with its base SI unit symbol.  The generated module
+    wraps a [float] in an abstract type so that, e.g., a power can never be
+    added to an energy without going through an explicit conversion. *)
+
+module type UNIT = sig
+  val symbol : string
+  (** Base SI unit symbol, e.g. ["W"]. *)
+end
+
+module type S = sig
+  type t
+
+  val symbol : string
+  val of_float : float -> t
+  (** [of_float v] wraps a magnitude expressed in the base SI unit. *)
+
+  val to_float : t -> float
+  val zero : t
+  val is_zero : t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val scale : float -> t -> t
+  (** [scale k q] is the quantity [k * q]. *)
+
+  val div : t -> float -> t
+  (** [div q k] is [q / k]; raises [Invalid_argument] when [k = 0]. *)
+
+  val ratio : t -> t -> float
+  (** [ratio a b] is the dimensionless quotient [a / b]. *)
+
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val sum : t list -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val approx_equal : ?rel:float -> t -> t -> bool
+
+  val lt : t -> t -> bool
+  (** Strict and non-strict comparisons are exported as named functions
+      rather than operators so that [include]-ing a quantity module never
+      shadows the polymorphic comparison operators. *)
+
+  val le : t -> t -> bool
+  val gt : t -> t -> bool
+  val ge : t -> t -> bool
+  val is_positive : t -> bool
+  val is_finite : t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Make (U : UNIT) : S = struct
+  type t = float
+
+  let symbol = U.symbol
+  let of_float v = v
+  let to_float v = v
+  let zero = 0.0
+  let is_zero v = v = 0.0
+  let add = ( +. )
+  let sub = ( -. )
+  let neg v = -.v
+  let abs = Float.abs
+  let scale k v = k *. v
+
+  let div v k =
+    if k = 0.0 then invalid_arg (Printf.sprintf "Quantity(%s).div: zero divisor" U.symbol)
+    else v /. k
+
+  let ratio a b =
+    if b = 0.0 then invalid_arg (Printf.sprintf "Quantity(%s).ratio: zero denominator" U.symbol)
+    else a /. b
+
+  let min = Float.min
+  let max = Float.max
+  let sum = List.fold_left ( +. ) 0.0
+  let compare = Float.compare
+  let equal = Float.equal
+  let approx_equal ?rel a b = Si.approx_equal ?rel a b
+  let lt (a : float) b = a < b
+  let le (a : float) b = a <= b
+  let gt (a : float) b = a > b
+  let ge (a : float) b = a >= b
+  let is_positive (a : float) = a > 0.0
+  let is_finite = Float.is_finite
+  let to_string v = Si.format ~unit:U.symbol v
+  let pp fmt v = Format.pp_print_string fmt (to_string v)
+end

@@ -1,0 +1,57 @@
+(** Functor generating a typed scalar quantity (see the implementation
+    for rationale).  Each physical dimension instantiates {!Make} with its
+    base SI unit symbol; the wrapped [float] is abstract so distinct
+    dimensions cannot be mixed without explicit conversion. *)
+
+module type UNIT = sig
+  val symbol : string
+  (** Base SI unit symbol, e.g. ["W"]. *)
+end
+
+module type S = sig
+  type t
+
+  val symbol : string
+
+  val of_float : float -> t
+  (** [of_float v] wraps a magnitude expressed in the base SI unit. *)
+
+  val to_float : t -> float
+  val zero : t
+  val is_zero : t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+
+  val scale : float -> t -> t
+  (** [scale k q] is the quantity [k * q]. *)
+
+  val div : t -> float -> t
+  (** [div q k] is [q / k]; raises [Invalid_argument] when [k = 0]. *)
+
+  val ratio : t -> t -> float
+  (** [ratio a b] is the dimensionless quotient [a / b]. *)
+
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val sum : t list -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val approx_equal : ?rel:float -> t -> t -> bool
+
+  val lt : t -> t -> bool
+  (** Comparisons are named functions rather than operators so that
+      [include]-ing a quantity module never shadows the polymorphic
+      comparison operators. *)
+
+  val le : t -> t -> bool
+  val gt : t -> t -> bool
+  val ge : t -> t -> bool
+  val is_positive : t -> bool
+  val is_finite : t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Make (U : UNIT) : S

@@ -1,0 +1,71 @@
+(** Engineering notation for SI quantities.
+
+    All quantities in the toolkit are stored in base SI units (watts, joules,
+    seconds, ...).  This module turns raw magnitudes into readable strings
+    such as ["3.30 mW"] or ["14.1 GOPS"], picking the engineering prefix
+    (powers of 1000) closest to the magnitude. *)
+
+type prefix = { symbol : string; factor : float }
+
+let prefixes =
+  [ { symbol = "P"; factor = 1e15 }
+  ; { symbol = "T"; factor = 1e12 }
+  ; { symbol = "G"; factor = 1e9 }
+  ; { symbol = "M"; factor = 1e6 }
+  ; { symbol = "k"; factor = 1e3 }
+  ; { symbol = ""; factor = 1e0 }
+  ; { symbol = "m"; factor = 1e-3 }
+  ; { symbol = "u"; factor = 1e-6 }
+  ; { symbol = "n"; factor = 1e-9 }
+  ; { symbol = "p"; factor = 1e-12 }
+  ; { symbol = "f"; factor = 1e-15 }
+  ]
+
+(* The prefix whose factor is the largest one not exceeding [magnitude].
+   Values outside the table range clamp to the extreme prefixes. *)
+let prefix_for magnitude =
+  let rec search = function
+    | [] -> { symbol = "f"; factor = 1e-15 }
+    | [ last ] -> last
+    | p :: rest -> if magnitude >= p.factor *. 0.9999 then p else search rest
+  in
+  search prefixes
+
+(** [format ~unit v] renders [v] (in base units) with an engineering prefix,
+    e.g. [format ~unit:"W" 0.0033 = "3.30 mW"].  Zero, infinities and NaN are
+    rendered specially. *)
+let format ~unit v =
+  if Float.is_nan v then "nan " ^ unit
+  else if v = Float.infinity then "inf " ^ unit
+  else if v = Float.neg_infinity then "-inf " ^ unit
+  else if v = 0.0 then Printf.sprintf "0 %s" unit
+  else
+    let sign = if v < 0.0 then "-" else "" in
+    let magnitude = Float.abs v in
+    let p = prefix_for magnitude in
+    let scaled = magnitude /. p.factor in
+    let digits = if scaled >= 100.0 then 0 else if scaled >= 10.0 then 1 else 2 in
+    Printf.sprintf "%s%.*f %s%s" sign digits scaled p.symbol unit
+
+(** [parse_prefix s] is the multiplication factor of the engineering prefix
+    [s], e.g. [parse_prefix "m" = Some 1e-3]. *)
+let parse_prefix s = List.find_map (fun p -> if p.symbol = s then Some p.factor else None) prefixes
+
+(** [round_to ~digits v] rounds [v] to [digits] significant decimal digits.
+    Used by reports so that replicated table rows are stable across
+    platforms. *)
+let round_to ~digits v =
+  if v = 0.0 || not (Float.is_finite v) then v
+  else
+    let exponent = Float.of_int (digits - 1) -. Float.round (Float.log10 (Float.abs v)) in
+    let scale = 10.0 ** exponent in
+    Float.round (v *. scale) /. scale
+
+(** Relative comparison helper used throughout the test-suites:
+    [approx_equal ~rel a b] holds when [a] and [b] differ by at most
+    [rel] (default 1e-9) of their common magnitude. *)
+let approx_equal ?(rel = 1e-9) a b =
+  if a = b then true
+  else
+    let scale = Float.max (Float.abs a) (Float.abs b) in
+    Float.abs (a -. b) <= rel *. scale

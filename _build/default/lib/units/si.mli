@@ -1,0 +1,24 @@
+(** Engineering notation for SI quantities. *)
+
+type prefix = { symbol : string; factor : float }
+
+val prefixes : prefix list
+(** Engineering prefixes, peta down to femto, in decreasing order. *)
+
+val prefix_for : float -> prefix
+(** [prefix_for magnitude] — the prefix whose factor is the largest not
+    exceeding [magnitude]; clamps outside the table range. *)
+
+val format : unit:string -> float -> string
+(** [format ~unit v] renders [v] (base SI units) with an engineering
+    prefix, e.g. [format ~unit:"W" 0.0033 = "3.30 mW"]. *)
+
+val parse_prefix : string -> float option
+(** [parse_prefix s] — multiplication factor of prefix [s]. *)
+
+val round_to : digits:int -> float -> float
+(** [round_to ~digits v] rounds to [digits] significant decimal digits. *)
+
+val approx_equal : ?rel:float -> float -> float -> bool
+(** [approx_equal ~rel a b] — relative comparison at tolerance [rel]
+    (default [1e-9]) of the common magnitude. *)

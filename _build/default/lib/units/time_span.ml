@@ -1,0 +1,40 @@
+(** Durations, stored in seconds.
+
+    Simulation timestamps are durations since the simulation epoch, so the
+    same type serves for both instants and intervals. *)
+
+include Quantity.Make (struct
+  let symbol = "s"
+end)
+
+let seconds = of_float
+let milliseconds v = of_float (v *. 1e-3)
+let microseconds v = of_float (v *. 1e-6)
+let nanoseconds v = of_float (v *. 1e-9)
+let minutes v = of_float (v *. 60.0)
+let hours v = of_float (v *. 3600.0)
+let days v = of_float (v *. 86400.0)
+
+(* Julian year: the usual convention for battery-lifetime figures. *)
+let years v = of_float (v *. 86400.0 *. 365.25)
+let to_seconds = to_float
+let to_milliseconds t = to_float t *. 1e3
+let to_hours t = to_float t /. 3600.0
+let to_days t = to_float t /. 86400.0
+let to_years t = to_float t /. (86400.0 *. 365.25)
+let forever = of_float Float.infinity
+let is_forever t = to_float t = Float.infinity
+
+(** Human-friendly rendering that switches to minutes / hours / days / years
+    for long durations: lifetimes read as ["2.3 years"], not ["72.6 Ms"]. *)
+let pp_human fmt t =
+  let s = to_float t in
+  if s = Float.infinity then Format.pp_print_string fmt "forever"
+  else if s < 0.0 then Format.fprintf fmt "-%a" pp (abs t)
+  else if s < 60.0 then Format.pp_print_string fmt (Si.format ~unit:"s" s)
+  else if s < 3600.0 then Format.fprintf fmt "%.1f min" (s /. 60.0)
+  else if s < 86400.0 then Format.fprintf fmt "%.1f h" (s /. 3600.0)
+  else if s < 86400.0 *. 365.25 then Format.fprintf fmt "%.1f days" (s /. 86400.0)
+  else Format.fprintf fmt "%.2f years" (s /. (86400.0 *. 365.25))
+
+let to_human_string t = Format.asprintf "%a" pp_human t

@@ -1,0 +1,34 @@
+(** Durations, stored in seconds.  Simulation timestamps are durations
+    since the simulation epoch, so the same type serves for instants and
+    intervals. *)
+
+include Quantity.S
+
+val seconds : float -> t
+val milliseconds : float -> t
+val microseconds : float -> t
+val nanoseconds : float -> t
+val minutes : float -> t
+val hours : float -> t
+val days : float -> t
+
+val years : float -> t
+(** Julian years (365.25 days), the convention of battery-lifetime
+    figures. *)
+
+val to_seconds : t -> float
+val to_milliseconds : t -> float
+val to_hours : t -> float
+val to_days : t -> float
+val to_years : t -> float
+
+val forever : t
+(** Positive infinity: the lifetime of an energy-autonomous node. *)
+
+val is_forever : t -> bool
+
+val pp_human : Format.formatter -> t -> unit
+(** Human-friendly rendering: switches to minutes / hours / days / years
+    for long durations. *)
+
+val to_human_string : t -> string

@@ -1,0 +1,15 @@
+(** Electric potential, stored in volts. *)
+
+include Quantity.Make (struct
+  let symbol = "V"
+end)
+
+let volts = of_float
+let millivolts v = of_float (v *. 1e-3)
+let to_volts = to_float
+let to_millivolts v = to_float v *. 1e3
+
+(** [squared v] is [v^2] in V^2 — the term of the CV^2 switching-energy
+    law.  Kept as a plain float because V^2 is not itself a tracked
+    dimension. *)
+let squared v = to_float v *. to_float v

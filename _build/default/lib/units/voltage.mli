@@ -1,0 +1,12 @@
+(** Electric potential, stored in volts. *)
+
+include Quantity.S
+
+val volts : float -> t
+val millivolts : float -> t
+val to_volts : t -> float
+val to_millivolts : t -> float
+
+val squared : t -> float
+(** [squared v] is [v^2] in V^2 — the term of the CV^2 switching-energy
+    law (plain float: V^2 is not a tracked dimension). *)

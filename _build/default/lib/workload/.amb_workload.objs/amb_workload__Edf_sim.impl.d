@@ -1,0 +1,1 @@
+lib/workload/edf_sim.ml: Amb_units Array Float Frequency List Task Time_span

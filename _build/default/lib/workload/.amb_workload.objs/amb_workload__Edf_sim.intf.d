@@ -1,0 +1,1 @@
+lib/workload/edf_sim.mli: Amb_units Frequency Task Time_span

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Amb_units Data_rate Float Frequency Time_span Traffic

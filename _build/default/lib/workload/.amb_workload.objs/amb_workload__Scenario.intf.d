@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Amb_units Data_rate Frequency Time_span Traffic

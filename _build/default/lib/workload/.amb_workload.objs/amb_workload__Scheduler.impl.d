@@ -1,0 +1,1 @@
+lib/workload/scheduler.ml: Amb_circuit Amb_units Energy Float Frequency List Processor Task

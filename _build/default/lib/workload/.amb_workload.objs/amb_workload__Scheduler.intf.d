@@ -1,0 +1,1 @@
+lib/workload/scheduler.mli: Amb_circuit Amb_units Energy Frequency Power Processor Task Time_span Voltage

@@ -1,0 +1,1 @@
+lib/workload/task.ml: Amb_units Frequency List Time_span

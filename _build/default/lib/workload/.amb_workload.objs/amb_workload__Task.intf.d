@@ -1,0 +1,1 @@
+lib/workload/task.mli: Amb_units Frequency Time_span

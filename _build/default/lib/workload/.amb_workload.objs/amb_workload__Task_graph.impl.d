@@ -1,0 +1,1 @@
+lib/workload/task_graph.ml: Amb_circuit Amb_units Array Energy Float Frequency List Processor Queue Time_span

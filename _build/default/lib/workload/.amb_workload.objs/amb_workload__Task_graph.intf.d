@@ -1,0 +1,1 @@
+lib/workload/task_graph.mli: Amb_circuit Amb_units Energy Frequency Processor Time_span Voltage

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Amb_sim Amb_units Rng Time_span

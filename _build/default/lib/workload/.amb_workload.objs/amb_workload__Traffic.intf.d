@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Amb_sim Amb_units Rng Time_span

@@ -1,0 +1,141 @@
+(** Event-driven preemptive uniprocessor scheduling.
+
+    Simulates EDF or rate-monotonic scheduling of periodic task sets and
+    counts deadline misses — the executable check of the Liu-Layland
+    bound and the EDF utilisation test in {!Scheduler} (experiment E21).
+    The simulation advances between decision points (job releases and
+    completions); within a segment the highest-priority ready job runs. *)
+
+open Amb_units
+
+type policy =
+  | Earliest_deadline_first
+  | Rate_monotonic
+
+let policy_name = function
+  | Earliest_deadline_first -> "EDF"
+  | Rate_monotonic -> "RM"
+
+type job = {
+  task_index : int;
+  release : float;
+  absolute_deadline : float;
+  mutable remaining_ops : float;
+  mutable miss_counted : bool;  (** deadline overrun already tallied *)
+}
+
+type outcome = {
+  jobs_released : int;
+  jobs_completed : int;
+  deadline_misses : int;
+  busy_fraction : float;  (** processor utilisation observed *)
+  max_lateness : Time_span.t;  (** worst completion - deadline; zero if none late *)
+}
+
+(* Priority order: smaller is more urgent. *)
+let priority policy tasks job =
+  match policy with
+  | Earliest_deadline_first -> job.absolute_deadline
+  | Rate_monotonic -> Time_span.to_seconds (List.nth tasks job.task_index).Task.period
+
+(** [run ~policy ~tasks ~capacity ~horizon] — simulate the task set on a
+    processor of [capacity] ops/s until [horizon].  Jobs past their
+    deadline keep running (they count as misses and contribute
+    lateness). *)
+let run ~policy ~tasks ~capacity ~horizon =
+  let cap = Frequency.to_hertz capacity in
+  if cap <= 0.0 then invalid_arg "Edf_sim.run: non-positive capacity";
+  if tasks = [] then invalid_arg "Edf_sim.run: empty task set";
+  let limit = Time_span.to_seconds horizon in
+  if limit <= 0.0 then invalid_arg "Edf_sim.run: non-positive horizon";
+  let task_array = Array.of_list tasks in
+  let next_release = Array.make (Array.length task_array) 0.0 in
+  let ready : job list ref = ref [] in
+  let released = ref 0 in
+  let completed = ref 0 in
+  let misses = ref 0 in
+  let busy = ref 0.0 in
+  let max_lateness = ref 0.0 in
+  let release_job now index =
+    let task = task_array.(index) in
+    let job =
+      {
+        task_index = index;
+        release = now;
+        absolute_deadline = now +. Time_span.to_seconds task.Task.deadline;
+        remaining_ops = task.Task.ops;
+        miss_counted = false;
+      }
+    in
+    incr released;
+    ready := job :: !ready;
+    next_release.(index) <- now +. Time_span.to_seconds task.Task.period
+  in
+  let earliest_release () = Array.fold_left Float.min Float.infinity next_release in
+  let pick_job () =
+    match !ready with
+    | [] -> None
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best j ->
+             if priority policy tasks j < priority policy tasks best then j else best)
+           first rest)
+  in
+  (* Residues below one nanosecond of work are completion: a smaller
+     threshold stalls once [now + remaining/cap] rounds back to [now]. *)
+  let epsilon_ops = cap *. 1e-9 in
+  (* A miss is tallied the moment a deadline passes with work left, so
+     starved jobs (which may never complete) still count. *)
+  let tally_overruns now =
+    List.iter
+      (fun job ->
+        if (not job.miss_counted) && job.absolute_deadline < now -. 1e-12 then begin
+          job.miss_counted <- true;
+          incr misses
+        end)
+      !ready
+  in
+  let rec loop now =
+    if now >= limit then ()
+    else begin
+      tally_overruns now;
+      (* Release everything due now. *)
+      Array.iteri (fun i t -> if t <= now +. 1e-12 then release_job now i) next_release;
+      match pick_job () with
+      | None ->
+        (* Idle until the next release. *)
+        loop (Float.min limit (earliest_release ()))
+      | Some job ->
+        let finish_at = now +. (job.remaining_ops /. cap) in
+        let next_event = Float.min finish_at (Float.min limit (earliest_release ())) in
+        let ran = (next_event -. now) *. cap in
+        busy := !busy +. (next_event -. now);
+        job.remaining_ops <- job.remaining_ops -. ran;
+        if job.remaining_ops <= epsilon_ops then begin
+          incr completed;
+          ready := List.filter (fun j -> j != job) !ready;
+          let lateness = next_event -. job.absolute_deadline in
+          if lateness > 1e-9 then begin
+            if not job.miss_counted then incr misses;
+            job.miss_counted <- true;
+            if lateness > !max_lateness then max_lateness := lateness
+          end
+        end;
+        loop next_event
+    end
+  in
+  loop 0.0;
+  tally_overruns limit;
+  {
+    jobs_released = !released;
+    jobs_completed = !completed;
+    deadline_misses = !misses;
+    busy_fraction = !busy /. limit;
+    max_lateness = Time_span.seconds !max_lateness;
+  }
+
+(** [schedulable_in_simulation ~policy ~tasks ~capacity ~horizon] — zero
+    misses over the horizon (use a horizon of several hyperperiods). *)
+let schedulable_in_simulation ~policy ~tasks ~capacity ~horizon =
+  (run ~policy ~tasks ~capacity ~horizon).deadline_misses = 0

@@ -1,0 +1,38 @@
+(** Event-driven preemptive uniprocessor scheduling: simulates EDF or
+    rate-monotonic scheduling of periodic task sets and counts deadline
+    misses — the executable check of the analytic bounds in {!Scheduler}
+    (experiment E21). *)
+
+open Amb_units
+
+type policy =
+  | Earliest_deadline_first
+  | Rate_monotonic
+
+val policy_name : policy -> string
+
+type job = {
+  task_index : int;
+  release : float;
+  absolute_deadline : float;
+  mutable remaining_ops : float;
+  mutable miss_counted : bool;  (** deadline overrun already tallied *)
+}
+
+type outcome = {
+  jobs_released : int;
+  jobs_completed : int;
+  deadline_misses : int;
+  busy_fraction : float;  (** processor utilisation observed *)
+  max_lateness : Time_span.t;  (** worst completion - deadline *)
+}
+
+val run : policy:policy -> tasks:Task.t list -> capacity:Frequency.t -> horizon:Time_span.t -> outcome
+(** Simulate until the horizon; jobs past their deadline keep running
+    (counted as misses, contributing lateness).  Raises
+    [Invalid_argument] on empty task sets or non-positive
+    capacity/horizon. *)
+
+val schedulable_in_simulation :
+  policy:policy -> tasks:Task.t list -> capacity:Frequency.t -> horizon:Time_span.t -> bool
+(** Zero misses over the horizon (use several hyperperiods). *)

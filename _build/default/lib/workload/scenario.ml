@@ -1,0 +1,84 @@
+(** Ambient-intelligence usage scenarios.
+
+    A scenario bundles the demands an ambient function places on a node:
+    sustained computation, communication, sensing activity and how often
+    the function activates.  These feed the function→network mapping of
+    [Amb_core.Mapping] and the node-level lifetime analyses. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  compute_rate : Frequency.t;  (** sustained ops/s while active *)
+  comm_rate : Data_rate.t;  (** bits/s exchanged while active *)
+  sample_rate : Frequency.t;  (** sensor samples/s while active *)
+  activation : Traffic.t;  (** how often the function activates *)
+  active_duration : Time_span.t;  (** duration of one activation *)
+}
+
+let make ~name ~compute_rate ~comm_rate ~sample_rate ~activation ~active_duration =
+  if Time_span.to_seconds active_duration <= 0.0 then
+    invalid_arg "Scenario.make: non-positive activation duration";
+  { name; compute_rate; comm_rate; sample_rate; activation; active_duration }
+
+(** [duty scenario] — long-run fraction of time active (capped at 1). *)
+let duty scenario =
+  Float.min 1.0
+    (Traffic.mean_rate scenario.activation *. Time_span.to_seconds scenario.active_duration)
+
+(** [average_compute scenario] — long-run average ops/s demand. *)
+let average_compute scenario = Frequency.scale (duty scenario) scenario.compute_rate
+
+(** [average_comm scenario] — long-run average bits/s demand. *)
+let average_comm scenario = Data_rate.scale (duty scenario) scenario.comm_rate
+
+(* --- The keynote's motivating functions, one per device class. --- *)
+
+(** Periodic environmental sensing: a reading every 30 s, 50 ms of activity
+    (µW-node duty). *)
+let environmental_sensing =
+  make ~name:"environmental sensing" ~compute_rate:(Frequency.megahertz 1.0)
+    ~comm_rate:(Data_rate.kilobits_per_second 76.8) ~sample_rate:(Frequency.hertz 10.0)
+    ~activation:(Traffic.periodic (Time_span.seconds 30.0))
+    ~active_duration:(Time_span.milliseconds 50.0)
+
+(** Presence detection: PIR events, Poisson at ~2/minute in a lived-in
+    room. *)
+let presence_detection =
+  make ~name:"presence detection" ~compute_rate:(Frequency.megahertz 0.5)
+    ~comm_rate:(Data_rate.kilobits_per_second 76.8) ~sample_rate:(Frequency.hertz 5.0)
+    ~activation:(Traffic.poisson (2.0 /. 60.0))
+    ~active_duration:(Time_span.milliseconds 20.0)
+
+(** Voice user interface: speech front-end bursts of 2 s, a few per
+    minute (mW-node). *)
+let voice_interface =
+  make ~name:"voice interface" ~compute_rate:(Frequency.megahertz 50.0)
+    ~comm_rate:(Data_rate.kilobits_per_second 64.0) ~sample_rate:(Frequency.hertz 16000.0)
+    ~activation:(Traffic.poisson (3.0 /. 60.0))
+    ~active_duration:(Time_span.seconds 2.0)
+
+(** Portable audio playback: continuous decode (mW-node). *)
+let audio_playback =
+  make ~name:"audio playback" ~compute_rate:(Frequency.megahertz 30.0)
+    ~comm_rate:(Data_rate.kilobits_per_second 128.0) ~sample_rate:(Frequency.hertz 44100.0)
+    ~activation:(Traffic.periodic (Time_span.seconds 1.0))
+    ~active_duration:(Time_span.seconds 1.0)
+
+(** Ambient video streaming: continuous SD decode + WLAN (W-node). *)
+let video_streaming =
+  make ~name:"video streaming" ~compute_rate:(Frequency.gigahertz 2.5)
+    ~comm_rate:(Data_rate.megabits_per_second 4.0) ~sample_rate:Frequency.zero
+    ~activation:(Traffic.periodic (Time_span.seconds 1.0))
+    ~active_duration:(Time_span.seconds 1.0)
+
+(** Home media serving: transcode + distribute a remote stream (W-node). *)
+let media_server =
+  make ~name:"media server" ~compute_rate:(Frequency.gigahertz 8.0)
+    ~comm_rate:(Data_rate.megabits_per_second 6.0) ~sample_rate:Frequency.zero
+    ~activation:(Traffic.periodic (Time_span.seconds 1.0))
+    ~active_duration:(Time_span.seconds 1.0)
+
+let catalogue =
+  [ environmental_sensing; presence_detection; voice_interface; audio_playback; video_streaming;
+    media_server ]

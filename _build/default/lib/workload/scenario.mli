@@ -1,0 +1,38 @@
+(** Ambient-intelligence usage scenarios: the demands a function places on
+    a node (computation, communication, sensing, activation pattern),
+    feeding the function-to-network mapping and lifetime analyses. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  compute_rate : Frequency.t;  (** sustained ops/s while active *)
+  comm_rate : Data_rate.t;  (** bits/s exchanged while active *)
+  sample_rate : Frequency.t;  (** sensor samples/s while active *)
+  activation : Traffic.t;  (** how often the function activates *)
+  active_duration : Time_span.t;  (** duration of one activation *)
+}
+
+val make :
+  name:string ->
+  compute_rate:Frequency.t ->
+  comm_rate:Data_rate.t ->
+  sample_rate:Frequency.t ->
+  activation:Traffic.t ->
+  active_duration:Time_span.t ->
+  t
+(** Raises [Invalid_argument] on non-positive activation durations. *)
+
+val duty : t -> float
+(** Long-run fraction of time active (capped at 1). *)
+
+val average_compute : t -> Frequency.t
+val average_comm : t -> Data_rate.t
+
+val environmental_sensing : t
+val presence_detection : t
+val voice_interface : t
+val audio_playback : t
+val video_streaming : t
+val media_server : t
+val catalogue : t list

@@ -1,0 +1,72 @@
+(** Schedulability tests and DVFS slack exploitation.
+
+    Classic single-core results: the Liu-Layland rate-monotonic bound and
+    the EDF utilisation test, plus the static-slowdown DVFS policy they
+    enable — run every task slower by the utilisation factor and finish
+    exactly on time, at quadratically lower voltage-energy. *)
+
+open Amb_units
+open Amb_circuit
+
+(** [rm_bound n] — Liu-Layland utilisation bound for [n] periodic tasks
+    under rate-monotonic scheduling: n (2^{1/n} - 1), tending to ln 2. *)
+let rm_bound n =
+  if n <= 0 then invalid_arg "Scheduler.rm_bound: non-positive task count"
+  else
+    let nf = Float.of_int n in
+    nf *. ((2.0 ** (1.0 /. nf)) -. 1.0)
+
+(** [rm_schedulable tasks ~capacity] — sufficient (not necessary) RM
+    test. *)
+let rm_schedulable tasks ~capacity =
+  match tasks with
+  | [] -> true
+  | _ -> Task.total_utilization tasks ~capacity <= rm_bound (List.length tasks)
+
+(** [edf_schedulable tasks ~capacity] — exact test for
+    deadline-equals-period task sets: U <= 1. *)
+let edf_schedulable tasks ~capacity = Task.total_utilization tasks ~capacity <= 1.0
+
+(** [static_slowdown tasks ~capacity] — the minimal uniform speed fraction
+    keeping the set EDF-schedulable: the utilisation itself ([None] when
+    U > 1, i.e. infeasible even at full speed). *)
+let static_slowdown tasks ~capacity =
+  let u = Task.total_utilization tasks ~capacity in
+  if u > 1.0 then None else Some (Float.max u 1e-9)
+
+(** [dvfs_operating_point processor tasks] — the (voltage, power) running a
+    task set under the static-slowdown DVFS policy on [processor]; [None]
+    when infeasible. *)
+let dvfs_operating_point processor tasks =
+  let capacity = Processor.max_throughput processor in
+  match static_slowdown tasks ~capacity with
+  | None -> None
+  | Some slowdown ->
+    let rate = Frequency.scale slowdown capacity in
+    (match Processor.dvfs_power processor rate with
+    | None -> None
+    | Some power ->
+      let voltage =
+        match Processor.min_voltage_for processor rate with
+        | Some v -> v
+        | None -> Processor.vdd_nominal processor
+      in
+      Some (voltage, power))
+
+(** [energy_comparison processor tasks ~horizon] — energy over [horizon]
+    under race-to-idle versus DVFS; [None] when the set is infeasible.
+    The ratio is experiment E6's headline number. *)
+let energy_comparison processor tasks ~horizon =
+  let capacity = Processor.max_throughput processor in
+  let rate = Task.total_rate tasks in
+  match (Processor.race_to_idle_power processor rate, Processor.dvfs_power processor rate) with
+  | Some p_race, Some p_dvfs when Task.total_utilization tasks ~capacity <= 1.0 ->
+    Some
+      ( Energy.of_power_time p_race horizon,
+        Energy.of_power_time p_dvfs horizon )
+  | _ -> None
+
+(** [savings_fraction ~race ~dvfs] — relative energy saved by DVFS. *)
+let savings_fraction ~race ~dvfs =
+  let r = Energy.to_joules race in
+  if r <= 0.0 then 0.0 else (r -. Energy.to_joules dvfs) /. r

@@ -1,0 +1,28 @@
+(** Schedulability tests (Liu-Layland RM bound, EDF utilisation test) and
+    the static-slowdown DVFS policy they enable (experiment E6). *)
+
+open Amb_units
+open Amb_circuit
+
+val rm_bound : int -> float
+(** Liu-Layland bound n (2^{1/n} - 1); raises [Invalid_argument] on
+    non-positive task counts. *)
+
+val rm_schedulable : Task.t list -> capacity:Frequency.t -> bool
+(** Sufficient (not necessary) rate-monotonic test. *)
+
+val edf_schedulable : Task.t list -> capacity:Frequency.t -> bool
+(** Exact for deadline-equals-period sets: U <= 1. *)
+
+val static_slowdown : Task.t list -> capacity:Frequency.t -> float option
+(** Minimal uniform speed fraction keeping the set EDF-schedulable (the
+    utilisation); [None] when infeasible even at full speed. *)
+
+val dvfs_operating_point : Processor.t -> Task.t list -> (Voltage.t * Power.t) option
+(** The (voltage, power) running a task set under static-slowdown DVFS. *)
+
+val energy_comparison : Processor.t -> Task.t list -> horizon:Time_span.t -> (Energy.t * Energy.t) option
+(** Energy over a horizon under (race-to-idle, DVFS); [None] when
+    infeasible. *)
+
+val savings_fraction : race:Energy.t -> dvfs:Energy.t -> float

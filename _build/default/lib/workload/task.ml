@@ -1,0 +1,45 @@
+(** Periodic real-time tasks.
+
+    The unit of computation demand: a task executes [ops] operations every
+    [period], due by [deadline] (defaults to the period).  Utilisation is
+    relative to a processing capacity in ops/s. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  ops : float;  (** operations per activation *)
+  period : Time_span.t;
+  deadline : Time_span.t;
+}
+
+let make ?deadline ~name ~ops ~period () =
+  if ops < 0.0 then invalid_arg "Task.make: negative work";
+  if Time_span.to_seconds period <= 0.0 then invalid_arg "Task.make: non-positive period";
+  let deadline = match deadline with None -> period | Some d -> d in
+  if Time_span.to_seconds deadline <= 0.0 then invalid_arg "Task.make: non-positive deadline";
+  { name; ops; period; deadline }
+
+(** [rate task] — required throughput, ops/s. *)
+let rate task = Frequency.hertz (task.ops /. Time_span.to_seconds task.period)
+
+(** [utilization task ~capacity] — fraction of [capacity] (ops/s) the task
+    consumes. *)
+let utilization task ~capacity =
+  let c = Frequency.to_hertz capacity in
+  if c <= 0.0 then invalid_arg "Task.utilization: non-positive capacity";
+  task.ops /. Time_span.to_seconds task.period /. c
+
+(** [execution_time task ~capacity] — time per activation at [capacity]. *)
+let execution_time task ~capacity =
+  let c = Frequency.to_hertz capacity in
+  if c <= 0.0 then invalid_arg "Task.execution_time: non-positive capacity";
+  Time_span.seconds (task.ops /. c)
+
+(** [total_rate tasks] — aggregate demand of a task set. *)
+let total_rate tasks =
+  Frequency.hertz (List.fold_left (fun acc t -> acc +. Frequency.to_hertz (rate t)) 0.0 tasks)
+
+(** [total_utilization tasks ~capacity]. *)
+let total_utilization tasks ~capacity =
+  List.fold_left (fun acc t -> acc +. utilization t ~capacity) 0.0 tasks

@@ -1,0 +1,25 @@
+(** Periodic real-time tasks: [ops] operations every [period], due by
+    [deadline] (defaults to the period). *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  ops : float;  (** operations per activation *)
+  period : Time_span.t;
+  deadline : Time_span.t;
+}
+
+val make : ?deadline:Time_span.t -> name:string -> ops:float -> period:Time_span.t -> unit -> t
+(** Raises [Invalid_argument] on negative work or non-positive
+    period/deadline. *)
+
+val rate : t -> Frequency.t
+(** Required throughput, ops/s. *)
+
+val utilization : t -> capacity:Frequency.t -> float
+(** Fraction of a capacity (ops/s) the task consumes. *)
+
+val execution_time : t -> capacity:Frequency.t -> Time_span.t
+val total_rate : t list -> Frequency.t
+val total_utilization : t list -> capacity:Frequency.t -> float

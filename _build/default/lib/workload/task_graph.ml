@@ -1,0 +1,128 @@
+(** Directed acyclic task graphs.
+
+    Signal-processing applications (the mW node's bread and butter)
+    decompose into DAGs of kernels.  The graph supports topological
+    ordering, critical-path analysis and single-core makespan/energy
+    evaluation on a processor model. *)
+
+open Amb_units
+open Amb_circuit
+
+type node = { name : string; ops : float }
+
+type t = {
+  nodes : node array;
+  edges : (int * int) list;  (** (src, dst): src must finish before dst *)
+  successors : int list array;
+  predecessors : int list array;
+}
+
+let make ~nodes ~edges =
+  let n = Array.length nodes in
+  let successors = Array.make n [] and predecessors = Array.make n [] in
+  let add (src, dst) =
+    if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Task_graph.make: edge out of range";
+    if src = dst then invalid_arg "Task_graph.make: self-loop";
+    successors.(src) <- dst :: successors.(src);
+    predecessors.(dst) <- src :: predecessors.(dst)
+  in
+  List.iter add edges;
+  Array.iter (fun nd -> if nd.ops < 0.0 then invalid_arg "Task_graph.make: negative work") nodes;
+  { nodes; edges; successors; predecessors }
+
+let node_count g = Array.length g.nodes
+let total_ops g = Array.fold_left (fun acc nd -> acc +. nd.ops) 0.0 g.nodes
+
+(** [topological_order g] — Kahn's algorithm; raises [Invalid_argument] on
+    a cycle. *)
+let topological_order g =
+  let n = node_count g in
+  let in_degree = Array.map List.length g.predecessors in
+  let ready = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.push i ready) in_degree;
+  let rec loop acc count =
+    if Queue.is_empty ready then
+      if count = n then List.rev acc else invalid_arg "Task_graph.topological_order: cyclic graph"
+    else
+      let u = Queue.pop ready in
+      let release v =
+        in_degree.(v) <- in_degree.(v) - 1;
+        if in_degree.(v) = 0 then Queue.push v ready
+      in
+      List.iter release g.successors.(u);
+      loop (u :: acc) (count + 1)
+  in
+  loop [] 0
+
+(** [critical_path_ops g] — the heaviest dependency chain, in operations:
+    the lower bound on latency regardless of parallel resources. *)
+let critical_path_ops g =
+  let order = topological_order g in
+  let finish = Array.make (node_count g) 0.0 in
+  let relax u =
+    let start =
+      List.fold_left (fun acc p -> Float.max acc finish.(p)) 0.0 g.predecessors.(u)
+    in
+    finish.(u) <- start +. g.nodes.(u).ops
+  in
+  List.iter relax order;
+  Array.fold_left Float.max 0.0 finish
+
+(** [parallelism g] — average width: total work / critical path. *)
+let parallelism g =
+  let cp = critical_path_ops g in
+  if cp <= 0.0 then 1.0 else total_ops g /. cp
+
+(** [makespan g ~capacity] — single-core completion time at [capacity]
+    ops/s (sequential execution of the whole DAG). *)
+let makespan g ~capacity =
+  let c = Frequency.to_hertz capacity in
+  if c <= 0.0 then invalid_arg "Task_graph.makespan: non-positive capacity";
+  Time_span.seconds (total_ops g /. c)
+
+(** [energy_on g processor v] — dynamic energy of one full execution on
+    [processor] at supply [v]. *)
+let energy_on g processor v =
+  Energy.scale (total_ops g) (Processor.energy_per_op_at processor v)
+
+(* Reference media pipelines used by the case studies. *)
+
+(** Speech recognition front-end (feature extraction + matching),
+    ~10 MOPS at 100 activations/s. *)
+let speech_frontend =
+  make
+    ~nodes:
+      [| { name = "pre-emphasis"; ops = 5_000.0 };
+         { name = "FFT-256"; ops = 25_000.0 };
+         { name = "mel filterbank"; ops = 10_000.0 };
+         { name = "cepstrum"; ops = 15_000.0 };
+         { name = "HMM match"; ops = 45_000.0 };
+      |]
+    ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+(** MP3-class audio decoder, per 26 ms frame (~0.5 MOPS/frame). *)
+let audio_decoder =
+  make
+    ~nodes:
+      [| { name = "huffman"; ops = 80_000.0 };
+         { name = "dequant"; ops = 60_000.0 };
+         { name = "stereo"; ops = 40_000.0 };
+         { name = "imdct-left"; ops = 150_000.0 };
+         { name = "imdct-right"; ops = 150_000.0 };
+         { name = "synthesis"; ops = 120_000.0 };
+      |]
+    ~edges:[ (0, 1); (1, 2); (2, 3); (2, 4); (3, 5); (4, 5) ]
+
+(** MPEG-2-class standard-definition video decoder, per frame
+    (~100 MOPS/frame at 25 fps gives a few GOPS). *)
+let video_decoder =
+  make
+    ~nodes:
+      [| { name = "vld"; ops = 12_000_000.0 };
+         { name = "dequant"; ops = 8_000_000.0 };
+         { name = "idct"; ops = 35_000_000.0 };
+         { name = "motion-comp"; ops = 30_000_000.0 };
+         { name = "deblock"; ops = 10_000_000.0 };
+         { name = "color-convert"; ops = 15_000_000.0 };
+      |]
+    ~edges:[ (0, 1); (1, 2); (0, 3); (2, 4); (3, 4); (4, 5) ]

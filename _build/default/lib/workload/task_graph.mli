@@ -1,0 +1,47 @@
+(** Directed acyclic task graphs: the kernels of the mW node's
+    signal-processing applications, with topological ordering,
+    critical-path analysis and single-core makespan/energy evaluation. *)
+
+open Amb_units
+open Amb_circuit
+
+type node = { name : string; ops : float }
+
+type t = {
+  nodes : node array;
+  edges : (int * int) list;  (** (src, dst): src must finish before dst *)
+  successors : int list array;
+  predecessors : int list array;
+}
+
+val make : nodes:node array -> edges:(int * int) list -> t
+(** Raises [Invalid_argument] on out-of-range edges, self-loops or
+    negative work. *)
+
+val node_count : t -> int
+val total_ops : t -> float
+
+val topological_order : t -> int list
+(** Kahn's algorithm; raises [Invalid_argument] on a cycle. *)
+
+val critical_path_ops : t -> float
+(** The heaviest dependency chain — the latency lower bound regardless of
+    parallel resources. *)
+
+val parallelism : t -> float
+(** Average width: total work / critical path. *)
+
+val makespan : t -> capacity:Frequency.t -> Time_span.t
+(** Single-core completion time. *)
+
+val energy_on : t -> Processor.t -> Voltage.t -> Energy.t
+(** Dynamic energy of one full execution at a supply. *)
+
+val speech_frontend : t
+(** Speech-recognition front-end (feature extraction + matching). *)
+
+val audio_decoder : t
+(** MP3-class audio decoder, per 26 ms frame. *)
+
+val video_decoder : t
+(** MPEG-2-class SD video decoder, per frame. *)

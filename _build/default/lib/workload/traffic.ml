@@ -1,0 +1,63 @@
+(** Packet/event arrival processes.
+
+    Drives both the analytic models (via {!mean_rate}) and the
+    discrete-event simulations (via {!next_interval}). *)
+
+open Amb_units
+open Amb_sim
+
+type t =
+  | Periodic of { period : Time_span.t }
+  | Poisson of { rate_hz : float }
+  | On_off of {
+      on_duration : Time_span.t;
+      off_duration : Time_span.t;
+      rate_while_on_hz : float;
+    }  (** bursty: Poisson at [rate_while_on_hz] during on-phases *)
+
+let periodic period =
+  if Time_span.to_seconds period <= 0.0 then invalid_arg "Traffic.periodic: non-positive period";
+  Periodic { period }
+
+let poisson rate_hz =
+  if rate_hz <= 0.0 then invalid_arg "Traffic.poisson: non-positive rate";
+  Poisson { rate_hz }
+
+let on_off ~on_duration ~off_duration ~rate_while_on_hz =
+  if Time_span.to_seconds on_duration <= 0.0 || Time_span.to_seconds off_duration < 0.0 then
+    invalid_arg "Traffic.on_off: bad phase durations";
+  if rate_while_on_hz <= 0.0 then invalid_arg "Traffic.on_off: non-positive rate";
+  On_off { on_duration; off_duration; rate_while_on_hz }
+
+(** [mean_rate t] — long-run average events per second. *)
+let mean_rate = function
+  | Periodic { period } -> 1.0 /. Time_span.to_seconds period
+  | Poisson { rate_hz } -> rate_hz
+  | On_off { on_duration; off_duration; rate_while_on_hz } ->
+    let on = Time_span.to_seconds on_duration and off = Time_span.to_seconds off_duration in
+    rate_while_on_hz *. on /. (on +. off)
+
+(** [next_interval rng t] — sample the gap to the next event.  For the
+    on/off process this is approximated by an exponential at a rate drawn
+    per phase, which preserves the mean rate. *)
+let next_interval rng t =
+  match t with
+  | Periodic { period } -> period
+  | Poisson { rate_hz } -> Time_span.seconds (Rng.exponential rng ~mean:(1.0 /. rate_hz))
+  | On_off { on_duration; off_duration; rate_while_on_hz } ->
+    let on = Time_span.to_seconds on_duration and off = Time_span.to_seconds off_duration in
+    let p_on = on /. (on +. off) in
+    if Rng.bernoulli rng p_on then
+      Time_span.seconds (Rng.exponential rng ~mean:(1.0 /. rate_while_on_hz))
+    else Time_span.seconds (off +. Rng.exponential rng ~mean:(1.0 /. rate_while_on_hz))
+
+(** [events_in rng t horizon] — sampled count of events in [horizon]
+    (drawing successive intervals). *)
+let events_in rng t horizon =
+  let limit = Time_span.to_seconds horizon in
+  let rec loop now count =
+    let gap = Time_span.to_seconds (next_interval rng t) in
+    let next = now +. gap in
+    if next > limit then count else loop next (count + 1)
+  in
+  loop 0.0 0

@@ -1,0 +1,27 @@
+(** Packet/event arrival processes, driving both the analytic models
+    (via {!mean_rate}) and the simulations (via {!next_interval}). *)
+
+open Amb_units
+open Amb_sim
+
+type t =
+  | Periodic of { period : Time_span.t }
+  | Poisson of { rate_hz : float }
+  | On_off of {
+      on_duration : Time_span.t;
+      off_duration : Time_span.t;
+      rate_while_on_hz : float;
+    }  (** bursty: Poisson at [rate_while_on_hz] during on-phases *)
+
+val periodic : Time_span.t -> t
+val poisson : float -> t
+val on_off : on_duration:Time_span.t -> off_duration:Time_span.t -> rate_while_on_hz:float -> t
+
+val mean_rate : t -> float
+(** Long-run average events per second. *)
+
+val next_interval : Rng.t -> t -> Time_span.t
+(** Sample the gap to the next event. *)
+
+val events_in : Rng.t -> t -> Time_span.t -> int
+(** Sampled event count within a horizon. *)

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Adc Alcotest Amb_circuit Amb_units Clocking Data_rate Display Energy Frequency Power Power_gate Processor Radio_frontend Sensor Si Time_span Voltage

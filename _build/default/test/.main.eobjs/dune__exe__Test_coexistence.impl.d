@@ -1,0 +1,1 @@
+test/test_coexistence.ml: Alcotest Amb_circuit Amb_radio Amb_units Coexistence Float List Packet Si Time_span

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Amb_circuit Amb_core Amb_energy Amb_net Amb_node Amb_radio Amb_sim Amb_tech Amb_units Amb_workload Area Data_rate Energy Float Format List Power Si String Time_span

@@ -1,0 +1,1 @@
+test/test_design_space.ml: Alcotest Amb_circuit Amb_core Amb_energy Amb_node Amb_tech Amb_units Design_space Device_class Energy List Power Process_node Report Roadmap Time_span

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Amb_energy Amb_units Battery Charge Energy Float Harvester Lifetime Power Storage Supply Time_span

@@ -1,0 +1,1 @@
+test/test_extensions2.ml: Alcotest Amb_circuit Amb_energy Amb_radio Amb_tech Amb_units Energy Float List Mac_sim Packet Power Process_node Radio_frontend Regulator Si Time_span Variability

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Amb_core Amb_energy Amb_node Amb_units Amb_workload List Power String Time_span

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Amb_circuit Amb_net Amb_radio Amb_sim Amb_units Array Cluster Energy Float Flow Graph Link_budget List Packet Path_loss Radio_frontend Routing Si Topology

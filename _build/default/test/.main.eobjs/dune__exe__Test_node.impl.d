@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Amb_energy Amb_node Amb_units Amb_workload Battery Duty_cycle Energy Harvester Lifetime_sim List Node_model Power Power_state Reference_designs Si Storage Supply Time_span

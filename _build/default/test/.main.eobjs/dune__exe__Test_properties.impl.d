@@ -1,0 +1,1 @@
+test/test_properties.ml: Amb_energy Amb_net Amb_node Amb_radio Amb_sim Amb_tech Amb_units Array Decibel Energy Float Gen List Power Printf QCheck QCheck_alcotest Si String Time_span

@@ -1,0 +1,1 @@
+test/test_properties2.ml: Amb_energy Amb_node Amb_radio Amb_tech Amb_units Amb_workload Data_rate Energy Float Frequency List Power Printf QCheck QCheck_alcotest Si Time_span

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Amb_sim Amb_units Array Distribution Engine Event_queue Float List Rng Stat Stdlib Time_span Trace

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Amb_tech Amb_units Area Energy Frequency List Logic Memory Power Process_node Scaling Si Soc Time_span

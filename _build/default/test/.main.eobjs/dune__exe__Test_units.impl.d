@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Amb_units Area Charge Data_rate Decibel Energy Float Frequency Power Si Time_span Voltage

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Amb_circuit Amb_sim Amb_units Amb_workload Data_rate Energy Float Frequency List Power Processor Scenario Scheduler Task Task_graph Time_span Traffic Voltage

@@ -1,0 +1,241 @@
+(* Unit tests for Amb_circuit: processor DVFS, ADC, radio front-end,
+   sensors, displays, clocking, power gating. *)
+
+open Amb_units
+open Amb_circuit
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_rel msg rel expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+(* --- Processor --- *)
+
+let arm = Processor.arm7_class
+
+let test_frequency_at_nominal () =
+  let f = Processor.frequency_at arm (Processor.vdd_nominal arm) in
+  check_rel "f_max at nominal" 1e-9 (Frequency.to_hertz arm.Processor.f_max)
+    (Frequency.to_hertz f)
+
+let test_frequency_below_threshold () =
+  check_float "0 Hz below Vth" 0.0
+    (Frequency.to_hertz (Processor.frequency_at arm (Voltage.volts 0.3)))
+
+let test_frequency_monotone_in_voltage () =
+  let f v = Frequency.to_hertz (Processor.frequency_at arm (Voltage.volts v)) in
+  Alcotest.(check bool) "monotone" true (f 0.9 < f 1.2 && f 1.2 < f 1.5 && f 1.5 < f 1.8)
+
+let test_energy_per_op_quadratic () =
+  let e v = Energy.to_joules (Processor.energy_per_op_at arm (Voltage.volts v)) in
+  check_rel "V^2 law" 1e-9 4.0 (e 1.8 /. e 0.9)
+
+let test_min_voltage_for () =
+  let half_rate = Frequency.scale 0.5 (Processor.max_throughput arm) in
+  (match Processor.min_voltage_for arm half_rate with
+  | None -> Alcotest.fail "half rate must be reachable"
+  | Some v ->
+    Alcotest.(check bool) "below nominal" true
+      (Voltage.lt v (Processor.vdd_nominal arm));
+    (* The throughput at that voltage meets the demand (within bisection
+       tolerance). *)
+    let got = Frequency.to_hertz (Processor.throughput_at arm v) in
+    Alcotest.(check bool) "meets demand" true (got >= Frequency.to_hertz half_rate *. 0.999));
+  Alcotest.(check bool) "beyond max" true
+    (Processor.min_voltage_for arm (Frequency.scale 2.0 (Processor.max_throughput arm)) = None)
+
+let test_dvfs_beats_race_to_idle () =
+  let rate = Frequency.scale 0.3 (Processor.max_throughput arm) in
+  match (Processor.dvfs_power arm rate, Processor.race_to_idle_power arm rate) with
+  | Some dvfs, Some race ->
+    Alcotest.(check bool) "DVFS cheaper at 30% load" true (Power.lt dvfs race)
+  | _ -> Alcotest.fail "both policies feasible at 30%"
+
+let test_dvfs_equal_at_full_load () =
+  let rate = Processor.max_throughput arm in
+  match (Processor.dvfs_power arm rate, Processor.race_to_idle_power arm rate) with
+  | Some dvfs, Some race ->
+    check_rel "equal at 100%" 1e-6 (Power.to_watts race) (Power.to_watts dvfs)
+  | _ -> Alcotest.fail "full load feasible"
+
+let test_power_at_utilization () =
+  let p0 = Processor.power_at arm (Processor.vdd_nominal arm) ~utilization:0.0 in
+  check_rel "idle = leakage" 1e-9 (Power.to_watts arm.Processor.leakage) (Power.to_watts p0);
+  Alcotest.check_raises "bad utilization"
+    (Invalid_argument "Processor.power_at: utilization outside [0,1]") (fun () ->
+      ignore (Processor.power_at arm (Processor.vdd_nominal arm) ~utilization:1.5))
+
+let test_catalogue_efficiency_ordering () =
+  (* The DSP is more ops/J-efficient than the general-purpose RISC. *)
+  Alcotest.(check bool) "DSP beats RISC" true
+    (Processor.ops_per_joule Processor.dsp_vliw > Processor.ops_per_joule Processor.arm7_class)
+
+(* --- Adc --- *)
+
+let test_adc_power_fom () =
+  (* P = FoM * 2^ENOB * fs. *)
+  let adc = Adc.sensor_adc in
+  check_rel "FoM power" 1e-9
+    (1e-12 *. (2.0 ** 9.2) *. 10e3)
+    (Power.to_watts (Adc.active_power adc))
+
+let test_adc_snr_enob_roundtrip () =
+  let adc = Adc.audio_adc in
+  check_rel "roundtrip" 1e-9 adc.Adc.enob (Adc.enob_of_snr_db (Adc.snr_db adc))
+
+let test_adc_output_rate () =
+  check_float "bits/s" (16.0 *. 48e3)
+    (Data_rate.to_bits_per_second (Adc.output_rate Adc.audio_adc))
+
+let test_adc_duty_cycling () =
+  let adc = Adc.sensor_adc in
+  let half = Adc.power_at_rate adc (Frequency.hertz 5e3) in
+  let full = Adc.power_at_rate adc adc.Adc.sample_rate in
+  Alcotest.(check bool) "half rate cheaper" true (Power.lt half full);
+  let idle = Adc.power_at_rate adc Frequency.zero in
+  check_rel "idle = standby" 1e-9 (Power.to_watts adc.Adc.standby) (Power.to_watts idle)
+
+let test_adc_validation () =
+  Alcotest.check_raises "enob" (Invalid_argument "Adc.make: enob outside (0,bits]") (fun () ->
+      ignore
+        (Adc.make ~name:"x" ~bits:8 ~enob:9.0 ~sample_rate_hz:1e3 ~fom_pj_per_step:1.0
+           ~standby_uw:1.0))
+
+(* --- Radio_frontend --- *)
+
+let radio = Radio_frontend.low_power_uhf
+
+let test_tx_power_components () =
+  (* 0 dBm out at 30% PA efficiency: 12 mW + 3.33 mW. *)
+  let p = Radio_frontend.tx_power radio ~tx_dbm:0.0 in
+  check_rel "tx power" 1e-3 (12e-3 +. (1e-3 /. 0.3)) (Power.to_watts p)
+
+let test_tx_power_clamped () =
+  let at_max = Radio_frontend.tx_power radio ~tx_dbm:radio.Radio_frontend.max_tx_dbm in
+  let beyond = Radio_frontend.tx_power radio ~tx_dbm:(radio.Radio_frontend.max_tx_dbm +. 20.0) in
+  check_rel "clamped" 1e-12 (Power.to_watts at_max) (Power.to_watts beyond)
+
+let test_energy_per_bit () =
+  let e = Radio_frontend.energy_per_bit_rx radio in
+  check_rel "rx J/bit" 1e-9 (12e-3 /. 76.8e3) (Energy.to_joules e)
+
+let test_startup_energy () =
+  (* 250 us at 12 mW = 3 uJ. *)
+  check_rel "startup" 1e-9 3e-6 (Energy.to_joules (Radio_frontend.startup_energy radio))
+
+let test_short_packet_overhead () =
+  (* Effective energy/bit falls as packets grow. *)
+  let short = Radio_frontend.effective_energy_per_bit radio ~tx_dbm:0.0 ~bits:64.0 in
+  let long = Radio_frontend.effective_energy_per_bit radio ~tx_dbm:0.0 ~bits:8192.0 in
+  Alcotest.(check bool) "short packets dearer per bit" true (Energy.gt short long)
+
+let test_transmit_energy_startup_flag () =
+  let with_s = Radio_frontend.transmit_energy radio ~tx_dbm:0.0 ~bits:256.0 ~include_startup:true in
+  let without = Radio_frontend.transmit_energy radio ~tx_dbm:0.0 ~bits:256.0 ~include_startup:false in
+  check_rel "difference is startup" 1e-9
+    (Energy.to_joules (Radio_frontend.startup_energy radio))
+    (Energy.to_joules (Energy.sub with_s without))
+
+(* --- Sensor --- *)
+
+let test_sensor_average_power () =
+  (* Temperature at 1 Hz: 50 nW + 0.5 uJ/s. *)
+  let p = Sensor.average_power Sensor.temperature (Frequency.hertz 1.0) in
+  check_rel "sensor power" 1e-9 (50e-9 +. 0.5e-6) (Power.to_watts p)
+
+let test_sensor_rate_limit () =
+  Alcotest.check_raises "above max"
+    (Invalid_argument "Sensor.average_power: rate above sensor maximum") (fun () ->
+      ignore (Sensor.average_power Sensor.temperature (Frequency.hertz 100.0)))
+
+let test_sensor_information_rate () =
+  check_float "bits/s" 120.0
+    (Data_rate.to_bits_per_second
+       (Sensor.information_rate Sensor.temperature (Frequency.hertz 10.0)))
+
+(* --- Display --- *)
+
+let test_display_brightness_scaling () =
+  let bright = Display.average_power Display.pda_lcd ~brightness:1.0 ~updates_per_s:0.0 in
+  let dim = Display.average_power Display.pda_lcd ~brightness:0.2 ~updates_per_s:0.0 in
+  Alcotest.(check bool) "dimming saves" true (Power.lt dim bright);
+  (* Driver power is the floor. *)
+  let off = Display.average_power Display.pda_lcd ~brightness:0.0 ~updates_per_s:0.0 in
+  check_rel "driver floor" 1e-9 30e-3 (Power.to_watts off)
+
+let test_eink_pays_per_update () =
+  let static = Display.average_power Display.eink_label ~brightness:1.0 ~updates_per_s:0.0 in
+  check_float "zero static power" 0.0 (Power.to_watts static);
+  let updating = Display.average_power Display.eink_label ~brightness:1.0 ~updates_per_s:0.1 in
+  check_rel "per update" 1e-9 (0.1 *. 20e-3) (Power.to_watts updating)
+
+let test_display_information_rate () =
+  let r = Display.information_rate Display.pda_lcd in
+  check_float "pixel stream" (320.0 *. 240.0 *. 16.0 *. 60.0) (Data_rate.to_bits_per_second r)
+
+(* --- Clocking --- *)
+
+let test_clock_drift () =
+  (* 20 ppm over 1000 s = 20 ms. *)
+  let d = Clocking.drift_over Clocking.watch_crystal (Time_span.seconds 1000.0) in
+  check_rel "drift" 1e-9 20e-3 (Time_span.to_seconds d)
+
+let test_clock_startup_energy () =
+  let e = Clocking.startup_energy Clocking.watch_crystal in
+  check_rel "crystal startup" 1e-9 (0.5e-6 *. 0.3) (Energy.to_joules e)
+
+(* --- Power_gate --- *)
+
+let gate =
+  Power_gate.make ~name:"g" ~leakage_active:(Power.microwatts 100.0) ~retention_factor:0.05
+    ~wakeup_energy:(Energy.microjoules 10.0) ~wakeup_latency:(Time_span.microseconds 50.0)
+
+let test_break_even () =
+  (* Saved 95 uW; 10 uJ wake-up -> ~105.3 ms break-even. *)
+  check_rel "break-even" 1e-6 (10e-6 /. 95e-6)
+    (Time_span.to_seconds (Power_gate.break_even_time gate))
+
+let test_gate_decision () =
+  Alcotest.(check bool) "short idle: stay on" false
+    (Power_gate.should_gate gate ~idle:(Time_span.milliseconds 50.0));
+  Alcotest.(check bool) "long idle: gate" true
+    (Power_gate.should_gate gate ~idle:(Time_span.seconds 1.0))
+
+let test_gate_energy_consistency () =
+  let idle = Time_span.seconds 1.0 in
+  let on = Power_gate.idle_energy gate ~idle ~gated:false in
+  check_rel "ungated = leak * t" 1e-9 100e-6 (Energy.to_joules on)
+
+let suite =
+  [ ("processor f at nominal", `Quick, test_frequency_at_nominal);
+    ("processor below threshold", `Quick, test_frequency_below_threshold);
+    ("processor f monotone in V", `Quick, test_frequency_monotone_in_voltage);
+    ("processor E ~ V^2", `Quick, test_energy_per_op_quadratic);
+    ("processor min voltage", `Quick, test_min_voltage_for);
+    ("DVFS beats race-to-idle", `Quick, test_dvfs_beats_race_to_idle);
+    ("DVFS = race at full load", `Quick, test_dvfs_equal_at_full_load);
+    ("processor idle power", `Quick, test_power_at_utilization);
+    ("DSP efficiency", `Quick, test_catalogue_efficiency_ordering);
+    ("ADC FoM power", `Quick, test_adc_power_fom);
+    ("ADC SNR/ENOB roundtrip", `Quick, test_adc_snr_enob_roundtrip);
+    ("ADC output rate", `Quick, test_adc_output_rate);
+    ("ADC duty cycling", `Quick, test_adc_duty_cycling);
+    ("ADC validation", `Quick, test_adc_validation);
+    ("radio TX power", `Quick, test_tx_power_components);
+    ("radio TX clamp", `Quick, test_tx_power_clamped);
+    ("radio RX energy/bit", `Quick, test_energy_per_bit);
+    ("radio startup energy", `Quick, test_startup_energy);
+    ("radio short-packet overhead", `Quick, test_short_packet_overhead);
+    ("radio startup flag", `Quick, test_transmit_energy_startup_flag);
+    ("sensor average power", `Quick, test_sensor_average_power);
+    ("sensor rate limit", `Quick, test_sensor_rate_limit);
+    ("sensor information rate", `Quick, test_sensor_information_rate);
+    ("display brightness", `Quick, test_display_brightness_scaling);
+    ("e-ink per-update", `Quick, test_eink_pays_per_update);
+    ("display information rate", `Quick, test_display_information_rate);
+    ("clock drift", `Quick, test_clock_drift);
+    ("clock startup energy", `Quick, test_clock_startup_energy);
+    ("power gate break-even", `Quick, test_break_even);
+    ("power gate decision", `Quick, test_gate_decision);
+    ("power gate idle energy", `Quick, test_gate_energy_consistency);
+  ]

@@ -1,0 +1,96 @@
+(* Unit tests for the 2.4 GHz coexistence analysis. *)
+
+open Amb_units
+open Amb_radio
+
+let check_rel msg rel expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+let victim_airtime = Time_span.milliseconds 1.5
+
+let test_overlap_formula () =
+  let i =
+    Coexistence.interferer ~name:"x" ~burst_rate_hz:100.0
+      ~burst_airtime:(Time_span.milliseconds 1.0) ~typical_rssi_dbm:(-50.0)
+  in
+  (* 1 - exp(-100 * 0.0025). *)
+  check_rel "poisson window" 1e-9
+    (1.0 -. Float.exp (-0.25))
+    (Coexistence.overlap_probability ~victim_airtime i)
+
+let test_overlap_monotone_in_rate () =
+  let make rate =
+    Coexistence.interferer ~name:"x" ~burst_rate_hz:rate
+      ~burst_airtime:(Time_span.milliseconds 1.0) ~typical_rssi_dbm:(-50.0)
+  in
+  let p r = Coexistence.overlap_probability ~victim_airtime (make r) in
+  Alcotest.(check bool) "monotone" true (p 10.0 < p 100.0 && p 100.0 < p 1000.0);
+  Alcotest.(check (float 1e-12)) "zero rate, zero overlap" 0.0 (p 0.0)
+
+let test_capture_effect () =
+  let i = Coexistence.wlan_light in
+  (* wlan_light at -45 dBm: a -30 dBm victim captures (15 dB margin), a
+     -70 dBm victim does not. *)
+  Alcotest.(check bool) "strong victim captures" true
+    (Coexistence.survives_overlap ~victim_rssi_dbm:(-30.0) ~capture_margin_db:10.0 i);
+  Alcotest.(check bool) "weak victim lost" false
+    (Coexistence.survives_overlap ~victim_rssi_dbm:(-70.0) ~capture_margin_db:10.0 i)
+
+let test_delivery_probability_composition () =
+  let weak = -80.0 in
+  let single =
+    Coexistence.delivery_probability ~victim_airtime ~victim_rssi_dbm:weak
+      [ Coexistence.wlan_light ]
+  in
+  let double =
+    Coexistence.delivery_probability ~victim_airtime ~victim_rssi_dbm:weak
+      [ Coexistence.wlan_light; Coexistence.bluetooth_voice ]
+  in
+  Alcotest.(check bool) "more interferers, worse delivery" true (double < single);
+  check_rel "empty mix is certain" 1e-12 1.0
+    (Coexistence.delivery_probability ~victim_airtime ~victim_rssi_dbm:weak []);
+  (* A captured interferer contributes nothing. *)
+  check_rel "capture removes the interferer" 1e-12 1.0
+    (Coexistence.delivery_probability ~victim_airtime ~victim_rssi_dbm:(-20.0)
+       [ Coexistence.wlan_light ])
+
+let test_energy_multiplier () =
+  (match Coexistence.energy_multiplier ~p_success:0.9 ~max_retries:7 with
+  | Some m -> Alcotest.(check bool) "slightly above 1/p" true (m > 1.0 && m < 1.2)
+  | None -> Alcotest.fail "reliable at 90%");
+  Alcotest.(check bool) "hopeless channel" true
+    (Coexistence.energy_multiplier ~p_success:0.05 ~max_retries:3 = None);
+  Alcotest.(check bool) "zero success" true
+    (Coexistence.energy_multiplier ~p_success:0.0 ~max_retries:7 = None)
+
+let test_victim_report_shape () =
+  let rows =
+    Coexistence.victim_report Amb_circuit.Radio_frontend.zigbee_class Packet.sensor_report
+      ~victim_rssi_dbm:(-73.0) ~mixes:Coexistence.home_mixes
+  in
+  Alcotest.(check int) "five mixes" 5 (List.length rows);
+  let probability_of name =
+    let _, p, _ = List.find (fun (n, _, _) -> n = name) rows in
+    p
+  in
+  Alcotest.(check bool) "quiet home perfect" true (probability_of "quiet home" = 1.0);
+  Alcotest.(check bool) "streaming much worse than light" true
+    (probability_of "streaming WLAN" < probability_of "light WLAN" /. 2.0)
+
+let test_interferer_validation () =
+  Alcotest.check_raises "negative rate" (Invalid_argument "Coexistence.interferer: negative rate")
+    (fun () ->
+      ignore
+        (Coexistence.interferer ~name:"x" ~burst_rate_hz:(-1.0)
+           ~burst_airtime:(Time_span.milliseconds 1.0) ~typical_rssi_dbm:(-50.0)))
+
+let suite =
+  [ ("overlap formula", `Quick, test_overlap_formula);
+    ("overlap monotone", `Quick, test_overlap_monotone_in_rate);
+    ("capture effect", `Quick, test_capture_effect);
+    ("delivery composition", `Quick, test_delivery_probability_composition);
+    ("energy multiplier", `Quick, test_energy_multiplier);
+    ("victim report", `Quick, test_victim_report_shape);
+    ("interferer validation", `Quick, test_interferer_validation);
+  ]

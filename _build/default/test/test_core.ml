@@ -1,0 +1,291 @@
+(* Unit tests for Amb_core: device classes, the power-information graph,
+   ambient functions, mapping, challenge analysis, reports, experiments,
+   case studies. *)
+
+open Amb_units
+open Amb_core
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Device_class --- *)
+
+let test_classification_boundaries () =
+  Alcotest.(check bool) "100 uW is uW" true
+    (Device_class.of_power (Power.microwatts 100.0) = Device_class.Microwatt);
+  Alcotest.(check bool) "1 mW is mW" true
+    (Device_class.of_power (Power.milliwatts 1.0) = Device_class.Milliwatt);
+  Alcotest.(check bool) "999 mW is mW" true
+    (Device_class.of_power (Power.milliwatts 999.0) = Device_class.Milliwatt);
+  Alcotest.(check bool) "1 W is W" true
+    (Device_class.of_power (Power.watts 1.0) = Device_class.Watt)
+
+let test_band_partition () =
+  (* The three bands tile the power axis without gaps. *)
+  let check_cls cls =
+    let lo, hi = Device_class.band cls in
+    Alcotest.(check bool) "lo in class" true
+      (Device_class.of_power lo = cls || Power.is_zero lo);
+    Alcotest.(check bool) "just below hi in class" true
+      (Power.is_finite hi = false
+      || Device_class.of_power (Power.scale 0.999 hi) = cls)
+  in
+  List.iter check_cls Device_class.all
+
+let test_budget_within_band () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) "budget in own band" true
+        (Device_class.of_power (Device_class.average_budget cls) = cls))
+    Device_class.all
+
+let test_class_ordering () =
+  Alcotest.(check bool) "uW < mW < W" true
+    (Device_class.compare Device_class.Microwatt Device_class.Milliwatt < 0
+    && Device_class.compare Device_class.Milliwatt Device_class.Watt < 0)
+
+(* --- Power_information --- *)
+
+let catalogue = Power_information.catalogue ()
+
+let test_catalogue_covers_all_classes_and_kinds () =
+  let classes = List.map Power_information.classify catalogue in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class %s populated" (Device_class.short_name cls))
+        true
+        (List.mem cls classes))
+    Device_class.all;
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kind %s populated" (Power_information.kind_name kind))
+        true
+        (List.exists (fun e -> e.Power_information.kind = kind) catalogue))
+    [ Power_information.Computing; Power_information.Communication; Power_information.Interface;
+      Power_information.Sensing ]
+
+let test_catalogue_size () =
+  Alcotest.(check bool) "at least 20 technologies" true (List.length catalogue >= 20)
+
+let test_pareto_frontier_is_subset_and_nondominated () =
+  let frontier = Power_information.pareto_frontier catalogue in
+  Alcotest.(check bool) "non-empty" true (frontier <> []);
+  Alcotest.(check bool) "subset" true
+    (List.for_all (fun e -> List.memq e catalogue) frontier);
+  let dominates a b =
+    Data_rate.ge a.Power_information.info_rate b.Power_information.info_rate
+    && Power.le a.Power_information.power b.Power_information.power
+    && (Data_rate.gt a.Power_information.info_rate b.Power_information.info_rate
+       || Power.lt a.Power_information.power b.Power_information.power)
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "no catalogue entry dominates a frontier point" false
+        (List.exists (fun e -> dominates e f) catalogue))
+    frontier
+
+let test_efficiency_positive () =
+  List.iter
+    (fun e ->
+      let eff = Power_information.efficiency e in
+      Alcotest.(check bool) "positive" true (eff > 0.0))
+    catalogue
+
+let test_best_efficiency_on_frontier () =
+  match Power_information.best_efficiency catalogue with
+  | None -> Alcotest.fail "non-empty catalogue"
+  | Some best ->
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "maximal" true
+          (Power_information.efficiency e <= Power_information.efficiency best))
+      catalogue
+
+let test_by_class_partitions () =
+  let grouped = Power_information.by_class catalogue in
+  let total = List.fold_left (fun acc (_, es) -> acc + List.length es) 0 grouped in
+  Alcotest.(check int) "partition" (List.length catalogue) total
+
+(* --- Ami_function --- *)
+
+let test_minimum_class_ordering () =
+  Alcotest.(check bool) "sensing fits uW" true
+    (Ami_function.minimum_class Ami_function.environmental_sensing = Device_class.Microwatt);
+  Alcotest.(check bool) "audio needs mW" true
+    (Ami_function.minimum_class Ami_function.audio_playback = Device_class.Milliwatt);
+  Alcotest.(check bool) "media serving needs W" true
+    (Ami_function.minimum_class Ami_function.media_server = Device_class.Watt)
+
+let test_estimated_power_ordering () =
+  let p f = Power.to_watts (Ami_function.estimated_power f) in
+  Alcotest.(check bool) "sensing << media server" true
+    (p Ami_function.environmental_sensing *. 100.0 < p Ami_function.media_server)
+
+(* --- Mapping --- *)
+
+let hosts () =
+  [ Mapping.host ~name:"leaf" ~host_class:Device_class.Microwatt
+      ~compute_capacity:(Frequency.megahertz 8.0)
+      ~comm_capacity:(Data_rate.kilobits_per_second 76.8) ~has_sensing:true
+      ~power_budget:(Power.microwatts 100.0) ~energy_per_op:(Energy.picojoules 150.0)
+      ~energy_per_bit:(Energy.nanojoules 150.0) ();
+    Mapping.host ~name:"hub" ~host_class:Device_class.Watt
+      ~compute_capacity:(Frequency.gigahertz 14.0)
+      ~comm_capacity:(Data_rate.megabits_per_second 11.0) ~has_display:true
+      ~power_budget:(Power.watts 10.0) ~energy_per_op:(Energy.picojoules 430.0)
+      ~energy_per_bit:(Energy.nanojoules 27.0) ();
+  ]
+
+let test_assign_places_each_where_it_fits () =
+  let functions = [ Ami_function.environmental_sensing; Ami_function.video_streaming ] in
+  let a = Mapping.assign ~hosts:(hosts ()) ~functions in
+  Alcotest.(check bool) "feasible" true (Mapping.feasible a);
+  let placed_on f =
+    List.assoc f.Ami_function.name
+      (List.map (fun (fn, h) -> (fn.Ami_function.name, h.Mapping.host_name)) a.Mapping.placed)
+  in
+  Alcotest.(check string) "sensing on the leaf" "leaf"
+    (placed_on Ami_function.environmental_sensing);
+  Alcotest.(check string) "video on the hub" "hub" (placed_on Ami_function.video_streaming)
+
+let test_assign_respects_needs () =
+  (* Video needs a display; the leaf has none, so an all-leaf network
+     leaves it unplaced. *)
+  let leaf_only = [ List.hd (hosts ()) ] in
+  let a = Mapping.assign ~hosts:leaf_only ~functions:[ Ami_function.video_streaming ] in
+  Alcotest.(check bool) "infeasible" false (Mapping.feasible a);
+  Alcotest.(check int) "one unplaced" 1 (List.length a.Mapping.unplaced)
+
+let test_assign_power_accounting () =
+  let functions = [ Ami_function.environmental_sensing ] in
+  let a = Mapping.assign ~hosts:(hosts ()) ~functions in
+  let p = Mapping.host_power a "leaf" in
+  Alcotest.(check bool) "positive committed power" true (Power.is_positive p);
+  Alcotest.(check bool) "total >= host" true (Power.ge (Mapping.total_power a) p);
+  Alcotest.(check bool) "within budgets" true (Mapping.within_class_budgets a)
+
+let test_smart_home_mapping_feasible () =
+  let a = Mapping.assign ~hosts:(Experiments.smart_home_hosts ()) ~functions:Ami_function.catalogue in
+  Alcotest.(check bool) "all placed" true (Mapping.feasible a);
+  Alcotest.(check bool) "within class budgets" true (Mapping.within_class_budgets a)
+
+let test_class_of_supply () =
+  let open Amb_energy in
+  Alcotest.(check bool) "mains is W" true
+    (Mapping.class_of_supply (Supply.mains ~name:"m") = Device_class.Watt);
+  Alcotest.(check bool) "Li-ion is mW" true
+    (Mapping.class_of_supply (Supply.battery_only ~name:"b" Battery.liion_phone)
+    = Device_class.Milliwatt);
+  Alcotest.(check bool) "coin cell is uW" true
+    (Mapping.class_of_supply (Supply.battery_only ~name:"c" Battery.cr2032)
+    = Device_class.Microwatt)
+
+(* --- Challenge --- *)
+
+let test_gap_math () =
+  let g =
+    Challenge.compute_gap ~subject:"x" ~required:4.0e9 ~available:1.0e9 ~base_year:2003
+  in
+  check_float "ratio" 4.0 g.Challenge.ratio;
+  (* Two doublings at the fitted period (~1.7 years) -> ~2006/2007. *)
+  Alcotest.(check bool) "closing year plausible" true
+    (g.Challenge.closing_year >= 2005 && g.Challenge.closing_year <= 2008)
+
+let test_gap_closed () =
+  let g = Challenge.compute_gap ~subject:"y" ~required:1.0 ~available:2.0 ~base_year:2003 in
+  check_float "no time needed" 0.0 (Time_span.to_seconds g.Challenge.closing_time)
+
+let test_standard_gaps_shape () =
+  let gaps = Challenge.standard_gaps () in
+  (* Every in-class row is closed; every push-down row has a real gap. *)
+  let in_class, ambition =
+    List.partition (fun g -> not (String.length g.Challenge.subject > 0
+                                  && String.contains g.Challenge.subject '>')) gaps
+  in
+  Alcotest.(check bool) "some ambition rows" true (List.length ambition >= 3);
+  List.iter
+    (fun g -> Alcotest.(check bool) "in-class rows closed" true (g.Challenge.ratio <= 1.0))
+    in_class;
+  List.iter
+    (fun g -> Alcotest.(check bool) "push-down rows gapped" true (g.Challenge.ratio > 1.0))
+    ambition
+
+(* --- Report --- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_report_renders () =
+  let r = Report.make ~title:"t" ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  let s = Report.to_string r in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "## t");
+  Alcotest.(check bool) "has rows" true (contains ~needle:"| 1 | 2 |" s)
+
+let test_report_width_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Report.make(t): row width mismatch")
+    (fun () -> ignore (Report.make ~title:"t" ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_cell_formatting () =
+  Alcotest.(check string) "percent" "42.0%" (Report.cell_percent 0.42);
+  Alcotest.(check string) "nan" "nan" (Report.cell_float Float.nan)
+
+(* --- Experiments / Case studies --- *)
+
+let test_all_experiments_build () =
+  List.iter
+    (fun (id, _, build) ->
+      let report = build () in
+      Alcotest.(check bool) (id ^ " has rows") true (report.Report.rows <> []))
+    Experiments.all
+
+let test_find_experiment () =
+  Alcotest.(check bool) "lowercase id" true (Experiments.find "e7" <> None);
+  Alcotest.(check bool) "unknown" true (Experiments.find "E99" = None)
+
+let test_case_studies_complete () =
+  Alcotest.(check int) "three case studies" 3 (List.length Case_study.all);
+  List.iter
+    (fun cs ->
+      Alcotest.(check bool) (cs.Case_study.id ^ " has experiments") true
+        (cs.Case_study.experiment_ids <> []);
+      let rendered = Case_study.render cs in
+      Alcotest.(check bool) "renders narrative + tables" true (String.length rendered > 200))
+    Case_study.all
+
+let test_case_study_classes_distinct () =
+  let classes = List.map (fun cs -> cs.Case_study.device_class) Case_study.all in
+  Alcotest.(check bool) "one per class" true
+    (List.sort_uniq Device_class.compare classes = Device_class.all)
+
+let suite =
+  [ ("classification boundaries", `Quick, test_classification_boundaries);
+    ("band partition", `Quick, test_band_partition);
+    ("budget within band", `Quick, test_budget_within_band);
+    ("class ordering", `Quick, test_class_ordering);
+    ("catalogue coverage", `Quick, test_catalogue_covers_all_classes_and_kinds);
+    ("catalogue size", `Quick, test_catalogue_size);
+    ("pareto frontier", `Quick, test_pareto_frontier_is_subset_and_nondominated);
+    ("efficiency positive", `Quick, test_efficiency_positive);
+    ("best efficiency", `Quick, test_best_efficiency_on_frontier);
+    ("by-class partition", `Quick, test_by_class_partitions);
+    ("minimum class", `Quick, test_minimum_class_ordering);
+    ("estimated power ordering", `Quick, test_estimated_power_ordering);
+    ("assign placements", `Quick, test_assign_places_each_where_it_fits);
+    ("assign respects needs", `Quick, test_assign_respects_needs);
+    ("assign power accounting", `Quick, test_assign_power_accounting);
+    ("smart home feasible", `Quick, test_smart_home_mapping_feasible);
+    ("class of supply", `Quick, test_class_of_supply);
+    ("gap math", `Quick, test_gap_math);
+    ("gap closed", `Quick, test_gap_closed);
+    ("standard gaps shape", `Quick, test_standard_gaps_shape);
+    ("report renders", `Quick, test_report_renders);
+    ("report width mismatch", `Quick, test_report_width_mismatch);
+    ("cell formatting", `Quick, test_cell_formatting);
+    ("all experiments build", `Quick, test_all_experiments_build);
+    ("find experiment", `Quick, test_find_experiment);
+    ("case studies complete", `Quick, test_case_studies_complete);
+    ("case study classes", `Quick, test_case_study_classes_distinct);
+  ]

@@ -1,0 +1,137 @@
+(* Unit tests for the design-space explorer and the technology roadmap. *)
+
+open Amb_units
+open Amb_core
+
+(* --- Design_space --- *)
+
+let m = Design_space.autonomous_sensing
+
+let test_enumeration_size () =
+  (* 3 processors x 3 radios x 5 supplies. *)
+  Alcotest.(check int) "45 candidates" 45 (List.length (Design_space.enumerate m))
+
+let test_explore_orders_feasible_first () =
+  let verdicts = Design_space.explore m in
+  let rec feasible_prefix = function
+    | [] -> true
+    | a :: (b :: _ as rest) ->
+      ((not b.Design_space.feasible) || a.Design_space.feasible) && feasible_prefix rest
+    | [ _ ] -> true
+  in
+  Alcotest.(check bool) "feasible before infeasible" true (feasible_prefix verdicts);
+  Alcotest.(check bool) "some feasible" true
+    (List.exists (fun v -> v.Design_space.feasible) verdicts);
+  Alcotest.(check bool) "some infeasible" true
+    (List.exists (fun v -> not v.Design_space.feasible) verdicts)
+
+let test_best_design_sane () =
+  match Design_space.best m with
+  | None -> Alcotest.fail "the mission is achievable"
+  | Some v ->
+    Alcotest.(check bool) "uW class" true
+      (Device_class.of_power v.Design_space.average_power = Device_class.Microwatt);
+    Alcotest.(check bool) "meets lifetime" true
+      (Time_span.ge v.Design_space.lifetime (Time_span.years 5.0));
+    (* The winner uses a low-standby radio, not the WLAN-class one. *)
+    Alcotest.(check bool) "low-standby radio" true
+      (Power.lt
+         v.Design_space.candidate.Design_space.node.Amb_node.Node_model.radio
+           .Amb_circuit.Radio_frontend.p_sleep
+         (Power.microwatts 10.0))
+
+let test_verdict_consistency () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "feasible = all constraints" v.Design_space.feasible
+        (v.Design_space.class_ok && v.Design_space.peak_ok && v.Design_space.lifetime_ok))
+    (Design_space.explore m)
+
+let test_harvester_designs_autonomous () =
+  let verdicts = Design_space.explore m in
+  let harvested =
+    List.filter
+      (fun v ->
+        v.Design_space.candidate.Design_space.node.Amb_node.Node_model.supply
+          .Amb_energy.Supply.harvester <> None)
+      verdicts
+  in
+  Alcotest.(check bool) "harvester candidates exist" true (harvested <> []);
+  List.iter
+    (fun v ->
+      if v.Design_space.feasible then
+        Alcotest.(check bool) "feasible harvested designs are autonomous" true
+          v.Design_space.autonomous)
+    harvested
+
+let test_impossible_mission_infeasible () =
+  (* 100 reports/s in the uW class costs several mW on every radio:
+     every design must fail the class constraint. *)
+  let impossible =
+    Design_space.mission ~name:"impossible"
+      ~activation:Amb_node.Reference_designs.microwatt_activation ~rate:100.0
+      ~lifetime_target:(Time_span.years 5.0) ~class_limit:Device_class.Microwatt ()
+  in
+  Alcotest.(check bool) "no feasible design" true (Design_space.best impossible = None)
+
+let test_report_builds () =
+  let r = Design_space.to_report m in
+  Alcotest.(check bool) "rows" true (List.length r.Report.rows > 5)
+
+(* --- Roadmap --- *)
+
+open Amb_tech
+
+let test_node_for_year () =
+  Alcotest.(check string) "2003 -> 130nm" "130nm"
+    (Roadmap.node_for_year 2003).Process_node.name;
+  Alcotest.(check string) "2004 -> 130nm" "130nm"
+    (Roadmap.node_for_year 2004).Process_node.name;
+  Alcotest.(check string) "1995 clamps to oldest" "350nm"
+    (Roadmap.node_for_year 1995).Process_node.name;
+  Alcotest.(check string) "2008 -> 65nm" "65nm" (Roadmap.node_for_year 2008).Process_node.name
+
+let test_projection_beyond_catalogue () =
+  let n2011 = Roadmap.projected_node 2011 in
+  Alcotest.(check bool) "smaller than 65nm" true (n2011.Process_node.feature_nm < 65.0);
+  Alcotest.(check bool) "cheaper gates" true
+    (Energy.lt n2011.Process_node.gate_energy Process_node.n65.Process_node.gate_energy);
+  Alcotest.(check int) "year stamped" 2011 n2011.Process_node.year
+
+let test_efficiency_monotone_in_year () =
+  let e y = Roadmap.efficiency_in y ~reference_ops_per_joule:1e9 ~reference_year:2003 in
+  Alcotest.(check bool) "monotone" true (e 2005 > e 2003 && e 2010 > e 2005);
+  Alcotest.(check (float 1e-6)) "identity at reference" 1e9 (e 2003)
+
+let test_year_when () =
+  (match Roadmap.year_when ~required_ops_per_joule:4e9 ~reference_ops_per_joule:1e9
+           ~reference_year:2003 with
+  | Some y -> Alcotest.(check bool) "4x within a few years" true (y >= 2005 && y <= 2009)
+  | None -> Alcotest.fail "4x is reachable");
+  Alcotest.(check bool) "1e6x never by 2020" true
+    (Roadmap.year_when ~required_ops_per_joule:1e15 ~reference_ops_per_joule:1e9
+       ~reference_year:2003
+    = None)
+
+let test_timeline_shape () =
+  let tl = Roadmap.timeline ~from_year:2003 ~to_year:2013 in
+  Alcotest.(check int) "six milestones" 6 (List.length tl);
+  let effs = List.map (fun m -> m.Roadmap.relative_efficiency) tl in
+  let rec increasing = function a :: (b :: _ as r) -> a < b && increasing r | _ -> true in
+  Alcotest.(check bool) "efficiency increases" true (increasing effs);
+  Alcotest.(check (float 1e-9)) "starts at 1x" 1.0 (List.hd effs)
+
+let suite =
+  [ ("enumeration size", `Quick, test_enumeration_size);
+    ("feasible first", `Quick, test_explore_orders_feasible_first);
+    ("best design sane", `Quick, test_best_design_sane);
+    ("verdict consistency", `Quick, test_verdict_consistency);
+    ("harvester designs autonomous", `Quick, test_harvester_designs_autonomous);
+    ("impossible mission", `Quick, test_impossible_mission_infeasible);
+    ("report builds", `Quick, test_report_builds);
+    ("node for year", `Quick, test_node_for_year);
+    ("projection beyond catalogue", `Quick, test_projection_beyond_catalogue);
+    ("efficiency monotone", `Quick, test_efficiency_monotone_in_year);
+    ("year when", `Quick, test_year_when);
+    ("timeline shape", `Quick, test_timeline_shape);
+  ]

@@ -1,0 +1,225 @@
+(* Unit tests for Amb_energy: batteries, harvesters, storage, supply
+   chains, lifetime verdicts. *)
+
+open Amb_units
+open Amb_energy
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Battery --- *)
+
+let test_battery_energy () =
+  (* CR2032: 220 mAh at 3 V = 0.66 Wh = 2376 J. *)
+  check_float "CR2032 energy" 2376.0 (Energy.to_joules (Battery.energy Battery.cr2032))
+
+let test_battery_lifetime_low_drain () =
+  (* 10 uW continuous from 2376 J: load alone gives 7.5 years; self-
+     discharge shaves a bit off. *)
+  let t = Battery.lifetime Battery.cr2032 (Power.microwatts 10.0) in
+  let years = Time_span.to_years t in
+  Alcotest.(check bool) "about 7 years" true (years > 6.5 && years < 7.6)
+
+let test_battery_lifetime_zero_load_self_discharge () =
+  (* At zero load, only self-discharge (1%/year) drains: lifetime = 100 years. *)
+  let t = Battery.lifetime Battery.cr2032 Power.zero in
+  Alcotest.(check bool) "self-discharge bound" true
+    (Float.abs (Time_span.to_years t -. 100.0) < 1.0)
+
+let test_peukert_derating () =
+  (* Above rated current, capacity shrinks. *)
+  let rated = Battery.effective_capacity Battery.aa_alkaline ~draw_a:0.01 in
+  let heavy = Battery.effective_capacity Battery.aa_alkaline ~draw_a:0.5 in
+  Alcotest.(check bool) "derated" true (Charge.lt heavy rated);
+  check_float "at-rate full capacity" (Charge.to_coulombs Battery.aa_alkaline.Battery.capacity)
+    (Charge.to_coulombs rated)
+
+let test_peukert_monotone_lifetime () =
+  let l1 = Battery.lifetime Battery.aa_alkaline (Power.milliwatts 10.0) in
+  let l2 = Battery.lifetime Battery.aa_alkaline (Power.milliwatts 100.0) in
+  let l3 = Battery.lifetime Battery.aa_alkaline (Power.milliwatts 500.0) in
+  Alcotest.(check bool) "monotone" true (Time_span.gt l1 l2 && Time_span.gt l2 l3);
+  (* 10x the load should cost MORE than 10x the lifetime under Peukert. *)
+  let ratio = Time_span.to_seconds l2 /. Time_span.to_seconds l3 in
+  Alcotest.(check bool) "superlinear penalty" true (ratio > 5.0)
+
+let test_battery_supports_peak () =
+  Alcotest.(check bool) "coin cell cannot feed 100 mW burst" false
+    (Battery.supports Battery.cr2032 ~peak:(Power.milliwatts 100.0));
+  Alcotest.(check bool) "coin cell feeds 5 mW" true
+    (Battery.supports Battery.cr2032 ~peak:(Power.milliwatts 5.0));
+  Alcotest.(check bool) "Li-ion feeds 1 W" true
+    (Battery.supports Battery.liion_phone ~peak:(Power.watts 1.0))
+
+let test_battery_validation () =
+  Alcotest.check_raises "peukert" (Invalid_argument "Battery.make: Peukert exponent < 1")
+    (fun () ->
+      ignore
+        (Battery.make ~name:"x" ~chemistry:Battery.Alkaline ~voltage_v:1.5 ~capacity_mah:100.0
+           ~rated_current_ma:10.0 ~peukert_exponent:0.9 ~self_discharge_per_year:0.01
+           ~max_continuous_current_ma:100.0 ~mass_g:10.0))
+
+(* --- Harvester --- *)
+
+let test_pv_output () =
+  (* 5 cm^2 at 5 W/m^2, 5% efficient -> 125 uW. *)
+  let p = Harvester.output Harvester.small_solar_cell Harvester.office_indoor in
+  check_float "office PV" 125e-6 (Power.to_watts p)
+
+let test_pv_outdoor_much_larger () =
+  let indoor = Harvester.output Harvester.small_solar_cell Harvester.office_indoor in
+  let outdoor = Harvester.output Harvester.small_solar_cell Harvester.outdoor_daylight in
+  check_float "scales with irradiance" (500.0 /. 5.0)
+    (Power.to_watts outdoor /. Power.to_watts indoor)
+
+let test_vibration_environment_scaling () =
+  let machinery = Harvester.output Harvester.vibration_scavenger Harvester.industrial_machinery in
+  let office = Harvester.output Harvester.vibration_scavenger Harvester.office_indoor in
+  check_float "machinery 100 uW" 100e-6 (Power.to_watts machinery);
+  check_float "office 10x weaker" 10e-6 (Power.to_watts office)
+
+let test_teg_limited_by_ambient_dt () =
+  (* TEG rated for 5 K but office offers 2 K: 4 cm^2 * 0.05 W/m^2/K * 2 K. *)
+  let p = Harvester.output Harvester.body_teg Harvester.office_indoor in
+  check_float "dT-limited" (4e-4 *. 0.05 *. 2.0) (Power.to_watts p)
+
+(* --- Storage --- *)
+
+let test_supercap_usable_energy () =
+  (* 0.1 F between 3.3 and 1.8 V: 0.5*0.1*(10.89-3.24) = 0.3825 J. *)
+  check_float "usable" 0.3825 (Energy.to_joules (Storage.usable_energy Storage.supercap_100mf))
+
+let test_supercap_burst_capacity () =
+  let bursts = Storage.burst_capacity Storage.supercap_100mf (Energy.millijoules 1.0) in
+  check_float "bursts" 382.5 bursts
+
+let test_supercap_charge_time () =
+  let t = Storage.charge_time Storage.supercap_100mf (Power.microwatts 100.0) in
+  check_float "seconds" 3825.0 (Time_span.to_seconds t);
+  Alcotest.(check bool) "no source" true
+    (Time_span.is_forever (Storage.charge_time Storage.supercap_100mf Power.zero))
+
+let test_storage_validation () =
+  Alcotest.check_raises "voltage window" (Invalid_argument "Storage.make: need 0 <= v_min < v_max")
+    (fun () -> ignore (Storage.make ~name:"x" ~capacitance_f:1.0 ~v_max_v:2.0 ~v_min_v:2.5 ~leakage_uw:1.0))
+
+(* --- Supply --- *)
+
+let pv_cr2032 =
+  Supply.harvester_and_battery ~name:"pv+coin" Harvester.small_solar_cell
+    Harvester.office_indoor Battery.cr2032
+
+let test_harvest_income () =
+  (* 125 uW raw * 0.85 regulator = 106.25 uW. *)
+  check_float "income" (125e-6 *. 0.85) (Power.to_watts (Supply.harvest_income pv_cr2032))
+
+let test_net_drain () =
+  (* Load below income: no battery drain. *)
+  check_float "covered" 0.0 (Power.to_watts (Supply.net_drain pv_cr2032 (Power.microwatts 50.0)));
+  (* Load above income: remainder through the regulator. *)
+  let drain = Supply.net_drain pv_cr2032 (Power.microwatts 200.0) in
+  check_float "uncovered" ((200e-6 -. 106.25e-6) /. 0.85) (Power.to_watts drain)
+
+let test_autonomy () =
+  Alcotest.(check bool) "autonomous under income" true
+    (Supply.is_autonomous pv_cr2032 (Power.microwatts 100.0));
+  Alcotest.(check bool) "not autonomous above income" false
+    (Supply.is_autonomous pv_cr2032 (Power.microwatts 200.0));
+  Alcotest.(check bool) "mains always autonomous" true
+    (Supply.is_autonomous (Supply.mains ~name:"m") (Power.watts 100.0))
+
+let test_supply_lifetime () =
+  Alcotest.(check bool) "forever when covered" true
+    (Time_span.is_forever (Supply.lifetime pv_cr2032 (Power.microwatts 100.0)));
+  let finite = Supply.lifetime pv_cr2032 (Power.microwatts 300.0) in
+  Alcotest.(check bool) "finite when over" true (not (Time_span.is_forever finite));
+  (* Battery-only supply at same load dies sooner. *)
+  let batt_only = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let batt_life = Supply.lifetime batt_only (Power.microwatts 300.0) in
+  Alcotest.(check bool) "harvester extends life" true (Time_span.gt finite batt_life)
+
+let test_power_budget_for_lifetime () =
+  let batt_only = Supply.battery_only ~name:"b" Battery.cr2032 in
+  (match Supply.power_budget_for_lifetime batt_only (Time_span.years 5.0) with
+  | None -> Alcotest.fail "5-year budget must exist"
+  | Some budget ->
+    let life = Supply.lifetime batt_only budget in
+    Alcotest.(check bool) "achieves target" true
+      (Time_span.to_years life >= 5.0 -. 1e-6);
+    Alcotest.(check bool) "non-trivial" true (Power.to_watts budget > 1e-6));
+  (* No source at all: no budget. *)
+  let nothing = Supply.make ~name:"none" () in
+  Alcotest.(check bool) "no source" true
+    (Supply.power_budget_for_lifetime nothing (Time_span.days 1.0) = None)
+
+(* --- Lifetime --- *)
+
+let test_verdicts () =
+  (match Lifetime.evaluate pv_cr2032 (Power.microwatts 50.0) with
+  | Lifetime.Autonomous -> ()
+  | _ -> Alcotest.fail "expected autonomous");
+  (match Lifetime.evaluate pv_cr2032 (Power.milliwatts 1.0) with
+  | Lifetime.Finite _ -> ()
+  | _ -> Alcotest.fail "expected finite");
+  let nothing = Supply.make ~name:"none" () in
+  match Lifetime.evaluate nothing (Power.milliwatts 1.0) with
+  | Lifetime.Dead_on_arrival -> ()
+  | _ -> Alcotest.fail "expected dead on arrival"
+
+let test_duty_for_autonomy () =
+  let active = Power.milliwatts 10.0 and sleep = Power.microwatts 5.0 in
+  (match
+     Lifetime.duty_cycle_for_autonomy ~active ~sleep ~income:(Power.microwatts 105.0)
+   with
+  | Some d ->
+    (* d*10m + (1-d)*5u = 105u  ->  d ~ 1.0005e-2. *)
+    Alcotest.(check (float 1e-6)) "duty" 1.0005e-2 d
+  | None -> Alcotest.fail "feasible duty expected");
+  Alcotest.(check bool) "sleep exceeds income" true
+    (Lifetime.duty_cycle_for_autonomy ~active ~sleep:(Power.milliwatts 1.0)
+       ~income:(Power.microwatts 10.0)
+    = None);
+  Alcotest.(check (option (float 1e-12))) "full activity covered" (Some 1.0)
+    (Lifetime.duty_cycle_for_autonomy ~active:(Power.microwatts 50.0) ~sleep
+       ~income:(Power.microwatts 105.0))
+
+let test_rate_for_autonomy () =
+  match
+    Lifetime.rate_for_autonomy ~cycle_energy:(Energy.microjoules 100.0)
+      ~sleep:(Power.microwatts 5.0) ~income:(Power.microwatts 105.0)
+  with
+  | Some r -> check_float "rate" 1.0 r
+  | None -> Alcotest.fail "feasible rate expected"
+
+let test_average_load_identity () =
+  let p =
+    Lifetime.average_load ~active:(Power.milliwatts 10.0) ~sleep:(Power.microwatts 10.0)
+      ~duty:0.01
+  in
+  check_float "identity" ((0.01 *. 10e-3) +. (0.99 *. 10e-6)) (Power.to_watts p)
+
+let suite =
+  [ ("battery energy", `Quick, test_battery_energy);
+    ("battery lifetime low drain", `Quick, test_battery_lifetime_low_drain);
+    ("battery self-discharge bound", `Quick, test_battery_lifetime_zero_load_self_discharge);
+    ("Peukert derating", `Quick, test_peukert_derating);
+    ("Peukert lifetime monotone", `Quick, test_peukert_monotone_lifetime);
+    ("battery peak current", `Quick, test_battery_supports_peak);
+    ("battery validation", `Quick, test_battery_validation);
+    ("PV output", `Quick, test_pv_output);
+    ("PV indoor vs outdoor", `Quick, test_pv_outdoor_much_larger);
+    ("vibration environments", `Quick, test_vibration_environment_scaling);
+    ("TEG ambient limit", `Quick, test_teg_limited_by_ambient_dt);
+    ("supercap usable energy", `Quick, test_supercap_usable_energy);
+    ("supercap bursts", `Quick, test_supercap_burst_capacity);
+    ("supercap charge time", `Quick, test_supercap_charge_time);
+    ("storage validation", `Quick, test_storage_validation);
+    ("harvest income", `Quick, test_harvest_income);
+    ("net drain", `Quick, test_net_drain);
+    ("autonomy check", `Quick, test_autonomy);
+    ("supply lifetime", `Quick, test_supply_lifetime);
+    ("power budget for lifetime", `Quick, test_power_budget_for_lifetime);
+    ("lifetime verdicts", `Quick, test_verdicts);
+    ("duty for autonomy", `Quick, test_duty_for_autonomy);
+    ("rate for autonomy", `Quick, test_rate_for_autonomy);
+    ("average load identity", `Quick, test_average_load_identity);
+  ]

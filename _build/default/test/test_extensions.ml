@@ -1,0 +1,184 @@
+(* Unit tests for the extension subsystems: accelerators, diurnal
+   harvesting profiles, and on-chip interconnect. *)
+
+open Amb_units
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_rel msg rel expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+(* --- Accelerator --- *)
+
+open Amb_circuit
+
+let test_accelerator_efficiency_ladder () =
+  (* ASIC > DSP-block > FPGA fabric > general-purpose core, in ops/J. *)
+  let asic = Accelerator.ops_per_joule Accelerator.video_pipeline_asic in
+  let fabric = Accelerator.ops_per_joule Accelerator.efpga_fabric in
+  let risc = Processor.ops_per_joule Processor.arm7_class in
+  Alcotest.(check bool) "ASIC > fabric" true (asic > fabric);
+  Alcotest.(check bool) "fabric > RISC" true (fabric > risc);
+  (* The era's folklore: dedicated silicon is ~50-100x the core. *)
+  let speedup = Accelerator.speedup_over Accelerator.video_pipeline_asic Processor.arm7_class in
+  Alcotest.(check bool) "ASIC 30-100x over RISC" true (speedup > 30.0 && speedup < 120.0)
+
+let test_accelerator_power_at () =
+  let a = Accelerator.audio_codec_asic in
+  let idle = Accelerator.power_at a Frequency.zero in
+  check_rel "idle = standby" 1e-9 (Power.to_watts a.Accelerator.standby) (Power.to_watts idle);
+  let full = Accelerator.power_at a a.Accelerator.throughput in
+  check_rel "full = rated" 1e-9 (Power.to_watts a.Accelerator.power) (Power.to_watts full);
+  Alcotest.check_raises "above capacity"
+    (Invalid_argument "Accelerator.power_at: rate outside capacity") (fun () ->
+      ignore (Accelerator.power_at a (Frequency.scale 2.0 a.Accelerator.throughput)))
+
+let test_accelerator_best_for () =
+  (match Accelerator.best_for ~function_name:"video streaming" ~rate:(Frequency.megahertz 2500.0) with
+  | Some a -> Alcotest.(check string) "picks the ASIC" "video pipeline (ASIC)" a.Accelerator.name
+  | None -> Alcotest.fail "video accelerator exists");
+  Alcotest.(check bool) "unknown function" true
+    (Accelerator.best_for ~function_name:"weather control" ~rate:(Frequency.megahertz 1.0) = None);
+  Alcotest.(check bool) "rate beyond any block" true
+    (Accelerator.best_for ~function_name:"audio playback" ~rate:(Frequency.gigahertz 50.0) = None)
+
+(* --- Day_profile --- *)
+
+open Amb_energy
+
+let test_profile_period_and_average () =
+  check_rel "24 h period" 1e-9 86400.0
+    (Time_span.to_seconds (Day_profile.period Day_profile.office_lighting));
+  (* Office: 10/24 * 1.0 + 14/24 * 0.02. *)
+  check_rel "average scale" 1e-9
+    ((10.0 +. (14.0 *. 0.02)) /. 24.0)
+    (Day_profile.average_scale Day_profile.office_lighting)
+
+let test_profile_scale_at () =
+  let p = Day_profile.office_lighting in
+  check_float "lit at 9h" 1.0 (Day_profile.scale_at p (Time_span.hours 9.0));
+  check_float "dark at 15h" 0.02 (Day_profile.scale_at p (Time_span.hours 15.0));
+  (* Periodicity: 33 h = 9 h into the second day. *)
+  check_float "periodic" 1.0 (Day_profile.scale_at p (Time_span.hours 33.0))
+
+let test_darkest_stretch () =
+  check_rel "office dark stretch" 1e-9 (14.0 *. 3600.0)
+    (Time_span.to_seconds (Day_profile.darkest_stretch Day_profile.office_lighting ~threshold:0.5));
+  (* Living room: the dark stretch wraps the 8 h midday dim?  No - the
+     longest sub-threshold run is the 9 h night plus nothing (the 8 h
+     midday at 0.1 also counts; runs are 8 h and 9 h, not adjacent). *)
+  check_rel "living room" 1e-9 (9.0 *. 3600.0)
+    (Time_span.to_seconds
+       (Day_profile.darkest_stretch Day_profile.living_room_lighting ~threshold:0.05));
+  check_rel "constant has none" 1e-9 0.0
+    (Time_span.to_seconds (Day_profile.darkest_stretch Day_profile.constant ~threshold:0.5))
+
+let test_buffer_sizing () =
+  let load = Power.microwatts 10.0 and income = Power.microwatts 100.0 in
+  let e = Day_profile.buffer_energy_required Day_profile.outdoor_diurnal ~load ~income in
+  (* 12 h of 10 uW with zero residual income: 0.432 J. *)
+  check_rel "night energy" 1e-9 (10e-6 *. 12.0 *. 3600.0) (Energy.to_joules e);
+  let c =
+    Day_profile.buffer_capacitance_required Day_profile.outdoor_diurnal ~load ~income
+      ~v_max:(Voltage.volts 3.0) ~v_min:(Voltage.volts 1.0)
+  in
+  check_rel "capacitance" 1e-9 (2.0 *. 0.432 /. 8.0) c
+
+let test_sustainability () =
+  let income = Power.microwatts 100.0 in
+  Alcotest.(check bool) "light load sustainable" true
+    (Day_profile.sustainable Day_profile.office_lighting ~load:(Power.microwatts 20.0) ~income);
+  Alcotest.(check bool) "heavy load not" false
+    (Day_profile.sustainable Day_profile.office_lighting ~load:(Power.microwatts 80.0) ~income)
+
+let test_sim_with_diurnal_income () =
+  (* A node whose load sits between night income and day income must
+     survive with the day profile crediting enough on average. *)
+  let profile =
+    Amb_node.Duty_cycle.make ~cycle_energy:(Energy.microjoules 500.0)
+      ~cycle_duration:(Time_span.milliseconds 10.0) ~sleep_power:(Power.microwatts 5.0)
+  in
+  let supply =
+    Supply.harvester_and_battery ~name:"pv+coin" Harvester.small_solar_cell
+      Harvester.office_indoor Battery.cr2032
+  in
+  let run multiplier =
+    let cfg =
+      Amb_node.Lifetime_sim.config ~profile ~supply
+        ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 30.0))
+        ~horizon:(Time_span.days 30.0) ?income_multiplier:multiplier ()
+    in
+    Amb_node.Lifetime_sim.run cfg ~seed:7
+  in
+  let constant = run None in
+  let diurnal = run (Some (Day_profile.income_multiplier Day_profile.office_lighting)) in
+  Alcotest.(check bool) "constant income harvests more" true
+    (Energy.gt constant.Amb_node.Lifetime_sim.energy_harvested
+       diurnal.Amb_node.Lifetime_sim.energy_harvested);
+  (* The diurnal harvest matches the average-scale prediction within the
+     10-minute integration step. *)
+  let expected_ratio = Day_profile.average_scale Day_profile.office_lighting in
+  let actual_ratio =
+    Energy.to_joules diurnal.Amb_node.Lifetime_sim.energy_harvested
+    /. Energy.to_joules constant.Amb_node.Lifetime_sim.energy_harvested
+  in
+  Alcotest.(check bool) "ratio matches average scale" true
+    (Float.abs (actual_ratio -. expected_ratio) < 0.02)
+
+(* --- Noc --- *)
+
+open Amb_tech
+
+let noc cores = Noc.make ~node:Process_node.n130 ~cores ~die_edge_mm:10.0 ()
+
+let test_noc_mean_hops () =
+  (* 2x2 mesh: E|dx| = (4-1)/(3*2) = 0.5 per axis -> 1.0 total. *)
+  check_rel "2x2" 1e-9 1.0 (Noc.mean_hops (noc 4));
+  (* 4x4 mesh: (16-1)/12 = 1.25 per axis -> 2.5. *)
+  check_rel "4x4" 1e-9 2.5 (Noc.mean_hops (noc 16))
+
+let test_bus_energy_independent_of_cores () =
+  check_float "same wire either way"
+    (Energy.to_joules (Noc.bus_energy_per_bit (noc 2)))
+    (Energy.to_joules (Noc.bus_energy_per_bit (noc 64)))
+
+let test_noc_energy_grows_slowly () =
+  let e n = Energy.to_joules (Noc.noc_energy_per_bit (noc n)) in
+  Alcotest.(check bool) "grows with mesh size" true (e 64 > e 4);
+  (* but sub-linearly: 16x the cores costs far less than 16x the energy. *)
+  Alcotest.(check bool) "sub-linear" true (e 64 /. e 4 < 4.0)
+
+let test_bus_saturates_noc_scales () =
+  let demand_per_core = 2.0e9 in
+  let bus8 = Noc.evaluate_bus (noc 8) ~demand_per_core in
+  let noc8 = Noc.evaluate_noc (noc 8) ~demand_per_core in
+  Alcotest.(check bool) "bus saturated at 8 cores" true bus8.Noc.saturated;
+  Alcotest.(check bool) "noc fine at 8 cores" false noc8.Noc.saturated;
+  match Noc.crossover_cores ~node:Process_node.n130 ~die_edge_mm:10.0 ~demand_per_core with
+  | Some n -> Alcotest.(check bool) "crossover below 8" true (n <= 8)
+  | None -> Alcotest.fail "crossover exists"
+
+let test_noc_power_positive_and_ordered () =
+  let t = noc 4 in
+  let bus = Noc.communication_power t ~demand_per_core:1e9 ~use_noc:false in
+  let noc_p = Noc.communication_power t ~demand_per_core:1e9 ~use_noc:true in
+  Alcotest.(check bool) "both positive" true (Power.is_positive bus && Power.is_positive noc_p);
+  (* On a small mesh the NoC's short links beat the global bus. *)
+  Alcotest.(check bool) "noc cheaper at 4 cores" true (Power.lt noc_p bus)
+
+let suite =
+  [ ("accelerator efficiency ladder", `Quick, test_accelerator_efficiency_ladder);
+    ("accelerator duty-cycled power", `Quick, test_accelerator_power_at);
+    ("accelerator best_for", `Quick, test_accelerator_best_for);
+    ("day profile period/average", `Quick, test_profile_period_and_average);
+    ("day profile scale_at", `Quick, test_profile_scale_at);
+    ("darkest stretch", `Quick, test_darkest_stretch);
+    ("buffer sizing", `Quick, test_buffer_sizing);
+    ("sustainability", `Quick, test_sustainability);
+    ("sim with diurnal income", `Quick, test_sim_with_diurnal_income);
+    ("noc mean hops", `Quick, test_noc_mean_hops);
+    ("bus energy constant", `Quick, test_bus_energy_independent_of_cores);
+    ("noc energy sub-linear", `Quick, test_noc_energy_grows_slowly);
+    ("bus saturates, noc scales", `Quick, test_bus_saturates_noc_scales);
+    ("interconnect power ordering", `Quick, test_noc_power_positive_and_ordered);
+  ]

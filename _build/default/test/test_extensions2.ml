@@ -1,0 +1,168 @@
+(* Unit tests for the second extension wave: event-driven MAC simulation,
+   DC-DC regulator curves, process variability. *)
+
+open Amb_units
+
+let check_rel msg rel expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+(* --- Mac_sim --- *)
+
+open Amb_circuit
+open Amb_radio
+
+let mac_cfg ~nodes ~per_node_rate =
+  Mac_sim.config ~radio:Radio_frontend.low_power_uhf ~packet:Packet.sensor_report ~nodes
+    ~per_node_rate ~horizon:(Time_span.hours 1.0)
+
+let test_macsim_light_load_all_delivered () =
+  (* At g << 1 almost everything gets through. *)
+  let o = Mac_sim.run (mac_cfg ~nodes:5 ~per_node_rate:0.02) ~seed:1 in
+  Alcotest.(check bool) "some traffic" true (o.Mac_sim.attempted > 100);
+  Alcotest.(check bool) "nearly all delivered" true (o.Mac_sim.success_rate > 0.98);
+  Alcotest.(check int) "attempted = delivered + collided" o.Mac_sim.attempted
+    (o.Mac_sim.delivered + o.Mac_sim.collided)
+
+let test_macsim_matches_analytic () =
+  let rows =
+    Mac_sim.sweep (mac_cfg ~nodes:20 ~per_node_rate:1.0) ~loads:[ 0.05; 0.2; 0.5 ] ~seed:2
+  in
+  List.iter
+    (fun (g, simulated, analytic, _) ->
+      if Float.abs (simulated -. analytic) > 0.03 then
+        Alcotest.failf "g=%.2f: sim %.3f vs analytic %.3f" g simulated analytic)
+    rows
+
+let test_macsim_throughput_peak () =
+  let rows =
+    Mac_sim.sweep (mac_cfg ~nodes:20 ~per_node_rate:1.0) ~loads:[ 0.1; 0.5; 1.5 ] ~seed:3
+  in
+  match List.map (fun (_, _, _, s) -> s) rows with
+  | [ low; mid; high ] ->
+    Alcotest.(check bool) "peak near 0.5" true (mid > low && mid > high)
+  | _ -> Alcotest.fail "three rows"
+
+let test_macsim_deterministic () =
+  let a = Mac_sim.run (mac_cfg ~nodes:10 ~per_node_rate:0.1) ~seed:9 in
+  let b = Mac_sim.run (mac_cfg ~nodes:10 ~per_node_rate:0.1) ~seed:9 in
+  Alcotest.(check int) "same attempts" a.Mac_sim.attempted b.Mac_sim.attempted;
+  Alcotest.(check int) "same deliveries" a.Mac_sim.delivered b.Mac_sim.delivered
+
+let test_macsim_energy_accounting () =
+  let o = Mac_sim.run (mac_cfg ~nodes:5 ~per_node_rate:0.05) ~seed:4 in
+  let per_packet =
+    Radio_frontend.transmit_energy Radio_frontend.low_power_uhf ~tx_dbm:0.0
+      ~bits:(Packet.total_bits Packet.sensor_report) ~include_startup:true
+  in
+  check_rel "tx energy = attempts x packet energy" 1e-9
+    (Float.of_int o.Mac_sim.attempted *. Energy.to_joules per_packet)
+    (Energy.to_joules o.Mac_sim.tx_energy)
+
+(* --- Regulator --- *)
+
+open Amb_energy
+
+let test_regulator_peak_efficiency_at_rating () =
+  let reg = Regulator.buck_mw_class in
+  let eff = Regulator.efficiency_at reg ~load:reg.Regulator.rated_load in
+  (* Fixed overheads are negligible at the rating: within 1% of peak. *)
+  Alcotest.(check bool) "near peak" true (eff > reg.Regulator.peak_efficiency -. 0.01)
+
+let test_regulator_light_load_collapse () =
+  let reg = Regulator.buck_mw_class in
+  let eff = Regulator.efficiency_at reg ~load:(Power.microwatts 5.0) in
+  Alcotest.(check bool) "collapses under 5%" true (eff < 0.05)
+
+let test_regulator_knee_is_half_peak () =
+  List.iter
+    (fun reg ->
+      let eff = Regulator.efficiency_at reg ~load:(Regulator.knee_load reg) in
+      check_rel (reg.Regulator.name ^ " knee") 1e-9 (reg.Regulator.peak_efficiency /. 2.0) eff)
+    Regulator.catalogue
+
+let test_regulator_sleep_floor () =
+  (* The micropower boost shows a 5 uW sleeper as ~11 uW; the mW buck as
+     ~356 uW. *)
+  let sleep = Power.microwatts 5.0 in
+  let boost = Regulator.effective_sleep_floor Regulator.micropower_boost ~sleep in
+  let buck = Regulator.effective_sleep_floor Regulator.buck_mw_class ~sleep in
+  Alcotest.(check bool) "boost floor ~2x sleep" true
+    (Power.to_microwatts boost > 10.0 && Power.to_microwatts boost < 13.0);
+  Alcotest.(check bool) "buck floor ~70x sleep" true (Power.to_microwatts buck > 300.0)
+
+let test_regulator_best_for () =
+  (match Regulator.best_for ~load:(Power.microwatts 5.0) with
+  | Some r -> Alcotest.(check string) "LDO wins at 5 uW" "LDO (linear)" r.Regulator.name
+  | None -> Alcotest.fail "feasible regulator exists");
+  (match Regulator.best_for ~load:(Power.milliwatts 200.0) with
+  | Some r -> Alcotest.(check string) "buck wins at 200 mW" "buck (mW class)" r.Regulator.name
+  | None -> Alcotest.fail "feasible regulator exists");
+  Alcotest.check_raises "above rating"
+    (Invalid_argument "Regulator.input_power: load above rating") (fun () ->
+      ignore (Regulator.input_power Regulator.micropower_boost ~load:(Power.watts 1.0)))
+
+(* --- Variability --- *)
+
+open Amb_tech
+
+let test_sigma_grows_with_shrink () =
+  let s350 = Variability.sigma_for Process_node.n350 in
+  let s65 = Variability.sigma_for Process_node.n65 in
+  check_rel "350nm reference" 1e-9 8.0 s350;
+  Alcotest.(check bool) "grows toward 65nm" true (s65 > 2.0 *. s350)
+
+let test_leakage_multiplier_exponential () =
+  check_rel "nominal" 1e-9 1.0 (Variability.leakage_multiplier ~delta_vth_mv:0.0);
+  check_rel "one e-fold per 38 mV" 1e-9 (Float.exp 1.0)
+    (Variability.leakage_multiplier ~delta_vth_mv:(-38.0));
+  Alcotest.(check bool) "high Vth leaks less" true
+    (Variability.leakage_multiplier ~delta_vth_mv:38.0 < 1.0)
+
+let test_monte_carlo_spread_grows_across_nodes () =
+  let ratio node =
+    (Variability.monte_carlo (Variability.spread_of node) ~dies:5000 ~seed:5)
+      .Variability.spread_ratio
+  in
+  let r350 = ratio Process_node.n350 and r65 = ratio Process_node.n65 in
+  Alcotest.(check bool) "spread grows" true (r65 > r350);
+  Alcotest.(check bool) "p95 above median" true (r350 > 1.0)
+
+let test_monte_carlo_mean_above_median () =
+  (* Lognormal-ish distributions: mean >= median. *)
+  let stats =
+    Variability.monte_carlo (Variability.spread_of Process_node.n90) ~dies:10_000 ~seed:6
+  in
+  Alcotest.(check bool) "mean >= median" true
+    (stats.Variability.mean_multiplier >= stats.Variability.median_multiplier -. 1e-6)
+
+let test_yield_monotone_in_budget () =
+  let spread = Variability.spread_of Process_node.n65 in
+  let gates = 2_000_000.0 in
+  let nominal = Power.scale gates Process_node.n65.Process_node.leakage_per_gate in
+  let yield_at scale =
+    Variability.yield_against_budget spread ~dies:5000 ~seed:7 ~block_gates:gates
+      ~budget:(Power.scale scale nominal)
+  in
+  let tight = yield_at 1.0 and loose = yield_at 2.0 in
+  Alcotest.(check bool) "looser budget, better yield" true (loose >= tight);
+  Alcotest.(check bool) "2x budget nearly full yield" true (loose > 0.95);
+  Alcotest.(check bool) "nominal budget loses dies" true (tight < 0.9)
+
+let suite =
+  [ ("macsim light load", `Quick, test_macsim_light_load_all_delivered);
+    ("macsim matches analytic", `Quick, test_macsim_matches_analytic);
+    ("macsim throughput peak", `Quick, test_macsim_throughput_peak);
+    ("macsim deterministic", `Quick, test_macsim_deterministic);
+    ("macsim energy accounting", `Quick, test_macsim_energy_accounting);
+    ("regulator peak at rating", `Quick, test_regulator_peak_efficiency_at_rating);
+    ("regulator light-load collapse", `Quick, test_regulator_light_load_collapse);
+    ("regulator knee", `Quick, test_regulator_knee_is_half_peak);
+    ("regulator sleep floor", `Quick, test_regulator_sleep_floor);
+    ("regulator best_for", `Quick, test_regulator_best_for);
+    ("variability sigma scaling", `Quick, test_sigma_grows_with_shrink);
+    ("leakage multiplier", `Quick, test_leakage_multiplier_exponential);
+    ("monte carlo spread", `Quick, test_monte_carlo_spread_grows_across_nodes);
+    ("monte carlo mean/median", `Quick, test_monte_carlo_mean_above_median);
+    ("yield vs budget", `Quick, test_yield_monotone_in_budget);
+  ]

@@ -1,0 +1,79 @@
+(* Golden-output regression pins: fully deterministic renderings whose
+   exact text must not drift (catching accidental changes to model
+   constants, formatting, or classification logic). *)
+
+let check_golden name expected actual =
+  if String.trim expected <> String.trim actual then
+    Alcotest.failf "%s drifted.\n--- expected ---\n%s\n--- actual ---\n%s" name expected actual
+
+let test_e2_exact () =
+  let expected =
+    "## E2: the three device classes\n\
+     | class                       | power band        | avg budget | energy source                 | lifetime target | functions                                                  |\n\
+     |-----------------------------|-------------------|------------|-------------------------------|-----------------|------------------------------------------------------------|\n\
+     | microWatt-node (autonomous) | 0 W .. 1.00 mW    | 100 uW     | energy scavenging + coin cell | 5.00 years      | context sensing, presence detection, identification (tags) |\n\
+     | milliWatt-node (personal)   | 1.00 mW .. 1.00 W | 100 mW     | rechargeable battery          | 7.0 days        | personal audio, voice interface, wearable computing        |\n\
+     | Watt-node (static)          | 1.00 W .. inf W   | 10.0 W     | mains                         | n/a (mains)     | video processing, media serving, ambient displays          |\n\
+     \  note: challenges: uW: uW standby power, radio start-up energy, energy scavenging | mW: energy-efficient signal processing, voltage scaling | W: power density, leakage, memory bandwidth"
+  in
+  check_golden "E2" expected (Amb_core.Report.to_string (Amb_core.Experiments.e2 ()))
+
+let test_e3_exact () =
+  let expected =
+    "## E3: microwatt-node energy budget per sense-process-transmit cycle\n\
+     | subsystem             | energy  | share  |\n\
+     |-----------------------|---------|--------|\n\
+     | sensing               | 700 nJ  | 0.9%   |\n\
+     | A/D conversion        | 1.18 nJ | 0.0%   |\n\
+     | computation           | 729 nJ  | 0.9%   |\n\
+     | communication (radio) | 76.5 uJ | 98.2%  |\n\
+     | total                 | 77.9 uJ | 100.0% |\n\
+     \  note: radio start-up alone: 3.00 uJ\n\
+     \  note: communication dominates: the radio, not the MCU, sets the duty-cycle budget"
+  in
+  check_golden "E3" expected (Amb_core.Report.to_string (Amb_core.Experiments.e3 ()))
+
+let test_power_formatting_exact () =
+  (* The formatting contract other golden pins rely on. *)
+  let open Amb_units in
+  List.iter
+    (fun (expected, v) -> Alcotest.(check string) expected expected (Power.to_string (Power.watts v)))
+    [ ("1.00 W", 1.0); ("999 mW", 0.999); ("1.00 mW", 1e-3); ("100 uW", 1e-4);
+      ("10.0 uW", 1e-5); ("1.50 kW", 1500.0) ]
+
+let test_classification_goldens () =
+  (* The class of each reference design's headline operating point. *)
+  let open Amb_units in
+  let uw = Amb_node.Reference_designs.microwatt_node () in
+  let p =
+    Amb_node.Node_model.average_power uw Amb_node.Reference_designs.microwatt_activation
+      ~rate:(1.0 /. 30.0)
+  in
+  Alcotest.(check string) "uW node average" "7.60 uW" (Power.to_string p);
+  Alcotest.(check string) "uW class" "uW"
+    (Amb_core.Device_class.short_name (Amb_core.Device_class.of_power p))
+
+let test_sim_goldens () =
+  (* Deterministic simulation outputs pinned to their exact values. *)
+  let open Amb_units in
+  let node = Amb_node.Reference_designs.microwatt_node () in
+  let profile =
+    Amb_node.Node_model.duty_profile node Amb_node.Reference_designs.microwatt_activation
+  in
+  let supply = Amb_energy.Supply.battery_only ~name:"b" Amb_energy.Battery.cr2032 in
+  let cfg =
+    Amb_node.Lifetime_sim.config ~profile ~supply
+      ~activation_traffic:(Amb_workload.Traffic.poisson (1.0 /. 30.0))
+      ~horizon:(Time_span.days 7.0) ()
+  in
+  let o = Amb_node.Lifetime_sim.run cfg ~seed:2003 in
+  Alcotest.(check int) "poisson activation count pinned" 20196
+    o.Amb_node.Lifetime_sim.activations
+
+let suite =
+  [ ("E2 golden", `Quick, test_e2_exact);
+    ("E3 golden", `Quick, test_e3_exact);
+    ("power formatting golden", `Quick, test_power_formatting_exact);
+    ("classification golden", `Quick, test_classification_goldens);
+    ("simulation golden", `Quick, test_sim_goldens);
+  ]

@@ -1,0 +1,151 @@
+(* Integration tests: cross-library scenarios exercising the whole stack,
+   plus end-to-end checks of the keynote's headline claims. *)
+
+open Amb_units
+open Amb_circuit
+open Amb_energy
+open Amb_node
+open Amb_core
+
+let check_rel msg rel expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+(* The keynote's headline: an autonomous node duty-cycled at once per 30 s
+   runs forever on a 5 cm^2 indoor solar cell. *)
+let test_autonomous_sensor_story () =
+  let node = Reference_designs.microwatt_node () in
+  let act = Reference_designs.microwatt_activation in
+  let rate = 1.0 /. 30.0 in
+  let p = Node_model.average_power node act ~rate in
+  Alcotest.(check bool) "under 10 uW average" true (Power.lt p (Power.microwatts 10.0));
+  Alcotest.(check bool) "autonomous" true (Supply.is_autonomous node.Node_model.supply p);
+  (* Classified into the right keynote band. *)
+  Alcotest.(check bool) "uW class" true (Device_class.of_power p = Device_class.Microwatt)
+
+(* The personal device: continuous audio playback must last a working day
+   on its battery, and DVFS buys a meaningful extension. *)
+let test_personal_device_story () =
+  let node = Reference_designs.milliwatt_node () in
+  let arm = node.Node_model.processor in
+  let demand = Frequency.megahertz 30.0 in
+  (match (Processor.race_to_idle_power arm demand, Processor.dvfs_power arm demand) with
+  | Some race, Some dvfs ->
+    let battery = Battery.liion_phone in
+    let life_race = Battery.lifetime battery race in
+    let life_dvfs = Battery.lifetime battery dvfs in
+    Alcotest.(check bool) "audio lasts a day even without DVFS" true
+      (Time_span.to_hours life_race > 24.0);
+    Alcotest.(check bool) "DVFS extends life >= 2x" true
+      (Time_span.to_seconds life_dvfs > 2.0 *. Time_span.to_seconds life_race)
+  | _ -> Alcotest.fail "audio demand feasible on ARM7-class core")
+
+(* The static node: the same media SoC ported from 350 to 65 nm moves
+   from dynamic-dominated to leakage+memory-dominated. *)
+let test_static_node_story () =
+  let open Amb_tech in
+  let soc350 = Experiments.media_soc Process_node.n350 in
+  let soc65 = Experiments.media_soc Process_node.n65 in
+  let b350 = Soc.breakdown soc350 and b65 = Soc.breakdown soc65 in
+  let frac part total = Power.to_watts part /. Power.to_watts total in
+  Alcotest.(check bool) "350nm dynamic-dominated" true
+    (frac b350.Soc.dynamic b350.Soc.total > 0.8);
+  Alcotest.(check bool) "65nm dynamic minority" true
+    (frac b65.Soc.dynamic b65.Soc.total < 0.5);
+  Alcotest.(check bool) "total still falls" true (Power.lt b65.Soc.total b350.Soc.total)
+
+(* Full pipeline: scenario -> node activation -> duty profile -> supply ->
+   simulated lifetime consistent with the analytic one. *)
+let test_sim_analytic_pipeline () =
+  let node = Reference_designs.microwatt_node () in
+  let act = Reference_designs.microwatt_activation in
+  let profile = Node_model.duty_profile node act in
+  let supply = Supply.battery_only ~name:"cr2032" Battery.cr2032 in
+  let rate = 1.0 /. 60.0 in
+  let cfg =
+    Lifetime_sim.config ~profile ~supply
+      ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 60.0))
+      ~horizon:(Time_span.days 60.0) ()
+  in
+  let outcome = Lifetime_sim.run cfg ~seed:21 in
+  let analytic = Duty_cycle.average_power profile ~rate in
+  check_rel "sim vs analytic" 0.02
+    (Power.to_watts analytic)
+    (Power.to_watts outcome.Lifetime_sim.average_power);
+  (* ~1 activation per minute for 60 days. *)
+  Alcotest.(check bool) "activation count" true
+    (abs (outcome.Lifetime_sim.activations - (60 * 24 * 60)) <= 2)
+
+(* Network level: a body-area network of one mW hub and several uW sensor
+   patches is feasible and every sensor can reach the hub in one hop. *)
+let test_body_area_network () =
+  let topo = Amb_net.Topology.star ~leaves:6 ~radius_m:1.5 in
+  let link =
+    Amb_radio.Link_budget.make ~radio:Radio_frontend.low_power_uhf
+      ~channel:Amb_radio.Path_loss.indoor ()
+  in
+  for leaf = 1 to 6 do
+    let d = Amb_net.Topology.pair_distance topo 0 leaf in
+    Alcotest.(check bool) "hub reachable" true (Amb_radio.Link_budget.closes link ~tx_dbm:0.0 ~distance_m:d)
+  done;
+  (* Patches stay in the uW class even sampling once per second. *)
+  let node = Reference_designs.microwatt_node ~environment:Harvester.on_body () in
+  let p = Node_model.average_power node Reference_designs.microwatt_activation ~rate:1.0 in
+  Alcotest.(check bool) "patch under 1 mW at 1 Hz" true (Power.lt p (Power.milliwatts 1.0))
+
+(* The power-information graph classifies the three reference designs into
+   their own bands (the figure's anchor claim). *)
+let test_reference_designs_land_in_their_bands () =
+  let expected =
+    [ (Reference_designs.microwatt_node (), Reference_designs.microwatt_activation, 1.0 /. 30.0,
+       Device_class.Microwatt);
+      (Reference_designs.milliwatt_node (), Reference_designs.milliwatt_activation, 0.5,
+       Device_class.Milliwatt);
+    ]
+  in
+  List.iter
+    (fun (node, act, rate, cls) ->
+      let p = Node_model.average_power node act ~rate in
+      Alcotest.(check bool)
+        (node.Node_model.name ^ " in band")
+        true
+        (Device_class.of_power p = cls))
+    expected;
+  (* The watt node draws watts when active (panel + SoC + WLAN). *)
+  let watt = Reference_designs.watt_node () in
+  Alcotest.(check bool) "watt node peaks above 1 W" true
+    (Power.gt (Node_model.peak_power watt) (Power.watts 1.0))
+
+(* MAC + duty cycle end to end: running the E9-optimal wake-up interval
+   keeps the radio's share of the uW node's budget within the class
+   band. *)
+let test_mac_within_class_budget () =
+  let radio = Radio_frontend.low_power_uhf in
+  let packet = Amb_radio.Packet.sensor_report in
+  let mac = Amb_radio.Mac_duty_cycle.make ~radio ~t_wakeup:(Time_span.seconds 1.0) ~packet () in
+  let tx_rate = 1.0 /. 30.0 and rx_rate = 1.0 /. 30.0 in
+  let opt = Amb_radio.Mac_duty_cycle.optimal_wakeup mac ~tx_rate ~rx_rate in
+  let mac_opt =
+    Amb_radio.Mac_duty_cycle.make ~radio ~t_wakeup:opt ~packet ()
+  in
+  let p = Amb_radio.Mac_duty_cycle.average_power mac_opt ~tx_rate ~rx_rate in
+  Alcotest.(check bool) "radio average under 1 mW" true (Power.lt p (Power.milliwatts 1.0))
+
+(* Bench harness smoke test: all experiment reports render to text. *)
+let test_reports_render_end_to_end () =
+  List.iter
+    (fun (id, _, build) ->
+      let text = Report.to_string (build ()) in
+      Alcotest.(check bool) (id ^ " renders") true (String.length text > 50))
+    Experiments.all
+
+let suite =
+  [ ("autonomous sensor story", `Quick, test_autonomous_sensor_story);
+    ("personal device story", `Quick, test_personal_device_story);
+    ("static node story", `Quick, test_static_node_story);
+    ("sim/analytic pipeline", `Quick, test_sim_analytic_pipeline);
+    ("body-area network", `Quick, test_body_area_network);
+    ("reference designs in bands", `Quick, test_reference_designs_land_in_their_bands);
+    ("MAC within class budget", `Quick, test_mac_within_class_budget);
+    ("all reports render", `Quick, test_reports_render_end_to_end);
+  ]

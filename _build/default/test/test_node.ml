@@ -1,0 +1,296 @@
+(* Unit tests for Amb_node: power-state machines, duty-cycle algebra,
+   composed node models, reference designs, lifetime simulation. *)
+
+open Amb_units
+open Amb_energy
+open Amb_node
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_rel msg rel expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+(* --- Power_state --- *)
+
+let machine =
+  Power_state.make
+    ~states:
+      [ { Power_state.name = "sleep"; power = Power.microwatts 5.0 };
+        { Power_state.name = "active"; power = Power.milliwatts 10.0 };
+        { Power_state.name = "tx"; power = Power.milliwatts 20.0 };
+      ]
+    ~transitions:
+      [ { Power_state.from_state = "sleep"; to_state = "active";
+          latency = Time_span.milliseconds 1.0; energy = Energy.microjoules 10.0 };
+        { Power_state.from_state = "tx"; to_state = "sleep";
+          latency = Time_span.microseconds 100.0; energy = Energy.microjoules 1.0 };
+      ]
+    ~initial:"sleep"
+
+let schedule =
+  [ { Power_state.state = "sleep"; dwell = Time_span.milliseconds 989.0 };
+    { Power_state.state = "active"; dwell = Time_span.milliseconds 8.0 };
+    { Power_state.state = "tx"; dwell = Time_span.milliseconds 2.0 };
+  ]
+
+let test_power_of () =
+  check_float "active" 10e-3 (Power.to_watts (Power_state.power_of machine "active"));
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Power_state.power_of machine "nope"))
+
+let test_undeclared_transition_free () =
+  let t = Power_state.transition machine ~from_state:"active" ~to_state:"tx" in
+  check_float "free" 0.0 (Energy.to_joules t.Power_state.energy);
+  check_float "instant" 0.0 (Time_span.to_seconds t.Power_state.latency)
+
+let test_cycle_energy () =
+  (* sleep 989 ms * 5 uW + wake 10 uJ + active 8 ms * 10 mW + tx 2 ms *
+     20 mW + tx->sleep 1 uJ. *)
+  let expected = (0.989 *. 5e-6) +. 10e-6 +. (0.008 *. 10e-3) +. (0.002 *. 20e-3) +. 1e-6 in
+  check_rel "cycle energy" 1e-9 expected
+    (Energy.to_joules (Power_state.cycle_energy machine schedule))
+
+let test_cycle_duration_includes_latency () =
+  (* dwell 999 ms + wake 1 ms + loop-back 0.1 ms. *)
+  check_rel "duration" 1e-9 (0.989 +. 0.008 +. 0.002 +. 0.001 +. 0.0001)
+    (Time_span.to_seconds (Power_state.cycle_duration machine schedule))
+
+let test_average_power_between_extremes () =
+  let avg = Power.to_watts (Power_state.average_power machine schedule) in
+  Alcotest.(check bool) "between sleep and tx" true (avg > 5e-6 && avg < 20e-3)
+
+let test_stretch_sleep () =
+  let stretched =
+    Power_state.stretch_sleep machine schedule ~sleep_state:"sleep" ~period:(Time_span.seconds 10.0)
+  in
+  check_rel "period hit" 1e-9 10.0
+    (Time_span.to_seconds (Power_state.cycle_duration machine stretched));
+  Alcotest.check_raises "active exceeds period"
+    (Invalid_argument "Power_state.stretch_sleep: active time exceeds period") (fun () ->
+      ignore
+        (Power_state.stretch_sleep machine schedule ~sleep_state:"sleep"
+           ~period:(Time_span.milliseconds 5.0)))
+
+(* --- Duty_cycle --- *)
+
+let profile =
+  Duty_cycle.make ~cycle_energy:(Energy.microjoules 100.0)
+    ~cycle_duration:(Time_span.milliseconds 10.0) ~sleep_power:(Power.microwatts 5.0)
+
+let test_duty_average_power () =
+  (* 1 Hz: 0.99 * 5 uW + 100 uJ/s. *)
+  let p = Duty_cycle.average_power profile ~rate:1.0 in
+  check_rel "avg" 1e-9 ((0.99 *. 5e-6) +. 100e-6) (Power.to_watts p);
+  (* Zero rate: pure sleep. *)
+  check_rel "sleep floor" 1e-9 5e-6
+    (Power.to_watts (Duty_cycle.average_power profile ~rate:0.0))
+
+let test_duty_rate_limit () =
+  Alcotest.check_raises "duty over 1"
+    (Invalid_argument "Duty_cycle.average_power: duty cycle above 1") (fun () ->
+      ignore (Duty_cycle.average_power profile ~rate:200.0))
+
+let test_max_rate_inverts_average_power () =
+  let budget = Power.microwatts 100.0 in
+  match Duty_cycle.max_rate profile ~budget with
+  | None -> Alcotest.fail "budget above sleep"
+  | Some rate ->
+    let p = Duty_cycle.average_power profile ~rate in
+    check_rel "budget met" 1e-6 (Power.to_watts budget) (Power.to_watts p)
+
+let test_max_rate_below_sleep () =
+  Alcotest.(check bool) "budget below sleep" true
+    (Duty_cycle.max_rate profile ~budget:(Power.microwatts 1.0) = None)
+
+let test_autonomy_rate () =
+  let supply =
+    Supply.harvester_and_battery ~name:"pv" Harvester.small_solar_cell Harvester.office_indoor
+      Battery.cr2032
+  in
+  match Duty_cycle.autonomy_rate profile supply with
+  | Some rate ->
+    (* income 106.25 uW, sleep 5 uW, cycle 100 uJ -> ~1.0125 Hz. *)
+    check_rel "autonomy rate" 1e-6 ((106.25e-6 -. 5e-6) /. 100e-6) rate
+  | None -> Alcotest.fail "autonomy feasible"
+
+let test_sweep_monotone () =
+  let supply = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let rows = Duty_cycle.sweep profile supply ~rates:[ 0.01; 0.1; 1.0 ] in
+  let lifetimes = List.map (fun (_, _, l) -> Time_span.to_seconds l) rows in
+  match lifetimes with
+  | [ a; b; c ] -> Alcotest.(check bool) "lifetime falls with rate" true (a > b && b > c)
+  | _ -> Alcotest.fail "three rows"
+
+(* --- Node_model / Reference_designs --- *)
+
+let test_microwatt_budget_radio_dominated () =
+  let node = Reference_designs.microwatt_node () in
+  let b = Node_model.cycle_breakdown node Reference_designs.microwatt_activation in
+  Alcotest.(check bool) "communication > 60% of cycle" true
+    (Energy.to_joules b.Node_model.communication > 0.6 *. Energy.to_joules b.Node_model.total);
+  Alcotest.(check bool) "total is sum" true
+    (Si.approx_equal
+       (Energy.to_joules b.Node_model.total)
+       (Energy.to_joules
+          (Energy.sum
+             [ b.Node_model.sensing; b.Node_model.conversion; b.Node_model.computation;
+               b.Node_model.communication ])))
+
+let test_microwatt_class_membership () =
+  (* At one activation per 30 s the node averages well under 1 mW. *)
+  let node = Reference_designs.microwatt_node () in
+  let p = Node_model.average_power node Reference_designs.microwatt_activation ~rate:(1.0 /. 30.0) in
+  Alcotest.(check bool) "microwatt class" true (Power.lt p (Power.milliwatts 1.0))
+
+let test_milliwatt_class_membership () =
+  let node = Reference_designs.milliwatt_node () in
+  let p = Node_model.average_power node Reference_designs.milliwatt_activation ~rate:0.2 in
+  Alcotest.(check bool) "milliwatt class" true
+    (Power.ge p (Power.milliwatts 1.0) && Power.lt p (Power.watts 1.0))
+
+let test_watt_node_peak () =
+  let node = Reference_designs.watt_node () in
+  Alcotest.(check bool) "peak above 1 W" true
+    (Power.gt (Node_model.peak_power node) (Power.watts 1.0));
+  Alcotest.(check bool) "mains supports peak" true (Node_model.supports_peak node)
+
+let test_microwatt_peak_exceeds_coin_cell () =
+  (* The radio burst (~16 mW) exceeds a CR2032's 3 mA continuous rating -
+     the classic reason autonomous nodes need a buffer capacitor in front
+     of the coin cell.  The model must expose this, not hide it. *)
+  let node = Reference_designs.microwatt_node () in
+  Alcotest.(check bool) "coin cell alone cannot deliver the burst" false
+    (Node_model.supports_peak node);
+  (* A supercap buffer holds hundreds of such bursts. *)
+  let burst = Node_model.cycle_energy node Reference_designs.microwatt_activation in
+  Alcotest.(check bool) "buffer holds many bursts" true
+    (Storage.burst_capacity Storage.supercap_100mf burst > 100.0)
+
+let test_cycle_duration_positive () =
+  let node = Reference_designs.microwatt_node () in
+  let d = Node_model.cycle_duration node Reference_designs.microwatt_activation in
+  Alcotest.(check bool) "positive, sub-second" true
+    (Time_span.to_seconds d > 0.0 && Time_span.to_seconds d < 1.0)
+
+let test_node_lifetime_years () =
+  let node = Reference_designs.microwatt_node () in
+  let l = Node_model.lifetime node Reference_designs.microwatt_activation ~rate:(1.0 /. 30.0) in
+  (* PV-assisted: autonomous (forever) in the office environment. *)
+  Alcotest.(check bool) "autonomous or years" true
+    (Time_span.is_forever l || Time_span.to_years l > 1.0)
+
+(* --- Lifetime_sim --- *)
+
+let sim_profile =
+  Duty_cycle.make ~cycle_energy:(Energy.millijoules 1.0)
+    ~cycle_duration:(Time_span.milliseconds 20.0) ~sleep_power:(Power.microwatts 50.0)
+
+let test_sim_matches_analytic () =
+  let supply = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let cfg =
+    Lifetime_sim.config ~profile:sim_profile ~supply
+      ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 10.0))
+      ~horizon:(Time_span.days 10.0) ()
+  in
+  let outcome = Lifetime_sim.run cfg ~seed:3 in
+  let analytic = Duty_cycle.average_power sim_profile ~rate:0.1 in
+  check_rel "within 1%" 0.01
+    (Power.to_watts analytic)
+    (Power.to_watts outcome.Lifetime_sim.average_power);
+  Alcotest.(check bool) "survives the horizon" false outcome.Lifetime_sim.died
+
+let test_sim_battery_death () =
+  (* A heavy load on a small budget must die before the horizon, at about
+     E / P. *)
+  let supply = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let heavy =
+    Duty_cycle.make ~cycle_energy:(Energy.millijoules 100.0)
+      ~cycle_duration:(Time_span.milliseconds 20.0) ~sleep_power:(Power.microwatts 50.0)
+  in
+  let cfg =
+    Lifetime_sim.config ~profile:heavy ~supply
+      ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 1.0))
+      ~horizon:(Time_span.days 365.0) ()
+  in
+  let outcome = Lifetime_sim.run cfg ~seed:5 in
+  Alcotest.(check bool) "died" true outcome.Lifetime_sim.died;
+  (* 2376 J at ~100 mJ/s: ~6.6 hours (regulator losses shorten it). *)
+  let hours = Time_span.to_hours outcome.Lifetime_sim.lifetime in
+  Alcotest.(check bool) "dies in hours" true (hours > 2.0 && hours < 10.0)
+
+let test_sim_harvester_extends_life () =
+  let battery_only = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let with_pv =
+    Supply.harvester_and_battery ~name:"pv+b" Harvester.small_solar_cell
+      Harvester.office_indoor Battery.cr2032
+  in
+  let profile =
+    Duty_cycle.make ~cycle_energy:(Energy.millijoules 5.0)
+      ~cycle_duration:(Time_span.milliseconds 20.0) ~sleep_power:(Power.microwatts 50.0)
+  in
+  let run supply =
+    let cfg =
+      Lifetime_sim.config ~profile ~supply
+        ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 10.0))
+        ~horizon:(Time_span.days 400.0) ()
+    in
+    Lifetime_sim.run cfg ~seed:11
+  in
+  let plain = run battery_only and assisted = run with_pv in
+  Alcotest.(check bool) "both die" true
+    (plain.Lifetime_sim.died && assisted.Lifetime_sim.died);
+  Alcotest.(check bool) "harvester extends" true
+    (Time_span.gt assisted.Lifetime_sim.lifetime plain.Lifetime_sim.lifetime)
+
+let test_sim_replications () =
+  let supply = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let cfg =
+    Lifetime_sim.config ~profile:sim_profile ~supply
+      ~activation_traffic:(Amb_workload.Traffic.poisson 0.1)
+      ~horizon:(Time_span.days 2.0) ()
+  in
+  let mean, stderr, outcomes = Lifetime_sim.replicate cfg ~seeds:[ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "five runs" 5 (List.length outcomes);
+  (* Nobody dies in 2 days, so all lifetimes equal the horizon. *)
+  check_rel "mean = horizon" 1e-9 (86400.0 *. 2.0) (Time_span.to_seconds mean);
+  check_float "no variance" 0.0 (Time_span.to_seconds stderr)
+
+let test_sim_deterministic () =
+  let supply = Supply.battery_only ~name:"b" Battery.cr2032 in
+  let cfg =
+    Lifetime_sim.config ~profile:sim_profile ~supply
+      ~activation_traffic:(Amb_workload.Traffic.poisson 0.5)
+      ~horizon:(Time_span.days 1.0) ()
+  in
+  let a = Lifetime_sim.run cfg ~seed:99 and b = Lifetime_sim.run cfg ~seed:99 in
+  Alcotest.(check int) "same activations" a.Lifetime_sim.activations b.Lifetime_sim.activations;
+  check_float "same energy"
+    (Energy.to_joules a.Lifetime_sim.energy_consumed)
+    (Energy.to_joules b.Lifetime_sim.energy_consumed)
+
+let suite =
+  [ ("power_of", `Quick, test_power_of);
+    ("undeclared transition free", `Quick, test_undeclared_transition_free);
+    ("cycle energy", `Quick, test_cycle_energy);
+    ("cycle duration", `Quick, test_cycle_duration_includes_latency);
+    ("average power bounds", `Quick, test_average_power_between_extremes);
+    ("stretch sleep", `Quick, test_stretch_sleep);
+    ("duty average power", `Quick, test_duty_average_power);
+    ("duty rate limit", `Quick, test_duty_rate_limit);
+    ("max rate inverts", `Quick, test_max_rate_inverts_average_power);
+    ("max rate below sleep", `Quick, test_max_rate_below_sleep);
+    ("autonomy rate", `Quick, test_autonomy_rate);
+    ("sweep monotone", `Quick, test_sweep_monotone);
+    ("uW budget radio dominated", `Quick, test_microwatt_budget_radio_dominated);
+    ("uW class membership", `Quick, test_microwatt_class_membership);
+    ("mW class membership", `Quick, test_milliwatt_class_membership);
+    ("W node peak", `Quick, test_watt_node_peak);
+    ("uW peak exceeds coin cell", `Quick, test_microwatt_peak_exceeds_coin_cell);
+    ("cycle duration positive", `Quick, test_cycle_duration_positive);
+    ("node lifetime", `Quick, test_node_lifetime_years);
+    ("sim matches analytic", `Quick, test_sim_matches_analytic);
+    ("sim battery death", `Quick, test_sim_battery_death);
+    ("sim harvester extends life", `Quick, test_sim_harvester_extends_life);
+    ("sim replications", `Quick, test_sim_replications);
+    ("sim deterministic", `Quick, test_sim_deterministic);
+  ]

@@ -1,0 +1,229 @@
+(* Second property-based suite: invariants of the extension subsystems
+   (day profiles, NoC, regulators, variability, packets, scheduling,
+   power-state machines). *)
+
+open Amb_units
+
+let count = 200
+
+(* --- Day_profile --- *)
+
+let profile_gen =
+  QCheck.Gen.(
+    let segment =
+      map2
+        (fun hours scale -> { Amb_energy.Day_profile.duration = Time_span.hours hours; scale })
+        (float_range 0.5 12.0) (float_range 0.0 1.0)
+    in
+    map
+      (fun segments -> Amb_energy.Day_profile.make ~name:"gen" segments)
+      (list_size (int_range 1 6) segment))
+
+let profile_arb = QCheck.make ~print:(fun p -> p.Amb_energy.Day_profile.name) profile_gen
+
+let prop_average_scale_bounded =
+  QCheck.Test.make ~name:"day-profile average scale lies between min and max segment" ~count
+    profile_arb
+    (fun p ->
+      let scales = List.map (fun s -> s.Amb_energy.Day_profile.scale) p.Amb_energy.Day_profile.segments in
+      let lo = List.fold_left Float.min Float.infinity scales in
+      let hi = List.fold_left Float.max 0.0 scales in
+      let avg = Amb_energy.Day_profile.average_scale p in
+      avg >= lo -. 1e-12 && avg <= hi +. 1e-12)
+
+let prop_scale_at_is_a_segment_scale =
+  QCheck.Test.make ~name:"scale_at always returns one of the segment scales" ~count
+    QCheck.(pair profile_arb (float_range 0.0 100.0))
+    (fun (p, hours) ->
+      let v = Amb_energy.Day_profile.scale_at p (Time_span.hours hours) in
+      List.exists
+        (fun s -> s.Amb_energy.Day_profile.scale = v)
+        p.Amb_energy.Day_profile.segments)
+
+let prop_scale_at_periodic =
+  QCheck.Test.make ~name:"scale_at is periodic" ~count
+    QCheck.(pair profile_arb (float_range 0.0 48.0))
+    (fun (p, hours) ->
+      let period_h = Time_span.to_seconds (Amb_energy.Day_profile.period p) /. 3600.0 in
+      let a = Amb_energy.Day_profile.scale_at p (Time_span.hours hours) in
+      let b = Amb_energy.Day_profile.scale_at p (Time_span.hours (hours +. period_h)) in
+      Si.approx_equal ~rel:1e-9 a b || a = b)
+
+(* --- Noc --- *)
+
+let noc_arb =
+  QCheck.map
+    (fun cores -> Amb_tech.Noc.make ~node:Amb_tech.Process_node.n130 ~cores:(1 + cores)
+        ~die_edge_mm:10.0 ())
+    QCheck.(int_bound 200)
+
+let prop_noc_energy_below_bus_times_hops =
+  QCheck.Test.make ~name:"NoC per-bit energy grows with the mesh but stays bounded" ~count
+    noc_arb
+    (fun t ->
+      let noc = Energy.to_joules (Amb_tech.Noc.noc_energy_per_bit t) in
+      let hops = Amb_tech.Noc.mean_hops t in
+      noc > 0.0 && hops >= 1.0
+      && noc <= hops *. 2.0e-12 +. Energy.to_joules (Amb_tech.Noc.bus_energy_per_bit t) *. hops)
+
+let prop_noc_capacity_grows =
+  QCheck.Test.make ~name:"NoC capacity never shrinks when the mesh grows" ~count:50
+    QCheck.(int_range 1 100)
+    (fun cores ->
+      let cap n =
+        Data_rate.to_bits_per_second
+          (Amb_tech.Noc.noc_capacity
+             (Amb_tech.Noc.make ~node:Amb_tech.Process_node.n130 ~cores:n ~die_edge_mm:10.0 ()))
+      in
+      cap (cores * 4) >= cap cores *. 0.99)
+
+(* --- Regulator --- *)
+
+let load_arb = QCheck.map Power.microwatts (QCheck.float_range 0.0 9000.0)
+
+let prop_regulator_efficiency_bounded =
+  QCheck.Test.make ~name:"regulator efficiency lies in [0, peak]" ~count load_arb
+    (fun load ->
+      let reg = Amb_energy.Regulator.micropower_boost in
+      let eff = Amb_energy.Regulator.efficiency_at reg ~load in
+      eff >= 0.0 && eff <= reg.Amb_energy.Regulator.peak_efficiency +. 1e-12)
+
+let prop_regulator_input_exceeds_load =
+  QCheck.Test.make ~name:"regulator input power always exceeds the load" ~count load_arb
+    (fun load ->
+      let reg = Amb_energy.Regulator.micropower_boost in
+      Power.ge (Amb_energy.Regulator.input_power reg ~load) load)
+
+(* --- Variability --- *)
+
+let prop_leakage_multiplier_monotone =
+  QCheck.Test.make ~name:"leakage multiplier is antitone in Vth shift" ~count
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Amb_tech.Variability.leakage_multiplier ~delta_vth_mv:lo
+      >= Amb_tech.Variability.leakage_multiplier ~delta_vth_mv:hi)
+
+let prop_yield_in_unit_interval =
+  QCheck.Test.make ~name:"parametric yield lies in [0,1]" ~count:30
+    QCheck.(pair (int_bound 10_000) (float_range 0.5 3.0))
+    (fun (seed, budget_scale) ->
+      let node = Amb_tech.Process_node.n90 in
+      let spread = Amb_tech.Variability.spread_of node in
+      let budget =
+        Power.scale (budget_scale *. 1e6) node.Amb_tech.Process_node.leakage_per_gate
+      in
+      let y =
+        Amb_tech.Variability.yield_against_budget spread ~dies:200 ~seed ~block_gates:1e6
+          ~budget
+      in
+      y >= 0.0 && y <= 1.0)
+
+(* --- Packet --- *)
+
+let packet_arb =
+  QCheck.map (fun bits -> Amb_radio.Packet.make ~payload_bits:bits ()) (QCheck.float_range 0.0 1e5)
+
+let prop_packet_overhead_bounded =
+  QCheck.Test.make ~name:"packet overhead fraction lies in [0,1]" ~count packet_arb
+    (fun p ->
+      let f = Amb_radio.Packet.overhead_fraction p in
+      f >= 0.0 && f <= 1.0)
+
+let prop_goodput_below_line_rate =
+  QCheck.Test.make ~name:"goodput never exceeds the line rate" ~count packet_arb
+    (fun p ->
+      let rate = Data_rate.kilobits_per_second 250.0 in
+      Data_rate.le (Amb_radio.Packet.goodput p rate) rate)
+
+(* --- Edf_sim --- *)
+
+let taskset_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (map2
+         (fun period_ms u ->
+           Amb_workload.Task.make ~name:"t"
+             ~ops:(u *. 1e7 *. (period_ms /. 1000.0))
+             ~period:(Time_span.milliseconds period_ms) ())
+         (float_range 5.0 50.0) (float_range 0.05 0.4)))
+
+let taskset_arb = QCheck.make ~print:(fun ts -> Printf.sprintf "<%d tasks>" (List.length ts)) taskset_gen
+
+let prop_edf_busy_fraction_bounded =
+  QCheck.Test.make ~name:"simulated busy fraction lies in [0,1] and tracks U when feasible"
+    ~count:60 taskset_arb
+    (fun tasks ->
+      let capacity = Frequency.megahertz 10.0 in
+      let o =
+        Amb_workload.Edf_sim.run ~policy:Amb_workload.Edf_sim.Earliest_deadline_first ~tasks
+          ~capacity ~horizon:(Time_span.seconds 2.0)
+      in
+      let u = Amb_workload.Task.total_utilization tasks ~capacity in
+      let bf = o.Amb_workload.Edf_sim.busy_fraction in
+      bf >= 0.0 && bf <= 1.0 +. 1e-9
+      && (u > 1.0 || Float.abs (bf -. u) < 0.1))
+
+let prop_edf_conservation =
+  QCheck.Test.make ~name:"completed jobs never exceed released jobs" ~count:60 taskset_arb
+    (fun tasks ->
+      let o =
+        Amb_workload.Edf_sim.run ~policy:Amb_workload.Edf_sim.Rate_monotonic ~tasks
+          ~capacity:(Frequency.megahertz 10.0) ~horizon:(Time_span.seconds 1.0)
+      in
+      o.Amb_workload.Edf_sim.jobs_completed <= o.Amb_workload.Edf_sim.jobs_released
+      && o.Amb_workload.Edf_sim.deadline_misses <= o.Amb_workload.Edf_sim.jobs_released)
+
+(* --- State machines: simulation equals closed form --- *)
+
+let machine_arb =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun sleep_uw active_mw wake_uj ->
+          let machine =
+            Amb_node.Power_state.make
+              ~states:
+                [ { Amb_node.Power_state.name = "sleep"; power = Power.microwatts sleep_uw };
+                  { Amb_node.Power_state.name = "active"; power = Power.milliwatts active_mw };
+                ]
+              ~transitions:
+                [ { Amb_node.Power_state.from_state = "sleep"; to_state = "active";
+                    latency = Time_span.milliseconds 1.0;
+                    energy = Energy.microjoules wake_uj };
+                ]
+              ~initial:"sleep"
+          in
+          let schedule =
+            [ { Amb_node.Power_state.state = "sleep"; dwell = Time_span.milliseconds 500.0 };
+              { Amb_node.Power_state.state = "active"; dwell = Time_span.milliseconds 20.0 };
+            ]
+          in
+          (machine, schedule))
+        (float_range 0.1 100.0) (float_range 0.1 100.0) (float_range 0.0 100.0))
+  in
+  QCheck.make ~print:(fun _ -> "<machine>") gen
+
+let prop_state_sim_matches_closed_form =
+  QCheck.Test.make ~name:"state-machine simulation equals the closed-form average power"
+    ~count:60 machine_arb
+    (fun (machine, schedule) ->
+      Amb_node.State_sim.matches_closed_form machine schedule ~cycles:3 ~rel:1e-9)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_average_scale_bounded;
+      prop_scale_at_is_a_segment_scale;
+      prop_scale_at_periodic;
+      prop_noc_energy_below_bus_times_hops;
+      prop_noc_capacity_grows;
+      prop_regulator_efficiency_bounded;
+      prop_regulator_input_exceeds_load;
+      prop_leakage_multiplier_monotone;
+      prop_yield_in_unit_interval;
+      prop_packet_overhead_bounded;
+      prop_goodput_below_line_rate;
+      prop_edf_busy_fraction_bounded;
+      prop_edf_conservation;
+      prop_state_sim_matches_closed_form;
+    ]

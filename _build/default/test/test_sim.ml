@@ -1,0 +1,283 @@
+(* Unit tests for Amb_sim: event queue, engine, RNG, distributions,
+   statistics, trace. *)
+
+open Amb_units
+open Amb_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Event_queue --- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  let order = List.map snd (Event_queue.drain q) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1.0 "first";
+  Event_queue.push q ~time:1.0 "second";
+  Event_queue.push q ~time:1.0 "third";
+  let order = List.map snd (Event_queue.drain q) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ] order
+
+let test_queue_peek_pop () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty peek" true (Event_queue.peek q = None);
+  Event_queue.push q ~time:5.0 42;
+  (match Event_queue.peek q with
+  | Some (t, v) ->
+    check_float "peek time" 5.0 t;
+    Alcotest.(check int) "peek value" 42 v
+  | None -> Alcotest.fail "expected entry");
+  Alcotest.(check int) "length" 1 (Event_queue.length q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "empty after pop" true (Event_queue.is_empty q)
+
+let test_queue_large_heap () =
+  let q = Event_queue.create () in
+  let rng = Rng.create 123 in
+  for _ = 1 to 1000 do
+    Event_queue.push q ~time:(Rng.float rng) ()
+  done;
+  let times = List.map fst (Event_queue.drain q) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "1000 events sorted" true (sorted times);
+  Alcotest.(check int) "all drained" 1000 (List.length times)
+
+let test_queue_nan_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.push: NaN time") (fun () ->
+      Event_queue.push q ~time:Float.nan ())
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~delay:(Time_span.seconds 2.0) (fun _ -> log := "b" :: !log);
+  Engine.schedule engine ~delay:(Time_span.seconds 1.0) (fun _ -> log := "a" :: !log);
+  let final = Engine.run engine in
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log);
+  check_float "final time" 2.0 (Time_span.to_seconds final);
+  Alcotest.(check int) "count" 2 (Engine.event_count engine)
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule engine ~delay:(Time_span.seconds 1.0) (fun _ -> incr fired);
+  Engine.schedule engine ~delay:(Time_span.seconds 10.0) (fun _ -> incr fired);
+  let final = Engine.run ~until:(Time_span.seconds 5.0) engine in
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock at horizon" 5.0 (Time_span.to_seconds final)
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let hits = ref [] in
+  Engine.schedule engine ~delay:(Time_span.seconds 1.0) (fun e ->
+      hits := Time_span.to_seconds (Engine.now e) :: !hits;
+      Engine.schedule e ~delay:(Time_span.seconds 1.5) (fun e ->
+          hits := Time_span.to_seconds (Engine.now e) :: !hits));
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-9))) "nested times" [ 1.0; 2.5 ] (List.rev !hits)
+
+let test_engine_stop () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule engine ~delay:(Time_span.seconds 1.0) (fun e ->
+      incr fired;
+      Engine.stop e);
+  Engine.schedule engine ~delay:(Time_span.seconds 2.0) (fun _ -> incr fired);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "stopped after first" 1 !fired
+
+let test_engine_every () =
+  let engine = Engine.create () in
+  let ticks = ref 0 in
+  Engine.every engine ~period:(Time_span.seconds 1.0) (fun _ ->
+      incr ticks;
+      !ticks < 5);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "five ticks then stop" 5 !ticks
+
+let test_engine_past_rejected () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~delay:(Time_span.seconds 5.0) (fun e ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+        (fun () -> Engine.schedule_at e (Time_span.seconds 1.0) (fun _ -> ())));
+  ignore (Engine.run engine)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng 2.0 5.0 in
+    Alcotest.(check bool) "in range" true (v >= 2.0 && v < 5.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 13 in
+  let w = Stat.welford () in
+  for _ = 1 to 20_000 do
+    Stat.add w (Rng.exponential rng ~mean:3.0)
+  done;
+  Alcotest.(check bool) "mean near 3" true (Float.abs (Stat.mean w -. 3.0) < 0.1)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let w = Stat.welford () in
+  for _ = 1 to 20_000 do
+    Stat.add w (Rng.gaussian rng ~mu:10.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean near 10" true (Float.abs (Stat.mean w -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (Stat.stddev w -. 2.0) < 0.1)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 19 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (Float.of_int !hits /. 1e4 -. 0.3) < 0.02)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "0..6" true (v >= 0 && v < 7)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 29 in
+  let child = Rng.split parent in
+  let a = Rng.float parent and b = Rng.float child in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Stdlib.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* --- Distribution --- *)
+
+let test_distribution_means () =
+  check_float "constant" 5.0 (Distribution.mean (Distribution.constant 5.0));
+  check_float "uniform" 3.5 (Distribution.mean (Distribution.uniform 2.0 5.0));
+  check_float "exponential" 2.0 (Distribution.mean (Distribution.exponential 2.0));
+  check_float "bimodal" 2.8
+    (Distribution.mean (Distribution.bimodal ~p_first:0.4 ~first:1.0 ~second:4.0))
+
+let test_distribution_sampling_matches_mean () =
+  let rng = Rng.create 37 in
+  let d = Distribution.uniform 0.0 10.0 in
+  let w = Stat.welford () in
+  for _ = 1 to 20_000 do
+    Stat.add w (Distribution.sample rng d)
+  done;
+  Alcotest.(check bool) "sample mean" true (Float.abs (Stat.mean w -. 5.0) < 0.1)
+
+(* --- Stat --- *)
+
+let test_welford () =
+  let w = Stat.welford () in
+  List.iter (Stat.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "mean" 5.0 (Stat.mean w);
+  Alcotest.(check (float 1e-9)) "sample variance" (32.0 /. 7.0) (Stat.variance w);
+  Alcotest.(check int) "count" 8 (Stat.count w)
+
+let test_time_weighted () =
+  let tw = Stat.time_weighted () in
+  Stat.update tw ~time:0.0 ~value:1.0;
+  Stat.update tw ~time:10.0 ~value:3.0;
+  Stat.close tw ~time:20.0;
+  (* 1.0 for 10 s then 3.0 for 10 s -> average 2.0. *)
+  check_float "time average" 2.0 (Stat.time_average tw);
+  check_float "integral" 40.0 (Stat.integral tw)
+
+let test_time_weighted_backwards () =
+  let tw = Stat.time_weighted () in
+  Stat.update tw ~time:5.0 ~value:1.0;
+  Alcotest.check_raises "backwards" (Invalid_argument "Stat.update: time went backwards")
+    (fun () -> Stat.update tw ~time:4.0 ~value:2.0)
+
+let test_histogram () =
+  let h = Stat.histogram ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stat.observe h) [ 0.5; 1.5; 1.6; 9.9; 15.0; -3.0 ];
+  Alcotest.(check int) "bin 0 gets 0.5 and the underflow" 2 (Stat.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Stat.bin_count h 1);
+  Alcotest.(check int) "last bin gets 9.9 and overflow" 2 (Stat.bin_count h 9);
+  Alcotest.(check int) "total" 6 (Stat.total_count h);
+  check_float "fraction" (2.0 /. 6.0) (Stat.bin_fraction h 1)
+
+let test_histogram_quantile () =
+  let h = Stat.histogram ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for i = 1 to 100 do
+    Stat.observe h (Float.of_int i -. 0.5)
+  done;
+  let median = Stat.quantile_estimate h 0.5 in
+  Alcotest.(check bool) "median near 50" true (Float.abs (median -. 50.0) < 2.0)
+
+(* --- Trace --- *)
+
+let test_trace_bounded () =
+  let t = Trace.create ~capacity:3 () in
+  List.iteri (fun i label -> Trace.record t ~time:(Float.of_int i) label)
+    [ "a"; "b"; "c"; "d"; "e" ];
+  Alcotest.(check int) "capacity respected" 3 (Trace.length t);
+  Alcotest.(check int) "recorded all" 5 (Trace.recorded t);
+  Alcotest.(check int) "dropped oldest" 2 (Trace.dropped t);
+  Alcotest.(check (list string)) "keeps newest" [ "c"; "d"; "e" ] (Trace.labels t)
+
+let test_trace_count_matching () =
+  let t = Trace.create () in
+  Trace.record t ~time:0.0 "tx:1";
+  Trace.record t ~time:1.0 "rx:1";
+  Trace.record t ~time:2.0 "tx:2";
+  Alcotest.(check int) "prefix count" 2 (Trace.count_matching t "tx:")
+
+let suite =
+  [ ("queue ordering", `Quick, test_queue_ordering);
+    ("queue FIFO ties", `Quick, test_queue_fifo_ties);
+    ("queue peek/pop", `Quick, test_queue_peek_pop);
+    ("queue 1000 events", `Quick, test_queue_large_heap);
+    ("queue rejects NaN", `Quick, test_queue_nan_rejected);
+    ("engine order", `Quick, test_engine_runs_in_order);
+    ("engine until", `Quick, test_engine_until);
+    ("engine nested", `Quick, test_engine_nested_scheduling);
+    ("engine stop", `Quick, test_engine_stop);
+    ("engine every", `Quick, test_engine_every);
+    ("engine rejects past", `Quick, test_engine_past_rejected);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng uniform range", `Quick, test_rng_uniform_range);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng gaussian moments", `Quick, test_rng_gaussian_moments);
+    ("rng bernoulli rate", `Quick, test_rng_bernoulli_rate);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("rng shuffle", `Quick, test_rng_shuffle_permutation);
+    ("distribution means", `Quick, test_distribution_means);
+    ("distribution sampling", `Quick, test_distribution_sampling_matches_mean);
+    ("welford", `Quick, test_welford);
+    ("time-weighted average", `Quick, test_time_weighted);
+    ("time-weighted backwards", `Quick, test_time_weighted_backwards);
+    ("histogram", `Quick, test_histogram);
+    ("histogram quantile", `Quick, test_histogram_quantile);
+    ("trace bounded", `Quick, test_trace_bounded);
+    ("trace count matching", `Quick, test_trace_count_matching);
+  ]

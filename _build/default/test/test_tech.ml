@@ -1,0 +1,205 @@
+(* Unit tests for Amb_tech: process nodes, scaling laws, logic/memory
+   energy, SoC roll-up. *)
+
+open Amb_units
+open Amb_tech
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Process_node --- *)
+
+let test_catalogue_ordering () =
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  List.iter
+    (fun ((a : Process_node.t), (b : Process_node.t)) ->
+      Alcotest.(check bool) "feature shrinks" true (a.feature_nm > b.feature_nm);
+      Alcotest.(check bool) "year advances" true (a.year <= b.year);
+      Alcotest.(check bool) "gate energy falls" true
+        (Energy.gt a.gate_energy b.gate_energy);
+      Alcotest.(check bool) "gate delay falls" true (a.gate_delay_ps > b.gate_delay_ps);
+      Alcotest.(check bool) "leakage explodes" true
+        (Power.lt a.leakage_per_gate b.leakage_per_gate);
+      Alcotest.(check bool) "density grows" true
+        (a.density_kgates_per_mm2 < b.density_kgates_per_mm2))
+    (pairs Process_node.catalogue)
+
+let test_find () =
+  (match Process_node.find "130nm" with
+  | Some n -> Alcotest.(check string) "found" "130nm" n.Process_node.name
+  | None -> Alcotest.fail "130nm missing");
+  Alcotest.(check bool) "absent" true (Process_node.find "13nm" = None)
+
+let test_contemporary () =
+  Alcotest.(check string) "2003 node" "130nm" Process_node.contemporary.Process_node.name
+
+let test_max_frequency () =
+  (* 25 FO4 of 27 ps at 130 nm -> ~1.5 GHz. *)
+  let f = Frequency.to_hertz (Process_node.max_frequency Process_node.n130) in
+  Alcotest.(check bool) "order of magnitude" true (f > 1e9 && f < 2e9)
+
+(* --- Scaling --- *)
+
+let test_scaling_factor () =
+  check_float "factor" 2.0 (Scaling.factor ~from_nm:260.0 ~to_nm:130.0);
+  Alcotest.check_raises "bad" (Invalid_argument "Scaling.factor: non-positive feature size")
+    (fun () -> ignore (Scaling.factor ~from_nm:0.0 ~to_nm:130.0))
+
+let test_dennard_energy () =
+  let e = Energy.picojoules 8.0 in
+  check_float "s^3 law" 1e-12 (Energy.to_joules (Scaling.scale_energy Scaling.Dennard e 2.0))
+
+let test_leakage_aware_energy () =
+  let e = Energy.picojoules 8.0 in
+  check_float "s^2 law" 2e-12
+    (Energy.to_joules (Scaling.scale_energy Scaling.Leakage_aware e 2.0))
+
+let test_scale_leakage () =
+  let p = Power.nanowatts 1.0 in
+  check_float "Dennard flat" 1e-9 (Power.to_watts (Scaling.scale_leakage Scaling.Dennard p 2.0));
+  (* Two generations (s = 2) -> 8^2 = 64x. *)
+  check_float "leakage 64x over two generations" 64e-9
+    (Power.to_watts (Scaling.scale_leakage Scaling.Leakage_aware p 2.0))
+
+let test_project () =
+  let projected = Scaling.project Scaling.Dennard Process_node.n130 ~to_nm:65.0 in
+  check_float "feature" 65.0 projected.Process_node.feature_nm;
+  check_float "density x4" (4.0 *. Process_node.n130.Process_node.density_kgates_per_mm2)
+    projected.Process_node.density_kgates_per_mm2;
+  Alcotest.(check bool) "delay halves" true
+    (Si.approx_equal projected.Process_node.gate_delay_ps
+       (Process_node.n130.Process_node.gate_delay_ps /. 2.0))
+
+let test_doubling_period () =
+  let period = Scaling.efficiency_doubling_period Process_node.catalogue in
+  let years = Time_span.to_years period in
+  (* Gene's-law territory: between 1 and 3 years. *)
+  Alcotest.(check bool) "in Gene's-law range" true (years > 1.0 && years < 3.0)
+
+let test_years_to_close () =
+  let doubling_period = Time_span.years 1.5 in
+  check_float "gap of 2 = one period" 1.5
+    (Time_span.to_years (Scaling.years_to_close ~doubling_period ~gap:2.0));
+  check_float "gap of 4 = two periods" 3.0
+    (Time_span.to_years (Scaling.years_to_close ~doubling_period ~gap:4.0));
+  check_float "closed gap" 0.0 (Time_span.to_years (Scaling.years_to_close ~doubling_period ~gap:0.5))
+
+(* --- Logic --- *)
+
+let block_100k = Logic.block ~name:"test" ~gates:100_000.0 ~activity:0.2
+
+let test_logic_dynamic_power () =
+  (* P = a*N*E*f = 0.2 * 1e5 * 5 fJ * 100 MHz = 10 mW at 130 nm. *)
+  let p = Logic.dynamic_power Process_node.n130 block_100k (Frequency.megahertz 100.0) in
+  check_float "dynamic" 10e-3 (Power.to_watts p)
+
+let test_logic_leakage () =
+  (* 1e5 gates * 40 pW = 4 uW at 130 nm. *)
+  let p = Logic.leakage_power Process_node.n130 block_100k in
+  check_float "leakage" 4e-6 (Power.to_watts p)
+
+let test_logic_total_and_fraction () =
+  let f = Frequency.megahertz 100.0 in
+  let total = Logic.total_power Process_node.n130 block_100k f in
+  check_float "total" (10e-3 +. 4e-6) (Power.to_watts total);
+  let frac = Logic.leakage_fraction Process_node.n130 block_100k f in
+  Alcotest.(check bool) "small leak fraction at 130nm" true (frac < 0.01);
+  let frac65 = Logic.leakage_fraction Process_node.n65 block_100k f in
+  Alcotest.(check bool) "leakage fraction grows with scaling" true (frac65 > frac)
+
+let test_logic_area () =
+  (* 100 kgates at 160 kgates/mm^2 -> 0.625 mm^2. *)
+  check_float "area" 0.625 (Area.to_square_millimetres (Logic.area Process_node.n130 block_100k))
+
+let test_frequency_for_power () =
+  let budget = Power.milliwatts 5.0 in
+  (match Logic.frequency_for_power Process_node.n130 block_100k budget with
+  | None -> Alcotest.fail "should be feasible"
+  | Some f ->
+    let back = Logic.total_power Process_node.n130 block_100k f in
+    Alcotest.(check bool) "budget met" true
+      (Si.approx_equal ~rel:1e-6 (Power.to_watts back) (Power.to_watts budget)));
+  (* A budget below leakage is infeasible. *)
+  Alcotest.(check bool) "below leakage" true
+    (Logic.frequency_for_power Process_node.n65 block_100k (Power.nanowatts 1.0) = None)
+
+let test_logic_validation () =
+  Alcotest.check_raises "activity" (Invalid_argument "Logic.block: activity outside [0,1]")
+    (fun () -> ignore (Logic.block ~name:"x" ~gates:1.0 ~activity:1.5))
+
+(* --- Memory --- *)
+
+let test_sram_energy_scales_with_size () =
+  let sram bits = Memory.make ~name:"s" ~kind:Memory.Sram ~bits ~node:Process_node.n130 in
+  let small = Memory.access_energy (sram 32_768.0) in
+  let large = Memory.access_energy (sram (4.0 *. 32_768.0)) in
+  (* sqrt law: 4x bits -> 2x energy. *)
+  Alcotest.(check bool) "sqrt scaling" true
+    (Si.approx_equal ~rel:1e-9 (2.0 *. Energy.to_joules small) (Energy.to_joules large));
+  check_float "anchor at 130nm" 10e-12 (Energy.to_joules small)
+
+let test_dram_vs_sram () =
+  let sram = Memory.make ~name:"s" ~kind:Memory.Sram ~bits:262_144.0 ~node:Process_node.n130 in
+  let dram = Memory.make ~name:"d" ~kind:Memory.Dram_offchip ~bits:1e9 ~node:Process_node.n130 in
+  Alcotest.(check bool) "off-chip orders of magnitude dearer" true
+    (Energy.to_joules (Memory.access_energy dram) > 50.0 *. Energy.to_joules (Memory.access_energy sram));
+  Alcotest.(check bool) "dram leak charged to board" true
+    (Power.is_zero (Memory.leakage_power dram))
+
+let test_memory_access_power () =
+  let sram = Memory.make ~name:"s" ~kind:Memory.Sram ~bits:32_768.0 ~node:Process_node.n130 in
+  let p = Memory.access_power sram (Frequency.megahertz 10.0) in
+  check_float "rate * energy" (10e-12 *. 10e6) (Power.to_watts p)
+
+(* --- Soc --- *)
+
+let soc node =
+  Soc.make ~name:"t" ~node ~clock:(Frequency.megahertz 100.0)
+    ~logic_blocks:[ Logic.block ~name:"core" ~gates:500_000.0 ~activity:0.15 ]
+    ~memories:[ Memory.make ~name:"sram" ~kind:Memory.Sram ~bits:(256.0 *. 1024.0 *. 8.0) ~node ]
+    ~offchip_accesses_per_s:1e6
+
+let test_soc_breakdown_adds_up () =
+  let b = Soc.breakdown (soc Process_node.n130) in
+  let parts =
+    Power.sum [ b.Soc.dynamic; b.Soc.leakage; b.Soc.onchip_memory; b.Soc.offchip_memory ]
+  in
+  Alcotest.(check bool) "total = sum of parts" true
+    (Si.approx_equal (Power.to_watts parts) (Power.to_watts b.Soc.total))
+
+let test_soc_scaling_trend () =
+  let total node = Power.to_watts (Soc.total_power (Soc.retarget (soc Process_node.n350) node)) in
+  Alcotest.(check bool) "dynamic-dominated era: scaling reduces power" true
+    (total Process_node.n350 > total Process_node.n130);
+  let leak node = Power.to_watts (Soc.leakage_power (Soc.retarget (soc Process_node.n350) node)) in
+  Alcotest.(check bool) "leakage rises across generations" true
+    (leak Process_node.n65 > leak Process_node.n180)
+
+let test_soc_power_density_finite () =
+  let d = Soc.power_density (soc Process_node.n130) in
+  Alcotest.(check bool) "sane density" true (d > 0.01 && d < 100.0)
+
+let suite =
+  [ ("catalogue monotone trends", `Quick, test_catalogue_ordering);
+    ("find node", `Quick, test_find);
+    ("contemporary node", `Quick, test_contemporary);
+    ("max frequency", `Quick, test_max_frequency);
+    ("scaling factor", `Quick, test_scaling_factor);
+    ("Dennard energy s^3", `Quick, test_dennard_energy);
+    ("leakage-aware energy s^2", `Quick, test_leakage_aware_energy);
+    ("leakage scaling", `Quick, test_scale_leakage);
+    ("node projection", `Quick, test_project);
+    ("efficiency doubling period", `Quick, test_doubling_period);
+    ("years to close gap", `Quick, test_years_to_close);
+    ("logic dynamic power", `Quick, test_logic_dynamic_power);
+    ("logic leakage", `Quick, test_logic_leakage);
+    ("logic total and leak fraction", `Quick, test_logic_total_and_fraction);
+    ("logic area", `Quick, test_logic_area);
+    ("frequency for power budget", `Quick, test_frequency_for_power);
+    ("logic validation", `Quick, test_logic_validation);
+    ("sram sqrt-size energy", `Quick, test_sram_energy_scales_with_size);
+    ("dram vs sram", `Quick, test_dram_vs_sram);
+    ("memory access power", `Quick, test_memory_access_power);
+    ("soc breakdown adds up", `Quick, test_soc_breakdown_adds_up);
+    ("soc scaling trend", `Quick, test_soc_scaling_trend);
+    ("soc power density", `Quick, test_soc_power_density_finite);
+  ]

@@ -1,0 +1,175 @@
+(* Unit tests for Amb_units: quantity algebra, conversions, formatting,
+   decibel math. *)
+
+open Amb_units
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_rel ?(rel = 1e-9) msg expected actual =
+  if not (Si.approx_equal ~rel expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- Si --- *)
+
+let test_si_format () =
+  Alcotest.(check string) "milliwatts" "3.30 mW" (Si.format ~unit:"W" 3.3e-3);
+  Alcotest.(check string) "microwatts" "150 uW" (Si.format ~unit:"W" 150e-6);
+  Alcotest.(check string) "watts" "2.50 W" (Si.format ~unit:"W" 2.5);
+  Alcotest.(check string) "kilo" "1.20 kW" (Si.format ~unit:"W" 1200.0);
+  Alcotest.(check string) "zero" "0 W" (Si.format ~unit:"W" 0.0);
+  Alcotest.(check string) "negative" "-42.0 mJ" (Si.format ~unit:"J" (-0.042));
+  Alcotest.(check string) "giga" "4.00 Gbit/s" (Si.format ~unit:"bit/s" 4e9)
+
+let test_si_round_to () =
+  check_float "3 digits" 1.23 (Si.round_to ~digits:3 1.23456);
+  check_float "large" 12300.0 (Si.round_to ~digits:3 12345.0);
+  check_float "small" 0.00123 (Si.round_to ~digits:3 0.0012345);
+  check_float "zero" 0.0 (Si.round_to ~digits:3 0.0)
+
+let test_si_approx_equal () =
+  Alcotest.(check bool) "equal" true (Si.approx_equal 1.0 1.0);
+  Alcotest.(check bool) "close" true (Si.approx_equal ~rel:1e-6 1.0 (1.0 +. 1e-9));
+  Alcotest.(check bool) "far" false (Si.approx_equal ~rel:1e-6 1.0 1.1);
+  Alcotest.(check bool) "both zero" true (Si.approx_equal 0.0 0.0)
+
+(* --- Power --- *)
+
+let test_power_conversions () =
+  check_float "mW" 0.005 (Power.to_watts (Power.milliwatts 5.0));
+  check_float "uW" 5e-6 (Power.to_watts (Power.microwatts 5.0));
+  check_float "nW" 5e-9 (Power.to_watts (Power.nanowatts 5.0));
+  check_float "to mW" 5000.0 (Power.to_milliwatts (Power.watts 5.0));
+  check_float "to uW" 2.5 (Power.to_microwatts (Power.microwatts 2.5))
+
+let test_power_arithmetic () =
+  let a = Power.milliwatts 3.0 and b = Power.milliwatts 2.0 in
+  check_float "add" 5e-3 (Power.to_watts (Power.add a b));
+  check_float "sub" 1e-3 (Power.to_watts (Power.sub a b));
+  check_float "scale" 6e-3 (Power.to_watts (Power.scale 2.0 a));
+  check_float "sum" 5e-3 (Power.to_watts (Power.sum [ a; b ]));
+  Alcotest.(check bool) "lt" true (Power.lt b a);
+  Alcotest.(check bool) "ge" true (Power.ge a b)
+
+let test_power_weighted_average () =
+  let avg =
+    Power.weighted_average [ (Power.watts 1.0, 1.0); (Power.watts 3.0, 3.0) ]
+  in
+  check_float "weighted" 2.5 (Power.to_watts avg);
+  Alcotest.check_raises "empty" (Invalid_argument "Power.weighted_average: empty") (fun () ->
+      ignore (Power.weighted_average []))
+
+let test_power_div_zero () =
+  Alcotest.check_raises "div by zero" (Invalid_argument "Quantity(W).div: zero divisor")
+    (fun () -> ignore (Power.div (Power.watts 1.0) 0.0))
+
+(* --- Energy / Time --- *)
+
+let test_energy_conversions () =
+  check_float "Wh" 3600.0 (Energy.to_joules (Energy.watt_hours 1.0));
+  check_float "mWh" 3.6 (Energy.to_joules (Energy.milliwatt_hours 1.0));
+  check_float "pJ" 1e-12 (Energy.to_joules (Energy.picojoules 1.0));
+  check_float "round trip" 2.0 (Energy.to_watt_hours (Energy.watt_hours 2.0))
+
+let test_energy_power_time () =
+  let e = Energy.of_power_time (Power.milliwatts 10.0) (Time_span.seconds 100.0) in
+  check_float "P*t" 1.0 (Energy.to_joules e);
+  let p = Energy.average_power (Energy.joules 1.0) (Time_span.seconds 100.0) in
+  check_float "E/t" 0.01 (Power.to_watts p);
+  let t = Energy.duration_at (Energy.joules 1.0) (Power.milliwatts 10.0) in
+  check_float "E/P" 100.0 (Time_span.to_seconds t);
+  Alcotest.(check bool) "zero power lasts forever" true
+    (Time_span.is_forever (Energy.duration_at (Energy.joules 1.0) Power.zero))
+
+let test_time_conversions () =
+  check_float "hour" 3600.0 (Time_span.to_seconds (Time_span.hours 1.0));
+  check_float "day" 86400.0 (Time_span.to_seconds (Time_span.days 1.0));
+  check_float "year" (86400.0 *. 365.25) (Time_span.to_seconds (Time_span.years 1.0));
+  check_float "ms" 1e-3 (Time_span.to_seconds (Time_span.milliseconds 1.0));
+  check_float "to days" 2.0 (Time_span.to_days (Time_span.days 2.0));
+  check_float "to years" 0.5 (Time_span.to_years (Time_span.years 0.5))
+
+let test_time_human () =
+  Alcotest.(check string) "seconds" "30.0 s" (Time_span.to_human_string (Time_span.seconds 30.0));
+  Alcotest.(check string) "minutes" "2.0 min" (Time_span.to_human_string (Time_span.minutes 2.0));
+  Alcotest.(check string) "hours" "5.0 h" (Time_span.to_human_string (Time_span.hours 5.0));
+  Alcotest.(check string) "days" "3.0 days" (Time_span.to_human_string (Time_span.days 3.0));
+  Alcotest.(check string) "years" "2.00 years" (Time_span.to_human_string (Time_span.years 2.0));
+  Alcotest.(check string) "forever" "forever" (Time_span.to_human_string Time_span.forever)
+
+(* --- Frequency / Data_rate --- *)
+
+let test_frequency () =
+  check_float "MHz" 1e6 (Frequency.to_hertz (Frequency.megahertz 1.0));
+  check_float "period" 1e-6 (Time_span.to_seconds (Frequency.period (Frequency.megahertz 1.0)));
+  check_float "of_period" 100.0
+    (Frequency.to_hertz (Frequency.of_period (Time_span.milliseconds 10.0)));
+  check_float "cycles" 2e6 (Frequency.cycles (Frequency.megahertz 1.0) (Time_span.seconds 2.0));
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Frequency.period: non-positive frequency") (fun () ->
+      ignore (Frequency.period Frequency.zero))
+
+let test_data_rate () =
+  check_float "kbps" 1e3 (Data_rate.to_bits_per_second (Data_rate.kilobits_per_second 1.0));
+  check_float "transfer time" 1.0
+    (Time_span.to_seconds (Data_rate.transfer_time (Data_rate.kilobits_per_second 1.0) 1000.0));
+  check_float "bits in" 2000.0
+    (Data_rate.bits_in (Data_rate.kilobits_per_second 1.0) (Time_span.seconds 2.0));
+  check_float "energy per bit" 1e-6
+    (Energy.to_joules
+       (Data_rate.energy_per_bit (Power.milliwatts 1.0) (Data_rate.kilobits_per_second 1.0)));
+  check_float "bits per joule" 1e9
+    (Data_rate.bits_per_joule (Power.milliwatts 1.0) (Data_rate.megabits_per_second 1.0))
+
+(* --- Voltage / Charge / Area --- *)
+
+let test_voltage () =
+  check_float "mV" 1.8 (Voltage.to_volts (Voltage.millivolts 1800.0));
+  check_float "squared" 4.0 (Voltage.squared (Voltage.volts 2.0))
+
+let test_charge () =
+  check_float "mAh" 3.6 (Charge.to_coulombs (Charge.milliamp_hours 1.0));
+  check_float "round trip" 220.0 (Charge.to_milliamp_hours (Charge.milliamp_hours 220.0));
+  check_float "energy at 3V" (3.0 *. 3.6)
+    (Energy.to_joules (Charge.energy_at (Charge.milliamp_hours 1.0) (Voltage.volts 3.0)));
+  check_float "current draw" 1.0
+    (Charge.current_draw (Charge.coulombs 10.0) (Time_span.seconds 10.0))
+
+let test_area () =
+  check_float "cm2" 1e-4 (Area.to_square_metres (Area.square_centimetres 1.0));
+  check_float "mm2" 1e-6 (Area.to_square_metres (Area.square_millimetres 1.0));
+  check_float "density" 100.0
+    (Area.power_density (Power.watts 1.0) (Area.square_centimetres 100.0));
+  check_float "power at density" 0.005
+    (Power.to_watts (Area.power_at_density 10.0 (Area.square_centimetres 5.0)))
+
+(* --- Decibel --- *)
+
+let test_decibel () =
+  check_float "0 dB" 0.0 (Decibel.of_ratio 1.0);
+  check_float "10 dB" 10.0 (Decibel.of_ratio 10.0);
+  check_rel "3 dB" 2.0 (Decibel.to_ratio 3.0103) ~rel:1e-4;
+  check_float "0 dBm = 1 mW" 1e-3 (Power.to_watts (Decibel.power_of_dbm 0.0));
+  check_rel "30 dBm = 1 W" 1.0 (Power.to_watts (Decibel.power_of_dbm 30.0)) ~rel:1e-9;
+  check_rel "round trip" 17.0 (Decibel.dbm_of_power (Decibel.power_of_dbm 17.0)) ~rel:1e-9;
+  (* Noise floor of a 1 MHz, 10 dB NF receiver: about -104 dBm. *)
+  let nf = Decibel.noise_floor_dbm ~bandwidth_hz:1e6 ~noise_figure_db:10.0 in
+  Alcotest.(check bool) "noise floor near -104 dBm" true (Float.abs (nf +. 104.0) < 0.5)
+
+let suite =
+  [ ("si format", `Quick, test_si_format);
+    ("si round_to", `Quick, test_si_round_to);
+    ("si approx_equal", `Quick, test_si_approx_equal);
+    ("power conversions", `Quick, test_power_conversions);
+    ("power arithmetic", `Quick, test_power_arithmetic);
+    ("power weighted average", `Quick, test_power_weighted_average);
+    ("power div zero", `Quick, test_power_div_zero);
+    ("energy conversions", `Quick, test_energy_conversions);
+    ("energy power time", `Quick, test_energy_power_time);
+    ("time conversions", `Quick, test_time_conversions);
+    ("time human format", `Quick, test_time_human);
+    ("frequency", `Quick, test_frequency);
+    ("data rate", `Quick, test_data_rate);
+    ("voltage", `Quick, test_voltage);
+    ("charge", `Quick, test_charge);
+    ("area", `Quick, test_area);
+    ("decibel", `Quick, test_decibel);
+  ]

@@ -1,0 +1,192 @@
+(* Unit tests for Amb_workload: tasks, DAGs, schedulability, DVFS slack,
+   traffic processes, scenarios. *)
+
+open Amb_units
+open Amb_circuit
+open Amb_workload
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Task --- *)
+
+let audio_task = Task.make ~name:"audio" ~ops:(1e6 *. 0.026) ~period:(Time_span.milliseconds 26.0) ()
+
+let test_task_rate () =
+  check_float "1 Mops/s" 1e6 (Frequency.to_hertz (Task.rate audio_task))
+
+let test_task_utilization () =
+  check_float "10% of 10 Mops/s" 0.1
+    (Task.utilization audio_task ~capacity:(Frequency.megahertz 10.0))
+
+let test_task_execution_time () =
+  check_float "2.6 ms at 10 Mops" 2.6e-3
+    (Time_span.to_seconds (Task.execution_time audio_task ~capacity:(Frequency.megahertz 10.0)))
+
+let test_task_totals () =
+  let t2 = Task.make ~name:"t2" ~ops:5e4 ~period:(Time_span.milliseconds 100.0) () in
+  check_float "aggregate rate" 1.5e6 (Frequency.to_hertz (Task.total_rate [ audio_task; t2 ]));
+  check_float "aggregate utilization" 0.15
+    (Task.total_utilization [ audio_task; t2 ] ~capacity:(Frequency.megahertz 10.0))
+
+let test_task_validation () =
+  Alcotest.check_raises "period" (Invalid_argument "Task.make: non-positive period") (fun () ->
+      ignore (Task.make ~name:"x" ~ops:1.0 ~period:Time_span.zero ()))
+
+(* --- Task_graph --- *)
+
+let test_topological_order () =
+  let order = Task_graph.topological_order Task_graph.audio_decoder in
+  Alcotest.(check int) "all nodes" 6 (List.length order);
+  (* huffman (0) must precede synthesis (5). *)
+  let pos x = List.mapi (fun i v -> (v, i)) order |> List.assoc x in
+  Alcotest.(check bool) "0 before 5" true (pos 0 < pos 5);
+  Alcotest.(check bool) "2 before 3 and 4" true (pos 2 < pos 3 && pos 2 < pos 4)
+
+let test_cycle_detected () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Task_graph.topological_order: cyclic graph")
+    (fun () ->
+      let g =
+        Task_graph.make
+          ~nodes:[| { Task_graph.name = "a"; ops = 1.0 }; { Task_graph.name = "b"; ops = 1.0 } |]
+          ~edges:[ (0, 1); (1, 0) ]
+      in
+      ignore (Task_graph.topological_order g))
+
+let test_critical_path () =
+  (* audio_decoder: 0->1->2->{3|4}->5: 80k+60k+40k+150k+120k = 450k. *)
+  check_float "critical path" 450_000.0 (Task_graph.critical_path_ops Task_graph.audio_decoder)
+
+let test_parallelism () =
+  let p = Task_graph.parallelism Task_graph.audio_decoder in
+  check_float "total/cp" (600_000.0 /. 450_000.0) p;
+  Alcotest.(check bool) "at least 1" true (p >= 1.0)
+
+let test_makespan_and_energy () =
+  let capacity = Frequency.megahertz 10.0 in
+  check_float "makespan" 0.06
+    (Time_span.to_seconds (Task_graph.makespan Task_graph.audio_decoder ~capacity));
+  let arm = Processor.arm7_class in
+  let e = Task_graph.energy_on Task_graph.audio_decoder arm (Processor.vdd_nominal arm) in
+  let expected = 600_000.0 *. Energy.to_joules (Processor.energy_per_op arm) in
+  check_float "energy" expected (Energy.to_joules e)
+
+(* --- Scheduler --- *)
+
+let test_rm_bound () =
+  check_float "one task" 1.0 (Scheduler.rm_bound 1);
+  Alcotest.(check bool) "tends to ln 2" true (Float.abs (Scheduler.rm_bound 100 -. Float.log 2.0) < 0.01)
+
+let test_rm_and_edf () =
+  let capacity = Frequency.megahertz 10.0 in
+  let light = [ Task.make ~name:"a" ~ops:1e5 ~period:(Time_span.seconds 1.0) () ] in
+  Alcotest.(check bool) "light RM ok" true (Scheduler.rm_schedulable light ~capacity);
+  let t u = Task.make ~name:"t" ~ops:(u *. 1e7) ~period:(Time_span.seconds 1.0) () in
+  (* Three tasks at 26% each: U = 0.78 > RM bound for 3 (0.7798) but EDF ok. *)
+  let tricky = [ t 0.26; t 0.26; t 0.26 ] in
+  Alcotest.(check bool) "EDF schedulable" true (Scheduler.edf_schedulable tricky ~capacity);
+  Alcotest.(check bool) "RM bound exceeded" false (Scheduler.rm_schedulable tricky ~capacity);
+  Alcotest.(check bool) "overload fails EDF" false
+    (Scheduler.edf_schedulable [ t 0.6; t 0.6 ] ~capacity)
+
+let test_static_slowdown () =
+  let capacity = Frequency.megahertz 10.0 in
+  let tasks = [ Task.make ~name:"a" ~ops:4e6 ~period:(Time_span.seconds 1.0) () ] in
+  (match Scheduler.static_slowdown tasks ~capacity with
+  | Some s -> check_float "slowdown = utilization" 0.4 s
+  | None -> Alcotest.fail "feasible");
+  let overload = [ Task.make ~name:"b" ~ops:2e7 ~period:(Time_span.seconds 1.0) () ] in
+  Alcotest.(check bool) "overload" true (Scheduler.static_slowdown overload ~capacity = None)
+
+let test_dvfs_operating_point () =
+  let arm = Processor.arm7_class in
+  let capacity = Frequency.to_hertz (Processor.max_throughput arm) in
+  let tasks = [ Task.make ~name:"a" ~ops:(0.3 *. capacity) ~period:(Time_span.seconds 1.0) () ] in
+  match Scheduler.dvfs_operating_point arm tasks with
+  | Some (v, p) ->
+    Alcotest.(check bool) "below nominal V" true (Voltage.lt v (Processor.vdd_nominal arm));
+    Alcotest.(check bool) "positive power" true (Power.is_positive p)
+  | None -> Alcotest.fail "30% load feasible"
+
+let test_energy_comparison () =
+  let arm = Processor.arm7_class in
+  let capacity = Frequency.to_hertz (Processor.max_throughput arm) in
+  let tasks = [ Task.make ~name:"a" ~ops:(0.2 *. capacity) ~period:(Time_span.seconds 1.0) () ] in
+  match Scheduler.energy_comparison arm tasks ~horizon:(Time_span.hours 1.0) with
+  | Some (race, dvfs) ->
+    Alcotest.(check bool) "DVFS saves" true (Energy.lt dvfs race);
+    let saving = Scheduler.savings_fraction ~race ~dvfs in
+    Alcotest.(check bool) "saving in (0.3, 0.95)" true (saving > 0.3 && saving < 0.95)
+  | None -> Alcotest.fail "feasible"
+
+(* --- Traffic --- *)
+
+let test_traffic_mean_rates () =
+  check_float "periodic" 0.1 (Traffic.mean_rate (Traffic.periodic (Time_span.seconds 10.0)));
+  check_float "poisson" 2.5 (Traffic.mean_rate (Traffic.poisson 2.5));
+  let bursty =
+    Traffic.on_off ~on_duration:(Time_span.seconds 1.0) ~off_duration:(Time_span.seconds 9.0)
+      ~rate_while_on_hz:10.0
+  in
+  check_float "on/off" 1.0 (Traffic.mean_rate bursty)
+
+let test_poisson_sampling () =
+  let rng = Amb_sim.Rng.create 41 in
+  let t = Traffic.poisson 5.0 in
+  let w = Amb_sim.Stat.welford () in
+  for _ = 1 to 20_000 do
+    Amb_sim.Stat.add w (Time_span.to_seconds (Traffic.next_interval rng t))
+  done;
+  Alcotest.(check bool) "mean gap 0.2 s" true (Float.abs (Amb_sim.Stat.mean w -. 0.2) < 0.01)
+
+let test_events_in_horizon () =
+  let rng = Amb_sim.Rng.create 43 in
+  let t = Traffic.periodic (Time_span.seconds 1.0) in
+  Alcotest.(check int) "100 periodic events" 100
+    (Traffic.events_in rng t (Time_span.seconds 100.5))
+
+(* --- Scenario --- *)
+
+let test_scenario_duty () =
+  (* environmental sensing: 50 ms every 30 s. *)
+  check_float "duty" (0.05 /. 30.0) (Scenario.duty Scenario.environmental_sensing);
+  (* continuous scenarios have duty 1. *)
+  check_float "continuous" 1.0 (Scenario.duty Scenario.audio_playback)
+
+let test_scenario_average_demands () =
+  let s = Scenario.environmental_sensing in
+  check_float "avg compute" (1e6 *. 0.05 /. 30.0)
+    (Frequency.to_hertz (Scenario.average_compute s));
+  check_float "avg comm" (76.8e3 *. 0.05 /. 30.0)
+    (Data_rate.to_bits_per_second (Scenario.average_comm s))
+
+let test_scenario_catalogue_spans_classes () =
+  let demands =
+    List.map (fun s -> Frequency.to_hertz (Scenario.average_compute s)) Scenario.catalogue
+  in
+  let min_d = List.fold_left Float.min Float.infinity demands in
+  let max_d = List.fold_left Float.max 0.0 demands in
+  Alcotest.(check bool) "spans >= 4 decades" true (max_d /. min_d > 1e4)
+
+let suite =
+  [ ("task rate", `Quick, test_task_rate);
+    ("task utilization", `Quick, test_task_utilization);
+    ("task execution time", `Quick, test_task_execution_time);
+    ("task totals", `Quick, test_task_totals);
+    ("task validation", `Quick, test_task_validation);
+    ("topological order", `Quick, test_topological_order);
+    ("cycle detection", `Quick, test_cycle_detected);
+    ("critical path", `Quick, test_critical_path);
+    ("parallelism", `Quick, test_parallelism);
+    ("makespan and energy", `Quick, test_makespan_and_energy);
+    ("RM bound", `Quick, test_rm_bound);
+    ("RM vs EDF", `Quick, test_rm_and_edf);
+    ("static slowdown", `Quick, test_static_slowdown);
+    ("DVFS operating point", `Quick, test_dvfs_operating_point);
+    ("energy comparison", `Quick, test_energy_comparison);
+    ("traffic mean rates", `Quick, test_traffic_mean_rates);
+    ("poisson sampling", `Quick, test_poisson_sampling);
+    ("events in horizon", `Quick, test_events_in_horizon);
+    ("scenario duty", `Quick, test_scenario_duty);
+    ("scenario average demands", `Quick, test_scenario_average_demands);
+    ("scenario catalogue span", `Quick, test_scenario_catalogue_spans_classes);
+  ]
