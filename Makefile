@@ -1,0 +1,19 @@
+.PHONY: all build test bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Reports at jobs=1 and jobs=max must be byte-identical; the JSON snapshot
+# carries ns/run per experiment plus suite wall-clock at both job counts.
+bench: build
+	dune exec bench/main.exe -- --reports-only --jobs 1 > /dev/null
+	dune exec bench/main.exe -- --json BENCH_results.json
+	dune exec bench/main.exe -- --check-json BENCH_results.json
+
+clean:
+	dune clean

@@ -1,37 +1,43 @@
 (* Benchmark / reproduction harness.
 
-   Two jobs in one executable:
+   Three jobs in one executable:
 
-   1. Regenerate every reconstructed table/figure (E1..E12 + ablations)
+   1. Regenerate every reconstructed table/figure (E1..E24 + ablations)
       and print the rows — the artifact EXPERIMENTS.md records.
    2. Time each experiment builder with Bechamel (one Test.make per
       table/figure, as a grouped suite) so regressions in the underlying
       models show up as timing anomalies.
+   3. Emit a machine-readable perf snapshot: per-experiment ns/run plus
+      wall-clock for the whole suite at jobs=1 and jobs=N, so the
+      multicore execution layer's trajectory is tracked in version
+      control (BENCH_results.json).
 
    Usage:
-     bench/main.exe                 print all reports, then run timings
-     bench/main.exe --run E7        print one report
-     bench/main.exe --reports-only  skip the Bechamel pass
-     bench/main.exe --list          list experiment ids *)
+     bench/main.exe                      print all reports, then run timings
+     bench/main.exe --run E7             print one report
+     bench/main.exe --reports-only       skip the Bechamel pass
+     bench/main.exe --jobs 4             parallelise report building (also AMB_JOBS)
+     bench/main.exe --json FILE          write the JSON perf snapshot
+     bench/main.exe --check-json FILE    parse and validate a snapshot
+     bench/main.exe --list               list experiment ids *)
 
 open Bechamel
 open Toolkit
 
-let print_reports which =
-  let selected =
-    match which with
-    | None -> Amb_core.Experiments.all
-    | Some id -> (
-      match Amb_core.Experiments.find id with
-      | Some e -> [ e ]
-      | None ->
-        Printf.eprintf "unknown experiment id %s\n" id;
-        exit 1)
-  in
-  List.iter
-    (fun (id, desc, build) ->
-      Printf.printf "=== %s — %s ===\n%s\n" id desc (Amb_core.Report.to_string (build ())))
-    selected
+let print_reports ~jobs which =
+  match which with
+  | Some id -> (
+    match Amb_core.Experiments.find id with
+    | Some (eid, desc, build) ->
+      Printf.printf "=== %s — %s ===\n%s\n" eid desc (Amb_core.Report.to_string (build ()))
+    | None ->
+      Printf.eprintf "unknown experiment id %s\n" id;
+      exit 1)
+  | None ->
+    List.iter
+      (fun (id, desc, report) ->
+        Printf.printf "=== %s — %s ===\n%s\n" id desc (Amb_core.Report.to_string report))
+      (Amb_core.Experiments.run_all ~jobs ())
 
 let bechamel_suite () =
   let test_of (id, _, build) =
@@ -63,15 +69,262 @@ let run_timings () =
     (fun (name, ns, r2) -> Printf.printf "%-28s %14.0f %8.3f\n" name ns r2)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* JSON perf snapshot                                                  *)
+
+let wall_clock = Unix.gettimeofday
+
+(* ns/run for one builder: repeat until ~80 ms or 200 runs, whichever
+   first, and report the mean.  Coarser than Bechamel but dependency-free
+   and fast enough to time all 27 builders in a few seconds. *)
+let time_builder build =
+  ignore (build ());  (* warm-up *)
+  let start = wall_clock () in
+  let budget_s = 0.08 in
+  let rec go runs elapsed =
+    if runs >= 200 || elapsed >= budget_s then (runs, elapsed)
+    else begin
+      ignore (build ());
+      go (runs + 1) (wall_clock () -. start)
+    end
+  in
+  let runs, elapsed = go 0 0.0 in
+  if runs = 0 then Float.nan else elapsed *. 1e9 /. Float.of_int runs
+
+let time_suite ~jobs =
+  let start = wall_clock () in
+  ignore (Amb_core.Experiments.run_all ~jobs ());
+  wall_clock () -. start
+
+let json_number b v =
+  if not (Float.is_finite v) then Buffer.add_string b "null"
+  else Buffer.add_string b (Printf.sprintf "%.6g" v)
+
+let write_json path ~jobs =
+  Printf.eprintf "timing %d experiment builders (jobs=1)...\n%!"
+    (List.length Amb_core.Experiments.all);
+  let per_experiment =
+    List.map (fun (id, _, build) -> (id, time_builder build)) Amb_core.Experiments.all
+  in
+  Printf.eprintf "timing full suite at jobs=1 and jobs=%d...\n%!" jobs;
+  let wall_1 = time_suite ~jobs:1 in
+  let wall_n = time_suite ~jobs in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"amblib-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, ns) ->
+      Buffer.add_string b (Printf.sprintf "    { \"id\": %S, \"ns_per_run\": " id);
+      json_number b ns;
+      Buffer.add_string b (if i = List.length per_experiment - 1 then " }\n" else " },\n"))
+    per_experiment;
+  Buffer.add_string b "  ],\n  \"suite\": {\n    \"wall_s_jobs1\": ";
+  json_number b wall_1;
+  Buffer.add_string b ",\n    \"wall_s_jobs_n\": ";
+  json_number b wall_n;
+  Buffer.add_string b ",\n    \"speedup\": ";
+  json_number b (if wall_n > 0.0 then wall_1 /. wall_n else Float.nan);
+  Buffer.add_string b "\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s (suite: %.2f s at jobs=1, %.2f s at jobs=%d, %.2fx)\n" path wall_1
+    wall_n jobs
+    (if wall_n > 0.0 then wall_1 /. wall_n else Float.nan)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader — just enough to validate a snapshot without a
+   parsing dependency. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Number of float
+    | String of string
+    | List of t list
+    | Object of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some x when x = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance (); Buffer.contents b
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/') -> Buffer.add_char b s.[!pos]; advance ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance ()
+          | Some ('b' | 'f') -> advance ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do (match peek () with Some _ -> advance () | None -> fail "bad \\u") done
+          | _ -> fail "bad escape");
+          go ()
+        | Some c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when numchar c -> true | _ -> false) do advance () done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Number f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "empty input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Object [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Object (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function Object kvs -> List.assoc_opt key kvs | _ -> None
+end
+
+let check_json path =
+  let fail msg =
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+  in
+  let contents =
+    match open_in_bin path with
+    | exception Sys_error msg ->
+      (* Sys_error messages already lead with the path. *)
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | ic ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      contents
+  in
+  let json = try Json.parse contents with Json.Parse_error msg -> fail ("parse error: " ^ msg) in
+  (match Json.member "schema" json with
+  | Some (Json.String "amblib-bench/1") -> ()
+  | _ -> fail "missing or unexpected \"schema\"");
+  (match Json.member "experiments" json with
+  | Some (Json.List (_ :: _ as entries)) ->
+    List.iter
+      (fun e ->
+        match (Json.member "id" e, Json.member "ns_per_run" e) with
+        | Some (Json.String _), Some (Json.Number _ | Json.Null) -> ()
+        | _ -> fail "malformed experiment entry")
+      entries
+  | _ -> fail "missing or empty \"experiments\"");
+  (match Json.member "suite" json with
+  | Some (Json.Object _ as suite) -> (
+    match (Json.member "wall_s_jobs1" suite, Json.member "wall_s_jobs_n" suite) with
+    | Some (Json.Number _), Some (Json.Number _) -> ()
+    | _ -> fail "suite missing \"wall_s_jobs1\"/\"wall_s_jobs_n\"")
+  | _ -> fail "missing \"suite\"");
+  Printf.printf "%s: valid amblib-bench/1 snapshot\n" path
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let args = Array.to_list Sys.argv in
-  match args with
+  (* --jobs N anywhere on the command line; AMB_JOBS as the fallback. *)
+  let rec extract_jobs = function
+    | "--jobs" :: v :: _ -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
+        exit 1)
+    | _ :: rest -> extract_jobs rest
+    | [] -> None
+  in
+  let jobs =
+    match extract_jobs args with Some n -> n | None -> Amb_sim.Domain_pool.default_jobs ()
+  in
+  let rec strip_jobs = function
+    | "--jobs" :: _ :: rest -> strip_jobs rest
+    | x :: rest -> x :: strip_jobs rest
+    | [] -> []
+  in
+  match strip_jobs args with
   | _ :: "--list" :: _ ->
     List.iter
       (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc)
       Amb_core.Experiments.all
-  | _ :: "--run" :: id :: _ -> print_reports (Some id)
-  | _ :: "--reports-only" :: _ -> print_reports None
+  | _ :: "--run" :: id :: _ -> print_reports ~jobs:1 (Some id)
+  | _ :: "--reports-only" :: _ -> print_reports ~jobs None
+  | _ :: "--json" :: path :: _ -> write_json path ~jobs
+  | _ :: "--check-json" :: path :: _ -> check_json path
   | _ ->
-    print_reports None;
+    print_reports ~jobs None;
     run_timings ()

@@ -49,17 +49,32 @@ let classify_cmd =
 
 (* --- experiment --- *)
 
+(* Worker-domain count: --jobs beats AMB_JOBS beats sequential.  Output
+   is byte-identical at any value (deterministic gather + per-builder
+   seeds), so parallelism is safe to enable wherever it helps. *)
+let jobs_term =
+  let doc = "Build independent experiments on $(docv) worker domains (default: \
+             \\$AMB_JOBS, or 1)." in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some n when n >= 1 -> n
+  | Some n ->
+    Printf.eprintf "--jobs expects a positive integer, got %d\n" n;
+    exit 1
+  | None -> Option.value (Amb_sim.Domain_pool.env_jobs ()) ~default:1
+
 let experiment_cmd =
   let doc = "Run one experiment by id (e.g. E7), or all when no id is given." in
   let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run id =
+  let run id jobs =
     match id with
     | None ->
       List.iter
-        (fun (eid, desc, build) ->
+        (fun (eid, desc, report) ->
           Printf.printf "=== %s — %s ===\n" eid desc;
-          print_report (build ()))
-        Amb_core.Experiments.all
+          print_report report)
+        (Amb_core.Experiments.run_all ~jobs:(resolve_jobs jobs) ())
     | Some id -> (
       match Amb_core.Experiments.find id with
       | Some (_, _, build) -> print_report (build ())
@@ -68,7 +83,7 @@ let experiment_cmd =
           (String.concat ", " (List.map (fun (e, _, _) -> e) Amb_core.Experiments.all));
         exit 1)
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ jobs_term)
 
 (* --- case-study --- *)
 
@@ -258,7 +273,7 @@ let full_report_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write to FILE instead of stdout")
   in
-  let run output =
+  let run output jobs =
     let buffer = Buffer.create 65536 in
     Buffer.add_string buffer
       "# amblib reproduction report\n\n\
@@ -270,10 +285,10 @@ let full_report_cmd =
       Amb_core.Case_study.all;
     Buffer.add_string buffer "# All experiments\n\n";
     List.iter
-      (fun (id, desc, build) ->
+      (fun (id, desc, report) ->
         Buffer.add_string buffer (Printf.sprintf "<!-- %s: %s -->\n" id desc);
-        Buffer.add_string buffer (Amb_core.Report.to_string (build ()) ^ "\n"))
-      Amb_core.Experiments.all;
+        Buffer.add_string buffer (Amb_core.Report.to_string report ^ "\n"))
+      (Amb_core.Experiments.run_all ~jobs:(resolve_jobs jobs) ());
     match output with
     | None -> print_string (Buffer.contents buffer)
     | Some path ->
@@ -282,7 +297,7 @@ let full_report_cmd =
       close_out oc;
       Printf.printf "wrote %s (%d bytes)\n" path (Buffer.length buffer)
   in
-  Cmd.v (Cmd.info "full-report" ~doc) Term.(const run $ output)
+  Cmd.v (Cmd.info "full-report" ~doc) Term.(const run $ output $ jobs_term)
 
 let main_cmd =
   let doc = "ambient-intelligence IC design exploration toolkit" in

@@ -542,9 +542,12 @@ let e17 () =
 
 let e18 () =
   let block_gates = 2_000_000.0 in
+  (* Sharded Monte Carlo: AMB_JOBS spreads the die sweep across domains;
+     the statistics are bitwise independent of the worker count. *)
+  let jobs = Option.value (Amb_sim.Domain_pool.env_jobs ()) ~default:1 in
   let row node =
     let spread = Variability.spread_of node in
-    let stats = Variability.monte_carlo spread ~dies:20_000 ~seed:18 in
+    let stats = Variability.monte_carlo ~jobs spread ~dies:20_000 ~seed:18 in
     let nominal = Power.scale block_gates node.Process_node.leakage_per_gate in
     [ node.Process_node.name;
       Printf.sprintf "%.1f mV" spread.Variability.sigma_vth_mv;
@@ -835,5 +838,13 @@ let find id =
   let target = String.uppercase_ascii id in
   List.find_opt (fun (eid, _, _) -> eid = target) all
 
-(** [run_all ()] — build and render every report, in order. *)
-let run_all () = List.map (fun (id, desc, build) -> (id, desc, build ())) all
+(** [run_all ?jobs ()] — build every report, in presentation order.
+
+    With [jobs] > 1 the builders run concurrently on a {!Amb_sim.Domain_pool}:
+    every builder is independent (each owns its RNG, engine and report
+    buffers, seeded explicitly), and results are gathered at their
+    submission index, so the output — ids, order and rendered reports —
+    is byte-identical to the sequential run. *)
+let run_all ?(jobs = 1) () =
+  let build (id, desc, builder) = (id, desc, builder ()) in
+  if jobs <= 1 then List.map build all else Amb_sim.Domain_pool.map_list ~jobs build all

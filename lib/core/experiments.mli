@@ -99,4 +99,7 @@ val all : (string * string * (unit -> Report.t)) list
 val find : string -> (string * string * (unit -> Report.t)) option
 (** Case-insensitive lookup by experiment id. *)
 
-val run_all : unit -> (string * string * Report.t) list
+val run_all : ?jobs:int -> unit -> (string * string * Report.t) list
+(** Build every report, in presentation order.  [jobs] > 1 runs the
+    independent builders on a domain pool; output is byte-identical to
+    the sequential run (deterministic gather, per-builder seeds). *)

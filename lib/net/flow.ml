@@ -54,11 +54,11 @@ let per_round_energy router tree i =
     let e_rx = Energy.scale received_packets (Routing.receiver_energy router) in
     if i = tree.sink then e_rx
     else
-      let d = Topology.pair_distance router.Routing.topology i tree.parent.(i) in
-      let sent_packets = Float.of_int tree.subtree_size.(i) in
-      match Routing.sender_energy router ~distance_m:d with
-      | None -> Energy.zero
-      | Some e_tx -> Energy.add (Energy.scale sent_packets e_tx) e_rx
+      let tx_j = Routing.sender_energy_j router i tree.parent.(i) in
+      if Float.is_nan tx_j then Energy.zero
+      else
+        let sent_packets = Float.of_int tree.subtree_size.(i) in
+        Energy.add (Energy.scale sent_packets (Energy.joules tx_j)) e_rx
 
 (** [lifetime_rounds router tree ~budget] — rounds until the first
     non-sink node exhausts its [budget]; infinite if no node spends

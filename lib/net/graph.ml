@@ -1,19 +1,34 @@
 (** Weighted directed graphs over integer node ids.
 
-    Small, dependency-free graph kernel: adjacency lists, Dijkstra
-    shortest paths, BFS hop counts and connectivity — everything the
-    routing layer needs. *)
+    Small, dependency-free graph kernel: adjacency stored as flat,
+    doubling arrays per source (no cons cells in the build loop), Dijkstra
+    shortest paths on an unboxed float-keyed heap, BFS hop counts and
+    connectivity — everything the routing layer needs.
+
+    Iteration note: edges are *stored* in insertion order but *visited*
+    most-recent-first, preserving the traversal order (and therefore the
+    equal-cost tie-breaks) of the original cons-list representation, so
+    rebuilt routing trees are byte-for-byte stable across the
+    refactor. *)
 
 type edge = { dst : int; weight : float }
 
 type t = {
   node_count : int;
-  adjacency : edge list array;
+  degree : int array;  (** edges out of each source *)
+  mutable dsts : int array array;  (** per-source destination ids, 0..degree-1 *)
+  mutable weights : float array array;  (** per-source edge weights, 0..degree-1 *)
 }
 
 let create node_count =
   if node_count < 0 then invalid_arg "Graph.create: negative node count";
-  { node_count; adjacency = Array.make (Stdlib.max node_count 1) [] }
+  let slots = Stdlib.max node_count 1 in
+  {
+    node_count;
+    degree = Array.make slots 0;
+    dsts = Array.make slots [||];
+    weights = Array.make slots [||];
+  }
 
 let node_count g = g.node_count
 
@@ -27,18 +42,36 @@ let add_edge g ~src ~dst ~weight =
   check_node g src;
   check_node g dst;
   if weight < 0.0 then invalid_arg "Graph.add_edge: negative weight";
-  g.adjacency.(src) <- { dst; weight } :: g.adjacency.(src)
+  let deg = g.degree.(src) in
+  let capacity = Array.length g.dsts.(src) in
+  if deg >= capacity then begin
+    let bigger = Stdlib.max 4 (capacity * 2) in
+    let d = Array.make bigger 0 and w = Array.make bigger 0.0 in
+    Array.blit g.dsts.(src) 0 d 0 deg;
+    Array.blit g.weights.(src) 0 w 0 deg;
+    g.dsts.(src) <- d;
+    g.weights.(src) <- w
+  end;
+  g.dsts.(src).(deg) <- dst;
+  g.weights.(src).(deg) <- weight;
+  g.degree.(src) <- deg + 1
 
 (** [add_undirected g a b ~weight] — edge in both directions. *)
 let add_undirected g a b ~weight =
   add_edge g ~src:a ~dst:b ~weight;
   add_edge g ~src:b ~dst:a ~weight
 
+(* Most-recent-first edge list, matching the historical cons-list order. *)
 let neighbors g v =
   check_node g v;
-  g.adjacency.(v)
+  let dsts = g.dsts.(v) and weights = g.weights.(v) in
+  let rec build i acc =
+    if i >= g.degree.(v) then acc
+    else build (i + 1) ({ dst = dsts.(i); weight = weights.(i) } :: acc)
+  in
+  build 0 []
 
-let edge_count g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.adjacency
+let edge_count g = Array.fold_left ( + ) 0 g.degree
 
 (** [dijkstra g ~src] — arrays of (distance, predecessor) from [src];
     unreachable nodes have infinite distance and predecessor -1. *)
@@ -48,24 +81,26 @@ let dijkstra g ~src =
   let prev = Array.make g.node_count (-1) in
   let visited = Array.make g.node_count false in
   dist.(src) <- 0.0;
-  (* A simple heap of (distance, node); stale entries are skipped. *)
-  let heap = Amb_sim.Event_queue.create () in
-  Amb_sim.Event_queue.push heap ~time:0.0 src;
+  (* Unboxed (distance, node) heap; stale entries are skipped. *)
+  let heap = Amb_sim.Float_heap.create ~capacity:(Stdlib.max 16 g.node_count) () in
+  Amb_sim.Float_heap.push heap ~key:0.0 src;
   let rec loop () =
-    match Amb_sim.Event_queue.pop heap with
+    match Amb_sim.Float_heap.pop_min heap with
     | None -> ()
     | Some (d, u) ->
       if (not visited.(u)) && d <= dist.(u) then begin
         visited.(u) <- true;
-        let relax { dst; weight } =
-          let candidate = dist.(u) +. weight in
-          if candidate < dist.(dst) then begin
-            dist.(dst) <- candidate;
-            prev.(dst) <- u;
-            Amb_sim.Event_queue.push heap ~time:candidate dst
+        let dsts = g.dsts.(u) and weights = g.weights.(u) in
+        let base = dist.(u) in
+        for k = g.degree.(u) - 1 downto 0 do
+          let v = dsts.(k) in
+          let candidate = base +. weights.(k) in
+          if candidate < dist.(v) then begin
+            dist.(v) <- candidate;
+            prev.(v) <- u;
+            Amb_sim.Float_heap.push heap ~key:candidate v
           end
-        in
-        List.iter relax g.adjacency.(u)
+        done
       end;
       loop ()
   in
@@ -86,9 +121,13 @@ let shortest_path g ~src ~dst =
     [Not_found] if an edge is missing. *)
 let path_cost g path =
   let edge_weight u v =
-    match List.find_opt (fun e -> e.dst = v) g.adjacency.(u) with
-    | Some e -> e.weight
-    | None -> raise Not_found
+    let dsts = g.dsts.(u) and weights = g.weights.(u) in
+    let rec find k =
+      if k < 0 then raise Not_found
+      else if dsts.(k) = v then weights.(k)
+      else find (k - 1)
+    in
+    find (g.degree.(u) - 1)
   in
   let rec walk = function
     | [] | [ _ ] -> 0.0
@@ -106,13 +145,14 @@ let hops g ~src =
   Queue.push src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    let visit { dst; _ } =
-      if dist.(dst) < 0 then begin
-        dist.(dst) <- dist.(u) + 1;
-        Queue.push dst q
+    let dsts = g.dsts.(u) in
+    for k = g.degree.(u) - 1 downto 0 do
+      let v = dsts.(k) in
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.push v q
       end
-    in
-    List.iter visit g.adjacency.(u)
+    done
   done;
   dist
 

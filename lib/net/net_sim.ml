@@ -58,21 +58,19 @@ let rebuild cfg st =
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       if i <> j && st.alive.(i) && st.alive.(j) then begin
-        let d = Topology.pair_distance topo i j in
-        if d <= cfg.router.Routing.range_m then
-          match Routing.hop_energy cfg.router ~distance_m:d with
-          | None -> ()
-          | Some e ->
-            let joules = Energy.to_joules e in
-            let weight =
-              match cfg.policy with
-              | Routing.Min_hop -> 1.0
-              | Routing.Min_energy -> joules
-              | Routing.Max_lifetime ->
-                if st.residual.(i) <= 0.0 then Float.max_float /. 1e6
-                else joules /. st.residual.(i)
-            in
-            Graph.add_edge g ~src:i ~dst:j ~weight
+        (* All link-budget math is precomputed in the router's per-pair
+           cache; a rebuild is pure array reads. *)
+        let joules = Routing.link_energy_j cfg.router i j in
+        if not (Float.is_nan joules) then
+          let weight =
+            match cfg.policy with
+            | Routing.Min_hop -> 1.0
+            | Routing.Min_energy -> joules
+            | Routing.Max_lifetime ->
+              if st.residual.(i) <= 0.0 then Float.max_float /. 1e6
+              else joules /. st.residual.(i)
+          in
+          Graph.add_edge g ~src:i ~dst:j ~weight
       end
     done
   done;
@@ -105,6 +103,7 @@ let charge cfg st engine node joules =
    receiver pays RX energy. *)
 let forward cfg st engine src =
   let topo = cfg.router.Routing.topology in
+  let rx_j = Routing.receiver_energy_j cfg.router in
   let rec hop node ttl =
     if ttl <= 0 then st.dropped <- st.dropped + 1
     else if node = cfg.sink then st.delivered <- st.delivered + 1
@@ -112,16 +111,11 @@ let forward cfg st engine src =
       let parent = st.parent.(node) in
       if parent < 0 || not st.alive.(node) then st.dropped <- st.dropped + 1
       else
-        let d = Topology.pair_distance topo node parent in
-        match Routing.sender_energy cfg.router ~distance_m:d with
-        | None -> st.dropped <- st.dropped + 1
-        | Some e_tx ->
-          let sender_ok = charge cfg st engine node (Energy.to_joules e_tx) in
-          let receiver_ok =
-            parent = cfg.sink
-            || charge cfg st engine parent
-                 (Energy.to_joules (Routing.receiver_energy cfg.router))
-          in
+        let tx_j = Routing.sender_energy_j cfg.router node parent in
+        if Float.is_nan tx_j then st.dropped <- st.dropped + 1
+        else
+          let sender_ok = charge cfg st engine node tx_j in
+          let receiver_ok = parent = cfg.sink || charge cfg st engine parent rx_j in
           if sender_ok && receiver_ok then hop parent (ttl - 1)
           else st.dropped <- st.dropped + 1
   in

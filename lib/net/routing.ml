@@ -23,26 +23,63 @@ type t = {
   link : Link_budget.t;
   packet : Packet.t;
   range_m : float;
+  tx_j : float array;  (** flat n*n per-pair TX-side joules; NaN = out of range *)
+  rx_j : float;  (** RX-side joules per packet (distance-independent) *)
 }
+
+(* TX energy for one packet over [distance_m]; NaN beyond radio reach.
+   The physical-layer math (link-budget inversion + startup amortisation)
+   runs once per pair at [make] time and is reused by every rebuild. *)
+let tx_joules ~link ~packet ~distance_m =
+  match Link_budget.required_tx_dbm link ~distance_m with
+  | None -> Float.nan
+  | Some tx_dbm ->
+    Energy.to_joules
+      (Amb_circuit.Radio_frontend.transmit_energy link.Link_budget.radio ~tx_dbm
+         ~bits:(Packet.total_bits packet) ~include_startup:true)
 
 let make ~topology ~link ~packet =
   let range_m = Link_budget.max_range link ~tx_dbm:link.Link_budget.radio.Amb_circuit.Radio_frontend.max_tx_dbm in
-  { topology; link; packet; range_m }
+  let n = Topology.node_count topology in
+  let tx_j = Array.make (n * n) Float.nan in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Topology.pair_distance topology i j in
+      if d <= range_m then begin
+        let e = tx_joules ~link ~packet ~distance_m:d in
+        tx_j.((i * n) + j) <- e;
+        tx_j.((j * n) + i) <- e
+      end
+    done
+  done;
+  let rx_j =
+    Energy.to_joules
+      (Amb_circuit.Radio_frontend.receive_energy link.Link_budget.radio
+         ~bits:(Packet.total_bits packet) ~include_startup:true)
+  in
+  { topology; link; packet; range_m; tx_j; rx_j }
+
+(** [sender_energy_j router i j] — cached TX-side joules for the pair;
+    NaN when out of range. *)
+let sender_energy_j router i j =
+  router.tx_j.((i * Topology.node_count router.topology) + j)
+
+(** [receiver_energy_j router] — cached RX-side joules per packet. *)
+let receiver_energy_j router = router.rx_j
+
+(** [link_energy_j router i j] — cached TX+RX joules to move one packet
+    between the pair; NaN when out of range. *)
+let link_energy_j router i j = sender_energy_j router i j +. router.rx_j
 
 (** [hop_energy router ~distance_m] — energy to move one packet one hop of
     [distance_m]: minimum closing TX energy plus RX energy; [None] beyond
     radio reach. *)
 let hop_energy router ~distance_m =
-  match Link_budget.required_tx_dbm router.link ~distance_m with
-  | None -> None
-  | Some tx_dbm ->
-    let bits = Packet.total_bits router.packet in
-    let radio = router.link.Link_budget.radio in
-    let e_tx = Amb_circuit.Radio_frontend.transmit_energy radio ~tx_dbm ~bits ~include_startup:true in
-    let e_rx = Amb_circuit.Radio_frontend.receive_energy radio ~bits ~include_startup:true in
-    Some (Energy.add e_tx e_rx)
+  let tx = tx_joules ~link:router.link ~packet:router.packet ~distance_m in
+  if Float.is_nan tx then None else Some (Energy.joules (tx +. router.rx_j))
 
-(** [build_graph router ~policy ~residual] — weighted graph for [policy].
+(** [build_graph router ~policy ~residual] — weighted graph for [policy],
+    entirely from the per-pair energy cache (no link-budget math).
     [residual] gives each node's remaining energy (used by
     [Max_lifetime]); pass the same value for all nodes to recover
     [Min_energy] behaviour. *)
@@ -52,21 +89,17 @@ let build_graph router ~policy ~residual =
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       if i <> j then begin
-        let d = Topology.pair_distance router.topology i j in
-        if d <= router.range_m then
-          match hop_energy router ~distance_m:d with
-          | None -> ()
-          | Some e ->
-            let joules = Energy.to_joules e in
-            let weight =
-              match policy with
-              | Min_hop -> 1.0
-              | Min_energy -> joules
-              | Max_lifetime ->
-                let r = Energy.to_joules (residual i) in
-                if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
-            in
-            Graph.add_edge g ~src:i ~dst:j ~weight
+        let joules = router.tx_j.((i * n) + j) +. router.rx_j in
+        if not (Float.is_nan joules) then
+          let weight =
+            match policy with
+            | Min_hop -> 1.0
+            | Min_energy -> joules
+            | Max_lifetime ->
+              let r = Energy.to_joules (residual i) in
+              if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
+          in
+          Graph.add_edge g ~src:i ~dst:j ~weight
       end
     done
   done;
@@ -101,7 +134,5 @@ let sender_energy router ~distance_m =
       (Amb_circuit.Radio_frontend.transmit_energy router.link.Link_budget.radio ~tx_dbm
          ~bits:(Packet.total_bits router.packet) ~include_startup:true)
 
-(** [receiver_energy router] — RX-side-only energy for one hop. *)
-let receiver_energy router =
-  Amb_circuit.Radio_frontend.receive_energy router.link.Link_budget.radio
-    ~bits:(Packet.total_bits router.packet) ~include_startup:true
+(** [receiver_energy router] — RX-side-only energy for one hop (cached). *)
+let receiver_energy router = Energy.joules router.rx_j

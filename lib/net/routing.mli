@@ -15,15 +15,28 @@ type t = {
   link : Link_budget.t;
   packet : Packet.t;
   range_m : float;
+  tx_j : float array;  (** flat n*n per-pair TX-side joules; NaN = out of range *)
+  rx_j : float;  (** RX-side joules per packet (distance-independent) *)
 }
 
 val make : topology:Topology.t -> link:Link_budget.t -> packet:Packet.t -> t
-(** The radio range is derived from the link budget at maximum TX
-    power. *)
+(** The radio range is derived from the link budget at maximum TX power.
+    The symmetric per-pair link-energy cache is computed here, once, and
+    reused by every tree rebuild under every policy. *)
 
 val hop_energy : t -> distance_m:float -> Energy.t option
 (** Energy to move one packet one hop: minimum closing TX energy plus RX
     energy; [None] beyond radio reach. *)
+
+val sender_energy_j : t -> int -> int -> float
+(** Cached TX-side joules to move one packet between a node pair; NaN
+    when the pair is out of radio range. *)
+
+val receiver_energy_j : t -> float
+(** Cached RX-side joules per packet. *)
+
+val link_energy_j : t -> int -> int -> float
+(** Cached TX+RX joules for a node pair; NaN when out of range. *)
 
 val build_graph : t -> policy:policy -> residual:(int -> Energy.t) -> Graph.t
 (** Weighted graph for a policy; [residual] feeds [Max_lifetime] (pass a

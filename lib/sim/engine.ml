@@ -56,7 +56,7 @@ let run ?until engine =
     else
       match Event_queue.peek engine.queue with
       | None -> ()
-      | Some (time, _) when time > limit -> engine.clock <- Float.min limit (Float.max engine.clock limit)
+      | Some (time, _) when time > limit -> engine.clock <- limit
       | Some _ ->
         (match Event_queue.pop engine.queue with
         | None -> ()

@@ -17,11 +17,13 @@ let is_empty q = q.size = 0
 
 let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow q =
+(* Grow to fit one more entry; [filler] seeds the fresh slots, so an
+   empty heap needs no special case. *)
+let ensure_capacity q filler =
   let capacity = Array.length q.heap in
   if q.size >= capacity then begin
     let new_capacity = Stdlib.max 16 (capacity * 2) in
-    let bigger = Array.make new_capacity q.heap.(0) in
+    let bigger = Array.make new_capacity filler in
     Array.blit q.heap 0 bigger 0 q.size;
     q.heap <- bigger
   end
@@ -52,14 +54,30 @@ let rec sift_down heap size i =
     for NaN times. *)
 let push q ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  if q.size = 0 && Array.length q.heap = 0 then
-    q.heap <- Array.make 16 { time; seq = 0; payload }
-  else grow q;
   let entry = { time; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
+  ensure_capacity q entry;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
   sift_up q.heap (q.size - 1)
+
+(** [of_list entries] — build a queue from (time, payload) pairs in one
+    O(n) heapify pass; equal-time entries pop in list order.  Raises
+    [Invalid_argument] for NaN times. *)
+let of_list entries =
+  let heap =
+    Array.of_list
+      (List.mapi
+         (fun seq (time, payload) ->
+           if Float.is_nan time then invalid_arg "Event_queue.of_list: NaN time";
+           { time; seq; payload })
+         entries)
+  in
+  let size = Array.length heap in
+  for i = (size / 2) - 1 downto 0 do
+    sift_down heap size i
+  done;
+  { heap; size; next_seq = size }
 
 (** [peek q] — earliest (time, payload) without removing it. *)
 let peek q = if q.size = 0 then None else Some (q.heap.(0).time, q.heap.(0).payload)

@@ -11,6 +11,10 @@ val is_empty : 'a t -> bool
 val push : 'a t -> time:float -> 'a -> unit
 (** Enqueue an event; raises [Invalid_argument] for NaN times. *)
 
+val of_list : (float * 'a) list -> 'a t
+(** Build a queue in one O(n) heapify pass; equal-time entries pop in
+    list order.  Raises [Invalid_argument] for NaN times. *)
+
 val peek : 'a t -> (float * 'a) option
 (** Earliest (time, payload) without removing it. *)
 

@@ -1,0 +1,98 @@
+(** Unboxed binary min-heap with float keys and int payloads.
+
+    The dedicated priority queue for graph algorithms (Dijkstra): keys,
+    payloads and insertion sequence numbers live in three flat arrays, so
+    pushes and pops touch no boxed entries — unlike the polymorphic
+    {!Event_queue}, whose records the Dijkstra inner loop used to allocate
+    per relaxation.  Ties in key pop in insertion order, matching
+    {!Event_queue}'s determinism guarantee. *)
+
+type t = {
+  mutable keys : float array;
+  mutable payloads : int array;
+  mutable seqs : int array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = Stdlib.max 1 capacity in
+  {
+    keys = Array.make capacity 0.0;
+    payloads = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    size = 0;
+    next_seq = 0;
+  }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let before h i j =
+  h.keys.(i) < h.keys.(j) || (h.keys.(i) = h.keys.(j) && h.seqs.(i) < h.seqs.(j))
+
+let swap h i j =
+  let k = h.keys.(i) and p = h.payloads.(i) and s = h.seqs.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.payloads.(i) <- h.payloads.(j);
+  h.seqs.(i) <- h.seqs.(j);
+  h.keys.(j) <- k;
+  h.payloads.(j) <- p;
+  h.seqs.(j) <- s
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < h.size && before h left i then left else i in
+  let smallest = if right < h.size && before h right smallest then right else smallest in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let ensure_capacity h =
+  let capacity = Array.length h.keys in
+  if h.size >= capacity then begin
+    let bigger = Stdlib.max 16 (capacity * 2) in
+    let grow make src = (let a = make bigger in Array.blit src 0 a 0 h.size; a) in
+    h.keys <- grow (fun n -> Array.make n 0.0) h.keys;
+    h.payloads <- grow (fun n -> Array.make n 0) h.payloads;
+    h.seqs <- grow (fun n -> Array.make n 0) h.seqs
+  end
+
+(** [push h ~key payload] — enqueue; raises [Invalid_argument] for NaN
+    keys. *)
+let push h ~key payload =
+  if Float.is_nan key then invalid_arg "Float_heap.push: NaN key";
+  ensure_capacity h;
+  h.keys.(h.size) <- key;
+  h.payloads.(h.size) <- payload;
+  h.seqs.(h.size) <- h.next_seq;
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+(** [pop_min h] — remove and return the smallest (key, payload). *)
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and payload = h.payloads.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.payloads.(0) <- h.payloads.(h.size);
+      h.seqs.(0) <- h.seqs.(h.size);
+      sift_down h 0
+    end;
+    Some (key, payload)
+  end
+
+let clear h = h.size <- 0

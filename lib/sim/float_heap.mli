@@ -1,0 +1,21 @@
+(** Unboxed binary min-heap with float keys and int payloads — the
+    dedicated priority queue for graph algorithms.  Keys, payloads and
+    sequence numbers live in flat arrays (no boxed entries); equal keys
+    pop in insertion order. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 16; the heap grows by doubling. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> key:float -> int -> unit
+(** Raises [Invalid_argument] for NaN keys. *)
+
+val pop_min : t -> (float * int) option
+(** Remove and return the smallest (key, payload); ties in key resolve in
+    insertion order. *)
+
+val clear : t -> unit

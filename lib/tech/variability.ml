@@ -40,24 +40,51 @@ type die_statistics = {
   spread_ratio : float;  (** p95 / median *)
 }
 
-(** [monte_carlo spread ~dies ~gates_per_die ~seed] — sample [dies] dies;
-    each die has a global Vth shift (die-to-die, sigma/2) plus per-gate
-    variation approximated analytically: the expected per-gate multiplier
-    of a lognormal is exp(sigma_ln^2 / 2), applied on top of the die
-    shift.  Returns the die-leakage distribution statistics. *)
-let monte_carlo spread ~dies ~seed =
+(** Dies per Monte-Carlo shard.  The shard structure is a function of the
+    die count alone — never of the worker count — so the sampled
+    population (and hence every statistic) is identical for any [jobs]
+    value, including sequential. *)
+let monte_carlo_shard = 4096
+
+(** [monte_carlo ?jobs spread ~dies ~gates_per_die ~seed] — sample [dies]
+    dies; each die has a global Vth shift (die-to-die, sigma/2) plus
+    per-gate variation approximated analytically: the expected per-gate
+    multiplier of a lognormal is exp(sigma_ln^2 / 2), applied on top of
+    the die shift.  Returns the die-leakage distribution statistics.
+
+    Dies are sharded into fixed {!monte_carlo_shard}-sized blocks, each
+    with its own RNG stream split off the master [seed] up front; with
+    [jobs] > 1 the shards run on a domain pool.  Results are bitwise
+    independent of [jobs]: shards fill disjoint slices of one sample
+    array and the merge (sort + quantiles) happens after the gather. *)
+let monte_carlo ?(jobs = 1) spread ~dies ~seed =
   if dies < 10 then invalid_arg "Variability.monte_carlo: need at least 10 dies";
-  let rng = Amb_sim.Rng.create seed in
   let sigma_die = spread.sigma_vth_mv /. 2.0 in
   let sigma_within = spread.sigma_vth_mv /. 2.0 in
   (* Within-die average multiplier: lognormal mean correction. *)
   let sigma_ln = sigma_within /. leakage_exponential_mv in
   let within_mean = Float.exp (sigma_ln *. sigma_ln /. 2.0) in
-  let samples =
-    Array.init dies (fun _ ->
-        let die_shift = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma:sigma_die in
-        leakage_multiplier ~delta_vth_mv:die_shift *. within_mean)
+  let master = Amb_sim.Rng.create seed in
+  let shards = (dies + monte_carlo_shard - 1) / monte_carlo_shard in
+  (* Derive every shard stream sequentially from the master before any
+     parallel work, so derivation order never depends on scheduling. *)
+  let shard_rngs = Array.init shards (fun _ -> Amb_sim.Rng.split master) in
+  let samples = Array.make dies 0.0 in
+  let fill shard =
+    let rng = shard_rngs.(shard) in
+    let lo = shard * monte_carlo_shard in
+    let hi = Stdlib.min dies (lo + monte_carlo_shard) in
+    for i = lo to hi - 1 do
+      let die_shift = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma:sigma_die in
+      samples.(i) <- leakage_multiplier ~delta_vth_mv:die_shift *. within_mean
+    done
   in
+  if jobs <= 1 || shards = 1 then
+    for shard = 0 to shards - 1 do fill shard done
+  else
+    ignore
+      (Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
+           Amb_sim.Domain_pool.run pool (Array.init shards (fun shard () -> fill shard))));
   Array.sort Float.compare samples;
   let mean = Array.fold_left ( +. ) 0.0 samples /. Float.of_int dies in
   let quantile q = samples.(Stdlib.min (dies - 1) (int_of_float (q *. Float.of_int dies))) in

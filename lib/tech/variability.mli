@@ -30,10 +30,16 @@ type die_statistics = {
   spread_ratio : float;  (** p95 / median *)
 }
 
-val monte_carlo : spread -> dies:int -> seed:int -> die_statistics
+val monte_carlo_shard : int
+(** Dies per Monte-Carlo shard; a function of the die count alone, so the
+    sampled population is identical for any [jobs] value. *)
+
+val monte_carlo : ?jobs:int -> spread -> dies:int -> seed:int -> die_statistics
 (** Sample die-to-die Vth shifts (within-die variation folded in as the
-    lognormal mean correction); raises [Invalid_argument] below 10
-    dies. *)
+    lognormal mean correction); raises [Invalid_argument] below 10 dies.
+    Dies are sharded into fixed-size blocks with RNG streams split off
+    the master seed up front; [jobs] > 1 runs the shards on a domain
+    pool, and every statistic is bitwise independent of [jobs]. *)
 
 val worst_case_leakage : Process_node.t -> die_statistics -> float -> Power.t
 (** The 95th-percentile die's standby leakage for a gate count. *)

@@ -8,6 +8,7 @@ let () =
       ("energy", Test_energy.suite);
       ("circuit", Test_circuit.suite);
       ("sim", Test_sim.suite);
+      ("parallel", Test_parallel.suite);
       ("radio", Test_radio.suite);
       ("net", Test_net.suite);
       ("workload", Test_workload.suite);

@@ -1,0 +1,206 @@
+(* Tests for the multicore execution layer: the domain pool itself, the
+   unboxed Dijkstra heap, heapify construction, and the determinism
+   guarantees of the parallel experiment suite and the sharded
+   variability Monte Carlo. *)
+
+(* --- Domain_pool --- *)
+
+let test_map_list_matches_sequential () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int))
+    "map_list order and values" (List.map f xs)
+    (Amb_sim.Domain_pool.map_list ~jobs:4 f xs)
+
+let test_map_array_chunked_matches_sequential () =
+  let arr = Array.init 257 (fun i -> Float.of_int i /. 3.0) in
+  let f x = Float.sin x in
+  Alcotest.(check (array (float 0.0)))
+    "chunked map order and values" (Array.map f arr)
+    (Amb_sim.Domain_pool.map_array_chunked ~jobs:3 ~chunk:10 f arr)
+
+let test_pool_run_gathers_in_order () =
+  Amb_sim.Domain_pool.with_pool ~jobs:4 (fun pool ->
+      (* Uneven task durations: later tasks finish first, yet the gather
+         must stay in submission order. *)
+      let tasks =
+        Array.init 32 (fun i () ->
+            let spin = (32 - i) * 1000 in
+            let acc = ref 0 in
+            for k = 1 to spin do acc := !acc + k done;
+            ignore !acc;
+            i)
+      in
+      let results = Amb_sim.Domain_pool.run pool tasks in
+      Alcotest.(check (array int)) "submission order" (Array.init 32 Fun.id) results)
+
+let test_pool_reusable_across_batches () =
+  Amb_sim.Domain_pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let results = Amb_sim.Domain_pool.run pool (Array.init 7 (fun i () -> i * round)) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 7 (fun i -> i * round))
+          results
+      done)
+
+let test_pool_propagates_exception () =
+  let raised =
+    try
+      Amb_sim.Domain_pool.with_pool ~jobs:2 (fun pool ->
+          ignore
+            (Amb_sim.Domain_pool.run pool
+               (Array.init 8 (fun i () -> if i = 5 then failwith "task 5 failed" else i)));
+          false)
+    with Failure msg -> msg = "task 5 failed"
+  in
+  Alcotest.(check bool) "first failing task's exception re-raised" true raised
+
+let test_pool_rejects_zero_jobs () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Domain_pool.create: need at least one worker") (fun () ->
+      ignore (Amb_sim.Domain_pool.create ~jobs:0))
+
+(* --- Float_heap --- *)
+
+let test_float_heap_pop_order () =
+  let h = Amb_sim.Float_heap.create () in
+  Amb_sim.Float_heap.push h ~key:3.0 30;
+  Amb_sim.Float_heap.push h ~key:1.0 10;
+  Amb_sim.Float_heap.push h ~key:2.0 20;
+  let rec drain acc =
+    match Amb_sim.Float_heap.pop_min h with
+    | None -> List.rev acc
+    | Some (_, p) -> drain (p :: acc)
+  in
+  Alcotest.(check (list int)) "key order" [ 10; 20; 30 ] (drain [])
+
+let test_float_heap_stable_ties () =
+  let h = Amb_sim.Float_heap.create ~capacity:2 () in
+  List.iter (fun p -> Amb_sim.Float_heap.push h ~key:7.0 p) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Amb_sim.Float_heap.pop_min h with
+    | None -> List.rev acc
+    | Some (_, p) -> drain (p :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order on equal keys" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_float_heap_nan_rejected () =
+  let h = Amb_sim.Float_heap.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Float_heap.push: NaN key") (fun () ->
+      Amb_sim.Float_heap.push h ~key:Float.nan 1)
+
+let prop_float_heap_matches_event_queue =
+  QCheck.Test.make ~name:"float heap pops like the event queue" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1e3) small_nat))
+    (fun entries ->
+      let h = Amb_sim.Float_heap.create () in
+      let q = Amb_sim.Event_queue.create () in
+      List.iter
+        (fun (key, payload) ->
+          Amb_sim.Float_heap.push h ~key payload;
+          Amb_sim.Event_queue.push q ~time:key payload)
+        entries;
+      let rec drain acc =
+        match Amb_sim.Float_heap.pop_min h with
+        | None -> List.rev acc
+        | Some (k, p) -> drain ((k, p) :: acc)
+      in
+      drain [] = Amb_sim.Event_queue.drain q)
+
+(* --- Event_queue.of_list --- *)
+
+let prop_of_list_pops_ties_in_list_order =
+  QCheck.Test.make ~name:"of_list pops equal-time entries in list order" ~count:300
+    QCheck.(list (int_bound 5))
+    (fun times ->
+      (* Coarse integer times force many collisions; payloads record list
+         position. *)
+      let entries = List.mapi (fun i t -> (Float.of_int t, (t, i))) times in
+      let popped = Amb_sim.Event_queue.drain (Amb_sim.Event_queue.of_list entries) in
+      let rec ok = function
+        | (ta, (_, ia)) :: ((tb, (_, ib)) :: _ as rest) ->
+          (ta < tb || (ta = tb && ia < ib)) && ok rest
+        | _ -> true
+      in
+      List.length popped = List.length times && ok popped)
+
+let prop_of_list_equals_pushes =
+  QCheck.Test.make ~name:"of_list drains exactly like repeated push" ~count:300
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let entries = List.mapi (fun i t -> (t, i)) times in
+      let q = Amb_sim.Event_queue.create () in
+      List.iter (fun (t, p) -> Amb_sim.Event_queue.push q ~time:t p) entries;
+      Amb_sim.Event_queue.drain (Amb_sim.Event_queue.of_list entries)
+      = Amb_sim.Event_queue.drain q)
+
+(* --- Parallel experiment suite determinism --- *)
+
+let render_all ~jobs =
+  List.map
+    (fun (id, desc, report) -> (id, desc, Amb_core.Report.to_string report))
+    (Amb_core.Experiments.run_all ~jobs ())
+
+let test_run_all_parallel_byte_identical () =
+  let sequential = render_all ~jobs:1 in
+  let parallel = render_all ~jobs:4 in
+  Alcotest.(check int) "same count" (List.length sequential) (List.length parallel);
+  List.iter2
+    (fun (id_s, desc_s, text_s) (id_p, desc_p, text_p) ->
+      Alcotest.(check string) "id" id_s id_p;
+      Alcotest.(check string) "description" desc_s desc_p;
+      Alcotest.(check string) (id_s ^ " report bytes") text_s text_p)
+    sequential parallel
+
+(* --- Sharded Monte Carlo determinism --- *)
+
+let test_monte_carlo_jobs_invariant () =
+  let spread = Amb_tech.Variability.spread_of Amb_tech.Process_node.n90 in
+  let reference = Amb_tech.Variability.monte_carlo ~jobs:1 spread ~dies:9000 ~seed:42 in
+  List.iter
+    (fun jobs ->
+      let stats = Amb_tech.Variability.monte_carlo ~jobs spread ~dies:9000 ~seed:42 in
+      let check name f =
+        Alcotest.(check (float 0.0)) (Printf.sprintf "%s at jobs=%d" name jobs) (f reference)
+          (f stats)
+      in
+      check "mean" (fun s -> s.Amb_tech.Variability.mean_multiplier);
+      check "median" (fun s -> s.Amb_tech.Variability.median_multiplier);
+      check "p95" (fun s -> s.Amb_tech.Variability.p95_multiplier);
+      check "spread" (fun s -> s.Amb_tech.Variability.spread_ratio))
+    [ 2; 3; 8 ]
+
+let test_monte_carlo_shard_boundary () =
+  (* Die counts straddling the shard size must all shard cleanly. *)
+  let spread = Amb_tech.Variability.spread_of Amb_tech.Process_node.n130 in
+  List.iter
+    (fun dies ->
+      let a = Amb_tech.Variability.monte_carlo ~jobs:1 spread ~dies ~seed:7 in
+      let b = Amb_tech.Variability.monte_carlo ~jobs:4 spread ~dies ~seed:7 in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p95 equal at %d dies" dies)
+        a.Amb_tech.Variability.p95_multiplier b.Amb_tech.Variability.p95_multiplier)
+    [ Amb_tech.Variability.monte_carlo_shard - 1;
+      Amb_tech.Variability.monte_carlo_shard;
+      Amb_tech.Variability.monte_carlo_shard + 1;
+      (2 * Amb_tech.Variability.monte_carlo_shard) + 17;
+    ]
+
+let suite =
+  [ ("pool map_list matches sequential", `Quick, test_map_list_matches_sequential);
+    ("pool chunked map matches sequential", `Quick, test_map_array_chunked_matches_sequential);
+    ("pool gathers in submission order", `Quick, test_pool_run_gathers_in_order);
+    ("pool reusable across batches", `Quick, test_pool_reusable_across_batches);
+    ("pool propagates exceptions", `Quick, test_pool_propagates_exception);
+    ("pool rejects zero jobs", `Quick, test_pool_rejects_zero_jobs);
+    ("float heap pop order", `Quick, test_float_heap_pop_order);
+    ("float heap stable ties", `Quick, test_float_heap_stable_ties);
+    ("float heap rejects NaN", `Quick, test_float_heap_nan_rejected);
+    QCheck_alcotest.to_alcotest prop_float_heap_matches_event_queue;
+    QCheck_alcotest.to_alcotest prop_of_list_pops_ties_in_list_order;
+    QCheck_alcotest.to_alcotest prop_of_list_equals_pushes;
+    ("run_all parallel output byte-identical", `Slow, test_run_all_parallel_byte_identical);
+    ("monte carlo invariant in jobs", `Quick, test_monte_carlo_jobs_invariant);
+    ("monte carlo shard boundaries", `Quick, test_monte_carlo_shard_boundary);
+  ]

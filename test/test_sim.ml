@@ -77,6 +77,34 @@ let test_engine_until () =
   Alcotest.(check int) "only first fired" 1 !fired;
   check_float "clock at horizon" 5.0 (Time_span.to_seconds final)
 
+let test_engine_until_clamps_clock_keeps_future () =
+  (* Regression: the horizon clamp used to be a no-op expression, leaving
+     the clock at the last executed event instead of [until]. *)
+  let engine = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule engine ~delay:(Time_span.seconds 2.0) (fun _ -> fired := 2.0 :: !fired);
+  Engine.schedule engine ~delay:(Time_span.seconds 8.0) (fun _ -> fired := 8.0 :: !fired);
+  Engine.schedule engine ~delay:(Time_span.seconds 9.0) (fun _ -> fired := 9.0 :: !fired);
+  let paused = Engine.run ~until:(Time_span.seconds 5.0) engine in
+  check_float "clock exactly at horizon" 5.0 (Time_span.to_seconds paused);
+  check_float "now agrees" 5.0 (Time_span.to_seconds (Engine.now engine));
+  Alcotest.(check int) "future events intact" 2 (Engine.pending engine);
+  Alcotest.(check (list (float 1e-9))) "only past events ran" [ 2.0 ] (List.rev !fired);
+  (* Resuming must pick the pending events back up at their original
+     times. *)
+  let final = Engine.run engine in
+  Alcotest.(check (list (float 1e-9))) "resume fires the rest" [ 2.0; 8.0; 9.0 ]
+    (List.rev !fired);
+  check_float "final time" 9.0 (Time_span.to_seconds final)
+
+let test_engine_until_idle_tail () =
+  (* Horizon beyond the last event: clock still lands exactly on it. *)
+  let engine = Engine.create () in
+  Engine.schedule engine ~delay:(Time_span.seconds 1.0) (fun _ -> ());
+  let final = Engine.run ~until:(Time_span.seconds 4.0) engine in
+  check_float "clock at horizon with empty queue" 4.0 (Time_span.to_seconds final);
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending engine)
+
 let test_engine_nested_scheduling () =
   let engine = Engine.create () in
   let hits = ref [] in
