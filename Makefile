@@ -1,4 +1,4 @@
-.PHONY: all build test bench clean
+.PHONY: all build test bench check clean
 
 all: build
 
@@ -7,6 +7,14 @@ build:
 
 test:
 	dune runtest
+
+# The full gate: build, unit/property/golden tests, then a bench snapshot
+# round-trip — --check-json rebuilds every experiment and compares typed
+# content digests, so model drift fails the chain.
+check: build
+	dune runtest
+	dune exec bench/main.exe -- --json /tmp/amblib-bench-check.json
+	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-check.json
 
 # Reports at jobs=1 and jobs=max must be byte-identical; the JSON snapshot
 # carries ns/run per experiment plus suite wall-clock at both job counts.

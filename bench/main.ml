@@ -7,10 +7,12 @@
    2. Time each experiment builder with Bechamel (one Test.make per
       table/figure, as a grouped suite) so regressions in the underlying
       models show up as timing anomalies.
-   3. Emit a machine-readable perf snapshot: per-experiment ns/run plus
-      wall-clock for the whole suite at jobs=1 and jobs=N, so the
-      multicore execution layer's trajectory is tracked in version
-      control (BENCH_results.json).
+   3. Emit a machine-readable perf snapshot: per-experiment ns/run and a
+      content digest of each typed report, plus wall-clock for the whole
+      suite at jobs=1 and jobs=N, so the multicore execution layer's
+      trajectory is tracked in version control (BENCH_results.json).
+      --check-json rebuilds every experiment and compares digests, so a
+      stale snapshot also catches model drift, not just schema rot.
 
    Usage:
      bench/main.exe                      print all reports, then run timings
@@ -104,7 +106,12 @@ let write_json path ~jobs =
   Printf.eprintf "timing %d experiment builders (jobs=1)...\n%!"
     (List.length Amb_core.Experiments.all);
   let per_experiment =
-    List.map (fun (id, _, build) -> (id, time_builder build)) Amb_core.Experiments.all
+    List.map
+      (fun (id, _, build) ->
+        let report = build () in
+        (id, time_builder build, Amb_core.Report_io.digest report,
+         List.length report.Amb_core.Report.rows))
+      Amb_core.Experiments.all
   in
   Printf.eprintf "timing full suite at jobs=1 and jobs=%d...\n%!" jobs;
   let wall_1 = time_suite ~jobs:1 in
@@ -114,9 +121,10 @@ let write_json path ~jobs =
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
-    (fun i (id, ns) ->
+    (fun i (id, ns, digest, rows) ->
       Buffer.add_string b (Printf.sprintf "    { \"id\": %S, \"ns_per_run\": " id);
       json_number b ns;
+      Buffer.add_string b (Printf.sprintf ", \"digest\": %S, \"rows\": %d" digest rows);
       Buffer.add_string b (if i = List.length per_experiment - 1 then " }\n" else " },\n"))
     per_experiment;
   Buffer.add_string b "  ],\n  \"suite\": {\n    \"wall_s_jobs1\": ";
@@ -278,12 +286,34 @@ let check_json path =
   | _ -> fail "missing or unexpected \"schema\"");
   (match Json.member "experiments" json with
   | Some (Json.List (_ :: _ as entries)) ->
+    (* Structural pass, then the drift gate: rebuild each experiment and
+       compare its typed-content digest to the snapshot's. *)
+    let drift = ref 0 in
     List.iter
       (fun e ->
-        match (Json.member "id" e, Json.member "ns_per_run" e) with
-        | Some (Json.String _), Some (Json.Number _ | Json.Null) -> ()
-        | _ -> fail "malformed experiment entry")
-      entries
+        let id =
+          match (Json.member "id" e, Json.member "ns_per_run" e) with
+          | Some (Json.String id), Some (Json.Number _ | Json.Null) -> id
+          | _ -> fail "malformed experiment entry"
+        in
+        match Json.member "digest" e with
+        | Some (Json.String recorded) -> (
+          match Amb_core.Experiments.find id with
+          | None -> fail (Printf.sprintf "snapshot names unknown experiment %s" id)
+          | Some (_, _, build) ->
+            let current = Amb_core.Report_io.digest (build ()) in
+            if current <> recorded then begin
+              Printf.eprintf "%s: %s digest mismatch (snapshot %s, current %s) — model drift\n"
+                path id recorded current;
+              incr drift
+            end)
+        | Some _ -> fail (Printf.sprintf "experiment %s: \"digest\" must be a string" id)
+        | None -> fail (Printf.sprintf "experiment %s: missing \"digest\"" id))
+      entries;
+    if !drift > 0 then begin
+      Printf.eprintf "%s: %d experiment(s) drifted; regenerate with --json\n" path !drift;
+      exit 1
+    end
   | _ -> fail "missing or empty \"experiments\"");
   (match Json.member "suite" json with
   | Some (Json.Object _ as suite) -> (
@@ -291,7 +321,7 @@ let check_json path =
     | Some (Json.Number _), Some (Json.Number _) -> ()
     | _ -> fail "suite missing \"wall_s_jobs1\"/\"wall_s_jobs_n\"")
   | _ -> fail "missing \"suite\"");
-  Printf.printf "%s: valid amblib-bench/1 snapshot\n" path
+  Printf.printf "%s: valid amblib-bench/1 snapshot, all experiment digests match\n" path
 
 (* ------------------------------------------------------------------ *)
 
@@ -325,6 +355,12 @@ let () =
   | _ :: "--reports-only" :: _ -> print_reports ~jobs None
   | _ :: "--json" :: path :: _ -> write_json path ~jobs
   | _ :: "--check-json" :: path :: _ -> check_json path
+  | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+    Printf.eprintf
+      "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --json FILE, \
+       --check-json FILE)\n"
+      arg;
+    exit 1
   | _ ->
     print_reports ~jobs None;
     run_timings ()

@@ -8,26 +8,66 @@
      case-study   print a case study (A, B or C) with its tables
      lifetime     battery/harvester lifetime for a load
      simulate     discrete-event node-lifetime simulation
-     map          map the ambient functions onto the smart-home network *)
+     map          map the ambient functions onto the smart-home network
+     sweep        activation-rate sweep of the reference microwatt node
+
+   Report-producing subcommands take --format text|json|csv; bad
+   arguments exit with status 1. *)
 
 open Cmdliner
 open Amb_units
 
 let print_report report = print_string (Amb_core.Report.to_string report)
 
+(* --- output format --- *)
+
+(* Reports are data first, text second: every report-producing subcommand
+   takes --format and routes the same typed table through the prose,
+   JSON-envelope or CSV renderer. *)
+type output_format = Text | Json | Csv
+
+let format_term =
+  let doc =
+    "Output format: $(b,text) (prose table), $(b,json) (amblib-report/1 envelope) or $(b,csv)."
+  in
+  Arg.(value
+       & opt (enum [ ("text", Text); ("json", Json); ("csv", Csv) ]) Text
+       & info [ "format" ] ~docv:"FMT" ~doc)
+
+let emit_report ?id fmt report =
+  match fmt with
+  | Text -> print_report report
+  | Json -> print_string (Amb_core.Report_io.to_json ?id report)
+  | Csv -> print_string (Amb_core.Report_io.to_csv report)
+
+(* Several reports in one CSV stream: comment-separated sections. *)
+let emit_csv_sections entries =
+  List.iteri
+    (fun i (id, report) ->
+      if i > 0 then print_newline ();
+      let title = report.Amb_core.Report.title in
+      let already_tagged =
+        String.length title > String.length id
+        && String.sub title 0 (String.length id) = id
+      in
+      if already_tagged then Printf.printf "# %s\n" title
+      else Printf.printf "# %s: %s\n" id title;
+      print_string (Amb_core.Report_io.to_csv report))
+    entries
+
 (* --- graph --- *)
 
 let graph_cmd =
   let doc = "Print the power-information graph (experiment E1)." in
-  let run () = print_report (Amb_core.Experiments.e1 ()) in
-  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ const ())
+  let run fmt = emit_report ~id:"E1" fmt (Amb_core.Experiments.e1 ()) in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ format_term)
 
 (* --- classes --- *)
 
 let classes_cmd =
   let doc = "Print the three device classes (experiment E2)." in
-  let run () = print_report (Amb_core.Experiments.e2 ()) in
-  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ const ())
+  let run fmt = emit_report ~id:"E2" fmt (Amb_core.Experiments.e2 ()) in
+  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ format_term)
 
 (* --- classify --- *)
 
@@ -67,37 +107,46 @@ let resolve_jobs = function
 let experiment_cmd =
   let doc = "Run one experiment by id (e.g. E7), or all when no id is given." in
   let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run id jobs =
+  let run id jobs fmt =
     match id with
-    | None ->
-      List.iter
-        (fun (eid, desc, report) ->
-          Printf.printf "=== %s — %s ===\n" eid desc;
-          print_report report)
-        (Amb_core.Experiments.run_all ~jobs:(resolve_jobs jobs) ())
+    | None -> (
+      let results = Amb_core.Experiments.run_all ~jobs:(resolve_jobs jobs) () in
+      match fmt with
+      | Text ->
+        List.iter
+          (fun (eid, desc, report) ->
+            Printf.printf "=== %s — %s ===\n" eid desc;
+            print_report report)
+          results
+      | Json -> print_string (Amb_core.Report_io.set_to_json results)
+      | Csv -> emit_csv_sections (List.map (fun (eid, _, report) -> (eid, report)) results))
     | Some id -> (
       match Amb_core.Experiments.find id with
-      | Some (_, _, build) -> print_report (build ())
+      | Some (eid, _, build) -> emit_report ~id:eid fmt (build ())
       | None ->
         Printf.eprintf "unknown experiment %s; known: %s\n" id
           (String.concat ", " (List.map (fun (e, _, _) -> e) Amb_core.Experiments.all));
         exit 1)
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ jobs_term)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ jobs_term $ format_term)
 
 (* --- case-study --- *)
 
 let case_study_cmd =
   let doc = "Print a reconstructed case study: A (uW), B (mW) or C (W)." in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"A|B|C") in
-  let run id =
+  let run id fmt =
     match Amb_core.Case_study.find id with
-    | Some cs -> print_string (Amb_core.Case_study.render cs)
+    | Some cs -> (
+      match fmt with
+      | Text -> print_string (Amb_core.Case_study.render cs)
+      | Json -> print_string (Amb_core.Case_study.to_json cs)
+      | Csv -> emit_csv_sections (Amb_core.Case_study.reports_with_ids cs))
     | None ->
       Printf.eprintf "unknown case study %s (use A, B or C)\n" id;
       exit 1
   in
-  Cmd.v (Cmd.info "case-study" ~doc) Term.(const run $ id)
+  Cmd.v (Cmd.info "case-study" ~doc) Term.(const run $ id $ format_term)
 
 (* --- lifetime --- *)
 
@@ -219,8 +268,8 @@ let simulate_cmd =
 
 let map_cmd =
   let doc = "Map the standard ambient functions onto the smart-home device network (E10)." in
-  let run () = print_report (Amb_core.Experiments.e10 ()) in
-  Cmd.v (Cmd.info "map" ~doc) Term.(const run $ const ())
+  let run fmt = emit_report ~id:"E10" fmt (Amb_core.Experiments.e10 ()) in
+  Cmd.v (Cmd.info "map" ~doc) Term.(const run $ format_term)
 
 (* --- design-space --- *)
 
@@ -236,34 +285,129 @@ let design_space_cmd =
   let env =
     Arg.(value & opt string "office" & info [ "env" ] ~docv:"ENV" ~doc:"harvesting environment")
   in
-  let run rate years env =
+  let run rate years env fmt =
     let environment =
       match environment_of_name env with
       | Some e -> e
-      | None -> Amb_energy.Harvester.office_indoor
+      | None ->
+        (* "none" parses (the lifetime command accepts it) but the design
+           space needs a harvesting environment — reject rather than
+           silently exploring a different mission. *)
+        Printf.eprintf "design-space requires a harvesting environment (got %s)\n" env;
+        exit 1
     in
+    if rate <= 0.0 || years <= 0.0 then begin
+      Printf.eprintf "--rate and --years must be positive (got %g, %g)\n" rate years;
+      exit 1
+    end;
     let mission =
       Amb_core.Design_space.mission ~name:"autonomous sensing" ~environment
         ~activation:Amb_node.Reference_designs.microwatt_activation ~rate
         ~lifetime_target:(Time_span.years years)
         ~class_limit:Amb_core.Device_class.Microwatt ()
     in
-    print_report (Amb_core.Design_space.to_report mission);
-    match Amb_core.Design_space.best mission with
-    | Some v ->
-      Printf.printf "\nrecommended: %s (%s average)\n"
-        v.Amb_core.Design_space.candidate.Amb_core.Design_space.label
-        (Power.to_string v.Amb_core.Design_space.average_power)
-    | None -> print_endline "\nno feasible design for this mission"
+    emit_report ~id:"E22" fmt (Amb_core.Design_space.to_report mission);
+    if fmt = Text then
+      match Amb_core.Design_space.best mission with
+      | Some v ->
+        Printf.printf "\nrecommended: %s (%s average)\n"
+          v.Amb_core.Design_space.candidate.Amb_core.Design_space.label
+          (Power.to_string v.Amb_core.Design_space.average_power)
+      | None -> print_endline "\nno feasible design for this mission"
   in
-  Cmd.v (Cmd.info "design-space" ~doc) Term.(const run $ rate $ years $ env)
+  Cmd.v (Cmd.info "design-space" ~doc) Term.(const run $ rate $ years $ env $ format_term)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let doc =
+    "Sweep the activation rate of the reference microwatt node: average power, analytic \
+     lifetime and supply verdict at log-spaced rates."
+  in
+  let min_rate =
+    Arg.(value & opt float 1e-3 & info [ "min-rate" ] ~docv:"HZ" ~doc:"lowest activation rate, events/s")
+  in
+  let max_rate =
+    Arg.(value & opt float 10.0 & info [ "max-rate" ] ~docv:"HZ" ~doc:"highest activation rate, events/s")
+  in
+  let points =
+    Arg.(value & opt int 9 & info [ "points" ] ~docv:"N" ~doc:"number of sweep points")
+  in
+  let battery =
+    Arg.(value & opt string "cr2032" & info [ "battery" ] ~docv:"NAME" ~doc:"cr2032, aa, liion, lipo")
+  in
+  let pv_cm2 =
+    Arg.(value & opt float 0.0 & info [ "pv-cm2" ] ~docv:"CM2" ~doc:"solar cell area (0 = none)")
+  in
+  let env =
+    Arg.(value & opt string "office" & info [ "env" ] ~docv:"ENV" ~doc:"harvesting environment")
+  in
+  let run min_rate max_rate points battery pv_cm2 env fmt =
+    if min_rate <= 0.0 || max_rate < min_rate then begin
+      Printf.eprintf "need 0 < --min-rate <= --max-rate (got %g, %g)\n" min_rate max_rate;
+      exit 1
+    end;
+    if points < 2 then begin
+      Printf.eprintf "--points must be at least 2, got %d\n" points;
+      exit 1
+    end;
+    let b = battery_of_name battery in
+    let supply =
+      if pv_cm2 > 0.0 then
+        match environment_of_name env with
+        | Some e ->
+          let cell =
+            Amb_energy.Harvester.Photovoltaic
+              { area = Area.square_centimetres pv_cm2; efficiency = 0.05 }
+          in
+          Amb_energy.Supply.harvester_and_battery ~name:"pv+battery" cell e b
+        | None -> Amb_energy.Supply.battery_only ~name:battery b
+      else Amb_energy.Supply.battery_only ~name:battery b
+    in
+    let node =
+      { (Amb_node.Reference_designs.microwatt_node ()) with Amb_node.Node_model.supply }
+    in
+    let act = Amb_node.Reference_designs.microwatt_activation in
+    let ratio = max_rate /. min_rate in
+    let rates =
+      List.init points (fun i ->
+          min_rate *. (ratio ** (float_of_int i /. float_of_int (points - 1))))
+    in
+    let rows =
+      List.map
+        (fun rate ->
+          let avg = Amb_node.Node_model.average_power node act ~rate in
+          let lifetime = Amb_node.Node_model.lifetime node act ~rate in
+          let verdict = Amb_energy.Lifetime.evaluate supply avg in
+          [ Amb_core.Report.cell_float ~digits:4 rate;
+            Amb_core.Report.cell_power avg;
+            Amb_core.Report.cell_time lifetime;
+            Amb_core.Report.cell_text (Amb_energy.Lifetime.verdict_to_string verdict) ])
+        rates
+    in
+    let report =
+      Amb_core.Report.make
+        ~title:
+          (Printf.sprintf "Activation-rate sweep: microwatt node on %s%s" b.Amb_energy.Battery.name
+             (if pv_cm2 > 0.0 then Printf.sprintf " + %g cm^2 PV (%s)" pv_cm2 env else ""))
+        ~header:[ "rate (/s)"; "avg power"; "lifetime"; "verdict" ]
+        ~notes:
+          [ Printf.sprintf "%d log-spaced rates in [%g, %g] /s; analytic duty-cycle model" points
+              min_rate max_rate ]
+        rows
+    in
+    emit_report ~id:"SWEEP" fmt report
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(const run $ min_rate $ max_rate $ points $ battery $ pv_cm2 $ env $ format_term)
 
 (* --- roadmap --- *)
 
 let roadmap_cmd =
   let doc = "Print the ten-year silicon/vision timeline (E23)." in
-  let run () = print_report (Amb_core.Experiments.e23 ()) in
-  Cmd.v (Cmd.info "roadmap" ~doc) Term.(const run $ const ())
+  let run fmt = emit_report ~id:"E23" fmt (Amb_core.Experiments.e23 ()) in
+  Cmd.v (Cmd.info "roadmap" ~doc) Term.(const run $ format_term)
 
 (* --- full-report --- *)
 
@@ -291,11 +435,15 @@ let full_report_cmd =
       (Amb_core.Experiments.run_all ~jobs:(resolve_jobs jobs) ());
     match output with
     | None -> print_string (Buffer.contents buffer)
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Buffer.contents buffer);
-      close_out oc;
-      Printf.printf "wrote %s (%d bytes)\n" path (Buffer.length buffer)
+    | Some path -> (
+      match open_out path with
+      | oc ->
+        output_string oc (Buffer.contents buffer);
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (Buffer.length buffer)
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write %s: %s\n" path msg;
+        exit 1)
   in
   Cmd.v (Cmd.info "full-report" ~doc) Term.(const run $ output $ jobs_term)
 
@@ -304,6 +452,8 @@ let main_cmd =
   let info = Cmd.info "ambient" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ graph_cmd; classes_cmd; classify_cmd; experiment_cmd; case_study_cmd; lifetime_cmd;
-      simulate_cmd; map_cmd; design_space_cmd; roadmap_cmd; full_report_cmd ]
+      simulate_cmd; map_cmd; design_space_cmd; sweep_cmd; roadmap_cmd; full_report_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* cmdliner reports its own parse errors with exit 124; fold every
+   failure to 1 so callers see one error status for any bad argument. *)
+let () = exit (match Cmd.eval main_cmd with 0 -> 0 | _ -> 1)

@@ -65,14 +65,45 @@ let find id =
   let target = String.uppercase_ascii id in
   List.find_opt (fun cs -> cs.id = target) all
 
-(** [reports cs] — build the case study's experiment reports. *)
-let reports cs =
+(** [reports_with_ids cs] — the case study's experiment reports, tagged
+    with their experiment ids (for the JSON envelope). *)
+let reports_with_ids cs =
   List.filter_map
     (fun eid ->
       match Experiments.find eid with
-      | Some (_, _, build) -> Some (build ())
+      | Some (eid, _, build) -> Some (eid, build ())
       | None -> None)
     cs.experiment_ids
+
+(** [reports cs] — build the case study's experiment reports. *)
+let reports cs = List.map snd (reports_with_ids cs)
+
+(** [to_json cs] — the case study as one [amblib-case-study/1] document:
+    id, title, class, challenge, narrative, and the experiment reports as
+    embedded [amblib-report/1] documents. *)
+let to_json cs =
+  let str = Report_io.json_string in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n  \"schema\": \"amblib-case-study/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"id\": %s,\n" (str cs.id));
+  Buffer.add_string b (Printf.sprintf "  \"title\": %s,\n" (str cs.title));
+  Buffer.add_string b
+    (Printf.sprintf "  \"device_class\": %s,\n" (str (Device_class.short_name cs.device_class)));
+  Buffer.add_string b (Printf.sprintf "  \"challenge\": %s,\n" (str cs.challenge));
+  Buffer.add_string b "  \"narrative\": [";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b ("\n    " ^ str line))
+    cs.narrative;
+  Buffer.add_string b "\n  ],\n  \"reports\": [";
+  List.iteri
+    (fun i (eid, report) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b ("\n" ^ Report_io.to_json ~id:eid report))
+    (reports_with_ids cs);
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
 
 (** [render cs] — narrative followed by the reports. *)
 let render cs =

@@ -28,5 +28,14 @@ val find : string -> t option
 val reports : t -> Report.t list
 (** Build the case study's experiment reports. *)
 
+val reports_with_ids : t -> (string * Report.t) list
+(** The same reports tagged with their experiment ids (for the JSON
+    envelope). *)
+
+val to_json : t -> string
+(** The case study as one [amblib-case-study/1] document: id, title,
+    class, challenge, narrative, and the experiment reports as embedded
+    [amblib-report/1] documents. *)
+
 val render : t -> string
 (** Narrative followed by the reports. *)

@@ -1,0 +1,44 @@
+(** A typed report cell: the value and its unit kind.  Tables of these are
+    rendered to prose, serialized to JSON/CSV, or compared numerically. *)
+
+open Amb_units
+
+type t =
+  | Text of string
+  | Int of int
+  | Float of { v : float; digits : int }
+      (** Dimensionless number, rendered to [digits] significant digits. *)
+  | Power of Power.t
+  | Energy of Energy.t
+  | Time of Time_span.t
+  | Rate of Data_rate.t
+  | Percent of float  (** A fraction in [0, 1]; rendered as a percentage. *)
+
+val text : string -> t
+val int : int -> t
+
+val float : ?digits:int -> float -> t
+(** Default 3 significant digits, matching the historical formatter. *)
+
+val power : Power.t -> t
+val energy : Energy.t -> t
+val time : Time_span.t -> t
+val rate : Data_rate.t -> t
+val percent : float -> t
+
+val kind_name : t -> string
+(** The unit-kind tag used by the [amblib-report/1] envelope. *)
+
+val unit_symbol : t -> string
+(** SI base unit of the numeric payload ([""] for dimensionless kinds). *)
+
+val si_value : t -> float option
+(** Numeric payload in SI base units ([Percent] as a fraction); [None] for
+    [Text]. *)
+
+val to_string : t -> string
+(** Prose rendering, byte-compatible with the historical [Report.cell_*]
+    formatters. *)
+
+val equal : t -> t -> bool
+(** Structural equality; NaN payloads compare equal to themselves. *)

@@ -92,16 +92,17 @@ let standard_gaps ?(base_year = 2003) () =
 (** [to_report gaps] — the E5 table. *)
 let to_report gaps =
   let row g =
-    [ g.subject;
-      Printf.sprintf "%.3g" g.required_ops_per_joule;
-      Printf.sprintf "%.3g" g.available_ops_per_joule;
-      Printf.sprintf "%.2fx" g.ratio;
-      (if Time_span.is_forever g.closing_time then "never (scaling alone)"
-       else if g.ratio <= 1.0 then "closed"
-       else Printf.sprintf "%.1f years" (Time_span.to_years g.closing_time));
-      (if g.closing_year = max_int then "-"
-       else if g.ratio <= 1.0 then "now"
-       else string_of_int g.closing_year);
+    [ Report.cell_text g.subject;
+      Report.cell_float g.required_ops_per_joule;
+      Report.cell_float g.available_ops_per_joule;
+      Report.cell_text (Printf.sprintf "%.2fx" g.ratio);
+      Report.cell_text
+        (if Time_span.is_forever g.closing_time then "never (scaling alone)"
+         else if g.ratio <= 1.0 then "closed"
+         else Printf.sprintf "%.1f years" (Time_span.to_years g.closing_time));
+      (if g.closing_year = max_int then Report.cell_text "-"
+       else if g.ratio <= 1.0 then Report.cell_text "now"
+       else Report.cell_int g.closing_year);
     ]
   in
   Report.make ~title:"E5: energy-efficiency gaps and scaling-only closing years"

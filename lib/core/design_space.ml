@@ -163,16 +163,16 @@ let best m = List.find_opt (fun v -> v.feasible) (explore m)
 let to_report ?(max_rows = 14) m =
   let verdicts = explore m in
   let shown = List.filteri (fun i _ -> i < max_rows) verdicts in
-  let mark ok = if ok then "ok" else "X" in
+  let mark ok = Report.cell_text (if ok then "ok" else "X") in
   let row v =
-    [ v.candidate.label;
+    [ Report.cell_text v.candidate.label;
       Report.cell_power v.average_power;
-      Time_span.to_human_string v.lifetime;
-      (if v.autonomous then "yes" else "no");
+      Report.cell_time v.lifetime;
+      Report.cell_text (if v.autonomous then "yes" else "no");
       mark v.class_ok;
       mark v.peak_ok;
       mark v.lifetime_ok;
-      (if v.feasible then "FEASIBLE" else "-");
+      Report.cell_text (if v.feasible then "FEASIBLE" else "-");
     ]
   in
   let feasible_count = List.length (List.filter (fun v -> v.feasible) verdicts) in

@@ -13,6 +13,9 @@ open Amb_circuit
 open Amb_radio
 open Amb_node
 
+(* Shorthand for the qualitative cells of a typed row. *)
+let txt = Report.cell_text
+
 (* ------------------------------------------------------------------ *)
 (* E1 — power-information graph                                        *)
 
@@ -24,14 +27,14 @@ let e1 () = Power_information.to_report (Power_information.catalogue ())
 let e2 () =
   let row cls =
     let lo, hi = Device_class.band cls in
-    [ Device_class.name cls;
-      Printf.sprintf "%s .. %s" (Power.to_string lo) (Power.to_string hi);
+    [ txt (Device_class.name cls);
+      txt (Printf.sprintf "%s .. %s" (Power.to_string lo) (Power.to_string hi));
       Report.cell_power (Device_class.average_budget cls);
-      Device_class.energy_source cls;
+      txt (Device_class.energy_source cls);
       (match Device_class.lifetime_target cls with
-      | None -> "n/a (mains)"
-      | Some t -> Time_span.to_human_string t);
-      String.concat ", " (Device_class.typical_functions cls);
+      | None -> txt "n/a (mains)"
+      | Some t -> Report.cell_time t);
+      txt (String.concat ", " (Device_class.typical_functions cls));
     ]
   in
   Report.make ~title:"E2: the three device classes"
@@ -50,7 +53,7 @@ let e3 () =
   let b = Node_model.cycle_breakdown node act in
   let total = Energy.to_joules b.Node_model.total in
   let share e = if total <= 0.0 then 0.0 else Energy.to_joules e /. total in
-  let row name e = [ name; Report.cell_energy e; Report.cell_percent (share e) ] in
+  let row name e = [ txt name; Report.cell_energy e; Report.cell_percent (share e) ] in
   Report.make ~title:"E3: microwatt-node energy budget per sense-process-transmit cycle"
     ~header:[ "subsystem"; "energy"; "share" ]
     [ row "sensing" b.Node_model.sensing;
@@ -82,10 +85,10 @@ let e4_core ~peukert () =
     let p = Duty_cycle.average_power profile ~rate in
     let life_batt = Supply.lifetime battery_supply p in
     let verdict = Lifetime.evaluate harvest_supply p in
-    [ Printf.sprintf "%.4g" rate;
+    [ Report.cell_float ~digits:4 rate;
       Report.cell_power p;
-      Time_span.to_human_string life_batt;
-      Lifetime.verdict_to_string verdict;
+      Report.cell_time life_batt;
+      txt (Lifetime.verdict_to_string verdict);
     ]
   in
   let autonomy =
@@ -130,9 +133,9 @@ let e6 () =
         | None -> "-"
       in
       let saving = (Power.to_watts race -. Power.to_watts dvfs) /. Power.to_watts race in
-      [ Report.cell_percent u; v; Report.cell_power race; Report.cell_power dvfs;
+      [ Report.cell_percent u; txt v; Report.cell_power race; Report.cell_power dvfs;
         Report.cell_percent saving ]
-    | _ -> [ Report.cell_percent u; "-"; "-"; "-"; "infeasible" ]
+    | _ -> [ Report.cell_percent u; txt "-"; txt "-"; txt "-"; txt "infeasible" ]
   in
   Report.make ~title:"E6: voltage scaling vs race-to-idle (ARM7-class core)"
     ~header:[ "utilization"; "DVFS Vdd"; "race-to-idle"; "DVFS"; "saving" ]
@@ -161,13 +164,13 @@ let e7 () =
     let leak_frac =
       Power.to_watts b.Soc.leakage /. Float.max 1e-30 (Power.to_watts b.Soc.total)
     in
-    [ node.Process_node.name;
+    [ txt node.Process_node.name;
       Report.cell_power b.Soc.dynamic;
       Report.cell_power b.Soc.leakage;
       Report.cell_power (Power.add b.Soc.onchip_memory b.Soc.offchip_memory);
       Report.cell_power b.Soc.total;
       Report.cell_percent leak_frac;
-      Printf.sprintf "%.2f W/cm^2" (Soc.power_density soc);
+      txt (Printf.sprintf "%.2f W/cm^2" (Soc.power_density soc));
     ]
   in
   Report.make ~title:"E7: media SoC power across process nodes (fixed 200 MHz architecture)"
@@ -181,7 +184,7 @@ let a2 () =
   let row name node =
     let soc = media_soc node in
     let b = Soc.breakdown soc in
-    [ name; Report.cell_power b.Soc.dynamic; Report.cell_power b.Soc.leakage;
+    [ txt name; Report.cell_power b.Soc.dynamic; Report.cell_power b.Soc.leakage;
       Report.cell_power b.Soc.total ]
   in
   Report.make ~title:"A2: 130->65 nm projection, ideal Dennard vs leakage-aware"
@@ -212,14 +215,14 @@ let e8 () =
             Link_budget.energy_per_delivered_bit link ~distance_m:d
               ~packet_bits:(Packet.total_bits p)
           with
-          | None -> "out of reach"
-          | Some e -> Energy.to_string e)
+          | None -> txt "out of reach"
+          | Some e -> Report.cell_energy e)
         packets
     in
-    Printf.sprintf "%.0f m" d
+    txt (Printf.sprintf "%.0f m" d)
     :: (match Link_budget.required_tx_dbm link ~distance_m:d with
-       | None -> "-"
-       | Some dbm -> Printf.sprintf "%.1f dBm" dbm)
+       | None -> txt "-"
+       | Some dbm -> txt (Printf.sprintf "%.1f dBm" dbm))
     :: cells
   in
   Report.make ~title:"E8: TX energy per bit vs distance (868 MHz, indoor n=3.3)"
@@ -245,7 +248,7 @@ let e9_core ~with_startup () =
   let mac t = Mac_duty_cycle.make ~radio ~t_wakeup:(Time_span.seconds t) ~packet () in
   let row t =
     let p = Mac_duty_cycle.average_power (mac t) ~tx_rate ~rx_rate in
-    [ Printf.sprintf "%.2f s" t; Report.cell_power p ]
+    [ txt (Printf.sprintf "%.2f s" t); Report.cell_power p ]
   in
   let opt = Mac_duty_cycle.optimal_wakeup (mac 1.0) ~tx_rate ~rx_rate in
   let opt_num = Mac_duty_cycle.optimal_wakeup_numeric (mac 1.0) ~tx_rate ~rx_rate in
@@ -310,10 +313,10 @@ let e11 () =
       Amb_net.Flow.simulate_depletion router ~policy ~budget ~sink ~rebuild_every:500.0
     in
     let lifetime = Time_span.seconds (rounds *. 30.0) in
-    [ Amb_net.Routing.policy_name policy;
-      Printf.sprintf "%d/%d" connected nodes;
-      Printf.sprintf "%.4g" rounds;
-      Time_span.to_human_string lifetime;
+    [ txt (Amb_net.Routing.policy_name policy);
+      txt (Printf.sprintf "%d/%d" connected nodes);
+      Report.cell_float ~digits:4 rounds;
+      Report.cell_time lifetime;
     ]
   in
   Report.make
@@ -350,11 +353,11 @@ let e12 () =
       Float.abs (Power.to_watts measured -. Power.to_watts analytic)
       /. Float.max 1e-30 (Power.to_watts analytic)
     in
-    [ Printf.sprintf "%.4g /s %s" rate kind;
+    [ txt (Printf.sprintf "%.4g /s %s" rate kind);
       Report.cell_power analytic;
       Report.cell_power measured;
       Report.cell_percent err;
-      string_of_int outcome.Lifetime_sim.activations;
+      Report.cell_int outcome.Lifetime_sim.activations;
     ]
   in
   Report.make ~title:"E12: discrete-event simulation vs closed-form duty-cycle power (30 days)"
@@ -383,11 +386,11 @@ let e13 () =
   let row (name, available) =
     let gap = required /. available in
     let closing = Scaling.years_to_close ~doubling_period:doubling ~gap in
-    [ name;
-      Printf.sprintf "%.3g" available;
-      Printf.sprintf "%.2fx" gap;
-      (if gap <= 1.0 then "fits today"
-       else Printf.sprintf "+%.1f years of scaling" (Time_span.to_years closing));
+    [ txt name;
+      Report.cell_float available;
+      txt (Printf.sprintf "%.2fx" gap);
+      (if gap <= 1.0 then txt "fits today"
+       else txt (Printf.sprintf "+%.1f years of scaling" (Time_span.to_years closing)));
     ]
   in
   Report.make
@@ -433,12 +436,12 @@ let e14 () =
         ~income_multiplier:(Day_profile.income_multiplier dp) ()
     in
     let o = Lifetime_sim.run cfg ~seed:14 in
-    [ dp.Day_profile.name;
+    [ txt dp.Day_profile.name;
       Report.cell_power avg;
-      (if sustainable then "yes" else "NO");
+      txt (if sustainable then "yes" else "NO");
       Report.cell_energy buffer;
-      Printf.sprintf "%.2f F" cap_f;
-      (if o.Lifetime_sim.died then "died" else "alive @30d");
+      txt (Printf.sprintf "%.2f F" cap_f);
+      txt (if o.Lifetime_sim.died then "died" else "alive @30d");
     ]
   in
   Report.make ~title:"E14: diurnal harvesting - long-run balance and night buffer"
@@ -461,11 +464,11 @@ let e15 () =
     let noc = Noc.evaluate_noc t ~demand_per_core in
     let bus_power = Noc.communication_power t ~demand_per_core ~use_noc:false in
     let noc_power = Noc.communication_power t ~demand_per_core ~use_noc:true in
-    [ string_of_int cores;
+    [ Report.cell_int cores;
       Report.cell_energy bus.Noc.energy_per_bit;
-      (if bus.Noc.saturated then "SATURATED" else Report.cell_power bus_power);
+      (if bus.Noc.saturated then txt "SATURATED" else Report.cell_power bus_power);
       Report.cell_energy noc.Noc.energy_per_bit;
-      (if noc.Noc.saturated then "SATURATED" else Report.cell_power noc_power);
+      (if noc.Noc.saturated then txt "SATURATED" else Report.cell_power noc_power);
     ]
   in
   let crossover =
@@ -492,10 +495,10 @@ let e16 () =
   let loads = [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ] in
   let rows = Mac_sim.sweep cfg ~loads ~seed:16 in
   let row (g, simulated, analytic, throughput) =
-    [ Printf.sprintf "%.2f" g;
+    [ txt (Printf.sprintf "%.2f" g);
       Report.cell_percent simulated;
       Report.cell_percent analytic;
-      Printf.sprintf "%.3f" throughput;
+      txt (Printf.sprintf "%.3f" throughput);
     ]
   in
   Report.make ~title:"E16: shared-channel simulation vs pure-ALOHA closed form (20 nodes)"
@@ -518,8 +521,9 @@ let e17 () =
       List.map
         (fun reg ->
           let seen = Regulator.effective_sleep_floor reg ~sleep in
-          Printf.sprintf "%s (%.0f%%)" (Power.to_string seen)
-            (100.0 *. Regulator.efficiency_at reg ~load:sleep))
+          txt
+            (Printf.sprintf "%s (%.0f%%)" (Power.to_string seen)
+               (100.0 *. Regulator.efficiency_at reg ~load:sleep)))
         regs
     in
     Report.cell_power sleep :: cells
@@ -549,12 +553,12 @@ let e18 () =
     let spread = Variability.spread_of node in
     let stats = Variability.monte_carlo ~jobs spread ~dies:20_000 ~seed:18 in
     let nominal = Power.scale block_gates node.Process_node.leakage_per_gate in
-    [ node.Process_node.name;
-      Printf.sprintf "%.1f mV" spread.Variability.sigma_vth_mv;
+    [ txt node.Process_node.name;
+      txt (Printf.sprintf "%.1f mV" spread.Variability.sigma_vth_mv);
       Report.cell_power nominal;
-      Printf.sprintf "%.2fx" stats.Variability.mean_multiplier;
-      Printf.sprintf "%.2fx" stats.Variability.p95_multiplier;
-      Printf.sprintf "%.2fx" stats.Variability.spread_ratio;
+      txt (Printf.sprintf "%.2fx" stats.Variability.mean_multiplier);
+      txt (Printf.sprintf "%.2fx" stats.Variability.p95_multiplier);
+      txt (Printf.sprintf "%.2fx" stats.Variability.spread_ratio);
     ]
   in
   Report.make
@@ -594,10 +598,10 @@ let e19 () =
   in
   let nominal = autonomy_with ~startup_scale:1.0 ~pv_efficiency:0.05 ~sleep_uw:5.0 in
   let row (name, low, high) =
-    [ name;
-      Printf.sprintf "%.3g /s (%+.0f%%)" low (100.0 *. ((low /. nominal) -. 1.0));
-      Printf.sprintf "%.3g /s" nominal;
-      Printf.sprintf "%.3g /s (%+.0f%%)" high (100.0 *. ((high /. nominal) -. 1.0));
+    [ txt name;
+      txt (Printf.sprintf "%.3g /s (%+.0f%%)" low (100.0 *. ((low /. nominal) -. 1.0)));
+      txt (Printf.sprintf "%.3g /s" nominal);
+      txt (Printf.sprintf "%.3g /s (%+.0f%%)" high (100.0 *. ((high /. nominal) -. 1.0)));
     ]
   in
   let rows =
@@ -646,8 +650,8 @@ let e20 () =
     let o = Amb_net.Net_sim.run cfg ~seed:20 in
     let simulated_death =
       match o.Amb_net.Net_sim.first_death with
-      | Some t -> Time_span.to_human_string t
-      | None -> "none"
+      | Some t -> Report.cell_time t
+      | None -> txt "none"
     in
     let err =
       match o.Amb_net.Net_sim.first_death with
@@ -655,14 +659,14 @@ let e20 () =
         Report.cell_percent
           (Float.abs (Time_span.to_seconds t -. Time_span.to_seconds analytic_death)
           /. Time_span.to_seconds analytic_death)
-      | None -> "-"
+      | None -> txt "-"
     in
-    [ Amb_net.Routing.policy_name policy;
-      Time_span.to_human_string analytic_death;
+    [ txt (Amb_net.Routing.policy_name policy);
+      Report.cell_time analytic_death;
       simulated_death;
       err;
       Report.cell_percent o.Amb_net.Net_sim.delivery_ratio;
-      string_of_int o.Amb_net.Net_sim.dead_at_end;
+      Report.cell_int o.Amb_net.Net_sim.dead_at_end;
     ]
   in
   Report.make
@@ -696,12 +700,12 @@ let e21 () =
       let o = Edf_sim.run ~policy ~tasks ~capacity ~horizon in
       Printf.sprintf "%d/%d" o.Edf_sim.deadline_misses o.Edf_sim.jobs_released
     in
-    [ label;
-      Printf.sprintf "%.2f" u;
-      (if Scheduler.rm_schedulable tasks ~capacity then "yes" else "no");
-      simulate Edf_sim.Rate_monotonic;
-      (if Scheduler.edf_schedulable tasks ~capacity then "yes" else "no");
-      simulate Edf_sim.Earliest_deadline_first;
+    [ txt label;
+      txt (Printf.sprintf "%.2f" u);
+      txt (if Scheduler.rm_schedulable tasks ~capacity then "yes" else "no");
+      txt (simulate Edf_sim.Rate_monotonic);
+      txt (if Scheduler.edf_schedulable tasks ~capacity then "yes" else "no");
+      txt (simulate Edf_sim.Earliest_deadline_first);
     ]
   in
   Report.make
@@ -749,11 +753,13 @@ let e23 () =
               else None)
             ambitions
         in
-        [ string_of_int m.Roadmap.year;
-          m.Roadmap.node.Process_node.name;
+        [ Report.cell_int m.Roadmap.year;
+          txt m.Roadmap.node.Process_node.name;
           Report.cell_energy m.Roadmap.gate_energy;
-          Printf.sprintf "%.1fx" m.Roadmap.relative_efficiency;
-          (if feasible = [] then "-" else String.concat ", " (List.map String.trim feasible));
+          txt (Printf.sprintf "%.1fx" m.Roadmap.relative_efficiency);
+          txt
+            (if feasible = [] then "-"
+             else String.concat ", " (List.map String.trim feasible));
         ])
       (Roadmap.timeline ~from_year:2003 ~to_year:2015)
   in
@@ -783,11 +789,12 @@ let e24 () =
       ~include_startup:true
   in
   let row (mix, p, multiplier) =
-    [ mix;
+    [ txt mix;
       Report.cell_percent p;
       (match multiplier with
-      | None -> "unreliable (>1% loss after retries)"
-      | Some m -> Printf.sprintf "%.2fx (%s)" m (Energy.to_string (Energy.scale m base_energy)));
+      | None -> txt "unreliable (>1% loss after retries)"
+      | Some m ->
+        txt (Printf.sprintf "%.2fx (%s)" m (Energy.to_string (Energy.scale m base_energy))));
     ]
   in
   Report.make

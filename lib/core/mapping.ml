@@ -179,13 +179,14 @@ let within_class_budgets a =
 let to_report a =
   let row (h, load) =
     let names = List.rev_map (fun f -> f.Ami_function.name) load.hosted in
-    [ h.host_name;
-      Device_class.short_name h.host_class;
-      String.concat ", " (if names = [] then [ "-" ] else names);
+    [ Report.cell_text h.host_name;
+      Report.cell_text (Device_class.short_name h.host_class);
+      Report.cell_text (String.concat ", " (if names = [] then [ "-" ] else names));
       Report.cell_power (Power.watts load.used_power);
       Report.cell_power (Device_class.average_budget h.host_class);
-      (if Power.le (Power.watts load.used_power) (Device_class.average_budget h.host_class)
-       then "ok" else "OVER");
+      Report.cell_text
+        (if Power.le (Power.watts load.used_power) (Device_class.average_budget h.host_class)
+         then "ok" else "OVER");
     ]
   in
   let rows = List.map row a.hosts in

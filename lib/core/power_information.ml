@@ -131,13 +131,13 @@ let to_report entries =
   let sorted = List.sort (fun a b -> Power.compare a.power b.power) entries in
   let frontier = pareto_frontier entries in
   let row e =
-    [ e.name;
-      kind_name e.kind;
+    [ Report.cell_text e.name;
+      Report.cell_text (kind_name e.kind);
       Report.cell_rate e.info_rate;
       Report.cell_power e.power;
-      Printf.sprintf "%.3g" (efficiency e);
-      Device_class.short_name (classify e);
-      (if List.memq e frontier then "*" else "");
+      Report.cell_float (efficiency e);
+      Report.cell_text (Device_class.short_name (classify e));
+      Report.cell_text (if List.memq e frontier then "*" else "");
     ]
   in
   Report.make ~title:"E1: power-information graph"

@@ -1,12 +1,15 @@
-(** Plain-text table rendering for the experiment harness.
+(** Typed result tables for the experiment harness.
 
-    Every reconstructed table/figure prints through this module so that
-    bench output, examples and EXPERIMENTS.md rows share one format. *)
+    Every reconstructed table/figure is built as rows of {!Cell.t} — data
+    first, text second.  {!to_string} renders the markdown-ish prose that
+    bench output, examples and EXPERIMENTS.md rows share (byte-identical
+    to the historical string pipeline); {!Report_io} renders the same
+    table as JSON or CSV. *)
 
 type t = {
   title : string;
   header : string list;
-  rows : string list list;
+  rows : Cell.t list list;
   notes : string list;
 }
 
@@ -18,8 +21,12 @@ let make ?(notes = []) ~title ~header rows =
     rows;
   { title; header; rows; notes }
 
+(** [rendered_rows report] — every row as prose strings, via
+    {!Cell.to_string}. *)
+let rendered_rows report = List.map (List.map Cell.to_string) report.rows
+
 let column_widths report =
-  let cells = report.header :: report.rows in
+  let cells = report.header :: rendered_rows report in
   let widths = Array.make (List.length report.header) 0 in
   let consider row =
     List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
@@ -42,21 +49,30 @@ let to_string report =
   Buffer.add_string buffer ("## " ^ report.title ^ "\n");
   Buffer.add_string buffer (render_row widths report.header ^ "\n");
   Buffer.add_string buffer (separator widths ^ "\n");
-  List.iter (fun row -> Buffer.add_string buffer (render_row widths row ^ "\n")) report.rows;
+  List.iter
+    (fun row -> Buffer.add_string buffer (render_row widths row ^ "\n"))
+    (rendered_rows report);
   List.iter (fun note -> Buffer.add_string buffer ("  note: " ^ note ^ "\n")) report.notes;
   Buffer.contents buffer
 
 let print report = print_string (to_string report)
 
-(* Cell formatting helpers: stable significant-digit rendering so the
-   replicated rows do not wobble across runs/platforms. *)
-let cell_float ?(digits = 3) v =
-  if Float.is_nan v then "nan"
-  else if Float.abs v >= 1e15 || v = Float.infinity then "inf"
-  else Printf.sprintf "%.4g" (Amb_units.Si.round_to ~digits v)
+(** [equal a b] — structural equality over titles, headers, typed cells
+    and notes. *)
+let equal a b =
+  a.title = b.title && a.header = b.header && a.notes = b.notes
+  && List.length a.rows = List.length b.rows
+  && List.for_all2
+       (fun ra rb -> List.length ra = List.length rb && List.for_all2 Cell.equal ra rb)
+       a.rows b.rows
 
-let cell_power p = Amb_units.Power.to_string p
-let cell_energy e = Amb_units.Energy.to_string e
-let cell_time t = Amb_units.Time_span.to_human_string t
-let cell_rate r = Amb_units.Data_rate.to_string r
-let cell_percent f = Printf.sprintf "%.1f%%" (100.0 *. f)
+(* Typed-cell constructors under the names the builders historically used
+   for their string formatters. *)
+let cell_text = Cell.text
+let cell_int = Cell.int
+let cell_float ?digits v = Cell.float ?digits v
+let cell_power = Cell.power
+let cell_energy = Cell.energy
+let cell_time = Cell.time
+let cell_rate = Cell.rate
+let cell_percent = Cell.percent

@@ -1,27 +1,36 @@
-(** Plain-text table rendering for the experiment harness: bench output,
-    examples and EXPERIMENTS.md rows share one format. *)
+(** Typed result tables for the experiment harness: rows of {!Cell.t},
+    rendered to prose here and to JSON/CSV by {!Report_io}. *)
 
 type t = {
   title : string;
   header : string list;
-  rows : string list list;
+  rows : Cell.t list list;
   notes : string list;
 }
 
-val make : ?notes:string list -> title:string -> header:string list -> string list list -> t
+val make : ?notes:string list -> title:string -> header:string list -> Cell.t list list -> t
 (** Raises [Invalid_argument] when a row's width differs from the
     header's. *)
+
+val rendered_rows : t -> string list list
+(** Every row as prose strings, via {!Cell.to_string}. *)
 
 val to_string : t -> string
 (** Markdown-ish table with title and notes. *)
 
 val print : t -> unit
 
-val cell_float : ?digits:int -> float -> string
+val equal : t -> t -> bool
+(** Structural equality over titles, headers, typed cells and notes. *)
+
+val cell_text : string -> Cell.t
+val cell_int : int -> Cell.t
+
+val cell_float : ?digits:int -> float -> Cell.t
 (** Stable significant-digit rendering (default 3 digits). *)
 
-val cell_power : Amb_units.Power.t -> string
-val cell_energy : Amb_units.Energy.t -> string
-val cell_time : Amb_units.Time_span.t -> string
-val cell_rate : Amb_units.Data_rate.t -> string
-val cell_percent : float -> string
+val cell_power : Amb_units.Power.t -> Cell.t
+val cell_energy : Amb_units.Energy.t -> Cell.t
+val cell_time : Amb_units.Time_span.t -> Cell.t
+val cell_rate : Amb_units.Data_rate.t -> Cell.t
+val cell_percent : float -> Cell.t

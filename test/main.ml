@@ -25,4 +25,6 @@ let () =
       ("coexistence", Test_coexistence.suite);
       ("failure injection", Test_failure_injection.suite);
       ("golden", Test_golden.suite);
+      ("report io", Test_report_io.suite);
+      ("typed golden", Test_typed_golden.suite);
     ]

@@ -219,18 +219,27 @@ let contains ~needle haystack =
   n = 0 || scan 0
 
 let test_report_renders () =
-  let r = Report.make ~title:"t" ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  let r =
+    Report.make ~title:"t" ~header:[ "a"; "b" ]
+      [ [ Cell.Int 1; Cell.Int 2 ]; [ Cell.text "3"; Cell.text "4" ] ]
+  in
   let s = Report.to_string r in
   Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "## t");
   Alcotest.(check bool) "has rows" true (contains ~needle:"| 1 | 2 |" s)
 
 let test_report_width_mismatch () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Report.make(t): row width mismatch")
-    (fun () -> ignore (Report.make ~title:"t" ~header:[ "a" ] [ [ "1"; "2" ] ]))
+    (fun () -> ignore (Report.make ~title:"t" ~header:[ "a" ] [ [ Cell.text "1"; Cell.text "2" ] ]))
 
 let test_cell_formatting () =
-  Alcotest.(check string) "percent" "42.0%" (Report.cell_percent 0.42);
-  Alcotest.(check string) "nan" "nan" (Report.cell_float Float.nan)
+  Alcotest.(check string) "percent" "42.0%" (Cell.to_string (Report.cell_percent 0.42));
+  Alcotest.(check string) "nan" "nan" (Cell.to_string (Report.cell_float Float.nan));
+  Alcotest.(check string) "int" "42" (Cell.to_string (Report.cell_int 42));
+  (* Typed cells expose their payload in SI base units. *)
+  let open Amb_units in
+  Alcotest.(check (option (float 1e-12))) "power si" (Some 0.0033)
+    (Cell.si_value (Report.cell_power (Power.milliwatts 3.3)));
+  Alcotest.(check (option (float 1e-12))) "text si" None (Cell.si_value (Cell.text "x"))
 
 (* --- Experiments / Case studies --- *)
 

@@ -1,0 +1,116 @@
+(* Tolerance-based goldens over the *typed* experiment values.
+
+   The exact-text pins in test_golden.ml freeze the prose; these pin the
+   numbers themselves, through Cell.si_value, with an explicit per-value
+   tolerance — so a model change that happens to render identically (or a
+   rendering change that preserves the model) is attributed correctly. *)
+
+module Report = Amb_core.Report
+module Cell = Amb_core.Cell
+
+(* Look a cell up by row label (first column) and column name. *)
+let cell_at report ~row ~col =
+  let col_idx =
+    match List.find_index (String.equal col) report.Report.header with
+    | Some i -> i
+    | None -> Alcotest.failf "no column %S in %S" col report.Report.title
+  in
+  let matching r =
+    match r with
+    | first :: _ when Cell.to_string first = row -> true
+    | _ -> false
+  in
+  match List.find_opt matching report.Report.rows with
+  | Some r -> List.nth r col_idx
+  | None -> Alcotest.failf "no row %S in %S" row report.Report.title
+
+let si_at report ~row ~col =
+  match Cell.si_value (cell_at report ~row ~col) with
+  | Some v -> v
+  | None -> Alcotest.failf "cell %S/%S in %S is text" row col report.Report.title
+
+let check_rel name ~expected ~rel actual =
+  if Float.abs expected <= 0.0 then Alcotest.(check (float 1e-12)) name expected actual
+  else if Float.abs (actual -. expected) /. Float.abs expected > rel then
+    Alcotest.failf "%s: expected %.6g within %.2g%%, got %.17g" name expected (100.0 *. rel)
+      actual
+
+(* E2: the class budgets are model constants — exact in SI units. *)
+let test_e2_budgets () =
+  let r = Amb_core.Experiments.e2 () in
+  List.iter
+    (fun (row, watts) ->
+      (* Exact up to binary representation of the model constant. *)
+      check_rel (row ^ " budget") ~expected:watts ~rel:1e-12
+        (si_at r ~row ~col:"avg budget"))
+    [ ("microWatt-node (autonomous)", 1e-4);
+      ("milliWatt-node (personal)", 0.1);
+      ("Watt-node (static)", 10.0);
+    ]
+
+(* E3: the energy budget of one activation — radio-dominated. *)
+let test_e3_budget () =
+  let r = Amb_core.Experiments.e3 () in
+  check_rel "total cycle energy" ~expected:77.9e-6 ~rel:0.01
+    (si_at r ~row:"total" ~col:"energy");
+  check_rel "communication share" ~expected:0.982 ~rel:0.005
+    (si_at r ~row:"communication (radio)" ~col:"share");
+  let sum =
+    List.fold_left
+      (fun acc row -> acc +. si_at r ~row ~col:"energy")
+      0.0
+      [ "sensing"; "A/D conversion"; "computation"; "communication (radio)" ]
+  in
+  check_rel "parts sum to total" ~expected:(si_at r ~row:"total" ~col:"energy") ~rel:1e-9 sum
+
+(* E8: link-budget energies at 1 m — tolerance on the typed joules. *)
+let test_e8_one_metre () =
+  let r = Amb_core.Experiments.e8 () in
+  check_rel "4 B reading at 1 m" ~expected:177e-9 ~rel:0.02
+    (si_at r ~row:"1 m" ~col:"4 B reading");
+  check_rel "1500 B frame at 1 m" ~expected:156e-9 ~rel:0.02
+    (si_at r ~row:"1 m" ~col:"1500 B frame")
+
+(* E22: the "class" mark and the typed average power must agree — a row
+   marked class-ok draws under 1 mW (the microwatt limit), and the marks
+   are derived from the same payload the JSON emits. *)
+let test_e22_class_limit () =
+  let r = Amb_core.Experiments.e22 () in
+  let idx name =
+    match List.find_index (String.equal name) r.Report.header with
+    | Some i -> i
+    | None -> Alcotest.failf "no column %S in %S" name r.Report.title
+  in
+  let power_i = idx "avg power" and class_i = idx "class" in
+  let checked =
+    List.fold_left
+      (fun n row ->
+        let class_ok = Cell.to_string (List.nth row class_i) = "ok" in
+        match Cell.si_value (List.nth row power_i) with
+        | Some w when class_ok ->
+          if w >= 1e-3 then
+            Alcotest.failf "class-ok design draws %g W (>= 1 mW): %s" w
+              (Cell.to_string (List.hd row));
+          n + 1
+        | _ -> n)
+      0 r.Report.rows
+  in
+  if checked = 0 then Alcotest.fail "no class-ok rows checked"
+
+(* Digest stability: the snapshot gate in bench --check-json relies on
+   these being reproducible across runs. *)
+let test_digests_stable () =
+  List.iter
+    (fun (id, _, build) ->
+      let d1 = Amb_core.Report_io.digest (build ()) in
+      let d2 = Amb_core.Report_io.digest (build ()) in
+      Alcotest.(check string) (id ^ " digest stable") d1 d2)
+    Amb_core.Experiments.all
+
+let suite =
+  [ Alcotest.test_case "E2 class budgets (exact SI)" `Quick test_e2_budgets;
+    Alcotest.test_case "E3 energy budget (tolerance)" `Quick test_e3_budget;
+    Alcotest.test_case "E8 link energies at 1 m (tolerance)" `Quick test_e8_one_metre;
+    Alcotest.test_case "E22 candidates respect class limit" `Quick test_e22_class_limit;
+    Alcotest.test_case "experiment digests reproducible" `Quick test_digests_stable;
+  ]
