@@ -10,11 +10,16 @@ test:
 
 # The full gate: build, unit/property/golden tests, then a bench snapshot
 # round-trip — --check-json rebuilds every experiment and compares typed
-# content digests, so model drift fails the chain.
+# content digests, so model drift fails the chain — and finally the CLI
+# end-to-end: a small fleet co-simulation emitted as JSON must round-trip
+# through the typed report pipeline.
 check: build
 	dune runtest
 	dune exec bench/main.exe -- --json /tmp/amblib-bench-check.json
 	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-check.json
+	dune exec bin/ambient.exe -- system --leaves 5 --relays 1 --hours 6 \
+	  --format json > /tmp/amblib-system-check.json
+	dune exec bench/main.exe -- --roundtrip-report /tmp/amblib-system-check.json
 
 # Reports at jobs=1 and jobs=max must be byte-identical; the JSON snapshot
 # carries ns/run per experiment plus suite wall-clock at both job counts.

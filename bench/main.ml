@@ -2,7 +2,7 @@
 
    Three jobs in one executable:
 
-   1. Regenerate every reconstructed table/figure (E1..E24 + ablations)
+   1. Regenerate every reconstructed table/figure (E1..E27 + ablations)
       and print the rows — the artifact EXPERIMENTS.md records.
    2. Time each experiment builder with Bechamel (one Test.make per
       table/figure, as a grouped suite) so regressions in the underlying
@@ -21,6 +21,7 @@
      bench/main.exe --jobs 4             parallelise report building (also AMB_JOBS)
      bench/main.exe --json FILE          write the JSON perf snapshot
      bench/main.exe --check-json FILE    parse and validate a snapshot
+     bench/main.exe --roundtrip-report F parse a report envelope and re-serialize it
      bench/main.exe --list               list experiment ids *)
 
 open Bechamel
@@ -323,6 +324,40 @@ let check_json path =
   | _ -> fail "missing \"suite\"");
   Printf.printf "%s: valid amblib-bench/1 snapshot, all experiment digests match\n" path
 
+(* Round-trip gate for report JSON produced by other tools (the `ambient
+   system --format json` output in `make check`): parse it back through
+   the typed pipeline and re-serialize; digest equality proves the
+   emitted document is a faithful amblib-report/1 envelope. *)
+let roundtrip_report path =
+  let contents =
+    match open_in_bin path with
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | ic ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      contents
+  in
+  match Amb_core.Report_io.of_json contents with
+  | Error msg ->
+    Printf.eprintf "%s: not a valid report envelope: %s\n" path msg;
+    exit 1
+  | Ok report ->
+    let reparsed = Amb_core.Report_io.of_json (Amb_core.Report_io.to_json report) in
+    (match reparsed with
+    | Ok again when Amb_core.Report_io.digest again = Amb_core.Report_io.digest report ->
+      Printf.printf "%s: round-trips through Report_io (%d rows, digest %s)\n" path
+        (List.length report.Amb_core.Report.rows)
+        (Amb_core.Report_io.digest report)
+    | Ok _ ->
+      Printf.eprintf "%s: digest changed across re-serialization\n" path;
+      exit 1
+    | Error msg ->
+      Printf.eprintf "%s: re-serialized document failed to parse: %s\n" path msg;
+      exit 1)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -355,10 +390,11 @@ let () =
   | _ :: "--reports-only" :: _ -> print_reports ~jobs None
   | _ :: "--json" :: path :: _ -> write_json path ~jobs
   | _ :: "--check-json" :: path :: _ -> check_json path
+  | _ :: "--roundtrip-report" :: path :: _ -> roundtrip_report path
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --json FILE, \
-       --check-json FILE)\n"
+       --check-json FILE, --roundtrip-report FILE)\n"
       arg;
     exit 1
   | _ ->

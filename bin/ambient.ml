@@ -10,6 +10,7 @@
      simulate     discrete-event node-lifetime simulation
      map          map the ambient functions onto the smart-home network
      sweep        activation-rate sweep of the reference microwatt node
+     system       whole-fleet co-simulation with fault injection
 
    Report-producing subcommands take --format text|json|csv; bad
    arguments exit with status 1. *)
@@ -402,6 +403,152 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc)
     Term.(const run $ min_rate $ max_rate $ points $ battery $ pv_cm2 $ env $ format_term)
 
+(* --- system --- *)
+
+(* Fault specs arrive as compact strings so scenarios fit on one command
+   line; each maps to one Fault_plan constructor. *)
+let fault_of_spec spec =
+  let parsed =
+    try
+      Some
+        (Scanf.sscanf spec "crash:%d@%f%!" (fun node h ->
+             Amb_system.Fault_plan.Node_crash { node; at = Time_span.hours h }))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try
+        Some
+          (Scanf.sscanf spec "fade:%d-%d:%f@%f%!" (fun a b db h ->
+               Amb_system.Fault_plan.Link_fade { a; b; db; at = Time_span.hours h }))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+        try
+          Some
+            (Scanf.sscanf spec "bscale:%d:%f%!" (fun node scale ->
+                 Amb_system.Fault_plan.Battery_scale { node; scale }))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None))
+  in
+  match parsed with
+  | Some f -> f
+  | None ->
+    Printf.eprintf
+      "bad fault spec %s (want crash:NODE@HOURS, fade:A-B:DB@HOURS or bscale:NODE:SCALE)\n" spec;
+    exit 1
+
+let check_fault_nodes ~node_count fault =
+  let check n =
+    if n < 0 || n >= node_count then begin
+      Printf.eprintf "fault references node %d but the fleet has nodes 0..%d\n" n (node_count - 1);
+      exit 1
+    end
+  in
+  (match fault with
+  | Amb_system.Fault_plan.Node_crash { node; _ } -> check node
+  | Amb_system.Fault_plan.Link_fade { a; b; _ } ->
+    check a;
+    check b;
+    if a = b then begin
+      Printf.eprintf "fade needs two distinct endpoints, got %d-%d\n" a b;
+      exit 1
+    end
+  | Amb_system.Fault_plan.Battery_scale { node; scale } ->
+    check node;
+    if scale <= 0.0 then begin
+      Printf.eprintf "battery scale must be positive, got %g\n" scale;
+      exit 1
+    end);
+  fault
+
+let diurnal_of_name name =
+  match String.lowercase_ascii name with
+  | "office" -> Some Amb_energy.Day_profile.office_lighting
+  | "living-room" | "living_room" | "home" -> Some Amb_energy.Day_profile.living_room_lighting
+  | "outdoor" -> Some Amb_energy.Day_profile.outdoor_diurnal
+  | "constant" -> Some Amb_energy.Day_profile.constant
+  | "none" -> None
+  | _ ->
+    Printf.eprintf "unknown diurnal profile %s (office, living-room, outdoor, constant, none)\n"
+      name;
+    exit 1
+
+let system_cmd =
+  let doc =
+    "Whole-fleet co-simulation on one clock: a W sink, mW relays and uW leaves trade packets \
+     while their batteries drain, harvest and die; faults are injectable."
+  in
+  let leaves =
+    Arg.(value & opt int 30 & info [ "leaves" ] ~docv:"N" ~doc:"number of uW sensor leaves")
+  in
+  let relays =
+    Arg.(value & opt int 4 & info [ "relays" ] ~docv:"N" ~doc:"number of mW relays on the inner ring")
+  in
+  let hours =
+    Arg.(value & opt float 48.0 & info [ "hours" ] ~docv:"H" ~doc:"simulation horizon in hours")
+  in
+  let seed = Arg.(value & opt int 25 & info [ "seed" ] ~docv:"SEED" ~doc:"layout and phase seed") in
+  let policy =
+    let doc = "Routing policy: $(b,min-hop), $(b,min-energy) or $(b,max-lifetime)." in
+    Arg.(value
+         & opt
+             (enum
+                [ ("min-hop", Amb_net.Routing.Min_hop);
+                  ("min-energy", Amb_net.Routing.Min_energy);
+                  ("max-lifetime", Amb_net.Routing.Max_lifetime) ])
+             Amb_net.Routing.Min_energy
+         & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let budget =
+    Arg.(value & opt float 0.5
+         & info [ "leaf-budget-j" ] ~docv:"J"
+             ~doc:"usable leaf energy buffer in joules (0 = the full coin-cell model)")
+  in
+  let diurnal =
+    Arg.(value & opt string "office"
+         & info [ "diurnal" ] ~docv:"ENV"
+             ~doc:"harvest profile: office, living-room, outdoor, constant or none")
+  in
+  let faults =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:
+               "Inject a fault (repeatable): $(b,crash:NODE\\@HOURS), \
+                $(b,fade:A-B:DB\\@HOURS) or $(b,bscale:NODE:SCALE).")
+  in
+  let run leaves relays hours seed policy budget diurnal fault_specs fmt =
+    if leaves < 1 || relays < 0 then begin
+      Printf.eprintf "need at least one leaf and a non-negative relay count (got %d, %d)\n" leaves
+        relays;
+      exit 1
+    end;
+    if hours <= 0.0 || budget < 0.0 then begin
+      Printf.eprintf "--hours must be positive and --leaf-budget-j non-negative (got %g, %g)\n"
+        hours budget;
+      exit 1
+    end;
+    let leaf =
+      let base = Amb_system.Fleet.microwatt_leaf () in
+      if budget > 0.0 then
+        { base with Amb_system.Fleet.budget_override = Some (Energy.joules budget) }
+      else base
+    in
+    let fleet = Amb_system.Fleet.make ~leaf ~leaves ~relays ~seed () in
+    let node_count = Amb_system.Fleet.node_count fleet in
+    let faults =
+      List.map (fun spec -> check_fault_nodes ~node_count (fault_of_spec spec)) fault_specs
+    in
+    let cfg =
+      Amb_system.Cosim.config ~policy ?diurnal:(diurnal_of_name diurnal) ~faults ~fleet
+        ~horizon:(Time_span.hours hours) ()
+    in
+    let o = Amb_system.Cosim.run cfg ~seed in
+    let title =
+      Printf.sprintf "Fleet co-simulation: %d leaves, %d relays, %.0f h, %s routing, seed %d"
+        leaves relays hours (Amb_net.Routing.policy_name policy) seed
+    in
+    emit_report ~id:"SYSTEM" fmt (Amb_system.System_metrics.report ~title fleet o)
+  in
+  Cmd.v
+    (Cmd.info "system" ~doc)
+    Term.(const run $ leaves $ relays $ hours $ seed $ policy $ budget $ diurnal $ faults
+          $ format_term)
+
 (* --- roadmap --- *)
 
 let roadmap_cmd =
@@ -452,7 +599,8 @@ let main_cmd =
   let info = Cmd.info "ambient" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ graph_cmd; classes_cmd; classify_cmd; experiment_cmd; case_study_cmd; lifetime_cmd;
-      simulate_cmd; map_cmd; design_space_cmd; sweep_cmd; roadmap_cmd; full_report_cmd ]
+      simulate_cmd; map_cmd; design_space_cmd; sweep_cmd; system_cmd; roadmap_cmd;
+      full_report_cmd ]
 
 (* cmdliner reports its own parse errors with exit 124; fold every
    failure to 1 so callers see one error status for any bad argument. *)

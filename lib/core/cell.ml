@@ -1,89 +1,5 @@
-(** A typed report cell: the value *and* its unit kind.
+(** Re-export of {!Amb_report.Cell} at the historical path — the typed
+    report pipeline moved into [lib/report] so layers below [amb_core]
+    (notably [amb_system]) can build reports too. *)
 
-    Experiments build tables of these instead of pre-formatted strings, so
-    the same report can render as prose ({!to_string}, byte-compatible
-    with the historical ad-hoc formatting), serialize as JSON/CSV
-    ({!Report_io}), or be compared numerically by tolerance-based golden
-    tests.  [Text] remains the escape hatch for qualitative verdicts and
-    composite annotations. *)
-
-open Amb_units
-
-type t =
-  | Text of string
-  | Int of int
-  | Float of { v : float; digits : int }
-      (** Dimensionless number, rendered to [digits] significant digits. *)
-  | Power of Power.t
-  | Energy of Energy.t
-  | Time of Time_span.t
-  | Rate of Data_rate.t
-  | Percent of float  (** A fraction in [0, 1]; rendered as a percentage. *)
-
-(* Constructors — the names the builders use. *)
-let text s = Text s
-let int i = Int i
-let float ?(digits = 3) v = Float { v; digits }
-let power p = Power p
-let energy e = Energy e
-let time t = Time t
-let rate r = Rate r
-let percent f = Percent f
-
-(** [kind_name cell] — the unit-kind tag used by the [amblib-report/1]
-    envelope. *)
-let kind_name = function
-  | Text _ -> "text"
-  | Int _ -> "int"
-  | Float _ -> "float"
-  | Power _ -> "power"
-  | Energy _ -> "energy"
-  | Time _ -> "time"
-  | Rate _ -> "rate"
-  | Percent _ -> "percent"
-
-(** [unit_symbol cell] — the SI base unit the numeric payload is expressed
-    in ([""] for dimensionless kinds). *)
-let unit_symbol = function
-  | Text _ | Int _ | Float _ -> ""
-  | Power _ -> "W"
-  | Energy _ -> "J"
-  | Time _ -> "s"
-  | Rate _ -> "bit/s"
-  | Percent _ -> ""
-
-(** [si_value cell] — the numeric payload in SI base units ([Percent] as a
-    fraction); [None] for [Text]. *)
-let si_value = function
-  | Text _ -> None
-  | Int i -> Some (Stdlib.float_of_int i)
-  | Float { v; _ } -> Some v
-  | Power p -> Some (Power.to_watts p)
-  | Energy e -> Some (Energy.to_joules e)
-  | Time t -> Some (Time_span.to_seconds t)
-  | Rate r -> Some (Data_rate.to_bits_per_second r)
-  | Percent f -> Some f
-
-(* Stable significant-digit rendering so the replicated table rows do not
-   wobble across runs/platforms: exactly [%.<digits>g], which is what the
-   builders historically sprintf'd inline. *)
-let float_to_string ~digits v =
-  if Float.is_nan v then "nan"
-  else if Float.abs v >= 1e15 || v = Float.infinity then "inf"
-  else Printf.sprintf "%.*g" digits v
-
-(** [to_string cell] — the prose rendering; identical to what the builders
-    historically produced through the [Report.cell_*] formatters. *)
-let to_string = function
-  | Text s -> s
-  | Int i -> string_of_int i
-  | Float { v; digits } -> float_to_string ~digits v
-  | Power p -> Power.to_string p
-  | Energy e -> Energy.to_string e
-  | Time t -> Time_span.to_human_string t
-  | Rate r -> Data_rate.to_string r
-  | Percent f -> Printf.sprintf "%.1f%%" (100.0 *. f)
-
-(** [equal a b] — structural equality; NaN payloads compare equal to
-    themselves so serialization round-trips are testable. *)
-let equal (a : t) (b : t) = Stdlib.compare a b = 0
+include Amb_report.Cell

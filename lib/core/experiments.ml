@@ -1,6 +1,6 @@
 (** The reconstructed experiment suite — one builder per table/figure.
 
-    Each experiment E1..E12 (plus ablations A1..A3) regenerates one
+    Each experiment E1..E27 (plus ablations A1..A3) regenerates one
     paper-shaped artifact as a {!Report.t}.  DESIGN.md maps each id to the
     modules it exercises; EXPERIMENTS.md records expected-shape vs
     measured.  The bench harness and the CLI both dispatch through
@@ -808,6 +808,193 @@ let e24 () =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* E25 — heterogeneous-fleet co-simulation baseline                    *)
+
+(* The shared fleet of the system experiments: 30 harvesting uW leaves,
+   4 battery relays, one mains sink.  Leaf buffers are scaled down to
+   0.5 J (a supercap, not a coin cell) so the 14 h office-lighting night
+   runs them dry and the network visibly degrades within the two-day
+   horizon. *)
+let system_fleet () =
+  let open Amb_system in
+  let leaf =
+    { (Fleet.microwatt_leaf ()) with Fleet.budget_override = Some (Energy.joules 0.5) }
+  in
+  Fleet.make ~leaf ~leaves:30 ~relays:4 ~seed:25 ()
+
+let system_config ?faults fleet =
+  let open Amb_system in
+  Cosim.config ?faults ~fleet ~policy:Amb_net.Routing.Min_energy
+    ~diurnal:Day_profile.office_lighting ~horizon:(Time_span.hours 48.0) ()
+
+let e25 () =
+  let open Amb_system in
+  let fleet = system_fleet () in
+  let outcome = Cosim.run (system_config fleet) ~seed:25 in
+  let r = System_metrics.report ~title:"E25: heterogeneous fleet co-simulation (30 uW leaves, 4 mW relays, W sink, 48 h)" fleet outcome in
+  Report.make ~title:r.Report.title ~header:r.Report.header r.Report.rows
+    ~notes:
+      (r.Report.notes
+      @ [ "one engine clock couples battery drain, diurnal harvest, per-hop radio energy and rerouting";
+          "leaf buffers scaled to 0.5 J so the 14 h office night drains them and deaths reroute traffic";
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* E26 — fault scenarios over the same fleet, in parallel              *)
+
+let e26 () =
+  let open Amb_system in
+  let fleet = system_fleet () in
+  let crash = Fault_plan.Node_crash { node = 1; at = Time_span.hours 12.0 } in
+  let fade = Fault_plan.Link_fade { a = 0; b = 2; db = 20.0; at = Time_span.hours 6.0 } in
+  let variation =
+    Fault_plan.battery_variation ~sigma_scale:3.0 ~process:Process_node.n65
+      ~nodes:(Fleet.node_count fleet) ~sink:fleet.Fleet.sink ~seed:26 ()
+  in
+  let scenarios =
+    [ ("no faults", Fault_plan.none);
+      ("relay 1 crash @ 12 h", [ crash ]);
+      ("sink-relay 2 link fades 20 dB @ 6 h", [ fade ]);
+      ("3-sigma battery variability (65 nm)", variation);
+      ("crash + fade", [ crash; fade ]);
+    ]
+  in
+  (* Independent scenario runs spread over a domain pool; submission-order
+     gather keeps the table byte-identical for any AMB_JOBS. *)
+  let jobs = Option.value (Amb_sim.Domain_pool.env_jobs ()) ~default:1 in
+  let outcomes =
+    Amb_sim.Domain_pool.map_list ~jobs
+      (fun (name, faults) -> (name, Cosim.run (system_config ~faults fleet) ~seed:25))
+      scenarios
+  in
+  let row (name, (o : Cosim.outcome)) =
+    [ txt name;
+      Report.cell_percent o.Cosim.delivery_ratio;
+      (match o.Cosim.first_death with Some t -> Report.cell_time t | None -> txt "-");
+      Report.cell_int o.Cosim.dead_at_end;
+      Report.cell_percent o.Cosim.availability;
+      Report.cell_percent o.Cosim.mean_coverage;
+    ]
+  in
+  Report.make ~title:"E26: fault injection on the heterogeneous fleet (48 h, one scenario per domain)"
+    ~header:[ "scenario"; "delivery"; "first death"; "dead @48h"; "availability"; "coverage" ]
+    (List.map row outcomes)
+    ~notes:
+      [ "availability = time with >= 90% of leaves routed to the sink";
+        "battery variability maps Vth spread to capacity via the inverse leakage multiplier";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E27 — degenerate-config cross-checks against the standalone sims    *)
+
+let e27 () =
+  let open Amb_system in
+  (* Part 1: flat budgets, no sleep/harvest/activations, cached link
+     costs — the co-simulation must reproduce Net_sim on E20's topology
+     and seed. *)
+  let rng = Amb_sim.Rng.create 20 in
+  let topology = Amb_net.Topology.random rng ~nodes:30 ~width_m:250.0 ~height_m:250.0 in
+  let budget = Energy.joules 20.0 in
+  let flat =
+    {
+      Fleet.name = "flat 20 J";
+      activation_energy = Energy.zero;
+      sleep_power = Power.zero;
+      supply = Supply.make ~name:"flat budget" ~regulator_efficiency:1.0 ();
+      report_period = Some (Time_span.seconds 30.0);
+      budget_override = Some budget;
+    }
+  in
+  let fleet = Fleet.homogeneous ~topology ~sink:0 ~node:flat () in
+  let rel a b = Float.abs (a -. b) /. Float.max 1e-30 (Float.abs a) in
+  let net_rows policy =
+    (* Horizon at 3x the closed-form depletion estimate, as in E20, so
+       deaths land well inside the run. *)
+    let analytic_rounds =
+      Amb_net.Flow.simulate_depletion fleet.Fleet.router ~policy ~budget:(fun _ -> budget)
+        ~sink:0 ~rebuild_every:500.0
+    in
+    let horizon = Time_span.scale (3.0 *. analytic_rounds) (Time_span.seconds 30.0) in
+    let net_cfg =
+      Amb_net.Net_sim.config ~router:fleet.Fleet.router ~sink:0 ~policy
+        ~report_period:(Time_span.seconds 30.0) ~budget:(fun _ -> budget) ~horizon ()
+    in
+    let reference = Amb_net.Net_sim.run net_cfg ~seed:20 in
+    let cosim_cfg = Cosim.config ~fleet ~policy ~horizon () in
+    let o = Cosim.run cosim_cfg ~seed:20 in
+    let name = Amb_net.Routing.policy_name policy in
+    let death_row =
+      match (reference.Amb_net.Net_sim.first_death, o.Cosim.first_death) with
+      | Some a, Some b ->
+        [ txt (name ^ " first death"); Report.cell_time a; Report.cell_time b;
+          Report.cell_percent (rel (Time_span.to_seconds a) (Time_span.to_seconds b));
+        ]
+      | _ -> [ txt (name ^ " first death"); txt "none"; txt "none"; txt "-" ]
+    in
+    [ [ txt (name ^ " delivery");
+        Report.cell_percent reference.Amb_net.Net_sim.delivery_ratio;
+        Report.cell_percent o.Cosim.delivery_ratio;
+        Report.cell_percent (rel reference.Amb_net.Net_sim.delivery_ratio o.Cosim.delivery_ratio);
+      ];
+      death_row;
+    ]
+  in
+  (* Part 2: a single leaf whose activation carries the whole duty cycle
+     (link layer off) must reproduce Lifetime_sim's battery lifetime. *)
+  let node = Reference_designs.microwatt_node () in
+  let profile = Node_model.duty_profile node Reference_designs.microwatt_activation in
+  let cell =
+    Battery.make ~name:"scaled coin cell" ~chemistry:Battery.Lithium_coin ~voltage_v:3.0
+      ~capacity_mah:0.5 ~rated_current_ma:0.1 ~peukert_exponent:1.0
+      ~self_discharge_per_year:0.0 ~max_continuous_current_ma:30.0 ~mass_g:1.0
+  in
+  let supply = Supply.battery_only ~name:"scaled coin cell" cell in
+  let life_cfg =
+    Lifetime_sim.config ~profile ~supply
+      ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 30.0))
+      ~horizon:(Time_span.days 30.0) ()
+  in
+  let reference = Lifetime_sim.run life_cfg ~seed:7 in
+  let single =
+    {
+      Fleet.name = "uW leaf (full cycle)";
+      activation_energy = profile.Duty_cycle.cycle_energy;
+      sleep_power = profile.Duty_cycle.sleep_power;
+      supply;
+      report_period = Some (Time_span.seconds 30.0);
+      budget_override = None;
+    }
+  in
+  let star = Amb_net.Topology.star ~leaves:1 ~radius_m:10.0 in
+  let single_fleet = Fleet.homogeneous ~topology:star ~sink:0 ~node:single () in
+  let single_cfg =
+    Cosim.config ~fleet:single_fleet ~link:Link_layer.Off ~horizon:(Time_span.days 30.0) ()
+  in
+  let o = Cosim.run single_cfg ~seed:7 in
+  let leaf_death =
+    match List.assoc_opt 1 o.Cosim.deaths with
+    | Some t -> t
+    | None -> Time_span.days 30.0
+  in
+  let lifetime_row =
+    [ txt "single-leaf lifetime";
+      Report.cell_time reference.Lifetime_sim.lifetime;
+      Report.cell_time leaf_death;
+      Report.cell_percent
+        (rel (Time_span.to_seconds reference.Lifetime_sim.lifetime)
+           (Time_span.to_seconds leaf_death));
+    ]
+  in
+  Report.make
+    ~title:"E27: co-simulation degenerate-config cross-checks (vs Net_sim E20, Lifetime_sim E12)"
+    ~header:[ "check"; "reference"; "co-simulation"; "rel. error" ]
+    (net_rows Amb_net.Routing.Min_hop @ net_rows Amb_net.Routing.Min_energy @ [ lifetime_row ])
+    ~notes:
+      [ "flat-budget fleet: same topology, seed and report phases as Net_sim - acceptance <2%";
+        "single-leaf fleet: radio off, activation = full duty cycle - lifetime within one report period";
+      ]
+
+(* ------------------------------------------------------------------ *)
 
 (** [all] — experiment id, description, builder. *)
 let all : (string * string * (unit -> Report.t)) list =
@@ -835,6 +1022,9 @@ let all : (string * string * (unit -> Report.t)) list =
     ("E22", "autonomous-node design space", e22);
     ("E23", "ten-year vision timeline", e23);
     ("E24", "2.4 GHz coexistence", e24);
+    ("E25", "heterogeneous fleet co-simulation", e25);
+    ("E26", "fault injection on the fleet", e26);
+    ("E27", "co-simulation cross-checks", e27);
     ("A1", "ablation: Peukert off", a1);
     ("A2", "ablation: Dennard vs leakage-aware", a2);
     ("A3", "ablation: radio start-up off", a3);

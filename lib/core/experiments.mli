@@ -1,5 +1,5 @@
 (** The reconstructed experiment suite — one builder per table/figure
-    (E1..E15 plus ablations A1..A3); see DESIGN.md for the id-to-module
+    (E1..E27 plus ablations A1..A3); see DESIGN.md for the id-to-module
     map and EXPERIMENTS.md for expected-shape vs measured. *)
 
 open Amb_tech
@@ -76,6 +76,18 @@ val e23 : unit -> Report.t
 
 val e24 : unit -> Report.t
 (** 2.4 GHz coexistence: sensor delivery under home interference mixes. *)
+
+val e25 : unit -> Report.t
+(** Heterogeneous-fleet co-simulation baseline (the [lib/system]
+    tentpole: one clock over energy, radio and routing). *)
+
+val e26 : unit -> Report.t
+(** Fault scenarios (crash, link fade, battery variability) on the E25
+    fleet, one scenario per domain. *)
+
+val e27 : unit -> Report.t
+(** Degenerate-config cross-checks: the co-simulation vs [Net_sim] (E20
+    config) and [Lifetime_sim] (E12-style single node). *)
 
 val a1 : unit -> Report.t
 (** Ablation: Peukert derating off. *)

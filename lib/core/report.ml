@@ -1,78 +1,4 @@
-(** Typed result tables for the experiment harness.
+(** Re-export of {!Amb_report.Report} at the historical path (see
+    {!Cell}). *)
 
-    Every reconstructed table/figure is built as rows of {!Cell.t} — data
-    first, text second.  {!to_string} renders the markdown-ish prose that
-    bench output, examples and EXPERIMENTS.md rows share (byte-identical
-    to the historical string pipeline); {!Report_io} renders the same
-    table as JSON or CSV. *)
-
-type t = {
-  title : string;
-  header : string list;
-  rows : Cell.t list list;
-  notes : string list;
-}
-
-let make ?(notes = []) ~title ~header rows =
-  List.iter
-    (fun row ->
-      if List.length row <> List.length header then
-        invalid_arg (Printf.sprintf "Report.make(%s): row width mismatch" title))
-    rows;
-  { title; header; rows; notes }
-
-(** [rendered_rows report] — every row as prose strings, via
-    {!Cell.to_string}. *)
-let rendered_rows report = List.map (List.map Cell.to_string) report.rows
-
-let column_widths report =
-  let cells = report.header :: rendered_rows report in
-  let widths = Array.make (List.length report.header) 0 in
-  let consider row =
-    List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
-  in
-  List.iter consider cells;
-  widths
-
-let render_row widths row =
-  let cells = List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row in
-  "| " ^ String.concat " | " cells ^ " |"
-
-let separator widths =
-  let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
-  "|-" ^ String.concat "-|-" dashes ^ "-|"
-
-(** [to_string report] — markdown-ish table with title and notes. *)
-let to_string report =
-  let widths = column_widths report in
-  let buffer = Buffer.create 256 in
-  Buffer.add_string buffer ("## " ^ report.title ^ "\n");
-  Buffer.add_string buffer (render_row widths report.header ^ "\n");
-  Buffer.add_string buffer (separator widths ^ "\n");
-  List.iter
-    (fun row -> Buffer.add_string buffer (render_row widths row ^ "\n"))
-    (rendered_rows report);
-  List.iter (fun note -> Buffer.add_string buffer ("  note: " ^ note ^ "\n")) report.notes;
-  Buffer.contents buffer
-
-let print report = print_string (to_string report)
-
-(** [equal a b] — structural equality over titles, headers, typed cells
-    and notes. *)
-let equal a b =
-  a.title = b.title && a.header = b.header && a.notes = b.notes
-  && List.length a.rows = List.length b.rows
-  && List.for_all2
-       (fun ra rb -> List.length ra = List.length rb && List.for_all2 Cell.equal ra rb)
-       a.rows b.rows
-
-(* Typed-cell constructors under the names the builders historically used
-   for their string formatters. *)
-let cell_text = Cell.text
-let cell_int = Cell.int
-let cell_float ?digits v = Cell.float ?digits v
-let cell_power = Cell.power
-let cell_energy = Cell.energy
-let cell_time = Cell.time
-let cell_rate = Cell.rate
-let cell_percent = Cell.percent
+include Amb_report.Report

@@ -36,6 +36,7 @@ type outcome = {
   dead_at_end : int;
   delivery_ratio : float;
   energy_spent : Energy.t;
+  residual : Energy.t array;  (** per-node budget left at end of run *)
 }
 
 type state = {
@@ -170,4 +171,5 @@ let run cfg ~seed =
     delivery_ratio =
       (if st.generated = 0 then 0.0 else Float.of_int st.delivered /. Float.of_int st.generated);
     energy_spent = Energy.joules st.spent;
+    residual = Array.map Energy.joules st.residual;
   }

@@ -37,6 +37,7 @@ type outcome = {
   dead_at_end : int;
   delivery_ratio : float;
   energy_spent : Energy.t;
+  residual : Energy.t array;  (** per-node budget left at end of run *)
 }
 
 val run : config -> seed:int -> outcome

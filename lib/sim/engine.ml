@@ -7,16 +7,31 @@
 
 open Amb_units
 
-type t = {
-  queue : (t -> unit) Event_queue.t;
+type event = { label : string; fn : t -> unit }
+
+and t = {
+  queue : event Event_queue.t;
   mutable clock : float;  (** current simulation time, seconds *)
   mutable running : bool;
   mutable executed : int;
   mutable horizon : float;  (** events beyond this are never executed *)
+  trace : Trace.t option;  (** optional schedule/fire recorder *)
 }
 
-let create () =
-  { queue = Event_queue.create (); clock = 0.0; running = false; executed = 0; horizon = Float.infinity }
+let create ?trace () =
+  { queue = Event_queue.create (); clock = 0.0; running = false; executed = 0;
+    horizon = Float.infinity; trace }
+
+let note engine ~time tag label =
+  match engine.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~time (tag ^ ":" ^ label)
+
+(* Every insertion goes through here so the trace sees each scheduling,
+   including the internal re-arming of periodic processes. *)
+let push engine ~time ~label fn =
+  note engine ~time:engine.clock "schedule" label;
+  Event_queue.push engine.queue ~time { label; fn }
 
 (** [now engine] — current simulation time. *)
 let now engine = Time_span.seconds engine.clock
@@ -29,16 +44,16 @@ let pending engine = Event_queue.length engine.queue
 
 (** [schedule_at engine time callback] — run [callback] at absolute
     simulation [time].  Raises [Invalid_argument] for times in the past. *)
-let schedule_at engine time callback =
+let schedule_at ?(label = "event") engine time callback =
   let s = Time_span.to_seconds time in
   if s < engine.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.push engine.queue ~time:s callback
+  push engine ~time:s ~label callback
 
 (** [schedule engine ~delay callback] — run [callback] after [delay]. *)
-let schedule engine ~delay callback =
+let schedule ?(label = "event") engine ~delay callback =
   let d = Time_span.to_seconds delay in
   if d < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Event_queue.push engine.queue ~time:(engine.clock +. d) callback
+  push engine ~time:(engine.clock +. d) ~label callback
 
 (** [stop engine] — abort the run after the current callback returns. *)
 let stop engine = engine.running <- false
@@ -60,10 +75,11 @@ let run ?until engine =
       | Some _ ->
         (match Event_queue.pop engine.queue with
         | None -> ()
-        | Some (time, callback) ->
+        | Some (time, ev) ->
           engine.clock <- time;
           engine.executed <- engine.executed + 1;
-          callback engine;
+          note engine ~time "fire" ev.label;
+          ev.fn engine;
           loop ())
   in
   loop ();
@@ -75,12 +91,12 @@ let run ?until engine =
 (** [every engine ~period ?until callback] — periodic process: [callback]
     runs every [period] starting one period from now, until it returns
     [false] or the optional absolute [until] time is passed. *)
-let every engine ~period ?until callback =
+let every ?(label = "periodic") engine ~period ?until callback =
   let p = Time_span.to_seconds period in
   if p <= 0.0 then invalid_arg "Engine.every: non-positive period";
   let limit = match until with None -> Float.infinity | Some t -> Time_span.to_seconds t in
   let rec tick e =
     if e.clock <= limit && callback e then
-      if e.clock +. p <= limit then Event_queue.push e.queue ~time:(e.clock +. p) tick
+      if e.clock +. p <= limit then push e ~time:(e.clock +. p) ~label tick
   in
-  Event_queue.push engine.queue ~time:(engine.clock +. p) tick
+  push engine ~time:(engine.clock +. p) ~label tick

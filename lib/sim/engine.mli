@@ -5,7 +5,11 @@ open Amb_units
 
 type t
 
-val create : unit -> t
+val create : ?trace:Trace.t -> unit -> t
+(** [create ?trace ()] — fresh engine at time 0.  When [trace] is given,
+    every scheduling records ["schedule:<label>"] at the current clock
+    and every executed callback records ["fire:<label>"] at its fire
+    time, so tests can assert event ordering. *)
 
 val now : t -> Time_span.t
 (** Current simulation time. *)
@@ -16,11 +20,12 @@ val event_count : t -> int
 val pending : t -> int
 (** Scheduled, not-yet-run callbacks. *)
 
-val schedule_at : t -> Time_span.t -> (t -> unit) -> unit
+val schedule_at : ?label:string -> t -> Time_span.t -> (t -> unit) -> unit
 (** Run a callback at an absolute simulation time; raises
-    [Invalid_argument] for times in the past. *)
+    [Invalid_argument] for times in the past.  [label] (default
+    ["event"]) names the callback in the optional trace. *)
 
-val schedule : t -> delay:Time_span.t -> (t -> unit) -> unit
+val schedule : ?label:string -> t -> delay:Time_span.t -> (t -> unit) -> unit
 (** Run a callback after a delay; raises [Invalid_argument] for negative
     delays. *)
 
@@ -32,7 +37,9 @@ val run : ?until:Time_span.t -> t -> Time_span.t
     or simulation time would pass [until] (then the clock is advanced to
     exactly [until]).  Returns the final simulation time. *)
 
-val every : t -> period:Time_span.t -> ?until:Time_span.t -> (t -> bool) -> unit
+val every :
+  ?label:string -> t -> period:Time_span.t -> ?until:Time_span.t -> (t -> bool) -> unit
 (** Periodic process: the callback runs every [period] starting one
     period from now, until it returns [false] or [until] passes.  Raises
-    [Invalid_argument] for non-positive periods. *)
+    [Invalid_argument] for non-positive periods.  [label] (default
+    ["periodic"]) names each tick in the optional trace. *)

@@ -1,0 +1,268 @@
+(** Whole-fleet co-simulation (see .mli for the model contract).
+
+    The forwarding loop, death-triggered rebuilds and report-phase RNG
+    discipline deliberately mirror {!Amb_net.Net_sim} statement for
+    statement; the continuous energy accounting mirrors
+    {!Amb_node.Lifetime_sim} via {!Node_agent}.  The degenerate
+    cross-check experiments (E27) depend on both mirrors. *)
+
+open Amb_units
+open Amb_sim
+open Amb_net
+
+type config = {
+  fleet : Fleet.t;
+  link : Link_layer.mode;
+  policy : Routing.policy;
+  horizon : Time_span.t;
+  rebuild_period : Time_span.t;
+  accounting_period : Time_span.t;
+  diurnal : Amb_energy.Day_profile.t option;
+  faults : Fault_plan.t;
+  availability_threshold : float;
+}
+
+let config ?(link = Link_layer.Cached) ?(policy = Routing.Min_energy)
+    ?(rebuild_period = Time_span.hours 4.0) ?(accounting_period = Time_span.minutes 10.0)
+    ?diurnal ?(faults = Fault_plan.none) ?(availability_threshold = 0.9) ~fleet ~horizon () =
+  if Time_span.to_seconds horizon <= 0.0 then invalid_arg "Cosim.config: non-positive horizon";
+  if Time_span.to_seconds rebuild_period <= 0.0 then
+    invalid_arg "Cosim.config: non-positive rebuild period";
+  if Time_span.to_seconds accounting_period <= 0.0 then
+    invalid_arg "Cosim.config: non-positive accounting period";
+  if availability_threshold < 0.0 || availability_threshold > 1.0 then
+    invalid_arg "Cosim.config: availability threshold outside [0,1]";
+  { fleet; link; policy; horizon; rebuild_period; accounting_period; diurnal; faults;
+    availability_threshold }
+
+type outcome = {
+  generated : int;
+  delivered : int;
+  dropped : int;
+  delivery_ratio : float;
+  first_death : Time_span.t option;
+  deaths : (int * Time_span.t) list;
+  dead_at_end : int;
+  energy_spent : Energy.t;
+  energy_harvested : Energy.t;
+  availability : float;
+  mean_coverage : float;
+  rebuilds : int;
+  events : int;
+  agents : Node_agent.t array;
+}
+
+let run ?trace cfg ~seed =
+  let fleet = cfg.fleet in
+  let topo = fleet.Fleet.topology in
+  let n = Topology.node_count topo in
+  let sink = fleet.Fleet.sink in
+  let rng = Rng.create seed in
+  let engine = Engine.create ?trace () in
+  let link = Link_layer.create ~router:fleet.Fleet.router ~mode:cfg.link in
+  let sampling = Power.watts (Link_layer.sampling_power_w link) in
+  let income_multiplier = Option.map Amb_energy.Day_profile.income_multiplier cfg.diurnal in
+  let agents =
+    Array.init n (fun i ->
+        Node_agent.create ?income_multiplier ~extra_sleep:sampling ~id:i
+          ~cfg:(Fleet.config_of fleet fleet.Fleet.tiers.(i)) ())
+  in
+  (* Battery-capacity faults apply before the clock starts. *)
+  List.iter
+    (function
+      | Fault_plan.Battery_scale { node; scale } ->
+        Node_agent.scale_battery agents.(node) ~factor:scale
+      | Fault_plan.Node_crash _ | Fault_plan.Link_fade _ -> ())
+    cfg.faults;
+  let alive i = Node_agent.alive agents.(i) in
+  let parent = ref (Array.make n (-2)) in
+  let generated = ref 0 and delivered = ref 0 and dropped = ref 0 in
+  let deaths = ref [] in
+  let rebuilds = ref 0 in
+  let coverage = Stat.time_weighted () in
+  let avail = Stat.time_weighted () in
+  let leaf_ids =
+    List.filter (fun i -> fleet.Fleet.tiers.(i) = Fleet.Sensor_leaf) (List.init n Fun.id)
+  in
+  let leaf_count = List.length leaf_ids in
+  let note label time =
+    match trace with None -> () | Some tr -> Trace.record tr ~time label
+  in
+  (* Fraction of leaves whose parent chain reaches the sink. *)
+  let connected_fraction () =
+    if leaf_count = 0 then 1.0
+    else begin
+      let connected = ref 0 in
+      List.iter
+        (fun leaf ->
+          let rec walk node ttl =
+            if node = sink then incr connected
+            else if ttl > 0 && node >= 0 then walk !parent.(node) (ttl - 1)
+          in
+          if alive leaf then walk leaf n)
+        leaf_ids;
+      Float.of_int !connected /. Float.of_int leaf_count
+    end
+  in
+  (* Mirror of Net_sim.rebuild, with link-layer weights (fade-aware) and
+     agent reserves feeding the max-lifetime policy. *)
+  let rebuild now =
+    incr rebuilds;
+    let g = Graph.create n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && alive i && alive j then begin
+          let joules = Link_layer.weight_j link i j in
+          if not (Float.is_nan joules) then
+            let weight =
+              match cfg.policy with
+              | Routing.Min_hop -> 1.0
+              | Routing.Min_energy -> joules
+              | Routing.Max_lifetime ->
+                let r = Node_agent.reserve_j agents.(i) in
+                if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
+            in
+            Graph.add_edge g ~src:i ~dst:j ~weight
+        end
+      done
+    done;
+    let _, prev = Graph.dijkstra g ~src:sink in
+    parent :=
+      Array.init n (fun i ->
+          if i = sink then -1 else if prev.(i) < 0 || not (alive i) then -2 else prev.(i));
+    let f = connected_fraction () in
+    Stat.update coverage ~time:now ~value:f;
+    Stat.update avail ~time:now
+      ~value:(if f >= cfg.availability_threshold then 1.0 else 0.0)
+  in
+  let record_death i now =
+    let at =
+      match Node_agent.died_at agents.(i) with
+      | Some t -> Time_span.to_seconds t
+      | None -> now
+    in
+    deaths := (i, at) :: !deaths;
+    note ("death:" ^ Int.to_string i) at;
+    rebuild now
+  in
+  (* Charge [joules] to node [i]; false once the node is gone (the death,
+     if any, has already triggered its rebuild — as in Net_sim.charge). *)
+  let charge i now joules =
+    let was = alive i in
+    Node_agent.charge agents.(i) ~now joules;
+    if was && not (alive i) then record_death i now;
+    alive i
+  in
+  let account_all now =
+    Array.iter
+      (fun agent ->
+        let i = Node_agent.id agent in
+        let was = alive i in
+        Node_agent.account agent ~now;
+        if was && not (alive i) then record_death i now)
+      agents
+  in
+  (* Mirror of Net_sim.forward: hop towards the sink, sender pays TX,
+     receiver pays RX (the sink listens for free), deaths drop the
+     packet. *)
+  let forward src =
+    let rx_j = Link_layer.cost_rx_j link in
+    let rec hop node ttl now =
+      if ttl <= 0 then incr dropped
+      else if node = sink then incr delivered
+      else
+        let p = !parent.(node) in
+        if p < 0 || not (alive node) then incr dropped
+        else
+          let tx_j = Link_layer.cost_tx_j link node p in
+          if Float.is_nan tx_j then incr dropped
+          else begin
+            let sender_ok = charge node now tx_j in
+            let receiver_ok = p = sink || charge p now rx_j in
+            if sender_ok && receiver_ok then hop p (ttl - 1) now else incr dropped
+          end
+    in
+    fun now -> hop src n now
+  in
+  rebuild 0.0;
+  (* Leaf reporting, staggered by a random phase — drawn in node order
+     from the run seed, exactly as Net_sim does. *)
+  for node = 0 to n - 1 do
+    if node <> sink then begin
+      let tier_cfg = Fleet.config_of fleet fleet.Fleet.tiers.(node) in
+      match tier_cfg.Fleet.report_period with
+      | None -> ()
+      | Some p ->
+        let period = Time_span.to_seconds p in
+        let phase = Rng.uniform rng 0.0 period in
+        let label = "report:" ^ Int.to_string node in
+        let activation_j = Energy.to_joules tier_cfg.Fleet.activation_energy in
+        Engine.schedule ~label engine ~delay:(Time_span.seconds phase) (fun engine ->
+            let rec report engine =
+              if alive node then begin
+                incr generated;
+                let now = Time_span.to_seconds (Engine.now engine) in
+                (* Sense/convert/compute first; the forward pass charges
+                   the radio.  A node that dies mid-activation still
+                   counts the report as generated (and dropped), as a
+                   dead Net_sim node would. *)
+                if activation_j > 0.0 then ignore (charge node now activation_j);
+                forward node now;
+                Engine.schedule ~label engine ~delay:p report
+              end
+            in
+            report engine)
+    end
+  done;
+  (* Periodic residual-aware rebuild, as in Net_sim. *)
+  Engine.every ~label:"rebuild" engine ~period:cfg.rebuild_period ~until:cfg.horizon (fun e ->
+      rebuild (Time_span.to_seconds (Engine.now e));
+      true);
+  (* Periodic continuous-flow accounting, as in Lifetime_sim. *)
+  Engine.every ~label:"account" engine ~period:cfg.accounting_period ~until:cfg.horizon
+    (fun e ->
+      account_all (Time_span.to_seconds (Engine.now e));
+      true);
+  (* Fault injection. *)
+  List.iter
+    (function
+      | Fault_plan.Node_crash { node; at } ->
+        Engine.schedule_at ~label:("fault:crash:" ^ Int.to_string node) engine at (fun e ->
+            if alive node then begin
+              let now = Time_span.to_seconds (Engine.now e) in
+              Node_agent.crash agents.(node) ~now;
+              record_death node now
+            end)
+      | Fault_plan.Link_fade { a; b; db; at } ->
+        Engine.schedule_at ~label:(Printf.sprintf "fault:fade:%d-%d" a b) engine at (fun e ->
+            Link_layer.set_fade link ~a ~b ~db;
+            rebuild (Time_span.to_seconds (Engine.now e)))
+      | Fault_plan.Battery_scale _ -> ())
+    cfg.faults;
+  let final = Engine.run ~until:cfg.horizon engine in
+  let end_s = Time_span.to_seconds final in
+  account_all end_s;
+  Stat.close coverage ~time:end_s;
+  Stat.close avail ~time:end_s;
+  let deaths = List.sort (fun (_, a) (_, b) -> Float.compare a b) (List.rev !deaths) in
+  let first_death = match deaths with [] -> None | (_, t) :: _ -> Some (Time_span.seconds t) in
+  let dead_at_end = Array.fold_left (fun acc a -> if Node_agent.alive a then acc else acc + 1) 0 agents in
+  let sum f = Energy.sum (Array.to_list (Array.map f agents)) in
+  let time_avg tw = let v = Stat.time_average tw in if Float.is_nan v then 1.0 else v in
+  {
+    generated = !generated;
+    delivered = !delivered;
+    dropped = !dropped;
+    delivery_ratio =
+      (if !generated = 0 then 0.0 else Float.of_int !delivered /. Float.of_int !generated);
+    first_death;
+    deaths = List.map (fun (i, t) -> (i, Time_span.seconds t)) deaths;
+    dead_at_end;
+    energy_spent = sum Node_agent.consumed_energy;
+    energy_harvested = sum Node_agent.harvested_energy;
+    availability = time_avg avail;
+    mean_coverage = time_avg coverage;
+    rebuilds = !rebuilds;
+    events = Engine.event_count engine;
+    agents;
+  }

@@ -1,0 +1,72 @@
+(** Whole-fleet co-simulation on one discrete-event clock.
+
+    One {!Amb_sim.Engine} run couples, per node, the energy state
+    ({!Node_agent}: battery drain, diurnal harvest income) to the traffic
+    the node actually generates and forwards ({!Link_layer}: per-hop
+    TX/RX energy), with collection-tree routing that reacts to node
+    deaths and injected faults ({!Fault_plan}).
+
+    Determinism: all randomness is the leaf report phases, drawn from
+    [seed] in node order exactly as {!Amb_net.Net_sim} does — a
+    degenerate fleet (flat budgets, zero sleep/harvest/activation, cached
+    link costs, no faults) reproduces [Net_sim]'s delivery and
+    first-death results on the same topology and seed. *)
+
+open Amb_units
+open Amb_net
+
+type config = {
+  fleet : Fleet.t;
+  link : Link_layer.mode;
+  policy : Routing.policy;
+  horizon : Time_span.t;
+  rebuild_period : Time_span.t;  (** periodic residual-aware tree rebuild *)
+  accounting_period : Time_span.t;  (** continuous-flow integration step *)
+  diurnal : Amb_energy.Day_profile.t option;  (** harvest income profile *)
+  faults : Fault_plan.t;
+  availability_threshold : float;
+      (** the ambient function is "available" while at least this
+          fraction of leaves has a route to the sink *)
+}
+
+val config :
+  ?link:Link_layer.mode ->
+  ?policy:Routing.policy ->
+  ?rebuild_period:Time_span.t ->
+  ?accounting_period:Time_span.t ->
+  ?diurnal:Amb_energy.Day_profile.t ->
+  ?faults:Fault_plan.t ->
+  ?availability_threshold:float ->
+  fleet:Fleet.t ->
+  horizon:Time_span.t ->
+  unit ->
+  config
+(** Defaults: [Cached] link costs, [Min_energy] policy, 4 h rebuilds,
+    10 min accounting (matching {!Amb_node.Lifetime_sim}), no diurnal
+    profile, no faults, availability threshold 0.9.  Raises
+    [Invalid_argument] on non-positive horizons/periods or a threshold
+    outside [0,1]. *)
+
+type outcome = {
+  generated : int;
+  delivered : int;
+  dropped : int;
+  delivery_ratio : float;
+  first_death : Time_span.t option;
+  deaths : (int * Time_span.t) list;  (** (node, instant), ascending in time *)
+  dead_at_end : int;
+  energy_spent : Energy.t;  (** total consumed across the fleet *)
+  energy_harvested : Energy.t;
+  availability : float;  (** fraction of time coverage >= threshold *)
+  mean_coverage : float;  (** time-averaged connected-leaf fraction *)
+  rebuilds : int;
+  events : int;  (** engine callbacks executed *)
+  agents : Node_agent.t array;  (** final per-node energy state *)
+}
+
+val run : ?trace:Amb_sim.Trace.t -> config -> seed:int -> outcome
+(** Deterministic in the seed.  When [trace] is given it is threaded into
+    the engine (labels ["report:<n>"], ["rebuild"], ["account"],
+    ["fault:crash:<n>"], ["fault:fade:<a>-<b>"]) and deaths are recorded
+    as ["death:<n>"] at their instant, so tests can assert event
+    ordering. *)

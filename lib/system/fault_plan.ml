@@ -1,0 +1,36 @@
+(** Fault scenarios (see .mli). *)
+
+open Amb_units
+
+type fault =
+  | Node_crash of { node : int; at : Time_span.t }
+  | Link_fade of { a : int; b : int; db : float; at : Time_span.t }
+  | Battery_scale of { node : int; scale : float }
+
+type t = fault list
+
+let none = []
+
+let battery_variation ?(sigma_scale = 1.0) ~process ~nodes ~sink ~seed () =
+  if nodes <= 0 then invalid_arg "Fault_plan.battery_variation: non-positive node count";
+  if sigma_scale < 0.0 then invalid_arg "Fault_plan.battery_variation: negative sigma scale";
+  let spread = Amb_tech.Variability.spread_of process in
+  let sigma = spread.Amb_tech.Variability.sigma_vth_mv *. sigma_scale in
+  let rng = Amb_sim.Rng.create seed in
+  List.init nodes Fun.id
+  |> List.filter_map (fun node ->
+         if node = sink then None
+         else begin
+           let delta = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma in
+           (* A leakier die empties its cell faster: usable capacity
+              scales as the inverse leakage multiplier. *)
+           let scale = 1.0 /. Amb_tech.Variability.leakage_multiplier ~delta_vth_mv:delta in
+           Some (Battery_scale { node; scale })
+         end)
+
+let describe = function
+  | Node_crash { node; at } ->
+    Printf.sprintf "crash node %d @ %.1f h" node (Time_span.to_seconds at /. 3600.0)
+  | Link_fade { a; b; db; at } ->
+    Printf.sprintf "fade link %d-%d by %.0f dB @ %.1f h" a b db (Time_span.to_seconds at /. 3600.0)
+  | Battery_scale { node; scale } -> Printf.sprintf "battery of node %d x %.2f" node scale

@@ -1,0 +1,33 @@
+(** Injectable fault scenarios for the co-simulation: node crashes at an
+    instant, link fades in dB at an instant, and t=0 battery-capacity
+    variation (derived from the Vth-variability model when built with
+    {!battery_variation}). *)
+
+open Amb_units
+
+type fault =
+  | Node_crash of { node : int; at : Time_span.t }
+  | Link_fade of { a : int; b : int; db : float; at : Time_span.t }
+  | Battery_scale of { node : int; scale : float }
+      (** applied before the clock starts *)
+
+type t = fault list
+
+val none : t
+
+val battery_variation :
+  ?sigma_scale:float ->
+  process:Amb_tech.Process_node.t ->
+  nodes:int ->
+  sink:int ->
+  seed:int ->
+  unit ->
+  t
+(** One [Battery_scale] per non-sink node: a per-node Vth deviation drawn
+    from the process's variability spread maps to a leakage multiplier,
+    and usable capacity scales as its inverse (a leakier die drains its
+    cell faster).  Draws come from a dedicated RNG on [seed], in node
+    order, so fault plans never perturb the run's own random stream.
+    [sigma_scale] (default 1.0) exaggerates or mutes the spread. *)
+
+val describe : fault -> string

@@ -1,0 +1,148 @@
+(** Heterogeneous device fleets — static configuration of the keynote's
+    network of devices: a W-node sink, mW relays and µW sensor leaves in
+    one field on one shared radio PHY.  See fleet.mli for the model
+    boundaries (notably: one PHY for the whole fleet; tier heterogeneity
+    lives in the energy/compute parameters). *)
+
+open Amb_units
+open Amb_energy
+open Amb_circuit
+open Amb_radio
+open Amb_net
+open Amb_node
+
+type tier = Sensor_leaf | Relay | Sink
+
+let tier_name = function
+  | Sensor_leaf -> "uW leaf"
+  | Relay -> "mW relay"
+  | Sink -> "W sink"
+
+let all_tiers = [ Sensor_leaf; Relay; Sink ]
+
+type tier_config = {
+  name : string;
+  activation_energy : Energy.t;
+  sleep_power : Power.t;
+  supply : Supply.t;
+  report_period : Time_span.t option;
+  budget_override : Energy.t option;
+}
+
+type t = {
+  topology : Topology.t;
+  tiers : tier array;
+  sink : int;
+  leaf : tier_config;
+  relay : tier_config;
+  sink_cfg : tier_config;
+  router : Routing.t;
+}
+
+let config_of t = function
+  | Sensor_leaf -> t.leaf
+  | Relay -> t.relay
+  | Sink -> t.sink_cfg
+
+let node_count t = Topology.node_count t.topology
+let tier_of t i = t.tiers.(i)
+
+let nodes_of_tier t tier =
+  Array.to_list (Array.mapi (fun i x -> (i, x)) t.tiers)
+  |> List.filter_map (fun (i, x) -> if x = tier then Some i else None)
+
+(* ------------------------------------------------------------------ *)
+(* Default tier configurations from the reference designs              *)
+
+let microwatt_leaf ?(report_period = Time_span.seconds 30.0) () =
+  let node = Reference_designs.microwatt_node () in
+  let act = Reference_designs.microwatt_activation in
+  let b = Node_model.cycle_breakdown node act in
+  (* Radio energy is charged per hop by the link layer, so the
+     activation keeps only the sense/convert/compute part. *)
+  let non_radio =
+    Energy.add b.Node_model.sensing (Energy.add b.Node_model.conversion b.Node_model.computation)
+  in
+  {
+    name = "uW sensor leaf";
+    activation_energy = non_radio;
+    sleep_power = node.Node_model.sleep_power;
+    supply = node.Node_model.supply;
+    report_period = Some report_period;
+    budget_override = None;
+  }
+
+let milliwatt_relay () =
+  let node = Reference_designs.milliwatt_node () in
+  {
+    name = "mW relay";
+    activation_energy = Energy.zero;
+    sleep_power = node.Node_model.sleep_power;
+    supply = node.Node_model.supply;
+    report_period = None;
+    budget_override = None;
+  }
+
+let watt_sink () =
+  let node = Reference_designs.watt_node () in
+  {
+    name = "W sink";
+    activation_energy = Energy.zero;
+    sleep_power = node.Node_model.sleep_power;
+    supply = node.Node_model.supply;
+    report_period = None;
+    budget_override = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let default_link () =
+  Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor ()
+
+let default_packet = Packet.sensor_report
+
+let make ?leaf ?relay ?sink ?(width_m = 250.0) ?(height_m = 250.0) ?link ?packet ~leaves
+    ~relays ~seed () =
+  if leaves < 1 then invalid_arg "Fleet.make: need at least one leaf";
+  if relays < 0 then invalid_arg "Fleet.make: negative relay count";
+  let leaf = match leaf with Some c -> c | None -> microwatt_leaf () in
+  let relay = match relay with Some c -> c | None -> milliwatt_relay () in
+  let sink_cfg = match sink with Some c -> c | None -> watt_sink () in
+  let rng = Amb_sim.Rng.create seed in
+  let n = 1 + relays + leaves in
+  let cx = width_m /. 2.0 and cy = height_m /. 2.0 in
+  let ring = Float.min width_m height_m /. 4.0 in
+  let positions =
+    Array.init n (fun i ->
+        if i = 0 then { Topology.x = cx; y = cy }
+        else if i <= relays then begin
+          let angle = 2.0 *. Float.pi *. Float.of_int (i - 1) /. Float.of_int relays in
+          { Topology.x = cx +. (ring *. cos angle); y = cy +. (ring *. sin angle) }
+        end
+        else begin
+          (* x then y, in node order: the layout is a pure function of
+             the seed, independent of tier parameters. *)
+          let x = Amb_sim.Rng.uniform rng 0.0 width_m in
+          let y = Amb_sim.Rng.uniform rng 0.0 height_m in
+          { Topology.x; y }
+        end)
+  in
+  let topology = Topology.of_positions ~width_m ~height_m positions in
+  let tiers =
+    Array.init n (fun i -> if i = 0 then Sink else if i <= relays then Relay else Sensor_leaf)
+  in
+  let link = match link with Some l -> l | None -> default_link () in
+  let packet = match packet with Some p -> p | None -> default_packet in
+  let router = Routing.make ~topology ~link ~packet in
+  { topology; tiers; sink = 0; leaf; relay; sink_cfg; router }
+
+let homogeneous ?link ?packet ~topology ~sink ~node () =
+  let n = Topology.node_count topology in
+  if sink < 0 || sink >= n then invalid_arg "Fleet.homogeneous: sink out of range";
+  let tiers = Array.init n (fun i -> if i = sink then Sink else Sensor_leaf) in
+  let sink_cfg = { node with name = node.name ^ " (sink)"; report_period = None } in
+  let link = match link with Some l -> l | None -> default_link () in
+  let packet = match packet with Some p -> p | None -> default_packet in
+  let router = Routing.make ~topology ~link ~packet in
+  { topology; tiers; sink; leaf = node; relay = node; sink_cfg; router }

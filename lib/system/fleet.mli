@@ -1,0 +1,95 @@
+(** Heterogeneous device fleets — the network of the keynote's three
+    device classes: one mains-powered W-node sink, battery-powered mW
+    relays, and harvesting µW sensor leaves, placed in a field and bound
+    to one shared radio PHY.
+
+    A fleet is pure configuration: topology, per-node tier, per-tier
+    energy/traffic parameters, and the precomputed {!Amb_net.Routing}
+    cache.  {!Cosim} executes it. *)
+
+open Amb_units
+open Amb_energy
+open Amb_net
+
+type tier = Sensor_leaf | Relay | Sink
+
+val tier_name : tier -> string
+val all_tiers : tier list
+
+(** Per-tier node parameters.  [activation_energy] is charged per
+    generated report on top of the radio energy the link layer charges
+    (so it should exclude communication unless the link layer runs
+    {!Link_layer.Off}).  [report_period = None] means the tier carries
+    traffic but generates none.  [budget_override] replaces the supply's
+    battery capacity — used by the degenerate cross-check fleets that
+    mirror {!Amb_net.Net_sim}'s flat budgets. *)
+type tier_config = {
+  name : string;
+  activation_energy : Energy.t;
+  sleep_power : Power.t;
+  supply : Supply.t;
+  report_period : Time_span.t option;
+  budget_override : Energy.t option;
+}
+
+type t = {
+  topology : Topology.t;
+  tiers : tier array;  (** per node index *)
+  sink : int;
+  leaf : tier_config;
+  relay : tier_config;
+  sink_cfg : tier_config;
+  router : Routing.t;  (** shared-PHY per-pair link-energy cache *)
+}
+
+val config_of : t -> tier -> tier_config
+val node_count : t -> int
+val nodes_of_tier : t -> tier -> int list
+val tier_of : t -> int -> tier
+
+val microwatt_leaf : ?report_period:Time_span.t -> unit -> tier_config
+(** The µW reference design: PV + coin cell, 5 µW sleep; activation
+    energy is the non-radio part of one sense-process-transmit cycle
+    (the radio part is charged per hop by the link layer).  Default
+    report period 30 s. *)
+
+val milliwatt_relay : unit -> tier_config
+(** The mW reference design as a forwarding relay: Li-ion battery, 2 mW
+    sleep, generates no reports. *)
+
+val watt_sink : unit -> tier_config
+(** The W reference design as the mains-powered collection sink. *)
+
+val make :
+  ?leaf:tier_config ->
+  ?relay:tier_config ->
+  ?sink:tier_config ->
+  ?width_m:float ->
+  ?height_m:float ->
+  ?link:Amb_radio.Link_budget.t ->
+  ?packet:Amb_radio.Packet.t ->
+  leaves:int ->
+  relays:int ->
+  seed:int ->
+  unit ->
+  t
+(** Deterministic mixed-tier layout in a [width_m] x [height_m] field
+    (default 250 x 250 m): the sink at the field centre (node 0), relays
+    on a ring of radius min(w,h)/4 around it (nodes 1..relays), leaves
+    uniformly random from [seed] (remaining nodes).  The PHY defaults to
+    the low-power-UHF front-end over the indoor channel carrying
+    sensor-report packets.  Raises [Invalid_argument] when [leaves] < 1
+    or [relays] < 0. *)
+
+val homogeneous :
+  ?link:Amb_radio.Link_budget.t ->
+  ?packet:Amb_radio.Packet.t ->
+  topology:Topology.t ->
+  sink:int ->
+  node:tier_config ->
+  unit ->
+  t
+(** Every node identical (all leaves except the sink, which gets the same
+    energy parameters but generates nothing) on a caller-supplied
+    topology — the degenerate fleets the cross-check experiments compare
+    against {!Amb_net.Net_sim} and {!Amb_node.Lifetime_sim}. *)

@@ -1,0 +1,88 @@
+(** Hop costs + fade faults over the shared routing cache (see .mli).
+
+    The MAC overheads are isolated by differencing the closed-form
+    per-packet energies at the configured wake-up interval against a
+    vanishing interval, so the distance-dependent frame cost itself is
+    never double-charged on top of the routing cache. *)
+
+open Amb_units
+open Amb_radio
+open Amb_net
+
+type mode = Off | Cached | Mac of Mac_duty_cycle.t
+
+type t = {
+  router : Routing.t;
+  mode : mode;
+  tx_overhead_j : float;
+  rx_overhead_j : float;
+  sampling_w : float;
+  exponent : float;  (** path-loss exponent, for fade -> distance mapping *)
+  mutable fades : (int * int * float) list;
+}
+
+let create ~router ~mode =
+  let tx_overhead_j, rx_overhead_j, sampling_w =
+    match mode with
+    | Off | Cached -> (0.0, 0.0, 0.0)
+    | Mac mac ->
+      let tiny = { mac with Mac_duty_cycle.t_wakeup = Time_span.seconds 1e-6 } in
+      ( Energy.to_joules (Mac_duty_cycle.tx_energy_per_packet mac)
+        -. Energy.to_joules (Mac_duty_cycle.tx_energy_per_packet tiny),
+        Energy.to_joules (Mac_duty_cycle.rx_energy_per_packet mac)
+        -. Energy.to_joules (Mac_duty_cycle.rx_energy_per_packet tiny),
+        Power.to_watts (Mac_duty_cycle.sampling_power mac) )
+  in
+  let exponent =
+    match router.Routing.link.Link_budget.channel with
+    | Path_loss.Log_distance { exponent; _ } -> exponent
+    | Path_loss.Free_space -> 2.0
+  in
+  { router; mode; tx_overhead_j; rx_overhead_j; sampling_w; exponent; fades = [] }
+
+let mode t = t.mode
+
+let key a b = if a <= b then (a, b) else (b, a)
+
+let set_fade t ~a ~b ~db =
+  if db < 0.0 then invalid_arg "Link_layer.set_fade: negative dB";
+  let x, y = key a b in
+  t.fades <- (x, y, db) :: List.filter (fun (p, q, _) -> (p, q) <> (x, y)) t.fades
+
+let fade_db t a b =
+  let x, y = key a b in
+  match List.find_opt (fun (p, q, _) -> p = x && q = y) t.fades with
+  | Some (_, _, db) -> db
+  | None -> 0.0
+
+(* TX joules over a faded pair: the extra loss shows up as an effective
+   distance under the log-distance exponent. *)
+let faded_tx_j t i j db =
+  let d = Topology.pair_distance t.router.Routing.topology i j in
+  let d' = d *. (10.0 ** (db /. (10.0 *. t.exponent))) in
+  match Routing.sender_energy t.router ~distance_m:d' with
+  | Some e -> Energy.to_joules e
+  | None -> Float.nan
+
+let phy_tx_j t i j =
+  let db = fade_db t i j in
+  if db = 0.0 then Routing.sender_energy_j t.router i j else faded_tx_j t i j db
+
+let cost_tx_j t i j =
+  match t.mode with
+  | Off -> 0.0
+  | Cached -> phy_tx_j t i j
+  | Mac _ -> phy_tx_j t i j +. t.tx_overhead_j
+
+let cost_rx_j t =
+  match t.mode with
+  | Off -> 0.0
+  | Cached -> Routing.receiver_energy_j t.router
+  | Mac _ -> Routing.receiver_energy_j t.router +. t.rx_overhead_j
+
+let weight_j t i j =
+  let db = fade_db t i j in
+  if db = 0.0 then Routing.link_energy_j t.router i j
+  else faded_tx_j t i j db +. Routing.receiver_energy_j t.router
+
+let sampling_power_w t = t.sampling_w

@@ -1,0 +1,48 @@
+(** Physical-layer hop costs for the co-simulation, with injectable link
+    fades.
+
+    Three cost modes:
+    - [Off] — radio free of charge (the single-node degenerate
+      cross-check, where the activation energy already contains the
+      radio);
+    - [Cached] — the {!Amb_net.Routing} per-pair TX/RX cache verbatim,
+      byte-identical to what {!Amb_net.Net_sim} charges;
+    - [Mac] — [Cached] plus preamble-sampling MAC overheads from
+      {!Amb_radio.Mac_duty_cycle}: a full-interval preamble per TX, half
+      an interval of listening per RX, and a continuous channel-sampling
+      power every node pays in sleep.
+
+    A fade of [db] on a pair raises its path loss, modelled as an
+    effective distance d' = d * 10^(db / (10 n)) under the channel's
+    log-distance exponent n; hops that no longer close are cut from the
+    routing graph. *)
+
+open Amb_net
+
+type mode = Off | Cached | Mac of Amb_radio.Mac_duty_cycle.t
+
+type t
+
+val create : router:Routing.t -> mode:mode -> t
+val mode : t -> mode
+
+val set_fade : t -> a:int -> b:int -> db:float -> unit
+(** Set (replace) the symmetric extra loss on a pair; raises
+    [Invalid_argument] on negative dB. *)
+
+val fade_db : t -> int -> int -> float
+
+val cost_tx_j : t -> int -> int -> float
+(** Joules charged to the sender for one packet over a pair; NaN when the
+    (possibly faded) link cannot close; 0 under [Off]. *)
+
+val cost_rx_j : t -> float
+(** Joules charged to the receiver per packet (distance-independent). *)
+
+val weight_j : t -> int -> int -> float
+(** Physical TX+RX joules for routing weights, fade-adjusted, regardless
+    of mode (an [Off] fleet still routes over the physical graph); NaN
+    when the pair is out of reach. *)
+
+val sampling_power_w : t -> float
+(** Continuous MAC channel-sampling drain per node; 0 outside [Mac]. *)

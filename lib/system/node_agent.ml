@@ -1,0 +1,111 @@
+(** Per-node energy agent for the co-simulation.
+
+    The continuous-flow accounting below is a line-for-line mirror of
+    {!Amb_node.Lifetime_sim}: drain = sleep/regulator, income sampled at
+    the interval midpoint, reserve clamped at capacity, and the zero
+    crossing interpolated inside the interval.  Keeping the arithmetic
+    identical is what lets the degenerate cross-check experiments match
+    the standalone simulators to within a report period. *)
+
+open Amb_units
+open Amb_energy
+
+type t = {
+  id : int;
+  mutable capacity_j : float;  (** 0 = no battery (immortal); infinity = mains *)
+  income_w : float;
+  income_multiplier : (float -> float) option;
+  regulator : float;
+  sleep_w : float;
+  mutable reserve_j : float;
+  mutable consumed_j : float;
+  mutable harvested_j : float;
+  mutable last_account : float;
+  mutable died_at : float option;
+  mutable crashed : bool;
+}
+
+let create ?income_multiplier ?(extra_sleep = Power.zero) ~id ~(cfg : Fleet.tier_config) () =
+  let supply = cfg.Fleet.supply in
+  let capacity_j =
+    if supply.Supply.mains then Float.infinity
+    else
+      match cfg.Fleet.budget_override with
+      | Some e -> Energy.to_joules e
+      | None -> (
+        match supply.Supply.battery with
+        | Some b -> Energy.to_joules (Battery.energy b)
+        | None -> 0.0)
+  in
+  let income_w = Power.to_watts (Supply.harvest_income supply) in
+  {
+    id;
+    capacity_j;
+    income_w;
+    income_multiplier = (if income_w > 0.0 then income_multiplier else None);
+    regulator = supply.Supply.regulator_efficiency;
+    sleep_w = Power.to_watts cfg.Fleet.sleep_power +. Power.to_watts extra_sleep;
+    reserve_j = capacity_j;
+    consumed_j = 0.0;
+    harvested_j = 0.0;
+    last_account = 0.0;
+    died_at = None;
+    crashed = false;
+  }
+
+let id t = t.id
+let alive t = t.died_at = None
+
+let account t ~now =
+  let dt = now -. t.last_account in
+  if dt > 0.0 && alive t then begin
+    let drain = t.sleep_w /. t.regulator *. dt in
+    (* Diurnal multiplier at the interval midpoint, as in Lifetime_sim:
+       the accounting period bounds the integration error. *)
+    let scale =
+      match t.income_multiplier with
+      | None -> 1.0
+      | Some f -> f (t.last_account +. (0.5 *. dt))
+    in
+    let gain = t.income_w *. scale *. dt in
+    t.consumed_j <- t.consumed_j +. (t.sleep_w *. dt);
+    t.harvested_j <- t.harvested_j +. gain;
+    let net = drain -. gain in
+    let before = t.reserve_j in
+    t.reserve_j <- Float.min t.capacity_j (t.reserve_j -. net);
+    if t.reserve_j <= 0.0 && t.capacity_j > 0.0 then begin
+      let rate = net /. dt in
+      let t_cross = if rate > 0.0 then t.last_account +. (before /. rate) else now in
+      t.died_at <- Some t_cross
+    end
+  end;
+  t.last_account <- now
+
+let charge t ~now joules =
+  account t ~now;
+  if alive t then begin
+    t.consumed_j <- t.consumed_j +. joules;
+    t.reserve_j <- t.reserve_j -. (joules /. t.regulator);
+    if t.reserve_j <= 0.0 && t.capacity_j > 0.0 then t.died_at <- Some now
+  end
+
+let crash t ~now =
+  account t ~now;
+  if alive t then begin
+    t.died_at <- Some now;
+    t.crashed <- true
+  end
+
+let scale_battery t ~factor =
+  if factor <= 0.0 then invalid_arg "Node_agent.scale_battery: non-positive factor";
+  if Float.is_finite t.capacity_j then begin
+    t.capacity_j <- t.capacity_j *. factor;
+    t.reserve_j <- t.reserve_j *. factor
+  end
+
+let reserve_j t = t.reserve_j
+let residual_energy t = Energy.joules (Float.max 0.0 t.reserve_j)
+let consumed_energy t = Energy.joules t.consumed_j
+let harvested_energy t = Energy.joules t.harvested_j
+let died_at t = Option.map Time_span.seconds t.died_at
+let is_crashed t = t.crashed

@@ -1,0 +1,77 @@
+(** Typed per-tier aggregation of co-simulation outcomes (see .mli). *)
+
+open Amb_units
+open Amb_report
+
+let txt = Report.cell_text
+
+(* [deaths] lists are kept sorted ascending in time by Cosim. *)
+let median_of deaths =
+  match deaths with
+  | [] -> None
+  | _ ->
+    let arr = Array.of_list (List.map (fun (_, t) -> Time_span.to_seconds t) deaths) in
+    let k = Array.length arr in
+    let m = if k mod 2 = 1 then arr.(k / 2) else 0.5 *. (arr.((k / 2) - 1) +. arr.(k / 2)) in
+    Some (Time_span.seconds m)
+
+let median_death (o : Cosim.outcome) = median_of o.Cosim.deaths
+
+let tier_deaths fleet (o : Cosim.outcome) tier =
+  List.filter (fun (i, _) -> Fleet.tier_of fleet i = tier) o.Cosim.deaths
+
+let tier_energy fleet (o : Cosim.outcome) tier =
+  let ids = Fleet.nodes_of_tier fleet tier in
+  let sum f = Energy.sum (List.map (fun i -> f o.Cosim.agents.(i)) ids) in
+  (sum Node_agent.consumed_energy, sum Node_agent.harvested_energy,
+   sum Node_agent.residual_energy)
+
+let time_opt = function Some t -> Report.cell_time t | None -> txt "-"
+
+let report ?(title = "system co-simulation") fleet (o : Cosim.outcome) =
+  let tier_row tier =
+    let ids = Fleet.nodes_of_tier fleet tier in
+    let total = List.length ids in
+    let alive = List.length (List.filter (fun i -> Node_agent.alive o.Cosim.agents.(i)) ids) in
+    let consumed, harvested, residual = tier_energy fleet o tier in
+    let deaths = tier_deaths fleet o tier in
+    [ txt (Fleet.tier_name tier);
+      Report.cell_int total;
+      Report.cell_int alive;
+      Report.cell_energy consumed;
+      Report.cell_energy harvested;
+      (if Energy.is_finite residual then Report.cell_energy residual else txt "mains");
+      (match deaths with [] -> txt "-" | (_, t) :: _ -> Report.cell_time t);
+      time_opt (median_of deaths);
+      txt "-";
+      txt "-";
+    ]
+  in
+  let n = Array.length o.Cosim.agents in
+  let network_row =
+    let residual =
+      Energy.sum (Array.to_list (Array.map Node_agent.residual_energy o.Cosim.agents))
+    in
+    [ txt "network";
+      Report.cell_int n;
+      Report.cell_int (n - o.Cosim.dead_at_end);
+      Report.cell_energy o.Cosim.energy_spent;
+      Report.cell_energy o.Cosim.energy_harvested;
+      (if Energy.is_finite residual then Report.cell_energy residual else txt "mains");
+      (match o.Cosim.first_death with Some t -> Report.cell_time t | None -> txt "no deaths");
+      time_opt (median_death o);
+      Report.cell_percent o.Cosim.delivery_ratio;
+      Report.cell_percent o.Cosim.availability;
+    ]
+  in
+  Report.make ~title
+    ~header:
+      [ "tier"; "nodes"; "alive"; "consumed"; "harvested"; "residual"; "first death";
+        "median death"; "delivery"; "availability" ]
+    (List.map tier_row Fleet.all_tiers @ [ network_row ])
+    ~notes:
+      [ Printf.sprintf "%d generated, %d delivered, %d dropped over %d engine events"
+          o.Cosim.generated o.Cosim.delivered o.Cosim.dropped o.Cosim.events;
+        Printf.sprintf "mean leaf coverage %.1f%%, %d tree rebuilds"
+          (100.0 *. o.Cosim.mean_coverage) o.Cosim.rebuilds;
+      ]

@@ -1,0 +1,20 @@
+(** Per-tier typed reports over a co-simulation outcome, built on the
+    {!Amb_report.Cell} pipeline so the system subsystem serializes (JSON,
+    CSV, digests) exactly like every other experiment. *)
+
+open Amb_units
+open Amb_report
+
+val median_death : Cosim.outcome -> Time_span.t option
+(** Median of the recorded death instants (None when nothing died). *)
+
+val tier_deaths : Fleet.t -> Cosim.outcome -> Fleet.tier -> (int * Time_span.t) list
+
+val tier_energy : Fleet.t -> Cosim.outcome -> Fleet.tier -> Energy.t * Energy.t * Energy.t
+(** (consumed, harvested, residual) summed over a tier's nodes; the
+    residual of a mains tier is infinite and rendered as such. *)
+
+val report : ?title:string -> Fleet.t -> Cosim.outcome -> Report.t
+(** One row per tier plus a network summary row: node counts, survivors,
+    energy by class, first/median death, delivery ratio, function
+    availability and mean leaf coverage. *)

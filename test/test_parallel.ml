@@ -56,6 +56,69 @@ let test_pool_propagates_exception () =
   in
   Alcotest.(check bool) "first failing task's exception re-raised" true raised
 
+let test_pool_survives_exception () =
+  (* A raising task must not wedge the workers: the batch settles, the
+     exception surfaces, and the same pool keeps serving later batches. *)
+  Amb_sim.Domain_pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 3 do
+        let blew_up =
+          try
+            ignore
+              (Amb_sim.Domain_pool.run pool
+                 (Array.init 12 (fun i () -> if i = round * 2 then failwith "boom" else i)));
+            false
+          with Failure msg -> msg = "boom"
+        in
+        Alcotest.(check bool) (Printf.sprintf "round %d raised" round) true blew_up;
+        let results = Amb_sim.Domain_pool.run pool (Array.init 12 (fun i () -> i + round)) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "clean batch after failing batch %d" round)
+          (Array.init 12 (fun i -> i + round))
+          results
+      done)
+
+let test_pool_exception_deterministic () =
+  (* Several raising tasks: the surfaced exception is the first in
+     submission order, independent of which domain hit which task. *)
+  let run_once () =
+    try
+      Amb_sim.Domain_pool.with_pool ~jobs:4 (fun pool ->
+          ignore
+            (Amb_sim.Domain_pool.run pool
+               (Array.init 16 (fun i () ->
+                    if i mod 5 = 3 then failwith (Printf.sprintf "task %d" i)
+                    else begin
+                      (* Skew durations so domain interleavings differ. *)
+                      let acc = ref 0 in
+                      for k = 1 to (16 - i) * 500 do acc := !acc + k done;
+                      !acc
+                    end)));
+          "no exception")
+    with Failure msg -> msg
+  in
+  let first = run_once () in
+  Alcotest.(check string) "first failing index surfaces" "task 3" first;
+  for _ = 1 to 5 do
+    Alcotest.(check string) "same exception every run" first (run_once ())
+  done
+
+let test_map_list_usable_after_exception () =
+  (* map_list builds a transient pool per call; a raising call must leave
+     nothing behind that poisons the next one. *)
+  let escaped =
+    try
+      ignore
+        (Amb_sim.Domain_pool.map_list ~jobs:2
+           (fun x -> if x = 3 then raise Exit else x)
+           [ 0; 1; 2; 3; 4 ]);
+      false
+    with Exit -> true
+  in
+  Alcotest.(check bool) "exception escapes map_list" true escaped;
+  Alcotest.(check (list int))
+    "subsequent map_list unaffected" [ 0; 2; 4; 6 ]
+    (Amb_sim.Domain_pool.map_list ~jobs:2 (fun x -> x * 2) [ 0; 1; 2; 3 ])
+
 let test_pool_rejects_zero_jobs () =
   Alcotest.check_raises "jobs=0"
     (Invalid_argument "Domain_pool.create: need at least one worker") (fun () ->
@@ -193,6 +256,9 @@ let suite =
     ("pool gathers in submission order", `Quick, test_pool_run_gathers_in_order);
     ("pool reusable across batches", `Quick, test_pool_reusable_across_batches);
     ("pool propagates exceptions", `Quick, test_pool_propagates_exception);
+    ("pool survives a raising task", `Quick, test_pool_survives_exception);
+    ("pool exception deterministic", `Quick, test_pool_exception_deterministic);
+    ("map_list usable after exception", `Quick, test_map_list_usable_after_exception);
     ("pool rejects zero jobs", `Quick, test_pool_rejects_zero_jobs);
     ("float heap pop order", `Quick, test_float_heap_pop_order);
     ("float heap stable ties", `Quick, test_float_heap_stable_ties);
