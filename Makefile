@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-quick check clean
 
 all: build
 
@@ -27,6 +27,12 @@ bench: build
 	dune exec bench/main.exe -- --reports-only --jobs 1 > /dev/null
 	dune exec bench/main.exe -- --json BENCH_results.json
 	dune exec bench/main.exe -- --check-json BENCH_results.json
+
+# Smoke-grade snapshot (~4x smaller timing budget): same schema and
+# digest gate, throwaway output file — for quick local sanity and CI.
+bench-quick: build
+	dune exec bench/main.exe -- --quick --json /tmp/amblib-bench-quick.json
+	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-quick.json
 
 clean:
 	dune clean

@@ -20,6 +20,13 @@
      bench/main.exe --reports-only       skip the Bechamel pass
      bench/main.exe --jobs 4             parallelise report building (also AMB_JOBS)
      bench/main.exe --json FILE          write the JSON perf snapshot
+       (an existing FILE seeds the longest-first suite schedule; at
+        --jobs >= 4 a suite speedup below 1.2x exits non-zero)
+     bench/main.exe --quick --json FILE  same, ~4x smaller timing budget
+     bench/main.exe --compare OLD NEW    per-experiment ns/run deltas between
+                                         two snapshots; >1.5x slowdown exits 1
+     bench/main.exe --time E16 5         wall-clock best-of-N for one builder
+                                         (quote the best on noisy machines)
      bench/main.exe --check-json FILE    parse and validate a snapshot
      bench/main.exe --roundtrip-report F parse a report envelope and re-serialize it
      bench/main.exe --list               list experiment ids *)
@@ -71,76 +78,6 @@ let run_timings () =
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-28s %14.0f %8.3f\n" name ns r2)
     rows
-
-(* ------------------------------------------------------------------ *)
-(* JSON perf snapshot                                                  *)
-
-let wall_clock = Unix.gettimeofday
-
-(* ns/run for one builder: repeat until ~80 ms or 200 runs, whichever
-   first, and report the mean.  Coarser than Bechamel but dependency-free
-   and fast enough to time all 27 builders in a few seconds. *)
-let time_builder build =
-  ignore (build ());  (* warm-up *)
-  let start = wall_clock () in
-  let budget_s = 0.08 in
-  let rec go runs elapsed =
-    if runs >= 200 || elapsed >= budget_s then (runs, elapsed)
-    else begin
-      ignore (build ());
-      go (runs + 1) (wall_clock () -. start)
-    end
-  in
-  let runs, elapsed = go 0 0.0 in
-  if runs = 0 then Float.nan else elapsed *. 1e9 /. Float.of_int runs
-
-let time_suite ~jobs =
-  let start = wall_clock () in
-  ignore (Amb_core.Experiments.run_all ~jobs ());
-  wall_clock () -. start
-
-let json_number b v =
-  if not (Float.is_finite v) then Buffer.add_string b "null"
-  else Buffer.add_string b (Printf.sprintf "%.6g" v)
-
-let write_json path ~jobs =
-  Printf.eprintf "timing %d experiment builders (jobs=1)...\n%!"
-    (List.length Amb_core.Experiments.all);
-  let per_experiment =
-    List.map
-      (fun (id, _, build) ->
-        let report = build () in
-        (id, time_builder build, Amb_core.Report_io.digest report,
-         List.length report.Amb_core.Report.rows))
-      Amb_core.Experiments.all
-  in
-  Printf.eprintf "timing full suite at jobs=1 and jobs=%d...\n%!" jobs;
-  let wall_1 = time_suite ~jobs:1 in
-  let wall_n = time_suite ~jobs in
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"schema\": \"amblib-bench/1\",\n";
-  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
-  Buffer.add_string b "  \"experiments\": [\n";
-  List.iteri
-    (fun i (id, ns, digest, rows) ->
-      Buffer.add_string b (Printf.sprintf "    { \"id\": %S, \"ns_per_run\": " id);
-      json_number b ns;
-      Buffer.add_string b (Printf.sprintf ", \"digest\": %S, \"rows\": %d" digest rows);
-      Buffer.add_string b (if i = List.length per_experiment - 1 then " }\n" else " },\n"))
-    per_experiment;
-  Buffer.add_string b "  ],\n  \"suite\": {\n    \"wall_s_jobs1\": ";
-  json_number b wall_1;
-  Buffer.add_string b ",\n    \"wall_s_jobs_n\": ";
-  json_number b wall_n;
-  Buffer.add_string b ",\n    \"speedup\": ";
-  json_number b (if wall_n > 0.0 then wall_1 /. wall_n else Float.nan);
-  Buffer.add_string b "\n  }\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  Printf.printf "wrote %s (suite: %.2f s at jobs=1, %.2f s at jobs=%d, %.2fx)\n" path wall_1
-    wall_n jobs
-    (if wall_n > 0.0 then wall_1 /. wall_n else Float.nan)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader — just enough to validate a snapshot without a
@@ -264,6 +201,218 @@ module Json = struct
   let member key = function Object kvs -> List.assoc_opt key kvs | _ -> None
 end
 
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    Some contents
+
+(* ------------------------------------------------------------------ *)
+(* JSON perf snapshot                                                  *)
+
+let wall_clock = Unix.gettimeofday
+
+(* --quick shrinks the measurement budget ~4x for smoke runs (make
+   bench-quick): noisier ns/run, same schema and digests. *)
+let quick = ref false
+
+(* ns/run for one builder: repeat until the budget (~80 ms, or ~20 ms
+   under --quick) or the run cap, whichever first, and report the mean.
+   Coarser than Bechamel but dependency-free and fast enough to time all
+   30 builders in a few seconds. *)
+let time_builder build =
+  let max_runs, budget_s = if !quick then (20, 0.02) else (200, 0.08) in
+  ignore (build ());  (* warm-up *)
+  let start = wall_clock () in
+  let rec go runs elapsed =
+    if runs >= max_runs || elapsed >= budget_s then (runs, elapsed)
+    else begin
+      ignore (build ());
+      go (runs + 1) (wall_clock () -. start)
+    end
+  in
+  let runs, elapsed = go 0 0.0 in
+  if runs = 0 then Float.nan else elapsed *. 1e9 /. Float.of_int runs
+
+(* Per-experiment ns/run from a previous snapshot, to seed the suite
+   scheduler's longest-expected-first order. *)
+let load_expected path =
+  match read_file path with
+  | None -> None
+  | Some contents -> (
+    match Json.parse contents with
+    | exception Json.Parse_error _ -> None
+    | json -> (
+      match Json.member "experiments" json with
+      | Some (Json.List entries) ->
+        let table =
+          List.filter_map
+            (fun e ->
+              match (Json.member "id" e, Json.member "ns_per_run" e) with
+              | Some (Json.String id), Some (Json.Number ns) -> Some (id, ns)
+              | _ -> None)
+            entries
+        in
+        Some (fun id -> List.assoc_opt id table)
+      | _ -> None))
+
+let time_suite ?expected ~jobs () =
+  let start = wall_clock () in
+  ignore (Amb_core.Experiments.run_all ~jobs ?expected ());
+  wall_clock () -. start
+
+let json_number b v =
+  if not (Float.is_finite v) then Buffer.add_string b "null"
+  else Buffer.add_string b (Printf.sprintf "%.6g" v)
+
+let write_json path ~jobs =
+  (* A previous snapshot at the same path seeds the scheduler. *)
+  let expected = load_expected path in
+  Printf.eprintf "timing %d experiment builders (jobs=1)...\n%!"
+    (List.length Amb_core.Experiments.all);
+  let per_experiment =
+    List.map
+      (fun (id, _, build) ->
+        let report = build () in
+        (id, time_builder build, Amb_core.Report_io.digest report,
+         List.length report.Amb_core.Report.rows))
+      Amb_core.Experiments.all
+  in
+  Printf.eprintf "timing sharded builds at jobs=%d...\n%!" jobs;
+  let jobs_n_wall =
+    List.map
+      (fun (id, _, _) ->
+        let start = wall_clock () in
+        ignore (Amb_core.Experiments.build_sharded ~jobs id);
+        (id, wall_clock () -. start))
+      Amb_core.Experiments.all
+  in
+  Printf.eprintf "timing full suite at jobs=1 and jobs=%d...\n%!" jobs;
+  let wall_1 = time_suite ~jobs:1 () in
+  let wall_n = time_suite ?expected ~jobs () in
+  let speedup = if wall_n > 0.0 then wall_1 /. wall_n else Float.nan in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"amblib-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, ns, digest, rows) ->
+      Buffer.add_string b (Printf.sprintf "    { \"id\": %S, \"ns_per_run\": " id);
+      json_number b ns;
+      Buffer.add_string b (Printf.sprintf ", \"digest\": %S, \"rows\": %d" digest rows);
+      Buffer.add_string b
+        (Printf.sprintf ", \"shards\": %d, \"wall_s_jobs_n\": " (Amb_core.Experiments.shard_count id));
+      json_number b (Option.value (List.assoc_opt id jobs_n_wall) ~default:Float.nan);
+      Buffer.add_string b (if i = List.length per_experiment - 1 then " }\n" else " },\n"))
+    per_experiment;
+  Buffer.add_string b "  ],\n  \"suite\": {\n    \"wall_s_jobs1\": ";
+  json_number b wall_1;
+  Buffer.add_string b ",\n    \"wall_s_jobs_n\": ";
+  json_number b wall_n;
+  Buffer.add_string b ",\n    \"speedup\": ";
+  json_number b speedup;
+  Buffer.add_string b "\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s (suite: %.2f s at jobs=1, %.2f s at jobs=%d, %.2fx)\n" path wall_1
+    wall_n jobs speedup;
+  (* Scaling gate: with enough cores, a parallel suite that fails to
+     clear 1.2x means the scheduler or sharding regressed. *)
+  if jobs >= 4 && Float.is_finite speedup && speedup < 1.2 then begin
+    Printf.eprintf "%s: suite speedup %.2fx at jobs=%d is below the 1.2x scaling gate\n" path
+      speedup jobs;
+    exit 1
+  end
+
+(* Repeated wall-clock timing of one builder; the best-of-N is what to
+   quote on noisy machines. *)
+let time_one id runs =
+  match Amb_core.Experiments.find id with
+  | None ->
+    Printf.eprintf "unknown experiment id %s\n" id;
+    exit 1
+  | Some (eid, _, build) ->
+    ignore (build ());  (* warm-up *)
+    let best = ref Float.infinity in
+    for r = 1 to runs do
+      let t0 = wall_clock () in
+      ignore (build ());
+      let dt = wall_clock () -. t0 in
+      if dt < !best then best := dt;
+      Printf.printf "%s run %d: %.4f s\n%!" eid r dt
+    done;
+    Printf.printf "%s best of %d: %.4f s\n" eid runs !best
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot comparison: per-experiment ns/run deltas between two
+   snapshots; >1.5x slowdowns fail the run. *)
+
+let compare_snapshots old_path new_path =
+  let load path =
+    match read_file path with
+    | None ->
+      Printf.eprintf "%s: cannot read\n" path;
+      exit 1
+    | Some contents -> (
+      match Json.parse contents with
+      | exception Json.Parse_error msg ->
+        Printf.eprintf "%s: parse error: %s\n" path msg;
+        exit 1
+      | json -> json)
+  in
+  let old_json = load old_path and new_json = load new_path in
+  let ns_table json =
+    match Json.member "experiments" json with
+    | Some (Json.List entries) ->
+      List.filter_map
+        (fun e ->
+          match (Json.member "id" e, Json.member "ns_per_run" e) with
+          | Some (Json.String id), Some (Json.Number ns) -> Some (id, ns)
+          | _ -> None)
+        entries
+    | _ -> []
+  in
+  let old_ns = ns_table old_json and new_ns = ns_table new_json in
+  let threshold = 1.5 in
+  Printf.printf "=== bench compare: %s -> %s ===\n" old_path new_path;
+  Printf.printf "%-6s %14s %14s %8s\n" "id" "old ns/run" "new ns/run" "ratio";
+  let regressions = ref [] in
+  List.iter
+    (fun (id, old_v) ->
+      match List.assoc_opt id new_ns with
+      | None -> Printf.printf "%-6s %14.0f %14s %8s\n" id old_v "-" "gone"
+      | Some new_v ->
+        let ratio = if old_v > 0.0 then new_v /. old_v else Float.nan in
+        Printf.printf "%-6s %14.0f %14.0f %7.2fx%s\n" id old_v new_v ratio
+          (if ratio > threshold then "  << SLOWDOWN" else "");
+        if ratio > threshold then regressions := id :: !regressions)
+    old_ns;
+  List.iter
+    (fun (id, new_v) ->
+      if not (List.mem_assoc id old_ns) then
+        Printf.printf "%-6s %14s %14.0f %8s\n" id "-" new_v "new")
+    new_ns;
+  let suite_field json key =
+    match Json.member "suite" json with
+    | Some suite -> (
+      match Json.member key suite with Some (Json.Number v) -> Some v | _ -> None)
+    | None -> None
+  in
+  (match (suite_field old_json "speedup", suite_field new_json "speedup") with
+  | Some a, Some b -> Printf.printf "suite speedup: %.2fx -> %.2fx\n" a b
+  | _ -> ());
+  match !regressions with
+  | [] -> Printf.printf "no per-experiment slowdown beyond %.1fx\n" threshold
+  | ids ->
+    Printf.eprintf "%d experiment(s) slowed down more than %.1fx: %s\n" (List.length ids)
+      threshold
+      (String.concat ", " (List.rev ids));
+    exit 1
+
 let check_json path =
   let fail msg =
     Printf.eprintf "%s: %s\n" path msg;
@@ -376,8 +525,10 @@ let () =
   let jobs =
     match extract_jobs args with Some n -> n | None -> Amb_sim.Domain_pool.default_jobs ()
   in
+  if List.mem "--quick" args then quick := true;
   let rec strip_jobs = function
     | "--jobs" :: _ :: rest -> strip_jobs rest
+    | "--quick" :: rest -> strip_jobs rest
     | x :: rest -> x :: strip_jobs rest
     | [] -> []
   in
@@ -389,12 +540,20 @@ let () =
   | _ :: "--run" :: id :: _ -> print_reports ~jobs:1 (Some id)
   | _ :: "--reports-only" :: _ -> print_reports ~jobs None
   | _ :: "--json" :: path :: _ -> write_json path ~jobs
+  | _ :: "--compare" :: old_path :: new_path :: _ -> compare_snapshots old_path new_path
+  | _ :: "--time" :: id :: runs :: _ -> (
+    match int_of_string_opt runs with
+    | Some n when n >= 1 -> time_one id n
+    | _ ->
+      Printf.eprintf "--time expects a positive run count, got %s\n" runs;
+      exit 1)
+  | _ :: "--time" :: id :: [] -> time_one id 5
   | _ :: "--check-json" :: path :: _ -> check_json path
   | _ :: "--roundtrip-report" :: path :: _ -> roundtrip_report path
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
-      "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --json FILE, \
-       --check-json FILE, --roundtrip-report FILE)\n"
+      "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
+       --compare OLD NEW, --time ID N, --check-json FILE, --roundtrip-report FILE)\n"
       arg;
     exit 1
   | _ ->

@@ -293,7 +293,10 @@ let e10 () =
 (* ------------------------------------------------------------------ *)
 (* E11 — sensor-field lifetime vs routing policy                       *)
 
-let e11 () =
+let e11_policies =
+  [ Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy; Amb_net.Routing.Max_lifetime ]
+
+let e11_ctx () =
   let rng = Amb_sim.Rng.create 42 in
   let nodes = 60 in
   (* 300x300 m: the low-power radio reaches ~110 m indoors, so traffic to
@@ -302,68 +305,82 @@ let e11 () =
   let radio = Radio_frontend.low_power_uhf in
   let link = Link_budget.make ~radio ~channel:Path_loss.indoor () in
   let packet = Packet.sensor_report in
-  let router = Amb_net.Routing.make ~topology ~link ~packet in
+  (Amb_net.Routing.make ~topology ~link ~packet, nodes)
+
+let e11_row (router, nodes) policy =
   (* Each node dedicates 10% of a CR2032 to forwarding. *)
   let budget _ = Energy.scale 0.1 (Battery.energy Battery.cr2032) in
   let sink = 0 in
-  let row policy =
-    let tree = Amb_net.Flow.collection_tree router ~policy ~residual:budget ~sink in
-    let connected = Amb_net.Flow.connected_count tree in
-    let rounds =
-      Amb_net.Flow.simulate_depletion router ~policy ~budget ~sink ~rebuild_every:500.0
-    in
-    let lifetime = Time_span.seconds (rounds *. 30.0) in
-    [ txt (Amb_net.Routing.policy_name policy);
-      txt (Printf.sprintf "%d/%d" connected nodes);
-      Report.cell_float ~digits:4 rounds;
-      Report.cell_time lifetime;
-    ]
+  let tree = Amb_net.Flow.collection_tree router ~policy ~residual:budget ~sink in
+  let connected = Amb_net.Flow.connected_count tree in
+  let rounds =
+    Amb_net.Flow.simulate_depletion router ~policy ~budget ~sink ~rebuild_every:500.0
   in
+  let lifetime = Time_span.seconds (rounds *. 30.0) in
+  [ txt (Amb_net.Routing.policy_name policy);
+    txt (Printf.sprintf "%d/%d" connected nodes);
+    Report.cell_float ~digits:4 rounds;
+    Report.cell_time lifetime;
+  ]
+
+let e11_assemble rows =
   Report.make
     ~title:"E11: sensor-field lifetime vs routing policy (60 nodes, 300x300 m, 10% CR2032)"
     ~header:[ "policy"; "connected"; "rounds to first death"; "lifetime @30s/round" ]
-    (List.map row
-       [ Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy; Amb_net.Routing.Max_lifetime ])
+    rows
     ~notes:
       [ "max-lifetime reroutes around draining bottlenecks (tree rebuilt every 500 rounds)" ]
+
+let e11 () =
+  let ctx = e11_ctx () in
+  e11_assemble (List.map (e11_row ctx) e11_policies)
 
 (* ------------------------------------------------------------------ *)
 (* E12 — simulator vs closed form                                      *)
 
-let e12 () =
+let e12_cases =
+  [ (1.0 /. 300.0, "periodic"); (1.0 /. 30.0, "periodic"); (1.0 /. 30.0, "poisson") ]
+
+let e12_ctx () =
   let node = Reference_designs.microwatt_node () in
   let act = Reference_designs.microwatt_activation in
   let profile = Node_model.duty_profile node act in
   let supply = Supply.battery_only ~name:"CR2032 only" Battery.cr2032 in
-  let rates = [ (1.0 /. 300.0, "periodic"); (1.0 /. 30.0, "periodic"); (1.0 /. 30.0, "poisson") ] in
-  let row (rate, kind) =
-    let traffic =
-      match kind with
-      | "poisson" -> Amb_workload.Traffic.poisson rate
-      | _ -> Amb_workload.Traffic.periodic (Time_span.seconds (1.0 /. rate))
-    in
-    let cfg =
-      Lifetime_sim.config ~profile ~supply ~activation_traffic:traffic
-        ~horizon:(Time_span.days 30.0) ()
-    in
-    let outcome = Lifetime_sim.run cfg ~seed:7 in
-    let analytic = Duty_cycle.average_power profile ~rate in
-    let measured = outcome.Lifetime_sim.average_power in
-    let err =
-      Float.abs (Power.to_watts measured -. Power.to_watts analytic)
-      /. Float.max 1e-30 (Power.to_watts analytic)
-    in
-    [ txt (Printf.sprintf "%.4g /s %s" rate kind);
-      Report.cell_power analytic;
-      Report.cell_power measured;
-      Report.cell_percent err;
-      Report.cell_int outcome.Lifetime_sim.activations;
-    ]
+  (profile, supply)
+
+let e12_row (profile, supply) (rate, kind) =
+  let traffic =
+    match kind with
+    | "poisson" -> Amb_workload.Traffic.poisson rate
+    | _ -> Amb_workload.Traffic.periodic (Time_span.seconds (1.0 /. rate))
   in
+  let cfg =
+    Lifetime_sim.config ~profile ~supply ~activation_traffic:traffic
+      ~horizon:(Time_span.days 30.0) ()
+  in
+  let outcome = Lifetime_sim.run cfg ~seed:7 in
+  let analytic = Duty_cycle.average_power profile ~rate in
+  let measured = outcome.Lifetime_sim.average_power in
+  let err =
+    Float.abs (Power.to_watts measured -. Power.to_watts analytic)
+    /. Float.max 1e-30 (Power.to_watts analytic)
+  in
+  [ txt (Printf.sprintf "%.4g /s %s" rate kind);
+    Report.cell_power analytic;
+    Report.cell_power measured;
+    Report.cell_percent err;
+    Report.cell_int outcome.Lifetime_sim.activations;
+  ]
+
+let e12_assemble rows =
   Report.make ~title:"E12: discrete-event simulation vs closed-form duty-cycle power (30 days)"
     ~header:[ "activation process"; "analytic"; "simulated"; "rel. error"; "activations" ]
-    (List.map row rates)
+    rows
     ~notes:[ "closed form excludes the per-activation sleep displacement; expect ~duty-sized error" ]
+
+let e12 () =
+  let ctx = e12_ctx () in
+  e12_assemble (List.map (e12_row ctx) e12_cases)
 
 (* ------------------------------------------------------------------ *)
 (* E13 — closing the E5 gap by architecture                            *)
@@ -405,53 +422,61 @@ let e13 () =
 (* ------------------------------------------------------------------ *)
 (* E14 — riding through the night: diurnal harvesting                  *)
 
-let e14 () =
+let e14_profiles =
+  [ Day_profile.constant; Day_profile.office_lighting; Day_profile.living_room_lighting;
+    Day_profile.outdoor_diurnal ]
+
+let e14_ctx () =
   let node = Reference_designs.microwatt_node () in
   let act = Reference_designs.microwatt_activation in
   let profile = Node_model.duty_profile node act in
   let rate = 1.0 /. 30.0 in
   let load = Duty_cycle.average_power profile ~rate in
   let peak_income = Supply.harvest_income node.Node_model.supply in
-  let day_profiles =
-    [ Day_profile.constant; Day_profile.office_lighting; Day_profile.living_room_lighting;
-      Day_profile.outdoor_diurnal ]
+  (node, profile, load, peak_income)
+
+let e14_row (node, profile, load, peak_income) dp =
+  let avg = Day_profile.average_income dp peak_income in
+  let sustainable = Day_profile.sustainable dp ~load ~income:peak_income in
+  let buffer = Day_profile.buffer_energy_required dp ~load ~income:peak_income in
+  let cap_f =
+    Day_profile.buffer_capacitance_required dp ~load ~income:peak_income
+      ~v_max:(Voltage.volts 3.3) ~v_min:(Voltage.volts 1.8)
   in
-  let row dp =
-    let avg = Day_profile.average_income dp peak_income in
-    let sustainable = Day_profile.sustainable dp ~load ~income:peak_income in
-    let buffer = Day_profile.buffer_energy_required dp ~load ~income:peak_income in
-    let cap_f =
-      Day_profile.buffer_capacitance_required dp ~load ~income:peak_income
-        ~v_max:(Voltage.volts 3.3) ~v_min:(Voltage.volts 1.8)
-    in
-    (* Cross-check with the discrete-event simulator over 30 days on a
-       small buffer-sized reserve. *)
-    let sim_supply =
-      { (node.Node_model.supply) with Supply.battery = Some Battery.cr2032 }
-    in
-    let cfg =
-      Lifetime_sim.config ~profile ~supply:sim_supply
-        ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 30.0))
-        ~horizon:(Time_span.days 30.0)
-        ~income_multiplier:(Day_profile.income_multiplier dp) ()
-    in
-    let o = Lifetime_sim.run cfg ~seed:14 in
-    [ txt dp.Day_profile.name;
-      Report.cell_power avg;
-      txt (if sustainable then "yes" else "NO");
-      Report.cell_energy buffer;
-      txt (Printf.sprintf "%.2f F" cap_f);
-      txt (if o.Lifetime_sim.died then "died" else "alive @30d");
-    ]
+  (* Cross-check with the discrete-event simulator over 30 days on a
+     small buffer-sized reserve. *)
+  let sim_supply =
+    { (node.Node_model.supply) with Supply.battery = Some Battery.cr2032 }
   in
+  let cfg =
+    Lifetime_sim.config ~profile ~supply:sim_supply
+      ~activation_traffic:(Amb_workload.Traffic.periodic (Time_span.seconds 30.0))
+      ~horizon:(Time_span.days 30.0)
+      ~income_multiplier:(Day_profile.income_multiplier dp) ()
+  in
+  let o = Lifetime_sim.run cfg ~seed:14 in
+  [ txt dp.Day_profile.name;
+    Report.cell_power avg;
+    txt (if sustainable then "yes" else "NO");
+    Report.cell_energy buffer;
+    txt (Printf.sprintf "%.2f F" cap_f);
+    txt (if o.Lifetime_sim.died then "died" else "alive @30d");
+  ]
+
+let e14_assemble rows =
+  let _, _, load, peak_income = e14_ctx () in
   Report.make ~title:"E14: diurnal harvesting - long-run balance and night buffer"
     ~header:[ "day profile"; "avg income"; "sustainable"; "night buffer"; "supercap"; "30-day sim" ]
-    (List.map row day_profiles)
+    rows
     ~notes:
       [ Printf.sprintf "load: %s at one report per 30 s; peak income %s" (Power.to_string load)
           (Power.to_string peak_income);
         "buffer = energy to carry the load through the darkest stretch";
       ]
+
+let e14 () =
+  let ctx = e14_ctx () in
+  e14_assemble (List.map (e14_row ctx) e14_profiles)
 
 (* ------------------------------------------------------------------ *)
 (* E15 — MPSoC interconnect: shared bus vs network-on-chip             *)
@@ -487,13 +512,16 @@ let e15 () =
 (* ------------------------------------------------------------------ *)
 (* E16 — event-driven MAC simulation vs the ALOHA closed form          *)
 
-let e16 () =
+let e16_loads = [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ]
+
+(* One shard per offered load: [Mac_sim.sweep] seeds row [i] with
+   [seed + i], so a singleton sweep at [16 + i] reproduces the exact
+   per-row RNG stream of the full sweep. *)
+let e16_shard i g =
   let cfg =
     Mac_sim.config ~radio:Radio_frontend.low_power_uhf ~packet:Packet.sensor_report ~nodes:20
       ~per_node_rate:0.1 ~horizon:(Time_span.hours 2.0)
   in
-  let loads = [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ] in
-  let rows = Mac_sim.sweep cfg ~loads ~seed:16 in
   let row (g, simulated, analytic, throughput) =
     [ txt (Printf.sprintf "%.2f" g);
       Report.cell_percent simulated;
@@ -501,13 +529,18 @@ let e16 () =
       txt (Printf.sprintf "%.3f" throughput);
     ]
   in
+  List.map row (Mac_sim.sweep cfg ~loads:[ g ] ~seed:(16 + i))
+
+let e16_assemble rows =
   Report.make ~title:"E16: shared-channel simulation vs pure-ALOHA closed form (20 nodes)"
     ~header:[ "offered load g"; "sim success"; "exp(-2g)"; "sim throughput S" ]
-    (List.map row rows)
+    rows
     ~notes:
       [ "burst collisions make the simulation slightly stricter than exp(-2g) at high load";
         "throughput peaks near g = 0.5, as the closed form predicts";
       ]
+
+let e16 () = e16_assemble (List.concat (List.mapi e16_shard e16_loads))
 
 (* ------------------------------------------------------------------ *)
 (* E17 — the regulator sets the sleep floor                            *)
@@ -544,31 +577,35 @@ let e17 () =
 (* ------------------------------------------------------------------ *)
 (* E18 — leakage spread from process variability                       *)
 
-let e18 () =
+(* One shard per process node; the inner Monte Carlo can additionally
+   split the die sweep across domains (statistics are bitwise
+   independent of the worker count). *)
+let e18_row ~jobs node =
   let block_gates = 2_000_000.0 in
-  (* Sharded Monte Carlo: AMB_JOBS spreads the die sweep across domains;
-     the statistics are bitwise independent of the worker count. *)
-  let jobs = Option.value (Amb_sim.Domain_pool.env_jobs ()) ~default:1 in
-  let row node =
-    let spread = Variability.spread_of node in
-    let stats = Variability.monte_carlo ~jobs spread ~dies:20_000 ~seed:18 in
-    let nominal = Power.scale block_gates node.Process_node.leakage_per_gate in
-    [ txt node.Process_node.name;
-      txt (Printf.sprintf "%.1f mV" spread.Variability.sigma_vth_mv);
-      Report.cell_power nominal;
-      txt (Printf.sprintf "%.2fx" stats.Variability.mean_multiplier);
-      txt (Printf.sprintf "%.2fx" stats.Variability.p95_multiplier);
-      txt (Printf.sprintf "%.2fx" stats.Variability.spread_ratio);
-    ]
-  in
+  let spread = Variability.spread_of node in
+  let stats = Variability.monte_carlo ~jobs spread ~dies:20_000 ~seed:18 in
+  let nominal = Power.scale block_gates node.Process_node.leakage_per_gate in
+  [ txt node.Process_node.name;
+    txt (Printf.sprintf "%.1f mV" spread.Variability.sigma_vth_mv);
+    Report.cell_power nominal;
+    txt (Printf.sprintf "%.2fx" stats.Variability.mean_multiplier);
+    txt (Printf.sprintf "%.2fx" stats.Variability.p95_multiplier);
+    txt (Printf.sprintf "%.2fx" stats.Variability.spread_ratio);
+  ]
+
+let e18_assemble rows =
   Report.make
     ~title:"E18: per-die leakage spread across nodes (2 Mgate block, 20k dies)"
     ~header:[ "node"; "sigma Vth"; "nominal leak"; "mean/nom"; "p95/nom"; "p95/median" ]
-    (List.map row Process_node.catalogue)
+    rows
     ~notes:
       [ "Vth sigma grows as features shrink; leakage is exponential in Vth";
         "the p95/median spread is the statistical-design margin the W-node must carry";
       ]
+
+let e18 () =
+  let jobs = Option.value (Amb_sim.Domain_pool.env_jobs ()) ~default:1 in
+  e18_assemble (List.map (e18_row ~jobs) Process_node.catalogue)
 
 (* ------------------------------------------------------------------ *)
 (* E19 — sensitivity of the autonomy boundary to model constants       *)
@@ -628,17 +665,20 @@ let e19 () =
 (* ------------------------------------------------------------------ *)
 (* E20 — packet-level network simulation vs analytic depletion         *)
 
-let e20 () =
+let e20_policies = [ Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy ]
+
+let e20_ctx () =
   let rng = Amb_sim.Rng.create 20 in
   let nodes = 30 in
   let topology = Amb_net.Topology.random rng ~nodes ~width_m:250.0 ~height_m:250.0 in
   let link = Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor () in
-  let router = Amb_net.Routing.make ~topology ~link ~packet:Packet.sensor_report in
+  Amb_net.Routing.make ~topology ~link ~packet:Packet.sensor_report
+
+let e20_row router policy =
   (* Small budgets so deaths happen within a tractable horizon. *)
   let budget _ = Energy.joules 20.0 in
   let report_period = Time_span.seconds 30.0 in
   let sink = 0 in
-  let row policy =
     let analytic_rounds =
       Amb_net.Flow.simulate_depletion router ~policy ~budget ~sink ~rebuild_every:500.0
     in
@@ -661,22 +701,27 @@ let e20 () =
           /. Time_span.to_seconds analytic_death)
       | None -> txt "-"
     in
-    [ txt (Amb_net.Routing.policy_name policy);
-      Report.cell_time analytic_death;
-      simulated_death;
-      err;
-      Report.cell_percent o.Amb_net.Net_sim.delivery_ratio;
-      Report.cell_int o.Amb_net.Net_sim.dead_at_end;
-    ]
-  in
+  [ txt (Amb_net.Routing.policy_name policy);
+    Report.cell_time analytic_death;
+    simulated_death;
+    err;
+    Report.cell_percent o.Amb_net.Net_sim.delivery_ratio;
+    Report.cell_int o.Amb_net.Net_sim.dead_at_end;
+  ]
+
+let e20_assemble rows =
   Report.make
     ~title:"E20: packet-level network simulation vs analytic depletion (30 nodes, 20 J budgets)"
     ~header:[ "policy"; "analytic 1st death"; "simulated"; "error"; "delivery (to 3x)"; "dead @end" ]
-    (List.map row [ Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy ])
+    rows
     ~notes:
       [ "simulation runs to 3x the analytic first-death time; delivery degrades after deaths";
         "agreement validates the closed-form block analysis used by E11";
       ]
+
+let e20 () =
+  let router = e20_ctx () in
+  e20_assemble (List.map (e20_row router) e20_policies)
 
 (* ------------------------------------------------------------------ *)
 (* E21 — analytic schedulability vs event-driven scheduling            *)
@@ -842,56 +887,66 @@ let e25 () =
 (* ------------------------------------------------------------------ *)
 (* E26 — fault scenarios over the same fleet, in parallel              *)
 
-let e26 () =
+let e26_scenarios fleet =
   let open Amb_system in
-  let fleet = system_fleet () in
   let crash = Fault_plan.Node_crash { node = 1; at = Time_span.hours 12.0 } in
   let fade = Fault_plan.Link_fade { a = 0; b = 2; db = 20.0; at = Time_span.hours 6.0 } in
   let variation =
     Fault_plan.battery_variation ~sigma_scale:3.0 ~process:Process_node.n65
       ~nodes:(Fleet.node_count fleet) ~sink:fleet.Fleet.sink ~seed:26 ()
   in
-  let scenarios =
-    [ ("no faults", Fault_plan.none);
-      ("relay 1 crash @ 12 h", [ crash ]);
-      ("sink-relay 2 link fades 20 dB @ 6 h", [ fade ]);
-      ("3-sigma battery variability (65 nm)", variation);
-      ("crash + fade", [ crash; fade ]);
-    ]
-  in
-  (* Independent scenario runs spread over a domain pool; submission-order
-     gather keeps the table byte-identical for any AMB_JOBS. *)
-  let jobs = Option.value (Amb_sim.Domain_pool.env_jobs ()) ~default:1 in
-  let outcomes =
-    Amb_sim.Domain_pool.map_list ~jobs
-      (fun (name, faults) -> (name, Cosim.run (system_config ~faults fleet) ~seed:25))
-      scenarios
-  in
-  let row (name, (o : Cosim.outcome)) =
-    [ txt name;
-      Report.cell_percent o.Cosim.delivery_ratio;
-      (match o.Cosim.first_death with Some t -> Report.cell_time t | None -> txt "-");
-      Report.cell_int o.Cosim.dead_at_end;
-      Report.cell_percent o.Cosim.availability;
-      Report.cell_percent o.Cosim.mean_coverage;
-    ]
-  in
+  [ ("no faults", Fault_plan.none);
+    ("relay 1 crash @ 12 h", [ crash ]);
+    ("sink-relay 2 link fades 20 dB @ 6 h", [ fade ]);
+    ("3-sigma battery variability (65 nm)", variation);
+    ("crash + fade", [ crash; fade ]);
+  ]
+
+let e26_scenario_count = 5
+
+let e26_row fleet (name, faults) =
+  let open Amb_system in
+  let o = Cosim.run (system_config ~faults fleet) ~seed:25 in
+  [ txt name;
+    Report.cell_percent o.Cosim.delivery_ratio;
+    (match o.Cosim.first_death with Some t -> Report.cell_time t | None -> txt "-");
+    Report.cell_int o.Cosim.dead_at_end;
+    Report.cell_percent o.Cosim.availability;
+    Report.cell_percent o.Cosim.mean_coverage;
+  ]
+
+(* One shard per fault scenario: each rebuilds the (deterministic) fleet
+   and runs one co-simulation, so the suite scheduler can spread the five
+   48 h runs across domains instead of serialising them inside E26. *)
+let e26_shard k () =
+  let fleet = system_fleet () in
+  [ e26_row fleet (List.nth (e26_scenarios fleet) k) ]
+
+let e26_assemble rows =
   Report.make ~title:"E26: fault injection on the heterogeneous fleet (48 h, one scenario per domain)"
     ~header:[ "scenario"; "delivery"; "first death"; "dead @48h"; "availability"; "coverage" ]
-    (List.map row outcomes)
+    rows
     ~notes:
       [ "availability = time with >= 90% of leaves routed to the sink";
         "battery variability maps Vth spread to capacity via the inverse leakage multiplier";
       ]
 
+let e26 () =
+  let fleet = system_fleet () in
+  e26_assemble (List.map (e26_row fleet) (e26_scenarios fleet))
+
 (* ------------------------------------------------------------------ *)
 (* E27 — degenerate-config cross-checks against the standalone sims    *)
 
-let e27 () =
+let e27_rel a b = Float.abs (a -. b) /. Float.max 1e-30 (Float.abs a)
+
+(* Part 1 of E27: flat budgets, no sleep/harvest/activations, cached
+   link costs — the co-simulation must reproduce Net_sim on E20's
+   topology and seed.  Self-contained per policy so each cross-check is
+   its own schedulable shard. *)
+let e27_net_rows policy =
   let open Amb_system in
-  (* Part 1: flat budgets, no sleep/harvest/activations, cached link
-     costs — the co-simulation must reproduce Net_sim on E20's topology
-     and seed. *)
+  let rel = e27_rel in
   let rng = Amb_sim.Rng.create 20 in
   let topology = Amb_net.Topology.random rng ~nodes:30 ~width_m:250.0 ~height_m:250.0 in
   let budget = Energy.joules 20.0 in
@@ -906,41 +961,43 @@ let e27 () =
     }
   in
   let fleet = Fleet.homogeneous ~topology ~sink:0 ~node:flat () in
-  let rel a b = Float.abs (a -. b) /. Float.max 1e-30 (Float.abs a) in
-  let net_rows policy =
-    (* Horizon at 3x the closed-form depletion estimate, as in E20, so
-       deaths land well inside the run. *)
-    let analytic_rounds =
-      Amb_net.Flow.simulate_depletion fleet.Fleet.router ~policy ~budget:(fun _ -> budget)
-        ~sink:0 ~rebuild_every:500.0
-    in
-    let horizon = Time_span.scale (3.0 *. analytic_rounds) (Time_span.seconds 30.0) in
-    let net_cfg =
-      Amb_net.Net_sim.config ~router:fleet.Fleet.router ~sink:0 ~policy
-        ~report_period:(Time_span.seconds 30.0) ~budget:(fun _ -> budget) ~horizon ()
-    in
-    let reference = Amb_net.Net_sim.run net_cfg ~seed:20 in
-    let cosim_cfg = Cosim.config ~fleet ~policy ~horizon () in
-    let o = Cosim.run cosim_cfg ~seed:20 in
-    let name = Amb_net.Routing.policy_name policy in
-    let death_row =
-      match (reference.Amb_net.Net_sim.first_death, o.Cosim.first_death) with
-      | Some a, Some b ->
-        [ txt (name ^ " first death"); Report.cell_time a; Report.cell_time b;
-          Report.cell_percent (rel (Time_span.to_seconds a) (Time_span.to_seconds b));
-        ]
-      | _ -> [ txt (name ^ " first death"); txt "none"; txt "none"; txt "-" ]
-    in
-    [ [ txt (name ^ " delivery");
-        Report.cell_percent reference.Amb_net.Net_sim.delivery_ratio;
-        Report.cell_percent o.Cosim.delivery_ratio;
-        Report.cell_percent (rel reference.Amb_net.Net_sim.delivery_ratio o.Cosim.delivery_ratio);
-      ];
-      death_row;
-    ]
+  (* Horizon at 3x the closed-form depletion estimate, as in E20, so
+     deaths land well inside the run. *)
+  let analytic_rounds =
+    Amb_net.Flow.simulate_depletion fleet.Fleet.router ~policy ~budget:(fun _ -> budget)
+      ~sink:0 ~rebuild_every:500.0
   in
-  (* Part 2: a single leaf whose activation carries the whole duty cycle
-     (link layer off) must reproduce Lifetime_sim's battery lifetime. *)
+  let horizon = Time_span.scale (3.0 *. analytic_rounds) (Time_span.seconds 30.0) in
+  let net_cfg =
+    Amb_net.Net_sim.config ~router:fleet.Fleet.router ~sink:0 ~policy
+      ~report_period:(Time_span.seconds 30.0) ~budget:(fun _ -> budget) ~horizon ()
+  in
+  let reference = Amb_net.Net_sim.run net_cfg ~seed:20 in
+  let cosim_cfg = Cosim.config ~fleet ~policy ~horizon () in
+  let o = Cosim.run cosim_cfg ~seed:20 in
+  let name = Amb_net.Routing.policy_name policy in
+  let death_row =
+    match (reference.Amb_net.Net_sim.first_death, o.Cosim.first_death) with
+    | Some a, Some b ->
+      [ txt (name ^ " first death"); Report.cell_time a; Report.cell_time b;
+        Report.cell_percent (rel (Time_span.to_seconds a) (Time_span.to_seconds b));
+      ]
+    | _ -> [ txt (name ^ " first death"); txt "none"; txt "none"; txt "-" ]
+  in
+  [ [ txt (name ^ " delivery");
+      Report.cell_percent reference.Amb_net.Net_sim.delivery_ratio;
+      Report.cell_percent o.Cosim.delivery_ratio;
+      Report.cell_percent (rel reference.Amb_net.Net_sim.delivery_ratio o.Cosim.delivery_ratio);
+    ];
+    death_row;
+  ]
+
+(* Part 2 of E27: a single leaf whose activation carries the whole duty
+   cycle (link layer off) must reproduce Lifetime_sim's battery
+   lifetime. *)
+let e27_lifetime_row () =
+  let open Amb_system in
+  let rel = e27_rel in
   let node = Reference_designs.microwatt_node () in
   let profile = Node_model.duty_profile node Reference_designs.microwatt_activation in
   let cell =
@@ -976,23 +1033,29 @@ let e27 () =
     | Some t -> t
     | None -> Time_span.days 30.0
   in
-  let lifetime_row =
-    [ txt "single-leaf lifetime";
-      Report.cell_time reference.Lifetime_sim.lifetime;
-      Report.cell_time leaf_death;
-      Report.cell_percent
-        (rel (Time_span.to_seconds reference.Lifetime_sim.lifetime)
-           (Time_span.to_seconds leaf_death));
-    ]
-  in
+  [ txt "single-leaf lifetime";
+    Report.cell_time reference.Lifetime_sim.lifetime;
+    Report.cell_time leaf_death;
+    Report.cell_percent
+      (rel (Time_span.to_seconds reference.Lifetime_sim.lifetime)
+         (Time_span.to_seconds leaf_death));
+  ]
+
+let e27_assemble rows =
   Report.make
     ~title:"E27: co-simulation degenerate-config cross-checks (vs Net_sim E20, Lifetime_sim E12)"
     ~header:[ "check"; "reference"; "co-simulation"; "rel. error" ]
-    (net_rows Amb_net.Routing.Min_hop @ net_rows Amb_net.Routing.Min_energy @ [ lifetime_row ])
+    rows
     ~notes:
       [ "flat-budget fleet: same topology, seed and report phases as Net_sim - acceptance <2%";
         "single-leaf fleet: radio off, activation = full duty cycle - lifetime within one report period";
       ]
+
+let e27 () =
+  e27_assemble
+    (e27_net_rows Amb_net.Routing.Min_hop
+    @ e27_net_rows Amb_net.Routing.Min_energy
+    @ [ e27_lifetime_row () ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -1035,13 +1098,153 @@ let find id =
   let target = String.uppercase_ascii id in
   List.find_opt (fun (eid, _, _) -> eid = target) all
 
-(** [run_all ?jobs ()] — build every report, in presentation order.
+(* ------------------------------------------------------------------ *)
+(* Suite scheduling: shards and longest-expected-first ordering.       *)
 
-    With [jobs] > 1 the builders run concurrently on a {!Amb_sim.Domain_pool}:
-    every builder is independent (each owns its RNG, engine and report
-    buffers, seeded explicitly), and results are gathered at their
-    submission index, so the output — ids, order and rendered reports —
-    is byte-identical to the sequential run. *)
-let run_all ?(jobs = 1) () =
+(* A sharded experiment exposes its independent row groups so the suite
+   scheduler can interleave them with other experiments' work.  Each
+   shard rebuilds any shared context from its deterministic seed, so
+   rows are byte-identical to the sequential builder's. *)
+type shards = {
+  pieces : (unit -> Cell.t list list) list;  (** ordered row groups *)
+  assemble : Cell.t list list -> Report.t;  (** concatenated rows -> report *)
+}
+
+let shard_plan : (string * shards) list =
+  [ ( "E11",
+      { pieces = List.map (fun p () -> [ e11_row (e11_ctx ()) p ]) e11_policies;
+        assemble = e11_assemble;
+      } );
+    ( "E12",
+      { pieces = List.map (fun c () -> [ e12_row (e12_ctx ()) c ]) e12_cases;
+        assemble = e12_assemble;
+      } );
+    ( "E14",
+      { pieces = List.map (fun dp () -> [ e14_row (e14_ctx ()) dp ]) e14_profiles;
+        assemble = e14_assemble;
+      } );
+    ( "E16",
+      { pieces = List.mapi (fun i g () -> e16_shard i g) e16_loads;
+        assemble = e16_assemble;
+      } );
+    ( "E18",
+      { pieces = List.map (fun node () -> [ e18_row ~jobs:1 node ]) Process_node.catalogue;
+        assemble = e18_assemble;
+      } );
+    ( "E20",
+      { pieces = List.map (fun p () -> [ e20_row (e20_ctx ()) p ]) e20_policies;
+        assemble = e20_assemble;
+      } );
+    ( "E26",
+      { pieces = List.init e26_scenario_count e26_shard; assemble = e26_assemble } );
+    ( "E27",
+      { pieces =
+          [ (fun () -> e27_net_rows Amb_net.Routing.Min_hop);
+            (fun () -> e27_net_rows Amb_net.Routing.Min_energy);
+            (fun () -> [ e27_lifetime_row () ]);
+          ];
+        assemble = e27_assemble;
+      } );
+  ]
+
+let shard_count id =
+  match List.assoc_opt (String.uppercase_ascii id) shard_plan with
+  | Some s -> List.length s.pieces
+  | None -> 1
+
+(* Static expected build costs (ns, from the checked-in bench snapshot's
+   era), used to order work longest-first when no measured snapshot is
+   supplied.  Unlisted experiments are near-instant analytic tables. *)
+let static_expected_ns =
+  [ ("E27", 1.2e9); ("E16", 5.4e8); ("E20", 3.8e8); ("E26", 2.7e8); ("E18", 1.0e8);
+    ("E25", 5.0e7); ("E11", 2.9e7); ("E12", 2.0e7); ("E14", 1.5e7); ("E21", 8.0e6);
+  ]
+
+let expected_ns ~expected id =
+  match match expected with Some f -> f id | None -> None with
+  | Some ns -> ns
+  | None -> ( match List.assoc_opt id static_expected_ns with Some ns -> ns | None -> 3.0e6)
+
+(* A scheduled work item's result: either a whole report or one shard's
+   rows. *)
+type piece_result = P_report of Report.t | P_rows of Cell.t list list
+
+(** [build_sharded ?jobs id] — build one experiment, spreading its
+    shards (if any) over a domain pool.  [None] for unknown ids;
+    byte-identical to the sequential builder. *)
+let build_sharded ?(jobs = 1) id =
+  match find id with
+  | None -> None
+  | Some (eid, _, builder) -> (
+    match List.assoc_opt eid shard_plan with
+    | None -> Some (builder ())
+    | Some s ->
+      let rows =
+        if jobs <= 1 then List.map (fun piece -> piece ()) s.pieces
+        else Amb_sim.Domain_pool.map_list ~jobs (fun piece -> piece ()) s.pieces
+      in
+      Some (s.assemble (List.concat rows)))
+
+(** [run_all ?jobs ?expected ()] — build every report, in presentation
+    order.
+
+    With [jobs] > 1 the work runs on a {!Amb_sim.Domain_pool}, split at
+    shard granularity (E26's five fault scenarios, E27's three
+    cross-checks, E16's six load points, ... are individual pool tasks)
+    and submitted longest-expected-first: the pool's workers pull tasks
+    in submission order, so ordering by expected cost is greedy LPT
+    scheduling and the long co-simulations no longer serialise at the
+    tail.  [expected] maps an experiment id to its measured build time
+    in ns (e.g. from a previous bench snapshot); the static table above
+    is the fallback.  Every task is independent (each owns its RNG,
+    engine and report buffers, seeded explicitly) and results are
+    gathered at their submission index, so the output — ids, order and
+    rendered reports — is byte-identical to the sequential run. *)
+let run_all ?(jobs = 1) ?expected () =
   let build (id, desc, builder) = (id, desc, builder ()) in
-  if jobs <= 1 then List.map build all else Amb_sim.Domain_pool.map_list ~jobs build all
+  if jobs <= 1 then List.map build all
+  else begin
+    (* Flatten to (experiment index, shard index, expected ns, thunk). *)
+    let tasks =
+      List.concat
+        (List.mapi
+           (fun ei (id, _, builder) ->
+             match List.assoc_opt id shard_plan with
+             | None -> [ (ei, 0, expected_ns ~expected id, fun () -> P_report (builder ())) ]
+             | Some s ->
+               let per_shard =
+                 expected_ns ~expected id /. Float.of_int (List.length s.pieces)
+               in
+               List.mapi
+                 (fun si piece -> (ei, si, per_shard, fun () -> P_rows (piece ())))
+                 s.pieces)
+           all)
+    in
+    let order =
+      List.stable_sort (fun (_, _, wa, _) (_, _, wb, _) -> Float.compare wb wa) tasks
+    in
+    let results =
+      Amb_sim.Domain_pool.map_list ~jobs (fun (_, _, _, thunk) -> thunk ()) order
+    in
+    let table = Hashtbl.create (List.length results) in
+    List.iter2 (fun (ei, si, _, _) r -> Hashtbl.replace table (ei, si) r) order results;
+    List.mapi
+      (fun ei (id, desc, _) ->
+        match List.assoc_opt id shard_plan with
+        | None -> (
+          match Hashtbl.find table (ei, 0) with
+          | P_report r -> (id, desc, r)
+          | P_rows _ -> assert false)
+        | Some s ->
+          let rows =
+            List.concat
+              (List.mapi
+                 (fun si _ ->
+                   match Hashtbl.find table (ei, si) with
+                   | P_rows rows -> rows
+                   | P_report _ -> assert false)
+                 s.pieces)
+          in
+          (id, desc, s.assemble rows))
+      all
+  end

@@ -111,7 +111,21 @@ val all : (string * string * (unit -> Report.t)) list
 val find : string -> (string * string * (unit -> Report.t)) option
 (** Case-insensitive lookup by experiment id. *)
 
-val run_all : ?jobs:int -> unit -> (string * string * Report.t) list
+val shard_count : string -> int
+(** Number of independently schedulable shards a builder splits into
+    (1 for unsharded experiments and unknown ids). *)
+
+val build_sharded : ?jobs:int -> string -> Report.t option
+(** Build one experiment, spreading its shards (if any) over a domain
+    pool; [None] for unknown ids.  Byte-identical to the sequential
+    builder. *)
+
+val run_all :
+  ?jobs:int -> ?expected:(string -> float option) -> unit -> (string * string * Report.t) list
 (** Build every report, in presentation order.  [jobs] > 1 runs the
-    independent builders on a domain pool; output is byte-identical to
-    the sequential run (deterministic gather, per-builder seeds). *)
+    work on a domain pool at shard granularity, submitted
+    longest-expected-first (greedy LPT against the pool's pull order);
+    [expected] supplies measured per-experiment build times in ns (a
+    previous bench snapshot), falling back to a static cost table.
+    Output is byte-identical to the sequential run (deterministic
+    gather, per-task seeds). *)

@@ -4,9 +4,18 @@
     every node periodically generates a report (with jitter), reports are
     forwarded hop by hop along a collection tree, every transmission and
     reception drains the sender's and forwarder's energy budgets, dead
-    nodes drop traffic and trigger a tree rebuild.  Experiment E20 checks
+    nodes drop traffic and trigger a tree repair.  Experiment E20 checks
     the simulated first-death time against {!Flow.simulate_depletion}'s
-    closed-form block analysis. *)
+    closed-form block analysis.
+
+    Hot-path discipline: the event loop runs on the float-native
+    {!Engine} API (no [Time_span.t] boxing per event, one report closure
+    per node for the whole run), and the collection tree lives in a
+    reusable {!Route_tree} — deaths under the tie-free [Min_energy]
+    policy splice the orphaned subtree instead of re-running Dijkstra
+    over all pairs.  [Min_hop] (equal-cost tie-breaks are global) and
+    [Max_lifetime] (weights go stale with the residuals) keep the full
+    rebuild, as does the periodic residual-aware refresh. *)
 
 open Amb_units
 open Amb_sim
@@ -39,59 +48,74 @@ type outcome = {
   residual : Energy.t array;  (** per-node budget left at end of run *)
 }
 
+(* All-float accumulator record: mutable float fields in a mixed record
+   are boxed on every store, so the per-charge totals live here. *)
+type acc = { mutable spent_j : float }
+
 type state = {
+  tree : Route_tree.t;
   residual : float array;
   alive : bool array;
-  mutable parent : int array;
+  parent : int array;  (** -1 = sink, -2 = dead/unreachable, else parent id *)
+  acc : acc;
   mutable generated : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable first_death : float option;
-  mutable spent : float;
 }
 
-(* Rebuild the collection tree over the alive subgraph, weighting edges by
-   the routing policy (residual-aware for Max_lifetime). *)
-let rebuild cfg st =
-  let topo = cfg.router.Routing.topology in
-  let n = Topology.node_count topo in
-  let g = Graph.create n in
+(* Policy cost of hop [i -> j], read live from the router's per-pair
+   cache (and the current residuals for Max_lifetime); NaN = out of
+   range.  Matches the weights the historic Graph-based rebuild
+   materialised. *)
+let tree_weight cfg st =
+  match cfg.policy with
+  | Routing.Min_hop ->
+    fun i j -> if Float.is_nan (Routing.link_energy_j cfg.router i j) then Float.nan else 1.0
+  | Routing.Min_energy -> fun i j -> Routing.link_energy_j cfg.router i j
+  | Routing.Max_lifetime ->
+    fun i j ->
+      let joules = Routing.link_energy_j cfg.router i j in
+      if Float.is_nan joules then joules
+      else if st.residual.(i) <= 0.0 then Float.max_float /. 1e6
+      else joules /. st.residual.(i)
+
+(* Project the tree into the forwarding array. *)
+let sync_parents cfg st =
+  let n = Array.length st.parent in
   for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if i <> j && st.alive.(i) && st.alive.(j) then begin
-        (* All link-budget math is precomputed in the router's per-pair
-           cache; a rebuild is pure array reads. *)
-        let joules = Routing.link_energy_j cfg.router i j in
-        if not (Float.is_nan joules) then
-          let weight =
-            match cfg.policy with
-            | Routing.Min_hop -> 1.0
-            | Routing.Min_energy -> joules
-            | Routing.Max_lifetime ->
-              if st.residual.(i) <= 0.0 then Float.max_float /. 1e6
-              else joules /. st.residual.(i)
-          in
-          Graph.add_edge g ~src:i ~dst:j ~weight
-      end
-    done
-  done;
-  let _, prev = Graph.dijkstra g ~src:cfg.sink in
-  st.parent <-
-    Array.init n (fun i ->
-        if i = cfg.sink then -1 else if prev.(i) < 0 || not st.alive.(i) then -2 else prev.(i))
+    st.parent.(i) <-
+      (if i = cfg.sink then -1
+       else
+         let p = Route_tree.parent st.tree i in
+         if p < 0 || not st.alive.(i) then -2 else p)
+  done
+
+(* Rebuild the collection tree over the alive subgraph from scratch,
+   weighting edges by the routing policy (residual-aware for
+   Max_lifetime). *)
+let rebuild cfg st =
+  Route_tree.rebuild st.tree ~weight:(tree_weight cfg st) ~alive:(fun i -> st.alive.(i));
+  sync_parents cfg st
 
 let kill cfg st engine node =
   if st.alive.(node) then begin
     st.alive.(node) <- false;
-    if st.first_death = None then
-      st.first_death <- Some (Time_span.to_seconds (Engine.now engine));
-    rebuild cfg st
+    if st.first_death = None then st.first_death <- Some (Engine.now_s engine);
+    (match cfg.policy with
+    | Routing.Min_energy ->
+      Route_tree.repair_death st.tree ~weight:(tree_weight cfg st)
+        ~alive:(fun i -> st.alive.(i))
+        ~tie_free:true ~dead:node
+    | Routing.Min_hop | Routing.Max_lifetime ->
+      Route_tree.rebuild st.tree ~weight:(tree_weight cfg st) ~alive:(fun i -> st.alive.(i)));
+    sync_parents cfg st
   end
 
 (* Charge [joules] to [node]; returns false (and kills the node) when the
    budget runs out. *)
 let charge cfg st engine node joules =
-  st.spent <- st.spent +. joules;
+  st.acc.spent_j <- st.acc.spent_j +. joules;
   st.residual.(node) <- st.residual.(node) -. joules;
   if st.residual.(node) <= 0.0 then begin
     kill cfg st engine node;
@@ -129,31 +153,32 @@ let run cfg ~seed =
   let engine = Engine.create () in
   let st =
     {
+      tree = Route_tree.create ~n ~sink:cfg.sink;
       residual = Array.init n (fun i -> Energy.to_joules (cfg.budget i));
       alive = Array.make n true;
       parent = Array.make n (-2);
+      acc = { spent_j = 0.0 };
       generated = 0;
       delivered = 0;
       dropped = 0;
       first_death = None;
-      spent = 0.0;
     }
   in
   rebuild cfg st;
-  (* Periodic reporting per node, staggered by a random phase. *)
-  let period = Time_span.to_seconds cfg.report_period in
+  (* Periodic reporting per node, staggered by a random phase.  One
+     report closure per node re-arms itself for the whole run. *)
+  let period_s = Time_span.to_seconds cfg.report_period in
   for node = 0 to n - 1 do
     if node <> cfg.sink then begin
-      let phase = Rng.uniform rng 0.0 period in
-      Engine.schedule engine ~delay:(Time_span.seconds phase) (fun engine ->
-          let rec report engine =
-            if st.alive.(node) then begin
-              st.generated <- st.generated + 1;
-              forward cfg st engine node;
-              Engine.schedule engine ~delay:cfg.report_period report
-            end
-          in
-          report engine)
+      let phase = Rng.uniform rng 0.0 period_s in
+      let rec report engine =
+        if st.alive.(node) then begin
+          st.generated <- st.generated + 1;
+          forward cfg st engine node;
+          Engine.schedule_s engine ~delay_s:period_s report
+        end
+      in
+      Engine.schedule_s engine ~delay_s:phase report
     end
   done;
   (* Periodic residual-aware rebuild (matters for Max_lifetime). *)
@@ -170,6 +195,6 @@ let run cfg ~seed =
     dead_at_end = dead;
     delivery_ratio =
       (if st.generated = 0 then 0.0 else Float.of_int st.delivered /. Float.of_int st.generated);
-    energy_spent = Energy.joules st.spent;
+    energy_spent = Energy.joules st.acc.spent_j;
     residual = Array.map Energy.joules st.residual;
   }

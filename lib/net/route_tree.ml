@@ -1,0 +1,193 @@
+(** Incrementally repairable shortest-path collection tree.
+
+    The simulators (Net_sim, Cosim) maintain one sink-rooted routing
+    tree over the alive subgraph and historically re-ran {!Graph.dijkstra}
+    from scratch on every topology event.  This module keeps the same
+    tree in reusable scratch arrays and offers two update paths:
+
+    - {!rebuild} — a from-scratch Dijkstra that replicates the
+      {!Graph.create}/{!Graph.add_edge}/{!Graph.dijkstra} pipeline
+      byte-for-byte (same descending-destination relaxation order, same
+      FIFO heap tie-breaks, same strict-improvement predecessor rule)
+      without materialising a graph: edges are read straight from the
+      caller's weight function.
+    - {!repair_death} / {!repair_weight_increase} — localized repair:
+      only the subtree hanging off the failed node (or the worsened tree
+      edge) is re-attached, via a boundary-seeded partial Dijkstra over
+      the affected set.
+
+    The repair paths are exact when shortest paths are unique (tie-free
+    weights — energy-valued policies on continuous positions).  Under
+    unit weights (Min_hop) equal-cost predecessor choice depends on the
+    global heap chronology of the full rebuild, which a local repair
+    cannot reproduce, so callers pass [tie_free:false] and the repair
+    falls back to {!rebuild}.  Property tests check both paths against
+    the {!Graph.dijkstra} oracle on random fault sequences. *)
+
+type t = {
+  n : int;
+  sink : int;
+  dist : float array;  (** policy cost from the sink; [infinity] = unreachable *)
+  prev : int array;  (** parent towards the sink; -1 = none *)
+  visited : bool array;
+  mark : int array;  (** repair scratch: 0 unknown, 1 affected, 2 safe *)
+  stack : int array;  (** repair scratch: parent-chain walk *)
+  heap : Amb_sim.Float_heap.t;
+}
+
+let create ~n ~sink =
+  if n <= 0 then invalid_arg "Route_tree.create: non-positive node count";
+  if sink < 0 || sink >= n then invalid_arg "Route_tree.create: sink outside 0..n-1";
+  {
+    n;
+    sink;
+    dist = Array.make n Float.infinity;
+    prev = Array.make n (-1);
+    visited = Array.make n false;
+    mark = Array.make n 0;
+    stack = Array.make n 0;
+    heap = Amb_sim.Float_heap.create ~capacity:(Stdlib.max 16 n) ();
+  }
+
+let node_count t = t.n
+let sink t = t.sink
+let parent t i = t.prev.(i)
+let cost t i = t.dist.(i)
+
+(* Dijkstra sweep over [t.heap]; relaxes only destinations [j] admitted
+   by [admit].  Mirrors Graph.dijkstra exactly: stale-entry skip via
+   [d <= dist], strict-improvement predecessor updates, and neighbours
+   visited in descending id — Graph stores edges in ascending insertion
+   order and iterates them most-recent-first. *)
+let sweep t ~weight ~alive ~admit =
+  let dist = t.dist and prev = t.prev and visited = t.visited in
+  let n = t.n in
+  let rec loop () =
+    match Amb_sim.Float_heap.pop_min t.heap with
+    | None -> ()
+    | Some (d, u) ->
+      if (not visited.(u)) && d <= dist.(u) && alive u then begin
+        visited.(u) <- true;
+        let base = dist.(u) in
+        for j = n - 1 downto 0 do
+          if j <> u && admit j && alive j then begin
+            let w = weight u j in
+            if not (Float.is_nan w) then begin
+              let candidate = base +. w in
+              if candidate < dist.(j) then begin
+                dist.(j) <- candidate;
+                prev.(j) <- u;
+                Amb_sim.Float_heap.push t.heap ~key:candidate j
+              end
+            end
+          end
+        done
+      end;
+      loop ()
+  in
+  loop ()
+
+let all_nodes _ = true
+
+(** [rebuild t ~weight ~alive] — from-scratch Dijkstra from the sink.
+    [weight u v] is the directed policy cost of hop [u -> v] (NaN = no
+    link); only nodes with [alive] participate.  Replicates the historic
+    Graph-based rebuild byte-for-byte. *)
+let rebuild t ~weight ~alive =
+  let dist = t.dist and prev = t.prev and visited = t.visited in
+  for i = 0 to t.n - 1 do
+    dist.(i) <- Float.infinity;
+    prev.(i) <- -1;
+    visited.(i) <- false
+  done;
+  dist.(t.sink) <- 0.0;
+  Amb_sim.Float_heap.clear t.heap;
+  Amb_sim.Float_heap.push t.heap ~key:0.0 t.sink;
+  sweep t ~weight ~alive ~admit:all_nodes
+
+(* Partition the nodes into the subtree under [root] (affected) and the
+   rest (safe) by walking parent chains with path compression into
+   [mark].  Unreachable nodes (no parent) are safe: removing edges never
+   improves them. *)
+let mark_subtree t ~root =
+  let mark = t.mark and prev = t.prev and stack = t.stack in
+  Array.fill mark 0 t.n 0;
+  mark.(root) <- 1;
+  if t.sink <> root then mark.(t.sink) <- 2;
+  for v = 0 to t.n - 1 do
+    if mark.(v) = 0 then begin
+      let top = ref 0 in
+      let u = ref v in
+      while mark.(!u) = 0 do
+        stack.(!top) <- !u;
+        incr top;
+        let p = prev.(!u) in
+        if p < 0 then mark.(!u) <- 2 else u := p
+      done;
+      let state = mark.(!u) in
+      for k = 0 to !top - 1 do
+        mark.(stack.(k)) <- state
+      done
+    end
+  done
+
+(* Detach the affected subtree and re-attach it: seed every affected
+   node with its best link from the intact region, then run a partial
+   Dijkstra confined to the affected set.  Exact whenever shortest paths
+   are unique. *)
+let repair_from t ~weight ~alive ~root =
+  mark_subtree t ~root;
+  let mark = t.mark and dist = t.dist and prev = t.prev and visited = t.visited in
+  let n = t.n in
+  for v = 0 to n - 1 do
+    if mark.(v) = 1 then begin
+      dist.(v) <- Float.infinity;
+      prev.(v) <- -1;
+      visited.(v) <- false
+    end
+  done;
+  Amb_sim.Float_heap.clear t.heap;
+  for v = 0 to n - 1 do
+    if mark.(v) = 1 && alive v then begin
+      for u = 0 to n - 1 do
+        if mark.(u) = 2 && u <> v && alive u && dist.(u) < Float.infinity then begin
+          let w = weight u v in
+          if not (Float.is_nan w) then begin
+            let candidate = dist.(u) +. w in
+            if candidate < dist.(v) then begin
+              dist.(v) <- candidate;
+              prev.(v) <- u
+            end
+          end
+        end
+      done;
+      if dist.(v) < Float.infinity then Amb_sim.Float_heap.push t.heap ~key:dist.(v) v
+    end
+  done;
+  sweep t ~weight ~alive ~admit:(fun j -> mark.(j) = 1)
+
+(** [repair_death t ~weight ~alive ~tie_free ~dead] — update the tree
+    after node [dead] left the network ([alive dead] must already be
+    false).  With [tie_free] the orphaned subtree is re-attached via a
+    boundary-seeded partial Dijkstra; without it (unit-weight policies,
+    where equal-cost tie-breaks are a global property of the rebuild
+    chronology) it falls back to {!rebuild}. *)
+let repair_death t ~weight ~alive ~tie_free ~dead =
+  if dead < 0 || dead >= t.n then invalid_arg "Route_tree.repair_death: node outside 0..n-1";
+  if not tie_free then rebuild t ~weight ~alive
+  else repair_from t ~weight ~alive ~root:dead
+
+(** [repair_weight_increase t ~weight ~alive ~tie_free ~a ~b] — update
+    the tree after the cost of the (undirected) pair [a, b] increased —
+    possibly to NaN (link lost).  A worsened non-tree edge leaves the
+    unique shortest-path tree intact (no-op); a worsened tree edge
+    re-attaches the child's subtree.  Weight decreases are not handled
+    here: they can improve arbitrary remote paths, so callers must
+    {!rebuild}. *)
+let repair_weight_increase t ~weight ~alive ~tie_free ~a ~b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg "Route_tree.repair_weight_increase: node outside 0..n-1";
+  if not tie_free then rebuild t ~weight ~alive
+  else if t.prev.(a) = b then repair_from t ~weight ~alive ~root:a
+  else if t.prev.(b) = a then repair_from t ~weight ~alive ~root:b
+  else ()

@@ -31,6 +31,15 @@ type config = {
           see [Amb_energy.Day_profile.income_multiplier] *)
 }
 
+(* All-float ledger: every field is a raw double, so the per-activation
+   accounting stores never box. *)
+type ledger = {
+  mutable reserve : float;
+  mutable consumed : float;
+  mutable harvested : float;
+  mutable last_account : float;
+}
+
 let config ?(harvest_update_period = Time_span.minutes 10.0) ?income_multiplier ~profile
     ~supply ~activation_traffic ~horizon () =
   if Time_span.to_seconds horizon <= 0.0 then invalid_arg "Lifetime_sim.config: non-positive horizon";
@@ -46,21 +55,22 @@ let run cfg ~seed =
     | Some b -> Energy.to_joules (Battery.energy b)
     | None -> 0.0
   in
-  let reserve = ref battery_energy in
-  let consumed = ref 0.0 in
-  let harvested = ref 0.0 in
+  (* All-float ledger record: raw double stores per accounting step,
+     where [float ref] cells would box on every assignment. *)
+  let lg =
+    { reserve = battery_energy; consumed = 0.0; harvested = 0.0; last_account = 0.0 }
+  in
   let activations = ref 0 in
   let death_time = ref None in
   let income_w = Power.to_watts (Supply.harvest_income cfg.supply) in
   let sleep_w = Power.to_watts cfg.profile.Duty_cycle.sleep_power in
   let regulator = cfg.supply.Supply.regulator_efficiency in
-  let last_account = ref 0.0 in
   let alive () = !death_time = None in
   (* Settle the continuous flows (sleep drain, harvest income) since the
      last accounting instant; record death when the reserve crosses zero. *)
   let account engine =
-    let now = Time_span.to_seconds (Engine.now engine) in
-    let dt = now -. !last_account in
+    let now = Engine.now_s engine in
+    let dt = now -. lg.last_account in
     if dt > 0.0 && alive () then begin
       let drain = sleep_w /. regulator *. dt in
       (* The diurnal multiplier is sampled at the interval midpoint; the
@@ -68,53 +78,56 @@ let run cfg ~seed =
       let scale =
         match cfg.income_multiplier with
         | None -> 1.0
-        | Some f -> f (!last_account +. (0.5 *. dt))
+        | Some f -> f (lg.last_account +. (0.5 *. dt))
       in
       let gain = income_w *. scale *. dt in
-      consumed := !consumed +. (sleep_w *. dt);
-      harvested := !harvested +. gain;
+      lg.consumed <- lg.consumed +. (sleep_w *. dt);
+      lg.harvested <- lg.harvested +. gain;
       let net = drain -. gain in
-      let before = !reserve in
-      reserve := Float.min battery_energy (!reserve -. net);
-      if !reserve <= 0.0 && battery_energy > 0.0 then begin
+      let before = lg.reserve in
+      lg.reserve <- Float.min battery_energy (lg.reserve -. net);
+      if lg.reserve <= 0.0 && battery_energy > 0.0 then begin
         (* Interpolate the crossing instant within this interval. *)
         let rate = net /. dt in
-        let t_cross = if rate > 0.0 then !last_account +. (before /. rate) else now in
+        let t_cross = if rate > 0.0 then lg.last_account +. (before /. rate) else now in
         death_time := Some t_cross;
         Engine.stop engine
       end
-      else if battery_energy > 0.0 && income_w < sleep_w /. regulator && !reserve <= 0.0 then begin
+      else if battery_energy > 0.0 && income_w < sleep_w /. regulator && lg.reserve <= 0.0
+      then begin
         death_time := Some now;
         Engine.stop engine
       end
     end;
-    last_account := now
+    lg.last_account <- now
   in
+  let cycle_j = Energy.to_joules cfg.profile.Duty_cycle.cycle_energy in
   let spend engine joules =
     account engine;
     if alive () then begin
-      consumed := !consumed +. joules;
+      lg.consumed <- lg.consumed +. joules;
       let from_battery = joules /. regulator in
-      reserve := !reserve -. from_battery;
-      if !reserve <= 0.0 && battery_energy > 0.0 then begin
-        death_time := Some (Time_span.to_seconds (Engine.now engine));
+      lg.reserve <- lg.reserve -. from_battery;
+      if lg.reserve <= 0.0 && battery_energy > 0.0 then begin
+        death_time := Some (Engine.now_s engine);
         Engine.stop engine
       end
     end
   in
-  (* Activation process. *)
-  let rec schedule_activation engine =
-    let gap = Amb_workload.Traffic.next_interval rng cfg.activation_traffic in
-    Engine.schedule engine ~delay:gap (fun engine ->
-        if alive () then begin
-          spend engine (Energy.to_joules cfg.profile.Duty_cycle.cycle_energy);
-          if alive () then begin
-            incr activations;
-            schedule_activation engine
-          end
-        end)
+  (* Activation process: one self-re-arming closure for the whole run. *)
+  let next_gap_s () =
+    Time_span.to_seconds (Amb_workload.Traffic.next_interval rng cfg.activation_traffic)
   in
-  schedule_activation engine;
+  let rec activation engine =
+    if alive () then begin
+      spend engine cycle_j;
+      if alive () then begin
+        incr activations;
+        Engine.schedule_s engine ~delay_s:(next_gap_s ()) activation
+      end
+    end
+  in
+  Engine.schedule_s engine ~delay_s:(next_gap_s ()) activation;
   (* Periodic continuous-flow accounting. *)
   Engine.every engine ~period:cfg.harvest_update_period ~until:cfg.horizon (fun engine ->
       account engine;
@@ -124,14 +137,14 @@ let run cfg ~seed =
     match !death_time with Some t -> t | None -> Time_span.to_seconds cfg.horizon
   in
   let average_power =
-    if end_time > 0.0 then Power.watts (!consumed /. end_time) else Power.zero
+    if end_time > 0.0 then Power.watts (lg.consumed /. end_time) else Power.zero
   in
   {
     lifetime = Time_span.seconds end_time;
     died = not (alive ());
     activations = !activations;
-    energy_consumed = Energy.joules !consumed;
-    energy_harvested = Energy.joules !harvested;
+    energy_consumed = Energy.joules lg.consumed;
+    energy_harvested = Energy.joules lg.harvested;
     average_power;
   }
 

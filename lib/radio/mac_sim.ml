@@ -36,6 +36,10 @@ type outcome = {
   energy_per_delivered : Energy.t option;
 }
 
+(* All-float record for the running burst end: raw double stores, no
+   per-event boxing. *)
+type burst = { mutable end_s : float }
+
 (* Collision bookkeeping: a transmission is lost iff any other
    transmission overlaps it.  With pure ALOHA the vulnerable window of a
    frame starting at [t] is (t - airtime, t + airtime); we track the
@@ -51,8 +55,10 @@ let run cfg ~seed =
   let attempted = ref 0 in
   let delivered = ref 0 in
   let collided = ref 0 in
-  (* State of the in-flight burst. *)
-  let burst_end = ref neg_infinity in
+  (* State of the in-flight burst.  The burst end lives in a one-field
+     float record — a [float ref] would box a fresh float on every
+     transmission. *)
+  let burst_end = { end_s = neg_infinity } in
   let burst_frames = ref 0 in
   let burst_clean = ref true in
   let close_burst () =
@@ -64,9 +70,9 @@ let run cfg ~seed =
     end
   in
   let transmit engine =
-    let now = Time_span.to_seconds (Engine.now engine) in
+    let now = Engine.now_s engine in
     incr attempted;
-    if now >= !burst_end then begin
+    if now >= burst_end.end_s then begin
       (* Channel idle: settle the previous burst, open a new one. *)
       close_burst ();
       burst_frames := 1
@@ -76,19 +82,20 @@ let run cfg ~seed =
       burst_frames := !burst_frames + 1;
       burst_clean := false
     end;
-    burst_end := Float.max !burst_end (now +. airtime)
+    burst_end.end_s <- Float.max burst_end.end_s (now +. airtime)
   in
   (* One Poisson source per node, each with its own split stream so node
-     count does not perturb per-node sequences. *)
+     count does not perturb per-node sequences.  One arrival closure per
+     node re-arms itself for the whole run — no per-event closure or
+     [Time_span.t] allocation. *)
   for _ = 1 to cfg.nodes do
     let node_rng = Rng.split rng in
-    let rec schedule_next engine =
-      let gap = Rng.exponential node_rng ~mean:(1.0 /. cfg.per_node_rate) in
-      Engine.schedule engine ~delay:(Time_span.seconds gap) (fun engine ->
-          transmit engine;
-          schedule_next engine)
+    let mean = 1.0 /. cfg.per_node_rate in
+    let rec arrival engine =
+      transmit engine;
+      Engine.schedule_s engine ~delay_s:(Rng.exponential node_rng ~mean) arrival
     in
-    schedule_next engine
+    Engine.schedule_s engine ~delay_s:(Rng.exponential node_rng ~mean) arrival
   done;
   let _ = Engine.run ~until:cfg.horizon engine in
   close_burst ();

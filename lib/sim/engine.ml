@@ -3,100 +3,249 @@
     A thin, deterministic event loop: callbacks scheduled at absolute or
     relative simulation times, executed in (time, insertion) order.  All
     node- and network-level simulations in the toolkit run on this
-    engine. *)
+    engine.
+
+    The inner loop is allocation-free: the pending events live in four
+    parallel arrays (an unboxed float-keyed binary heap with in-place
+    hole sifting, same discipline as {!Float_heap}), the clock is a raw
+    double, and trace hooks reduce to a single branch when no trace was
+    requested.  The [Time_span.t] entry points survive as thin wrappers
+    over the [_s] float API used by the hot simulators. *)
 
 open Amb_units
 
-type event = { label : string; fn : t -> unit }
+(* A single mutable float in its own all-float record: stores are raw
+   double writes, whereas a float field in a mixed record is boxed on
+   every assignment.  The clock is written once per event. *)
+type cell = { mutable v : float }
 
-and t = {
-  queue : event Event_queue.t;
-  mutable clock : float;  (** current simulation time, seconds *)
+type t = {
+  mutable times : float array;  (** heap keys: absolute seconds, unboxed *)
+  mutable seqs : int array;  (** insertion order; equal times pop FIFO *)
+  mutable fns : (t -> unit) array;
+  mutable labels : string array;
+  mutable size : int;
+  mutable next_seq : int;
+  clock : cell;  (** current simulation time, seconds *)
+  at : cell;  (** time hand-off into [push_at] (keeps the float unboxed) *)
   mutable running : bool;
   mutable executed : int;
-  mutable horizon : float;  (** events beyond this are never executed *)
   trace : Trace.t option;  (** optional schedule/fire recorder *)
 }
 
-let create ?trace () =
-  { queue = Event_queue.create (); clock = 0.0; running = false; executed = 0;
-    horizon = Float.infinity; trace }
+let nop (_ : t) = ()
 
-let note engine ~time tag label =
-  match engine.trace with
-  | None -> ()
-  | Some tr -> Trace.record tr ~time (tag ^ ":" ^ label)
+let create ?trace () =
+  {
+    times = Array.make 16 0.0;
+    seqs = Array.make 16 0;
+    fns = Array.make 16 nop;
+    labels = Array.make 16 "";
+    size = 0;
+    next_seq = 0;
+    clock = { v = 0.0 };
+    at = { v = 0.0 };
+    running = false;
+    executed = 0;
+    trace;
+  }
+
+let grow engine =
+  let capacity = Array.length engine.times in
+  let bigger = Stdlib.max 16 (capacity * 2) in
+  let times = Array.make bigger 0.0
+  and seqs = Array.make bigger 0
+  and fns = Array.make bigger nop
+  and labels = Array.make bigger "" in
+  Array.blit engine.times 0 times 0 engine.size;
+  Array.blit engine.seqs 0 seqs 0 engine.size;
+  Array.blit engine.fns 0 fns 0 engine.size;
+  Array.blit engine.labels 0 labels 0 engine.size;
+  engine.times <- times;
+  engine.seqs <- seqs;
+  engine.fns <- fns;
+  engine.labels <- labels
 
 (* Every insertion goes through here so the trace sees each scheduling,
-   including the internal re-arming of periodic processes. *)
-let push engine ~time ~label fn =
-  note engine ~time:engine.clock "schedule" label;
-  Event_queue.push engine.queue ~time { label; fn }
+   including the internal re-arming of periodic processes.  The event
+   time arrives in [engine.at] rather than as an argument: a float
+   argument to a non-inlined call would be boxed, a cell store is not.
+   A freshly pushed event carries the largest sequence number, so the
+   sift-up only needs the strict time comparison to keep FIFO ties. *)
+let push_at engine ~label fn =
+  let time = engine.at.v in
+  if Float.is_nan time then invalid_arg "Engine: NaN event time";
+  (match engine.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~time:engine.clock.v ("schedule:" ^ label));
+  if engine.size >= Array.length engine.times then grow engine;
+  let seq = engine.next_seq in
+  engine.next_seq <- seq + 1;
+  let times = engine.times and seqs = engine.seqs in
+  let fns = engine.fns and labels = engine.labels in
+  let i = ref engine.size in
+  engine.size <- engine.size + 1;
+  let sifting = ref (!i > 0) in
+  while !sifting do
+    let parent = (!i - 1) / 2 in
+    if time < times.(parent) then begin
+      times.(!i) <- times.(parent);
+      seqs.(!i) <- seqs.(parent);
+      fns.(!i) <- fns.(parent);
+      labels.(!i) <- labels.(parent);
+      i := parent;
+      sifting := parent > 0
+    end
+    else sifting := false
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  fns.(!i) <- fn;
+  labels.(!i) <- label
+
+(** [now_s engine] — current simulation time in raw seconds. *)
+let now_s engine = engine.clock.v
 
 (** [now engine] — current simulation time. *)
-let now engine = Time_span.seconds engine.clock
+let now engine = Time_span.seconds engine.clock.v
 
 (** [event_count engine] — number of callbacks executed so far. *)
 let event_count engine = engine.executed
 
 (** [pending engine] — number of scheduled, not-yet-run callbacks. *)
-let pending engine = Event_queue.length engine.queue
+let pending engine = engine.size
+
+(** [schedule_at_s engine time callback] — [schedule_at] on raw
+    seconds. *)
+let schedule_at_s ?(label = "event") engine time callback =
+  if time < engine.clock.v then invalid_arg "Engine.schedule_at: time in the past";
+  engine.at.v <- time;
+  push_at engine ~label callback
 
 (** [schedule_at engine time callback] — run [callback] at absolute
     simulation [time].  Raises [Invalid_argument] for times in the past. *)
-let schedule_at ?(label = "event") engine time callback =
-  let s = Time_span.to_seconds time in
-  if s < engine.clock then invalid_arg "Engine.schedule_at: time in the past";
-  push engine ~time:s ~label callback
+let schedule_at ?label engine time callback =
+  schedule_at_s ?label engine (Time_span.to_seconds time) callback
+
+(** [schedule_s engine ~delay_s callback] — [schedule] on raw seconds;
+    the per-event path of the simulators (no [Time_span.t] boxing). *)
+let schedule_s ?(label = "event") engine ~delay_s callback =
+  if delay_s < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  engine.at.v <- engine.clock.v +. delay_s;
+  push_at engine ~label callback
 
 (** [schedule engine ~delay callback] — run [callback] after [delay]. *)
-let schedule ?(label = "event") engine ~delay callback =
-  let d = Time_span.to_seconds delay in
-  if d < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  push engine ~time:(engine.clock +. d) ~label callback
+let schedule ?label engine ~delay callback =
+  schedule_s ?label engine ~delay_s:(Time_span.to_seconds delay) callback
 
 (** [stop engine] — abort the run after the current callback returns. *)
 let stop engine = engine.running <- false
+
+(** [run_s ?until_s engine] — [run] on raw seconds. *)
+let run_s ?until_s engine =
+  let limit = match until_s with None -> Float.infinity | Some s -> s in
+  engine.running <- true;
+  let looping = ref true in
+  while !looping do
+    if (not engine.running) || engine.size = 0 then looping := false
+    else begin
+      let times = engine.times in
+      let time = times.(0) in
+      if time > limit then begin
+        engine.clock.v <- limit;
+        looping := false
+      end
+      else begin
+        let seqs = engine.seqs and fns = engine.fns and labels = engine.labels in
+        let fn = fns.(0) in
+        let label = labels.(0) in
+        (* Remove the root: drop the last slot into the hole and sift it
+           down.  The vacated slot is cleared so finished closures can be
+           collected. *)
+        let last = engine.size - 1 in
+        engine.size <- last;
+        if last > 0 then begin
+          let lt = times.(last) and ls = seqs.(last) in
+          let lf = fns.(last) and ll = labels.(last) in
+          fns.(last) <- nop;
+          labels.(last) <- "";
+          let i = ref 0 in
+          let sifting = ref true in
+          while !sifting do
+            let l = (2 * !i) + 1 in
+            if l >= last then sifting := false
+            else begin
+              let r = l + 1 in
+              let c =
+                if
+                  r < last
+                  && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+                then r
+                else l
+              in
+              if times.(c) < lt || (times.(c) = lt && seqs.(c) < ls) then begin
+                times.(!i) <- times.(c);
+                seqs.(!i) <- seqs.(c);
+                fns.(!i) <- fns.(c);
+                labels.(!i) <- labels.(c);
+                i := c
+              end
+              else sifting := false
+            end
+          done;
+          times.(!i) <- lt;
+          seqs.(!i) <- ls;
+          fns.(!i) <- lf;
+          labels.(!i) <- ll
+        end
+        else begin
+          fns.(0) <- nop;
+          labels.(0) <- ""
+        end;
+        engine.clock.v <- time;
+        engine.executed <- engine.executed + 1;
+        (match engine.trace with
+        | None -> ()
+        | Some tr -> Trace.record tr ~time ("fire:" ^ label));
+        fn engine
+      end
+    end
+  done;
+  engine.running <- false;
+  if Float.is_finite limit && engine.clock.v < limit && engine.size = 0 then
+    engine.clock.v <- limit;
+  engine.clock.v
 
 (** [run ?until engine] — execute events in order until the queue is empty,
     [stop] is called, or simulation time would pass [until].  Returns the
     final simulation time.  When stopping at [until], the clock is advanced
     to exactly [until]. *)
 let run ?until engine =
-  let limit = match until with None -> Float.infinity | Some t -> Time_span.to_seconds t in
-  engine.horizon <- limit;
-  engine.running <- true;
-  let rec loop () =
-    if not engine.running then ()
-    else
-      match Event_queue.peek engine.queue with
-      | None -> ()
-      | Some (time, _) when time > limit -> engine.clock <- limit
-      | Some _ ->
-        (match Event_queue.pop engine.queue with
-        | None -> ()
-        | Some (time, ev) ->
-          engine.clock <- time;
-          engine.executed <- engine.executed + 1;
-          note engine ~time "fire" ev.label;
-          ev.fn engine;
-          loop ())
+  let until_s = match until with None -> None | Some t -> Some (Time_span.to_seconds t) in
+  Time_span.seconds (run_s ?until_s engine)
+
+(** [every_s engine ~period_s ?until_s callback] — [every] on raw
+    seconds: the horizon is normalised to a float once at registration,
+    and each firing re-arms the same tick closure (one allocation per
+    stream, not per event). *)
+let every_s ?(label = "periodic") engine ~period_s ?until_s callback =
+  if period_s <= 0.0 then invalid_arg "Engine.every: non-positive period";
+  let limit = match until_s with None -> Float.infinity | Some s -> s in
+  let rec tick e =
+    if e.clock.v <= limit && callback e then
+      if e.clock.v +. period_s <= limit then begin
+        e.at.v <- e.clock.v +. period_s;
+        push_at e ~label tick
+      end
   in
-  loop ();
-  engine.running <- false;
-  if Float.is_finite limit && engine.clock < limit && Event_queue.is_empty engine.queue then
-    engine.clock <- limit;
-  now engine
+  engine.at.v <- engine.clock.v +. period_s;
+  push_at engine ~label tick
 
 (** [every engine ~period ?until callback] — periodic process: [callback]
     runs every [period] starting one period from now, until it returns
     [false] or the optional absolute [until] time is passed. *)
-let every ?(label = "periodic") engine ~period ?until callback =
-  let p = Time_span.to_seconds period in
-  if p <= 0.0 then invalid_arg "Engine.every: non-positive period";
-  let limit = match until with None -> Float.infinity | Some t -> Time_span.to_seconds t in
-  let rec tick e =
-    if e.clock <= limit && callback e then
-      if e.clock +. p <= limit then push e ~time:(e.clock +. p) ~label tick
-  in
-  push engine ~time:(engine.clock +. p) ~label tick
+let every ?label engine ~period ?until callback =
+  every_s ?label engine
+    ~period_s:(Time_span.to_seconds period)
+    ?until_s:(match until with None -> None | Some t -> Some (Time_span.to_seconds t))
+    callback

@@ -1,5 +1,12 @@
 (** Discrete-event simulation engine: a thin, deterministic event loop.
-    All node- and network-level simulations in the toolkit run on it. *)
+    All node- and network-level simulations in the toolkit run on it.
+
+    Two parallel APIs expose the same engine.  The [Time_span.t] entry
+    points are the readable default; the [_s] suffixed variants work on
+    raw float seconds and are the per-event fast path — with no trace
+    attached, a run through [schedule_s]/[every_s]/[run_s] allocates no
+    per-event garbage (events live in unboxed parallel arrays, the clock
+    is a raw double, trace hooks cost one branch). *)
 
 open Amb_units
 
@@ -14,6 +21,10 @@ val create : ?trace:Trace.t -> unit -> t
 val now : t -> Time_span.t
 (** Current simulation time. *)
 
+val now_s : t -> float
+(** Current simulation time in raw seconds (no boxing through
+    [Time_span.t]). *)
+
 val event_count : t -> int
 (** Callbacks executed so far. *)
 
@@ -25,9 +36,15 @@ val schedule_at : ?label:string -> t -> Time_span.t -> (t -> unit) -> unit
     [Invalid_argument] for times in the past.  [label] (default
     ["event"]) names the callback in the optional trace. *)
 
+val schedule_at_s : ?label:string -> t -> float -> (t -> unit) -> unit
+(** [schedule_at] on raw seconds. *)
+
 val schedule : ?label:string -> t -> delay:Time_span.t -> (t -> unit) -> unit
 (** Run a callback after a delay; raises [Invalid_argument] for negative
     delays. *)
+
+val schedule_s : ?label:string -> t -> delay_s:float -> (t -> unit) -> unit
+(** [schedule] on raw seconds — the allocation-free per-event path. *)
 
 val stop : t -> unit
 (** Abort the run after the current callback returns. *)
@@ -37,9 +54,18 @@ val run : ?until:Time_span.t -> t -> Time_span.t
     or simulation time would pass [until] (then the clock is advanced to
     exactly [until]).  Returns the final simulation time. *)
 
+val run_s : ?until_s:float -> t -> float
+(** [run] on raw seconds. *)
+
 val every :
   ?label:string -> t -> period:Time_span.t -> ?until:Time_span.t -> (t -> bool) -> unit
 (** Periodic process: the callback runs every [period] starting one
     period from now, until it returns [false] or [until] passes.  Raises
     [Invalid_argument] for non-positive periods.  [label] (default
-    ["periodic"]) names each tick in the optional trace. *)
+    ["periodic"]) names each tick in the optional trace.  The horizon is
+    normalised to a float once at registration and each firing re-arms
+    one reused tick closure. *)
+
+val every_s :
+  ?label:string -> t -> period_s:float -> ?until_s:float -> (t -> bool) -> unit
+(** [every] on raw seconds. *)

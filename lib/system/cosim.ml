@@ -4,7 +4,19 @@
     discipline deliberately mirror {!Amb_net.Net_sim} statement for
     statement; the continuous energy accounting mirrors
     {!Amb_node.Lifetime_sim} via {!Node_agent}.  The degenerate
-    cross-check experiments (E27) depend on both mirrors. *)
+    cross-check experiments (E27) depend on both mirrors.
+
+    Hot-path discipline matches Net_sim: the event loop runs on the
+    float-native {!Engine} API (one report closure per node for the
+    whole run, no per-event [Time_span.t] boxing), the collection tree
+    lives in a reusable {!Route_tree}, and topology events under the
+    tie-free [Min_energy] policy splice the affected subtree instead of
+    re-running Dijkstra over all pairs — node deaths re-attach the
+    orphaned subtree, link fades that only worsen a pair repair the
+    faded tree edge (or no-op on non-tree edges).  [Min_hop] (global
+    tie-breaks) and [Max_lifetime] (residual-dependent weights), as
+    well as fades that improve a pair (a smaller fade replacing a
+    larger one), keep the full rebuild. *)
 
 open Amb_units
 open Amb_sim
@@ -75,7 +87,8 @@ let run ?trace cfg ~seed =
       | Fault_plan.Node_crash _ | Fault_plan.Link_fade _ -> ())
     cfg.faults;
   let alive i = Node_agent.alive agents.(i) in
-  let parent = ref (Array.make n (-2)) in
+  let tree = Route_tree.create ~n ~sink in
+  let parent = Array.make n (-2) in
   let generated = ref 0 and delivered = ref 0 and dropped = ref 0 in
   let deaths = ref [] in
   let rebuilds = ref 0 in
@@ -97,43 +110,61 @@ let run ?trace cfg ~seed =
         (fun leaf ->
           let rec walk node ttl =
             if node = sink then incr connected
-            else if ttl > 0 && node >= 0 then walk !parent.(node) (ttl - 1)
+            else if ttl > 0 && node >= 0 then walk parent.(node) (ttl - 1)
           in
           if alive leaf then walk leaf n)
         leaf_ids;
       Float.of_int !connected /. Float.of_int leaf_count
     end
   in
-  (* Mirror of Net_sim.rebuild, with link-layer weights (fade-aware) and
-     agent reserves feeding the max-lifetime policy. *)
-  let rebuild now =
-    incr rebuilds;
-    let g = Graph.create n in
+  (* Policy cost of hop [i -> j]: link-layer weights (fade-aware) with
+     agent reserves feeding the max-lifetime policy — the same edge
+     weights the historic Graph-based rebuild materialised. *)
+  let weight =
+    match cfg.policy with
+    | Routing.Min_hop ->
+      fun i j -> if Float.is_nan (Link_layer.weight_j link i j) then Float.nan else 1.0
+    | Routing.Min_energy -> fun i j -> Link_layer.weight_j link i j
+    | Routing.Max_lifetime ->
+      fun i j ->
+        let joules = Link_layer.weight_j link i j in
+        if Float.is_nan joules then joules
+        else
+          let r = Node_agent.reserve_j agents.(i) in
+          if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
+  in
+  let sync_parents () =
     for i = 0 to n - 1 do
-      for j = 0 to n - 1 do
-        if i <> j && alive i && alive j then begin
-          let joules = Link_layer.weight_j link i j in
-          if not (Float.is_nan joules) then
-            let weight =
-              match cfg.policy with
-              | Routing.Min_hop -> 1.0
-              | Routing.Min_energy -> joules
-              | Routing.Max_lifetime ->
-                let r = Node_agent.reserve_j agents.(i) in
-                if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
-            in
-            Graph.add_edge g ~src:i ~dst:j ~weight
-        end
-      done
-    done;
-    let _, prev = Graph.dijkstra g ~src:sink in
-    parent :=
-      Array.init n (fun i ->
-          if i = sink then -1 else if prev.(i) < 0 || not (alive i) then -2 else prev.(i));
+      parent.(i) <-
+        (if i = sink then -1
+         else
+           let p = Route_tree.parent tree i in
+           if p < 0 || not (alive i) then -2 else p)
+    done
+  in
+  (* Every tree update — full or spliced — feeds the coverage and
+     availability accumulators at its instant, as the historic
+     rebuild-everywhere path did. *)
+  let record_stats now =
     let f = connected_fraction () in
     Stat.update coverage ~time:now ~value:f;
     Stat.update avail ~time:now
       ~value:(if f >= cfg.availability_threshold then 1.0 else 0.0)
+  in
+  (* Mirror of Net_sim.rebuild. *)
+  let rebuild now =
+    incr rebuilds;
+    Route_tree.rebuild tree ~weight ~alive;
+    sync_parents ();
+    record_stats now
+  in
+  let repair_after_death dead now =
+    incr rebuilds;
+    (match cfg.policy with
+    | Routing.Min_energy -> Route_tree.repair_death tree ~weight ~alive ~tie_free:true ~dead
+    | Routing.Min_hop | Routing.Max_lifetime -> Route_tree.rebuild tree ~weight ~alive);
+    sync_parents ();
+    record_stats now
   in
   let record_death i now =
     let at =
@@ -143,10 +174,10 @@ let run ?trace cfg ~seed =
     in
     deaths := (i, at) :: !deaths;
     note ("death:" ^ Int.to_string i) at;
-    rebuild now
+    repair_after_death i now
   in
   (* Charge [joules] to node [i]; false once the node is gone (the death,
-     if any, has already triggered its rebuild — as in Net_sim.charge). *)
+     if any, has already triggered its repair — as in Net_sim.charge). *)
   let charge i now joules =
     let was = alive i in
     Node_agent.charge agents.(i) ~now joules;
@@ -171,7 +202,7 @@ let run ?trace cfg ~seed =
       if ttl <= 0 then incr dropped
       else if node = sink then incr delivered
       else
-        let p = !parent.(node) in
+        let p = parent.(node) in
         if p < 0 || not (alive node) then incr dropped
         else
           let tx_j = Link_layer.cost_tx_j link node p in
@@ -186,42 +217,45 @@ let run ?trace cfg ~seed =
   in
   rebuild 0.0;
   (* Leaf reporting, staggered by a random phase — drawn in node order
-     from the run seed, exactly as Net_sim does. *)
+     from the run seed, exactly as Net_sim does.  One report closure per
+     node re-arms itself for the whole run. *)
   for node = 0 to n - 1 do
     if node <> sink then begin
       let tier_cfg = Fleet.config_of fleet fleet.Fleet.tiers.(node) in
       match tier_cfg.Fleet.report_period with
       | None -> ()
       | Some p ->
-        let period = Time_span.to_seconds p in
-        let phase = Rng.uniform rng 0.0 period in
+        let period_s = Time_span.to_seconds p in
+        let phase = Rng.uniform rng 0.0 period_s in
         let label = "report:" ^ Int.to_string node in
         let activation_j = Energy.to_joules tier_cfg.Fleet.activation_energy in
-        Engine.schedule ~label engine ~delay:(Time_span.seconds phase) (fun engine ->
-            let rec report engine =
-              if alive node then begin
-                incr generated;
-                let now = Time_span.to_seconds (Engine.now engine) in
-                (* Sense/convert/compute first; the forward pass charges
-                   the radio.  A node that dies mid-activation still
-                   counts the report as generated (and dropped), as a
-                   dead Net_sim node would. *)
-                if activation_j > 0.0 then ignore (charge node now activation_j);
-                forward node now;
-                Engine.schedule ~label engine ~delay:p report
-              end
-            in
-            report engine)
+        let fwd = forward node in
+        let rec report engine =
+          if alive node then begin
+            incr generated;
+            let now = Engine.now_s engine in
+            (* Sense/convert/compute first; the forward pass charges
+               the radio.  A node that dies mid-activation still
+               counts the report as generated (and dropped), as a
+               dead Net_sim node would. *)
+            if activation_j > 0.0 then ignore (charge node now activation_j);
+            fwd now;
+            Engine.schedule_s ~label engine ~delay_s:period_s report
+          end
+        in
+        Engine.schedule_s ~label engine ~delay_s:phase report
     end
   done;
+  let horizon_s = Time_span.to_seconds cfg.horizon in
   (* Periodic residual-aware rebuild, as in Net_sim. *)
-  Engine.every ~label:"rebuild" engine ~period:cfg.rebuild_period ~until:cfg.horizon (fun e ->
-      rebuild (Time_span.to_seconds (Engine.now e));
+  Engine.every_s ~label:"rebuild" engine ~period_s:(Time_span.to_seconds cfg.rebuild_period)
+    ~until_s:horizon_s (fun e ->
+      rebuild (Engine.now_s e);
       true);
   (* Periodic continuous-flow accounting, as in Lifetime_sim. *)
-  Engine.every ~label:"account" engine ~period:cfg.accounting_period ~until:cfg.horizon
-    (fun e ->
-      account_all (Time_span.to_seconds (Engine.now e));
+  Engine.every_s ~label:"account" engine
+    ~period_s:(Time_span.to_seconds cfg.accounting_period) ~until_s:horizon_s (fun e ->
+      account_all (Engine.now_s e);
       true);
   (* Fault injection. *)
   List.iter
@@ -229,18 +263,37 @@ let run ?trace cfg ~seed =
       | Fault_plan.Node_crash { node; at } ->
         Engine.schedule_at ~label:("fault:crash:" ^ Int.to_string node) engine at (fun e ->
             if alive node then begin
-              let now = Time_span.to_seconds (Engine.now e) in
+              let now = Engine.now_s e in
               Node_agent.crash agents.(node) ~now;
               record_death node now
             end)
       | Fault_plan.Link_fade { a; b; db; at } ->
         Engine.schedule_at ~label:(Printf.sprintf "fault:fade:%d-%d" a b) engine at (fun e ->
+            let now = Engine.now_s e in
+            (* A replaced fade can lower the pair cost (or resurrect a
+               NaN link), which may improve remote paths — only a fade
+               that worsens both directions is eligible for the local
+               tree-edge repair. *)
+            let before_ab = Link_layer.weight_j link a b
+            and before_ba = Link_layer.weight_j link b a in
             Link_layer.set_fade link ~a ~b ~db;
-            rebuild (Time_span.to_seconds (Engine.now e)))
+            let after_ab = Link_layer.weight_j link a b
+            and after_ba = Link_layer.weight_j link b a in
+            let worsened old_w new_w =
+              if Float.is_nan new_w then true
+              else (not (Float.is_nan old_w)) && new_w >= old_w
+            in
+            incr rebuilds;
+            (match cfg.policy with
+            | Routing.Min_energy
+              when worsened before_ab after_ab && worsened before_ba after_ba ->
+              Route_tree.repair_weight_increase tree ~weight ~alive ~tie_free:true ~a ~b
+            | _ -> Route_tree.rebuild tree ~weight ~alive);
+            sync_parents ();
+            record_stats now)
       | Fault_plan.Battery_scale _ -> ())
     cfg.faults;
-  let final = Engine.run ~until:cfg.horizon engine in
-  let end_s = Time_span.to_seconds final in
+  let end_s = Engine.run_s ~until_s:horizon_s engine in
   account_all end_s;
   Stat.close coverage ~time:end_s;
   Stat.close avail ~time:end_s;

@@ -24,6 +24,7 @@ let () =
       ("coverage", Test_coverage.suite);
       ("coexistence", Test_coexistence.suite);
       ("failure injection", Test_failure_injection.suite);
+      ("route repair", Test_route_repair.suite);
       ("system", Test_system.suite);
       ("golden", Test_golden.suite);
       ("report io", Test_report_io.suite);
