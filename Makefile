@@ -30,9 +30,12 @@ bench: build
 
 # Smoke-grade snapshot (~4x smaller timing budget): same schema and
 # digest gate, throwaway output file — for quick local sanity and CI.
+# --gc-stats re-runs every experiment once with allocation accounting and
+# hard-fails if the raw RNG draw kernels exceed their minor-word budget.
 bench-quick: build
 	dune exec bench/main.exe -- --quick --json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-quick.json
+	dune exec bench/main.exe -- --gc-stats
 
 clean:
 	dune clean

@@ -27,6 +27,9 @@
                                          two snapshots; >1.5x slowdown exits 1
      bench/main.exe --time E16 5         wall-clock best-of-N for one builder
                                          (quote the best on noisy machines)
+     bench/main.exe --gc-stats           RNG allocation gate (1M batched draws
+                                         must stay under a hard minor-word
+                                         budget) + minor words/run per experiment
      bench/main.exe --check-json FILE    parse and validate a snapshot
      bench/main.exe --roundtrip-report F parse a report envelope and re-serialize it
      bench/main.exe --list               list experiment ids *)
@@ -268,6 +271,78 @@ let json_number b v =
   if not (Float.is_finite v) then Buffer.add_string b "null"
   else Buffer.add_string b (Printf.sprintf "%.6g" v)
 
+(* ------------------------------------------------------------------ *)
+(* GC pressure: minor-heap words allocated per experiment build, and a
+   hard allocation gate on the batched RNG kernels. *)
+
+(* Minor words allocated by one build (after a warm-up build, so
+   one-time setup work does not pollute the measurement). *)
+let minor_words_per_run build =
+  ignore (build ());
+  let before = Gc.minor_words () in
+  ignore (build ());
+  Gc.minor_words () -. before
+
+(* Hard gate: 1M draws through each batched RNG kernel must stay within
+   [raw_draw_budget_words] minor words.  The fills are allocation-free
+   by construction (the buffer is reused), so the budget only leaves
+   room for measurement noise — a future change that re-boxes the draw
+   path (per-draw [Int64] chains, boxed float returns in a fill) blows
+   the budget by orders of magnitude and fails CI. *)
+let raw_draw_budget_words = 10_000.0
+
+let gc_gate () =
+  let draws = 1_000_000 in
+  let block = 4096 in
+  let buf = Float.Array.create block in
+  let run_fills fill =
+    let remaining = ref draws in
+    while !remaining > 0 do
+      let len = Stdlib.min block !remaining in
+      fill ~len buf;
+      remaining := !remaining - len
+    done
+  in
+  let kernels =
+    [
+      ("fill_floats", fun rng -> run_fills (fun ~len a -> Amb_sim.Rng.fill_floats rng ~len a));
+      ( "fill_exponential",
+        fun rng -> run_fills (fun ~len a -> Amb_sim.Rng.fill_exponential rng ~mean:1.0 ~len a) );
+      ( "fill_gaussian",
+        fun rng ->
+          run_fills (fun ~len a -> Amb_sim.Rng.fill_gaussian rng ~mu:0.0 ~sigma:1.0 ~len a) );
+    ]
+  in
+  let failed = ref false in
+  Printf.printf "=== RNG allocation gate (%d draws per kernel, budget %.0f minor words) ===\n"
+    draws raw_draw_budget_words;
+  List.iter
+    (fun (name, kernel) ->
+      let rng = Amb_sim.Rng.create 0xD1CE in
+      kernel rng;  (* warm-up *)
+      let before = Gc.minor_words () in
+      kernel rng;
+      let words = Gc.minor_words () -. before in
+      let ok = words <= raw_draw_budget_words in
+      if not ok then failed := true;
+      Printf.printf "%-18s %12.0f minor words  %s\n" name words
+        (if ok then "ok" else "<< OVER BUDGET"))
+    kernels;
+  !failed
+
+let gc_stats () =
+  let failed = gc_gate () in
+  Printf.printf "=== minor words per experiment build ===\n";
+  Printf.printf "%-6s %16s\n" "id" "minor words/run";
+  List.iter
+    (fun (id, _, build) -> Printf.printf "%-6s %16.0f\n" id (minor_words_per_run build))
+    Amb_core.Experiments.all;
+  if failed then begin
+    Printf.eprintf "RNG allocation gate failed: a batched kernel exceeded %.0f minor words\n"
+      raw_draw_budget_words;
+    exit 1
+  end
+
 let write_json path ~jobs =
   (* A previous snapshot at the same path seeds the scheduler. *)
   let expected = load_expected path in
@@ -278,7 +353,7 @@ let write_json path ~jobs =
       (fun (id, _, build) ->
         let report = build () in
         (id, time_builder build, Amb_core.Report_io.digest report,
-         List.length report.Amb_core.Report.rows))
+         List.length report.Amb_core.Report.rows, minor_words_per_run build))
       Amb_core.Experiments.all
   in
   Printf.eprintf "timing sharded builds at jobs=%d...\n%!" jobs;
@@ -299,13 +374,15 @@ let write_json path ~jobs =
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
-    (fun i (id, ns, digest, rows) ->
+    (fun i (id, ns, digest, rows, minor_words) ->
       Buffer.add_string b (Printf.sprintf "    { \"id\": %S, \"ns_per_run\": " id);
       json_number b ns;
       Buffer.add_string b (Printf.sprintf ", \"digest\": %S, \"rows\": %d" digest rows);
       Buffer.add_string b
         (Printf.sprintf ", \"shards\": %d, \"wall_s_jobs_n\": " (Amb_core.Experiments.shard_count id));
       json_number b (Option.value (List.assoc_opt id jobs_n_wall) ~default:Float.nan);
+      Buffer.add_string b ", \"minor_words_per_run\": ";
+      json_number b minor_words;
       Buffer.add_string b (if i = List.length per_experiment - 1 then " }\n" else " },\n"))
     per_experiment;
   Buffer.add_string b "  ],\n  \"suite\": {\n    \"wall_s_jobs1\": ";
@@ -548,12 +625,13 @@ let () =
       Printf.eprintf "--time expects a positive run count, got %s\n" runs;
       exit 1)
   | _ :: "--time" :: id :: [] -> time_one id 5
+  | _ :: "--gc-stats" :: _ -> gc_stats ()
   | _ :: "--check-json" :: path :: _ -> check_json path
   | _ :: "--roundtrip-report" :: path :: _ -> roundtrip_report path
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
-       --compare OLD NEW, --time ID N, --check-json FILE, --roundtrip-report FILE)\n"
+       --compare OLD NEW, --time ID N, --gc-stats, --check-json FILE, --roundtrip-report FILE)\n"
       arg;
     exit 1
   | _ ->

@@ -25,11 +25,15 @@ type t = {
   range_m : float;
   tx_j : float array;  (** flat n*n per-pair TX-side joules; NaN = out of range *)
   rx_j : float;  (** RX-side joules per packet (distance-independent) *)
+  tx_memo : (float, float) Hashtbl.t;
+      (** distance (m) -> TX-side joules, for lookups off the pair grid
+          (faded links, ad-hoc hops); owned by this router instance and
+          unsynchronised — parallel shards each build their own router *)
 }
 
 (* TX energy for one packet over [distance_m]; NaN beyond radio reach.
    The physical-layer math (link-budget inversion + startup amortisation)
-   runs once per pair at [make] time and is reused by every rebuild. *)
+   runs once per distance and is memoized in [tx_memo]. *)
 let tx_joules ~link ~packet ~distance_m =
   match Link_budget.required_tx_dbm link ~distance_m with
   | None -> Float.nan
@@ -38,26 +42,41 @@ let tx_joules ~link ~packet ~distance_m =
       (Amb_circuit.Radio_frontend.transmit_energy link.Link_budget.radio ~tx_dbm
          ~bits:(Packet.total_bits packet) ~include_startup:true)
 
+(** [tx_energy_j_at router ~distance_m] — memoized TX-side joules for an
+    arbitrary hop length; NaN beyond radio reach.  Keyed on the exact
+    distance, so repeated lookups (regular grids, per-pair fades) skip
+    the link-budget inversion. *)
+let tx_energy_j_at router ~distance_m =
+  match Hashtbl.find_opt router.tx_memo distance_m with
+  | Some e -> e
+  | None ->
+    let e = tx_joules ~link:router.link ~packet:router.packet ~distance_m in
+    Hashtbl.add router.tx_memo distance_m e;
+    e
+
 let make ~topology ~link ~packet =
   let range_m = Link_budget.max_range link ~tx_dbm:link.Link_budget.radio.Amb_circuit.Radio_frontend.max_tx_dbm in
   let n = Topology.node_count topology in
   let tx_j = Array.make (n * n) Float.nan in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let d = Topology.pair_distance topology i j in
-      if d <= range_m then begin
-        let e = tx_joules ~link ~packet ~distance_m:d in
-        tx_j.((i * n) + j) <- e;
-        tx_j.((j * n) + i) <- e
-      end
-    done
-  done;
   let rx_j =
     Energy.to_joules
       (Amb_circuit.Radio_frontend.receive_energy link.Link_budget.radio
          ~bits:(Packet.total_bits packet) ~include_startup:true)
   in
-  { topology; link; packet; range_m; tx_j; rx_j }
+  let router =
+    { topology; link; packet; range_m; tx_j; rx_j; tx_memo = Hashtbl.create 64 }
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Topology.pair_distance topology i j in
+      if d <= range_m then begin
+        let e = tx_energy_j_at router ~distance_m:d in
+        tx_j.((i * n) + j) <- e;
+        tx_j.((j * n) + i) <- e
+      end
+    done
+  done;
+  router
 
 (** [sender_energy_j router i j] — cached TX-side joules for the pair;
     NaN when out of range. *)
@@ -75,7 +94,7 @@ let link_energy_j router i j = sender_energy_j router i j +. router.rx_j
     [distance_m]: minimum closing TX energy plus RX energy; [None] beyond
     radio reach. *)
 let hop_energy router ~distance_m =
-  let tx = tx_joules ~link:router.link ~packet:router.packet ~distance_m in
+  let tx = tx_energy_j_at router ~distance_m in
   if Float.is_nan tx then None else Some (Energy.joules (tx +. router.rx_j))
 
 (** [build_graph router ~policy ~residual] — weighted graph for [policy],
@@ -125,14 +144,10 @@ let path_energy router path =
   walk path
 
 (** [sender_energy router ~distance_m] — TX-side-only energy for one hop
-    (used when accounting per-node depletion). *)
+    (used when accounting per-node depletion); memoized per distance. *)
 let sender_energy router ~distance_m =
-  match Link_budget.required_tx_dbm router.link ~distance_m with
-  | None -> None
-  | Some tx_dbm ->
-    Some
-      (Amb_circuit.Radio_frontend.transmit_energy router.link.Link_budget.radio ~tx_dbm
-         ~bits:(Packet.total_bits router.packet) ~include_startup:true)
+  let tx = tx_energy_j_at router ~distance_m in
+  if Float.is_nan tx then None else Some (Energy.joules tx)
 
 (** [receiver_energy router] — RX-side-only energy for one hop (cached). *)
 let receiver_energy router = Energy.joules router.rx_j

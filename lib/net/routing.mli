@@ -17,6 +17,11 @@ type t = {
   range_m : float;
   tx_j : float array;  (** flat n*n per-pair TX-side joules; NaN = out of range *)
   rx_j : float;  (** RX-side joules per packet (distance-independent) *)
+  tx_memo : (float, float) Hashtbl.t;
+      (** distance (m) -> TX-side joules for off-grid lookups (faded
+          links, ad-hoc hops).  Owned by this router instance and not
+          synchronised: parallel shards must each build their own
+          router (the experiment suite already does). *)
 }
 
 val make : topology:Topology.t -> link:Link_budget.t -> packet:Packet.t -> t
@@ -26,7 +31,12 @@ val make : topology:Topology.t -> link:Link_budget.t -> packet:Packet.t -> t
 
 val hop_energy : t -> distance_m:float -> Energy.t option
 (** Energy to move one packet one hop: minimum closing TX energy plus RX
-    energy; [None] beyond radio reach. *)
+    energy; [None] beyond radio reach.  Memoized per distance. *)
+
+val tx_energy_j_at : t -> distance_m:float -> float
+(** Memoized TX-side joules for an arbitrary hop length; NaN beyond
+    radio reach.  Keyed on the exact distance, so repeated lookups
+    (regular grids, per-pair fades) skip the link-budget inversion. *)
 
 val sender_energy_j : t -> int -> int -> float
 (** Cached TX-side joules to move one packet between a node pair; NaN
@@ -48,7 +58,8 @@ val path_energy : t -> int list -> Energy.t option
 (** Total radio energy to deliver one packet along a path. *)
 
 val sender_energy : t -> distance_m:float -> Energy.t option
-(** TX-side-only energy for one hop (per-node depletion accounting). *)
+(** TX-side-only energy for one hop (per-node depletion accounting);
+    memoized per distance. *)
 
 val receiver_energy : t -> Energy.t
 (** RX-side-only energy for one hop. *)

@@ -50,6 +50,11 @@ let config ?(harvest_update_period = Time_span.minutes 10.0) ?income_multiplier 
 let run cfg ~seed =
   let rng = Rng.create seed in
   let engine = Engine.create () in
+  (* Clock reads and the activation delay go through the engine's float
+     cells: without flambda, [now_s]'s return and [schedule_s]'s delay
+     argument are boxed at every call. *)
+  let clk = Engine.clock_cell engine in
+  let dly = Engine.delay_cell engine in
   let battery_energy =
     match cfg.supply.Supply.battery with
     | Some b -> Energy.to_joules (Battery.energy b)
@@ -68,8 +73,8 @@ let run cfg ~seed =
   let alive () = !death_time = None in
   (* Settle the continuous flows (sleep drain, harvest income) since the
      last accounting instant; record death when the reserve crosses zero. *)
-  let account engine =
-    let now = Engine.now_s engine in
+  let account () =
+    let now = clk.Engine.v in
     let dt = now -. lg.last_account in
     if dt > 0.0 && alive () then begin
       let drain = sleep_w /. regulator *. dt in
@@ -103,34 +108,36 @@ let run cfg ~seed =
   in
   let cycle_j = Energy.to_joules cfg.profile.Duty_cycle.cycle_energy in
   let spend engine joules =
-    account engine;
+    account ();
     if alive () then begin
       lg.consumed <- lg.consumed +. joules;
       let from_battery = joules /. regulator in
       lg.reserve <- lg.reserve -. from_battery;
       if lg.reserve <= 0.0 && battery_energy > 0.0 then begin
-        death_time := Some (Engine.now_s engine);
+        death_time := Some clk.Engine.v;
         Engine.stop engine
       end
     end
   in
-  (* Activation process: one self-re-arming closure for the whole run. *)
-  let next_gap_s () =
-    Time_span.to_seconds (Amb_workload.Traffic.next_interval rng cfg.activation_traffic)
-  in
+  (* Activation process: one self-re-arming closure for the whole run.
+     The gap sampler owns [rng] (nothing else draws from it), so the
+     block-buffered Poisson fast path keeps the scalar stream order. *)
+  let next_gap_s = Amb_workload.Traffic.sampler_s rng cfg.activation_traffic in
   let rec activation engine =
     if alive () then begin
       spend engine cycle_j;
       if alive () then begin
         incr activations;
-        Engine.schedule_s engine ~delay_s:(next_gap_s ()) activation
+        dly.Engine.v <- next_gap_s ();
+        Engine.schedule_cell engine activation
       end
     end
   in
-  Engine.schedule_s engine ~delay_s:(next_gap_s ()) activation;
+  dly.Engine.v <- next_gap_s ();
+  Engine.schedule_cell engine activation;
   (* Periodic continuous-flow accounting. *)
-  Engine.every engine ~period:cfg.harvest_update_period ~until:cfg.horizon (fun engine ->
-      account engine;
+  Engine.every engine ~period:cfg.harvest_update_period ~until:cfg.horizon (fun _engine ->
+      account ();
       alive ());
   let _ = Engine.run ~until:cfg.horizon engine in
   let end_time =

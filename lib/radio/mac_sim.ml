@@ -69,8 +69,14 @@ let run cfg ~seed =
       burst_clean := true
     end
   in
-  let transmit engine =
-    let now = Engine.now_s engine in
+  (* Clock reads and delay hand-off go through the engine's float
+     cells: the non-flambda compiler boxes every float crossing the
+     [now_s]/[schedule_s] call boundary (4 minor words per event);
+     the cells keep the whole arrival loop allocation-free. *)
+  let clk = Engine.clock_cell engine in
+  let dly = Engine.delay_cell engine in
+  let transmit _engine =
+    let now = clk.Engine.v in
     incr attempted;
     if now >= burst_end.end_s then begin
       (* Channel idle: settle the previous burst, open a new one. *)
@@ -82,20 +88,37 @@ let run cfg ~seed =
       burst_frames := !burst_frames + 1;
       burst_clean := false
     end;
-    burst_end.end_s <- Float.max burst_end.end_s (now +. airtime)
+    burst_end.end_s <- (let e = now +. airtime in if e > burst_end.end_s then e else burst_end.end_s)
   in
   (* One Poisson source per node, each with its own split stream so node
      count does not perturb per-node sequences.  One arrival closure per
      node re-arms itself for the whole run — no per-event closure or
-     [Time_span.t] allocation. *)
+     [Time_span.t] allocation.  Gaps are drawn ahead in allocation-free
+     blocks; each node's stream feeds only its own gaps, so buffering
+     consumes exactly the values the scalar draw would, in order. *)
+  let gap_block = 256 in
   for _ = 1 to cfg.nodes do
     let node_rng = Rng.split rng in
     let mean = 1.0 /. cfg.per_node_rate in
+    let gaps = Float.Array.create gap_block in
+    let gap_idx = ref gap_block in
+    (* The refill test and buffer read live directly in the closure
+       body: an inner [next_gap] closure would box its float return on
+       every indirect call. *)
     let rec arrival engine =
       transmit engine;
-      Engine.schedule_s engine ~delay_s:(Rng.exponential node_rng ~mean) arrival
+      if !gap_idx >= gap_block then begin
+        Rng.fill_exponential node_rng ~mean gaps;
+        gap_idx := 0
+      end;
+      dly.Engine.v <- Float.Array.unsafe_get gaps !gap_idx;
+      incr gap_idx;
+      Engine.schedule_cell engine arrival
     in
-    Engine.schedule_s engine ~delay_s:(Rng.exponential node_rng ~mean) arrival
+    Rng.fill_exponential node_rng ~mean gaps;
+    gap_idx := 1;
+    dly.Engine.v <- Float.Array.unsafe_get gaps 0;
+    Engine.schedule_cell engine arrival
   done;
   let _ = Engine.run ~until:cfg.horizon engine in
   close_burst ();

@@ -103,8 +103,10 @@ let push_at engine ~label fn =
   fns.(!i) <- fn;
   labels.(!i) <- label
 
-(** [now_s engine] — current simulation time in raw seconds. *)
-let now_s engine = engine.clock.v
+(** [now_s engine] — current simulation time in raw seconds.
+    Inlined cross-module so the float result stays unboxed at the call
+    site (the non-flambda compiler otherwise boxes the return). *)
+let[@inline] now_s engine = engine.clock.v
 
 (** [now engine] — current simulation time. *)
 let now engine = Time_span.seconds engine.clock.v
@@ -117,7 +119,7 @@ let pending engine = engine.size
 
 (** [schedule_at_s engine time callback] — [schedule_at] on raw
     seconds. *)
-let schedule_at_s ?(label = "event") engine time callback =
+let[@inline] schedule_at_s ?(label = "event") engine time callback =
   if time < engine.clock.v then invalid_arg "Engine.schedule_at: time in the past";
   engine.at.v <- time;
   push_at engine ~label callback
@@ -128,10 +130,37 @@ let schedule_at ?label engine time callback =
   schedule_at_s ?label engine (Time_span.to_seconds time) callback
 
 (** [schedule_s engine ~delay_s callback] — [schedule] on raw seconds;
-    the per-event path of the simulators (no [Time_span.t] boxing). *)
-let schedule_s ?(label = "event") engine ~delay_s callback =
+    the per-event path of the simulators (no [Time_span.t] boxing).
+    Inlined cross-module: the delay is handed to [push_at] through the
+    [at] scratch cell, so once the call itself is inlined no boxed
+    float crosses a call boundary on the per-event path. *)
+let[@inline] schedule_s ?(label = "event") engine ~delay_s callback =
   if delay_s < 0.0 then invalid_arg "Engine.schedule: negative delay";
   engine.at.v <- engine.clock.v +. delay_s;
+  push_at engine ~label callback
+
+(* The boxing-free scheduling path.  Without flambda, every float that
+   crosses a module boundary — [now_s]'s return, [schedule_s]'s
+   [delay_s] — is boxed at the call, which costs 4 minor words per
+   event in simulators whose loops are otherwise allocation-free.  The
+   cells below let hot callbacks read the clock and hand over the delay
+   through raw double loads/stores instead: read [(clock_cell e).v],
+   store the delay into [(delay_cell e).v], then [schedule_cell]. *)
+
+(** [clock_cell engine] — the clock as an all-float cell; reading [.v]
+    is an unboxed load (callbacks must treat it as read-only). *)
+let clock_cell engine = engine.clock
+
+(** [delay_cell engine] — scratch cell for {!schedule_cell}'s delay;
+    store the relative delay in seconds into [.v] just before the
+    call (the cell is clobbered by every scheduling operation). *)
+let delay_cell engine = engine.at
+
+(** [schedule_cell engine callback] — [schedule_s] with the delay taken
+    from [delay_cell engine] instead of a (boxed) float argument. *)
+let schedule_cell ?(label = "event") engine callback =
+  if engine.at.v < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  engine.at.v <- engine.clock.v +. engine.at.v;
   push_at engine ~label callback
 
 (** [schedule engine ~delay callback] — run [callback] after [delay]. *)

@@ -46,6 +46,26 @@ val schedule : ?label:string -> t -> delay:Time_span.t -> (t -> unit) -> unit
 val schedule_s : ?label:string -> t -> delay_s:float -> (t -> unit) -> unit
 (** [schedule] on raw seconds — the allocation-free per-event path. *)
 
+type cell = { mutable v : float }
+(** A single mutable float in its own all-float record: reads and
+    stores of [.v] are raw double loads/stores, never boxed. *)
+
+val clock_cell : t -> cell
+(** The engine clock as a {!cell}: reading [.v] inside a callback gives
+    the current time without the boxed-float return {!now_s} pays under
+    the non-flambda compiler.  Callbacks must treat it as read-only. *)
+
+val delay_cell : t -> cell
+(** Scratch cell feeding {!schedule_cell}: store the relative delay in
+    seconds into [.v] immediately before the call.  Clobbered by every
+    scheduling operation, so never cache its contents. *)
+
+val schedule_cell : ?label:string -> t -> (t -> unit) -> unit
+(** [schedule_s] with the delay taken from {!delay_cell} instead of a
+    (boxed) float argument: together with {!clock_cell} this makes a
+    self-re-arming event loop fully allocation-free.  Raises
+    [Invalid_argument] on a negative delay. *)
+
 val stop : t -> unit
 (** Abort the run after the current callback returns. *)
 

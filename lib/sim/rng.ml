@@ -3,39 +3,137 @@
     Every stochastic element of the toolkit draws from an explicit [Rng.t]
     with an explicit seed, so simulations, tests and benchmarks are exactly
     reproducible.  Splitmix64 is small, fast and passes BigCrush for the
-    purposes at hand. *)
+    purposes at hand.
 
-type t = { mutable state : int64; mutable cached_gaussian : float option }
+    The 64-bit state lives in two native-int 32-bit halves with explicit
+    carry propagation, so a step performs no [Int64] boxing: the historic
+    implementation allocated a chain of boxed [Int64] temporaries per
+    draw, which dominated the minor-heap churn of every Monte Carlo and
+    event-simulation inner loop.  The stream is bit-exact against the
+    published splitmix64 reference (verified on the C reference vectors
+    in the test suite), so every experiment digest is unchanged. *)
 
-let create seed = { state = Int64.of_int seed; cached_gaussian = None }
+(* The Box–Muller cache is a separate all-float record: OCaml flattens
+   all-float records into raw doubles, so the spare-deviate store never
+   boxes.  [full] is 0.0 / 1.0 — a bool field would make the record mixed
+   and re-box the float. *)
+type gauss = { mutable spare : float; mutable full : float }
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+type t = {
+  mutable hi : int;  (** state bits 63..32, in [0, 2^32) *)
+  mutable lo : int;  (** state bits 31..0, in [0, 2^32) *)
+  mutable out_hi : int;  (** high half of the last output *)
+  mutable out_lo : int;  (** low half of the last output *)
+  g : gauss;
+}
 
-(* splitmix64 core step. *)
+let mask32 = 0xFFFFFFFF
+let mask16 = 0xFFFF
+
+(* splitmix64 constants, split into 32-bit halves (and further into
+   16-bit limbs at the multiply sites below):
+     golden gamma 0x9E3779B97F4A7C15
+     mix constant 0xBF58476D1CE4E5B9
+     mix constant 0x94D049BB133111EB *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
+
+(* [Int64.of_int] sign-extends a 63-bit seed to 64 bits; the arithmetic
+   shift reproduces that extension in the high half. *)
+let create seed =
+  {
+    hi = (seed asr 32) land mask32;
+    lo = seed land mask32;
+    out_hi = 0;
+    out_lo = 0;
+    g = { spare = 0.0; full = 0.0 };
+  }
+
+(* Low / high 32-bit halves of the 64-bit product (ah:al) * (bh:bl),
+   schoolbook over 16-bit limbs so no partial product or carry exceeds
+   ~2^34 (native ints hold 63 bits).  Two functions each returning one
+   immediate int keep the hot path free of tuple allocation. *)
+let[@inline] mul_lo32 al bl =
+  let a0 = al land mask16 and a1 = al lsr 16 in
+  let b0 = bl land mask16 and b1 = bl lsr 16 in
+  let p0 = a0 * b0 in
+  let s1 = (a1 * b0) + (a0 * b1) + (p0 lsr 16) in
+  ((s1 land mask16) lsl 16) lor (p0 land mask16)
+
+let[@inline] mul_hi32 ah al bh bl =
+  let a0 = al land mask16 and a1 = al lsr 16 in
+  let a2 = ah land mask16 and a3 = ah lsr 16 in
+  let b0 = bl land mask16 and b1 = bl lsr 16 in
+  let b2 = bh land mask16 and b3 = bh lsr 16 in
+  let p0 = a0 * b0 in
+  let s1 = (a1 * b0) + (a0 * b1) + (p0 lsr 16) in
+  let s2 = (a2 * b0) + (a1 * b1) + (a0 * b2) + (s1 lsr 16) in
+  let s3 = (a3 * b0) + (a2 * b1) + (a1 * b2) + (a0 * b3) + (s2 lsr 16) in
+  ((s3 land mask16) lsl 16) lor (s2 land mask16)
+
+(* One splitmix64 step: advance the state by the golden gamma (64-bit add
+   with carry) and run the xor-shift/multiply output mix; the result
+   lands in [t.out_hi] / [t.out_lo].  Int stores are immediate, so the
+   whole step allocates nothing. *)
+let[@inline] step t =
+  let lo = t.lo + gamma_lo in
+  let hi = (t.hi + gamma_hi + (lo lsr 32)) land mask32 in
+  let lo = lo land mask32 in
+  t.lo <- lo;
+  t.hi <- hi;
+  (* z ^= z >>> 30 *)
+  let zl = lo lxor (((hi lsl 2) land mask32) lor (lo lsr 30)) in
+  let zh = hi lxor (hi lsr 30) in
+  (* z *= 0xBF58476D1CE4E5B9 *)
+  let ml = mul_lo32 zl 0x1CE4E5B9 in
+  let mh = mul_hi32 zh zl 0xBF58476D 0x1CE4E5B9 in
+  (* z ^= z >>> 27 *)
+  let zl = ml lxor (((mh lsl 5) land mask32) lor (ml lsr 27)) in
+  let zh = mh lxor (mh lsr 27) in
+  (* z *= 0x94D049BB133111EB *)
+  let ml = mul_lo32 zl 0x133111EB in
+  let mh = mul_hi32 zh zl 0x94D049BB 0x133111EB in
+  (* z ^= z >>> 31 *)
+  t.out_lo <- ml lxor (((mh lsl 1) land mask32) lor (ml lsr 31));
+  t.out_hi <- mh lxor (mh lsr 31)
+
+(* Boxed-[Int64] view of one step, for tests and reference-vector
+   checks; the simulators never touch it. *)
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  step t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.out_hi) 32) (Int64.of_int t.out_lo)
+
+(* The top 53 bits of the output, as a non-negative immediate int:
+   out_hi < 2^32 shifted by 21 stays inside the 63-bit native range. *)
+let[@inline] bits53 t = (t.out_hi lsl 21) lor (t.out_lo lsr 11)
+
+let inv53 = 1.0 /. 9007199254740992.0
 
 (** [float t] — uniform in [0, 1). *)
 let float t =
-  let bits53 = Int64.shift_right_logical (next_int64 t) 11 in
-  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+  step t;
+  Stdlib.float_of_int (bits53 t) *. inv53
 
 (** [uniform t a b] — uniform in [a, b). *)
 let uniform t a b =
   if b < a then invalid_arg "Rng.uniform: empty interval";
   a +. ((b -. a) *. float t)
 
-(** [int t bound] — uniform in 0 .. bound-1. *)
+(** [int t bound] — uniform in 0 .. bound-1.  The draw is reduced from
+    the low 63 output bits exactly as the historic
+    [abs (Int64.to_int z) mod bound], with the [abs min_int = min_int]
+    wrap masked to 0 so the result can never be negative (the mask
+    changes no draw other than the 2^-63-probability wrap). *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
-  Stdlib.abs (Int64.to_int (next_int64 t)) mod bound
+  step t;
+  let r = ((t.out_hi land 0x7FFFFFFF) lsl 32) lor t.out_lo in
+  Stdlib.abs r land Stdlib.max_int mod bound
 
 (** [bool t]. *)
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t =
+  step t;
+  t.out_lo land 1 = 1
 
 (** [bernoulli t p] — true with probability [p]. *)
 let bernoulli t p =
@@ -48,27 +146,115 @@ let exponential t ~mean =
   let u = 1.0 -. float t in
   -.mean *. Float.log u
 
+(* Advance until the 53-bit draw is non-zero: the historic Box–Muller
+   radius redrew while [u <= 1e-300], and since the smallest non-zero
+   uniform is 2^-53 ~ 1.1e-16, that condition is exactly [bits53 = 0] —
+   an immediate-int test, so the redraw loop stays allocation-free. *)
+let[@inline] step_nonzero t =
+  step t;
+  while bits53 t = 0 do
+    step t
+  done
+
 (** [gaussian t ~mu ~sigma] — normal variate (Box-Muller, cached pair). *)
 let gaussian t ~mu ~sigma =
   if sigma < 0.0 then invalid_arg "Rng.gaussian: negative sigma";
-  match t.cached_gaussian with
-  | Some z ->
-    t.cached_gaussian <- None;
-    mu +. (sigma *. z)
-  | None ->
-    let rec draw () =
-      let u = float t in
-      if u <= 1e-300 then draw () else u
-    in
-    let u1 = draw () and u2 = float t in
+  if t.g.full <> 0.0 then begin
+    t.g.full <- 0.0;
+    mu +. (sigma *. t.g.spare)
+  end
+  else begin
+    step_nonzero t;
+    let u1 = Stdlib.float_of_int (bits53 t) *. inv53 in
+    step t;
+    let u2 = Stdlib.float_of_int (bits53 t) *. inv53 in
     let r = Float.sqrt (-2.0 *. Float.log u1) in
     let theta = 2.0 *. Float.pi *. u2 in
-    t.cached_gaussian <- Some (r *. Float.sin theta);
+    t.g.spare <- r *. Float.sin theta;
+    t.g.full <- 1.0;
     mu +. (sigma *. (r *. Float.cos theta))
+  end
+
+(* --- batch sampling kernels ---------------------------------------- *)
+
+(* The fills keep every intermediate float local to the loop body and
+   store through [Float.Array.unsafe_set], whose argument is unboxed —
+   so a filled block allocates nothing on the minor heap no matter how
+   the scalar entry points compile.  Each fill consumes the stream in
+   exactly the scalar order (the property tests pin this), so replacing
+   a scalar loop with a fill never moves a digest. *)
+
+let[@inline] fill_bounds name a pos len =
+  let n = Float.Array.length a in
+  let len = match len with Some l -> l | None -> n - pos in
+  if pos < 0 || len < 0 || pos + len > n then invalid_arg name;
+  len
+
+(** [fill_floats t ?pos ?len a] — fill with uniforms in [0, 1). *)
+let fill_floats t ?(pos = 0) ?len a =
+  let len = fill_bounds "Rng.fill_floats" a pos len in
+  for i = pos to pos + len - 1 do
+    step t;
+    Float.Array.unsafe_set a i (Stdlib.float_of_int (bits53 t) *. inv53)
+  done
+
+(** [fill_exponential t ~mean ?pos ?len a] — fill with exponential
+    variates. *)
+let fill_exponential t ~mean ?(pos = 0) ?len a =
+  if mean <= 0.0 then invalid_arg "Rng.fill_exponential: non-positive mean";
+  let len = fill_bounds "Rng.fill_exponential" a pos len in
+  for i = pos to pos + len - 1 do
+    step t;
+    let u = 1.0 -. (Stdlib.float_of_int (bits53 t) *. inv53) in
+    Float.Array.unsafe_set a i (-.mean *. Float.log u)
+  done
+
+(** [fill_gaussian t ~mu ~sigma ?pos ?len a] — fill with normal variates,
+    sharing the Box–Muller pair cache with the scalar {!gaussian} (a
+    spare deviate left by a previous draw is consumed first, and an
+    odd-length fill leaves its spare cached). *)
+let fill_gaussian t ~mu ~sigma ?(pos = 0) ?len a =
+  if sigma < 0.0 then invalid_arg "Rng.fill_gaussian: negative sigma";
+  let len = fill_bounds "Rng.fill_gaussian" a pos len in
+  let stop = pos + len in
+  let i = ref pos in
+  if t.g.full <> 0.0 && !i < stop then begin
+    t.g.full <- 0.0;
+    Float.Array.unsafe_set a !i (mu +. (sigma *. t.g.spare));
+    incr i
+  end;
+  while !i < stop do
+    step_nonzero t;
+    let u1 = Stdlib.float_of_int (bits53 t) *. inv53 in
+    step t;
+    let u2 = Stdlib.float_of_int (bits53 t) *. inv53 in
+    let r = Float.sqrt (-2.0 *. Float.log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    Float.Array.unsafe_set a !i (mu +. (sigma *. (r *. Float.cos theta)));
+    incr i;
+    if !i < stop then begin
+      Float.Array.unsafe_set a !i (mu +. (sigma *. (r *. Float.sin theta)));
+      incr i
+    end
+    else begin
+      t.g.spare <- r *. Float.sin theta;
+      t.g.full <- 1.0
+    end
+  done
+
+(* ------------------------------------------------------------------- *)
 
 (** [split t] — an independent generator derived from [t]'s stream
     (consumes one draw from [t]). *)
-let split t = { state = next_int64 t; cached_gaussian = None }
+let split t =
+  step t;
+  {
+    hi = t.out_hi;
+    lo = t.out_lo;
+    out_hi = 0;
+    out_lo = 0;
+    g = { spare = 0.0; full = 0.0 };
+  }
 
 (** [shuffle t arr] — in-place Fisher-Yates shuffle. *)
 let shuffle t arr =
@@ -79,7 +265,15 @@ let shuffle t arr =
     arr.(j) <- tmp
   done
 
-(** [choose t lst] — uniform element of a non-empty list. *)
+(** [choose_array t arr] — uniform element of a non-empty array (one
+    draw, O(1)). *)
+let choose_array t arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Rng.choose_array: empty array";
+  Array.unsafe_get arr (int t n)
+
+(** [choose t lst] — uniform element of a non-empty list.  O(n) in the
+    list length; prefer {!choose_array} on hot paths. *)
 let choose t lst =
   match lst with
   | [] -> invalid_arg "Rng.choose: empty list"

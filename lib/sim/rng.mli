@@ -1,13 +1,20 @@
 (** Deterministic pseudo-random numbers (splitmix64).  Every stochastic
     element of the toolkit draws from an explicit [Rng.t] with an explicit
-    seed, so simulations, tests and benchmarks are exactly
-    reproducible. *)
+    seed, so simulations, tests and benchmarks are exactly reproducible.
+
+    The implementation is bit-exact against the published splitmix64
+    reference stream, but runs on native ints (two 32-bit halves with
+    explicit carry propagation) so a draw allocates no boxed [Int64]
+    temporaries.  Hot loops should prefer the [fill_*] batch kernels,
+    which produce whole blocks with zero minor-heap allocation. *)
 
 type t
 
 val create : int -> t
 
 val next_int64 : t -> int64
+(** One raw 64-bit output, boxed — for tests and reference-vector
+    checks; simulation code should use the typed draws below. *)
 
 val float : t -> float
 (** Uniform in [0, 1). *)
@@ -17,7 +24,8 @@ val uniform : t -> float -> float -> float
 
 val int : t -> int -> int
 (** Uniform in 0 .. bound-1; raises [Invalid_argument] on a non-positive
-    bound. *)
+    bound.  Never negative: the historic [abs min_int] wrap of the
+    2^-63-probability all-ones draw is masked to 0. *)
 
 val bool : t -> bool
 
@@ -31,6 +39,23 @@ val gaussian : t -> mu:float -> sigma:float -> float
 (** Box-Muller normal variate; raises [Invalid_argument] on negative
     sigma. *)
 
+val fill_floats : t -> ?pos:int -> ?len:int -> floatarray -> unit
+(** [fill_floats t a] — fill [a] (or the [pos]/[len] slice) with
+    uniforms in [0, 1), consuming the stream in exactly the order the
+    scalar {!float} would.  Allocation-free; raises [Invalid_argument]
+    on an out-of-range slice. *)
+
+val fill_exponential : t -> mean:float -> ?pos:int -> ?len:int -> floatarray -> unit
+(** Batch {!exponential}: same stream order as the scalar draw,
+    allocation-free.  Raises [Invalid_argument] on a non-positive mean
+    or an out-of-range slice. *)
+
+val fill_gaussian : t -> mu:float -> sigma:float -> ?pos:int -> ?len:int -> floatarray -> unit
+(** Batch {!gaussian}: same stream order as the scalar draw, sharing its
+    Box–Muller pair cache (a cached spare deviate is consumed first; an
+    odd-length fill leaves its spare cached).  Allocation-free.  Raises
+    [Invalid_argument] on a negative sigma or an out-of-range slice. *)
+
 val split : t -> t
 (** An independent generator derived from this stream (consumes one
     draw). *)
@@ -38,6 +63,14 @@ val split : t -> t
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 
+val choose_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array in O(1); raises
+    [Invalid_argument] on an empty one. *)
+
 val choose : t -> 'a list -> 'a
+  [@@ocaml.deprecated "O(n) per draw; use Rng.choose_array."]
 (** Uniform element of a non-empty list; raises [Invalid_argument] on an
-    empty one. *)
+    empty one.
+    @deprecated O(n) per draw ([List.nth] under the hood) — use
+    {!choose_array} on anything hot.  Kept for existing callers; draws
+    identically to [choose_array] on the same elements. *)

@@ -4,43 +4,53 @@
     for state residencies (the basis of average-power measurement in the
     node simulator), and a fixed-bin histogram. *)
 
-type welford = { mutable n : int; mutable mean : float; mutable m2 : float }
+(* All-float record: OCaml flattens it into raw doubles, so [add] stores
+   unboxed — with the historic [int] count field the record was mixed
+   and every float store boxed.  The count is an exact float (counts
+   stay far below 2^53), so every quotient below is bit-identical to the
+   historic [Float.of_int] path. *)
+type welford = { mutable n : float; mutable mean : float; mutable m2 : float }
 
-let welford () = { n = 0; mean = 0.0; m2 = 0.0 }
+let welford () = { n = 0.0; mean = 0.0; m2 = 0.0 }
 
 let add w x =
-  w.n <- w.n + 1;
+  w.n <- w.n +. 1.0;
   let delta = x -. w.mean in
-  w.mean <- w.mean +. (delta /. Float.of_int w.n);
+  w.mean <- w.mean +. (delta /. w.n);
   w.m2 <- w.m2 +. (delta *. (x -. w.mean))
 
-let count w = w.n
-let mean w = if w.n = 0 then Float.nan else w.mean
-let variance w = if w.n < 2 then Float.nan else w.m2 /. Float.of_int (w.n - 1)
+let count w = int_of_float w.n
+let mean w = if w.n = 0.0 then Float.nan else w.mean
+let variance w = if w.n < 2.0 then Float.nan else w.m2 /. (w.n -. 1.0)
 let stddev w = Float.sqrt (variance w)
 
 (** Standard error of the mean. *)
-let std_error w = if w.n < 2 then Float.nan else stddev w /. Float.sqrt (Float.of_int w.n)
+let std_error w = if w.n < 2.0 then Float.nan else stddev w /. Float.sqrt w.n
 
 (** Time-weighted accumulator: integrates a piecewise-constant signal.
     [update] records a change of value at a timestamp; [time_average]
     yields integral / elapsed. *)
+(* [started] is 0.0 / 1.0 so the record stays all-float (flat, unboxed
+   stores) — a [bool] field would make it mixed and box every float
+   store on the per-event update path. *)
 type time_weighted = {
   mutable last_time : float;
   mutable last_value : float;
   mutable integral : float;
-  mutable started : bool;
+  mutable started : float;
   mutable start_time : float;
 }
 
 let time_weighted () =
-  { last_time = 0.0; last_value = 0.0; integral = 0.0; started = false; start_time = 0.0 }
+  { last_time = 0.0; last_value = 0.0; integral = 0.0; started = 0.0; start_time = 0.0 }
 
 let update tw ~time ~value =
-  if tw.started && time < tw.last_time then invalid_arg "Stat.update: time went backwards";
-  if tw.started then tw.integral <- tw.integral +. (tw.last_value *. (time -. tw.last_time))
+  if tw.started <> 0.0 then begin
+    if time < tw.last_time then invalid_arg "Stat.update: time went backwards";
+    tw.integral <- tw.integral +. (tw.last_value *. (time -. tw.last_time))
+  end
   else begin
-    tw.started <- true;
+    tw.started <- 1.0;
     tw.start_time <- time
   end;
   tw.last_time <- time;
@@ -54,7 +64,7 @@ let integral tw = tw.integral
 
 let time_average tw =
   let elapsed = tw.last_time -. tw.start_time in
-  if (not tw.started) || elapsed <= 0.0 then Float.nan else tw.integral /. elapsed
+  if tw.started = 0.0 || elapsed <= 0.0 then Float.nan else tw.integral /. elapsed
 
 (** Fixed-bin histogram over [lo, hi); out-of-range samples land in
     saturating edge bins. *)

@@ -71,6 +71,9 @@ let run ?trace cfg ~seed =
   let sink = fleet.Fleet.sink in
   let rng = Rng.create seed in
   let engine = Engine.create ?trace () in
+  (* Per-event clock reads through the engine's float cell: without
+     flambda, [now_s]'s return is boxed at every call. *)
+  let clk = Engine.clock_cell engine in
   let link = Link_layer.create ~router:fleet.Fleet.router ~mode:cfg.link in
   let sampling = Power.watts (Link_layer.sampling_power_w link) in
   let income_multiplier = Option.map Amb_energy.Day_profile.income_multiplier cfg.diurnal in
@@ -233,7 +236,7 @@ let run ?trace cfg ~seed =
         let rec report engine =
           if alive node then begin
             incr generated;
-            let now = Engine.now_s engine in
+            let now = clk.Engine.v in
             (* Sense/convert/compute first; the forward pass charges
                the radio.  A node that dies mid-activation still
                counts the report as generated (and dropped), as a
@@ -249,13 +252,13 @@ let run ?trace cfg ~seed =
   let horizon_s = Time_span.to_seconds cfg.horizon in
   (* Periodic residual-aware rebuild, as in Net_sim. *)
   Engine.every_s ~label:"rebuild" engine ~period_s:(Time_span.to_seconds cfg.rebuild_period)
-    ~until_s:horizon_s (fun e ->
-      rebuild (Engine.now_s e);
+    ~until_s:horizon_s (fun _e ->
+      rebuild clk.Engine.v;
       true);
   (* Periodic continuous-flow accounting, as in Lifetime_sim. *)
   Engine.every_s ~label:"account" engine
-    ~period_s:(Time_span.to_seconds cfg.accounting_period) ~until_s:horizon_s (fun e ->
-      account_all (Engine.now_s e);
+    ~period_s:(Time_span.to_seconds cfg.accounting_period) ~until_s:horizon_s (fun _e ->
+      account_all clk.Engine.v;
       true);
   (* Fault injection. *)
   List.iter

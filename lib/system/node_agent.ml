@@ -10,18 +10,27 @@
 open Amb_units
 open Amb_energy
 
-type t = {
-  id : int;
+(* All-float ledger: OCaml flattens it into raw doubles, so the
+   per-event accounting stores never box (in the historic mixed record
+   every float store allocated a fresh box).  [died_at] is NaN while
+   alive — a [float option] would re-introduce a pointer field and
+   un-flatten the record. *)
+type ledger = {
   mutable capacity_j : float;  (** 0 = no battery (immortal); infinity = mains *)
   income_w : float;
-  income_multiplier : (float -> float) option;
   regulator : float;
   sleep_w : float;
   mutable reserve_j : float;
   mutable consumed_j : float;
   mutable harvested_j : float;
   mutable last_account : float;
-  mutable died_at : float option;
+  mutable died_at : float;  (** death instant; NaN while alive *)
+}
+
+type t = {
+  id : int;
+  income_multiplier : (float -> float) option;
+  lg : ledger;
   mutable crashed : bool;
 }
 
@@ -40,72 +49,77 @@ let create ?income_multiplier ?(extra_sleep = Power.zero) ~id ~(cfg : Fleet.tier
   let income_w = Power.to_watts (Supply.harvest_income supply) in
   {
     id;
-    capacity_j;
-    income_w;
     income_multiplier = (if income_w > 0.0 then income_multiplier else None);
-    regulator = supply.Supply.regulator_efficiency;
-    sleep_w = Power.to_watts cfg.Fleet.sleep_power +. Power.to_watts extra_sleep;
-    reserve_j = capacity_j;
-    consumed_j = 0.0;
-    harvested_j = 0.0;
-    last_account = 0.0;
-    died_at = None;
+    lg =
+      {
+        capacity_j;
+        income_w;
+        regulator = supply.Supply.regulator_efficiency;
+        sleep_w = Power.to_watts cfg.Fleet.sleep_power +. Power.to_watts extra_sleep;
+        reserve_j = capacity_j;
+        consumed_j = 0.0;
+        harvested_j = 0.0;
+        last_account = 0.0;
+        died_at = Float.nan;
+      };
     crashed = false;
   }
 
 let id t = t.id
-let alive t = t.died_at = None
+let alive t = Float.is_nan t.lg.died_at
 
 let account t ~now =
-  let dt = now -. t.last_account in
+  let lg = t.lg in
+  let dt = now -. lg.last_account in
   if dt > 0.0 && alive t then begin
-    let drain = t.sleep_w /. t.regulator *. dt in
+    let drain = lg.sleep_w /. lg.regulator *. dt in
     (* Diurnal multiplier at the interval midpoint, as in Lifetime_sim:
        the accounting period bounds the integration error. *)
     let scale =
       match t.income_multiplier with
       | None -> 1.0
-      | Some f -> f (t.last_account +. (0.5 *. dt))
+      | Some f -> f (lg.last_account +. (0.5 *. dt))
     in
-    let gain = t.income_w *. scale *. dt in
-    t.consumed_j <- t.consumed_j +. (t.sleep_w *. dt);
-    t.harvested_j <- t.harvested_j +. gain;
+    let gain = lg.income_w *. scale *. dt in
+    lg.consumed_j <- lg.consumed_j +. (lg.sleep_w *. dt);
+    lg.harvested_j <- lg.harvested_j +. gain;
     let net = drain -. gain in
-    let before = t.reserve_j in
-    t.reserve_j <- Float.min t.capacity_j (t.reserve_j -. net);
-    if t.reserve_j <= 0.0 && t.capacity_j > 0.0 then begin
+    let before = lg.reserve_j in
+    lg.reserve_j <- Float.min lg.capacity_j (lg.reserve_j -. net);
+    if lg.reserve_j <= 0.0 && lg.capacity_j > 0.0 then begin
       let rate = net /. dt in
-      let t_cross = if rate > 0.0 then t.last_account +. (before /. rate) else now in
-      t.died_at <- Some t_cross
+      lg.died_at <- (if rate > 0.0 then lg.last_account +. (before /. rate) else now)
     end
   end;
-  t.last_account <- now
+  lg.last_account <- now
 
 let charge t ~now joules =
   account t ~now;
   if alive t then begin
-    t.consumed_j <- t.consumed_j +. joules;
-    t.reserve_j <- t.reserve_j -. (joules /. t.regulator);
-    if t.reserve_j <= 0.0 && t.capacity_j > 0.0 then t.died_at <- Some now
+    let lg = t.lg in
+    lg.consumed_j <- lg.consumed_j +. joules;
+    lg.reserve_j <- lg.reserve_j -. (joules /. lg.regulator);
+    if lg.reserve_j <= 0.0 && lg.capacity_j > 0.0 then lg.died_at <- now
   end
 
 let crash t ~now =
   account t ~now;
   if alive t then begin
-    t.died_at <- Some now;
+    t.lg.died_at <- now;
     t.crashed <- true
   end
 
 let scale_battery t ~factor =
   if factor <= 0.0 then invalid_arg "Node_agent.scale_battery: non-positive factor";
-  if Float.is_finite t.capacity_j then begin
-    t.capacity_j <- t.capacity_j *. factor;
-    t.reserve_j <- t.reserve_j *. factor
+  let lg = t.lg in
+  if Float.is_finite lg.capacity_j then begin
+    lg.capacity_j <- lg.capacity_j *. factor;
+    lg.reserve_j <- lg.reserve_j *. factor
   end
 
-let reserve_j t = t.reserve_j
-let residual_energy t = Energy.joules (Float.max 0.0 t.reserve_j)
-let consumed_energy t = Energy.joules t.consumed_j
-let harvested_energy t = Energy.joules t.harvested_j
-let died_at t = Option.map Time_span.seconds t.died_at
+let reserve_j t = t.lg.reserve_j
+let residual_energy t = Energy.joules (Float.max 0.0 t.lg.reserve_j)
+let consumed_energy t = Energy.joules t.lg.consumed_j
+let harvested_energy t = Energy.joules t.lg.harvested_j
+let died_at t = if alive t then None else Some (Time_span.seconds t.lg.died_at)
 let is_crashed t = t.crashed

@@ -74,9 +74,14 @@ let monte_carlo ?(jobs = 1) spread ~dies ~seed =
     let rng = shard_rngs.(shard) in
     let lo = shard * monte_carlo_shard in
     let hi = Stdlib.min dies (lo + monte_carlo_shard) in
-    for i = lo to hi - 1 do
-      let die_shift = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma:sigma_die in
-      samples.(i) <- leakage_multiplier ~delta_vth_mv:die_shift *. within_mean
+    let len = hi - lo in
+    (* One block fill per shard: same stream order as the scalar
+       per-die draw, but allocation-free inside the block. *)
+    let shifts = Float.Array.create len in
+    Amb_sim.Rng.fill_gaussian rng ~mu:0.0 ~sigma:sigma_die shifts;
+    for i = 0 to len - 1 do
+      samples.(lo + i) <-
+        leakage_multiplier ~delta_vth_mv:(Float.Array.unsafe_get shifts i) *. within_mean
     done
   in
   if jobs <= 1 || shards = 1 then
@@ -85,7 +90,10 @@ let monte_carlo ?(jobs = 1) spread ~dies ~seed =
     ignore
       (Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
            Amb_sim.Domain_pool.run pool (Array.init shards (fun shard () -> fill shard))));
-  Array.sort Float.compare samples;
+  (* Unboxed in-place sort: Array.sort with Float.compare boxes both
+     floats at every comparison.  The samples are exp() outputs —
+     finite and positive — so the result is identical. *)
+  Amb_sim.Float_heap.sort_floats samples;
   let mean = Array.fold_left ( +. ) 0.0 samples /. Float.of_int dies in
   let quantile q = samples.(Stdlib.min (dies - 1) (int_of_float (q *. Float.of_int dies))) in
   let median = quantile 0.5 in
@@ -111,9 +119,20 @@ let yield_against_budget spread ~dies ~seed ~block_gates ~budget =
   let nominal = Power.to_watts spread.node.Process_node.leakage_per_gate *. block_gates in
   let budget_w = Power.to_watts budget in
   let pass = ref 0 in
-  for _ = 1 to dies do
-    let die_shift = Amb_sim.Rng.gaussian rng ~mu:0.0 ~sigma:sigma_die in
-    let leak = nominal *. leakage_multiplier ~delta_vth_mv:die_shift *. within_mean in
-    if leak <= budget_w then incr pass
+  (* Chunked block fills: stream order identical to per-die scalar
+     draws, allocation bounded by one buffer. *)
+  let buf = Float.Array.create (Stdlib.min monte_carlo_shard dies) in
+  let remaining = ref dies in
+  while !remaining > 0 do
+    let len = Stdlib.min (Float.Array.length buf) !remaining in
+    Amb_sim.Rng.fill_gaussian rng ~mu:0.0 ~sigma:sigma_die ~pos:0 ~len buf;
+    for i = 0 to len - 1 do
+      let leak =
+        nominal *. leakage_multiplier ~delta_vth_mv:(Float.Array.unsafe_get buf i)
+        *. within_mean
+      in
+      if leak <= budget_w then incr pass
+    done;
+    remaining := !remaining - len
   done;
   Float.of_int !pass /. Float.of_int dies

@@ -51,6 +51,39 @@ let next_interval rng t =
       Time_span.seconds (Rng.exponential rng ~mean:(1.0 /. rate_while_on_hz))
     else Time_span.seconds (off +. Rng.exponential rng ~mean:(1.0 /. rate_while_on_hz))
 
+(* Gaps per buffered block in {!sampler_s}: big enough to amortise the
+   fill call, small enough that an abandoned simulation run wastes a
+   negligible slice of the stream. *)
+let sampler_block = 256
+
+(** [sampler_s rng t] — a closure sampling successive gaps in seconds,
+    equivalent to [Time_span.to_seconds (next_interval rng t)] call for
+    call.  The Poisson case draws ahead in {!sampler_block}-sized
+    allocation-free blocks, so the sampler must own [rng]: interleaving
+    other draws on the same stream between calls would land between
+    block boundaries, not between gaps. *)
+let sampler_s rng t =
+  match t with
+  | Periodic { period } ->
+    let gap = Time_span.to_seconds period in
+    fun () -> gap
+  | Poisson { rate_hz } ->
+    let mean = 1.0 /. rate_hz in
+    let buf = Float.Array.create sampler_block in
+    let idx = ref sampler_block in
+    fun () ->
+      if !idx >= sampler_block then begin
+        Rng.fill_exponential rng ~mean buf;
+        idx := 0
+      end;
+      let gap = Float.Array.unsafe_get buf !idx in
+      incr idx;
+      gap
+  | On_off _ ->
+    (* Each gap interleaves a Bernoulli phase draw with the exponential,
+       so the scalar path already is the stream order. *)
+    fun () -> Time_span.to_seconds (next_interval rng t)
+
 (** [events_in rng t horizon] — sampled count of events in [horizon]
     (drawing successive intervals). *)
 let events_in rng t horizon =

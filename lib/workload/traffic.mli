@@ -23,5 +23,12 @@ val mean_rate : t -> float
 val next_interval : Rng.t -> t -> Time_span.t
 (** Sample the gap to the next event. *)
 
+val sampler_s : Rng.t -> t -> unit -> float
+(** [sampler_s rng t] — a gap sampler in seconds, call-for-call
+    equivalent to [Time_span.to_seconds (next_interval rng t)] but
+    drawing ahead in allocation-free blocks for the Poisson case.  The
+    sampler must be the only consumer of [rng]: other draws interleaved
+    on the same stream would land between its block boundaries. *)
+
 val events_in : Rng.t -> t -> Time_span.t -> int
 (** Sampled event count within a horizon. *)

@@ -164,6 +164,73 @@ let prop_rng_float_in_unit =
       done;
       !ok)
 
+(* --- Rng batch fills vs scalar draws --- *)
+
+(* The batch kernels must consume the stream in exactly the order the
+   scalar draws do: two generators with the same seed, one drained
+   scalar-wise and one through [fill_*] (at a random offset into a
+   larger buffer), must produce identical values — bit-for-bit, since
+   both paths run the same integer pipeline. *)
+let seed_len_pos =
+  QCheck.(triple (int_bound 1_000_000) (int_range 1 257) (int_bound 7))
+
+let prop_fill_floats_matches_scalar =
+  QCheck.Test.make ~name:"fill_floats matches scalar float draws" ~count:100 seed_len_pos
+    (fun (seed, len, pos) ->
+      let a = Amb_sim.Rng.create seed and b = Amb_sim.Rng.create seed in
+      let buf = Float.Array.make (pos + len + 3) Float.nan in
+      Amb_sim.Rng.fill_floats b ~pos ~len buf;
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if Float.Array.get buf (pos + i) <> Amb_sim.Rng.float a then ok := false
+      done;
+      (* Slice discipline: bytes outside [pos, pos+len) untouched. *)
+      for i = 0 to pos - 1 do
+        if not (Float.is_nan (Float.Array.get buf i)) then ok := false
+      done;
+      for i = pos + len to Float.Array.length buf - 1 do
+        if not (Float.is_nan (Float.Array.get buf i)) then ok := false
+      done;
+      !ok)
+
+let prop_fill_exponential_matches_scalar =
+  QCheck.Test.make ~name:"fill_exponential matches scalar draws" ~count:100 seed_len_pos
+    (fun (seed, len, pos) ->
+      let a = Amb_sim.Rng.create seed and b = Amb_sim.Rng.create seed in
+      let buf = Float.Array.create (pos + len) in
+      Amb_sim.Rng.fill_exponential b ~mean:2.5 ~pos ~len buf;
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if Float.Array.get buf (pos + i) <> Amb_sim.Rng.exponential a ~mean:2.5 then ok := false
+      done;
+      !ok)
+
+let prop_fill_gaussian_matches_scalar =
+  QCheck.Test.make ~name:"fill_gaussian matches scalar draws (pair cache included)"
+    ~count:100 seed_len_pos
+    (fun (seed, len, pos) ->
+      let a = Amb_sim.Rng.create seed and b = Amb_sim.Rng.create seed in
+      (* Odd leading scalar draw on both sides so the fill starts with a
+         cached Box-Muller spare half the time. *)
+      let lead = seed land 1 = 1 in
+      if lead then begin
+        let x = Amb_sim.Rng.gaussian a ~mu:0.0 ~sigma:1.0 in
+        let y = Amb_sim.Rng.gaussian b ~mu:0.0 ~sigma:1.0 in
+        if x <> y then QCheck.Test.fail_report "leading scalar draws diverge"
+      end;
+      let buf = Float.Array.create (pos + len) in
+      Amb_sim.Rng.fill_gaussian b ~mu:1.0 ~sigma:0.5 ~pos ~len buf;
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if Float.Array.get buf (pos + i) <> Amb_sim.Rng.gaussian a ~mu:1.0 ~sigma:0.5 then
+          ok := false
+      done;
+      (* And the streams stay in lockstep after the fill: an odd-length
+         fill must leave the same spare cached as the scalar path. *)
+      if Amb_sim.Rng.gaussian a ~mu:0.0 ~sigma:1.0 <> Amb_sim.Rng.gaussian b ~mu:0.0 ~sigma:1.0
+      then ok := false;
+      !ok)
+
 (* --- Modulation --- *)
 
 let prop_ber_bounded =
@@ -230,6 +297,9 @@ let suite =
       prop_dijkstra_triangle;
       prop_shortest_path_cost_matches_distance;
       prop_rng_float_in_unit;
+      prop_fill_floats_matches_scalar;
+      prop_fill_exponential_matches_scalar;
+      prop_fill_gaussian_matches_scalar;
       prop_ber_bounded;
       prop_packet_success_bounded;
       prop_path_loss_monotone;

@@ -182,6 +182,45 @@ let test_engine_allocation_free () =
     (allocated < 5_000.0);
   Alcotest.(check int) "events fired" 100_000 !count
 
+(* The stochastic-core counterpart of the engine budget above: 1M
+   uniform draws.  Through the batch kernel the whole run must stay
+   within a few hundred minor words (closure setup only).  The scalar
+   path pays exactly the cross-module float-return boxing (2 words per
+   draw on the non-flambda compiler) and nothing else — the native-int
+   splitmix64 core allocates no Int64 temporaries. *)
+let test_rng_allocation_budget () =
+  let open Amb_sim in
+  let draws = 1_000_000 in
+  let block = 4096 in
+  let rng = Rng.create 2024 in
+  let buf = Float.Array.create block in
+  (* Warm up so the closure and buffer are allocated before measuring. *)
+  Rng.fill_floats rng buf;
+  let before = Gc.minor_words () in
+  let remaining = ref draws in
+  while !remaining > 0 do
+    let len = Stdlib.min block !remaining in
+    Rng.fill_floats rng ~pos:0 ~len buf;
+    remaining := !remaining - len
+  done;
+  let batch_words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch kernel (%.0f words for %d draws)" batch_words draws)
+    true (batch_words < 10_000.0);
+  let sink = ref 0.0 in
+  let before = Gc.minor_words () in
+  for _ = 1 to draws do
+    sink := !sink +. Rng.float rng
+  done;
+  let scalar_words = Gc.minor_words () -. before in
+  ignore !sink;
+  (* Boxed return only: anything above ~2 words/draw means the RNG core
+     itself is allocating again. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "scalar path (%.0f words for %d draws)" scalar_words draws)
+    true
+    (scalar_words < 2.5e6)
+
 let suite =
   [ Alcotest.test_case "repair vs rebuild oracle: min-hop" `Slow
       (test_repair_matches_rebuild Routing.Min_hop);
@@ -193,4 +232,5 @@ let suite =
       test_non_tree_fade_noop;
     Alcotest.test_case "engine inner loop is allocation-free" `Quick
       test_engine_allocation_free;
+    Alcotest.test_case "rng draw budget: 1M draws" `Quick test_rng_allocation_budget;
   ]
