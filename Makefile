@@ -32,10 +32,13 @@ bench: build
 # digest gate, throwaway output file — for quick local sanity and CI.
 # --gc-stats re-runs every experiment once with allocation accounting and
 # hard-fails if the raw RNG draw kernels exceed their minor-word budget.
+# --fleet is the city-scale gate: 10^5 nodes, one simulated hour, and a
+# hard floor/ceiling on events/sec and peak heap words per node.
 bench-quick: build
 	dune exec bench/main.exe -- --quick --json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --gc-stats
+	dune exec bench/main.exe -- --fleet 100000 --json /tmp/amblib-bench-quick.json
 
 clean:
 	dune clean

@@ -202,6 +202,98 @@ module Json = struct
     v
 
   let member key = function Object kvs -> List.assoc_opt key kvs | _ -> None
+
+  (* Printer for read-modify-write updates of a snapshot (the --fleet
+     section merge).  Ints round-trip as ints; non-finite numbers as
+     null; objects and object lists are pretty-printed two-space
+     indented, everything else inline. *)
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b ~indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Number v ->
+      (* json_number's %.6g wherever it round-trips (so re-printing a
+         parsed snapshot is byte-stable), exact decimal for the wide
+         integers it would truncate (peak heap words, edge counts). *)
+      Buffer.add_string b
+        (if not (Float.is_finite v) then "null"
+         else
+           let s = Printf.sprintf "%.6g" v in
+           if float_of_string s = v then s
+           else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+           else Printf.sprintf "%.17g" v)
+    | String s -> Buffer.add_char b '"'; Buffer.add_string b (escape s); Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items when List.exists (function Object _ -> true | _ -> false) items ->
+      let pad = String.make indent ' ' in
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i v ->
+          Buffer.add_string b pad;
+          Buffer.add_string b "  ";
+          (* Flat records as list items (the experiment entries) stay on
+             one line, matching the snapshot writer's own layout. *)
+          (match v with
+          | Object ((_ :: _) as kvs)
+            when List.for_all (function _, (List _ | Object _) -> false | _ -> true) kvs ->
+            Buffer.add_string b "{ ";
+            List.iteri
+              (fun j (k, w) ->
+                if j > 0 then Buffer.add_string b ", ";
+                Buffer.add_char b '"';
+                Buffer.add_string b (escape k);
+                Buffer.add_string b "\": ";
+                write b ~indent w)
+              kvs;
+            Buffer.add_string b " }"
+          | v -> write b ~indent:(indent + 2) v);
+          Buffer.add_string b (if i = List.length items - 1 then "\n" else ",\n"))
+        items;
+      Buffer.add_string b pad;
+      Buffer.add_char b ']'
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          write b ~indent v)
+        items;
+      Buffer.add_char b ']'
+    | Object [] -> Buffer.add_string b "{}"
+    | Object kvs ->
+      let pad = String.make indent ' ' in
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          Buffer.add_string b pad;
+          Buffer.add_string b "  \"";
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write b ~indent:(indent + 2) v;
+          Buffer.add_string b (if i = List.length kvs - 1 then "\n" else ",\n"))
+        kvs;
+      Buffer.add_string b pad;
+      Buffer.add_char b '}'
+
+  let to_string json =
+    let b = Buffer.create 4096 in
+    write b ~indent:0 json;
+    Buffer.add_char b '\n';
+    Buffer.contents b
 end
 
 let read_file path =
@@ -585,6 +677,109 @@ let roundtrip_report path =
       exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* City-scale fleet gate: build an n-node Fleet.city, co-simulate one
+   hour of 600 s leaf reporting, and record throughput plus peak heap.
+   The hard gates catch the two city-scale failure modes this path
+   exists to prevent: falling off the O(n + edges) memory model (an
+   accidental n^2 structure blows the peak-words ceiling immediately)
+   and losing the amortized-O(1) event queue (events/sec collapses). *)
+
+let fleet_report_period_s = 600.0
+let fleet_horizon_s = 3600.0
+
+(* Floors/ceilings for the gated configuration (>= 10^5 nodes).  The
+   reference machine clears ~10x the events/sec floor and sits ~3x
+   under the words ceiling, so these trip on order-of-magnitude
+   regressions, not machine noise. *)
+let fleet_events_per_s_floor = 10_000.0
+let fleet_peak_words_per_node = 1_500.0
+let fleet_gate_nodes = 100_000
+
+let merge_fleet_section path fleet_json =
+  let base =
+    match read_file path with
+    | None -> [ ("schema", Json.String "amblib-bench/1") ]
+    | Some contents -> (
+      match Json.parse contents with
+      | exception Json.Parse_error _ -> [ ("schema", Json.String "amblib-bench/1") ]
+      | Json.Object kvs -> List.filter (fun (k, _) -> k <> "fleet") kvs
+      | _ -> [ ("schema", Json.String "amblib-bench/1") ])
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.Object (base @ [ ("fleet", fleet_json) ])));
+  close_out oc
+
+let run_fleet ~jobs ~nodes ~json_path =
+  let open Amb_units in
+  Printf.printf "=== city fleet: %d nodes, %.0f s report period, %.0f s horizon (jobs=%d) ===\n%!"
+    nodes fleet_report_period_s fleet_horizon_s jobs;
+  let t0 = wall_clock () in
+  let leaf =
+    Amb_system.Fleet.microwatt_leaf
+      ~report_period:(Time_span.seconds fleet_report_period_s) ()
+  in
+  let fleet = Amb_system.Fleet.city ~leaf ~jobs ~nodes ~seed:42 () in
+  let build_s = wall_clock () -. t0 in
+  let edges =
+    match Amb_net.Routing.adjacency fleet.Amb_system.Fleet.router with
+    | Some (offsets, _) -> offsets.(Array.length offsets - 1)
+    | None -> 0
+  in
+  Printf.printf "built in %.2f s (%d directed in-range edges)\n%!" build_s edges;
+  let cfg =
+    Amb_system.Cosim.config ~fleet ~horizon:(Time_span.seconds fleet_horizon_s) ()
+  in
+  let t1 = wall_clock () in
+  let outcome = Amb_system.Cosim.run cfg ~seed:7 in
+  let run_s = wall_clock () -. t1 in
+  let peak_words = Float.of_int (Gc.quick_stat ()).Gc.top_heap_words in
+  let events_per_s =
+    if run_s > 0.0 then Float.of_int outcome.Amb_system.Cosim.events /. run_s else Float.nan
+  in
+  Printf.printf
+    "ran %d events in %.2f s (%.0f events/s); %d/%d reports delivered, coverage %.3f\n"
+    outcome.Amb_system.Cosim.events run_s events_per_s outcome.Amb_system.Cosim.delivered
+    outcome.Amb_system.Cosim.generated outcome.Amb_system.Cosim.mean_coverage;
+  Printf.printf "peak heap %.0f words (%.0f words/node)\n%!" peak_words
+    (peak_words /. Float.of_int nodes);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    merge_fleet_section path
+      (Json.Object
+         [ ("nodes", Json.Number (Float.of_int nodes));
+           ("edges", Json.Number (Float.of_int edges));
+           ("report_period_s", Json.Number fleet_report_period_s);
+           ("horizon_s", Json.Number fleet_horizon_s);
+           ("build_s", Json.Number build_s);
+           ("run_s", Json.Number run_s);
+           ("events", Json.Number (Float.of_int outcome.Amb_system.Cosim.events));
+           ("events_per_s", Json.Number events_per_s);
+           ("peak_heap_words", Json.Number peak_words);
+           ("generated", Json.Number (Float.of_int outcome.Amb_system.Cosim.generated));
+           ("delivered", Json.Number (Float.of_int outcome.Amb_system.Cosim.delivered));
+           ("mean_coverage", Json.Number outcome.Amb_system.Cosim.mean_coverage);
+         ]);
+    Printf.printf "merged \"fleet\" section into %s\n" path);
+  if nodes >= fleet_gate_nodes then begin
+    let ceiling = fleet_peak_words_per_node *. Float.of_int nodes in
+    let failed = ref false in
+    if events_per_s < fleet_events_per_s_floor then begin
+      Printf.eprintf "fleet gate: %.0f events/s is below the %.0f floor\n" events_per_s
+        fleet_events_per_s_floor;
+      failed := true
+    end;
+    if peak_words > ceiling then begin
+      Printf.eprintf "fleet gate: peak heap %.0f words exceeds the %.0f ceiling (%.0f/node)\n"
+        peak_words ceiling fleet_peak_words_per_node;
+      failed := true
+    end;
+    if !failed then exit 1;
+    Printf.printf "fleet gate passed (floor %.0f events/s, ceiling %.0f words/node)\n"
+      fleet_events_per_s_floor fleet_peak_words_per_node
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -625,13 +820,21 @@ let () =
       Printf.eprintf "--time expects a positive run count, got %s\n" runs;
       exit 1)
   | _ :: "--time" :: id :: [] -> time_one id 5
+  | _ :: "--fleet" :: count :: rest -> (
+    match int_of_string_opt count with
+    | Some nodes when nodes >= 4 ->
+      let json_path = match rest with "--json" :: path :: _ -> Some path | _ -> None in
+      run_fleet ~jobs ~nodes ~json_path
+    | _ ->
+      Printf.eprintf "--fleet expects a node count >= 4, got %s\n" count;
+      exit 1)
   | _ :: "--gc-stats" :: _ -> gc_stats ()
   | _ :: "--check-json" :: path :: _ -> check_json path
   | _ :: "--roundtrip-report" :: path :: _ -> roundtrip_report path
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
-       --compare OLD NEW, --time ID N, --gc-stats, --check-json FILE, --roundtrip-report FILE)\n"
+       --compare OLD NEW, --time ID N, --fleet N [--json FILE], --gc-stats, --check-json FILE, --roundtrip-report FILE)\n"
       arg;
     exit 1
   | _ ->

@@ -76,7 +76,7 @@ let () =
   let rng = Amb_sim.Rng.create 80 in
   let topology = Amb_net.Topology.random rng ~nodes:40 ~width_m:220.0 ~height_m:220.0 in
   let link = Amb_radio.Link_budget.make ~radio ~channel:Amb_radio.Path_loss.indoor () in
-  let router = Amb_net.Routing.make ~topology ~link ~packet in
+  let router = Amb_net.Routing.make ~topology ~link ~packet () in
   let cfg =
     Amb_net.Net_sim.config ~router ~sink:0 ~policy:Amb_net.Routing.Min_energy
       ~report_period:(Time_span.seconds report_every)

@@ -305,7 +305,7 @@ let e11_ctx () =
   let radio = Radio_frontend.low_power_uhf in
   let link = Link_budget.make ~radio ~channel:Path_loss.indoor () in
   let packet = Packet.sensor_report in
-  (Amb_net.Routing.make ~topology ~link ~packet, nodes)
+  (Amb_net.Routing.make ~topology ~link ~packet (), nodes)
 
 let e11_row (router, nodes) policy =
   (* Each node dedicates 10% of a CR2032 to forwarding. *)
@@ -672,7 +672,7 @@ let e20_ctx () =
   let nodes = 30 in
   let topology = Amb_net.Topology.random rng ~nodes ~width_m:250.0 ~height_m:250.0 in
   let link = Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor () in
-  Amb_net.Routing.make ~topology ~link ~packet:Packet.sensor_report
+  Amb_net.Routing.make ~topology ~link ~packet:Packet.sensor_report ()
 
 let e20_row router policy =
   (* Small budgets so deaths happen within a tractable horizon. *)

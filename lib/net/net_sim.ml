@@ -153,7 +153,7 @@ let run cfg ~seed =
   let engine = Engine.create () in
   let st =
     {
-      tree = Route_tree.create ~n ~sink:cfg.sink;
+      tree = Route_tree.create ~n ~sink:cfg.sink ();
       residual = Array.init n (fun i -> Energy.to_joules (cfg.budget i));
       alive = Array.make n true;
       parent = Array.make n (-2);

@@ -33,11 +33,21 @@ type t = {
   mark : int array;  (** repair scratch: 0 unknown, 1 affected, 2 safe *)
   stack : int array;  (** repair scratch: parent-chain walk *)
   heap : Amb_sim.Float_heap.t;
+  csr_offsets : int array;  (** in-range adjacency rows; empty = dense all-pairs scan *)
+  csr_neighbors : int array;
 }
 
-let create ~n ~sink =
+let create ?csr ~n ~sink () =
   if n <= 0 then invalid_arg "Route_tree.create: non-positive node count";
   if sink < 0 || sink >= n then invalid_arg "Route_tree.create: sink outside 0..n-1";
+  let csr_offsets, csr_neighbors =
+    match csr with
+    | None -> ([||], [||])
+    | Some (offsets, neighbors) ->
+      if Array.length offsets <> n + 1 then
+        invalid_arg "Route_tree.create: csr offsets must have length n+1";
+      (offsets, neighbors)
+  in
   {
     n;
     sink;
@@ -47,6 +57,8 @@ let create ~n ~sink =
     mark = Array.make n 0;
     stack = Array.make n 0;
     heap = Amb_sim.Float_heap.create ~capacity:(Stdlib.max 16 n) ();
+    csr_offsets;
+    csr_neighbors;
   }
 
 let node_count t = t.n
@@ -58,10 +70,28 @@ let cost t i = t.dist.(i)
    by [admit].  Mirrors Graph.dijkstra exactly: stale-entry skip via
    [d <= dist], strict-improvement predecessor updates, and neighbours
    visited in descending id — Graph stores edges in ascending insertion
-   order and iterates them most-recent-first. *)
+   order and iterates them most-recent-first.  With a CSR adjacency the
+   relaxation runs over [u]'s in-range row only (descending, mirroring
+   the dense order restricted to the row) — O(edges) per sweep instead
+   of O(n²); out-of-row pairs have NaN weight in every policy, so the
+   restriction drops no edge. *)
+let[@inline] relax t ~weight ~alive ~admit ~u ~base j =
+  if j <> u && admit j && alive j then begin
+    let w = weight u j in
+    if not (Float.is_nan w) then begin
+      let candidate = base +. w in
+      if candidate < t.dist.(j) then begin
+        t.dist.(j) <- candidate;
+        t.prev.(j) <- u;
+        Amb_sim.Float_heap.push t.heap ~key:candidate j
+      end
+    end
+  end
+
 let sweep t ~weight ~alive ~admit =
-  let dist = t.dist and prev = t.prev and visited = t.visited in
+  let dist = t.dist and visited = t.visited in
   let n = t.n in
+  let sparse = Array.length t.csr_offsets > 0 in
   let rec loop () =
     match Amb_sim.Float_heap.pop_min t.heap with
     | None -> ()
@@ -69,19 +99,14 @@ let sweep t ~weight ~alive ~admit =
       if (not visited.(u)) && d <= dist.(u) && alive u then begin
         visited.(u) <- true;
         let base = dist.(u) in
-        for j = n - 1 downto 0 do
-          if j <> u && admit j && alive j then begin
-            let w = weight u j in
-            if not (Float.is_nan w) then begin
-              let candidate = base +. w in
-              if candidate < dist.(j) then begin
-                dist.(j) <- candidate;
-                prev.(j) <- u;
-                Amb_sim.Float_heap.push t.heap ~key:candidate j
-              end
-            end
-          end
-        done
+        if sparse then
+          for k = t.csr_offsets.(u + 1) - 1 downto t.csr_offsets.(u) do
+            relax t ~weight ~alive ~admit ~u ~base t.csr_neighbors.(k)
+          done
+        else
+          for j = n - 1 downto 0 do
+            relax t ~weight ~alive ~admit ~u ~base j
+          done
       end;
       loop ()
   in
@@ -147,20 +172,32 @@ let repair_from t ~weight ~alive ~root =
     end
   done;
   Amb_sim.Float_heap.clear t.heap;
+  (* Best link into [v] from the intact region; ascending [u] (a CSR row
+     is ascending too, and omits only NaN-weight pairs, so both paths
+     pick the same boundary edge). *)
+  let seed_from v u =
+    if mark.(u) = 2 && u <> v && alive u && dist.(u) < Float.infinity then begin
+      let w = weight u v in
+      if not (Float.is_nan w) then begin
+        let candidate = dist.(u) +. w in
+        if candidate < dist.(v) then begin
+          dist.(v) <- candidate;
+          prev.(v) <- u
+        end
+      end
+    end
+  in
+  let sparse = Array.length t.csr_offsets > 0 in
   for v = 0 to n - 1 do
     if mark.(v) = 1 && alive v then begin
-      for u = 0 to n - 1 do
-        if mark.(u) = 2 && u <> v && alive u && dist.(u) < Float.infinity then begin
-          let w = weight u v in
-          if not (Float.is_nan w) then begin
-            let candidate = dist.(u) +. w in
-            if candidate < dist.(v) then begin
-              dist.(v) <- candidate;
-              prev.(v) <- u
-            end
-          end
-        end
-      done;
+      if sparse then
+        for k = t.csr_offsets.(v) to t.csr_offsets.(v + 1) - 1 do
+          seed_from v t.csr_neighbors.(k)
+        done
+      else
+        for u = 0 to n - 1 do
+          seed_from v u
+        done;
       if dist.(v) < Float.infinity then Amb_sim.Float_heap.push t.heap ~key:dist.(v) v
     end
   done;

@@ -14,10 +14,16 @@
 
 type t
 
-val create : n:int -> sink:int -> t
+val create : ?csr:int array * int array -> n:int -> sink:int -> unit -> t
 (** Fresh tree over [n] nodes rooted at [sink]; every node starts
-    unreachable.  Raises [Invalid_argument] on empty networks or a sink
-    outside [0..n-1]. *)
+    unreachable.  [csr] is an optional in-range adjacency
+    [(offsets, neighbors)] (as {!Routing.adjacency} returns): when
+    present, rebuilds and repairs relax only the listed pairs —
+    O(edges) per sweep instead of O(n²) — which is exact as long as
+    every off-row pair has NaN weight (true for range-limited radio
+    policies; fades only shrink the in-range set).  Raises
+    [Invalid_argument] on empty networks, a sink outside [0..n-1], or
+    offsets not of length [n+1]. *)
 
 val node_count : t -> int
 val sink : t -> int

@@ -6,7 +6,18 @@
     - [Min_hop] — fewest transmissions;
     - [Min_energy] — least total energy per delivered bit;
     - [Max_lifetime] — avoid draining bottleneck nodes (energy cost scaled
-      by the inverse of the forwarder's residual energy). *)
+      by the inverse of the forwarder's residual energy).
+
+    Per-pair storage is two-tier.  Below {!default_dense_threshold} nodes
+    the historic flat n×n joule grid is materialised — O(n²) memory, O(1)
+    lookup, byte-identical behaviour for every existing experiment.
+    Above it, only the in-range pairs exist: a CSR adjacency (offsets /
+    neighbour ids / per-edge TX joules) built from a {!Spatial} grid
+    range query, O(n + edges) memory and build time, with per-pair
+    lookups answered by a binary search of the (short, sorted) neighbour
+    row.  The CSR edge-energy fill is embarrassingly parallel and shards
+    across {!Amb_sim.Domain_pool} — it is a pure function of the node
+    positions, so the result is bitwise independent of [jobs]. *)
 
 open Amb_units
 open Amb_radio
@@ -18,15 +29,23 @@ let policy_name = function
   | Min_energy -> "min-energy"
   | Max_lifetime -> "max-lifetime"
 
+type pair_cache =
+  | Dense of float array  (** flat n*n per-pair TX-side joules; NaN = out of range *)
+  | Sparse of {
+      offsets : int array;  (** length n+1; row [i] is [offsets.(i) .. offsets.(i+1) - 1] *)
+      neighbors : int array;  (** in-range neighbour ids, ascending within a row *)
+      edge_tx_j : float array;  (** TX-side joules, parallel to [neighbors] *)
+    }
+
 type t = {
   topology : Topology.t;
   link : Link_budget.t;
   packet : Packet.t;
   range_m : float;
-  tx_j : float array;  (** flat n*n per-pair TX-side joules; NaN = out of range *)
+  cache : pair_cache;  (** per-pair TX joules: dense grid or CSR adjacency *)
   rx_j : float;  (** RX-side joules per packet (distance-independent) *)
   tx_memo : (float, float) Hashtbl.t;
-      (** distance (m) -> TX-side joules, for lookups off the pair grid
+      (** distance (m) -> TX-side joules, for lookups off the pair cache
           (faded links, ad-hoc hops); owned by this router instance and
           unsynchronised — parallel shards each build their own router *)
 }
@@ -54,34 +73,137 @@ let tx_energy_j_at router ~distance_m =
     Hashtbl.add router.tx_memo distance_m e;
     e
 
-let make ~topology ~link ~packet =
+(* Above this node count the n×n grid gives way to the CSR adjacency.
+   The dense grid at the threshold is ~8 MB; everything the experiment
+   suite builds sits far below it, so all existing digests stay on the
+   dense path. *)
+let default_dense_threshold = 1024
+
+(* CSR adjacency over the in-range pairs, neighbours ascending per row.
+   Build: grid range queries for structure (counting pass + fill pass +
+   per-row insertion sort — rows are O(average degree)), then the edge
+   energy fill, optionally sharded across a domain pool in contiguous
+   edge-slot chunks (each edge's energy is a pure function of its
+   endpoint positions, so sharding cannot move a bit). *)
+let build_sparse ~topology ~link ~packet ~range_m ~jobs =
+  let n = Topology.node_count topology in
+  let index = Topology.spatial topology ~cell_m:range_m in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- Spatial.degree index i ~range_m
+  done;
+  for i = 1 to n do
+    offsets.(i) <- offsets.(i) + offsets.(i - 1)
+  done;
+  let edges = offsets.(n) in
+  let neighbors = Array.make edges 0 in
+  for i = 0 to n - 1 do
+    let lo = offsets.(i) in
+    let cursor = ref lo in
+    Spatial.iter_within index i ~range_m (fun j _ ->
+        neighbors.(!cursor) <- j;
+        incr cursor);
+    (* Grid enumeration is cell-major; restore ascending ids so per-pair
+       lookups can binary-search the row. *)
+    for k = lo + 1 to !cursor - 1 do
+      let v = neighbors.(k) in
+      let p = ref k in
+      while !p > lo && neighbors.(!p - 1) > v do
+        neighbors.(!p) <- neighbors.(!p - 1);
+        decr p
+      done;
+      neighbors.(!p) <- v
+    done
+  done;
+  let edge_tx_j = Array.make edges Float.nan in
+  (* Edge slot -> owning row, for chunked parallel filling. *)
+  let row_of = Array.make (Stdlib.max 1 edges) 0 in
+  for i = 0 to n - 1 do
+    for k = offsets.(i) to offsets.(i + 1) - 1 do
+      row_of.(k) <- i
+    done
+  done;
+  let fill lo hi =
+    for k = lo to hi - 1 do
+      let i = row_of.(k) and j = neighbors.(k) in
+      let d = Topology.pair_distance topology i j in
+      edge_tx_j.(k) <- tx_joules ~link ~packet ~distance_m:d
+    done
+  in
+  let jobs = Stdlib.max 1 jobs in
+  if jobs = 1 || edges < 4096 then fill 0 edges
+  else begin
+    let chunk = (edges + (4 * jobs) - 1) / (4 * jobs) in
+    let chunks = (edges + chunk - 1) / chunk in
+    ignore
+      (Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
+           Amb_sim.Domain_pool.run pool
+             (Array.init chunks (fun c () ->
+                  fill (c * chunk) (Stdlib.min edges ((c + 1) * chunk))))))
+  end;
+  Sparse { offsets; neighbors; edge_tx_j }
+
+let make ?dense_threshold ?(jobs = 1) ~topology ~link ~packet () =
+  let dense_threshold =
+    match dense_threshold with Some t -> t | None -> default_dense_threshold
+  in
   let range_m = Link_budget.max_range link ~tx_dbm:link.Link_budget.radio.Amb_circuit.Radio_frontend.max_tx_dbm in
   let n = Topology.node_count topology in
-  let tx_j = Array.make (n * n) Float.nan in
   let rx_j =
     Energy.to_joules
       (Amb_circuit.Radio_frontend.receive_energy link.Link_budget.radio
          ~bits:(Packet.total_bits packet) ~include_startup:true)
   in
-  let router =
-    { topology; link; packet; range_m; tx_j; rx_j; tx_memo = Hashtbl.create 64 }
-  in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let d = Topology.pair_distance topology i j in
-      if d <= range_m then begin
-        let e = tx_energy_j_at router ~distance_m:d in
-        tx_j.((i * n) + j) <- e;
-        tx_j.((j * n) + i) <- e
-      end
-    done
-  done;
-  router
+  if n > dense_threshold then
+    let cache = build_sparse ~topology ~link ~packet ~range_m ~jobs in
+    { topology; link; packet; range_m; cache; rx_j; tx_memo = Hashtbl.create 64 }
+  else begin
+    let tx_j = Array.make (n * n) Float.nan in
+    let router =
+      { topology; link; packet; range_m; cache = Dense tx_j; rx_j;
+        tx_memo = Hashtbl.create 64 }
+    in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = Topology.pair_distance topology i j in
+        if d <= range_m then begin
+          let e = tx_energy_j_at router ~distance_m:d in
+          tx_j.((i * n) + j) <- e;
+          tx_j.((j * n) + i) <- e
+        end
+      done
+    done;
+    router
+  end
+
+(** [adjacency router] — the CSR structure (offsets, neighbour ids) when
+    the router runs sparse; [None] on the dense grid.  Consumers
+    (Route_tree sweeps, Cosim) use it to visit only in-range pairs. *)
+let adjacency router =
+  match router.cache with
+  | Dense _ -> None
+  | Sparse { offsets; neighbors; _ } -> Some (offsets, neighbors)
 
 (** [sender_energy_j router i j] — cached TX-side joules for the pair;
-    NaN when out of range. *)
+    NaN when out of range.  O(1) on the dense grid, O(log degree) on the
+    CSR rows. *)
 let sender_energy_j router i j =
-  router.tx_j.((i * Topology.node_count router.topology) + j)
+  match router.cache with
+  | Dense tx_j -> tx_j.((i * Topology.node_count router.topology) + j)
+  | Sparse { offsets; neighbors; edge_tx_j } ->
+    let lo = ref offsets.(i) and hi = ref (offsets.(i + 1) - 1) in
+    let result = ref Float.nan in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = Array.unsafe_get neighbors mid in
+      if v = j then begin
+        result := Array.unsafe_get edge_tx_j mid;
+        lo := !hi + 1
+      end
+      else if v < j then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !result
 
 (** [receiver_energy_j router] — cached RX-side joules per packet. *)
 let receiver_energy_j router = router.rx_j
@@ -101,27 +223,37 @@ let hop_energy router ~distance_m =
     entirely from the per-pair energy cache (no link-budget math).
     [residual] gives each node's remaining energy (used by
     [Max_lifetime]); pass the same value for all nodes to recover
-    [Min_energy] behaviour. *)
+    [Min_energy] behaviour.  Edge insertion order (ascending source, then
+    ascending destination) is identical on both cache tiers. *)
 let build_graph router ~policy ~residual =
   let n = Topology.node_count router.topology in
   let g = Graph.create n in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if i <> j then begin
-        let joules = router.tx_j.((i * n) + j) +. router.rx_j in
-        if not (Float.is_nan joules) then
-          let weight =
-            match policy with
-            | Min_hop -> 1.0
-            | Min_energy -> joules
-            | Max_lifetime ->
-              let r = Energy.to_joules (residual i) in
-              if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
-          in
-          Graph.add_edge g ~src:i ~dst:j ~weight
-      end
+  let add i j tx =
+    let joules = tx +. router.rx_j in
+    if not (Float.is_nan joules) then
+      let weight =
+        match policy with
+        | Min_hop -> 1.0
+        | Min_energy -> joules
+        | Max_lifetime ->
+          let r = Energy.to_joules (residual i) in
+          if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
+      in
+      Graph.add_edge g ~src:i ~dst:j ~weight
+  in
+  (match router.cache with
+  | Dense tx_j ->
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then add i j tx_j.((i * n) + j)
+      done
     done
-  done;
+  | Sparse { offsets; neighbors; edge_tx_j } ->
+    for i = 0 to n - 1 do
+      for k = offsets.(i) to offsets.(i + 1) - 1 do
+        add i neighbors.(k) edge_tx_j.(k)
+      done
+    done);
   g
 
 (** [route router ~policy ~residual ~src ~dst] — the chosen path, or

@@ -10,12 +10,21 @@ type policy = Min_hop | Min_energy | Max_lifetime
 
 val policy_name : policy -> string
 
+type pair_cache =
+  | Dense of float array
+      (** flat n*n per-pair TX-side joules; NaN = out of range *)
+  | Sparse of {
+      offsets : int array;  (** length n+1; CSR row bounds *)
+      neighbors : int array;  (** in-range neighbour ids, ascending per row *)
+      edge_tx_j : float array;  (** TX-side joules, parallel to [neighbors] *)
+    }  (** only the in-range pairs — O(n + edges) memory for city-scale fleets *)
+
 type t = {
   topology : Topology.t;
   link : Link_budget.t;
   packet : Packet.t;
   range_m : float;
-  tx_j : float array;  (** flat n*n per-pair TX-side joules; NaN = out of range *)
+  cache : pair_cache;  (** per-pair TX joules: dense below the size threshold, CSR above *)
   rx_j : float;  (** RX-side joules per packet (distance-independent) *)
   tx_memo : (float, float) Hashtbl.t;
       (** distance (m) -> TX-side joules for off-grid lookups (faded
@@ -24,10 +33,32 @@ type t = {
           router (the experiment suite already does). *)
 }
 
-val make : topology:Topology.t -> link:Link_budget.t -> packet:Packet.t -> t
+val default_dense_threshold : int
+(** Node count above which {!make} switches from the n×n grid to the CSR
+    adjacency (1024). *)
+
+val make :
+  ?dense_threshold:int ->
+  ?jobs:int ->
+  topology:Topology.t ->
+  link:Link_budget.t ->
+  packet:Packet.t ->
+  unit ->
+  t
 (** The radio range is derived from the link budget at maximum TX power.
-    The symmetric per-pair link-energy cache is computed here, once, and
-    reused by every tree rebuild under every policy. *)
+    The per-pair link-energy cache is computed here, once, and reused by
+    every tree rebuild under every policy.  At or below
+    [dense_threshold] (default {!default_dense_threshold}) nodes the
+    historic symmetric n×n grid is materialised; above it only the
+    in-range pairs are stored (CSR via a {!Spatial} grid query), and
+    [jobs] > 1 shards the edge-energy fill across a domain pool — the
+    cache is a pure function of the positions, so the result is bitwise
+    independent of [jobs]. *)
+
+val adjacency : t -> (int array * int array) option
+(** [(offsets, neighbors)] of the CSR in-range structure when the router
+    runs sparse; [None] on the dense grid.  Route-tree sweeps use it to
+    relax only in-range pairs. *)
 
 val hop_energy : t -> distance_m:float -> Energy.t option
 (** Energy to move one packet one hop: minimum closing TX energy plus RX
@@ -40,7 +71,8 @@ val tx_energy_j_at : t -> distance_m:float -> float
 
 val sender_energy_j : t -> int -> int -> float
 (** Cached TX-side joules to move one packet between a node pair; NaN
-    when the pair is out of radio range. *)
+    when the pair is out of radio range.  O(1) on the dense grid,
+    O(log degree) on the CSR rows. *)
 
 val receiver_energy_j : t -> float
 (** Cached RX-side joules per packet. *)

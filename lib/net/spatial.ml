@@ -1,0 +1,111 @@
+(** Uniform-grid spatial index over node positions (see .mli).
+
+    Buckets are laid out CSR-style in two flat int arrays (counting
+    sort), so building is O(n + cells) with no per-cell allocation and
+    queries touch only the cell ring covering the query disc.  Node ids
+    inside a cell are ascending (the counting sort fills them in id
+    order), which keeps query results deterministic.
+
+    Distances are computed with the same [Float.hypot] as
+    {!Topology.distance}, so a spatial query returns bit-identical
+    distances to the brute-force pair scan it replaces. *)
+
+type t = {
+  xs : float array;
+  ys : float array;
+  cell_m : float;  (** actual cell edge after the cell-count clamp *)
+  cols : int;
+  rows : int;
+  start : int array;  (** cell -> first slot in [order]; length cols*rows+1 *)
+  order : int array;  (** node ids grouped by cell, ascending within a cell *)
+}
+
+(* Cap the bucket array so a tiny cell size over a huge field cannot
+   allocate more cells than nodes justify: past ~4 cells per node the
+   grid only wastes memory and cache. *)
+let max_cells n = Stdlib.max 64 (4 * Stdlib.max 1 n)
+
+let[@inline] clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let make ~xs ~ys ~width_m ~height_m ~cell_m =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Spatial.make: coordinate arrays differ in length";
+  if width_m <= 0.0 || height_m <= 0.0 then invalid_arg "Spatial.make: non-positive field";
+  if not (cell_m > 0.0) then invalid_arg "Spatial.make: non-positive cell size";
+  let cols0 = 1 + int_of_float (width_m /. cell_m)
+  and rows0 = 1 + int_of_float (height_m /. cell_m) in
+  (* Inflate the cell edge until the grid fits the cell budget. *)
+  let budget = max_cells n in
+  let cell_m =
+    if cols0 * rows0 <= budget then cell_m
+    else begin
+      let scale = Float.sqrt (Float.of_int (cols0 * rows0) /. Float.of_int budget) in
+      cell_m *. scale
+    end
+  in
+  let cols = Stdlib.max 1 (1 + int_of_float (width_m /. cell_m))
+  and rows = Stdlib.max 1 (1 + int_of_float (height_m /. cell_m)) in
+  let cells = cols * rows in
+  let start = Array.make (cells + 1) 0 in
+  let cell_of i =
+    let cx = clamp 0 (cols - 1) (int_of_float (xs.(i) /. cell_m))
+    and cy = clamp 0 (rows - 1) (int_of_float (ys.(i) /. cell_m)) in
+    (cy * cols) + cx
+  in
+  for i = 0 to n - 1 do
+    let c = cell_of i in
+    start.(c + 1) <- start.(c + 1) + 1
+  done;
+  for c = 1 to cells do
+    start.(c) <- start.(c) + start.(c - 1)
+  done;
+  let cursor = Array.copy start in
+  let order = Array.make n 0 in
+  (* Ascending pass: within each cell the ids come out ascending. *)
+  for i = 0 to n - 1 do
+    let c = cell_of i in
+    order.(cursor.(c)) <- i;
+    cursor.(c) <- cursor.(c) + 1
+  done;
+  { xs; ys; cell_m; cols; rows; start; order }
+
+let node_count t = Array.length t.xs
+let cell_m t = t.cell_m
+
+(** [iter_within t i ~range_m f] — call [f j d] for every node [j <> i]
+    with [d = distance i j <= range_m].  Visits candidates cell by cell
+    (row-major over the covering ring), ids ascending within a cell. *)
+let iter_within t i ~range_m f =
+  if range_m > 0.0 then begin
+    let x = t.xs.(i) and y = t.ys.(i) in
+    let r_cells = int_of_float (Float.ceil (range_m /. t.cell_m)) in
+    let cx = clamp 0 (t.cols - 1) (int_of_float (x /. t.cell_m))
+    and cy = clamp 0 (t.rows - 1) (int_of_float (y /. t.cell_m)) in
+    let x0 = Stdlib.max 0 (cx - r_cells) and x1 = Stdlib.min (t.cols - 1) (cx + r_cells) in
+    let y0 = Stdlib.max 0 (cy - r_cells) and y1 = Stdlib.min (t.rows - 1) (cy + r_cells) in
+    for gy = y0 to y1 do
+      for gx = x0 to x1 do
+        let c = (gy * t.cols) + gx in
+        for k = t.start.(c) to t.start.(c + 1) - 1 do
+          let j = t.order.(k) in
+          if j <> i then begin
+            let d = Float.hypot (t.xs.(j) -. x) (t.ys.(j) -. y) in
+            if d <= range_m then f j d
+          end
+        done
+      done
+    done
+  end
+
+(** [neighbors_within t i ~range_m] — ascending ids within range of [i];
+    identical to the brute-force ascending pair scan. *)
+let neighbors_within t i ~range_m =
+  let acc = ref [] in
+  iter_within t i ~range_m (fun j _ -> acc := j :: !acc);
+  List.sort Stdlib.compare !acc
+
+(** [degree t i ~range_m] — number of nodes within range of [i]. *)
+let degree t i ~range_m =
+  let k = ref 0 in
+  iter_within t i ~range_m (fun _ _ -> incr k);
+  !k

@@ -1,0 +1,40 @@
+(** Uniform-grid spatial index over node positions.
+
+    The city-scale fast path: {!Topology.connectivity},
+    {!Topology.neighbors_within} and the sparse {!Routing} cache replace
+    their all-pairs O(n²) scans with range queries against this grid,
+    whose cell edge is tied to the radio range so a query touches a
+    constant-size cell ring.  Build is O(n + cells), memory O(n + cells),
+    and the cell count is clamped to O(n) regardless of the requested
+    cell size.
+
+    Queries return bit-identical distances to the brute-force scan (the
+    same [Float.hypot] on the same coordinates), so swapping the index in
+    never moves an experiment digest — property-tested against the pair
+    scan on random topologies. *)
+
+type t
+
+val make :
+  xs:float array -> ys:float array -> width_m:float -> height_m:float -> cell_m:float -> t
+(** Index of points [(xs.(i), ys.(i))] in a [width_m] x [height_m] field
+    with cells of roughly [cell_m] on a side (inflated when a smaller
+    cell would exceed the O(n) cell budget).  Raises [Invalid_argument]
+    on mismatched arrays, a non-positive field or cell size. *)
+
+val node_count : t -> int
+
+val cell_m : t -> float
+(** Actual cell edge after clamping. *)
+
+val iter_within : t -> int -> range_m:float -> (int -> float -> unit) -> unit
+(** [iter_within t i ~range_m f] calls [f j d] for every node [j <> i]
+    within [range_m] of node [i] ([d] is their exact distance).
+    Deterministic order: cells row-major over the covering ring, ids
+    ascending within a cell — not globally sorted. *)
+
+val neighbors_within : t -> int -> range_m:float -> int list
+(** Ascending node ids within range — element-for-element identical to
+    the brute-force ascending pair scan. *)
+
+val degree : t -> int -> range_m:float -> int

@@ -1,0 +1,50 @@
+(** Calendar event queue (Brown 1988): amortized O(1) enqueue/dequeue
+    for city-scale pending-event populations, with the exact
+    (time, sequence) pop order of the engine's binary heap.
+
+    Events carry an unboxed float time, an int sequence number (equal
+    times pop in ascending sequence — FIFO when the caller numbers
+    pushes monotonically) and two caller payload slots.  Storage is
+    struct-of-arrays with intrusive per-bucket chains, so steady-state
+    push/pop allocate nothing; [pop] hands the event back through
+    out-fields instead of a tuple.  Far-future and non-finite times are
+    parked on an overflow chain, so any float time except NaN is
+    accepted.  The structure resizes itself (bucket count and width) as
+    the population changes.  Single-domain use only. *)
+
+type ('a, 'b) t
+
+type fcell = { mutable f : float }
+(** A float alone in an all-float record: reads of [.f] are raw double
+    loads. *)
+
+val create : ?buckets:int -> null_a:'a -> null_b:'b -> unit -> ('a, 'b) t
+(** Empty queue.  [buckets] (default 16, rounded up to a power of two)
+    sizes the initial calendar; it adapts from there.  [null_a] and
+    [null_b] are placeholder payloads used to release slots to the GC
+    after a pop. *)
+
+val length : ('a, 'b) t -> int
+
+val push : ('a, 'b) t -> time:float -> seq:int -> 'a -> 'b -> unit
+(** Enqueue at absolute [time] with tie-break [seq].  Raises
+    [Invalid_argument] on NaN times; any other float (including
+    [infinity]) is accepted. *)
+
+val min_time : ('a, 'b) t -> float
+(** Earliest pending time without removing the event ([infinity] when
+    empty).  The search result is cached, so a [min_time]-then-[pop]
+    pair costs one search. *)
+
+val pop : ('a, 'b) t -> bool
+(** Remove the earliest event, filling the out-fields below; [false]
+    when empty.  The out-fields keep their values until the next
+    [pop]. *)
+
+val out_time : ('a, 'b) t -> float
+val out_time_cell : ('a, 'b) t -> fcell
+(** The popped time as a raw-load cell (read-only for callers). *)
+
+val out_seq : ('a, 'b) t -> int
+val out_a : ('a, 'b) t -> 'a
+val out_b : ('a, 'b) t -> 'b

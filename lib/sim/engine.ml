@@ -31,11 +31,22 @@ type t = {
   mutable running : bool;
   mutable executed : int;
   trace : Trace.t option;  (** optional schedule/fire recorder *)
+  calendar_threshold : int;
+  mutable cal : (t -> unit, string) Calendar_queue.t option;
+      (** calendar queue the pending set migrates into once it outgrows
+          [calendar_threshold]; [None] = binary heap (the historic
+          path every existing experiment stays on) *)
 }
 
 let nop (_ : t) = ()
 
-let create ?trace () =
+(* Pending-event population above which the binary heap hands over to
+   the calendar queue.  Every experiment in the suite keeps well under
+   a thousand events in flight, so the heap (and its byte-exact event
+   chronology) remains their path; only city-scale fleets migrate. *)
+let default_calendar_threshold = 4096
+
+let create ?trace ?(calendar_threshold = default_calendar_threshold) () =
   {
     times = Array.make 16 0.0;
     seqs = Array.make 16 0;
@@ -48,6 +59,8 @@ let create ?trace () =
     running = false;
     executed = 0;
     trace;
+    calendar_threshold;
+    cal = None;
   }
 
 let grow engine =
@@ -66,6 +79,27 @@ let grow engine =
   engine.fns <- fns;
   engine.labels <- labels
 
+(* One-way hand-over from the binary heap to the calendar queue once
+   the pending population outgrows the threshold.  (time, seq) pairs
+   carry over verbatim, so the pop order is unchanged — the calendar
+   sorts them itself, heap order is irrelevant here. *)
+let migrate engine =
+  let q =
+    Calendar_queue.create
+      ~buckets:(2 * engine.calendar_threshold)
+      ~null_a:nop ~null_b:"" ()
+  in
+  for i = 0 to engine.size - 1 do
+    Calendar_queue.push q ~time:engine.times.(i) ~seq:engine.seqs.(i) engine.fns.(i)
+      engine.labels.(i)
+  done;
+  engine.times <- Array.make 16 0.0;
+  engine.seqs <- Array.make 16 0;
+  engine.fns <- Array.make 16 nop;
+  engine.labels <- Array.make 16 "";
+  engine.size <- 0;
+  engine.cal <- Some q
+
 (* Every insertion goes through here so the trace sees each scheduling,
    including the internal re-arming of periodic processes.  The event
    time arrives in [engine.at] rather than as an argument: a float
@@ -78,6 +112,15 @@ let push_at engine ~label fn =
   (match engine.trace with
   | None -> ()
   | Some tr -> Trace.record tr ~time:engine.clock.v ("schedule:" ^ label));
+  (match engine.cal with
+  | None when engine.size >= engine.calendar_threshold -> migrate engine
+  | _ -> ());
+  match engine.cal with
+  | Some q ->
+    let seq = engine.next_seq in
+    engine.next_seq <- seq + 1;
+    Calendar_queue.push q ~time ~seq fn label
+  | None ->
   if engine.size >= Array.length engine.times then grow engine;
   let seq = engine.next_seq in
   engine.next_seq <- seq + 1;
@@ -115,7 +158,8 @@ let now engine = Time_span.seconds engine.clock.v
 let event_count engine = engine.executed
 
 (** [pending engine] — number of scheduled, not-yet-run callbacks. *)
-let pending engine = engine.size
+let pending engine =
+  match engine.cal with None -> engine.size | Some q -> Calendar_queue.length q
 
 (** [schedule_at_s engine time callback] — [schedule_at] on raw
     seconds. *)
@@ -170,13 +214,41 @@ let schedule ?label engine ~delay callback =
 (** [stop engine] — abort the run after the current callback returns. *)
 let stop engine = engine.running <- false
 
+(* One calendar-queue event: peek (cached by the queue), honour the
+   horizon, pop through the out-fields and fire.  Same chronology and
+   trace discipline as the heap path. *)
+let step_calendar engine q ~limit looping =
+  if Calendar_queue.length q = 0 then looping := false
+  else begin
+    let time = Calendar_queue.min_time q in
+    if time > limit then begin
+      engine.clock.v <- limit;
+      looping := false
+    end
+    else begin
+      ignore (Calendar_queue.pop q : bool);
+      let fn = Calendar_queue.out_a q in
+      engine.clock.v <- time;
+      engine.executed <- engine.executed + 1;
+      (match engine.trace with
+      | None -> ()
+      | Some tr -> Trace.record tr ~time ("fire:" ^ Calendar_queue.out_b q));
+      fn engine
+    end
+  end
+
 (** [run_s ?until_s engine] — [run] on raw seconds. *)
 let run_s ?until_s engine =
   let limit = match until_s with None -> Float.infinity | Some s -> s in
   engine.running <- true;
   let looping = ref true in
   while !looping do
-    if (not engine.running) || engine.size = 0 then looping := false
+    if not engine.running then looping := false
+    else
+      match engine.cal with
+      | Some q -> step_calendar engine q ~limit looping
+      | None ->
+    if engine.size = 0 then looping := false
     else begin
       let times = engine.times in
       let time = times.(0) in
@@ -241,7 +313,7 @@ let run_s ?until_s engine =
     end
   done;
   engine.running <- false;
-  if Float.is_finite limit && engine.clock.v < limit && engine.size = 0 then
+  if Float.is_finite limit && engine.clock.v < limit && pending engine = 0 then
     engine.clock.v <- limit;
   engine.clock.v
 

@@ -272,9 +272,3 @@ let choose_array t arr =
   if n = 0 then invalid_arg "Rng.choose_array: empty array";
   Array.unsafe_get arr (int t n)
 
-(** [choose t lst] — uniform element of a non-empty list.  O(n) in the
-    list length; prefer {!choose_array} on hot paths. *)
-let choose t lst =
-  match lst with
-  | [] -> invalid_arg "Rng.choose: empty list"
-  | _ -> List.nth lst (int t (List.length lst))

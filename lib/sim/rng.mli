@@ -66,11 +66,3 @@ val shuffle : t -> 'a array -> unit
 val choose_array : t -> 'a array -> 'a
 (** Uniform element of a non-empty array in O(1); raises
     [Invalid_argument] on an empty one. *)
-
-val choose : t -> 'a list -> 'a
-  [@@ocaml.deprecated "O(n) per draw; use Rng.choose_array."]
-(** Uniform element of a non-empty list; raises [Invalid_argument] on an
-    empty one.
-    @deprecated O(n) per draw ([List.nth] under the hood) — use
-    {!choose_array} on anything hot.  Kept for existing callers; draws
-    identically to [choose_array] on the same elements. *)

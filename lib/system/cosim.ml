@@ -90,32 +90,49 @@ let run ?trace cfg ~seed =
       | Fault_plan.Node_crash _ | Fault_plan.Link_fade _ -> ())
     cfg.faults;
   let alive i = Node_agent.alive agents.(i) in
-  let tree = Route_tree.create ~n ~sink in
+  let tree =
+    Route_tree.create ?csr:(Routing.adjacency fleet.Fleet.router) ~n ~sink ()
+  in
   let parent = Array.make n (-2) in
   let generated = ref 0 and delivered = ref 0 and dropped = ref 0 in
   let deaths = ref [] in
   let rebuilds = ref 0 in
   let coverage = Stat.time_weighted () in
   let avail = Stat.time_weighted () in
-  let leaf_ids =
-    List.filter (fun i -> fleet.Fleet.tiers.(i) = Fleet.Sensor_leaf) (List.init n Fun.id)
-  in
-  let leaf_count = List.length leaf_ids in
+  let leaf_ids = Fleet.tier_nodes fleet Fleet.Sensor_leaf in
+  let leaf_count = Array.length leaf_ids in
   let note label time =
     match trace with None -> () | Some tr -> Trace.record tr ~time label
   in
-  (* Fraction of leaves whose parent chain reaches the sink. *)
+  (* Fraction of leaves whose parent chain reaches the sink.  Parent
+     chains share long suffixes, so each call memoises reachability
+     per node with path compression into [reach] — O(n) per call
+     instead of O(leaves * depth), which matters at city scale where
+     both factors are 10^4+. *)
+  let reach = Array.make n 0 (* per-call: 0 unknown, 1 reaches sink, 2 does not *) in
+  let chain = Array.make n 0 in
   let connected_fraction () =
     if leaf_count = 0 then 1.0
     else begin
+      Array.fill reach 0 n 0;
+      reach.(sink) <- 1;
       let connected = ref 0 in
-      List.iter
+      Array.iter
         (fun leaf ->
-          let rec walk node ttl =
-            if node = sink then incr connected
-            else if ttl > 0 && node >= 0 then walk parent.(node) (ttl - 1)
-          in
-          if alive leaf then walk leaf n)
+          if alive leaf then begin
+            let top = ref 0 in
+            let node = ref leaf in
+            while !node >= 0 && reach.(!node) = 0 && !top < n do
+              chain.(!top) <- !node;
+              incr top;
+              node := parent.(!node)
+            done;
+            let state = if !node >= 0 && reach.(!node) = 1 then 1 else 2 in
+            for k = 0 to !top - 1 do
+              reach.(chain.(k)) <- state
+            done;
+            if state = 1 then incr connected
+          end)
         leaf_ids;
       Float.of_int !connected /. Float.of_int leaf_count
     end
@@ -303,7 +320,10 @@ let run ?trace cfg ~seed =
   let deaths = List.sort (fun (_, a) (_, b) -> Float.compare a b) (List.rev !deaths) in
   let first_death = match deaths with [] -> None | (_, t) :: _ -> Some (Time_span.seconds t) in
   let dead_at_end = Array.fold_left (fun acc a -> if Node_agent.alive a then acc else acc + 1) 0 agents in
-  let sum f = Energy.sum (Array.to_list (Array.map f agents)) in
+  let sum f =
+    Energy.joules
+      (Array.fold_left (fun acc a -> acc +. Energy.to_joules (f a)) 0.0 agents)
+  in
   let time_avg tw = let v = Stat.time_average tw in if Float.is_nan v then 1.0 else v in
   {
     generated = !generated;
@@ -322,3 +342,21 @@ let run ?trace cfg ~seed =
     events = Engine.event_count engine;
     agents;
   }
+
+(* Independent-scenario sweep.  Each seed's run builds its own engine,
+   agents and link layer; the shared fleet (topology, tiers, routing
+   cache) is only read — except through the router's distance memo,
+   which fade faults mutate, so fault plans containing a fade keep the
+   sweep sequential. *)
+let run_many ?(jobs = 1) cfg ~seeds =
+  let fade_free =
+    List.for_all
+      (function Fault_plan.Link_fade _ -> false | _ -> true)
+      cfg.faults
+  in
+  let jobs = if fade_free then Stdlib.max 1 jobs else 1 in
+  if jobs = 1 || Array.length seeds <= 1 then
+    Array.map (fun seed -> run cfg ~seed) seeds
+  else
+    Domain_pool.with_pool ~jobs (fun pool ->
+        Domain_pool.run pool (Array.map (fun seed () -> run cfg ~seed) seeds))

@@ -70,3 +70,11 @@ val run : ?trace:Amb_sim.Trace.t -> config -> seed:int -> outcome
     ["fault:crash:<n>"], ["fault:fade:<a>-<b>"]) and deaths are recorded
     as ["death:<n>"] at their instant, so tests can assert event
     ordering. *)
+
+val run_many : ?jobs:int -> config -> seeds:int array -> outcome array
+(** One {!run} per seed, result order matching [seeds]; [jobs] > 1
+    spreads the runs across a domain pool (each run owns its engine and
+    agents, the fleet is shared read-only), so the outcomes are bitwise
+    identical to the sequential sweep.  Fault plans containing a link
+    fade run sequentially regardless of [jobs]: fades write through the
+    shared router's distance memo. *)

@@ -32,6 +32,7 @@ type tier_config = {
 type t = {
   topology : Topology.t;
   tiers : tier array;
+  tier_members : int array array;  (** per {!tier_ordinal}: ascending node ids *)
   sink : int;
   leaf : tier_config;
   relay : tier_config;
@@ -46,10 +47,26 @@ let config_of t = function
 
 let node_count t = Topology.node_count t.topology
 let tier_of t i = t.tiers.(i)
+let tier_ordinal = function Sensor_leaf -> 0 | Relay -> 1 | Sink -> 2
 
-let nodes_of_tier t tier =
-  Array.to_list (Array.mapi (fun i x -> (i, x)) t.tiers)
-  |> List.filter_map (fun (i, x) -> if x = tier then Some i else None)
+(* Per-tier membership, computed once at construction (counting pass +
+   fill pass): consumers iterate a tier in O(tier size) instead of
+   filtering the whole fleet per query. *)
+let members_of tiers =
+  let counts = Array.make 3 0 in
+  Array.iter (fun tr -> counts.(tier_ordinal tr) <- counts.(tier_ordinal tr) + 1) tiers;
+  let members = Array.map (fun c -> Array.make c 0) counts in
+  let cursors = Array.make 3 0 in
+  Array.iteri
+    (fun i tr ->
+      let k = tier_ordinal tr in
+      members.(k).(cursors.(k)) <- i;
+      cursors.(k) <- cursors.(k) + 1)
+    tiers;
+  members
+
+let tier_nodes t tier = t.tier_members.(tier_ordinal tier)
+let nodes_of_tier t tier = Array.to_list (tier_nodes t tier)
 
 (* ------------------------------------------------------------------ *)
 (* Default tier configurations from the reference designs              *)
@@ -134,8 +151,78 @@ let make ?leaf ?relay ?sink ?(width_m = 250.0) ?(height_m = 250.0) ?link ?packet
   in
   let link = match link with Some l -> l | None -> default_link () in
   let packet = match packet with Some p -> p | None -> default_packet in
-  let router = Routing.make ~topology ~link ~packet in
-  { topology; tiers; sink = 0; leaf; relay; sink_cfg; router }
+  let router = Routing.make ~topology ~link ~packet () in
+  { topology; tiers; tier_members = members_of tiers; sink = 0; leaf; relay; sink_cfg; router }
+
+(* Leaves are placed in fixed-size blocks, each drawing from its own
+   RNG stream; the streams are split off the master sequentially before
+   any parallel work, so the layout is a pure function of the seed —
+   bitwise independent of [jobs] (the same discipline as
+   {!Amb_tech.Variability.monte_carlo}). *)
+let city_block = 8192
+
+let city ?leaf ?relay ?sink ?link ?packet ?(jobs = 1) ?(target_degree = 16.0) ~nodes ~seed
+    () =
+  if nodes < 4 then invalid_arg "Fleet.city: need at least four nodes";
+  if target_degree <= 0.0 then invalid_arg "Fleet.city: non-positive target degree";
+  let leaf = match leaf with Some c -> c | None -> microwatt_leaf () in
+  let relay = match relay with Some c -> c | None -> milliwatt_relay () in
+  let sink_cfg = match sink with Some c -> c | None -> watt_sink () in
+  let link = match link with Some l -> l | None -> default_link () in
+  let packet = match packet with Some p -> p | None -> default_packet in
+  let range_m =
+    Link_budget.max_range link
+      ~tx_dbm:link.Link_budget.radio.Radio_frontend.max_tx_dbm
+  in
+  (* Field side chosen so a uniform placement lands [target_degree]
+     nodes inside one radio range: area = n * pi * r^2 / degree. *)
+  let side =
+    Float.sqrt (Float.of_int nodes *. Float.pi *. range_m *. range_m /. target_degree)
+  in
+  let n = nodes in
+  let relays = Stdlib.max 1 (n / 50) in
+  let leaves = n - 1 - relays in
+  let positions = Array.make n { Topology.x = 0.0; y = 0.0 } in
+  positions.(0) <- { Topology.x = side /. 2.0; y = side /. 2.0 };
+  (* Relays on a deterministic uniform grid: backbone coverage of the
+     whole field, independent of the seed. *)
+  let gcols = Float.to_int (Float.ceil (Float.sqrt (Float.of_int relays))) in
+  let grows = (relays + gcols - 1) / gcols in
+  for k = 0 to relays - 1 do
+    let col = k mod gcols and row = k / gcols in
+    positions.(1 + k) <-
+      { Topology.x = (Float.of_int col +. 0.5) *. side /. Float.of_int gcols;
+        y = (Float.of_int row +. 0.5) *. side /. Float.of_int grows }
+  done;
+  let master = Amb_sim.Rng.create seed in
+  let blocks = (leaves + city_block - 1) / city_block in
+  let streams = Array.init blocks (fun _ -> Amb_sim.Rng.split master) in
+  let fill k =
+    let rng = streams.(k) in
+    let lo = 1 + relays + (k * city_block) in
+    let hi = Stdlib.min (n - 1) (lo + city_block - 1) in
+    for i = lo to hi do
+      (* x then y, in node order within the block, as [make] draws. *)
+      let x = Amb_sim.Rng.uniform rng 0.0 side in
+      let y = Amb_sim.Rng.uniform rng 0.0 side in
+      positions.(i) <- { Topology.x; y }
+    done
+  in
+  if jobs <= 1 || blocks <= 1 then
+    for k = 0 to blocks - 1 do
+      fill k
+    done
+  else
+    ignore
+      (Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
+           Amb_sim.Domain_pool.run pool (Array.init blocks (fun k () -> fill k))));
+  let topology = Topology.of_positions ~width_m:side ~height_m:side positions in
+  let tiers =
+    Array.init n (fun i -> if i = 0 then Sink else if i <= relays then Relay else Sensor_leaf)
+  in
+  let router = Routing.make ~jobs ~topology ~link ~packet () in
+  { topology; tiers; tier_members = members_of tiers; sink = 0; leaf; relay; sink_cfg;
+    router }
 
 let homogeneous ?link ?packet ~topology ~sink ~node () =
   let n = Topology.node_count topology in
@@ -144,5 +231,6 @@ let homogeneous ?link ?packet ~topology ~sink ~node () =
   let sink_cfg = { node with name = node.name ^ " (sink)"; report_period = None } in
   let link = match link with Some l -> l | None -> default_link () in
   let packet = match packet with Some p -> p | None -> default_packet in
-  let router = Routing.make ~topology ~link ~packet in
-  { topology; tiers; sink; leaf = node; relay = node; sink_cfg; router }
+  let router = Routing.make ~topology ~link ~packet () in
+  { topology; tiers; tier_members = members_of tiers; sink; leaf = node; relay = node;
+    sink_cfg; router }

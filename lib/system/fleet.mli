@@ -35,6 +35,7 @@ type tier_config = {
 type t = {
   topology : Topology.t;
   tiers : tier array;  (** per node index *)
+  tier_members : int array array;  (** per tier ordinal: ascending node ids *)
   sink : int;
   leaf : tier_config;
   relay : tier_config;
@@ -44,7 +45,14 @@ type t = {
 
 val config_of : t -> tier -> tier_config
 val node_count : t -> int
+
+val tier_nodes : t -> tier -> int array
+(** Ascending node ids of a tier, precomputed at construction; callers
+    must not mutate the array.  O(1) per query. *)
+
 val nodes_of_tier : t -> tier -> int list
+(** {!tier_nodes} as a fresh list. *)
+
 val tier_of : t -> int -> tier
 
 val microwatt_leaf : ?report_period:Time_span.t -> unit -> tier_config
@@ -80,6 +88,28 @@ val make :
     the low-power-UHF front-end over the indoor channel carrying
     sensor-report packets.  Raises [Invalid_argument] when [leaves] < 1
     or [relays] < 0. *)
+
+val city :
+  ?leaf:tier_config ->
+  ?relay:tier_config ->
+  ?sink:tier_config ->
+  ?link:Amb_radio.Link_budget.t ->
+  ?packet:Amb_radio.Packet.t ->
+  ?jobs:int ->
+  ?target_degree:float ->
+  nodes:int ->
+  seed:int ->
+  unit ->
+  t
+(** City-scale fleet: the sink at the centre of a square field sized so
+    a uniform placement sees ~[target_degree] (default 16) nodes per
+    radio range, [nodes/50] relays on a deterministic uniform grid, and
+    the remaining nodes as uniformly random leaves.  Leaf placement
+    draws from per-block RNG streams split off the seed before any
+    parallel work, and the routing cache builds sparse above the dense
+    threshold — so the fleet is a pure function of [seed], bitwise
+    independent of [jobs], and O(n + edges) in memory.  Raises
+    [Invalid_argument] when [nodes] < 4. *)
 
 val homogeneous :
   ?link:Amb_radio.Link_budget.t ->

@@ -20,19 +20,32 @@ let median_death (o : Cosim.outcome) = median_of o.Cosim.deaths
 let tier_deaths fleet (o : Cosim.outcome) tier =
   List.filter (fun (i, _) -> Fleet.tier_of fleet i = tier) o.Cosim.deaths
 
+(* Single left-to-right float pass over the tier's (precomputed,
+   ascending) member array: the same accumulation order as the historic
+   [Energy.sum (List.map ...)] — a left fold from zero — with no
+   per-node intermediate list, so report building stays O(tier size)
+   time and O(1) extra memory on city-scale fleets. *)
 let tier_energy fleet (o : Cosim.outcome) tier =
-  let ids = Fleet.nodes_of_tier fleet tier in
-  let sum f = Energy.sum (List.map (fun i -> f o.Cosim.agents.(i)) ids) in
-  (sum Node_agent.consumed_energy, sum Node_agent.harvested_energy,
-   sum Node_agent.residual_energy)
+  let ids = Fleet.tier_nodes fleet tier in
+  let consumed = ref 0.0 and harvested = ref 0.0 and residual = ref 0.0 in
+  Array.iter
+    (fun i ->
+      let a = o.Cosim.agents.(i) in
+      consumed := !consumed +. Energy.to_joules (Node_agent.consumed_energy a);
+      harvested := !harvested +. Energy.to_joules (Node_agent.harvested_energy a);
+      residual := !residual +. Energy.to_joules (Node_agent.residual_energy a))
+    ids;
+  (Energy.joules !consumed, Energy.joules !harvested, Energy.joules !residual)
 
 let time_opt = function Some t -> Report.cell_time t | None -> txt "-"
 
 let report ?(title = "system co-simulation") fleet (o : Cosim.outcome) =
   let tier_row tier =
-    let ids = Fleet.nodes_of_tier fleet tier in
-    let total = List.length ids in
-    let alive = List.length (List.filter (fun i -> Node_agent.alive o.Cosim.agents.(i)) ids) in
+    let ids = Fleet.tier_nodes fleet tier in
+    let total = Array.length ids in
+    let alive = ref 0 in
+    Array.iter (fun i -> if Node_agent.alive o.Cosim.agents.(i) then incr alive) ids;
+    let alive = !alive in
     let consumed, harvested, residual = tier_energy fleet o tier in
     let deaths = tier_deaths fleet o tier in
     [ txt (Fleet.tier_name tier);
@@ -50,7 +63,10 @@ let report ?(title = "system co-simulation") fleet (o : Cosim.outcome) =
   let n = Array.length o.Cosim.agents in
   let network_row =
     let residual =
-      Energy.sum (Array.to_list (Array.map Node_agent.residual_energy o.Cosim.agents))
+      Energy.joules
+        (Array.fold_left
+           (fun acc a -> acc +. Energy.to_joules (Node_agent.residual_energy a))
+           0.0 o.Cosim.agents)
     in
     [ txt "network";
       Report.cell_int n;

@@ -29,4 +29,5 @@ let () =
       ("golden", Test_golden.suite);
       ("report io", Test_report_io.suite);
       ("typed golden", Test_typed_golden.suite);
+      ("city scale", Test_city_scale.suite);
     ]

@@ -136,7 +136,7 @@ let test_net_guards () =
         Amb_radio.Link_budget.make ~radio:Amb_circuit.Radio_frontend.low_power_uhf
           ~channel:Amb_radio.Path_loss.indoor ()
       in
-      let router = Amb_net.Routing.make ~topology:topo ~link ~packet:Amb_radio.Packet.sensor_reading in
+      let router = Amb_net.Routing.make ~topology:topo ~link ~packet:Amb_radio.Packet.sensor_reading () in
       Amb_net.Flow.simulate_depletion router ~policy:Amb_net.Routing.Min_hop
         ~budget:(fun _ -> Energy.joules 1.0) ~sink:0 ~rebuild_every:0.0)
 
@@ -201,7 +201,7 @@ let test_degenerate_states () =
     Amb_radio.Link_budget.make ~radio:Amb_circuit.Radio_frontend.low_power_uhf
       ~channel:Amb_radio.Path_loss.indoor ()
   in
-  let router = Amb_net.Routing.make ~topology:topo ~link ~packet:Amb_radio.Packet.sensor_reading in
+  let router = Amb_net.Routing.make ~topology:topo ~link ~packet:Amb_radio.Packet.sensor_reading () in
   Alcotest.(check bool) "no route across the gap" true
     (Amb_net.Routing.route router ~policy:Amb_net.Routing.Min_hop
        ~residual:(fun _ -> Energy.joules 1.0) ~src:0 ~dst:1
@@ -234,7 +234,7 @@ let test_zero_budget_network () =
     Amb_radio.Link_budget.make ~radio:Amb_circuit.Radio_frontend.low_power_uhf
       ~channel:Amb_radio.Path_loss.indoor ()
   in
-  let router = Amb_net.Routing.make ~topology:topo ~link ~packet:Amb_radio.Packet.sensor_reading in
+  let router = Amb_net.Routing.make ~topology:topo ~link ~packet:Amb_radio.Packet.sensor_reading () in
   let cfg =
     Amb_net.Net_sim.config ~router ~sink:0 ~policy:Amb_net.Routing.Min_hop
       ~report_period:(Time_span.seconds 10.0)

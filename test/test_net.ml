@@ -93,7 +93,7 @@ let test_neighbors_within () =
 
 let router topo =
   let link = Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor () in
-  Routing.make ~topology:topo ~link ~packet:Packet.sensor_report
+  Routing.make ~topology:topo ~link ~packet:Packet.sensor_report ()
 
 let test_hop_energy_monotone () =
   let r = router (Topology.grid ~columns:2 ~rows:1 ~spacing_m:10.0) in

@@ -65,7 +65,7 @@ let run_trial ~policy ~trial =
   let link =
     Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor ()
   in
-  let router = Routing.make ~topology ~link ~packet:Packet.sensor_report in
+  let router = Routing.make ~topology ~link ~packet:Packet.sensor_report () in
   let fade = Array.init n (fun _ -> Array.make n 1.0) in
   let residual = Array.init n (fun _ -> 0.5 +. Amb_sim.Rng.float rng) in
   let alive = Array.make n true in
@@ -76,7 +76,7 @@ let run_trial ~policy ~trial =
      unit weights make the repair fall back to the full rebuild, which
      must still match the oracle. *)
   let tie_free = policy <> Routing.Min_hop in
-  let tree = Route_tree.create ~n ~sink in
+  let tree = Route_tree.create ~n ~sink () in
   Route_tree.rebuild tree ~weight ~alive:alive_fn;
   check_against_oracle
     ~ctx:(Printf.sprintf "trial %d initial" trial)
@@ -126,14 +126,14 @@ let test_non_tree_fade_noop () =
   let link =
     Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor ()
   in
-  let router = Routing.make ~topology ~link ~packet:Packet.sensor_report in
+  let router = Routing.make ~topology ~link ~packet:Packet.sensor_report () in
   let fade = Array.init n (fun _ -> Array.make n 1.0) in
   let residual = Array.make n 1.0 in
   let alive = Array.make n true in
   let sink = 0 in
   let weight = make_weight ~policy:Routing.Min_energy ~router ~fade ~residual in
   let alive_fn i = alive.(i) in
-  let tree = Route_tree.create ~n ~sink in
+  let tree = Route_tree.create ~n ~sink () in
   Route_tree.rebuild tree ~weight ~alive:alive_fn;
   (* Find a linked pair that is not a tree edge in either direction. *)
   let non_tree = ref None in

@@ -242,15 +242,16 @@ let test_rng_int_pinned () =
   done
 
 let test_rng_choose_array_equiv () =
-  (* [choose] (deprecated list path) and [choose_array] consume the
-     stream identically and pick the same elements. *)
+  (* [choose_array] consumes one [int] draw and indexes uniformly —
+     checked against an inline [List.nth] oracle on the same stream
+     (the contract the removed list-based [choose] used to state). *)
   let elems = [ 10; 20; 30; 40; 50; 60; 70 ] in
   let arr = Array.of_list elems in
   let a = Rng.create 99 and b = Rng.create 99 in
   for i = 1 to 1000 do
     Alcotest.(check int)
       (Printf.sprintf "pick %d" i)
-      ((Rng.choose [@alert "-deprecated"]) a elems)
+      (List.nth elems (Rng.int a (List.length elems)))
       (Rng.choose_array b arr)
   done
 

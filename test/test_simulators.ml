@@ -13,7 +13,7 @@ let small_router seed nodes field =
   let rng = Amb_sim.Rng.create seed in
   let topology = Topology.random rng ~nodes ~width_m:field ~height_m:field in
   let link = Link_budget.make ~radio:Radio_frontend.low_power_uhf ~channel:Path_loss.indoor () in
-  Routing.make ~topology ~link ~packet:Packet.sensor_report
+  Routing.make ~topology ~link ~packet:Packet.sensor_report ()
 
 let test_netsim_all_delivered_when_energised () =
   (* Generous budgets: nothing dies, everything is delivered. *)

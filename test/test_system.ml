@@ -305,7 +305,7 @@ let test_net_sim_energy_conservation () =
     Amb_radio.Link_budget.make ~radio:Amb_circuit.Radio_frontend.low_power_uhf
       ~channel:Amb_radio.Path_loss.indoor ()
   in
-  let router = Amb_net.Routing.make ~topology ~link ~packet:Amb_radio.Packet.sensor_report in
+  let router = Amb_net.Routing.make ~topology ~link ~packet:Amb_radio.Packet.sensor_report () in
   let budget_j = 3.0 in
   let cfg =
     Amb_net.Net_sim.config ~router ~sink:0 ~policy:Amb_net.Routing.Min_energy
