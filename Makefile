@@ -12,7 +12,8 @@ test:
 # round-trip — --check-json rebuilds every experiment and compares typed
 # content digests, so model drift fails the chain — and finally the CLI
 # end-to-end: a small fleet co-simulation emitted as JSON must round-trip
-# through the typed report pipeline.
+# through the typed report pipeline, and the CS-D case study (the
+# backscatter/four-class tables) must round-trip report by report.
 check: build
 	dune runtest
 	dune exec bench/main.exe -- --json /tmp/amblib-bench-check.json
@@ -20,6 +21,7 @@ check: build
 	dune exec bin/ambient.exe -- system --leaves 5 --relays 1 --hours 6 \
 	  --format json > /tmp/amblib-system-check.json
 	dune exec bench/main.exe -- --roundtrip-report /tmp/amblib-system-check.json
+	dune exec bench/main.exe -- --roundtrip-case-study D
 
 # Reports at jobs=1 and jobs=max must be byte-identical; the JSON snapshot
 # carries ns/run per experiment plus suite wall-clock at both job counts.

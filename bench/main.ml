@@ -32,6 +32,9 @@
                                          budget) + minor words/run per experiment
      bench/main.exe --check-json FILE    parse and validate a snapshot
      bench/main.exe --roundtrip-report F parse a report envelope and re-serialize it
+     bench/main.exe --roundtrip-case-study ID
+                                         build one case study (A-D) and round-trip
+                                         every report through Report_io
      bench/main.exe --list               list experiment ids *)
 
 open Bechamel
@@ -676,6 +679,34 @@ let roundtrip_report path =
       Printf.eprintf "%s: re-serialized document failed to parse: %s\n" path msg;
       exit 1)
 
+(* Same gate for a whole case study: every report the study builds must
+   survive serialize -> parse -> re-serialize with its content digest
+   intact (CS-D exercises the four-class / backscatter tables this way
+   in `make check`). *)
+let roundtrip_case_study id =
+  match Amb_core.Case_study.find id with
+  | None ->
+    Printf.eprintf "unknown case study '%s' (use A, B, C or D)\n" id;
+    exit 1
+  | Some cs ->
+    List.iter
+      (fun (eid, report) ->
+        let json = Amb_core.Report_io.to_json report in
+        match Amb_core.Report_io.of_json json with
+        | Ok again when Amb_core.Report_io.digest again = Amb_core.Report_io.digest report -> ()
+        | Ok _ ->
+          Printf.eprintf "CS-%s %s: digest changed across the JSON round-trip\n"
+            cs.Amb_core.Case_study.id eid;
+          exit 1
+        | Error msg ->
+          Printf.eprintf "CS-%s %s: emitted JSON failed to parse: %s\n"
+            cs.Amb_core.Case_study.id eid msg;
+          exit 1)
+      (Amb_core.Case_study.reports_with_ids cs);
+    Printf.printf "CS-%s: %d reports round-trip through Report_io with stable digests\n"
+      cs.Amb_core.Case_study.id
+      (List.length cs.Amb_core.Case_study.experiment_ids)
+
 (* ------------------------------------------------------------------ *)
 (* City-scale fleet gate: build an n-node Fleet.city, co-simulate one
    hour of 600 s leaf reporting, and record throughput plus peak heap.
@@ -831,10 +862,12 @@ let () =
   | _ :: "--gc-stats" :: _ -> gc_stats ()
   | _ :: "--check-json" :: path :: _ -> check_json path
   | _ :: "--roundtrip-report" :: path :: _ -> roundtrip_report path
+  | _ :: "--roundtrip-case-study" :: id :: _ -> roundtrip_case_study id
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
-       --compare OLD NEW, --time ID N, --fleet N [--json FILE], --gc-stats, --check-json FILE, --roundtrip-report FILE)\n"
+       --compare OLD NEW, --time ID N, --fleet N [--json FILE], --gc-stats, --check-json FILE, \
+       --roundtrip-report FILE, --roundtrip-case-study ID)\n"
       arg;
     exit 1
   | _ ->

@@ -2,10 +2,10 @@
 
    Subcommands:
      graph        print the power-information graph (E1)
-     classes      print the device-class table (E2)
+     classes      print the device-class table (E28; --keynote for E2)
      classify     classify a power draw into a device class
      experiment   run one or all reconstructed experiments
-     case-study   print a case study (A, B or C) with its tables
+     case-study   print a case study (A, B, C or D) with its tables
      lifetime     battery/harvester lifetime for a load
      simulate     discrete-event node-lifetime simulation
      map          map the ambient functions onto the smart-home network
@@ -66,9 +66,19 @@ let graph_cmd =
 (* --- classes --- *)
 
 let classes_cmd =
-  let doc = "Print the three device classes (experiment E2)." in
-  let run fmt = emit_report ~id:"E2" fmt (Amb_core.Experiments.e2 ()) in
-  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ format_term)
+  let doc =
+    "Print the device classes: the keynote's three plus the Ambient-IoT nW tag \
+     (experiment E28; $(b,--keynote) restricts to the published E2 table)."
+  in
+  let keynote =
+    Arg.(value & flag
+         & info [ "keynote" ] ~doc:"Only the three keynote classes (the published E2 table).")
+  in
+  let run keynote fmt =
+    if keynote then emit_report ~id:"E2" fmt (Amb_core.Experiments.e2 ())
+    else emit_report ~id:"E28" fmt (Amb_core.Experiments.e28 ())
+  in
+  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ keynote $ format_term)
 
 (* --- classify --- *)
 
@@ -134,8 +144,8 @@ let experiment_cmd =
 (* --- case-study --- *)
 
 let case_study_cmd =
-  let doc = "Print a reconstructed case study: A (uW), B (mW) or C (W)." in
-  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"A|B|C") in
+  let doc = "Print a reconstructed case study: A (uW), B (mW), C (W) or D (nW tag fleet)." in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"A|B|C|D") in
   let run id fmt =
     match Amb_core.Case_study.find id with
     | Some cs -> (
@@ -144,7 +154,7 @@ let case_study_cmd =
       | Json -> print_string (Amb_core.Case_study.to_json cs)
       | Csv -> emit_csv_sections (Amb_core.Case_study.reports_with_ids cs))
     | None ->
-      Printf.eprintf "unknown case study %s (use A, B or C)\n" id;
+      Printf.eprintf "unknown case study %s (use A, B, C or D)\n" id;
       exit 1
   in
   Cmd.v (Cmd.info "case-study" ~doc) Term.(const run $ id $ format_term)
@@ -470,14 +480,20 @@ let diurnal_of_name name =
 
 let system_cmd =
   let doc =
-    "Whole-fleet co-simulation on one clock: a W sink, mW relays and uW leaves trade packets \
-     while their batteries drain, harvest and die; faults are injectable."
+    "Whole-fleet co-simulation on one clock: a W sink, mW relays, uW leaves and (optionally) \
+     batteryless nW backscatter tags trade packets while their batteries drain, harvest and \
+     die; faults are injectable."
   in
   let leaves =
     Arg.(value & opt int 30 & info [ "leaves" ] ~docv:"N" ~doc:"number of uW sensor leaves")
   in
   let relays =
     Arg.(value & opt int 4 & info [ "relays" ] ~docv:"N" ~doc:"number of mW relays on the inner ring")
+  in
+  let tags =
+    Arg.(value & opt int 0
+         & info [ "tags" ] ~docv:"N"
+             ~doc:"number of batteryless nW backscatter tags served by the W-node sink")
   in
   let hours =
     Arg.(value & opt float 48.0 & info [ "hours" ] ~docv:"H" ~doc:"simulation horizon in hours")
@@ -511,10 +527,11 @@ let system_cmd =
                "Inject a fault (repeatable): $(b,crash:NODE\\@HOURS), \
                 $(b,fade:A-B:DB\\@HOURS) or $(b,bscale:NODE:SCALE).")
   in
-  let run leaves relays hours seed policy budget diurnal fault_specs fmt =
-    if leaves < 1 || relays < 0 then begin
-      Printf.eprintf "need at least one leaf and a non-negative relay count (got %d, %d)\n" leaves
-        relays;
+  let run leaves relays tags hours seed policy budget diurnal fault_specs fmt =
+    if leaves < 0 || relays < 0 || tags < 0 || leaves + tags < 1 then begin
+      Printf.eprintf
+        "need non-negative counts with at least one leaf or tag (got %d leaves, %d relays, %d tags)\n"
+        leaves relays tags;
       exit 1
     end;
     if hours <= 0.0 || budget < 0.0 then begin
@@ -528,7 +545,7 @@ let system_cmd =
         { base with Amb_system.Fleet.budget_override = Some (Energy.joules budget) }
       else base
     in
-    let fleet = Amb_system.Fleet.make ~leaf ~leaves ~relays ~seed () in
+    let fleet = Amb_system.Fleet.make ~leaf ~leaves ~relays ~tags ~seed () in
     let node_count = Amb_system.Fleet.node_count fleet in
     let faults =
       List.map (fun spec -> check_fault_nodes ~node_count (fault_of_spec spec)) fault_specs
@@ -539,14 +556,19 @@ let system_cmd =
     in
     let o = Amb_system.Cosim.run cfg ~seed in
     let title =
-      Printf.sprintf "Fleet co-simulation: %d leaves, %d relays, %.0f h, %s routing, seed %d"
-        leaves relays hours (Amb_net.Routing.policy_name policy) seed
+      if tags = 0 then
+        Printf.sprintf "Fleet co-simulation: %d leaves, %d relays, %.0f h, %s routing, seed %d"
+          leaves relays hours (Amb_net.Routing.policy_name policy) seed
+      else
+        Printf.sprintf
+          "Fleet co-simulation: %d leaves, %d relays, %d tags, %.0f h, %s routing, seed %d"
+          leaves relays tags hours (Amb_net.Routing.policy_name policy) seed
     in
     emit_report ~id:"SYSTEM" fmt (Amb_system.System_metrics.report ~title fleet o)
   in
   Cmd.v
     (Cmd.info "system" ~doc)
-    Term.(const run $ leaves $ relays $ hours $ seed $ policy $ budget $ diurnal $ faults
+    Term.(const run $ leaves $ relays $ tags $ hours $ seed $ policy $ budget $ diurnal $ faults
           $ format_term)
 
 (* --- roadmap --- *)

@@ -40,6 +40,16 @@ let pll_200mhz =
 
 let catalogue = [ watch_crystal; mems_oscillator; crystal_16mhz; pll_200mhz ]
 
+let tag_relaxation_oscillator =
+  (* The nW-budget clock of the batteryless tag: an on-die relaxation
+     oscillator running straight off the rectifier, ~50 nW, instantly on,
+     but four decades less accurate than a crystal — which is why the
+     backscatter preamble carries explicit sync (the reader's clock is
+     the timebase, the tag's only has to survive one packet).  Not in
+     [catalogue]: the keynote-era tables iterate it. *)
+  make ~name:"1.92 MHz relaxation oscillator (tag)" ~frequency_hz:1.92e6 ~power_uw:0.05
+    ~startup_ms:0.001 ~accuracy_ppm:50000.0
+
 (** [drift_over clock t] — worst-case clock drift accumulated over [t];
     determines the guard times of synchronised MAC protocols. *)
 let drift_over clock t = Time_span.scale (clock.accuracy_ppm *. 1e-6) t

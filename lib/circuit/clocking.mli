@@ -20,6 +20,11 @@ val crystal_16mhz : t
 val pll_200mhz : t
 val catalogue : t list
 
+val tag_relaxation_oscillator : t
+(** The batteryless tag's ~50 nW on-die relaxation oscillator: instant
+    start-up, crystal-free, 5 % accuracy — the reader's clock is the
+    timebase.  Not part of {!catalogue}. *)
+
 val drift_over : t -> Time_span.t -> Time_span.t
 (** Worst-case clock drift accumulated over a duration — determines the
     guard times of synchronised MAC protocols. *)

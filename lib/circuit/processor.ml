@@ -60,6 +60,14 @@ let media_processor =
 
 let catalogue = [ mcu_8bit; mcu_16bit; arm7_class; dsp_vliw; media_processor ]
 
+(* The A-IoT tag's hard-wired protocol state machine: a few thousand
+   gates clocked near threshold, ~1 pJ/op, tens of nW leakage.  Kept out
+   of [catalogue] — the keynote-era tables (E1/E5) iterate the catalogue
+   and the tag core post-dates them. *)
+let tag_logic =
+  make ~name:"tag logic (A-IoT state machine)" ~node:Process_node.n130 ~c_eff_per_op_pf:0.8
+    ~f_max_mhz:1.92 ~ops_per_cycle:1.0 ~alpha:1.4 ~leakage_mw:0.00002 ~v_min_v:0.45
+
 let vdd_nominal p = p.node.Process_node.vdd
 let vth p = p.node.Process_node.vth
 

@@ -39,6 +39,11 @@ val dsp_vliw : t
 val media_processor : t
 val catalogue : t list
 
+val tag_logic : t
+(** The A-IoT tag's hard-wired protocol state machine (~1 pJ/op, tens of
+    nW leakage); not part of {!catalogue} — the keynote-era tables
+    iterate the catalogue and the tag core post-dates them. *)
+
 val vdd_nominal : t -> Voltage.t
 val vth : t -> Voltage.t
 

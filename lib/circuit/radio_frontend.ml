@@ -74,6 +74,32 @@ let zigbee_class =
 
 let catalogue = [ low_power_uhf; zigbee_class; personal_area; wlan ]
 
+let backscatter_uhf =
+  (* The A-IoT tag "front end": an envelope detector for the downlink and
+     an impedance-switching modulator for the uplink.  There is no PA and
+     no synthesizer — p_tx_electronics is the modulator driver (~200 nW),
+     max_tx_dbm is -inf (the tag radiates nothing of its own; the
+     reflected carrier is accounted by {!Amb_radio.Backscatter}), p_rx is
+     the envelope detector + baseband comparator, and sensitivity is the
+     detector's, five decades worse than a coherent receiver.  Kept out
+     of [catalogue]: the keynote-era tables iterate it. *)
+  make ~name:"915 MHz backscatter (A-IoT tag)" ~carrier_mhz:915.0 ~bitrate_kbps:40.0
+    ~p_tx_electronics_mw:0.0002 ~pa_efficiency:1.0 ~max_tx_dbm:Float.neg_infinity
+    ~p_rx_mw:0.0001 ~p_sleep_uw:0.005 ~startup_us:10.0 ~sensitivity_dbm:(-50.0)
+    ~noise_figure_db:25.0 ~bandwidth_khz:100.0
+
+let rfid_reader =
+  (* The other end of the backscatter link: a W-node interrogator.  The
+     36 dBm EIRP carrier (the UHF RFID regulatory limit) comes out of a
+     ~35%-efficient PA, and the receive chain fights its own carrier
+     leakage, hence the modest -85 dBm sensitivity despite a mains
+     budget.  Kept out of [catalogue]: the keynote-era tables iterate
+     it. *)
+  make ~name:"915 MHz RFID reader (W node)" ~carrier_mhz:915.0 ~bitrate_kbps:40.0
+    ~p_tx_electronics_mw:500.0 ~pa_efficiency:0.35 ~max_tx_dbm:36.0 ~p_rx_mw:350.0
+    ~p_sleep_uw:5000.0 ~startup_us:100.0 ~sensitivity_dbm:(-85.0) ~noise_figure_db:15.0
+    ~bandwidth_khz:250.0
+
 (** [tx_power radio ~tx_dbm] — total DC power while transmitting at RF
     output level [tx_dbm] (clamped to the radio's maximum). *)
 let tx_power radio ~tx_dbm =

@@ -51,6 +51,17 @@ val zigbee_class : t
 
 val catalogue : t list
 
+val backscatter_uhf : t
+(** The A-IoT tag front end: envelope detector downlink (~100 nW RX),
+    impedance-switching modulator uplink (~200 nW, no PA — [max_tx_dbm]
+    is negative infinity; the reflected carrier is priced by
+    [Amb_radio.Backscatter]).  Not part of {!catalogue}. *)
+
+val rfid_reader : t
+(** The W-node interrogator on the other end of the backscatter link:
+    36 dBm EIRP carrier, self-jammer-limited -85 dBm receive chain.
+    Not part of {!catalogue}. *)
+
 val tx_power : t -> tx_dbm:float -> Power.t
 (** Total DC power while transmitting at a given RF output level (clamped
     to the radio's maximum). *)

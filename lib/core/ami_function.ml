@@ -43,7 +43,10 @@ let estimated_power f =
 let minimum_class f =
   let p = estimated_power f in
   let fits cls = Power.le p (Device_class.average_budget cls) in
-  match List.filter fits Device_class.all with
+  (* Scenario workloads are hosted on the keynote classes only: the
+     batteryless tag runs a hard-wired state machine, not an ambient
+     function, so it never wins the placement. *)
+  match List.filter fits Device_class.keynote with
   | cls :: _ -> cls
   | [] -> Device_class.Watt
 

@@ -1,4 +1,5 @@
-(** The three case studies of the keynote, reconstructed.
+(** The keynote's three case studies, reconstructed, plus the Ambient-IoT
+    extrapolation (CS-D).
 
     Each case study is a narrative plus the experiments that quantify it
     (see DESIGN.md for the substitution rationale).  The CLI's
@@ -59,7 +60,26 @@ let cs_c =
       ];
   }
 
-let all = [ cs_a; cs_b; cs_c ]
+let cs_d =
+  {
+    id = "D";
+    title = "batteryless backscatter tag fleet (nanoWatt)";
+    device_class = Device_class.Nanowatt;
+    challenge = Device_class.design_challenge Device_class.Nanowatt;
+    experiment_ids = [ "E28"; "E29"; "E30"; "E31" ];
+    narrative =
+      [ "The trillion-device tier below the keynote's taxonomy: a tag with";
+        "no battery and no transmitter, living on a reader's RF field and";
+        "answering by modulated reflection.  The extended taxonomy (E28)";
+        "places the class, the power-information graph (E29) shows its";
+        "blocks joining the Pareto frontier from below, the link budget";
+        "(E30) prices both sides of the backscatter transaction, and the";
+        "mixed-tier co-simulation (E31) shows W-node readers paying the";
+        "radio bill the tags cannot.";
+      ];
+  }
+
+let all = [ cs_a; cs_b; cs_c; cs_d ]
 
 let find id =
   let target = String.uppercase_ascii id in

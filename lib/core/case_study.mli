@@ -1,6 +1,6 @@
-(** The three case studies of the keynote, reconstructed: a narrative plus
-    the experiments that quantify it (see DESIGN.md for the substitution
-    rationale). *)
+(** The keynote's three case studies, reconstructed, plus the Ambient-IoT
+    extrapolation (CS-D): a narrative plus the experiments that quantify
+    it (see DESIGN.md for the substitution rationale). *)
 
 type t = {
   id : string;
@@ -20,10 +20,13 @@ val cs_b : t
 val cs_c : t
 (** Static media node (Watt). *)
 
+val cs_d : t
+(** Batteryless backscatter tag fleet (nanoWatt, Ambient-IoT). *)
+
 val all : t list
 
 val find : string -> t option
-(** Case-insensitive lookup by id (A, B, C). *)
+(** Case-insensitive lookup by id (A, B, C, D). *)
 
 val reports : t -> Report.t list
 (** Build the case study's experiment reports. *)

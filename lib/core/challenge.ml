@@ -50,14 +50,19 @@ let function_gap (f : Ami_function.t) ~processor ~budget ~base_year =
 
 let core_for cls =
   match cls with
+  | Device_class.Nanowatt -> Processor.tag_logic
   | Device_class.Microwatt -> Processor.mcu_16bit
   | Device_class.Milliwatt -> Processor.arm7_class
   | Device_class.Watt -> Processor.media_processor
 
+(* The ambition ladder stops at the microWatt class: the keynote's
+   push-one-class-down argument (video on the personal device, speech on
+   the autonomous node) does not extend to the batteryless tag, which
+   hosts no scenario workloads. *)
 let class_below = function
   | Device_class.Watt -> Some Device_class.Milliwatt
   | Device_class.Milliwatt -> Some Device_class.Microwatt
-  | Device_class.Microwatt -> None
+  | Device_class.Microwatt | Device_class.Nanowatt -> None
 
 (* Compute gets half the class budget; the other half goes to radio and
    interfaces. *)

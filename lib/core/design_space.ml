@@ -35,6 +35,17 @@ let autonomous_sensing =
     ~activation:Reference_designs.microwatt_activation ~rate:(1.0 /. 30.0)
     ~lifetime_target:(Time_span.years 5.0) ~class_limit:Device_class.Microwatt ()
 
+(** The Ambient-IoT mission below it: answer one inventory round every
+    5 min, forever, inside the nW band on a reader's field alone.  The
+    component axes of {!enumerate} predate the tag blocks (E22's table
+    stays as published), so this mission is evaluated against explicit
+    tag candidates rather than the enumerated space. *)
+let aiot_tagging =
+  mission ~name:"ambient-IoT tagging"
+    ~activation:Reference_designs.nanowatt_activation ~rate:(1.0 /. 300.0)
+    ~environment:(Harvester.reader_field ~eirp_dbm:36.0 ~distance_m:5.0)
+    ~lifetime_target:(Time_span.years 10.0) ~class_limit:Device_class.Nanowatt ()
+
 type candidate = {
   label : string;
   node : Node_model.t;

@@ -32,6 +32,12 @@ val autonomous_sensing : mission
 (** The keynote's standing mission: one report per 30 s, five unattended
     years, microwatt class. *)
 
+val aiot_tagging : mission
+(** The Ambient-IoT mission below it: one inventory answer per 5 min in
+    the nW band, living on a 36 dBm reader field at 5 m.  Evaluated
+    against explicit tag candidates — the enumerated component axes
+    predate the tag blocks, so E22's table stays as published. *)
+
 type candidate = {
   label : string;
   node : Node_model.t;

@@ -1,74 +1,105 @@
-(** The three device classes of the ambient-intelligence keynote.
+(** The device classes of the ambient-intelligence keynote, plus the
+    class the field added after it.
 
     "Based on the differences in power consumption, three types of devices
     are introduced: the autonomous or microWatt-node, the personal or
     milliWatt-node and the static or Watt-node."  The class boundaries are
     the power decades: below 1 mW average, a device can live on scavenged
     energy; below ~1 W it can live on a pocketable battery; above that it
-    needs the mains. *)
+    needs the mains.
+
+    The fourth class — the nanoWatt tag — is the Ambient-IoT batteryless
+    backscatter node: no battery at all, powered by the RF field of a
+    Watt-node reader, living below 1 uW average.  The original three
+    classes keep their exact keynote bands under {!keynote_band}; the
+    honest four-way partition splits the old microWatt band at 1 uW. *)
 
 open Amb_units
 
 type t =
+  | Nanowatt  (** tag: batteryless, reader-powered backscatter (A-IoT) *)
   | Microwatt  (** autonomous: scavenging / coin cell, years unattended *)
   | Milliwatt  (** personal: rechargeable battery, days between charges *)
   | Watt  (** static: mains powered, thermally limited *)
 
-let all = [ Microwatt; Milliwatt; Watt ]
+let all = [ Nanowatt; Microwatt; Milliwatt; Watt ]
+
+let keynote = [ Microwatt; Milliwatt; Watt ]
 
 let name = function
+  | Nanowatt -> "nanoWatt-node (tag)"
   | Microwatt -> "microWatt-node (autonomous)"
   | Milliwatt -> "milliWatt-node (personal)"
   | Watt -> "Watt-node (static)"
 
-let short_name = function Microwatt -> "uW" | Milliwatt -> "mW" | Watt -> "W"
+let short_name = function
+  | Nanowatt -> "nW"
+  | Microwatt -> "uW"
+  | Milliwatt -> "mW"
+  | Watt -> "W"
 
-(** [band cls] — (inclusive lower, exclusive upper) average-power band. *)
+(** [band cls] — (inclusive lower, exclusive upper) average-power band of
+    the honest four-way partition of (0, inf). *)
 let band = function
-  | Microwatt -> (Power.zero, Power.milliwatts 1.0)
+  | Nanowatt -> (Power.zero, Power.microwatts 1.0)
+  | Microwatt -> (Power.microwatts 1.0, Power.milliwatts 1.0)
   | Milliwatt -> (Power.milliwatts 1.0, Power.watts 1.0)
   | Watt -> (Power.watts 1.0, Power.watts Float.infinity)
 
+(** [keynote_band cls] — the three-class bands of the keynote, with the
+    microWatt band running all the way down to zero (the keynote had no
+    nanoWatt class; tags were microWatt functions).  Undefined meaning
+    for [Nanowatt]: it returns the honest band. *)
+let keynote_band = function
+  | Microwatt -> (Power.zero, Power.milliwatts 1.0)
+  | (Nanowatt | Milliwatt | Watt) as cls -> band cls
+
 (** [of_power p] — classify an average power draw. *)
 let of_power p =
-  if Power.lt p (Power.milliwatts 1.0) then Microwatt
+  if Power.lt p (Power.microwatts 1.0) then Nanowatt
+  else if Power.lt p (Power.milliwatts 1.0) then Microwatt
   else if Power.lt p (Power.watts 1.0) then Milliwatt
   else Watt
 
 (** [average_budget cls] — design-target average power for the class. *)
 let average_budget = function
+  | Nanowatt -> Power.nanowatts 100.0
   | Microwatt -> Power.microwatts 100.0
   | Milliwatt -> Power.milliwatts 100.0
   | Watt -> Power.watts 10.0
 
 (** [peak_budget cls] — tolerable burst power. *)
 let peak_budget = function
+  | Nanowatt -> Power.microwatts 10.0
   | Microwatt -> Power.milliwatts 10.0
   | Milliwatt -> Power.watts 1.0
   | Watt -> Power.watts 60.0
 
 (** [energy_source cls] — the supply archetype of the class. *)
 let energy_source = function
+  | Nanowatt -> "harvested RF field (reader-powered, batteryless)"
   | Microwatt -> "energy scavenging + coin cell"
   | Milliwatt -> "rechargeable battery"
   | Watt -> "mains"
 
 (** [lifetime_target cls] — unattended-operation requirement; [None] for
-    the mains-powered class. *)
+    the classes that never run out (mains, or no battery to drain). *)
 let lifetime_target = function
+  | Nanowatt -> None
   | Microwatt -> Some (Time_span.years 5.0)
   | Milliwatt -> Some (Time_span.days 7.0)
   | Watt -> None
 
 (** [typical_functions cls]. *)
 let typical_functions = function
+  | Nanowatt -> [ "asset identification"; "inventory"; "presence beaconing" ]
   | Microwatt -> [ "context sensing"; "presence detection"; "identification (tags)" ]
   | Milliwatt -> [ "personal audio"; "voice interface"; "wearable computing" ]
   | Watt -> [ "video processing"; "media serving"; "ambient displays" ]
 
-(** [design_challenge cls] — the IC challenge the keynote attaches to the
-    class. *)
+(** [design_challenge cls] — the IC challenge attached to the class. *)
 let design_challenge = function
+  | Nanowatt -> "RF rectifier sensitivity, backscatter link margin, nW clocking"
   | Microwatt -> "uW standby power, radio start-up energy, energy scavenging"
   | Milliwatt -> "energy-efficient signal processing, voltage scaling"
   | Watt -> "power density, leakage, memory bandwidth"
@@ -77,7 +108,7 @@ let design_challenge = function
 let compatible cls p = of_power p = cls || Power.lt p (fst (band cls))
 
 let compare a b =
-  let rank = function Microwatt -> 0 | Milliwatt -> 1 | Watt -> 2 in
+  let rank = function Nanowatt -> 0 | Microwatt -> 1 | Milliwatt -> 2 | Watt -> 3 in
   Stdlib.compare (rank a) (rank b)
 
 let pp fmt cls = Format.pp_print_string fmt (name cls)

@@ -1,25 +1,40 @@
-(** The three device classes of the keynote: "the autonomous or
+(** The three device classes of the keynote — "the autonomous or
     microWatt-node, the personal or milliWatt-node and the static or
-    Watt-node."  Class boundaries are the power decades: below 1 mW
-    average a device can live on scavenged energy; below ~1 W on a
-    pocketable battery; above that it needs the mains. *)
+    Watt-node" — plus the class the field added after it: the batteryless
+    nanoWatt backscatter tag (Ambient-IoT).  Class boundaries are the
+    power decades: below 1 uW average a device can live on a harvested RF
+    field alone; below 1 mW on scavenged energy plus a buffer; below ~1 W
+    on a pocketable battery; above that it needs the mains. *)
 
 open Amb_units
 
 type t =
+  | Nanowatt  (** tag: batteryless, reader-powered backscatter (A-IoT) *)
   | Microwatt  (** autonomous: scavenging / coin cell, years unattended *)
   | Milliwatt  (** personal: rechargeable battery, days between charges *)
   | Watt  (** static: mains powered, thermally limited *)
 
 val all : t list
+(** All four classes, ascending in power. *)
+
+val keynote : t list
+(** The original three classes of the keynote, ascending — the view the
+    reconstructed keynote tables iterate. *)
+
 val name : t -> string
 val short_name : t -> string
 
 val band : t -> Power.t * Power.t
-(** (inclusive lower, exclusive upper) average-power band. *)
+(** (inclusive lower, exclusive upper) average-power band; the four
+    bands partition (0, inf) with no gaps or overlaps. *)
+
+val keynote_band : t -> Power.t * Power.t
+(** The keynote's three-class bands: [Microwatt] runs down to zero (the
+    keynote had no nanoWatt class).  Identical to {!band} for the other
+    classes. *)
 
 val of_power : Power.t -> t
-(** Classify an average power draw. *)
+(** Classify an average power draw; the inverse of {!band} membership. *)
 
 val average_budget : t -> Power.t
 (** Design-target average power for the class. *)
@@ -28,12 +43,13 @@ val peak_budget : t -> Power.t
 val energy_source : t -> string
 
 val lifetime_target : t -> Time_span.t option
-(** Unattended-operation requirement; [None] for the mains class. *)
+(** Unattended-operation requirement; [None] for the mains class and for
+    the batteryless tag (nothing to drain). *)
 
 val typical_functions : t -> string list
 
 val design_challenge : t -> string
-(** The IC challenge the keynote attaches to the class. *)
+(** The IC challenge attached to the class. *)
 
 val compatible : t -> Power.t -> bool
 val compare : t -> t -> int

@@ -1,6 +1,6 @@
 (** The reconstructed experiment suite — one builder per table/figure.
 
-    Each experiment E1..E27 (plus ablations A1..A3) regenerates one
+    Each experiment E1..E31 (plus ablations A1..A3) regenerates one
     paper-shaped artifact as a {!Report.t}.  DESIGN.md maps each id to the
     modules it exercises; EXPERIMENTS.md records expected-shape vs
     measured.  The bench harness and the CLI both dispatch through
@@ -26,7 +26,7 @@ let e1 () = Power_information.to_report (Power_information.catalogue ())
 
 let e2 () =
   let row cls =
-    let lo, hi = Device_class.band cls in
+    let lo, hi = Device_class.keynote_band cls in
     [ txt (Device_class.name cls);
       txt (Printf.sprintf "%s .. %s" (Power.to_string lo) (Power.to_string hi));
       Report.cell_power (Device_class.average_budget cls);
@@ -39,10 +39,10 @@ let e2 () =
   in
   Report.make ~title:"E2: the three device classes"
     ~header:[ "class"; "power band"; "avg budget"; "energy source"; "lifetime target"; "functions" ]
-    (List.map row Device_class.all)
+    (List.map row Device_class.keynote)
     ~notes:[ "challenges: " ^ String.concat " | "
                (List.map (fun c -> Device_class.short_name c ^ ": " ^ Device_class.design_challenge c)
-                  Device_class.all) ]
+                  Device_class.keynote) ]
 
 (* ------------------------------------------------------------------ *)
 (* E3 — CS-A energy budget per activation                              *)
@@ -1058,6 +1058,150 @@ let e27 () =
     @ [ e27_lifetime_row () ])
 
 (* ------------------------------------------------------------------ *)
+(* E28 — the extended taxonomy: four device classes (CS-D)             *)
+
+let e28 () =
+  let row cls =
+    let lo, hi = Device_class.band cls in
+    [ txt (Device_class.name cls);
+      txt (Printf.sprintf "%s .. %s" (Power.to_string lo) (Power.to_string hi));
+      Report.cell_power (Device_class.average_budget cls);
+      Report.cell_power (Device_class.peak_budget cls);
+      txt (Device_class.energy_source cls);
+      (match Device_class.lifetime_target cls with
+      | Some t -> Report.cell_time t
+      | None ->
+        txt
+          (if cls = Device_class.Nanowatt then "unlimited (field-powered)"
+           else "n/a (mains)"));
+      txt (String.concat ", " (Device_class.typical_functions cls));
+    ]
+  in
+  Report.make ~title:"E28: the four device classes (keynote taxonomy + Ambient-IoT tag)"
+    ~header:
+      [ "class"; "power band"; "avg budget"; "peak budget"; "energy source";
+        "lifetime target"; "functions" ]
+    (List.map row Device_class.all)
+    ~notes:
+      [ "challenges: "
+        ^ String.concat " | "
+            (List.map
+               (fun c -> Device_class.short_name c ^ ": " ^ Device_class.design_challenge c)
+               Device_class.all);
+        "the nW tag sits below the keynote's taxonomy: batteryless, reader-powered, \
+         no transmitter of its own";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E29 — A-IoT blocks on the power-information graph (CS-D)            *)
+
+let e29 () =
+  let base = Power_information.catalogue () in
+  let aiot = Power_information.aiot_entries () in
+  let union = base @ aiot in
+  let frontier = Power_information.pareto_frontier union in
+  let row e =
+    [ txt e.Power_information.name;
+      txt (Power_information.kind_name e.Power_information.kind);
+      Report.cell_rate e.Power_information.info_rate;
+      Report.cell_power e.Power_information.power;
+      Report.cell_float (Power_information.efficiency e);
+      txt (Device_class.short_name (Power_information.classify e));
+      txt (if List.memq e frontier then "*" else "");
+    ]
+  in
+  let nw_count =
+    match List.assoc_opt Device_class.Nanowatt (Power_information.by_class union) with
+    | Some entries -> List.length entries
+    | None -> 0
+  in
+  let aiot_on_frontier = List.length (List.filter (fun e -> List.memq e frontier) aiot) in
+  Report.make ~title:"E29: Ambient-IoT blocks on the power-information graph"
+    ~header:[ "technology"; "kind"; "info rate"; "power"; "bits/J"; "class"; "Pareto" ]
+    (List.map row aiot)
+    ~notes:
+      [ Printf.sprintf "%d of %d A-IoT entries sit on the union Pareto frontier"
+          aiot_on_frontier (List.length aiot);
+        Printf.sprintf "the nW band, empty on the E1 graph, now holds %d entries" nw_count;
+        "* marks the frontier of the full E1 catalogue united with the A-IoT entries";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E30 — backscatter link budget, both sides of the transaction (CS-D) *)
+
+let e30_link geometry =
+  Backscatter.make ~name:"UHF reader link" ~geometry ~reader:Radio_frontend.rfid_reader
+    ~tag:Radio_frontend.backscatter_uhf ()
+
+let e30 () =
+  let mono = e30_link Backscatter.Monostatic in
+  let bist = e30_link (Backscatter.Bistatic { emitter_distance_m = 2.0 }) in
+  let bits = 128.0 in
+  let row d =
+    let incident = Backscatter.tag_incident_dbm mono ~distance_m:d in
+    let dc = Rf_harvester.rectified_dc Rf_harvester.cmos_charge_pump ~incident_dbm:incident in
+    let mark ok = txt (if ok then "ok" else "X") in
+    [ txt (Printf.sprintf "%.0f m" d);
+      Report.cell_float ~digits:3 incident;
+      Report.cell_power dc;
+      Report.cell_float ~digits:3 (Backscatter.uplink_dbm mono ~distance_m:d);
+      mark (Backscatter.downlink_closes mono ~distance_m:d);
+      mark (Backscatter.uplink_closes mono ~distance_m:d);
+      mark (Backscatter.closes bist ~distance_m:d);
+    ]
+  in
+  let reader_j = Backscatter.reader_energy_per_report mono ~bits in
+  let tag_j = Backscatter.tag_energy_per_report mono ~bits in
+  let ratio = Energy.ratio reader_j tag_j in
+  Report.make ~title:"E30: backscatter link budget vs reader-tag distance (36 dBm EIRP)"
+    ~header:
+      [ "distance"; "incident @tag (dBm)"; "harvested DC"; "uplink @reader (dBm)";
+        "downlink"; "uplink"; "bistatic" ]
+    (List.map row [ 1.0; 2.0; 5.0; 8.0; 12.0; 18.0; 25.0 ])
+    ~notes:
+      [ Printf.sprintf "range: monostatic %.1f m, bistatic (emitter at 2 m) %.1f m"
+          (Backscatter.max_range mono) (Backscatter.max_range bist);
+        Printf.sprintf "per 128-bit report: reader %s, tag %s - a %.0e:1 asymmetry"
+          (Energy.to_string reader_j) (Energy.to_string tag_j) ratio;
+        "tag downlink energy is identically zero: the reader's carrier is the downlink";
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E31 — mixed fleet with batteryless tags through the co-sim (CS-D)   *)
+
+let e31 () =
+  let open Amb_system in
+  let fleet =
+    Fleet.make ~width_m:40.0 ~height_m:40.0 ~leaves:24 ~relays:3 ~tags:12 ~seed:28 ()
+  in
+  let cfg =
+    Cosim.config ~fleet ~policy:Amb_net.Routing.Min_energy ~horizon:(Time_span.hours 24.0)
+      ()
+  in
+  let o = Cosim.run cfg ~seed:28 in
+  let r =
+    System_metrics.report
+      ~title:"E31: mixed fleet with batteryless tags (24 uW leaves, 3 mW relays, 12 nW tags, 24 h)"
+      fleet o
+  in
+  let tier_consumed tier =
+    Array.fold_left
+      (fun acc i -> acc +. Energy.to_joules (Node_agent.consumed_energy o.Cosim.agents.(i)))
+      0.0 (Fleet.tier_nodes fleet tier)
+  in
+  Report.make ~title:r.Report.title ~header:r.Report.header r.Report.rows
+    ~notes:
+      (r.Report.notes
+      @ [ Printf.sprintf
+            "reader-powered links: the W sink spent %s serving tags that spent only %s \
+             themselves"
+            (Energy.to_string (Energy.joules (tier_consumed Fleet.Sink)))
+            (Energy.to_string (Energy.joules (tier_consumed Fleet.Tag)));
+          "tags beyond the reader's backscatter range drop their reports - coverage is \
+           set by reader placement, not tag energy";
+        ])
+
+(* ------------------------------------------------------------------ *)
 
 (** [all] — experiment id, description, builder. *)
 let all : (string * string * (unit -> Report.t)) list =
@@ -1088,6 +1232,10 @@ let all : (string * string * (unit -> Report.t)) list =
     ("E25", "heterogeneous fleet co-simulation", e25);
     ("E26", "fault injection on the fleet", e26);
     ("E27", "co-simulation cross-checks", e27);
+    ("E28", "four device classes (A-IoT)", e28);
+    ("E29", "A-IoT on power-information graph", e29);
+    ("E30", "backscatter link budget", e30);
+    ("E31", "mixed fleet with nW tags", e31);
     ("A1", "ablation: Peukert off", a1);
     ("A2", "ablation: Dennard vs leakage-aware", a2);
     ("A3", "ablation: radio start-up off", a3);
@@ -1157,7 +1305,8 @@ let shard_count id =
    supplied.  Unlisted experiments are near-instant analytic tables. *)
 let static_expected_ns =
   [ ("E27", 1.2e9); ("E16", 5.4e8); ("E20", 3.8e8); ("E26", 2.7e8); ("E18", 1.0e8);
-    ("E25", 5.0e7); ("E11", 2.9e7); ("E12", 2.0e7); ("E14", 1.5e7); ("E21", 8.0e6);
+    ("E25", 5.0e7); ("E31", 3.0e7); ("E11", 2.9e7); ("E12", 2.0e7); ("E14", 1.5e7);
+    ("E21", 8.0e6);
   ]
 
 let expected_ns ~expected id =

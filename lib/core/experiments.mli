@@ -89,6 +89,22 @@ val e27 : unit -> Report.t
 (** Degenerate-config cross-checks: the co-simulation vs [Net_sim] (E20
     config) and [Lifetime_sim] (E12-style single node). *)
 
+val e28 : unit -> Report.t
+(** The extended taxonomy: all four device classes including the
+    Ambient-IoT nW tag (the CLI's default [classes] table). *)
+
+val e29 : unit -> Report.t
+(** The A-IoT blocks placed on the power-information graph; frontier
+    computed over the union with the E1 catalogue. *)
+
+val e30 : unit -> Report.t
+(** Backscatter link budget vs distance — monostatic and bistatic, with
+    harvested DC and both sides of the per-report energy bill. *)
+
+val e31 : unit -> Report.t
+(** Mixed fleet with batteryless tags through the co-simulation: the
+    W-node reader pays the radio bill the tags cannot. *)
+
 val a1 : unit -> Report.t
 (** Ablation: Peukert derating off. *)
 

@@ -39,19 +39,23 @@ let host ?(has_sensing = false) ?(has_display = false) ?(base_power = Power.zero
 
 (** [class_of_supply supply] — the keynote's own classification: the
     energy source determines the class (mains -> W, rechargeable -> mW,
-    scavenger/primary cell -> uW). *)
+    scavenger/primary cell -> uW, and the post-keynote addition:
+    rectenna-only with no battery at all -> nW tag). *)
 let class_of_supply (supply : Amb_energy.Supply.t) =
   let open Amb_energy in
   if supply.Supply.mains then Device_class.Watt
-  else if supply.Supply.harvester <> None then Device_class.Microwatt
   else
+    match (supply.Supply.harvester, supply.Supply.battery) with
+    | Some (Harvester.Rectenna _, _), None -> Device_class.Nanowatt
+    | Some _, _ -> Device_class.Microwatt
+    | None, _ -> (
     match supply.Supply.battery with
     | Some { Battery.chemistry = Battery.Lithium_ion | Battery.Lithium_polymer
              | Battery.Nickel_metal_hydride; _ } ->
       Device_class.Milliwatt
     | Some { Battery.chemistry = Battery.Lithium_coin | Battery.Alkaline; _ } ->
       Device_class.Microwatt
-    | None -> Device_class.Microwatt
+    | None -> Device_class.Microwatt)
 
 (** [of_node_model node] — derive a host from a composed
     [Amb_node.Node_model.t]: class from its energy source, capacities from

@@ -98,6 +98,20 @@ let catalogue () =
       literal;
     ]
 
+(** The Ambient-IoT additions to the graph: the tag-logic core and the
+    backscatter front end, plus the whole tag averaged over an inventory
+    round (one 128-bit identifier per 5 minutes at its 100 nW budget).
+    Kept out of {!catalogue} — the keynote-era tables (E1) iterate that
+    list and must stay as published; the A-IoT experiment (E29) unions
+    the two. *)
+let aiot_entries () =
+  [ of_processor Processor.tag_logic;
+    of_radio Radio_frontend.backscatter_uhf;
+    entry ~name:"A-IoT tag (inventory round)" ~kind:Communication
+      ~info_rate:(Data_rate.bits_per_second (128.0 /. 300.0))
+      ~power:(Power.nanowatts 100.0);
+  ]
+
 (** [pareto_frontier entries] — entries not dominated in (higher rate,
     lower power); sorted by rate. *)
 let pareto_frontier entries =
@@ -110,7 +124,8 @@ let pareto_frontier entries =
   List.filter non_dominated entries
   |> List.sort (fun a b -> Data_rate.compare a.info_rate b.info_rate)
 
-(** [by_class entries] — entries grouped into the three power bands. *)
+(** [by_class entries] — entries grouped into the power bands (all four
+    classes; tag-free entry sets simply leave the nW band empty). *)
 let by_class entries =
   List.map
     (fun cls -> (cls, List.filter (fun e -> classify e = cls) entries))

@@ -39,6 +39,12 @@ val catalogue : unit -> entry list
 (** Every block model in [Amb_circuit] plus literal anchors (RFID tag,
     desktop CPU) framing the axes. *)
 
+val aiot_entries : unit -> entry list
+(** The Ambient-IoT additions: tag-logic core, backscatter front end,
+    and the whole tag averaged over an inventory round.  Disjoint from
+    {!catalogue} so the keynote-era tables stay as published; E29 unions
+    the two. *)
+
 val pareto_frontier : entry list -> entry list
 (** Entries not dominated in (higher rate, lower power), sorted by
     rate. *)

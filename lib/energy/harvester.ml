@@ -14,6 +14,9 @@ type source =
   | Thermoelectric of { area : Area.t; power_per_area_per_k : float; delta_t_k : float }
       (** [power_per_area_per_k] in W/m^2/K across the module *)
   | Rf_field of { area : Area.t; field_power_w_m2 : float; efficiency : float }
+  | Rectenna of { rect : Rf_harvester.t; carrier_hz : float }
+      (** antenna + rectifier chain with a sensitivity floor — the
+          batteryless tag's supply ({!Rf_harvester}) *)
 
 type environment = {
   name : string;
@@ -46,6 +49,18 @@ let on_body =
 let environments =
   [ office_indoor; home_living_room; outdoor_daylight; industrial_machinery; on_body ]
 
+(** [reader_field ~eirp_dbm ~distance_m] — the environment next to an
+    A-IoT reader: an RF power density of EIRP / 4 pi d^2 and nothing
+    else.  The ambient backgrounds above carry ~1 uW/m^2 of RF; a 36 dBm
+    reader at 5 m delivers ~12 mW/m^2, four decades more — which is why
+    the tag class exists. *)
+let reader_field ~eirp_dbm ~distance_m =
+  if distance_m <= 0.0 then invalid_arg "Harvester.reader_field: non-positive distance";
+  let eirp_w = Power.to_watts (Decibel.power_of_dbm eirp_dbm) in
+  { name = Printf.sprintf "reader field (%.0f dBm EIRP at %.1f m)" eirp_dbm distance_m;
+    irradiance_w_m2 = 0.0; vibration_scale = 0.0; ambient_delta_t_k = 0.0;
+    rf_power_w_m2 = eirp_w /. (4.0 *. Float.pi *. distance_m *. distance_m) }
+
 (** [output source env] — average electrical output of [source] in
     environment [env]. *)
 let output source env =
@@ -60,6 +75,8 @@ let output source env =
   | Rf_field { area; field_power_w_m2; efficiency } ->
     let density = Float.min field_power_w_m2 env.rf_power_w_m2 in
     Area.power_at_density (density *. efficiency) area
+  | Rectenna { rect; carrier_hz } ->
+    Rf_harvester.harvested rect ~field_w_m2:env.rf_power_w_m2 ~carrier_hz
 
 (** A 5 cm^2 amorphous-silicon cell, the form factor of a wall-switch-sized
     autonomous node. *)
@@ -83,3 +100,5 @@ let describe = function
   | Thermoelectric { area; _ } ->
     Printf.sprintf "thermoelectric %.1f cm^2" (Area.to_square_centimetres area)
   | Rf_field { area; _ } -> Printf.sprintf "RF %.1f cm^2" (Area.to_square_centimetres area)
+  | Rectenna { rect; carrier_hz } ->
+    Printf.sprintf "rectenna (%s, %.0f MHz)" rect.Rf_harvester.name (carrier_hz /. 1e6)

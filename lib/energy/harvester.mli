@@ -10,6 +10,9 @@ type source =
   | Vibration of { volume_cm3 : float; density_uw_per_cm3 : float }
   | Thermoelectric of { area : Area.t; power_per_area_per_k : float; delta_t_k : float }
   | Rf_field of { area : Area.t; field_power_w_m2 : float; efficiency : float }
+  | Rectenna of { rect : Rf_harvester.t; carrier_hz : float }
+      (** antenna + rectifier chain with a sensitivity floor — the
+          batteryless tag's supply ({!Rf_harvester}) *)
 
 type environment = {
   name : string;
@@ -25,6 +28,11 @@ val outdoor_daylight : environment
 val industrial_machinery : environment
 val on_body : environment
 val environments : environment list
+
+val reader_field : eirp_dbm:float -> distance_m:float -> environment
+(** The environment next to an A-IoT reader: an RF power density of
+    EIRP / 4 pi d^2 and nothing else.  Raises [Invalid_argument] for a
+    non-positive distance. *)
 
 val output : source -> environment -> Power.t
 (** Average electrical output of [source] in [environment]. *)

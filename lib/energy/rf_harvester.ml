@@ -1,0 +1,83 @@
+(** RF energy harvesting front end: antenna + rectifier.
+
+    The batteryless tag's whole supply chain — an incident RF field,
+    collected by an antenna of effective aperture Ae = G lambda^2 / 4 pi,
+    rectified to DC by a charge pump whose conversion efficiency is zero
+    below a sensitivity floor (the diodes never turn on), ramps with
+    input level, and saturates at a peak.  The published A-IoT rectifier
+    surveys report exactly this shape: -20..-30 dBm turn-on, 30..65 %
+    peak efficiency a couple of decades above it. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  antenna_gain_dbi : float;
+  sensitivity_dbm : float;  (** rectifier turn-on floor at the antenna port *)
+  peak_efficiency : float;  (** RF->DC conversion at/above saturation *)
+  saturation_dbm : float;  (** input level where efficiency peaks *)
+}
+
+let make ~name ~antenna_gain_dbi ~sensitivity_dbm ~peak_efficiency ~saturation_dbm =
+  if peak_efficiency <= 0.0 || peak_efficiency > 1.0 then
+    invalid_arg "Rf_harvester.make: peak efficiency outside (0,1]";
+  if saturation_dbm <= sensitivity_dbm then
+    invalid_arg "Rf_harvester.make: saturation at or below the sensitivity floor";
+  { name; antenna_gain_dbi; sensitivity_dbm; peak_efficiency; saturation_dbm }
+
+(** [aperture t ~carrier_hz] — effective antenna aperture in m^2,
+    Ae = G lambda^2 / 4 pi. *)
+let aperture t ~carrier_hz =
+  if carrier_hz <= 0.0 then invalid_arg "Rf_harvester.aperture: non-positive carrier";
+  let lambda = 299_792_458.0 /. carrier_hz in
+  Decibel.to_ratio t.antenna_gain_dbi *. lambda *. lambda /. (4.0 *. Float.pi)
+
+(** [available_dbm t ~field_w_m2 ~carrier_hz] — power available at the
+    antenna port from a field of the given power density; [neg_infinity]
+    in a dead field. *)
+let available_dbm t ~field_w_m2 ~carrier_hz =
+  if field_w_m2 < 0.0 then invalid_arg "Rf_harvester.available_dbm: negative field";
+  let pw = field_w_m2 *. aperture t ~carrier_hz in
+  if pw <= 0.0 then Float.neg_infinity else Decibel.dbm_of_power (Power.watts pw)
+
+(** [efficiency_at t ~incident_dbm] — RF->DC conversion efficiency at an
+    input level (antenna port, dBm): zero below the sensitivity floor, a
+    linear-in-dB ramp up to [peak_efficiency] at [saturation_dbm], flat
+    above. *)
+let efficiency_at t ~incident_dbm =
+  if incident_dbm < t.sensitivity_dbm then 0.0
+  else if incident_dbm >= t.saturation_dbm then t.peak_efficiency
+  else
+    t.peak_efficiency
+    *. (incident_dbm -. t.sensitivity_dbm)
+    /. (t.saturation_dbm -. t.sensitivity_dbm)
+
+(** [rectified_dc t ~incident_dbm] — DC output for an input level at the
+    antenna port; {!Power.zero} below the sensitivity floor. *)
+let rectified_dc t ~incident_dbm =
+  let eta = efficiency_at t ~incident_dbm in
+  if eta <= 0.0 || not (Float.is_finite incident_dbm) then Power.zero
+  else Power.scale eta (Decibel.power_of_dbm incident_dbm)
+
+(** [harvested t ~field_w_m2 ~carrier_hz] — DC output from a field:
+    aperture collection then rectification. *)
+let harvested t ~field_w_m2 ~carrier_hz =
+  rectified_dc t ~incident_dbm:(available_dbm t ~field_w_m2 ~carrier_hz)
+
+(* Reference designs, per the A-IoT transceiver surveys. *)
+
+(** CMOS charge-pump rectifier behind a dipole — the fully-integrated tag
+    front end: deep turn-on floor, modest peak efficiency. *)
+let cmos_charge_pump =
+  make ~name:"CMOS charge pump (dipole)" ~antenna_gain_dbi:2.15 ~sensitivity_dbm:(-26.0)
+    ~peak_efficiency:0.45 ~saturation_dbm:(-8.0)
+
+(** Schottky-diode rectenna on a patch antenna — the discrete,
+    higher-gain alternative: shallower floor, better peak. *)
+let schottky_rectenna =
+  make ~name:"Schottky rectenna (patch)" ~antenna_gain_dbi:6.0 ~sensitivity_dbm:(-20.0)
+    ~peak_efficiency:0.65 ~saturation_dbm:(-5.0)
+
+let describe t =
+  Printf.sprintf "%s: %.1f dBi, floor %.0f dBm, peak %.0f%% at %.0f dBm" t.name
+    t.antenna_gain_dbi t.sensitivity_dbm (100.0 *. t.peak_efficiency) t.saturation_dbm

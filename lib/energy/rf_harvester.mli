@@ -1,0 +1,53 @@
+(** RF energy harvesting front end: antenna + rectifier — the batteryless
+    tag's supply chain.  Conversion efficiency is zero below a
+    sensitivity floor, ramps linearly in dB, and saturates at a peak, the
+    shape the A-IoT rectifier surveys report. *)
+
+open Amb_units
+
+type t = {
+  name : string;
+  antenna_gain_dbi : float;
+  sensitivity_dbm : float;  (** rectifier turn-on floor at the antenna port *)
+  peak_efficiency : float;  (** RF->DC conversion at/above saturation *)
+  saturation_dbm : float;  (** input level where efficiency peaks *)
+}
+
+val make :
+  name:string ->
+  antenna_gain_dbi:float ->
+  sensitivity_dbm:float ->
+  peak_efficiency:float ->
+  saturation_dbm:float ->
+  t
+(** Raises [Invalid_argument] for a peak efficiency outside (0,1] or a
+    saturation level at or below the sensitivity floor. *)
+
+val aperture : t -> carrier_hz:float -> float
+(** Effective antenna aperture in m^2, Ae = G lambda^2 / 4 pi.  Raises
+    [Invalid_argument] for a non-positive carrier. *)
+
+val available_dbm : t -> field_w_m2:float -> carrier_hz:float -> float
+(** Power available at the antenna port from a field of the given power
+    density; [neg_infinity] in a dead field. *)
+
+val efficiency_at : t -> incident_dbm:float -> float
+(** RF->DC conversion efficiency at an antenna-port input level: zero
+    below the floor, linear-in-dB ramp to the peak at saturation, flat
+    above. *)
+
+val rectified_dc : t -> incident_dbm:float -> Power.t
+(** DC output for an antenna-port input level; {!Power.zero} below the
+    sensitivity floor. *)
+
+val harvested : t -> field_w_m2:float -> carrier_hz:float -> Power.t
+(** DC output from a field: aperture collection then rectification. *)
+
+val cmos_charge_pump : t
+(** Fully-integrated tag front end: 2.15 dBi dipole, -26 dBm floor, 45 %
+    peak at -8 dBm. *)
+
+val schottky_rectenna : t
+(** Discrete patch rectenna: 6 dBi, -20 dBm floor, 65 % peak at -5 dBm. *)
+
+val describe : t -> string

@@ -29,6 +29,13 @@ let make ~name ~capacitance_f ~v_max_v ~v_min_v ~leakage_uw =
 let supercap_100mf = make ~name:"100 mF supercap" ~capacitance_f:0.1 ~v_max_v:3.3 ~v_min_v:1.8 ~leakage_uw:1.0
 let supercap_1f = make ~name:"1 F supercap" ~capacitance_f:1.0 ~v_max_v:2.7 ~v_min_v:1.2 ~leakage_uw:5.0
 
+(* The batteryless tag's entire energy store: an on-die/on-package
+   reservoir capacitor rectifier-charged between transactions — microjoules,
+   enough for one backscatter reply, gone in seconds without the field. *)
+let tag_reservoir =
+  make ~name:"10 uF tag reservoir" ~capacitance_f:10e-6 ~v_max_v:1.8 ~v_min_v:0.9
+    ~leakage_uw:0.01
+
 (** [usable_energy cap] — 1/2 C (Vmax^2 - Vmin^2). *)
 let usable_energy cap =
   Energy.joules (0.5 *. cap.capacitance_f *. (Voltage.squared cap.v_max -. Voltage.squared cap.v_min))

@@ -20,6 +20,10 @@ val make :
 val supercap_100mf : t
 val supercap_1f : t
 
+val tag_reservoir : t
+(** The batteryless tag's 10 uF rectifier-charged reservoir: microjoules,
+    one backscatter reply per fill. *)
+
 val usable_energy : t -> Energy.t
 val total_energy : t -> Energy.t
 

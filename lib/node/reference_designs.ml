@@ -62,9 +62,32 @@ let watt_node () =
 let watt_activation =
   Node_model.activation ~compute_ops:2.5e9 ~tx_bits:100_000.0 ~rx_bits:4.0e6 ()
 
-(** All three vehicles with their standard activations. *)
+(** CS-D vehicle: batteryless nanoWatt backscatter tag (Ambient-IoT).
+    Hard-wired tag logic, 915 MHz envelope-detector/backscatter front
+    end, no battery — a CMOS charge-pump rectenna into a 10 uF reservoir,
+    living in the reader's field (default: 36 dBm EIRP at 5 m). *)
+let nanowatt_tag ?(environment = Harvester.reader_field ~eirp_dbm:36.0 ~distance_m:5.0) () =
+  let supply =
+    Supply.harvester_with_buffer ~name:"rectenna + 10 uF"
+      (Harvester.Rectenna { rect = Rf_harvester.cmos_charge_pump; carrier_hz = 915e6 })
+      environment Storage.tag_reservoir
+  in
+  Node_model.make ~name:"batteryless backscatter tag (nW class)"
+    ~processor:Processor.tag_logic ~radio:Radio_frontend.backscatter_uhf ~supply
+    ~sleep_power:(Power.nanowatts 30.0)
+    ~tx_dbm:Float.neg_infinity ()
+
+(** The tag's standard activation: decode one reader command, run the
+    protocol state machine (~50 ops), backscatter a 128-bit identifier.
+    No sensors, no RX bits on the tag's own ledger — the downlink is the
+    reader's carrier. *)
+let nanowatt_activation =
+  Node_model.activation ~samples_per_sensor:0.0 ~compute_ops:50.0 ~tx_bits:128.0 ()
+
+(** All four vehicles with their standard activations. *)
 let all () =
-  [ (microwatt_node (), microwatt_activation);
+  [ (nanowatt_tag (), nanowatt_activation);
+    (microwatt_node (), microwatt_activation);
     (milliwatt_node (), milliwatt_activation);
     (watt_node (), watt_activation);
   ]

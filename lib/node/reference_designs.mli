@@ -26,4 +26,14 @@ val watt_node : unit -> Node_model.t
 val watt_activation : Node_model.activation
 (** One second of SD video decode plus stream traffic. *)
 
+val nanowatt_tag : ?environment:Harvester.environment -> unit -> Node_model.t
+(** CS-D vehicle: batteryless backscatter tag — tag-logic state machine,
+    915 MHz envelope-detector front end, rectenna + 10 uF reservoir, no
+    battery (default environment: a 36 dBm reader at 5 m). *)
+
+val nanowatt_activation : Node_model.activation
+(** Decode one reader command, ~50 ops of protocol logic, backscatter a
+    128-bit identifier. *)
+
 val all : unit -> (Node_model.t * Node_model.activation) list
+(** All four vehicles, ascending in class. *)

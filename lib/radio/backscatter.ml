@@ -1,0 +1,176 @@
+(** Backscatter link budget — the reader-powered radio of the batteryless
+    nanoWatt tag (Ambient-IoT).
+
+    The tag transmits nothing of its own.  The reader (a Watt-node)
+    radiates a continuous-wave carrier; the tag signals by switching its
+    antenna impedance, modulating the reflected carrier; the reader's
+    receiver detects the modulated reflection.  The energy asymmetry is
+    the whole point: the uplink "transmitter" is an impedance switch
+    (~200 nW), while the reader pays the carrier during the entire
+    transaction plus its own receive chain.
+
+    Geometry (per the A-IoT physical-layer literature):
+    - {b Monostatic}: one reader both illuminates and receives — the
+      reflection suffers the reader-tag path loss twice (round trip).
+    - {b Bistatic}: a dedicated carrier emitter sits near the tag; the
+      receiver is elsewhere.  The reflection pays the short emitter-tag
+      hop plus the tag-receiver hop, trading infrastructure for range.
+
+    Per-report energy splits three ways: the reader's command downlink
+    (preamble + sync at the carrier level), the carrier it must keep up
+    while listening to the backscattered reply, and the tag's modulator —
+    nanojoules against the reader's millijoules. *)
+
+open Amb_units
+open Amb_circuit
+
+type geometry =
+  | Monostatic
+  | Bistatic of { emitter_distance_m : float }
+      (** dedicated carrier emitter at this fixed distance from the tag *)
+
+type t = {
+  name : string;
+  reader : Radio_frontend.t;  (** the reader's radio: carrier source + RX chain *)
+  tag : Radio_frontend.t;  (** the tag front end ({!Radio_frontend.backscatter_uhf}-like) *)
+  channel : Path_loss.model;
+  geometry : geometry;
+  carrier_dbm : float;  (** reader/emitter EIRP while illuminating *)
+  tag_gain_dbi : float;  (** tag antenna gain, applied on collection and re-radiation *)
+  modulation_loss_db : float;  (** reflection + modulation depth loss *)
+  preamble_bits : float;  (** reader command preamble (tag wake + settle) *)
+  sync_bits : float;  (** clock-sync field — the tag's relaxation oscillator
+                          is the reason this exists *)
+  fade_margin_db : float;
+}
+
+let make ?(channel = Path_loss.free_space) ?(geometry = Monostatic) ?(carrier_dbm = 36.0)
+    ?(tag_gain_dbi = 2.15) ?(modulation_loss_db = 6.0) ?(preamble_bits = 48.0)
+    ?(sync_bits = 16.0) ?(fade_margin_db = 6.0) ~name ~reader ~tag () =
+  if modulation_loss_db < 0.0 then invalid_arg "Backscatter.make: negative modulation loss";
+  if preamble_bits < 0.0 || sync_bits < 0.0 then
+    invalid_arg "Backscatter.make: negative preamble/sync";
+  if fade_margin_db < 0.0 then invalid_arg "Backscatter.make: negative margin";
+  (match geometry with
+  | Bistatic { emitter_distance_m } when emitter_distance_m <= 0.0 ->
+    invalid_arg "Backscatter.make: non-positive emitter distance"
+  | _ -> ());
+  { name; reader; tag; channel; geometry; carrier_dbm; tag_gain_dbi; modulation_loss_db;
+    preamble_bits; sync_bits; fade_margin_db }
+
+let loss_db t ~distance_m =
+  Path_loss.loss_db t.channel ~carrier_hz:t.tag.Radio_frontend.carrier_hz ~distance_m
+
+(* Distance from the carrier source to the tag. *)
+let illumination_distance t ~distance_m =
+  match t.geometry with
+  | Monostatic -> distance_m
+  | Bistatic { emitter_distance_m } -> emitter_distance_m
+
+(** [tag_incident_dbm t ~distance_m] — carrier level arriving at the tag's
+    antenna port: what the envelope detector sees and what the rectifier
+    ({!Amb_energy.Rf_harvester} upstream) has to live on. *)
+let tag_incident_dbm t ~distance_m =
+  t.carrier_dbm -. loss_db t ~distance_m:(illumination_distance t ~distance_m) +. t.tag_gain_dbi
+
+(** [downlink_closes t ~distance_m] — can the tag's envelope detector
+    decode the reader's command? *)
+let downlink_closes t ~distance_m =
+  tag_incident_dbm t ~distance_m
+  >= t.tag.Radio_frontend.sensitivity_dbm +. t.fade_margin_db
+
+(** [uplink_dbm t ~distance_m] — backscattered signal level at the
+    reader's receiver: incident carrier, re-radiated through the tag
+    antenna minus the modulation loss, across the return path. *)
+let uplink_dbm t ~distance_m =
+  tag_incident_dbm t ~distance_m -. t.modulation_loss_db +. t.tag_gain_dbi
+  -. loss_db t ~distance_m
+
+(** [uplink_closes t ~distance_m] — can the reader detect the
+    reflection? *)
+let uplink_closes t ~distance_m =
+  uplink_dbm t ~distance_m >= t.reader.Radio_frontend.sensitivity_dbm +. t.fade_margin_db
+
+(** [closes t ~distance_m] — both directions close (and in the monostatic
+    round trip the uplink is always the binding constraint). *)
+let closes t ~distance_m = downlink_closes t ~distance_m && uplink_closes t ~distance_m
+
+(** [max_range t] — largest reader-tag distance at which the transaction
+    closes (bisection; both link directions are monotone in distance). *)
+let max_range t =
+  if not (closes t ~distance_m:0.01) then 0.0
+  else begin
+    let hi = ref 0.01 in
+    while closes t ~distance_m:!hi && !hi < 1e7 do
+      hi := !hi *. 2.0
+    done;
+    let lo = ref (!hi /. 2.0) in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if closes t ~distance_m:mid then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+(* --- per-report energy ------------------------------------------------ *)
+
+let command_bits t = t.preamble_bits +. t.sync_bits
+
+(* Both command downlink and backscattered uplink run at the tag's
+   bitrate: the downlink is OOK the envelope detector can follow, the
+   uplink is whatever the impedance switch toggles at. *)
+let command_time t = Data_rate.transfer_time t.tag.Radio_frontend.bitrate (command_bits t)
+let uplink_time t ~bits = Data_rate.transfer_time t.tag.Radio_frontend.bitrate bits
+
+(* DC power the carrier source burns while the carrier is up: PA input
+   for the EIRP plus the reader's TX electronics. *)
+let carrier_power t = Radio_frontend.tx_power t.reader ~tx_dbm:t.carrier_dbm
+
+(** [reader_energy_per_report t ~bits] — the reader-side cost of one tag
+    report: carrier up for the whole transaction (command downlink, then
+    illumination while the tag replies) plus the receive chain during the
+    reply.  In the bistatic geometry the carrier burns in the dedicated
+    emitter rather than the reader, but it is infrastructure either way
+    and is charged to the reader's ledger. *)
+let reader_energy_per_report t ~bits =
+  let cmd = Energy.of_power_time (carrier_power t) (command_time t) in
+  let listen =
+    Energy.of_power_time
+      (Power.add (carrier_power t) t.reader.Radio_frontend.p_rx)
+      (uplink_time t ~bits)
+  in
+  Energy.add cmd listen
+
+(** [tag_energy_per_report t ~bits] — the tag-side cost: envelope
+    detector during the command, modulator driver during the reply.
+    Nanojoules — and even these are drawn from the harvested carrier. *)
+let tag_energy_per_report t ~bits =
+  let detect = Energy.of_power_time t.tag.Radio_frontend.p_rx (command_time t) in
+  let modulate =
+    Energy.of_power_time t.tag.Radio_frontend.p_tx_electronics (uplink_time t ~bits)
+  in
+  Energy.add detect modulate
+
+(** [tag_downlink_energy t] — the tag's downlink transmit cost: exactly
+    zero, always.  The tag has no transmitter; the downlink is the
+    reader's carrier, and the uplink is a reflection of it.  This
+    constant is the contract {!Amb_system.Link_layer}'s reader-powered
+    pricing is tested against. *)
+let tag_downlink_energy _t = Energy.zero
+
+(** [reader_energy_per_bit t ~bits] — reader joules per delivered payload
+    bit, amortising command and carrier; diverges as [bits -> 0] like the
+    E8 short-packet wall, but at carrier power. *)
+let reader_energy_per_bit t ~bits =
+  if bits <= 0.0 then invalid_arg "Backscatter.reader_energy_per_bit: non-positive bits";
+  Energy.div (reader_energy_per_report t ~bits) bits
+
+let describe t =
+  let geo =
+    match t.geometry with
+    | Monostatic -> "monostatic"
+    | Bistatic { emitter_distance_m } ->
+      Printf.sprintf "bistatic (emitter at %.1f m)" emitter_distance_m
+  in
+  Printf.sprintf "%s: %s, %.0f dBm carrier, %.0f dB modulation loss, %.0f+%.0f bit command"
+    t.name geo t.carrier_dbm t.modulation_loss_db t.preamble_bits t.sync_bits

@@ -1,0 +1,90 @@
+(** Backscatter link budget — the reader-powered radio of the batteryless
+    nanoWatt tag (Ambient-IoT).  The tag transmits nothing: it modulates
+    the reflection of a reader's carrier, so the uplink "PA" is an
+    impedance switch and the reader pays the carrier for the whole
+    transaction.  Monostatic (one reader, round-trip path loss) and
+    bistatic (dedicated carrier emitter near the tag) geometries. *)
+
+open Amb_units
+open Amb_circuit
+
+type geometry =
+  | Monostatic
+  | Bistatic of { emitter_distance_m : float }
+      (** dedicated carrier emitter at this fixed distance from the tag *)
+
+type t = {
+  name : string;
+  reader : Radio_frontend.t;  (** the reader's radio: carrier source + RX chain *)
+  tag : Radio_frontend.t;  (** the tag front end ({!Radio_frontend.backscatter_uhf}) *)
+  channel : Path_loss.model;
+  geometry : geometry;
+  carrier_dbm : float;  (** reader/emitter EIRP while illuminating *)
+  tag_gain_dbi : float;  (** applied on collection and re-radiation *)
+  modulation_loss_db : float;  (** reflection + modulation depth loss *)
+  preamble_bits : float;  (** reader command preamble (tag wake + settle) *)
+  sync_bits : float;  (** clock-sync field for the tag's sloppy oscillator *)
+  fade_margin_db : float;
+}
+
+val make :
+  ?channel:Path_loss.model ->
+  ?geometry:geometry ->
+  ?carrier_dbm:float ->
+  ?tag_gain_dbi:float ->
+  ?modulation_loss_db:float ->
+  ?preamble_bits:float ->
+  ?sync_bits:float ->
+  ?fade_margin_db:float ->
+  name:string ->
+  reader:Radio_frontend.t ->
+  tag:Radio_frontend.t ->
+  unit ->
+  t
+(** Defaults: free-space channel, monostatic, 36 dBm EIRP (the UHF RFID
+    regulatory limit), 2.15 dBi tag dipole, 6 dB modulation loss, 48+16
+    bit command, 6 dB margin.  Raises [Invalid_argument] on negative
+    losses/margins/bit counts or a non-positive emitter distance. *)
+
+val tag_incident_dbm : t -> distance_m:float -> float
+(** Carrier level at the tag's antenna port — what the envelope detector
+    sees and what the rectifier ({!Amb_energy.Rf_harvester}) lives on. *)
+
+val downlink_closes : t -> distance_m:float -> bool
+val uplink_dbm : t -> distance_m:float -> float
+val uplink_closes : t -> distance_m:float -> bool
+
+val closes : t -> distance_m:float -> bool
+(** Both directions close. *)
+
+val max_range : t -> float
+(** Largest reader-tag distance at which the transaction closes
+    (bisection); 0 when even contact fails. *)
+
+val command_bits : t -> float
+val command_time : t -> Time_span.t
+val uplink_time : t -> bits:float -> Time_span.t
+
+val carrier_power : t -> Power.t
+(** DC power the carrier source burns while illuminating. *)
+
+val reader_energy_per_report : t -> bits:float -> Energy.t
+(** Reader-side cost of one tag report: carrier during the command
+    downlink, then carrier + receive chain while the tag replies.  In the
+    bistatic geometry the carrier burns in the emitter, still charged to
+    the reader's ledger (it is infrastructure either way). *)
+
+val tag_energy_per_report : t -> bits:float -> Energy.t
+(** Tag-side cost: envelope detector during the command, modulator driver
+    during the reply — nanojoules, drawn from the harvested carrier. *)
+
+val tag_downlink_energy : t -> Energy.t
+(** Exactly {!Energy.zero}, always: the tag has no transmitter.  The
+    contract {!Amb_system.Link_layer}'s reader-powered pricing is tested
+    against. *)
+
+val reader_energy_per_bit : t -> bits:float -> Energy.t
+(** Reader joules per delivered payload bit; raises [Invalid_argument]
+    for non-positive [bits]. *)
+
+val describe : t -> string

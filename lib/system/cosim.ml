@@ -74,12 +74,28 @@ let run ?trace cfg ~seed =
   (* Per-event clock reads through the engine's float cell: without
      flambda, [now_s]'s return is boxed at every call. *)
   let clk = Engine.clock_cell engine in
-  let link = Link_layer.create ~router:fleet.Fleet.router ~mode:cfg.link in
+  let link =
+    Link_layer.create
+      ?tag_link:
+        (Option.map
+           (fun bs ->
+             ( bs,
+               (fun i -> fleet.Fleet.tiers.(i) = Fleet.Tag),
+               fun i -> fleet.Fleet.tiers.(i) = Fleet.Sink ))
+           fleet.Fleet.tag_link)
+      ~router:fleet.Fleet.router ~mode:cfg.link ()
+  in
   let sampling = Power.watts (Link_layer.sampling_power_w link) in
   let income_multiplier = Option.map Amb_energy.Day_profile.income_multiplier cfg.diurnal in
   let agents =
     Array.init n (fun i ->
-        Node_agent.create ?income_multiplier ~extra_sleep:sampling ~id:i
+        (* Tags never sample the shared MAC channel — their downlink is
+           the reader's carrier, so the MAC sleep tax stays off their
+           nanowatt ledger. *)
+        let extra_sleep =
+          if fleet.Fleet.tiers.(i) = Fleet.Tag then Power.zero else sampling
+        in
+        Node_agent.create ?income_multiplier ~extra_sleep ~id:i
           ~cfg:(Fleet.config_of fleet fleet.Fleet.tiers.(i)) ())
   in
   (* Battery-capacity faults apply before the clock starts. *)
@@ -215,9 +231,12 @@ let run ?trace cfg ~seed =
   in
   (* Mirror of Net_sim.forward: hop towards the sink, sender pays TX,
      receiver pays RX (the sink listens for free), deaths drop the
-     packet. *)
+     packet.  The one exception is a reader-powered tag hop: the serving
+     reader pays the carrier + listen cost even when it is the sink —
+     that asymmetry is the whole economics of the batteryless class. *)
   let forward src =
     let rx_j = Link_layer.cost_rx_j link in
+    let reader_j = Link_layer.reader_cost_rx_j link in
     let rec hop node ttl now =
       if ttl <= 0 then incr dropped
       else if node = sink then incr delivered
@@ -229,7 +248,10 @@ let run ?trace cfg ~seed =
           if Float.is_nan tx_j then incr dropped
           else begin
             let sender_ok = charge node now tx_j in
-            let receiver_ok = p = sink || charge p now rx_j in
+            let receiver_ok =
+              if Link_layer.tag_hop link node then charge p now reader_j
+              else p = sink || charge p now rx_j
+            in
             if sender_ok && receiver_ok then hop p (ttl - 1) now else incr dropped
           end
     in

@@ -11,14 +11,18 @@ open Amb_radio
 open Amb_net
 open Amb_node
 
-type tier = Sensor_leaf | Relay | Sink
+type tier = Sensor_leaf | Relay | Sink | Tag
 
 let tier_name = function
   | Sensor_leaf -> "uW leaf"
   | Relay -> "mW relay"
   | Sink -> "W sink"
+  | Tag -> "nW tag"
 
-let all_tiers = [ Sensor_leaf; Relay; Sink ]
+(* [Tag] last: legacy consumers that index tiers by position keep their
+   ordinals, and metrics that iterate the list print the tag row after
+   the keynote tiers. *)
+let all_tiers = [ Sensor_leaf; Relay; Sink; Tag ]
 
 type tier_config = {
   name : string;
@@ -37,6 +41,10 @@ type t = {
   leaf : tier_config;
   relay : tier_config;
   sink_cfg : tier_config;
+  tag : tier_config;
+  tag_link : Amb_radio.Backscatter.t option;
+      (** reader-powered PHY of the [Tag] tier; [None] when the fleet has
+          no tags *)
   router : Routing.t;
 }
 
@@ -44,19 +52,20 @@ let config_of t = function
   | Sensor_leaf -> t.leaf
   | Relay -> t.relay
   | Sink -> t.sink_cfg
+  | Tag -> t.tag
 
 let node_count t = Topology.node_count t.topology
 let tier_of t i = t.tiers.(i)
-let tier_ordinal = function Sensor_leaf -> 0 | Relay -> 1 | Sink -> 2
+let tier_ordinal = function Sensor_leaf -> 0 | Relay -> 1 | Sink -> 2 | Tag -> 3
 
 (* Per-tier membership, computed once at construction (counting pass +
    fill pass): consumers iterate a tier in O(tier size) instead of
    filtering the whole fleet per query. *)
 let members_of tiers =
-  let counts = Array.make 3 0 in
+  let counts = Array.make 4 0 in
   Array.iter (fun tr -> counts.(tier_ordinal tr) <- counts.(tier_ordinal tr) + 1) tiers;
   let members = Array.map (fun c -> Array.make c 0) counts in
-  let cursors = Array.make 3 0 in
+  let cursors = Array.make 4 0 in
   Array.iteri
     (fun i tr ->
       let k = tier_ordinal tr in
@@ -111,6 +120,22 @@ let watt_sink () =
     budget_override = None;
   }
 
+let nanowatt_tag ?(report_period = Time_span.minutes 5.0) () =
+  let node = Reference_designs.nanowatt_tag () in
+  let act = Reference_designs.nanowatt_activation in
+  let b = Node_model.cycle_breakdown node act in
+  (* The whole radio transaction is priced by the link layer's
+     backscatter tariff (tag pays detector+modulator, reader pays the
+     carrier), so the activation keeps only the protocol logic. *)
+  {
+    name = "nW tag";
+    activation_energy = b.Node_model.computation;
+    sleep_power = node.Node_model.sleep_power;
+    supply = node.Node_model.supply;
+    report_period = Some report_period;
+    budget_override = None;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
@@ -119,15 +144,26 @@ let default_link () =
 
 let default_packet = Packet.sensor_report
 
-let make ?leaf ?relay ?sink ?(width_m = 250.0) ?(height_m = 250.0) ?link ?packet ~leaves
-    ~relays ~seed () =
-  if leaves < 1 then invalid_arg "Fleet.make: need at least one leaf";
+let default_tag_link () =
+  Backscatter.make ~name:"UHF reader link" ~reader:Radio_frontend.rfid_reader
+    ~tag:Radio_frontend.backscatter_uhf ()
+
+let make ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?(width_m = 250.0)
+    ?(height_m = 250.0) ?link ?packet ~leaves ~relays ~seed () =
+  if leaves < 0 then invalid_arg "Fleet.make: negative leaf count";
+  if tags < 0 then invalid_arg "Fleet.make: negative tag count";
+  if leaves + tags < 1 then invalid_arg "Fleet.make: need at least one leaf or tag";
   if relays < 0 then invalid_arg "Fleet.make: negative relay count";
   let leaf = match leaf with Some c -> c | None -> microwatt_leaf () in
   let relay = match relay with Some c -> c | None -> milliwatt_relay () in
   let sink_cfg = match sink with Some c -> c | None -> watt_sink () in
+  let tag_cfg = match tag with Some c -> c | None -> nanowatt_tag () in
+  let tag_link =
+    if tags = 0 then None
+    else Some (match tag_link with Some l -> l | None -> default_tag_link ())
+  in
   let rng = Amb_sim.Rng.create seed in
-  let n = 1 + relays + leaves in
+  let n = 1 + relays + leaves + tags in
   let cx = width_m /. 2.0 and cy = height_m /. 2.0 in
   let ring = Float.min width_m height_m /. 4.0 in
   let positions =
@@ -138,8 +174,10 @@ let make ?leaf ?relay ?sink ?(width_m = 250.0) ?(height_m = 250.0) ?link ?packet
           { Topology.x = cx +. (ring *. cos angle); y = cy +. (ring *. sin angle) }
         end
         else begin
-          (* x then y, in node order: the layout is a pure function of
-             the seed, independent of tier parameters. *)
+          (* x then y, in node order (leaves first, then tags): the
+             layout is a pure function of the seed, independent of tier
+             parameters, and a fleet with [tags = 0] is bitwise
+             identical to the pre-tag layout. *)
           let x = Amb_sim.Rng.uniform rng 0.0 width_m in
           let y = Amb_sim.Rng.uniform rng 0.0 height_m in
           { Topology.x; y }
@@ -147,12 +185,17 @@ let make ?leaf ?relay ?sink ?(width_m = 250.0) ?(height_m = 250.0) ?link ?packet
   in
   let topology = Topology.of_positions ~width_m ~height_m positions in
   let tiers =
-    Array.init n (fun i -> if i = 0 then Sink else if i <= relays then Relay else Sensor_leaf)
+    Array.init n (fun i ->
+        if i = 0 then Sink
+        else if i <= relays then Relay
+        else if i <= relays + leaves then Sensor_leaf
+        else Tag)
   in
   let link = match link with Some l -> l | None -> default_link () in
   let packet = match packet with Some p -> p | None -> default_packet in
   let router = Routing.make ~topology ~link ~packet () in
-  { topology; tiers; tier_members = members_of tiers; sink = 0; leaf; relay; sink_cfg; router }
+  { topology; tiers; tier_members = members_of tiers; sink = 0; leaf; relay; sink_cfg;
+    tag = tag_cfg; tag_link; router }
 
 (* Leaves are placed in fixed-size blocks, each drawing from its own
    RNG stream; the streams are split off the master sequentially before
@@ -161,13 +204,19 @@ let make ?leaf ?relay ?sink ?(width_m = 250.0) ?(height_m = 250.0) ?link ?packet
    {!Amb_tech.Variability.monte_carlo}). *)
 let city_block = 8192
 
-let city ?leaf ?relay ?sink ?link ?packet ?(jobs = 1) ?(target_degree = 16.0) ~nodes ~seed
-    () =
+let city ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?link ?packet ?(jobs = 1)
+    ?(target_degree = 16.0) ~nodes ~seed () =
   if nodes < 4 then invalid_arg "Fleet.city: need at least four nodes";
+  if tags < 0 then invalid_arg "Fleet.city: negative tag count";
   if target_degree <= 0.0 then invalid_arg "Fleet.city: non-positive target degree";
   let leaf = match leaf with Some c -> c | None -> microwatt_leaf () in
   let relay = match relay with Some c -> c | None -> milliwatt_relay () in
   let sink_cfg = match sink with Some c -> c | None -> watt_sink () in
+  let tag_cfg = match tag with Some c -> c | None -> nanowatt_tag () in
+  let tag_link_v =
+    if tags = 0 then None
+    else Some (match tag_link with Some l -> l | None -> default_tag_link ())
+  in
   let link = match link with Some l -> l | None -> default_link () in
   let packet = match packet with Some p -> p | None -> default_packet in
   let range_m =
@@ -179,9 +228,9 @@ let city ?leaf ?relay ?sink ?link ?packet ?(jobs = 1) ?(target_degree = 16.0) ~n
   let side =
     Float.sqrt (Float.of_int nodes *. Float.pi *. range_m *. range_m /. target_degree)
   in
-  let n = nodes in
-  let relays = Stdlib.max 1 (n / 50) in
-  let leaves = n - 1 - relays in
+  let n = nodes + tags in
+  let relays = Stdlib.max 1 (nodes / 50) in
+  let leaves = nodes - 1 - relays in
   let positions = Array.make n { Topology.x = 0.0; y = 0.0 } in
   positions.(0) <- { Topology.x = side /. 2.0; y = side /. 2.0 };
   (* Relays on a deterministic uniform grid: backbone coverage of the
@@ -197,10 +246,14 @@ let city ?leaf ?relay ?sink ?link ?packet ?(jobs = 1) ?(target_degree = 16.0) ~n
   let master = Amb_sim.Rng.create seed in
   let blocks = (leaves + city_block - 1) / city_block in
   let streams = Array.init blocks (fun _ -> Amb_sim.Rng.split master) in
+  (* The tag stream splits only when tags are requested, after all leaf
+     streams: a [tags = 0] city is bitwise identical to the pre-tag
+     layout. *)
+  let tag_stream = if tags > 0 then Some (Amb_sim.Rng.split master) else None in
   let fill k =
     let rng = streams.(k) in
     let lo = 1 + relays + (k * city_block) in
-    let hi = Stdlib.min (n - 1) (lo + city_block - 1) in
+    let hi = Stdlib.min (nodes - 1) (lo + city_block - 1) in
     for i = lo to hi do
       (* x then y, in node order within the block, as [make] draws. *)
       let x = Amb_sim.Rng.uniform rng 0.0 side in
@@ -216,16 +269,29 @@ let city ?leaf ?relay ?sink ?link ?packet ?(jobs = 1) ?(target_degree = 16.0) ~n
     ignore
       (Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
            Amb_sim.Domain_pool.run pool (Array.init blocks (fun k () -> fill k))));
+  (match tag_stream with
+  | None -> ()
+  | Some rng ->
+      for i = nodes to n - 1 do
+        let x = Amb_sim.Rng.uniform rng 0.0 side in
+        let y = Amb_sim.Rng.uniform rng 0.0 side in
+        positions.(i) <- { Topology.x; y }
+      done);
   let topology = Topology.of_positions ~width_m:side ~height_m:side positions in
   let tiers =
-    Array.init n (fun i -> if i = 0 then Sink else if i <= relays then Relay else Sensor_leaf)
+    Array.init n (fun i ->
+        if i = 0 then Sink
+        else if i <= relays then Relay
+        else if i < nodes then Sensor_leaf
+        else Tag)
   in
   let router = Routing.make ~jobs ~topology ~link ~packet () in
   { topology; tiers; tier_members = members_of tiers; sink = 0; leaf; relay; sink_cfg;
-    router }
+    tag = tag_cfg; tag_link = tag_link_v; router }
 
 let homogeneous ?link ?packet ~topology ~sink ~node () =
   let n = Topology.node_count topology in
+  if n < 2 then invalid_arg "Fleet.homogeneous: need at least two nodes";
   if sink < 0 || sink >= n then invalid_arg "Fleet.homogeneous: sink out of range";
   let tiers = Array.init n (fun i -> if i = sink then Sink else Sensor_leaf) in
   let sink_cfg = { node with name = node.name ^ " (sink)"; report_period = None } in
@@ -233,4 +299,4 @@ let homogeneous ?link ?packet ~topology ~sink ~node () =
   let packet = match packet with Some p -> p | None -> default_packet in
   let router = Routing.make ~topology ~link ~packet () in
   { topology; tiers; tier_members = members_of tiers; sink; leaf = node; relay = node;
-    sink_cfg; router }
+    sink_cfg; tag = node; tag_link = None; router }

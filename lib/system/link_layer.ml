@@ -19,9 +19,14 @@ type t = {
   sampling_w : float;
   exponent : float;  (** path-loss exponent, for fade -> distance mapping *)
   mutable fades : (int * int * float) list;
+  tag_link : Backscatter.t option;
+  is_tag : int -> bool;
+  is_reader : int -> bool;  (** nodes allowed to terminate a tag hop *)
+  tag_tx_j : float;  (** tag-side joules per report (detector + modulator) *)
+  reader_rx_j : float;  (** reader-side joules per report (carrier + listen) *)
 }
 
-let create ~router ~mode =
+let create ?tag_link ~router ~mode () =
   let tx_overhead_j, rx_overhead_j, sampling_w =
     match mode with
     | Off | Cached -> (0.0, 0.0, 0.0)
@@ -38,7 +43,21 @@ let create ~router ~mode =
     | Path_loss.Log_distance { exponent; _ } -> exponent
     | Path_loss.Free_space -> 2.0
   in
-  { router; mode; tx_overhead_j; rx_overhead_j; sampling_w; exponent; fades = [] }
+  let bs, is_tag, is_reader =
+    match tag_link with
+    | Some (b, tag_p, reader_p) -> (Some b, tag_p, reader_p)
+    | None -> (None, (fun _ -> false), fun _ -> false)
+  in
+  let tag_tx_j, reader_rx_j =
+    match bs with
+    | None -> (0.0, 0.0)
+    | Some b ->
+      let bits = Packet.total_bits router.Routing.packet in
+      ( Energy.to_joules (Backscatter.tag_energy_per_report b ~bits),
+        Energy.to_joules (Backscatter.reader_energy_per_report b ~bits) )
+  in
+  { router; mode; tx_overhead_j; rx_overhead_j; sampling_w; exponent; fades = [];
+    tag_link = bs; is_tag; is_reader; tag_tx_j; reader_rx_j }
 
 let mode t = t.mode
 
@@ -68,11 +87,33 @@ let phy_tx_j t i j =
   let db = fade_db t i j in
   if db = 0.0 then Routing.sender_energy_j t.router i j else faded_tx_j t i j db
 
+(* A fade on a tag hop inflates the interrogation distance the same way
+   it does on the shared PHY: effective d' = d * 10^(db / (10 n)) under
+   the PHY channel's exponent (the reader link shares the building). *)
+let tag_pair_closes t i j =
+  match t.tag_link with
+  | None -> false
+  | Some bs ->
+    let d = Topology.pair_distance t.router.Routing.topology i j in
+    let db = fade_db t i j in
+    let d' = if db = 0.0 then d else d *. (10.0 ** (db /. (10.0 *. t.exponent))) in
+    Backscatter.closes bs ~distance_m:d'
+
+(* A tag hop exists only toward a reader the transaction closes with:
+   no multihop through tags, no tag served by a non-reader. *)
+let tag_edge_ok t i j = t.is_reader j && tag_pair_closes t i j
+let tag_hop t i = t.is_tag i
+
 let cost_tx_j t i j =
-  match t.mode with
-  | Off -> 0.0
-  | Cached -> phy_tx_j t i j
-  | Mac _ -> phy_tx_j t i j +. t.tx_overhead_j
+  if t.is_tag i then
+    match t.mode with
+    | Off -> 0.0
+    | Cached | Mac _ -> if tag_edge_ok t i j then t.tag_tx_j else Float.nan
+  else
+    match t.mode with
+    | Off -> 0.0
+    | Cached -> phy_tx_j t i j
+    | Mac _ -> phy_tx_j t i j +. t.tx_overhead_j
 
 let cost_rx_j t =
   match t.mode with
@@ -80,9 +121,24 @@ let cost_rx_j t =
   | Cached -> Routing.receiver_energy_j t.router
   | Mac _ -> Routing.receiver_energy_j t.router +. t.rx_overhead_j
 
+let reader_cost_rx_j t = match t.mode with Off -> 0.0 | Cached | Mac _ -> t.reader_rx_j
+
+(* Route sweeps relax from the sink outward and call [weight_j t u v]
+   with [u] the settled parent-side node and [v] the candidate child —
+   traffic on the edge flows v -> u.  Symmetric PHY weights never
+   noticed, but the tag tariff must read the pair in that order: a tag
+   appears only as the child [v], priced at the full reader-paid
+   transaction toward a reader [u], and never as a parent. *)
 let weight_j t i j =
-  let db = fade_db t i j in
-  if db = 0.0 then Routing.link_energy_j t.router i j
-  else faded_tx_j t i j db +. Routing.receiver_energy_j t.router
+  if t.is_tag i then Float.nan  (* nothing routes into or through a tag *)
+  else if t.is_tag j then
+    (* The full transaction price, so the tree attaches each tag to the
+       cheapest reader that closes. *)
+    if tag_edge_ok t j i then t.tag_tx_j +. t.reader_rx_j else Float.nan
+  else begin
+    let db = fade_db t i j in
+    if db = 0.0 then Routing.link_energy_j t.router i j
+    else faded_tx_j t i j db +. Routing.receiver_energy_j t.router
+  end
 
 let sampling_power_w t = t.sampling_w

@@ -15,7 +15,16 @@
     A fade of [db] on a pair raises its path loss, modelled as an
     effective distance d' = d * 10^(db / (10 n)) under the channel's
     log-distance exponent n; hops that no longer close are cut from the
-    routing graph. *)
+    routing graph.
+
+    When a fleet carries batteryless tags, [tag_link] installs the
+    reader-powered tariff of {!Amb_radio.Backscatter}: a hop whose
+    sender is a tag charges the tag only its detector+modulator
+    nanojoules, while the receiving reader pays the carrier for the
+    whole transaction (command downlink plus carrier+listen during the
+    reply) — even when that reader is the sink, which otherwise listens
+    free.  Nothing routes into or through a tag, and a tag hop exists
+    only toward a node the [is_reader] predicate admits. *)
 
 open Amb_net
 
@@ -23,7 +32,16 @@ type mode = Off | Cached | Mac of Amb_radio.Mac_duty_cycle.t
 
 type t
 
-val create : router:Routing.t -> mode:mode -> t
+val create :
+  ?tag_link:Amb_radio.Backscatter.t * (int -> bool) * (int -> bool) ->
+  router:Routing.t ->
+  mode:mode ->
+  unit ->
+  t
+(** [tag_link] is [(link, is_tag, is_reader)]: the backscatter PHY, the
+    predicate marking tag nodes, and the predicate marking the nodes
+    allowed to terminate a tag hop (the W-node readers). *)
+
 val mode : t -> mode
 
 val set_fade : t -> a:int -> b:int -> db:float -> unit
@@ -34,15 +52,31 @@ val fade_db : t -> int -> int -> float
 
 val cost_tx_j : t -> int -> int -> float
 (** Joules charged to the sender for one packet over a pair; NaN when the
-    (possibly faded) link cannot close; 0 under [Off]. *)
+    (possibly faded) link cannot close; 0 under [Off].  For a tag sender
+    this is the backscatter tariff's tag side — nanojoules of detector
+    and modulator, never a PA. *)
 
 val cost_rx_j : t -> float
 (** Joules charged to the receiver per packet (distance-independent). *)
 
+val tag_hop : t -> int -> bool
+(** Whether a sender is a tag, i.e. the hop is reader-powered.  Always
+    false without [tag_link]. *)
+
+val reader_cost_rx_j : t -> float
+(** Joules the serving reader pays per tag report (carrier during the
+    command, carrier + receive chain during the reply); 0 under [Off] or
+    without [tag_link]. *)
+
 val weight_j : t -> int -> int -> float
-(** Physical TX+RX joules for routing weights, fade-adjusted, regardless
-    of mode (an [Off] fleet still routes over the physical graph); NaN
-    when the pair is out of reach. *)
+(** [weight_j t u v] — physical TX+RX joules for routing weights,
+    fade-adjusted, regardless of mode (an [Off] fleet still routes over
+    the physical graph); NaN when the pair is out of reach.  Route
+    sweeps relax from the sink outward, so [u] is the parent-side node
+    and [v] the child whose traffic flows [v -> u]: a tag prices its
+    edge only as the child, at the full reader-paid transaction toward
+    a reader parent, and is NaN as a parent (nothing routes into or
+    through a tag). *)
 
 val sampling_power_w : t -> float
 (** Continuous MAC channel-sampling drain per node; 0 outside [Mac]. *)

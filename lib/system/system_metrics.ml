@@ -80,11 +80,19 @@ let report ?(title = "system co-simulation") fleet (o : Cosim.outcome) =
       Report.cell_percent o.Cosim.availability;
     ]
   in
+  (* The tag tier appears only when populated: tag-free fleets keep the
+     exact three-tier table (and report digests) they always had. *)
+  let tiers =
+    List.filter
+      (fun tier ->
+        tier <> Fleet.Tag || Array.length (Fleet.tier_nodes fleet tier) > 0)
+      Fleet.all_tiers
+  in
   Report.make ~title
     ~header:
       [ "tier"; "nodes"; "alive"; "consumed"; "harvested"; "residual"; "first death";
         "median death"; "delivery"; "availability" ]
-    (List.map tier_row Fleet.all_tiers @ [ network_row ])
+    (List.map tier_row tiers @ [ network_row ])
     ~notes:
       [ Printf.sprintf "%d generated, %d delivered, %d dropped over %d engine events"
           o.Cosim.generated o.Cosim.delivered o.Cosim.dropped o.Cosim.events;

@@ -55,7 +55,10 @@ let test_catalogue_covers_all_classes_and_kinds () =
         (Printf.sprintf "class %s populated" (Device_class.short_name cls))
         true
         (List.mem cls classes))
-    Device_class.all;
+    Device_class.keynote;
+  let aiot_classes = List.map Power_information.classify (Power_information.aiot_entries ()) in
+  Alcotest.(check bool) "class nW populated (A-IoT blocks)" true
+    (List.mem Device_class.Nanowatt aiot_classes);
   List.iter
     (fun kind ->
       Alcotest.(check bool)
@@ -255,7 +258,7 @@ let test_find_experiment () =
   Alcotest.(check bool) "unknown" true (Experiments.find "E99" = None)
 
 let test_case_studies_complete () =
-  Alcotest.(check int) "three case studies" 3 (List.length Case_study.all);
+  Alcotest.(check int) "four case studies" 4 (List.length Case_study.all);
   List.iter
     (fun cs ->
       Alcotest.(check bool) (cs.Case_study.id ^ " has experiments") true

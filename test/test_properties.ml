@@ -283,6 +283,48 @@ let prop_welford_mean_matches_list_mean =
       let expected = List.fold_left ( +. ) 0.0 values /. Float.of_int (List.length values) in
       Si.approx_equal ~rel:1e-9 expected (Amb_sim.Stat.mean w))
 
+(* --- Device-class taxonomy: the four bands tile (0, inf) --- *)
+
+(* Log-uniform powers from 1 pW to 1 kW — every band, both sides of the
+   nW/uW boundary. *)
+let log_power_gen = QCheck.float_range (-12.0) 3.0
+
+let prop_bands_partition =
+  QCheck.Test.make ~name:"device-class bands tile (0,inf): every power in exactly one band"
+    ~count log_power_gen (fun exp10 ->
+      let p = Power.watts (10.0 ** exp10) in
+      let members =
+        List.filter
+          (fun cls ->
+            let lo, hi = Amb_core.Device_class.band cls in
+            Power.le lo p && Power.lt p hi)
+          Amb_core.Device_class.all
+      in
+      List.length members = 1)
+
+let prop_of_power_inverts_band =
+  QCheck.Test.make ~name:"of_power is the inverse of band membership" ~count log_power_gen
+    (fun exp10 ->
+      let p = Power.watts (10.0 ** exp10) in
+      let lo, hi = Amb_core.Device_class.band (Amb_core.Device_class.of_power p) in
+      Power.le lo p && Power.lt p hi)
+
+let prop_band_edges_abut =
+  QCheck.Test.make ~name:"adjacent bands share their edge and the edge classifies upward"
+    ~count:20
+    (QCheck.oneofl [ 1e-6; 1e-3; 1.0 ])
+    (fun edge ->
+      let p = Power.watts edge in
+      let lo, _ = Amb_core.Device_class.band (Amb_core.Device_class.of_power p) in
+      let rec abuts = function
+        | a :: (b :: _ as rest) ->
+          let _, hi_a = Amb_core.Device_class.band a in
+          let lo_b, _ = Amb_core.Device_class.band b in
+          Power.to_watts hi_a = Power.to_watts lo_b && abuts rest
+        | _ -> true
+      in
+      Power.to_watts lo = edge && abuts Amb_core.Device_class.all)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_queue_sorted;
@@ -305,4 +347,7 @@ let suite =
       prop_path_loss_monotone;
       prop_dennard_energy_monotone;
       prop_welford_mean_matches_list_mean;
+      prop_bands_partition;
+      prop_of_power_inverts_band;
+      prop_band_edges_abut;
     ]

@@ -43,10 +43,120 @@ let test_fleet_layout_deterministic () =
   done
 
 let test_fleet_rejects_bad_counts () =
-  Alcotest.check_raises "zero leaves" (Invalid_argument "Fleet.make: need at least one leaf")
-    (fun () -> ignore (Fleet.make ~leaves:0 ~relays:1 ~seed:1 ()));
+  Alcotest.check_raises "zero leaves, zero tags"
+    (Invalid_argument "Fleet.make: need at least one leaf or tag") (fun () ->
+      ignore (Fleet.make ~leaves:0 ~relays:1 ~seed:1 ()));
+  Alcotest.check_raises "negative leaves" (Invalid_argument "Fleet.make: negative leaf count")
+    (fun () -> ignore (Fleet.make ~leaves:(-1) ~relays:1 ~seed:1 ()));
   Alcotest.check_raises "negative relays" (Invalid_argument "Fleet.make: negative relay count")
-    (fun () -> ignore (Fleet.make ~leaves:1 ~relays:(-1) ~seed:1 ()))
+    (fun () -> ignore (Fleet.make ~leaves:1 ~relays:(-1) ~seed:1 ()));
+  Alcotest.check_raises "negative tags" (Invalid_argument "Fleet.make: negative tag count")
+    (fun () -> ignore (Fleet.make ~leaves:1 ~relays:0 ~tags:(-1) ~seed:1 ()));
+  Alcotest.check_raises "city negative tags" (Invalid_argument "Fleet.city: negative tag count")
+    (fun () -> ignore (Fleet.city ~nodes:16 ~tags:(-1) ~seed:1 ()));
+  Alcotest.check_raises "city too small" (Invalid_argument "Fleet.city: need at least four nodes")
+    (fun () -> ignore (Fleet.city ~nodes:1 ~seed:1 ()))
+
+(* Degenerate shapes that must construct: a tags-only fleet (the sink
+   serves nothing but backscatter tags) and the single-leaf minimum. *)
+let test_fleet_degenerate_shapes () =
+  let tags_only = Fleet.make ~leaves:0 ~relays:0 ~tags:3 ~seed:3 () in
+  Alcotest.(check int) "tags-only node count" 4 (Fleet.node_count tags_only);
+  Alcotest.(check int) "tags-only tag count" 3
+    (Array.length (Fleet.tier_nodes tags_only Fleet.Tag));
+  Alcotest.(check bool) "tags-only carries a tag link" true (tags_only.Fleet.tag_link <> None);
+  let single = Fleet.make ~leaves:1 ~relays:0 ~seed:3 () in
+  Alcotest.(check int) "single-leaf node count" 2 (Fleet.node_count single);
+  Alcotest.(check bool) "tag-free fleet has no tag link" true (single.Fleet.tag_link = None)
+
+(* Adding tags must not disturb the battery-node layout: the sink, relay
+   and leaf positions of a tagged fleet match the tag-free fleet with the
+   same seed bit-for-bit. *)
+let test_fleet_tags_preserve_layout () =
+  let a = Fleet.make ~leaves:6 ~relays:2 ~seed:9 () in
+  let b = Fleet.make ~leaves:6 ~relays:2 ~tags:5 ~seed:9 () in
+  for i = 0 to Fleet.node_count a - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d tier" i)
+      true
+      (Fleet.tier_of a i = Fleet.tier_of b i);
+    check_float
+      (Printf.sprintf "node %d distance" i)
+      0.0
+      (Amb_net.Topology.pair_distance a.Fleet.topology 0 i
+      -. Amb_net.Topology.pair_distance b.Fleet.topology 0 i)
+  done
+
+(* --- Reader-powered tariff: the tag's downlink costs it nothing and the
+   reader's ledger is charged the exact Backscatter bill --- *)
+
+let tag_fleet () = Fleet.make ~width_m:10.0 ~height_m:10.0 ~leaves:0 ~relays:0 ~tags:4 ~seed:7 ()
+
+let test_tag_tariff_matches_link_budget () =
+  let fleet = tag_fleet () in
+  let bs = match fleet.Fleet.tag_link with Some l -> l | None -> Alcotest.fail "no tag link" in
+  check_float "tag downlink energy is identically zero" 0.0
+    (Energy.to_joules (Amb_radio.Backscatter.tag_downlink_energy bs));
+  let is_tag i = Fleet.tier_of fleet i = Fleet.Tag in
+  let is_reader i = Fleet.tier_of fleet i = Fleet.Sink in
+  let link =
+    Link_layer.create ~tag_link:(bs, is_tag, is_reader) ~router:fleet.Fleet.router
+      ~mode:Link_layer.Cached ()
+  in
+  let bits = Amb_radio.Packet.total_bits fleet.Fleet.router.Amb_net.Routing.packet in
+  let tag = (Fleet.tier_nodes fleet Fleet.Tag).(0) in
+  let sink = fleet.Fleet.sink in
+  check_float "reader pays the exact per-report carrier+listen bill"
+    (Energy.to_joules (Amb_radio.Backscatter.reader_energy_per_report bs ~bits))
+    (Link_layer.reader_cost_rx_j link);
+  check_float "tag pays the exact detector+modulator bill"
+    (Energy.to_joules (Amb_radio.Backscatter.tag_energy_per_report bs ~bits))
+    (Link_layer.cost_tx_j link tag sink);
+  check_float "tag edge weight prices the full reader-paid transaction"
+    (Link_layer.cost_tx_j link tag sink +. Link_layer.reader_cost_rx_j link)
+    (Link_layer.weight_j link sink tag);
+  Alcotest.(check bool) "a tag can never be a parent" true
+    (Float.is_nan (Link_layer.weight_j link tag sink));
+  Alcotest.(check bool) "tag hops are flagged reader-powered" true (Link_layer.tag_hop link tag);
+  Alcotest.(check bool) "reader hops are not" false (Link_layer.tag_hop link sink)
+
+(* Whole-run energy conservation under the tariff: the sink's consumed
+   energy is its sleep floor plus exactly one reader bill per delivered
+   tag report, and the tags together pay only activations, their
+   nanojoule modulator bills and their sleep floors. *)
+let test_tag_fleet_reader_pays_the_radio_bill () =
+  let fleet = tag_fleet () in
+  let bs = Option.get fleet.Fleet.tag_link in
+  let bits = Amb_radio.Packet.total_bits fleet.Fleet.router.Amb_net.Routing.packet in
+  let horizon = Time_span.hours 6.0 in
+  let cfg = Cosim.config ~fleet ~horizon () in
+  let out = Cosim.run cfg ~seed:11 in
+  Alcotest.(check bool) "tags report" true (out.Cosim.generated > 0);
+  Alcotest.(check int) "every in-range report is delivered" out.Cosim.generated
+    out.Cosim.delivered;
+  Alcotest.(check int) "batteryless tags never die" 0 (List.length out.Cosim.deaths);
+  let consumed i = Energy.to_joules (Node_agent.consumed_energy out.Cosim.agents.(i)) in
+  let sleep_j cfg_tier =
+    Power.to_watts cfg_tier.Fleet.sleep_power *. Time_span.to_seconds horizon
+  in
+  let reader_j = Energy.to_joules (Amb_radio.Backscatter.reader_energy_per_report bs ~bits) in
+  let expected_sink =
+    sleep_j fleet.Fleet.sink_cfg +. (float_of_int out.Cosim.delivered *. reader_j)
+  in
+  Alcotest.(check bool) "sink ledger = sleep + delivered reader bills" true
+    (Si.approx_equal ~rel:1e-6 expected_sink (consumed fleet.Fleet.sink));
+  let tag_tx_j = Energy.to_joules (Amb_radio.Backscatter.tag_energy_per_report bs ~bits) in
+  let act_j = Energy.to_joules fleet.Fleet.tag.Fleet.activation_energy in
+  let tag_nodes = Fleet.tier_nodes fleet Fleet.Tag in
+  let tag_total = Array.fold_left (fun acc i -> acc +. consumed i) 0.0 tag_nodes in
+  let expected_tags =
+    (float_of_int (Array.length tag_nodes) *. sleep_j fleet.Fleet.tag)
+    +. (float_of_int out.Cosim.generated *. (act_j +. tag_tx_j))
+  in
+  Alcotest.(check bool) "tag ledgers = sleep + activations + modulator bills" true
+    (Si.approx_equal ~rel:1e-6 expected_tags tag_total);
+  Alcotest.(check bool) "the asymmetry: reader pays >1000x the tag side" true
+    (reader_j > 1000.0 *. tag_tx_j)
 
 (* --- Co-simulation determinism --- *)
 
@@ -357,6 +467,10 @@ let suite =
   [ ("fleet shape", `Quick, test_fleet_shape);
     ("fleet layout deterministic", `Quick, test_fleet_layout_deterministic);
     ("fleet rejects bad counts", `Quick, test_fleet_rejects_bad_counts);
+    ("fleet degenerate shapes", `Quick, test_fleet_degenerate_shapes);
+    ("tags preserve layout", `Quick, test_fleet_tags_preserve_layout);
+    ("tag tariff matches link budget", `Quick, test_tag_tariff_matches_link_budget);
+    ("reader pays the radio bill", `Quick, test_tag_fleet_reader_pays_the_radio_bill);
     ("cosim deterministic in seed", `Quick, test_cosim_deterministic_in_seed);
     ("cosim seed changes phases", `Quick, test_cosim_seed_changes_phases);
     ("degenerate fleet matches Net_sim", `Slow, test_degenerate_matches_net_sim);
