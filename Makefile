@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick check clean
+.PHONY: all build test bench bench-quick check matrix-smoke clean
 
 all: build
 
@@ -29,6 +29,7 @@ bench: build
 	dune exec bench/main.exe -- --reports-only --jobs 1 > /dev/null
 	dune exec bench/main.exe -- --json BENCH_results.json
 	dune exec bench/main.exe -- --check-json BENCH_results.json
+	dune exec bench/main.exe -- --matrix --json BENCH_results.json
 
 # Smoke-grade snapshot (~4x smaller timing budget): same schema and
 # digest gate, throwaway output file — for quick local sanity and CI.
@@ -41,6 +42,24 @@ bench-quick: build
 	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --gc-stats
 	dune exec bench/main.exe -- --fleet 100000 --json /tmp/amblib-bench-quick.json
+	dune exec bench/main.exe -- --matrix --json /tmp/amblib-bench-quick.json
+
+# Resumability gate for the scenario-matrix harness: the same tiny grid
+# twice against one store — the second pass must be served entirely from
+# the digest-keyed cache (--expect-cached exits 1 otherwise) — then a
+# resident serve session over the same store must answer the equivalent
+# request with zero recomputation.
+matrix-smoke: build
+	rm -f /tmp/amblib-matrix-smoke.jsonl
+	dune exec bin/ambient.exe -- matrix --spec examples/matrix_smoke.spec \
+	  --store /tmp/amblib-matrix-smoke.jsonl --jobs 2
+	dune exec bin/ambient.exe -- matrix --spec examples/matrix_smoke.spec \
+	  --store /tmp/amblib-matrix-smoke.jsonl --expect-cached
+	printf '%s\n' \
+	  '{"op":"run","name":"smoke","leaves":4,"relays":1,"hours":2,"fault":["none","crash:1@1"],"seeds":[1,2]}' \
+	  '{"op":"quit"}' \
+	  | dune exec bin/ambient.exe -- serve --store /tmp/amblib-matrix-smoke.jsonl \
+	  | grep -q '"ran":0,'
 
 clean:
 	dune clean

@@ -726,19 +726,24 @@ let fleet_events_per_s_floor = 10_000.0
 let fleet_peak_words_per_node = 1_500.0
 let fleet_gate_nodes = 100_000
 
-let merge_fleet_section path fleet_json =
+(* Read-modify-write one top-level section of the snapshot, preserving
+   every other key (the bechamel timings, the fleet or matrix section
+   the other subcommand owns). *)
+let merge_section ~key path section_json =
   let base =
     match read_file path with
     | None -> [ ("schema", Json.String "amblib-bench/1") ]
     | Some contents -> (
       match Json.parse contents with
       | exception Json.Parse_error _ -> [ ("schema", Json.String "amblib-bench/1") ]
-      | Json.Object kvs -> List.filter (fun (k, _) -> k <> "fleet") kvs
+      | Json.Object kvs -> List.filter (fun (k, _) -> k <> key) kvs
       | _ -> [ ("schema", Json.String "amblib-bench/1") ])
   in
   let oc = open_out path in
-  output_string oc (Json.to_string (Json.Object (base @ [ ("fleet", fleet_json) ])));
+  output_string oc (Json.to_string (Json.Object (base @ [ (key, section_json) ])));
   close_out oc
+
+let merge_fleet_section path fleet_json = merge_section ~key:"fleet" path fleet_json
 
 let run_fleet ~jobs ~nodes ~json_path =
   let open Amb_units in
@@ -811,6 +816,90 @@ let run_fleet ~jobs ~nodes ~json_path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Matrix-harness gate: expand a fixed multi-axis grid, run it twice
+   against one store, and record cells/sec, the second-pass cache-hit
+   rate and peak heap.  The hard gates catch the harness's two failure
+   modes: losing the digest-keyed cache (any second-pass miss means the
+   config digest or row keying drifted) and a throughput collapse in
+   the expand -> schedule -> row pipeline. *)
+
+(* 2 fleet shapes x 2 policies x 2 fault plans x 3 seeds = 24 cells. *)
+let matrix_bench_spec =
+  "name = bench\nleaves = 6, 10\nrelays = 1\nhours = 4\n\
+   policy = min-energy, min-hop\nfault = none, crash:1@2\nseeds = 1..3\n"
+
+(* The reference machine measures ~600 cells/s on this grid; the floor
+   sits ~30x below that, so it trips on order-of-magnitude regressions
+   in the pipeline, not on slower CI machines. *)
+let matrix_cells_per_s_floor = 20.0
+
+let run_matrix ~jobs ~json_path =
+  let spec =
+    match Amb_harness.Scenario_spec.parse matrix_bench_spec with
+    | Ok spec -> spec
+    | Error msg ->
+      Printf.eprintf "matrix bench spec: %s\n" msg;
+      exit 1
+  in
+  let cells = Amb_harness.Scenario_spec.cell_count spec in
+  Printf.printf "=== matrix: %d cells, two passes over one store (jobs=%d) ===\n%!" cells jobs;
+  let store = Amb_harness.Result_store.in_memory () in
+  let t0 = wall_clock () in
+  let _, first = Amb_harness.Matrix.execute ~jobs ~store spec in
+  let first_s = wall_clock () -. t0 in
+  let t1 = wall_clock () in
+  let _, second = Amb_harness.Matrix.execute ~jobs ~store spec in
+  let second_s = wall_clock () -. t1 in
+  let peak_words = Float.of_int (Gc.quick_stat ()).Gc.top_heap_words in
+  let cells_per_s =
+    if first_s > 0.0 then Float.of_int first.Amb_harness.Matrix.ran /. first_s
+    else Float.nan
+  in
+  let hit_rate =
+    if cells = 0 then 0.0
+    else Float.of_int second.Amb_harness.Matrix.cached /. Float.of_int cells
+  in
+  Printf.printf "first pass: %d ran in %.2f s (%.1f cells/s), %d errors\n"
+    first.Amb_harness.Matrix.ran first_s cells_per_s first.Amb_harness.Matrix.errors;
+  Printf.printf "second pass: %d cached, %d ran in %.3f s (hit rate %.3f)\n"
+    second.Amb_harness.Matrix.cached second.Amb_harness.Matrix.ran second_s hit_rate;
+  Printf.printf "peak heap %.0f words\n%!" peak_words;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    merge_section ~key:"matrix" path
+      (Json.Object
+         [ ("cells", Json.Number (Float.of_int cells));
+           ("jobs", Json.Number (Float.of_int jobs));
+           ("first_pass_s", Json.Number first_s);
+           ("cells_per_s", Json.Number cells_per_s);
+           ("second_pass_s", Json.Number second_s);
+           ("cache_hit_rate", Json.Number hit_rate);
+           ("errors", Json.Number (Float.of_int first.Amb_harness.Matrix.errors));
+           ("peak_heap_words", Json.Number peak_words);
+         ]);
+    Printf.printf "merged \"matrix\" section into %s\n" path);
+  let failed = ref false in
+  if hit_rate < 1.0 then begin
+    Printf.eprintf "matrix gate: second-pass hit rate %.3f < 1.0 (%d cells recomputed)\n"
+      hit_rate second.Amb_harness.Matrix.ran;
+    failed := true
+  end;
+  if first.Amb_harness.Matrix.errors > 0 then begin
+    Printf.eprintf "matrix gate: %d error rows in a clean grid\n"
+      first.Amb_harness.Matrix.errors;
+    failed := true
+  end;
+  if cells_per_s < matrix_cells_per_s_floor then begin
+    Printf.eprintf "matrix gate: %.2f cells/s is below the %.2f floor\n" cells_per_s
+      matrix_cells_per_s_floor;
+    failed := true
+  end;
+  if !failed then exit 1;
+  Printf.printf "matrix gate passed (hit rate 1.0, floor %.2f cells/s, 0 errors)\n"
+    matrix_cells_per_s_floor
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -859,6 +948,9 @@ let () =
     | _ ->
       Printf.eprintf "--fleet expects a node count >= 4, got %s\n" count;
       exit 1)
+  | _ :: "--matrix" :: rest ->
+    let json_path = match rest with "--json" :: path :: _ -> Some path | _ -> None in
+    run_matrix ~jobs ~json_path
   | _ :: "--gc-stats" :: _ -> gc_stats ()
   | _ :: "--check-json" :: path :: _ -> check_json path
   | _ :: "--roundtrip-report" :: path :: _ -> roundtrip_report path
@@ -866,8 +958,8 @@ let () =
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
-       --compare OLD NEW, --time ID N, --fleet N [--json FILE], --gc-stats, --check-json FILE, \
-       --roundtrip-report FILE, --roundtrip-case-study ID)\n"
+       --compare OLD NEW, --time ID N, --fleet N [--json FILE], --matrix [--json FILE], \
+       --gc-stats, --check-json FILE, --roundtrip-report FILE, --roundtrip-case-study ID)\n"
       arg;
     exit 1
   | _ ->

@@ -11,6 +11,8 @@
      map          map the ambient functions onto the smart-home network
      sweep        activation-rate sweep of the reference microwatt node
      system       whole-fleet co-simulation with fault injection
+     matrix       declarative scenario grid, resumable via a JSONL store
+     serve        resident batch service (JSON requests on stdin)
 
    Report-producing subcommands take --format text|json|csv; bad
    arguments exit with status 1. *)
@@ -571,6 +573,138 @@ let system_cmd =
     Term.(const run $ leaves $ relays $ tags $ hours $ seed $ policy $ budget $ diurnal $ faults
           $ format_term)
 
+(* --- matrix / serve --- *)
+
+let load_store = function
+  | None -> Amb_harness.Result_store.in_memory ()
+  | Some path -> (
+    match Amb_harness.Result_store.load path with
+    | Ok store -> store
+    | Error msg ->
+      Printf.eprintf "cannot load store: %s\n" msg;
+      exit 1)
+
+let store_term =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"FILE"
+           ~doc:"Append-only JSONL result store; completed cells found in it are \
+                 served from cache, new rows are appended (resumable).")
+
+let matrix_cmd =
+  let doc = "Run a declarative scenario grid (spec file) on the domain pool." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Reads a $(b,key = value) scenario spec (comma-separated alternatives \
+          per axis, seeds innermost), expands the cross product, and runs one \
+          co-simulation per cell, longest-expected-first.  Each cell emits one \
+          amblib-matrix-row/1 JSON line carrying its config digest and the \
+          amblib report digest; cells already present in $(b,--store) are \
+          answered from it, so an interrupted run resumes where it stopped and \
+          the merged store is byte-identical to an uninterrupted one." ]
+  in
+  let spec_arg =
+    Arg.(required & opt (some string) None
+         & info [ "spec" ] ~docv:"FILE" ~doc:"Scenario spec file ($(b,-) for stdin).")
+  in
+  let expect_cached =
+    Arg.(value & flag
+         & info [ "expect-cached" ]
+             ~doc:"Exit 1 unless every cell was served from the store (the \
+                   matrix-smoke second pass).")
+  in
+  let run spec_path store_path jobs expect_cached fmt =
+    let text =
+      match spec_path with
+      | "-" -> In_channel.input_all stdin
+      | path -> (
+        match In_channel.with_open_bin path In_channel.input_all with
+        | text -> text
+        | exception Sys_error msg ->
+          Printf.eprintf "cannot read spec: %s\n" msg;
+          exit 1)
+    in
+    let spec =
+      match Amb_harness.Scenario_spec.parse text with
+      | Ok spec -> spec
+      | Error msg ->
+        Printf.eprintf "bad spec: %s\n" msg;
+        exit 1
+    in
+    let store = load_store store_path in
+    let rows, stats =
+      Amb_harness.Matrix.execute ~jobs:(resolve_jobs jobs) ~store spec
+    in
+    Amb_harness.Result_store.close store;
+    (match fmt with
+    | Json ->
+      (* The run summary as one amblib-matrix-run/1 object, rows inline. *)
+      let b = Buffer.create 4096 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"schema\":\"amblib-matrix-run/1\",\"cells\":%d,\"ran\":%d,\"cached\":%d,\
+            \"errors\":%d,\"rows\":["
+           stats.Amb_harness.Matrix.cells stats.Amb_harness.Matrix.ran
+           stats.Amb_harness.Matrix.cached stats.Amb_harness.Matrix.errors);
+      Array.iteri
+        (fun i (_, line, _) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b line)
+        rows;
+      Buffer.add_string b "]}\n";
+      print_string (Buffer.contents b)
+    | Text | Csv ->
+      Array.iter
+        (fun (cell, line, origin) ->
+          let status =
+            match Amb_harness.Result_store.entry_of_line line with
+            | Ok e -> e.Amb_harness.Result_store.status
+            | Error _ -> "error"
+          in
+          Printf.printf "%s seed %-6d %-5s %s\n"
+            (String.sub (Amb_harness.Matrix.config_digest cell) 0 8)
+            cell.Amb_harness.Matrix.seed status
+            (match origin with
+            | Amb_harness.Matrix.Hit -> "(cached)"
+            | Amb_harness.Matrix.Ran | Amb_harness.Matrix.Failed -> "(ran)"))
+        rows;
+      Printf.printf "matrix: %d cells, %d ran, %d cached, %d errors\n"
+        stats.Amb_harness.Matrix.cells stats.Amb_harness.Matrix.ran
+        stats.Amb_harness.Matrix.cached stats.Amb_harness.Matrix.errors);
+    if expect_cached && stats.Amb_harness.Matrix.ran > 0 then begin
+      Printf.eprintf "--expect-cached: %d cells were not in the store\n"
+        stats.Amb_harness.Matrix.ran;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "matrix" ~doc ~man)
+    Term.(const run $ spec_arg $ store_term $ jobs_term $ expect_cached $ format_term)
+
+let serve_cmd =
+  let doc = "Resident batch service: one JSON request per line on stdin." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Reads amblib-serve/1 requests (one JSON object per line) from stdin \
+          and answers each on stdout: $(b,ping), $(b,stats), $(b,quit), and \
+          $(b,run) with scenario axes as members.  Grids run on a resident \
+          domain pool and results are cached by (config digest, seed) — \
+          backed by $(b,--store) when given — so repeated queries never \
+          recompute.  Malformed requests get an error response; the loop \
+          only ends on quit or end of input." ]
+  in
+  let run store_path jobs =
+    let jobs = resolve_jobs jobs in
+    let store = load_store store_path in
+    let finish server =
+      Amb_harness.Serve.serve server stdin stdout;
+      Amb_harness.Result_store.close store
+    in
+    if jobs > 1 then
+      Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
+          finish (Amb_harness.Serve.create ~pool ~jobs ~store ()))
+    else finish (Amb_harness.Serve.create ~jobs ~store ())
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const run $ store_term $ jobs_term)
+
 (* --- roadmap --- *)
 
 let roadmap_cmd =
@@ -621,8 +755,8 @@ let main_cmd =
   let info = Cmd.info "ambient" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ graph_cmd; classes_cmd; classify_cmd; experiment_cmd; case_study_cmd; lifetime_cmd;
-      simulate_cmd; map_cmd; design_space_cmd; sweep_cmd; system_cmd; roadmap_cmd;
-      full_report_cmd ]
+      simulate_cmd; map_cmd; design_space_cmd; sweep_cmd; system_cmd; matrix_cmd;
+      serve_cmd; roadmap_cmd; full_report_cmd ]
 
 (* cmdliner reports its own parse errors with exit 124; fold every
    failure to 1 so callers see one error status for any bad argument. *)

@@ -105,6 +105,11 @@ val e31 : unit -> Report.t
 (** Mixed fleet with batteryless tags through the co-simulation: the
     W-node reader pays the radio bill the tags cannot. *)
 
+val e32 : unit -> Report.t
+(** The declarative scenario-matrix harness over a 2x2x2 grid (policy x
+    fault plan x seed), with the replay pass proving the digest-keyed
+    cache answers every cell. *)
+
 val a1 : unit -> Report.t
 (** Ablation: Peukert derating off. *)
 

@@ -1,0 +1,143 @@
+(** Resident batch service behind `ambient serve` (see .mli).
+
+    One JSON request per line in, one JSON response per line out
+    ([amblib-serve/1]).  A [run] request is a scenario spec with the
+    axes as object members; it goes through the same
+    {!Scenario_spec.parse_kv} -> {!Matrix.execute} path as `ambient
+    matrix`, against a store and domain pool that live for the whole
+    session — so repeated queries answer from the digest-keyed cache
+    without touching the pool.  Every failure (unreadable line, unknown
+    op, bad axis value) is a [status = "error"] response, never a
+    crash: the loop only ends on [quit] or end of input. *)
+
+module Json = Amb_report.Report_io.Json
+
+let json_string = Amb_report.Report_io.json_string
+
+type t = {
+  store : Result_store.t;
+  pool : Amb_sim.Domain_pool.t option;
+  jobs : int;
+  mutable requests : int;  (** well-formed [run] requests served *)
+  mutable ran : int;
+  mutable cached : int;
+  mutable errors : int;
+}
+
+let schema = "amblib-serve/1"
+
+let create ?pool ?(jobs = 1) ~store () =
+  { store; pool; jobs; requests = 0; ran = 0; cached = 0; errors = 0 }
+
+let error_response msg =
+  Printf.sprintf "{\"schema\":%s,\"status\":\"error\",\"error\":%s}" (json_string schema)
+    (json_string msg)
+
+(* Request members are spec axes; values arrive as JSON scalars or lists
+   of scalars and are rendered back to the spec's comma-list syntax so
+   parse_kv applies the one shared validation path. *)
+let value_str = function
+  | Json.String s -> Ok s
+  | Json.Number v ->
+    Ok
+      (if Float.is_integer v && Float.abs v < 1e15 then
+         string_of_int (int_of_float v)
+       else Scenario_spec.float_str v)
+  | Json.Bool b -> Ok (string_of_bool b)
+  | _ -> Error "expected a string, number, or list of those"
+
+let axis_value = function
+  | Json.List items ->
+    let rec render acc = function
+      | [] -> Ok (String.concat "," (List.rev acc))
+      | item :: rest -> (
+        match value_str item with
+        | Ok s -> render (s :: acc) rest
+        | Error _ as e -> e)
+    in
+    render [] items
+  | v -> value_str v
+
+let spec_of_members members =
+  let rec pairs acc = function
+    | [] -> Ok (List.rev acc)
+    | ("op", _) :: rest -> pairs acc rest
+    | (key, v) :: rest -> (
+      match axis_value v with
+      | Ok s -> pairs ((key, s) :: acc) rest
+      | Error msg -> Error (Printf.sprintf "key %s: %s" key msg))
+  in
+  Result.bind (pairs [] members) Scenario_spec.parse_kv
+
+let run_response t spec =
+  let rows, stats =
+    Matrix.execute ?pool:t.pool ~jobs:t.jobs ~store:t.store spec
+  in
+  t.requests <- t.requests + 1;
+  t.ran <- t.ran + stats.Matrix.ran;
+  t.cached <- t.cached + stats.Matrix.cached;
+  t.errors <- t.errors + stats.Matrix.errors;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":%s,\"op\":\"run\",\"status\":\"ok\",\"cells\":%d,\"ran\":%d,\
+        \"cached\":%d,\"errors\":%d,\"rows\":["
+       (json_string schema) stats.Matrix.cells stats.Matrix.ran stats.Matrix.cached
+       stats.Matrix.errors);
+  Array.iteri
+    (fun i (_, line, _) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b line)
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let stats_response t =
+  Printf.sprintf
+    "{\"schema\":%s,\"op\":\"stats\",\"status\":\"ok\",\"store_rows\":%d,\"requests\":%d,\
+     \"ran\":%d,\"cached\":%d,\"errors\":%d,\"jobs\":%d}"
+    (json_string schema) (Result_store.size t.store) t.requests t.ran t.cached t.errors
+    (match t.pool with Some _ -> t.jobs | None -> Stdlib.max 1 t.jobs)
+
+let handle_line t line =
+  if String.trim line = "" then (error_response "empty request", `Continue)
+  else
+    match Json.parse line with
+    | exception Json.Parse_error msg -> (error_response ("bad request: " ^ msg), `Continue)
+    | Json.Object members -> (
+      match Json.member "op" (Json.Object members) with
+      | Some (Json.String "ping") ->
+        ( Printf.sprintf "{\"schema\":%s,\"op\":\"ping\",\"status\":\"ok\"}"
+            (json_string schema),
+          `Continue )
+      | Some (Json.String "stats") -> (stats_response t, `Continue)
+      | Some (Json.String "quit") ->
+        ( Printf.sprintf "{\"schema\":%s,\"op\":\"quit\",\"status\":\"ok\"}"
+            (json_string schema),
+          `Quit )
+      | Some (Json.String "run") -> (
+        match spec_of_members members with
+        | Ok spec -> (
+          (* Error isolation: even a failure inside the runner (store
+             corruption, pool teardown) must answer, not kill serve. *)
+          match run_response t spec with
+          | response -> (response, `Continue)
+          | exception e -> (error_response (Printexc.to_string e), `Continue))
+        | Error msg -> (error_response ("bad spec: " ^ msg), `Continue))
+      | Some (Json.String op) -> (error_response ("unknown op: " ^ op), `Continue)
+      | Some _ -> (error_response "op must be a string", `Continue)
+      | None -> (error_response "missing op", `Continue))
+    | _ -> (error_response "request must be a JSON object", `Continue)
+
+let serve t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      let response, verdict = handle_line t line in
+      output_string oc response;
+      output_char oc '\n';
+      flush oc;
+      (match verdict with `Continue -> loop () | `Quit -> ())
+  in
+  loop ()

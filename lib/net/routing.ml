@@ -176,6 +176,14 @@ let make ?dense_threshold ?(jobs = 1) ~topology ~link ~packet () =
     router
   end
 
+(** [with_private_memo router] — the same router (topology, pair cache
+    and packet shared, all read-only) with a fresh, empty distance memo.
+    The memo is a pure cache over [tx_joules], so a clone computes
+    bitwise-identical energies; what it buys is isolation: parallel
+    shards whose fault plans fade links each write their own memo
+    instead of racing on the shared one. *)
+let with_private_memo router = { router with tx_memo = Hashtbl.create 64 }
+
 (** [adjacency router] — the CSR structure (offsets, neighbour ids) when
     the router runs sparse; [None] on the dense grid.  Consumers
     (Route_tree sweeps, Cosim) use it to visit only in-range pairs. *)

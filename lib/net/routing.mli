@@ -55,6 +55,14 @@ val make :
     cache is a pure function of the positions, so the result is bitwise
     independent of [jobs]. *)
 
+val with_private_memo : t -> t
+(** The same router — topology, per-pair cache and packet shared,
+    read-only — with a fresh, empty distance memo.  The memo is a pure
+    cache over the link-budget inversion, so every lookup through the
+    clone is bitwise identical; cloning exists so parallel shards whose
+    fault plans fade links each own their memo instead of racing on the
+    shared table. *)
+
 val adjacency : t -> (int array * int array) option
 (** [(offsets, neighbors)] of the CSR in-range structure when the router
     runs sparse; [None] on the dense grid.  Route-tree sweeps use it to

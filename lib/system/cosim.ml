@@ -64,7 +64,10 @@ type outcome = {
   agents : Node_agent.t array;
 }
 
-let run ?trace cfg ~seed =
+(* The body takes the router explicitly: [run] passes the fleet's own,
+   [run_many]'s parallel shards pass private-memo clones so fade faults
+   (which write per-distance energies through the memo) never race. *)
+let run_with_router ?trace ~router cfg ~seed =
   let fleet = cfg.fleet in
   let topo = fleet.Fleet.topology in
   let n = Topology.node_count topo in
@@ -83,7 +86,7 @@ let run ?trace cfg ~seed =
                (fun i -> fleet.Fleet.tiers.(i) = Fleet.Tag),
                fun i -> fleet.Fleet.tiers.(i) = Fleet.Sink ))
            fleet.Fleet.tag_link)
-      ~router:fleet.Fleet.router ~mode:cfg.link ()
+      ~router ~mode:cfg.link ()
   in
   let sampling = Power.watts (Link_layer.sampling_power_w link) in
   let income_multiplier = Option.map Amb_energy.Day_profile.income_multiplier cfg.diurnal in
@@ -107,7 +110,7 @@ let run ?trace cfg ~seed =
     cfg.faults;
   let alive i = Node_agent.alive agents.(i) in
   let tree =
-    Route_tree.create ?csr:(Routing.adjacency fleet.Fleet.router) ~n ~sink ()
+    Route_tree.create ?csr:(Routing.adjacency router) ~n ~sink ()
   in
   let parent = Array.make n (-2) in
   let generated = ref 0 and delivered = ref 0 and dropped = ref 0 in
@@ -365,20 +368,32 @@ let run ?trace cfg ~seed =
     agents;
   }
 
+let run ?trace cfg ~seed =
+  run_with_router ?trace ~router:cfg.fleet.Fleet.router cfg ~seed
+
 (* Independent-scenario sweep.  Each seed's run builds its own engine,
    agents and link layer; the shared fleet (topology, tiers, routing
-   cache) is only read — except through the router's distance memo,
-   which fade faults mutate, so fault plans containing a fade keep the
-   sweep sequential. *)
+   cache) is only read.  The one shared-mutation hazard is the router's
+   distance memo (fade faults write per-distance energies through it),
+   so parallel shards run through [Routing.with_private_memo] clones —
+   the memo is a pure cache, so outcomes stay bitwise identical to the
+   sequential sweep at every [jobs]. *)
 let run_many ?(jobs = 1) cfg ~seeds =
-  let fade_free =
-    List.for_all
-      (function Fault_plan.Link_fade _ -> false | _ -> true)
-      cfg.faults
-  in
-  let jobs = if fade_free then Stdlib.max 1 jobs else 1 in
+  let jobs = Stdlib.max 1 jobs in
   if jobs = 1 || Array.length seeds <= 1 then
     Array.map (fun seed -> run cfg ~seed) seeds
   else
+    let fade_free =
+      List.for_all
+        (function Fault_plan.Link_fade _ -> false | _ -> true)
+        cfg.faults
+    in
+    let router_for_shard () =
+      if fade_free then cfg.fleet.Fleet.router
+      else Routing.with_private_memo cfg.fleet.Fleet.router
+    in
     Domain_pool.with_pool ~jobs (fun pool ->
-        Domain_pool.run pool (Array.map (fun seed () -> run cfg ~seed) seeds))
+        Domain_pool.run pool
+          (Array.map
+             (fun seed () -> run_with_router ~router:(router_for_shard ()) cfg ~seed)
+             seeds))

@@ -75,6 +75,8 @@ val run_many : ?jobs:int -> config -> seeds:int array -> outcome array
 (** One {!run} per seed, result order matching [seeds]; [jobs] > 1
     spreads the runs across a domain pool (each run owns its engine and
     agents, the fleet is shared read-only), so the outcomes are bitwise
-    identical to the sequential sweep.  Fault plans containing a link
-    fade run sequentially regardless of [jobs]: fades write through the
-    shared router's distance memo. *)
+    identical to the sequential sweep at every [jobs].  Fault plans
+    containing a link fade parallelise too: each shard runs through a
+    {!Amb_net.Routing.with_private_memo} clone of the fleet's router, so
+    fades write their per-distance energies into shard-private memos
+    instead of racing on the shared table. *)

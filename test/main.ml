@@ -30,4 +30,5 @@ let () =
       ("report io", Test_report_io.suite);
       ("typed golden", Test_typed_golden.suite);
       ("city scale", Test_city_scale.suite);
+      ("harness", Test_harness.suite);
     ]

@@ -248,7 +248,7 @@ let test_power_information_kinds () =
 
 let test_run_all_experiments () =
   let results = Amb_core.Experiments.run_all () in
-  Alcotest.(check int) "31 experiments + 3 ablations" 34 (List.length results)
+  Alcotest.(check int) "32 experiments + 3 ablations" 35 (List.length results)
 
 let test_case_study_find_miss () =
   Alcotest.(check bool) "unknown id" true (Amb_core.Case_study.find "Z" = None)

@@ -119,6 +119,45 @@ let test_map_list_usable_after_exception () =
     "subsequent map_list unaffected" [ 0; 2; 4; 6 ]
     (Amb_sim.Domain_pool.map_list ~jobs:2 (fun x -> x * 2) [ 0; 1; 2; 3 ])
 
+let test_pool_all_tasks_raise () =
+  (* Every task raising is the worst failure path: the batch must still
+     settle, surface the first task's exception, and leave the pool
+     serviceable. *)
+  Amb_sim.Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Amb_sim.Domain_pool.run pool
+               (Array.init 10 (fun i () -> failwith (Printf.sprintf "task %d" i))));
+          "no exception"
+        with Failure msg -> msg
+      in
+      Alcotest.(check string) "first task's exception" "task 0" raised;
+      let results = Amb_sim.Domain_pool.run pool (Array.init 10 (fun i () -> i)) in
+      Alcotest.(check (array int)) "pool still serves" (Array.init 10 Fun.id) results)
+
+let test_pool_caught_exception_keeps_batch () =
+  (* The harness's error-isolation pattern: tasks that catch their own
+     exceptions and return a value never poison the batch — this is what
+     lets a raising scenario cell become an error row instead of
+     aborting the matrix. *)
+  Amb_sim.Domain_pool.with_pool ~jobs:3 (fun pool ->
+      let results =
+        Amb_sim.Domain_pool.run pool
+          (Array.init 9 (fun i () ->
+               match if i mod 3 = 1 then failwith "cell blew up" else i with
+               | v -> Ok v
+               | exception Failure msg -> Error msg))
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "task %d value" i) i v
+          | Error msg ->
+            Alcotest.(check bool) (Printf.sprintf "task %d failed" i) true
+              (i mod 3 = 1 && msg = "cell blew up"))
+        results)
+
 let test_pool_rejects_zero_jobs () =
   Alcotest.check_raises "jobs=0"
     (Invalid_argument "Domain_pool.create: need at least one worker") (fun () ->
@@ -216,6 +255,42 @@ let test_run_all_parallel_byte_identical () =
       Alcotest.(check string) (id_s ^ " report bytes") text_s text_p)
     sequential parallel
 
+(* --- run_many with fades: parallel shards, private memos --- *)
+
+let test_run_many_fade_plan_jobs_invariant () =
+  (* Link fades write per-distance energies through the router's memo;
+     run_many gives each parallel shard a private-memo clone, so the
+     outcomes must stay bitwise identical to the sequential sweep —
+     fade plans no longer force jobs=1. *)
+  let open Amb_system in
+  let fleet = Fleet.make ~leaves:8 ~relays:2 ~seed:11 () in
+  let faults =
+    [ Fault_plan.Link_fade { a = 0; b = 1; db = 20.0; at = Amb_units.Time_span.hours 2.0 };
+      Fault_plan.Node_crash { node = 2; at = Amb_units.Time_span.hours 5.0 };
+    ]
+  in
+  let cfg = Cosim.config ~faults ~fleet ~horizon:(Amb_units.Time_span.hours 8.0) () in
+  let seeds = Array.init 6 (fun i -> 40 + i) in
+  let reference = Cosim.run_many ~jobs:1 cfg ~seeds in
+  List.iter
+    (fun jobs ->
+      let parallel = Cosim.run_many ~jobs cfg ~seeds in
+      Array.iteri
+        (fun i (r : Cosim.outcome) ->
+          let p = parallel.(i) in
+          let name fmt = Printf.sprintf "seed %d %s at jobs=%d" seeds.(i) fmt jobs in
+          Alcotest.(check int) (name "delivered") r.Cosim.delivered p.Cosim.delivered;
+          Alcotest.(check int) (name "dropped") r.Cosim.dropped p.Cosim.dropped;
+          Alcotest.(check int) (name "dead") r.Cosim.dead_at_end p.Cosim.dead_at_end;
+          Alcotest.(check (float 0.0))
+            (name "energy bitwise")
+            (Amb_units.Energy.to_joules r.Cosim.energy_spent)
+            (Amb_units.Energy.to_joules p.Cosim.energy_spent);
+          Alcotest.(check (float 0.0))
+            (name "availability bitwise") r.Cosim.availability p.Cosim.availability)
+        reference)
+    [ 2; 4 ]
+
 (* --- Sharded Monte Carlo determinism --- *)
 
 let test_monte_carlo_jobs_invariant () =
@@ -258,6 +333,8 @@ let suite =
     ("pool propagates exceptions", `Quick, test_pool_propagates_exception);
     ("pool survives a raising task", `Quick, test_pool_survives_exception);
     ("pool exception deterministic", `Quick, test_pool_exception_deterministic);
+    ("pool settles when every task raises", `Quick, test_pool_all_tasks_raise);
+    ("caught task exceptions keep the batch", `Quick, test_pool_caught_exception_keeps_batch);
     ("map_list usable after exception", `Quick, test_map_list_usable_after_exception);
     ("pool rejects zero jobs", `Quick, test_pool_rejects_zero_jobs);
     ("float heap pop order", `Quick, test_float_heap_pop_order);
@@ -267,6 +344,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_of_list_pops_ties_in_list_order;
     QCheck_alcotest.to_alcotest prop_of_list_equals_pushes;
     ("run_all parallel output byte-identical", `Slow, test_run_all_parallel_byte_identical);
+    ("run_many fade plan jobs-invariant", `Quick, test_run_many_fade_plan_jobs_invariant);
     ("monte carlo invariant in jobs", `Quick, test_monte_carlo_jobs_invariant);
     ("monte carlo shard boundaries", `Quick, test_monte_carlo_shard_boundary);
   ]
