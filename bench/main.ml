@@ -719,11 +719,17 @@ let fleet_report_period_s = 600.0
 let fleet_horizon_s = 3600.0
 
 (* Floors/ceilings for the gated configuration (>= 10^5 nodes).  The
-   reference machine clears ~10x the events/sec floor and sits ~3x
-   under the words ceiling, so these trip on order-of-magnitude
-   regressions, not machine noise. *)
-let fleet_events_per_s_floor = 10_000.0
+   events/sec floor assumes the Cosim forwarding fast path (SoA fleet
+   ledger + precomputed hop tariffs + indexed report events) — the
+   reference machine clears ~2x the floor, and the historic per-object
+   path sits ~3x below it, so any regression off the fast path trips
+   the gate immediately.  The ledger ceiling pins the fast path's
+   struct-of-arrays footprint: 9 float columns + 2 bitsets is ~9.3
+   words/node, so 12 leaves headroom without letting a boxed column
+   sneak in. *)
+let fleet_events_per_s_floor = 150_000.0
 let fleet_peak_words_per_node = 1_500.0
+let fleet_ledger_words_per_node = 12.0
 let fleet_gate_nodes = 100_000
 
 (* Read-modify-write one top-level section of the snapshot, preserving
@@ -745,7 +751,26 @@ let merge_section ~key path section_json =
 
 let merge_fleet_section path fleet_json = merge_section ~key:"fleet" path fleet_json
 
-let run_fleet ~jobs ~nodes ~json_path =
+(* One measured (build, run) cycle at a node count.  The co-simulation
+   runs through [run_with_router] so a jobs > 1 invocation can hand the
+   fast path a domain pool for its accounting ticks (outcomes are
+   bitwise identical at every pool size — the oracle tests hold Cosim
+   to that). *)
+type fleet_point = {
+  fp_nodes : int;
+  fp_edges : int;
+  fp_build_s : float;
+  fp_run_s : float;
+  fp_events : int;
+  fp_events_per_s : float;
+  fp_peak_words : float;
+  fp_generated : int;
+  fp_delivered : int;
+  fp_coverage : float;
+  fp_ledger_words_per_node : float;
+}
+
+let run_fleet_point ~jobs ~nodes =
   let open Amb_units in
   Printf.printf "=== city fleet: %d nodes, %.0f s report period, %.0f s horizon (jobs=%d) ===\n%!"
     nodes fleet_report_period_s fleet_horizon_s jobs;
@@ -765,55 +790,121 @@ let run_fleet ~jobs ~nodes ~json_path =
   let cfg =
     Amb_system.Cosim.config ~fleet ~horizon:(Time_span.seconds fleet_horizon_s) ()
   in
+  let router = fleet.Amb_system.Fleet.router in
   let t1 = wall_clock () in
-  let outcome = Amb_system.Cosim.run cfg ~seed:7 in
+  let outcome =
+    if jobs > 1 then
+      Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
+          Amb_system.Cosim.run_with_router ~account_pool:pool ~router cfg ~seed:7)
+    else Amb_system.Cosim.run_with_router ~router cfg ~seed:7
+  in
   let run_s = wall_clock () -. t1 in
   let peak_words = Float.of_int (Gc.quick_stat ()).Gc.top_heap_words in
   let events_per_s =
     if run_s > 0.0 then Float.of_int outcome.Amb_system.Cosim.events /. run_s else Float.nan
   in
+  (* The fast path's struct-of-arrays footprint, measured on a fresh
+     snapshot of the run's agents — this is what the words/node gate
+     holds down. *)
+  let ledger_words_per_node =
+    Float.of_int (Amb_system.Fleet_ledger.words
+                    (Amb_system.Fleet_ledger.of_agents outcome.Amb_system.Cosim.agents))
+    /. Float.of_int nodes
+  in
   Printf.printf
     "ran %d events in %.2f s (%.0f events/s); %d/%d reports delivered, coverage %.3f\n"
     outcome.Amb_system.Cosim.events run_s events_per_s outcome.Amb_system.Cosim.delivered
     outcome.Amb_system.Cosim.generated outcome.Amb_system.Cosim.mean_coverage;
-  Printf.printf "peak heap %.0f words (%.0f words/node)\n%!" peak_words
-    (peak_words /. Float.of_int nodes);
+  Printf.printf "peak heap %.0f words (%.0f words/node); ledger %.2f words/node\n%!" peak_words
+    (peak_words /. Float.of_int nodes)
+    ledger_words_per_node;
+  {
+    fp_nodes = nodes;
+    fp_edges = edges;
+    fp_build_s = build_s;
+    fp_run_s = run_s;
+    fp_events = outcome.Amb_system.Cosim.events;
+    fp_events_per_s = events_per_s;
+    fp_peak_words = peak_words;
+    fp_generated = outcome.Amb_system.Cosim.generated;
+    fp_delivered = outcome.Amb_system.Cosim.delivered;
+    fp_coverage = outcome.Amb_system.Cosim.mean_coverage;
+    fp_ledger_words_per_node = ledger_words_per_node;
+  }
+
+(* A --fleet run sweeps every requested node count (smallest first so
+   the peak-heap reading of the largest, gated point is not inflated by
+   a bigger earlier run), merges the largest point into the snapshot's
+   flat "fleet" keys — plus the jobs it used and the per-N "scaling"
+   trajectory — and applies the hard gates to every point at or above
+   [fleet_gate_nodes]. *)
+let run_fleet ~jobs ~nodes_list ~json_path =
+  let nodes_list = List.sort_uniq compare nodes_list in
+  let points = List.map (fun nodes -> run_fleet_point ~jobs ~nodes) nodes_list in
+  let top = List.nth points (List.length points - 1) in
   (match json_path with
   | None -> ()
   | Some path ->
     merge_fleet_section path
       (Json.Object
-         [ ("nodes", Json.Number (Float.of_int nodes));
-           ("edges", Json.Number (Float.of_int edges));
+         [ ("nodes", Json.Number (Float.of_int top.fp_nodes));
+           ("jobs", Json.Number (Float.of_int jobs));
+           ("edges", Json.Number (Float.of_int top.fp_edges));
            ("report_period_s", Json.Number fleet_report_period_s);
            ("horizon_s", Json.Number fleet_horizon_s);
-           ("build_s", Json.Number build_s);
-           ("run_s", Json.Number run_s);
-           ("events", Json.Number (Float.of_int outcome.Amb_system.Cosim.events));
-           ("events_per_s", Json.Number events_per_s);
-           ("peak_heap_words", Json.Number peak_words);
-           ("generated", Json.Number (Float.of_int outcome.Amb_system.Cosim.generated));
-           ("delivered", Json.Number (Float.of_int outcome.Amb_system.Cosim.delivered));
-           ("mean_coverage", Json.Number outcome.Amb_system.Cosim.mean_coverage);
+           ("build_s", Json.Number top.fp_build_s);
+           ("run_s", Json.Number top.fp_run_s);
+           ("events", Json.Number (Float.of_int top.fp_events));
+           ("events_per_s", Json.Number top.fp_events_per_s);
+           ("peak_heap_words", Json.Number top.fp_peak_words);
+           ("ledger_words_per_node", Json.Number top.fp_ledger_words_per_node);
+           ("generated", Json.Number (Float.of_int top.fp_generated));
+           ("delivered", Json.Number (Float.of_int top.fp_delivered));
+           ("mean_coverage", Json.Number top.fp_coverage);
+           ( "scaling",
+             Json.List
+               (List.map
+                  (fun p ->
+                    Json.Object
+                      [ ("nodes", Json.Number (Float.of_int p.fp_nodes));
+                        ("build_s", Json.Number p.fp_build_s);
+                        ("run_s", Json.Number p.fp_run_s);
+                        ("events", Json.Number (Float.of_int p.fp_events));
+                        ("events_per_s", Json.Number p.fp_events_per_s);
+                      ])
+                  points) );
          ]);
     Printf.printf "merged \"fleet\" section into %s\n" path);
-  if nodes >= fleet_gate_nodes then begin
-    let ceiling = fleet_peak_words_per_node *. Float.of_int nodes in
-    let failed = ref false in
-    if events_per_s < fleet_events_per_s_floor then begin
-      Printf.eprintf "fleet gate: %.0f events/s is below the %.0f floor\n" events_per_s
-        fleet_events_per_s_floor;
-      failed := true
-    end;
-    if peak_words > ceiling then begin
-      Printf.eprintf "fleet gate: peak heap %.0f words exceeds the %.0f ceiling (%.0f/node)\n"
-        peak_words ceiling fleet_peak_words_per_node;
-      failed := true
-    end;
-    if !failed then exit 1;
-    Printf.printf "fleet gate passed (floor %.0f events/s, ceiling %.0f words/node)\n"
-      fleet_events_per_s_floor fleet_peak_words_per_node
-  end
+  List.iter
+    (fun p ->
+      if p.fp_nodes >= fleet_gate_nodes then begin
+        let ceiling = fleet_peak_words_per_node *. Float.of_int p.fp_nodes in
+        let failed = ref false in
+        if p.fp_events_per_s < fleet_events_per_s_floor then begin
+          Printf.eprintf "fleet gate: %.0f events/s at %d nodes is below the %.0f floor\n"
+            p.fp_events_per_s p.fp_nodes fleet_events_per_s_floor;
+          failed := true
+        end;
+        if p.fp_peak_words > ceiling then begin
+          Printf.eprintf
+            "fleet gate: peak heap %.0f words exceeds the %.0f ceiling (%.0f/node)\n"
+            p.fp_peak_words ceiling fleet_peak_words_per_node;
+          failed := true
+        end;
+        if p.fp_ledger_words_per_node > fleet_ledger_words_per_node then begin
+          Printf.eprintf "fleet gate: ledger %.2f words/node exceeds the %.1f ceiling\n"
+            p.fp_ledger_words_per_node fleet_ledger_words_per_node;
+          failed := true
+        end;
+        if !failed then exit 1;
+        Printf.printf
+          "fleet gate passed at %d nodes: %.0f events/s >= %.0f floor, peak %.0f <= %.0f \
+           words/node, ledger %.2f <= %.1f words/node\n"
+          p.fp_nodes p.fp_events_per_s fleet_events_per_s_floor
+          (p.fp_peak_words /. Float.of_int p.fp_nodes)
+          fleet_peak_words_per_node p.fp_ledger_words_per_node fleet_ledger_words_per_node
+      end)
+    points
 
 (* ------------------------------------------------------------------ *)
 (* Matrix-harness gate: expand a fixed multi-axis grid, run it twice
@@ -940,13 +1031,21 @@ let () =
       Printf.eprintf "--time expects a positive run count, got %s\n" runs;
       exit 1)
   | _ :: "--time" :: id :: [] -> time_one id 5
-  | _ :: "--fleet" :: count :: rest -> (
-    match int_of_string_opt count with
-    | Some nodes when nodes >= 4 ->
+  | _ :: "--fleet" :: counts :: rest -> (
+    (* A single count or a comma-separated sweep: --fleet 10000,50000,100000 *)
+    let parsed =
+      List.map int_of_string_opt (String.split_on_char ',' counts)
+    in
+    let nodes_list =
+      List.filter_map (function Some n when n >= 4 -> Some n | _ -> None) parsed
+    in
+    match nodes_list with
+    | _ :: _ when List.length nodes_list = List.length parsed ->
       let json_path = match rest with "--json" :: path :: _ -> Some path | _ -> None in
-      run_fleet ~jobs ~nodes ~json_path
+      run_fleet ~jobs ~nodes_list ~json_path
     | _ ->
-      Printf.eprintf "--fleet expects a node count >= 4, got %s\n" count;
+      Printf.eprintf "--fleet expects node counts >= 4 (comma-separated for a sweep), got %s\n"
+        counts;
       exit 1)
   | _ :: "--matrix" :: rest ->
     let json_path = match rest with "--json" :: path :: _ -> Some path | _ -> None in
@@ -958,7 +1057,7 @@ let () =
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
-       --compare OLD NEW, --time ID N, --fleet N [--json FILE], --matrix [--json FILE], \
+       --compare OLD NEW, --time ID N, --fleet N[,N...] [--json FILE], --matrix [--json FILE], \
        --gc-stats, --check-json FILE, --roundtrip-report FILE, --roundtrip-case-study ID)\n"
       arg;
     exit 1

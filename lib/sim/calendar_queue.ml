@@ -39,6 +39,10 @@ type ('a, 'b) t = {
   mutable nexts : int array;  (** chain link / free-list link; -1 = end *)
   mutable pa : 'a array;
   mutable pb : 'b array;
+  mutable i1s : int array;  (** two int payload slots (e.g. handler id / index
+                                of the engine's indexed event channel);
+                                carried verbatim, never interpreted *)
+  mutable i2s : int array;
   mutable free : int;  (** head of the free list; -1 = store full *)
   (* Calendar. *)
   mutable buckets : int array;  (** head node per bucket; -1 = empty *)
@@ -52,6 +56,8 @@ type ('a, 'b) t = {
   mutable out_seq : int;
   mutable out_a : 'a;
   mutable out_b : 'b;
+  mutable out_i1 : int;
+  mutable out_i2 : int;
 }
 
 (* Virtual bucket indices at or beyond this are routed to the overflow
@@ -80,6 +86,8 @@ let create ?(buckets = 16) ~null_a ~null_b () =
     nexts;
     pa = Array.make cap null_a;
     pb = Array.make cap null_b;
+    i1s = Array.make cap 0;
+    i2s = Array.make cap 0;
     free = 0;
     buckets = Array.make nb (-1);
     width = 1.0;
@@ -91,6 +99,8 @@ let create ?(buckets = 16) ~null_a ~null_b () =
     out_seq = 0;
     out_a = null_a;
     out_b = null_b;
+    out_i1 = 0;
+    out_i2 = 0;
   }
 
 let length q = q.count
@@ -102,12 +112,16 @@ let grow_store q =
   and seqs = Array.make cap' 0
   and nexts = Array.make cap' (-1)
   and pa = Array.make cap' q.null_a
-  and pb = Array.make cap' q.null_b in
+  and pb = Array.make cap' q.null_b
+  and i1s = Array.make cap' 0
+  and i2s = Array.make cap' 0 in
   Array.blit q.times 0 times 0 cap;
   Array.blit q.seqs 0 seqs 0 cap;
   Array.blit q.nexts 0 nexts 0 cap;
   Array.blit q.pa 0 pa 0 cap;
   Array.blit q.pb 0 pb 0 cap;
+  Array.blit q.i1s 0 i1s 0 cap;
+  Array.blit q.i2s 0 i2s 0 cap;
   for i = cap to cap' - 1 do
     nexts.(i) <- (if i = cap' - 1 then -1 else i + 1)
   done;
@@ -116,6 +130,8 @@ let grow_store q =
   q.nexts <- nexts;
   q.pa <- pa;
   q.pb <- pb;
+  q.i1s <- i1s;
+  q.i2s <- i2s;
   q.free <- cap
 
 (* Sorted insert of [node] into the chain starting at [head]; returns
@@ -201,7 +217,7 @@ let resize q nb' =
     file q all.(k)
   done
 
-let push q ~time ~seq a b =
+let push q ~time ~seq ~i1 ~i2 a b =
   if Float.is_nan time then invalid_arg "Calendar_queue.push: NaN time";
   if q.free < 0 then grow_store q;
   let node = q.free in
@@ -210,6 +226,8 @@ let push q ~time ~seq a b =
   q.seqs.(node) <- seq;
   q.pa.(node) <- a;
   q.pb.(node) <- b;
+  q.i1s.(node) <- i1;
+  q.i2s.(node) <- i2;
   file q node;
   q.count <- q.count + 1;
   q.hit <- -2;
@@ -287,6 +305,8 @@ let pop q =
     q.out_seq <- q.seqs.(node);
     q.out_a <- q.pa.(node);
     q.out_b <- q.pb.(node);
+    q.out_i1 <- q.i1s.(node);
+    q.out_i2 <- q.i2s.(node);
     q.pa.(node) <- q.null_a;
     q.pb.(node) <- q.null_b;
     q.nexts.(node) <- q.free;
@@ -303,3 +323,5 @@ let[@inline] out_time_cell q = q.out_time
 let[@inline] out_seq q = q.out_seq
 let[@inline] out_a q = q.out_a
 let[@inline] out_b q = q.out_b
+let[@inline] out_i1 q = q.out_i1
+let[@inline] out_i2 q = q.out_i2

@@ -4,7 +4,8 @@
 
     Events carry an unboxed float time, an int sequence number (equal
     times pop in ascending sequence — FIFO when the caller numbers
-    pushes monotonically) and two caller payload slots.  Storage is
+    pushes monotonically), two caller payload slots and two unboxed int
+    slots (the engine's indexed event channel rides in those).  Storage is
     struct-of-arrays with intrusive per-bucket chains, so steady-state
     push/pop allocate nothing; [pop] hands the event back through
     out-fields instead of a tuple.  Far-future and non-finite times are
@@ -26,10 +27,12 @@ val create : ?buckets:int -> null_a:'a -> null_b:'b -> unit -> ('a, 'b) t
 
 val length : ('a, 'b) t -> int
 
-val push : ('a, 'b) t -> time:float -> seq:int -> 'a -> 'b -> unit
-(** Enqueue at absolute [time] with tie-break [seq].  Raises
-    [Invalid_argument] on NaN times; any other float (including
-    [infinity]) is accepted. *)
+val push : ('a, 'b) t -> time:float -> seq:int -> i1:int -> i2:int -> 'a -> 'b -> unit
+(** Enqueue at absolute [time] with tie-break [seq].  [i1]/[i2] are
+    opaque int payloads carried verbatim (pass 0 when unused); being
+    required (not optional) keeps the hot push free of [Some]
+    allocations.  Raises [Invalid_argument] on NaN times; any other
+    float (including [infinity]) is accepted. *)
 
 val min_time : ('a, 'b) t -> float
 (** Earliest pending time without removing the event ([infinity] when
@@ -48,3 +51,5 @@ val out_time_cell : ('a, 'b) t -> fcell
 val out_seq : ('a, 'b) t -> int
 val out_a : ('a, 'b) t -> 'a
 val out_b : ('a, 'b) t -> 'b
+val out_i1 : ('a, 'b) t -> int
+val out_i2 : ('a, 'b) t -> int

@@ -24,6 +24,10 @@ type t = {
   mutable seqs : int array;  (** insertion order; equal times pop FIFO *)
   mutable fns : (t -> unit) array;
   mutable labels : string array;
+  mutable hids : int array;
+      (** indexed-channel handler id per pending event; -1 = plain
+          closure event (the historic path) *)
+  mutable idxs : int array;  (** int payload handed to the handler *)
   mutable size : int;
   mutable next_seq : int;
   clock : cell;  (** current simulation time, seconds *)
@@ -36,9 +40,16 @@ type t = {
       (** calendar queue the pending set migrates into once it outgrows
           [calendar_threshold]; [None] = binary heap (the historic
           path every existing experiment stays on) *)
+  mutable handlers : (t -> int -> unit) array;
+      (** indexed event channel: one registered handler shared by any
+          number of pending events, each carrying only an int — a
+          100k-node fleet schedules 100k reports against one closure *)
+  mutable handler_labels : string array;
+  mutable n_handlers : int;
 }
 
 let nop (_ : t) = ()
+let nop2 (_ : t) (_ : int) = ()
 
 (* Pending-event population above which the binary heap hands over to
    the calendar queue.  Every experiment in the suite keeps well under
@@ -52,6 +63,8 @@ let create ?trace ?(calendar_threshold = default_calendar_threshold) () =
     seqs = Array.make 16 0;
     fns = Array.make 16 nop;
     labels = Array.make 16 "";
+    hids = Array.make 16 (-1);
+    idxs = Array.make 16 0;
     size = 0;
     next_seq = 0;
     clock = { v = 0.0 };
@@ -61,6 +74,9 @@ let create ?trace ?(calendar_threshold = default_calendar_threshold) () =
     trace;
     calendar_threshold;
     cal = None;
+    handlers = Array.make 4 nop2;
+    handler_labels = Array.make 4 "";
+    n_handlers = 0;
   }
 
 let grow engine =
@@ -69,15 +85,21 @@ let grow engine =
   let times = Array.make bigger 0.0
   and seqs = Array.make bigger 0
   and fns = Array.make bigger nop
-  and labels = Array.make bigger "" in
+  and labels = Array.make bigger ""
+  and hids = Array.make bigger (-1)
+  and idxs = Array.make bigger 0 in
   Array.blit engine.times 0 times 0 engine.size;
   Array.blit engine.seqs 0 seqs 0 engine.size;
   Array.blit engine.fns 0 fns 0 engine.size;
   Array.blit engine.labels 0 labels 0 engine.size;
+  Array.blit engine.hids 0 hids 0 engine.size;
+  Array.blit engine.idxs 0 idxs 0 engine.size;
   engine.times <- times;
   engine.seqs <- seqs;
   engine.fns <- fns;
-  engine.labels <- labels
+  engine.labels <- labels;
+  engine.hids <- hids;
+  engine.idxs <- idxs
 
 (* One-way hand-over from the binary heap to the calendar queue once
    the pending population outgrows the threshold.  (time, seq) pairs
@@ -90,13 +112,16 @@ let migrate engine =
       ~null_a:nop ~null_b:"" ()
   in
   for i = 0 to engine.size - 1 do
-    Calendar_queue.push q ~time:engine.times.(i) ~seq:engine.seqs.(i) engine.fns.(i)
+    Calendar_queue.push q ~time:engine.times.(i) ~seq:engine.seqs.(i)
+      ~i1:engine.hids.(i) ~i2:engine.idxs.(i) engine.fns.(i)
       engine.labels.(i)
   done;
   engine.times <- Array.make 16 0.0;
   engine.seqs <- Array.make 16 0;
   engine.fns <- Array.make 16 nop;
   engine.labels <- Array.make 16 "";
+  engine.hids <- Array.make 16 (-1);
+  engine.idxs <- Array.make 16 0;
   engine.size <- 0;
   engine.cal <- Some q
 
@@ -106,7 +131,7 @@ let migrate engine =
    argument to a non-inlined call would be boxed, a cell store is not.
    A freshly pushed event carries the largest sequence number, so the
    sift-up only needs the strict time comparison to keep FIFO ties. *)
-let push_at engine ~label fn =
+let push_raw engine ~label ~hid ~idx fn =
   let time = engine.at.v in
   if Float.is_nan time then invalid_arg "Engine: NaN event time";
   (match engine.trace with
@@ -119,13 +144,14 @@ let push_at engine ~label fn =
   | Some q ->
     let seq = engine.next_seq in
     engine.next_seq <- seq + 1;
-    Calendar_queue.push q ~time ~seq fn label
+    Calendar_queue.push q ~time ~seq ~i1:hid ~i2:idx fn label
   | None ->
   if engine.size >= Array.length engine.times then grow engine;
   let seq = engine.next_seq in
   engine.next_seq <- seq + 1;
   let times = engine.times and seqs = engine.seqs in
   let fns = engine.fns and labels = engine.labels in
+  let hids = engine.hids and idxs = engine.idxs in
   let i = ref engine.size in
   engine.size <- engine.size + 1;
   let sifting = ref (!i > 0) in
@@ -136,6 +162,8 @@ let push_at engine ~label fn =
       seqs.(!i) <- seqs.(parent);
       fns.(!i) <- fns.(parent);
       labels.(!i) <- labels.(parent);
+      hids.(!i) <- hids.(parent);
+      idxs.(!i) <- idxs.(parent);
       i := parent;
       sifting := parent > 0
     end
@@ -144,7 +172,11 @@ let push_at engine ~label fn =
   times.(!i) <- time;
   seqs.(!i) <- seq;
   fns.(!i) <- fn;
-  labels.(!i) <- label
+  labels.(!i) <- label;
+  hids.(!i) <- hid;
+  idxs.(!i) <- idx
+
+let push_at engine ~label fn = push_raw engine ~label ~hid:(-1) ~idx:0 fn
 
 (** [now_s engine] — current simulation time in raw seconds.
     Inlined cross-module so the float result stays unboxed at the call
@@ -207,6 +239,53 @@ let schedule_cell ?(label = "event") engine callback =
   engine.at.v <- engine.clock.v +. engine.at.v;
   push_at engine ~label callback
 
+(* The indexed event channel.  A closure event costs one heap closure
+   per pending event plus a per-fire indirect call through it; a fleet
+   scheduling one report stream per node pays that 100k times over.
+   [register_handler] stores one shared [(t -> int -> unit)] and hands
+   back its id; [schedule_idx_s] then enqueues (handler id, int) pairs
+   that ride the same (time, seq) ordering — unboxed ints in the heap
+   and calendar alike, zero allocation per event.  Trace labels are
+   built only when a trace is attached, as ["<handler label>:<idx>"],
+   matching what the equivalent per-node closure would have recorded. *)
+
+(** [register_handler ?label engine fn] — register [fn] on the indexed
+    channel and return its handler id for {!schedule_idx_s}. *)
+let register_handler ?(label = "handler") engine fn =
+  let id = engine.n_handlers in
+  if id >= Array.length engine.handlers then begin
+    let cap = Array.length engine.handlers * 2 in
+    let handlers = Array.make cap nop2 and hl = Array.make cap "" in
+    Array.blit engine.handlers 0 handlers 0 id;
+    Array.blit engine.handler_labels 0 hl 0 id;
+    engine.handlers <- handlers;
+    engine.handler_labels <- hl
+  end;
+  engine.handlers.(id) <- fn;
+  engine.handler_labels.(id) <- label;
+  engine.n_handlers <- id + 1;
+  id
+
+let[@inline] idx_label engine ~handler ~idx =
+  match engine.trace with
+  | None -> ""
+  | Some _ -> engine.handler_labels.(handler) ^ ":" ^ Int.to_string idx
+
+(** [schedule_idx_s engine ~handler ~idx ~delay_s] — enqueue the indexed
+    event (handler, idx) after [delay_s] seconds. *)
+let schedule_idx_s engine ~handler ~idx ~delay_s =
+  if delay_s < 0.0 then invalid_arg "Engine.schedule_idx: negative delay";
+  engine.at.v <- engine.clock.v +. delay_s;
+  push_raw engine ~label:(idx_label engine ~handler ~idx) ~hid:handler ~idx nop
+
+(** [schedule_idx_cell engine ~handler ~idx] — [schedule_idx_s] with the
+    delay taken from {!delay_cell}: the fully unboxed re-arming path
+    (two immediate ints, a cell store, no float crossing a boundary). *)
+let schedule_idx_cell engine ~handler ~idx =
+  if engine.at.v < 0.0 then invalid_arg "Engine.schedule_idx: negative delay";
+  engine.at.v <- engine.clock.v +. engine.at.v;
+  push_raw engine ~label:(idx_label engine ~handler ~idx) ~hid:handler ~idx nop
+
 (** [schedule engine ~delay callback] — run [callback] after [delay]. *)
 let schedule ?label engine ~delay callback =
   schedule_s ?label engine ~delay_s:(Time_span.to_seconds delay) callback
@@ -228,12 +307,14 @@ let step_calendar engine q ~limit looping =
     else begin
       ignore (Calendar_queue.pop q : bool);
       let fn = Calendar_queue.out_a q in
+      let hid = Calendar_queue.out_i1 q in
+      let idx = Calendar_queue.out_i2 q in
       engine.clock.v <- time;
       engine.executed <- engine.executed + 1;
       (match engine.trace with
       | None -> ()
       | Some tr -> Trace.record tr ~time ("fire:" ^ Calendar_queue.out_b q));
-      fn engine
+      if hid >= 0 then engine.handlers.(hid) engine idx else fn engine
     end
   end
 
@@ -258,8 +339,11 @@ let run_s ?until_s engine =
       end
       else begin
         let seqs = engine.seqs and fns = engine.fns and labels = engine.labels in
+        let hids = engine.hids and idxs = engine.idxs in
         let fn = fns.(0) in
         let label = labels.(0) in
+        let hid = hids.(0) in
+        let idx = idxs.(0) in
         (* Remove the root: drop the last slot into the hole and sift it
            down.  The vacated slot is cleared so finished closures can be
            collected. *)
@@ -268,6 +352,7 @@ let run_s ?until_s engine =
         if last > 0 then begin
           let lt = times.(last) and ls = seqs.(last) in
           let lf = fns.(last) and ll = labels.(last) in
+          let lh = hids.(last) and lx = idxs.(last) in
           fns.(last) <- nop;
           labels.(last) <- "";
           let i = ref 0 in
@@ -289,6 +374,8 @@ let run_s ?until_s engine =
                 seqs.(!i) <- seqs.(c);
                 fns.(!i) <- fns.(c);
                 labels.(!i) <- labels.(c);
+                hids.(!i) <- hids.(c);
+                idxs.(!i) <- idxs.(c);
                 i := c
               end
               else sifting := false
@@ -297,7 +384,9 @@ let run_s ?until_s engine =
           times.(!i) <- lt;
           seqs.(!i) <- ls;
           fns.(!i) <- lf;
-          labels.(!i) <- ll
+          labels.(!i) <- ll;
+          hids.(!i) <- lh;
+          idxs.(!i) <- lx
         end
         else begin
           fns.(0) <- nop;
@@ -308,7 +397,7 @@ let run_s ?until_s engine =
         (match engine.trace with
         | None -> ()
         | Some tr -> Trace.record tr ~time ("fire:" ^ label));
-        fn engine
+        if hid >= 0 then engine.handlers.(hid) engine idx else fn engine
       end
     end
   done;

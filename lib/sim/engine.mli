@@ -76,6 +76,27 @@ val schedule_cell : ?label:string -> t -> (t -> unit) -> unit
     self-re-arming event loop fully allocation-free.  Raises
     [Invalid_argument] on a negative delay. *)
 
+val register_handler : ?label:string -> t -> (t -> int -> unit) -> int
+(** Register a shared handler on the engine's indexed event channel and
+    return its id.  One handler serves any number of pending events, so
+    a fleet scheduling a report stream per node stores one closure plus
+    an int per event instead of one closure per node.  With a trace
+    attached, each event records ["<label>:<idx>"] (default label
+    ["handler"]) — the same strings the equivalent per-node closures
+    would have produced. *)
+
+val schedule_idx_s : t -> handler:int -> idx:int -> delay_s:float -> unit
+(** Enqueue the indexed event [(handler, idx)] after [delay_s] seconds:
+    at fire time the registered handler is called with [idx].  Indexed
+    events share the engine's single (time, insertion-seq) order with
+    closure events — interleavings are identical to the closure
+    encoding.  Raises [Invalid_argument] on a negative delay. *)
+
+val schedule_idx_cell : t -> handler:int -> idx:int -> unit
+(** [schedule_idx_s] with the delay taken from {!delay_cell}: the fully
+    unboxed re-arming path (two immediate ints and a cell store, no
+    float crossing a call boundary). *)
+
 val stop : t -> unit
 (** Abort the run after the current callback returns. *)
 

@@ -64,10 +64,25 @@ type outcome = {
   agents : Node_agent.t array;
 }
 
+(* Fleet size at which the run switches from per-object [Node_agent]
+   accounting and per-hop [Link_layer] pricing to the struct-of-arrays
+   fast path ([Fleet_ledger] columns, precomputed hop tariffs, indexed
+   report events).  The two paths are bit-for-bit identical — the
+   threshold trades the historic path's zero setup cost against the
+   fast path's per-event floor, and every legacy experiment (tens to
+   hundreds of nodes) stays on the historic code verbatim. *)
+let default_fast_threshold = 1024
+
 (* The body takes the router explicitly: [run] passes the fleet's own,
    [run_many]'s parallel shards pass private-memo clones so fade faults
-   (which write per-distance energies through the memo) never race. *)
-let run_with_router ?trace ~router cfg ~seed =
+   (which write per-distance energies through the memo) never race.
+   [account_pool] folds the fast path's accounting ticks over disjoint
+   index ranges (deaths still processed sequentially in node order, so
+   outcomes are jobs-independent); [fast_threshold] overrides
+   {!default_fast_threshold} — the oracle tests pin it to 0 / max_int
+   to force either representation at any fleet size. *)
+let run_with_router ?trace ?account_pool ?(fast_threshold = default_fast_threshold) ~router
+    cfg ~seed =
   let fleet = cfg.fleet in
   let topo = fleet.Fleet.topology in
   let n = Topology.node_count topo in
@@ -89,6 +104,11 @@ let run_with_router ?trace ~router cfg ~seed =
       ~router ~mode:cfg.link ()
   in
   let sampling = Power.watts (Link_layer.sampling_power_w link) in
+  (* Distance-independent receiver tariffs — constant for the run, so
+     hoisted here beside the sampling power instead of being re-read
+     inside every per-node forwarding closure. *)
+  let rx_j = Link_layer.cost_rx_j link in
+  let reader_j = Link_layer.reader_cost_rx_j link in
   let income_multiplier = Option.map Amb_energy.Day_profile.income_multiplier cfg.diurnal in
   let agents =
     Array.init n (fun i ->
@@ -108,11 +128,45 @@ let run_with_router ?trace ~router cfg ~seed =
         Node_agent.scale_battery agents.(node) ~factor:scale
       | Fault_plan.Node_crash _ | Fault_plan.Link_fade _ -> ())
     cfg.faults;
-  let alive i = Node_agent.alive agents.(i) in
+  (* The struct-of-arrays twin (snapshotted after the battery faults so
+     the columns see the scaled capacities).  While it exists, it — not
+     the agent records — is the energy truth: every liveness test,
+     reserve read and death instant below goes through these accessor
+     closures, and the agents are restored from the columns at run
+     end. *)
+  let fast = n >= fast_threshold in
+  let ledger = if fast then Some (Fleet_ledger.of_agents ?income_multiplier agents) else None in
+  let alive =
+    match ledger with
+    | None -> fun i -> Node_agent.alive agents.(i)
+    | Some lg -> fun i -> Fleet_ledger.alive lg i
+  in
+  let reserve =
+    match ledger with
+    | None -> fun i -> Node_agent.reserve_j agents.(i)
+    | Some lg -> fun i -> Fleet_ledger.reserve_j lg i
+  in
+  let died_at_raw =
+    match ledger with
+    | None -> fun i -> Node_agent.died_at_s agents.(i)
+    | Some lg -> fun i -> Fleet_ledger.died_at_s lg i
+  in
+  let crash_node =
+    match ledger with
+    | None -> fun i now -> Node_agent.crash agents.(i) ~now
+    | Some lg -> fun i now -> Fleet_ledger.crash lg i ~now
+  in
   let tree =
     Route_tree.create ?csr:(Routing.adjacency router) ~n ~sink ()
   in
   let parent = Array.make n (-2) in
+  (* Precomputed hop tariffs, twin to [parent]: [hop_tx.(i)] is the
+     sender cost of the tree hop i -> parent.(i) and [hop_kind.(i)] its
+     receiver classification.  Refreshed on every [sync_parents] —
+     i.e. exactly when the tree (or a fade) changes — so the fast
+     forwarding walk reads flat arrays with zero link-layer calls. *)
+  let hop_tx = if fast then Array.make n Float.nan else [||] in
+  let hop_kind = if fast then Array.make n 0 else [||] in
   let generated = ref 0 and delivered = ref 0 and dropped = ref 0 in
   let deaths = ref [] in
   let rebuilds = ref 0 in
@@ -169,7 +223,7 @@ let run_with_router ?trace ~router cfg ~seed =
         let joules = Link_layer.weight_j link i j in
         if Float.is_nan joules then joules
         else
-          let r = Node_agent.reserve_j agents.(i) in
+          let r = reserve i in
           if r <= 0.0 then Float.max_float /. 1e6 else joules /. r
   in
   let sync_parents () =
@@ -179,7 +233,8 @@ let run_with_router ?trace ~router cfg ~seed =
          else
            let p = Route_tree.parent tree i in
            if p < 0 || not (alive i) then -2 else p)
-    done
+    done;
+    if fast then Link_layer.refresh_hop_tariffs link ~sink ~parent ~tx_j:hop_tx ~hop_kind
   in
   (* Every tree update — full or spliced — feeds the coverage and
      availability accumulators at its instant, as the historic
@@ -207,90 +262,198 @@ let run_with_router ?trace ~router cfg ~seed =
   in
   let record_death i now =
     let at =
-      match Node_agent.died_at agents.(i) with
-      | Some t -> Time_span.to_seconds t
-      | None -> now
+      let d = died_at_raw i in
+      if Float.is_nan d then now else d
     in
     deaths := (i, at) :: !deaths;
     note ("death:" ^ Int.to_string i) at;
     repair_after_death i now
   in
-  (* Charge [joules] to node [i]; false once the node is gone (the death,
-     if any, has already triggered its repair — as in Net_sim.charge). *)
-  let charge i now joules =
-    let was = alive i in
-    Node_agent.charge agents.(i) ~now joules;
-    if was && not (alive i) then record_death i now;
-    alive i
-  in
-  let account_all now =
-    Array.iter
-      (fun agent ->
-        let i = Node_agent.id agent in
+  (* The per-packet machinery, instantiated per representation rather
+     than parameterised over it: the historic path keeps its code
+     verbatim, and the fast path calls the ledger kernels directly — a
+     shared closure indirection here would box every float argument on
+     the hottest calls in the simulator.  Both branches yield the
+     accounting tick and the report-stream registrar; everything else
+     (tree maintenance, stats, faults, outcome) is shared above and
+     below. *)
+  let account_tick, schedule_reports =
+    match ledger with
+    | None ->
+      (* Charge [joules] to node [i]; false once the node is gone (the
+         death, if any, has already triggered its repair — as in
+         Net_sim.charge). *)
+      let charge i now joules =
         let was = alive i in
-        Node_agent.account agent ~now;
-        if was && not (alive i) then record_death i now)
-      agents
-  in
-  (* Mirror of Net_sim.forward: hop towards the sink, sender pays TX,
-     receiver pays RX (the sink listens for free), deaths drop the
-     packet.  The one exception is a reader-powered tag hop: the serving
-     reader pays the carrier + listen cost even when it is the sink —
-     that asymmetry is the whole economics of the batteryless class. *)
-  let forward src =
-    let rx_j = Link_layer.cost_rx_j link in
-    let reader_j = Link_layer.reader_cost_rx_j link in
-    let rec hop node ttl now =
-      if ttl <= 0 then incr dropped
-      else if node = sink then incr delivered
-      else
-        let p = parent.(node) in
-        if p < 0 || not (alive node) then incr dropped
-        else
-          let tx_j = Link_layer.cost_tx_j link node p in
-          if Float.is_nan tx_j then incr dropped
-          else begin
-            let sender_ok = charge node now tx_j in
-            let receiver_ok =
-              if Link_layer.tag_hop link node then charge p now reader_j
-              else p = sink || charge p now rx_j
-            in
-            if sender_ok && receiver_ok then hop p (ttl - 1) now else incr dropped
+        Node_agent.charge agents.(i) ~now joules;
+        if was && not (alive i) then record_death i now;
+        alive i
+      in
+      let account_all now =
+        Array.iter
+          (fun agent ->
+            let i = Node_agent.id agent in
+            let was = alive i in
+            Node_agent.account agent ~now;
+            if was && not (alive i) then record_death i now)
+          agents
+      in
+      (* Mirror of Net_sim.forward: hop towards the sink, sender pays
+         TX, receiver pays RX (the sink listens for free), deaths drop
+         the packet.  The one exception is a reader-powered tag hop:
+         the serving reader pays the carrier + listen cost even when it
+         is the sink — that asymmetry is the whole economics of the
+         batteryless class. *)
+      let forward src =
+        let rec hop node ttl now =
+          if ttl <= 0 then incr dropped
+          else if node = sink then incr delivered
+          else
+            let p = parent.(node) in
+            if p < 0 || not (alive node) then incr dropped
+            else
+              let tx_j = Link_layer.cost_tx_j link node p in
+              if Float.is_nan tx_j then incr dropped
+              else begin
+                let sender_ok = charge node now tx_j in
+                let receiver_ok =
+                  if Link_layer.tag_hop link node then charge p now reader_j
+                  else p = sink || charge p now rx_j
+                in
+                if sender_ok && receiver_ok then hop p (ttl - 1) now else incr dropped
+              end
+        in
+        fun now -> hop src n now
+      in
+      (* Leaf reporting, staggered by a random phase — drawn in node
+         order from the run seed, exactly as Net_sim does.  One report
+         closure per node re-arms itself for the whole run. *)
+      let schedule_reports () =
+        for node = 0 to n - 1 do
+          if node <> sink then begin
+            let tier_cfg = Fleet.config_of fleet fleet.Fleet.tiers.(node) in
+            match tier_cfg.Fleet.report_period with
+            | None -> ()
+            | Some p ->
+              let period_s = Time_span.to_seconds p in
+              let phase = Rng.uniform rng 0.0 period_s in
+              let label = "report:" ^ Int.to_string node in
+              let activation_j = Energy.to_joules tier_cfg.Fleet.activation_energy in
+              let fwd = forward node in
+              let rec report engine =
+                if alive node then begin
+                  incr generated;
+                  let now = clk.Engine.v in
+                  (* Sense/convert/compute first; the forward pass
+                     charges the radio.  A node that dies
+                     mid-activation still counts the report as
+                     generated (and dropped), as a dead Net_sim node
+                     would. *)
+                  if activation_j > 0.0 then ignore (charge node now activation_j);
+                  fwd now;
+                  Engine.schedule_s ~label engine ~delay_s:period_s report
+                end
+              in
+              Engine.schedule_s ~label engine ~delay_s:phase report
           end
-    in
-    fun now -> hop src n now
+        done
+      in
+      (account_all, schedule_reports)
+    | Some lg ->
+      (* [charge], over the columns.  Death handling (and the repair +
+         stats it triggers) is identical to the historic wrapper. *)
+      let charge i now joules =
+        let was = Fleet_ledger.alive lg i in
+        Fleet_ledger.charge lg i ~now joules;
+        if was && not (Fleet_ledger.alive lg i) then record_death i now;
+        Fleet_ledger.alive lg i
+      in
+      (* [forward], flattened: the recursive hop with its per-hop
+         link-layer pricing becomes a loop over [parent] / [hop_tx] /
+         [hop_kind] — drop conditions, charges and their order exactly
+         as above.  The arrays are re-read on every hop because a
+         mid-walk death repairs the tree (and refreshes the tariffs)
+         before the walk continues, just as the historic walk re-prices
+         each hop after a repair. *)
+      let forward src now =
+        let node = ref src and ttl = ref n and walking = ref true in
+        while !walking do
+          if !ttl <= 0 then begin incr dropped; walking := false end
+          else if !node = sink then begin incr delivered; walking := false end
+          else begin
+            let u = !node in
+            (* [u] ranges over live node ids < n by construction, so
+               the per-hop array reads skip the bounds checks, as the
+               ledger kernels they feed do. *)
+            let p = Array.unsafe_get parent u in
+            if p < 0 || not (Fleet_ledger.alive lg u) then begin
+              incr dropped;
+              walking := false
+            end
+            else begin
+              let tx_j = Array.unsafe_get hop_tx u in
+              if Float.is_nan tx_j then begin incr dropped; walking := false end
+              else begin
+                let sender_ok = charge u now tx_j in
+                let receiver_ok =
+                  let k = Array.unsafe_get hop_kind u in
+                  if k = Link_layer.hop_tag then charge p now reader_j
+                  else k = Link_layer.hop_sink_parent || charge p now rx_j
+                in
+                if sender_ok && receiver_ok then begin
+                  node := p;
+                  decr ttl
+                end
+                else begin incr dropped; walking := false end
+              end
+            end
+          end
+        done
+      in
+      (* Report streams on the engine's indexed channel: one shared
+         handler plus per-node period/activation columns replace the
+         100k per-node closures.  (time, seq) pairs and the RNG phase
+         draws are produced in the same node order as the historic
+         loop, so the event chronology — and with a trace attached,
+         the "report:<n>" labels — are unchanged. *)
+      let period = Array.make n 0.0 in
+      let activation = Array.make n 0.0 in
+      let hid = ref (-1) in
+      let handler =
+        Engine.register_handler ~label:"report" engine (fun e idx ->
+            if Fleet_ledger.alive lg idx then begin
+              incr generated;
+              let now = clk.Engine.v in
+              if activation.(idx) > 0.0 then ignore (charge idx now activation.(idx) : bool);
+              forward idx now;
+              (Engine.delay_cell e).v <- period.(idx);
+              Engine.schedule_idx_cell e ~handler:!hid ~idx
+            end)
+      in
+      hid := handler;
+      let schedule_reports () =
+        for node = 0 to n - 1 do
+          if node <> sink then begin
+            let tier_cfg = Fleet.config_of fleet fleet.Fleet.tiers.(node) in
+            match tier_cfg.Fleet.report_period with
+            | None -> ()
+            | Some p ->
+              let period_s = Time_span.to_seconds p in
+              let phase = Rng.uniform rng 0.0 period_s in
+              period.(node) <- period_s;
+              activation.(node) <- Energy.to_joules tier_cfg.Fleet.activation_energy;
+              Engine.schedule_idx_s engine ~handler ~idx:node ~delay_s:phase
+          end
+        done
+      in
+      let account_all now =
+        Fleet_ledger.account_all ?pool:account_pool lg ~now ~on_death:(fun i ->
+            record_death i now)
+      in
+      (account_all, schedule_reports)
   in
   rebuild 0.0;
-  (* Leaf reporting, staggered by a random phase — drawn in node order
-     from the run seed, exactly as Net_sim does.  One report closure per
-     node re-arms itself for the whole run. *)
-  for node = 0 to n - 1 do
-    if node <> sink then begin
-      let tier_cfg = Fleet.config_of fleet fleet.Fleet.tiers.(node) in
-      match tier_cfg.Fleet.report_period with
-      | None -> ()
-      | Some p ->
-        let period_s = Time_span.to_seconds p in
-        let phase = Rng.uniform rng 0.0 period_s in
-        let label = "report:" ^ Int.to_string node in
-        let activation_j = Energy.to_joules tier_cfg.Fleet.activation_energy in
-        let fwd = forward node in
-        let rec report engine =
-          if alive node then begin
-            incr generated;
-            let now = clk.Engine.v in
-            (* Sense/convert/compute first; the forward pass charges
-               the radio.  A node that dies mid-activation still
-               counts the report as generated (and dropped), as a
-               dead Net_sim node would. *)
-            if activation_j > 0.0 then ignore (charge node now activation_j);
-            fwd now;
-            Engine.schedule_s ~label engine ~delay_s:period_s report
-          end
-        in
-        Engine.schedule_s ~label engine ~delay_s:phase report
-    end
-  done;
+  schedule_reports ();
   let horizon_s = Time_span.to_seconds cfg.horizon in
   (* Periodic residual-aware rebuild, as in Net_sim. *)
   Engine.every_s ~label:"rebuild" engine ~period_s:(Time_span.to_seconds cfg.rebuild_period)
@@ -300,7 +463,7 @@ let run_with_router ?trace ~router cfg ~seed =
   (* Periodic continuous-flow accounting, as in Lifetime_sim. *)
   Engine.every_s ~label:"account" engine
     ~period_s:(Time_span.to_seconds cfg.accounting_period) ~until_s:horizon_s (fun _e ->
-      account_all clk.Engine.v;
+      account_tick clk.Engine.v;
       true);
   (* Fault injection. *)
   List.iter
@@ -309,7 +472,7 @@ let run_with_router ?trace ~router cfg ~seed =
         Engine.schedule_at ~label:("fault:crash:" ^ Int.to_string node) engine at (fun e ->
             if alive node then begin
               let now = Engine.now_s e in
-              Node_agent.crash agents.(node) ~now;
+              crash_node node now;
               record_death node now
             end)
       | Fault_plan.Link_fade { a; b; db; at } ->
@@ -339,7 +502,11 @@ let run_with_router ?trace ~router cfg ~seed =
       | Fault_plan.Battery_scale _ -> ())
     cfg.faults;
   let end_s = Engine.run_s ~until_s:horizon_s engine in
-  account_all end_s;
+  account_tick end_s;
+  (* Restore the agents from the columns so reporting — and callers
+     holding [outcome.agents] — read the run's final state exactly as
+     the historic path would have left it. *)
+  (match ledger with None -> () | Some lg -> Fleet_ledger.write_back lg agents);
   Stat.close coverage ~time:end_s;
   Stat.close avail ~time:end_s;
   let deaths = List.sort (fun (_, a) (_, b) -> Float.compare a b) (List.rev !deaths) in

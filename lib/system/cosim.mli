@@ -71,6 +71,35 @@ val run : ?trace:Amb_sim.Trace.t -> config -> seed:int -> outcome
     as ["death:<n>"] at their instant, so tests can assert event
     ordering. *)
 
+val default_fast_threshold : int
+(** Fleet size (1024) at which a run switches from per-object
+    {!Node_agent} accounting and per-hop {!Link_layer} pricing to the
+    struct-of-arrays fast path: {!Fleet_ledger} columns, hop tariffs
+    precomputed on every route-tree sync, and report streams on the
+    engine's indexed event channel.  The two paths are bit-for-bit
+    identical (same ledgers, death instants, event chronology, RNG
+    draws and digests); every legacy experiment stays below the
+    threshold and runs the historic code verbatim. *)
+
+val run_with_router :
+  ?trace:Amb_sim.Trace.t ->
+  ?account_pool:Amb_sim.Domain_pool.t ->
+  ?fast_threshold:int ->
+  router:Routing.t ->
+  config ->
+  seed:int ->
+  outcome
+(** {!run} with the routing cache supplied explicitly (parallel sweeps
+    pass {!Amb_net.Routing.with_private_memo} clones so fade faults
+    never race on the shared memo).  [account_pool] folds the fast
+    path's periodic accounting ticks over disjoint index ranges of the
+    ledger; death ticks fall back to the sequential order, so outcomes
+    are bitwise identical at every pool size.  [fast_threshold]
+    (default {!default_fast_threshold}) overrides the representation
+    switch — 0 forces the fast path, [max_int] the historic one; the
+    oracle tests hold the two identical at every tested fleet shape,
+    fault plan, policy and jobs count. *)
+
 val run_many : ?jobs:int -> config -> seeds:int array -> outcome array
 (** One {!run} per seed, result order matching [seeds]; [jobs] > 1
     spreads the runs across a domain pool (each run owns its engine and

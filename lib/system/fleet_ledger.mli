@@ -1,0 +1,67 @@
+(** Struct-of-arrays energy ledger: the city-scale twin of
+    {!Node_agent}.
+
+    A fleet of per-object agents costs a pointer chase and a mixed
+    record per accounting touch; above {!Cosim.default_fast_threshold}
+    the co-simulation copies the agents into one unboxed float matrix
+    of node-major ledger rows
+    ([died_at]/[last_account]/[reserve]/[consumed]/[harvested] state,
+    [sleep]/[regulator]/[income]/[capacity] parameters, plus a crashed
+    bitset) and runs every charge and accounting tick over those —
+    allocation-free array arithmetic whose whole per-node row spans two
+    cache lines instead of nine columns — then one {!write_back} at run
+    end so reporting still reads the agents.
+
+    The kernels replicate {!Node_agent.account}/[charge]/[crash]
+    float-op for float-op, so ledgers, interpolated death instants and
+    digests are bit-for-bit identical to the historic path; the qcheck
+    oracle in [test/test_forward_fast.ml] enforces this across fleet
+    shapes, fault plans, policies and jobs counts.
+
+    [died_at] uses the same NaN-while-alive encoding as the agent
+    ledger. *)
+
+type t
+
+val of_agents : ?income_multiplier:(float -> float) -> Node_agent.t array -> t
+(** Snapshot the agents' parameters and state into columns.  Take the
+    snapshot after any {!Node_agent.scale_battery} faults have been
+    applied.  [income_multiplier] must be the same function the agents
+    were created with; it is consulted only for nodes that actually
+    sample it ({!Node_agent.has_income_multiplier}). *)
+
+val length : t -> int
+val alive : t -> int -> bool
+val reserve_j : t -> int -> float
+
+val died_at_s : t -> int -> float
+(** Raw death instant; NaN while alive. *)
+
+val account : t -> int -> now:float -> unit
+(** {!Node_agent.account} on the columns. *)
+
+val charge : t -> int -> now:float -> float -> unit
+(** {!Node_agent.charge} on the columns. *)
+
+val crash : t -> int -> now:float -> unit
+(** {!Node_agent.crash} on the columns. *)
+
+val account_all : ?pool:Amb_sim.Domain_pool.t -> t -> now:float -> on_death:(int -> unit) -> unit
+(** Settle every node to [now], firing [on_death i] between a node's
+    accounting and the next node's, in ascending node order — the
+    historic [Cosim] tick semantics.  With [pool], disjoint index
+    ranges are folded in parallel: a read-only scan predicts deaths
+    first, a death-free tick commits in parallel (per-node accounting
+    is independent, so the result is order-blind), and any predicted
+    death falls the whole tick back to the sequential loop so the
+    callback interleaving — which rebuilds routes and re-reads
+    mid-tick reserves — stays bit-for-bit deterministic at every
+    [jobs]. *)
+
+val write_back : t -> Node_agent.t array -> unit
+(** Restore the columns into the agents (via {!Node_agent.restore}) so
+    end-of-run reporting reads them as if the historic path had run. *)
+
+val words : t -> int
+(** Heap words the ledger's columns occupy — the bench gates this per
+    node so the fast path's footprint cannot regress silently. *)

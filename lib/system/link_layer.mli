@@ -68,6 +68,28 @@ val reader_cost_rx_j : t -> float
     command, carrier + receive chain during the reply); 0 under [Off] or
     without [tag_link]. *)
 
+val hop_normal : int
+(** {!refresh_hop_tariffs} receiver kinds: an ordinary hop (receiver
+    pays {!cost_rx_j}) … *)
+
+val hop_tag : int
+(** … a reader-powered tag hop (receiver pays {!reader_cost_rx_j},
+    even when it is the sink) … *)
+
+val hop_sink_parent : int
+(** … or a hop into the sink, which listens for free. *)
+
+val refresh_hop_tariffs :
+  t -> sink:int -> parent:int array -> tx_j:float array -> hop_kind:int array -> unit
+(** Precompute, for every node with [parent.(node) >= 0], the sender
+    tariff [tx_j.(node) = cost_tx_j t node parent.(node)] (bit-exact,
+    NaN when the hop cannot close) and the receiver classification
+    [hop_kind.(node)] ({!hop_normal} / {!hop_tag} /
+    {!hop_sink_parent}).  Orphans get a NaN tariff.  Called on every
+    route-tree sync, so the arrays are stale only when the tree itself
+    is — the forwarding fast path then walks flat arrays with zero
+    link-layer calls per hop. *)
+
 val weight_j : t -> int -> int -> float
 (** [weight_j t u v] — physical TX+RX joules for routing weights,
     fade-adjusted, regardless of mode (an [Off] fleet still routes over

@@ -118,6 +118,30 @@ let scale_battery t ~factor =
   end
 
 let reserve_j t = t.lg.reserve_j
+
+(* Raw ledger access for {!Fleet_ledger}: the struct-of-arrays twin
+   copies the parameter columns out once per run and writes the mutable
+   state back once at the end, so the pair stays bit-for-bit without
+   this module growing an array-backed representation itself. *)
+let capacity_j t = t.lg.capacity_j
+let income_w t = t.lg.income_w
+let regulator_efficiency t = t.lg.regulator
+let sleep_drain_w t = t.lg.sleep_w
+let consumed_j t = t.lg.consumed_j
+let harvested_j t = t.lg.harvested_j
+let last_account_s t = t.lg.last_account
+let died_at_s t = t.lg.died_at
+let has_income_multiplier t = Option.is_some t.income_multiplier
+
+let restore t ~reserve_j ~consumed_j ~harvested_j ~last_account_s ~died_at_s ~crashed =
+  let lg = t.lg in
+  lg.reserve_j <- reserve_j;
+  lg.consumed_j <- consumed_j;
+  lg.harvested_j <- harvested_j;
+  lg.last_account <- last_account_s;
+  lg.died_at <- died_at_s;
+  t.crashed <- crashed
+
 let residual_energy t = Energy.joules (Float.max 0.0 t.lg.reserve_j)
 let consumed_energy t = Energy.joules t.lg.consumed_j
 let harvested_energy t = Energy.joules t.lg.harvested_j

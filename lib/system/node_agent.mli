@@ -49,6 +49,41 @@ val reserve_j : t -> float
     for mains) — the residual the max-lifetime routing policy weights
     by. *)
 
+(** {2 Raw ledger access}
+
+    Columns for {!Fleet_ledger}, the struct-of-arrays twin used by the
+    city-scale forwarding fast path: parameters are copied out once per
+    run, mutable state written back once at the end via {!restore}. *)
+
+val capacity_j : t -> float
+val income_w : t -> float
+val regulator_efficiency : t -> float
+val sleep_drain_w : t -> float
+val consumed_j : t -> float
+val harvested_j : t -> float
+
+val last_account_s : t -> float
+(** Last settled accounting instant, raw seconds. *)
+
+val died_at_s : t -> float
+(** Raw death instant: NaN while alive (the ledger encoding). *)
+
+val has_income_multiplier : t -> bool
+(** Whether the agent samples a diurnal income multiplier (income > 0
+    and a multiplier was supplied at creation). *)
+
+val restore :
+  t ->
+  reserve_j:float ->
+  consumed_j:float ->
+  harvested_j:float ->
+  last_account_s:float ->
+  died_at_s:float ->
+  crashed:bool ->
+  unit
+(** Overwrite the mutable ledger state wholesale — the fast path's
+    end-of-run write-back. *)
+
 val residual_energy : t -> Energy.t
 (** Reserve clamped at zero, for reporting. *)
 

@@ -30,5 +30,6 @@ let () =
       ("report io", Test_report_io.suite);
       ("typed golden", Test_typed_golden.suite);
       ("city scale", Test_city_scale.suite);
+      ("forward fast", Test_forward_fast.suite);
       ("harness", Test_harness.suite);
     ]

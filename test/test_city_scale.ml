@@ -88,7 +88,7 @@ let prop_calendar_pop_order =
       let heap = Amb_sim.Event_queue.create () in
       List.iteri
         (fun i t ->
-          Amb_sim.Calendar_queue.push cal ~time:t ~seq:i i "";
+          Amb_sim.Calendar_queue.push cal ~time:t ~seq:i ~i1:i ~i2:(-i) i "";
           Amb_sim.Event_queue.push heap ~time:t i)
         times;
       let ok = ref true in
@@ -99,7 +99,9 @@ let prop_calendar_pop_order =
               (Amb_sim.Calendar_queue.min_time cal = t
               && Amb_sim.Calendar_queue.pop cal
               && Amb_sim.Calendar_queue.out_time cal = t
-              && Amb_sim.Calendar_queue.out_a cal = i)
+              && Amb_sim.Calendar_queue.out_a cal = i
+              && Amb_sim.Calendar_queue.out_i1 cal = i
+              && Amb_sim.Calendar_queue.out_i2 cal = -i)
           then ok := false)
         (Amb_sim.Event_queue.drain heap);
       !ok && Amb_sim.Calendar_queue.length cal = 0)
@@ -119,7 +121,7 @@ let prop_calendar_interleaved =
           (* Engine-style push: never in the past, occasionally tied. *)
           let t = !clock +. Amb_sim.Rng.uniform rng 0.0 50.0 in
           let t = if Amb_sim.Rng.int rng 8 = 0 then !clock else t in
-          Amb_sim.Calendar_queue.push cal ~time:t ~seq:!seq !seq "";
+          Amb_sim.Calendar_queue.push cal ~time:t ~seq:!seq ~i1:0 ~i2:0 !seq "";
           Amb_sim.Event_queue.push heap ~time:t !seq;
           incr seq
         end

@@ -1,0 +1,172 @@
+(* Oracle for the forwarding fast path (Fleet_ledger + precomputed hop
+   tariffs + the engine's indexed report channel).
+
+   [Cosim.run_with_router] keeps two implementations of the hot loop:
+   the historic per-object path (agents, per-hop Link_layer pricing,
+   one closure per report event) and the struct-of-arrays path that
+   city-scale runs switch to above [Cosim.default_fast_threshold].  The
+   contract is bit-for-bit identity — not approximate agreement — so
+   the oracle here forces both paths over the same randomised scenarios
+   ([~fast_threshold:max_int] vs [~fast_threshold:0]) and compares
+   every outcome field, every agent ledger, the death chronology and
+   the full engine trace with NaN-safe bitwise float equality.  The
+   fast path also runs under a 4-domain accounting pool, which must
+   change nothing.
+
+   Scenarios sweep the surface the fast path reimplements: mixed fleets
+   (leaves + relays + batteryless tags on the reader-powered PHY),
+   crash/fade/battery-scale fault plans (fades invalidate the
+   precomputed tariffs mid-run), all three routing policies, and
+   diurnal harvest income (the ledger's multiplier bitset).
+
+   A final test pins the point of the exercise: the fast path's event
+   loop must stay allocation-free, measured as minor words per event. *)
+
+open Amb_units
+open Amb_system
+
+(* NaN-safe bitwise float equality: death instants are NaN while alive,
+   and "same double" is the spec, not "close". *)
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits ctx a b =
+  if not (same_bits a b) then
+    Alcotest.failf "%s: %h <> %h" ctx a b
+
+(* --- randomised scenarios -------------------------------------------- *)
+
+let policies = [| Amb_net.Routing.Min_hop; Amb_net.Routing.Min_energy; Amb_net.Routing.Max_lifetime |]
+
+let scenario ~trial =
+  let rng = Amb_sim.Rng.create (4000 + trial) in
+  let leaves = 16 + Amb_sim.Rng.int rng 24 in
+  let relays = 2 + Amb_sim.Rng.int rng 3 in
+  let tags = Amb_sim.Rng.int rng 10 in
+  (* Supercap-scale leaf buffers so deaths happen inside the horizon
+     and the death-handling paths (route repair, Max_lifetime reserve
+     reads, death-tick sequential fallback) are actually exercised. *)
+  let leaf =
+    { (Fleet.microwatt_leaf ()) with
+      Fleet.budget_override = Some (Energy.joules (0.3 +. (0.5 *. Amb_sim.Rng.float rng)))
+    }
+  in
+  let fleet = Fleet.make ~leaf ~leaves ~relays ~tags ~seed:(100 + trial) () in
+  let n = Fleet.node_count fleet in
+  let hours lo span = Time_span.hours (lo +. (span *. Amb_sim.Rng.float rng)) in
+  let node () = 1 + Amb_sim.Rng.int rng (n - 1) in
+  let faults = ref [] in
+  for _ = 1 to 1 + Amb_sim.Rng.int rng 3 do
+    faults :=
+      Fault_plan.Battery_scale { node = node (); scale = 0.6 +. (0.8 *. Amb_sim.Rng.float rng) }
+      :: !faults
+  done;
+  for _ = 1 to 1 + Amb_sim.Rng.int rng 2 do
+    faults := Fault_plan.Node_crash { node = node (); at = hours 0.5 6.0 } :: !faults
+  done;
+  for _ = 1 to 1 + Amb_sim.Rng.int rng 2 do
+    let a = node () and b = node () in
+    if a <> b then
+      faults :=
+        Fault_plan.Link_fade { a; b; db = 3.0 +. (9.0 *. Amb_sim.Rng.float rng); at = hours 1.0 5.0 }
+        :: !faults
+  done;
+  let policy = policies.(trial mod 3) in
+  let diurnal = if trial mod 2 = 0 then Some Amb_energy.Day_profile.office_lighting else None in
+  let cfg =
+    Cosim.config ~policy ?diurnal ~faults:!faults ~fleet ~horizon:(Time_span.hours 8.0) ()
+  in
+  (fleet, cfg)
+
+(* One run at a given threshold.  Fades write per-distance energies into
+   the routing memo, so every run gets a private clone — exactly what
+   [Cosim.run_many] shards do — keeping the three runs independent. *)
+let run_one ?account_pool ~fast_threshold fleet cfg ~seed =
+  let trace = Amb_sim.Trace.create ~capacity:200_000 () in
+  let router = Amb_net.Routing.with_private_memo fleet.Fleet.router in
+  let outcome = Cosim.run_with_router ~trace ?account_pool ~fast_threshold ~router cfg ~seed in
+  (outcome, trace)
+
+(* --- bitwise comparison ---------------------------------------------- *)
+
+let check_same ~ctx (a : Cosim.outcome) ta (b : Cosim.outcome) tb =
+  let ck name = Printf.sprintf "%s: %s" ctx name in
+  Alcotest.(check int) (ck "generated") a.generated b.generated;
+  Alcotest.(check int) (ck "delivered") a.delivered b.delivered;
+  Alcotest.(check int) (ck "dropped") a.dropped b.dropped;
+  Alcotest.(check int) (ck "dead_at_end") a.dead_at_end b.dead_at_end;
+  Alcotest.(check int) (ck "rebuilds") a.rebuilds b.rebuilds;
+  Alcotest.(check int) (ck "events") a.events b.events;
+  check_bits (ck "delivery_ratio") a.delivery_ratio b.delivery_ratio;
+  check_bits (ck "availability") a.availability b.availability;
+  check_bits (ck "mean_coverage") a.mean_coverage b.mean_coverage;
+  check_bits (ck "energy_spent") (Energy.to_joules a.energy_spent)
+    (Energy.to_joules b.energy_spent);
+  check_bits (ck "energy_harvested")
+    (Energy.to_joules a.energy_harvested)
+    (Energy.to_joules b.energy_harvested);
+  (match (a.first_death, b.first_death) with
+  | None, None -> ()
+  | Some x, Some y -> check_bits (ck "first_death") (Time_span.to_seconds x) (Time_span.to_seconds y)
+  | _ -> Alcotest.failf "%s: first_death presence differs" ctx);
+  Alcotest.(check int) (ck "death count") (List.length a.deaths) (List.length b.deaths);
+  List.iter2
+    (fun (na, ta) (nb, tb) ->
+      Alcotest.(check int) (ck "death node") na nb;
+      check_bits (ck "death instant") (Time_span.to_seconds ta) (Time_span.to_seconds tb))
+    a.deaths b.deaths;
+  Alcotest.(check int) (ck "agent count") (Array.length a.agents) (Array.length b.agents);
+  Array.iteri
+    (fun i ag ->
+      let bg = b.agents.(i) in
+      let ck name = Printf.sprintf "%s: agent %d %s" ctx i name in
+      check_bits (ck "reserve") (Node_agent.reserve_j ag) (Node_agent.reserve_j bg);
+      check_bits (ck "consumed") (Node_agent.consumed_j ag) (Node_agent.consumed_j bg);
+      check_bits (ck "harvested") (Node_agent.harvested_j ag) (Node_agent.harvested_j bg);
+      check_bits (ck "last_account") (Node_agent.last_account_s ag) (Node_agent.last_account_s bg);
+      check_bits (ck "died_at") (Node_agent.died_at_s ag) (Node_agent.died_at_s bg);
+      Alcotest.(check bool) (ck "crashed") (Node_agent.is_crashed ag) (Node_agent.is_crashed bg))
+    a.agents;
+  (* The trace is the event chronology itself: same instants, same
+     labels, same order — this is what pins the (time, seq) event
+     ordering and the lazily built "report:<n>" labels. *)
+  Alcotest.(check int) (ck "trace length") (Amb_sim.Trace.recorded ta) (Amb_sim.Trace.recorded tb);
+  List.iter2
+    (fun (x : Amb_sim.Trace.entry) (y : Amb_sim.Trace.entry) ->
+      Alcotest.(check string) (ck "trace label") x.label y.label;
+      check_bits (ck "trace time at " ^ x.label) x.time y.time)
+    (Amb_sim.Trace.to_list ta) (Amb_sim.Trace.to_list tb)
+
+let prop_fast_path_oracle =
+  QCheck.Test.make ~name:"fast path is bitwise identical to the historic path" ~count:12
+    QCheck.small_nat (fun trial ->
+      let fleet, cfg = scenario ~trial in
+      let seed = 9000 + trial in
+      let historic, t_hist = run_one ~fast_threshold:max_int fleet cfg ~seed in
+      let fast, t_fast = run_one ~fast_threshold:0 fleet cfg ~seed in
+      check_same ~ctx:(Printf.sprintf "trial %d seq" trial) historic t_hist fast t_fast;
+      Amb_sim.Domain_pool.with_pool ~jobs:4 (fun pool ->
+          let pooled, t_pool = run_one ~account_pool:pool ~fast_threshold:0 fleet cfg ~seed in
+          check_same ~ctx:(Printf.sprintf "trial %d jobs=4" trial) historic t_hist pooled t_pool);
+      true)
+
+(* --- allocation budget ----------------------------------------------- *)
+
+let test_minor_words_budget () =
+  let fleet = Fleet.city ~nodes:2000 ~seed:3 () in
+  let cfg = Cosim.config ~fleet ~horizon:(Time_span.hours 2.0) () in
+  (* Warm once so lazy setup (routing memo fills, engine growth) is out
+     of the measured run. *)
+  ignore (Cosim.run_with_router ~fast_threshold:0 ~router:fleet.Fleet.router cfg ~seed:7);
+  let before = Gc.minor_words () in
+  let o = Cosim.run_with_router ~fast_threshold:0 ~router:fleet.Fleet.router cfg ~seed:7 in
+  let per_event = (Gc.minor_words () -. before) /. Float.of_int o.Cosim.events in
+  (* Per-run setup (ledger snapshot, tariff arrays, write_back) is a few
+     words per NODE amortised over ~12 events each; the event loop
+     itself must add nothing.  The historic path spends hundreds of
+     words per event on boxed link costs and report closures. *)
+  if per_event > 40.0 then
+    Alcotest.failf "fast path allocates %.1f minor words/event (budget 40)" per_event
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ prop_fast_path_oracle ]
+  @ [ Alcotest.test_case "fast path minor words per event" `Quick test_minor_words_budget ]
