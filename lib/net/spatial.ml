@@ -104,8 +104,28 @@ let neighbors_within t i ~range_m =
   iter_within t i ~range_m (fun j _ -> acc := j :: !acc);
   List.sort Stdlib.compare !acc
 
-(** [degree t i ~range_m] — number of nodes within range of [i]. *)
+(** [degree t i ~range_m] — number of nodes within range of [i].  The
+    ring scan of [iter_within], inlined without the callback: the CSR
+    build calls this once per node (in parallel at city scale), and a
+    closure + counter ref per call is the only thing that loop would
+    allocate. *)
 let degree t i ~range_m =
   let k = ref 0 in
-  iter_within t i ~range_m (fun _ _ -> incr k);
+  if range_m > 0.0 then begin
+    let x = t.xs.(i) and y = t.ys.(i) in
+    let r_cells = int_of_float (Float.ceil (range_m /. t.cell_m)) in
+    let cx = clamp 0 (t.cols - 1) (int_of_float (x /. t.cell_m))
+    and cy = clamp 0 (t.rows - 1) (int_of_float (y /. t.cell_m)) in
+    let x0 = Stdlib.max 0 (cx - r_cells) and x1 = Stdlib.min (t.cols - 1) (cx + r_cells) in
+    let y0 = Stdlib.max 0 (cy - r_cells) and y1 = Stdlib.min (t.rows - 1) (cy + r_cells) in
+    for gy = y0 to y1 do
+      for gx = x0 to x1 do
+        let c = (gy * t.cols) + gx in
+        for s = t.start.(c) to t.start.(c + 1) - 1 do
+          let j = t.order.(s) in
+          if j <> i && Float.hypot (t.xs.(j) -. x) (t.ys.(j) -. y) <= range_m then incr k
+        done
+      done
+    done
+  end;
   !k

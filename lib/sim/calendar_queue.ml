@@ -285,7 +285,28 @@ let[@inline] min_time q =
     q.times.(h)
   end
 
-let pop q =
+(* Peek the first int payload slot of the minimum event without popping
+   it.  The engine's batch drain uses this to ask "is the next event on
+   the batched handler channel?" before committing to a pop; sharing
+   [ensure_hit] with [min_time] keeps the double peek O(1). *)
+let[@inline] min_i1 q =
+  if q.count = 0 then min_int
+  else begin
+    ensure_hit q;
+    let h = if q.hit = -1 then q.overflow else q.buckets.(q.hit) in
+    q.i1s.(h)
+  end
+
+(* [pop] without the shrink check: the engine's batch drain pops whole
+   report waves — most of the pending population — that the batch body
+   re-inserts moments later as it re-arms each stream.  Letting those
+   pops halve the bucket array would walk the queue through a full
+   shrink/grow resize cascade (each one re-bucketing every pending
+   event) on every wave; keeping the buckets sized for the population
+   that is about to return makes the drain resize-free.  Ordinary pops
+   still shrink, so a genuinely collapsing population reclaims its
+   buckets on the next non-batched pop. *)
+let pop_no_shrink q =
   if q.count = 0 then false
   else begin
     ensure_hit q;
@@ -313,10 +334,16 @@ let pop q =
     q.free <- node;
     q.count <- q.count - 1;
     q.hit <- -2;
+    true
+  end
+
+let pop q =
+  if pop_no_shrink q then begin
     let nb = Array.length q.buckets in
     if nb > 64 && q.count < nb / 4 then resize q (nb / 2);
     true
   end
+  else false
 
 let[@inline] out_time q = q.out_time.f
 let[@inline] out_time_cell q = q.out_time

@@ -39,10 +39,22 @@ val min_time : ('a, 'b) t -> float
     empty).  The search result is cached, so a [min_time]-then-[pop]
     pair costs one search. *)
 
+val min_i1 : ('a, 'b) t -> int
+(** First int payload of the earliest pending event without removing it
+    ([min_int] when empty).  Shares the cached minimum with
+    {!min_time}, so peeking both costs one search — this is how the
+    engine's batch drain recognises a run of same-channel events. *)
+
 val pop : ('a, 'b) t -> bool
 (** Remove the earliest event, filling the out-fields below; [false]
     when empty.  The out-fields keep their values until the next
     [pop]. *)
+
+val pop_no_shrink : ('a, 'b) t -> bool
+(** [pop] that never shrinks the bucket array — for the engine's batch
+    drain, whose pops are immediately undone by the batch body's
+    re-arms.  A population that genuinely collapses reclaims its
+    buckets on the next ordinary [pop]. *)
 
 val out_time : ('a, 'b) t -> float
 val out_time_cell : ('a, 'b) t -> fcell

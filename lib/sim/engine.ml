@@ -46,6 +46,15 @@ type t = {
           100k-node fleet schedules 100k reports against one closure *)
   mutable handler_labels : string array;
   mutable n_handlers : int;
+  mutable batch_hid : int;
+      (** handler id whose consecutive events drain as one batch;
+          -1 = batching off (every existing experiment) *)
+  mutable batch_window : float;
+      (** batch horizon: a drain never reaches [first time + window],
+          so re-arms scheduled by the batch body cannot be overtaken *)
+  mutable batch_fn : t -> int -> unit;
+  mutable bt_times : float array;  (** drained fire times, in pop order *)
+  mutable bt_idxs : int array;  (** drained event indices, in pop order *)
 }
 
 let nop (_ : t) = ()
@@ -77,6 +86,11 @@ let create ?trace ?(calendar_threshold = default_calendar_threshold) () =
     handlers = Array.make 4 nop2;
     handler_labels = Array.make 4 "";
     n_handlers = 0;
+    batch_hid = -1;
+    batch_window = 0.0;
+    batch_fn = nop2;
+    bt_times = Array.make 16 0.0;
+    bt_idxs = Array.make 16 0;
   }
 
 let grow engine =
@@ -286,12 +300,157 @@ let schedule_idx_cell engine ~handler ~idx =
   engine.at.v <- engine.clock.v +. engine.at.v;
   push_raw engine ~label:(idx_label engine ~handler ~idx) ~hid:handler ~idx nop
 
+(* Batch drain for the indexed channel.  When the next pending event
+   belongs to the batched handler, the run loop pops the maximal run of
+   consecutive events on that channel — stopping at the horizon, at any
+   event on another channel or a closure event, and strictly before
+   [first time + window] — into [bt_times]/[bt_idxs], then calls
+   [batch_fn engine count] once instead of the handler [count] times.
+
+   The window is the caller's no-overtake guarantee: if every batched
+   stream re-arms itself no sooner than [window] after its own fire
+   time, then (float addition being monotone) no re-arm pushed by the
+   batch body can be earlier than [first + window], so draining up to
+   that horizon can never pop an event ahead of one it causes.  The
+   batch body owns the per-event observables the loop would have
+   produced: it must advance the clock cell to each event's time as it
+   replays it and record any "fire:" trace lines itself (the drain
+   records none); [executed] is bumped by the whole batch up front. *)
+
+(** [set_batch_handler engine ~handler ~window_s fn] — drain consecutive
+    events of [handler] as batches into [fn].  [window_s] must be a
+    positive lower bound on every batched stream's re-arm delay. *)
+let set_batch_handler engine ~handler ~window_s fn =
+  if handler < 0 || handler >= engine.n_handlers then
+    invalid_arg "Engine.set_batch_handler: unknown handler";
+  if not (window_s > 0.0) then invalid_arg "Engine.set_batch_handler: non-positive window";
+  engine.batch_hid <- handler;
+  engine.batch_window <- window_s;
+  engine.batch_fn <- fn
+
+(** [batch_times engine] — fire times of the current batch, valid for
+    the first [count] slots during a [batch_fn] call.  Re-fetch inside
+    every call: the array is replaced when a larger batch grows it. *)
+let batch_times engine = engine.bt_times
+
+(** [batch_idxs engine] — event indices of the current batch (same
+    validity rule as {!batch_times}). *)
+let batch_idxs engine = engine.bt_idxs
+
+let grow_batch engine =
+  let cap = Array.length engine.bt_times in
+  let bigger = Stdlib.max 16 (cap * 2) in
+  let times = Array.make bigger 0.0 and idxs = Array.make bigger 0 in
+  Array.blit engine.bt_times 0 times 0 cap;
+  Array.blit engine.bt_idxs 0 idxs 0 cap;
+  engine.bt_times <- times;
+  engine.bt_idxs <- idxs
+
 (** [schedule engine ~delay callback] — run [callback] after [delay]. *)
 let schedule ?label engine ~delay callback =
   schedule_s ?label engine ~delay_s:(Time_span.to_seconds delay) callback
 
 (** [stop engine] — abort the run after the current callback returns. *)
 let stop engine = engine.running <- false
+
+(* Remove the heap root (whose payload the caller has already read):
+   drop the last slot into the hole and sift it down.  The vacated slot
+   is cleared so finished closures can be collected. *)
+let heap_remove_root engine =
+  let times = engine.times and seqs = engine.seqs in
+  let fns = engine.fns and labels = engine.labels in
+  let hids = engine.hids and idxs = engine.idxs in
+  let last = engine.size - 1 in
+  engine.size <- last;
+  if last > 0 then begin
+    let lt = times.(last) and ls = seqs.(last) in
+    let lf = fns.(last) and ll = labels.(last) in
+    let lh = hids.(last) and lx = idxs.(last) in
+    fns.(last) <- nop;
+    labels.(last) <- "";
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= last then sifting := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < last
+            && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if times.(c) < lt || (times.(c) = lt && seqs.(c) < ls) then begin
+          times.(!i) <- times.(c);
+          seqs.(!i) <- seqs.(c);
+          fns.(!i) <- fns.(c);
+          labels.(!i) <- labels.(c);
+          hids.(!i) <- hids.(c);
+          idxs.(!i) <- idxs.(c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    times.(!i) <- lt;
+    seqs.(!i) <- ls;
+    fns.(!i) <- lf;
+    labels.(!i) <- ll;
+    hids.(!i) <- lh;
+    idxs.(!i) <- lx
+  end
+  else begin
+    engine.fns.(0) <- nop;
+    engine.labels.(0) <- ""
+  end
+
+(* Drain a batch off the heap: the caller has established that the root
+   is a batch-channel event at admissible time [t0]. *)
+let drain_heap_batch engine ~limit t0 =
+  let wend = t0 +. engine.batch_window in
+  let count = ref 0 in
+  let draining = ref true in
+  while !draining do
+    let t = engine.times.(0) in
+    let idx = engine.idxs.(0) in
+    heap_remove_root engine;
+    if !count >= Array.length engine.bt_times then grow_batch engine;
+    engine.bt_times.(!count) <- t;
+    engine.bt_idxs.(!count) <- idx;
+    incr count;
+    draining :=
+      engine.size > 0
+      && engine.hids.(0) = engine.batch_hid
+      && engine.times.(0) <= limit
+      && engine.times.(0) < wend
+  done;
+  engine.executed <- engine.executed + !count;
+  engine.clock.v <- t0;
+  engine.batch_fn engine !count
+
+(* Same drain off the calendar queue; [min_time]/[min_i1] share the
+   queue's cached minimum, so each admission test costs one search. *)
+let drain_calendar_batch engine q ~limit t0 =
+  let wend = t0 +. engine.batch_window in
+  let count = ref 0 in
+  let draining = ref true in
+  while !draining do
+    ignore (Calendar_queue.pop_no_shrink q : bool);
+    if !count >= Array.length engine.bt_times then grow_batch engine;
+    engine.bt_times.(!count) <- Calendar_queue.out_time q;
+    engine.bt_idxs.(!count) <- Calendar_queue.out_i2 q;
+    incr count;
+    draining :=
+      Calendar_queue.length q > 0
+      && Calendar_queue.min_i1 q = engine.batch_hid
+      && Calendar_queue.min_time q <= limit
+      && Calendar_queue.min_time q < wend
+  done;
+  engine.executed <- engine.executed + !count;
+  engine.clock.v <- t0;
+  engine.batch_fn engine !count
 
 (* One calendar-queue event: peek (cached by the queue), honour the
    horizon, pop through the out-fields and fire.  Same chronology and
@@ -304,6 +463,8 @@ let step_calendar engine q ~limit looping =
       engine.clock.v <- limit;
       looping := false
     end
+    else if engine.batch_hid >= 0 && Calendar_queue.min_i1 q = engine.batch_hid then
+      drain_calendar_batch engine q ~limit time
     else begin
       ignore (Calendar_queue.pop q : bool);
       let fn = Calendar_queue.out_a q in
@@ -331,67 +492,19 @@ let run_s ?until_s engine =
       | None ->
     if engine.size = 0 then looping := false
     else begin
-      let times = engine.times in
-      let time = times.(0) in
+      let time = engine.times.(0) in
       if time > limit then begin
         engine.clock.v <- limit;
         looping := false
       end
+      else if engine.batch_hid >= 0 && engine.hids.(0) = engine.batch_hid then
+        drain_heap_batch engine ~limit time
       else begin
-        let seqs = engine.seqs and fns = engine.fns and labels = engine.labels in
-        let hids = engine.hids and idxs = engine.idxs in
-        let fn = fns.(0) in
-        let label = labels.(0) in
-        let hid = hids.(0) in
-        let idx = idxs.(0) in
-        (* Remove the root: drop the last slot into the hole and sift it
-           down.  The vacated slot is cleared so finished closures can be
-           collected. *)
-        let last = engine.size - 1 in
-        engine.size <- last;
-        if last > 0 then begin
-          let lt = times.(last) and ls = seqs.(last) in
-          let lf = fns.(last) and ll = labels.(last) in
-          let lh = hids.(last) and lx = idxs.(last) in
-          fns.(last) <- nop;
-          labels.(last) <- "";
-          let i = ref 0 in
-          let sifting = ref true in
-          while !sifting do
-            let l = (2 * !i) + 1 in
-            if l >= last then sifting := false
-            else begin
-              let r = l + 1 in
-              let c =
-                if
-                  r < last
-                  && (times.(r) < times.(l) || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
-                then r
-                else l
-              in
-              if times.(c) < lt || (times.(c) = lt && seqs.(c) < ls) then begin
-                times.(!i) <- times.(c);
-                seqs.(!i) <- seqs.(c);
-                fns.(!i) <- fns.(c);
-                labels.(!i) <- labels.(c);
-                hids.(!i) <- hids.(c);
-                idxs.(!i) <- idxs.(c);
-                i := c
-              end
-              else sifting := false
-            end
-          done;
-          times.(!i) <- lt;
-          seqs.(!i) <- ls;
-          fns.(!i) <- lf;
-          labels.(!i) <- ll;
-          hids.(!i) <- lh;
-          idxs.(!i) <- lx
-        end
-        else begin
-          fns.(0) <- nop;
-          labels.(0) <- ""
-        end;
+        let fn = engine.fns.(0) in
+        let label = engine.labels.(0) in
+        let hid = engine.hids.(0) in
+        let idx = engine.idxs.(0) in
+        heap_remove_root engine;
         engine.clock.v <- time;
         engine.executed <- engine.executed + 1;
         (match engine.trace with

@@ -97,6 +97,38 @@ val schedule_idx_cell : t -> handler:int -> idx:int -> unit
     unboxed re-arming path (two immediate ints and a cell store, no
     float crossing a call boundary). *)
 
+val set_batch_handler : t -> handler:int -> window_s:float -> (t -> int -> unit) -> unit
+(** Drain consecutive pending events of [handler] as batches.  When the
+    run loop (heap or calendar backend alike) meets a pending event on
+    that channel, it pops the maximal run of consecutive same-channel
+    events — stopping at the run horizon, at any event on another
+    channel or a plain closure event, and strictly before
+    [first fire time + window_s] — and calls [fn engine count] once
+    with the drained [(time, idx)] pairs readable through
+    {!batch_times}/{!batch_idxs}.
+
+    The contract that keeps chronology exact: [window_s] must be a
+    positive lower bound on the re-arm delay of every stream scheduled
+    on the channel, so nothing the batch body pushes can land inside
+    the drained window.  The body owns the per-event observables the
+    loop would have produced — it must write each event's fire time
+    into {!clock_cell} as it replays the event (the one sanctioned
+    exception to the cell's read-only rule) and record any
+    ["fire:<label>:<idx>"] trace lines itself; the drain records no
+    fire lines and bumps {!event_count} by the whole batch up front.
+    Raises [Invalid_argument] for an unregistered handler or a
+    non-positive window. *)
+
+val batch_times : t -> float array
+(** Fire times of the current batch, in pop order; only the first
+    [count] slots of a [fn engine count] call are meaningful.  Re-fetch
+    inside every call — the array is replaced when a batch outgrows
+    it. *)
+
+val batch_idxs : t -> int array
+(** Event indices of the current batch (same validity rule as
+    {!batch_times}). *)
+
 val stop : t -> unit
 (** Abort the run after the current callback returns. *)
 

@@ -81,9 +81,26 @@ val default_fast_threshold : int
     draws and digests); every legacy experiment stays below the
     threshold and runs the historic code verbatim. *)
 
+type phase_times = {
+  clock : unit -> float;  (** wall-clock source, e.g. [Unix.gettimeofday] *)
+  mutable forward_s : float;  (** report batches: walks, charges, re-arms *)
+  mutable account_s : float;  (** periodic + final accounting ticks *)
+  mutable rebuild_s : float;  (** initial + periodic tree rebuilds *)
+}
+(** Wall-clock accumulators for a run's three bulk phases, filled when
+    passed to {!run_with_router}.  Purely observational — timing never
+    feeds back into the simulation.  The forward split is collected on
+    the fast path (batched report drains); on the historic path it
+    stays 0.  Death-triggered repairs are attributed to whichever
+    phase raised them. *)
+
+val phase_times : clock:(unit -> float) -> phase_times
+(** Fresh zeroed accumulators around [clock]. *)
+
 val run_with_router :
   ?trace:Amb_sim.Trace.t ->
-  ?account_pool:Amb_sim.Domain_pool.t ->
+  ?pool:Amb_sim.Domain_pool.t ->
+  ?phase:phase_times ->
   ?fast_threshold:int ->
   router:Routing.t ->
   config ->
@@ -91,14 +108,21 @@ val run_with_router :
   outcome
 (** {!run} with the routing cache supplied explicitly (parallel sweeps
     pass {!Amb_net.Routing.with_private_memo} clones so fade faults
-    never race on the shared memo).  [account_pool] folds the fast
-    path's periodic accounting ticks over disjoint index ranges of the
-    ledger; death ticks fall back to the sequential order, so outcomes
-    are bitwise identical at every pool size.  [fast_threshold]
-    (default {!default_fast_threshold}) overrides the representation
-    switch — 0 forces the fast path, [max_int] the historic one; the
-    oracle tests hold the two identical at every tested fleet shape,
-    fault plan, policy and jobs count. *)
+    never race on the shared memo).  [pool] parallelises the fast
+    path's two intra-run bulk phases: periodic accounting ticks fold
+    over disjoint index ranges of the ledger, and batched report
+    drains run their forwarding walks read-only in parallel, commit
+    the resulting charge sequences per node (disjoint ledger rows, each
+    in global charge order), then replay counters, traces and re-arms
+    sequentially in event order.  Both phases prescan read-only for
+    deaths first and fall back to the verbatim sequential order when
+    one is predicted, so outcomes are bitwise identical at every pool
+    size.  [phase] accumulates per-phase wall clock (see
+    {!phase_times}).  [fast_threshold] (default
+    {!default_fast_threshold}) overrides the representation switch — 0
+    forces the fast path, [max_int] the historic one; the oracle tests
+    hold the two identical at every tested fleet shape, fault plan,
+    policy and jobs count. *)
 
 val run_many : ?jobs:int -> config -> seeds:int array -> outcome array
 (** One {!run} per seed, result order matching [seeds]; [jobs] > 1

@@ -204,8 +204,17 @@ let make ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?(width_m = 250.0)
    {!Amb_tech.Variability.monte_carlo}). *)
 let city_block = 8192
 
+type build_timing = {
+  clock : unit -> float;
+  mutable layout_s : float;
+  mutable topology_s : float;
+  mutable csr_s : float;
+}
+
+let build_timing ~clock = { clock; layout_s = 0.0; topology_s = 0.0; csr_s = 0.0 }
+
 let city ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?link ?packet ?(jobs = 1)
-    ?(target_degree = 16.0) ~nodes ~seed () =
+    ?(target_degree = 16.0) ?timing ~nodes ~seed () =
   if nodes < 4 then invalid_arg "Fleet.city: need at least four nodes";
   if tags < 0 then invalid_arg "Fleet.city: negative tag count";
   if target_degree <= 0.0 then invalid_arg "Fleet.city: non-positive target degree";
@@ -231,6 +240,7 @@ let city ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?link ?packet ?(jobs = 1)
   let n = nodes + tags in
   let relays = Stdlib.max 1 (nodes / 50) in
   let leaves = nodes - 1 - relays in
+  let stamp = match timing with Some t -> t.clock () | None -> 0.0 in
   let positions = Array.make n { Topology.x = 0.0; y = 0.0 } in
   positions.(0) <- { Topology.x = side /. 2.0; y = side /. 2.0 };
   (* Relays on a deterministic uniform grid: backbone coverage of the
@@ -277,7 +287,23 @@ let city ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?link ?packet ?(jobs = 1)
         let y = Amb_sim.Rng.uniform rng 0.0 side in
         positions.(i) <- { Topology.x; y }
       done);
+  let stamp =
+    match timing with
+    | None -> stamp
+    | Some t ->
+        let now = t.clock () in
+        t.layout_s <- t.layout_s +. (now -. stamp);
+        now
+  in
   let topology = Topology.of_positions ~width_m:side ~height_m:side positions in
+  let stamp =
+    match timing with
+    | None -> stamp
+    | Some t ->
+        let now = t.clock () in
+        t.topology_s <- t.topology_s +. (now -. stamp);
+        now
+  in
   let tiers =
     Array.init n (fun i ->
         if i = 0 then Sink
@@ -286,6 +312,9 @@ let city ?leaf ?relay ?sink ?tag ?tag_link ?(tags = 0) ?link ?packet ?(jobs = 1)
         else Tag)
   in
   let router = Routing.make ~jobs ~topology ~link ~packet () in
+  (match timing with
+  | None -> ()
+  | Some t -> t.csr_s <- t.csr_s +. (t.clock () -. stamp));
   { topology; tiers; tier_members = members_of tiers; sink = 0; leaf; relay; sink_cfg;
     tag = tag_cfg; tag_link = tag_link_v; router }
 

@@ -116,6 +116,19 @@ val make :
     [tags] or [relays] is negative, or when [leaves + tags] < 1 (a fleet
     must source traffic from somewhere). *)
 
+type build_timing = {
+  clock : unit -> float;  (** wall-clock source, e.g. [Unix.gettimeofday] *)
+  mutable layout_s : float;  (** placement: relay grid, leaf blocks, tags *)
+  mutable topology_s : float;  (** [Topology.of_positions] *)
+  mutable csr_s : float;  (** [Routing.make]: CSR structure + edge energies *)
+}
+(** Wall-clock accumulators for {!city}'s three build stages, filled
+    when passed as [?timing].  Purely observational — the built fleet
+    is bit-identical with or without it. *)
+
+val build_timing : clock:(unit -> float) -> build_timing
+(** Fresh zeroed accumulators around [clock]. *)
+
 val city :
   ?leaf:tier_config ->
   ?relay:tier_config ->
@@ -127,6 +140,7 @@ val city :
   ?packet:Amb_radio.Packet.t ->
   ?jobs:int ->
   ?target_degree:float ->
+  ?timing:build_timing ->
   nodes:int ->
   seed:int ->
   unit ->

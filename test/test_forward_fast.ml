@@ -80,10 +80,10 @@ let scenario ~trial =
 (* One run at a given threshold.  Fades write per-distance energies into
    the routing memo, so every run gets a private clone — exactly what
    [Cosim.run_many] shards do — keeping the three runs independent. *)
-let run_one ?account_pool ~fast_threshold fleet cfg ~seed =
+let run_one ?pool ~fast_threshold fleet cfg ~seed =
   let trace = Amb_sim.Trace.create ~capacity:200_000 () in
   let router = Amb_net.Routing.with_private_memo fleet.Fleet.router in
-  let outcome = Cosim.run_with_router ~trace ?account_pool ~fast_threshold ~router cfg ~seed in
+  let outcome = Cosim.run_with_router ~trace ?pool ~fast_threshold ~router cfg ~seed in
   (outcome, trace)
 
 (* --- bitwise comparison ---------------------------------------------- *)
@@ -145,9 +145,123 @@ let prop_fast_path_oracle =
       let fast, t_fast = run_one ~fast_threshold:0 fleet cfg ~seed in
       check_same ~ctx:(Printf.sprintf "trial %d seq" trial) historic t_hist fast t_fast;
       Amb_sim.Domain_pool.with_pool ~jobs:4 (fun pool ->
-          let pooled, t_pool = run_one ~account_pool:pool ~fast_threshold:0 fleet cfg ~seed in
+          let pooled, t_pool = run_one ~pool ~fast_threshold:0 fleet cfg ~seed in
           check_same ~ctx:(Printf.sprintf "trial %d jobs=4" trial) historic t_hist pooled t_pool);
       true)
+
+(* --- parallel batch oracle ------------------------------------------- *)
+
+(* Fleets large enough that one report batch crosses Cosim's parallel
+   threshold (256 events), so a pooled run exercises the delta-replay
+   machinery — parallel tariff walks, the per-node counting sort, the
+   death prescan and the per-node commit — instead of the sequential
+   batch body the small scenarios above stay on.  Tiny battery budgets
+   put deaths inside the horizon, forcing the predicted-death
+   sequential fallback on some batches too. *)
+let big_scenario ~trial =
+  let rng = Amb_sim.Rng.create (5200 + trial) in
+  let leaves = 280 + Amb_sim.Rng.int rng 120 in
+  let relays = 4 + Amb_sim.Rng.int rng 4 in
+  let tags = Amb_sim.Rng.int rng 40 in
+  let leaf =
+    { (Fleet.microwatt_leaf ()) with
+      Fleet.budget_override = Some (Energy.joules (0.03 +. (0.07 *. Amb_sim.Rng.float rng)))
+    }
+  in
+  let fleet = Fleet.make ~leaf ~leaves ~relays ~tags ~seed:(700 + trial) () in
+  let n = Fleet.node_count fleet in
+  let node () = 1 + Amb_sim.Rng.int rng (n - 1) in
+  let faults = ref [] in
+  for _ = 1 to 2 do
+    faults :=
+      Fault_plan.Battery_scale { node = node (); scale = 0.5 +. Amb_sim.Rng.float rng }
+      :: !faults
+  done;
+  faults := Fault_plan.Node_crash { node = node (); at = Time_span.hours 0.4 } :: !faults;
+  (let a = node () and b = node () in
+   if a <> b then
+     faults := Fault_plan.Link_fade { a; b; db = 6.0; at = Time_span.hours 0.6 } :: !faults);
+  let policy = policies.(trial mod 3) in
+  let diurnal = if trial mod 2 = 0 then Some Amb_energy.Day_profile.office_lighting else None in
+  let cfg =
+    Cosim.config ~policy ?diurnal ~faults:!faults ~fleet ~horizon:(Time_span.hours 1.2) ()
+  in
+  (fleet, cfg)
+
+let run_big ?pool fleet cfg ~seed =
+  let trace = Amb_sim.Trace.create ~capacity:500_000 () in
+  let router = Amb_net.Routing.with_private_memo fleet.Fleet.router in
+  let outcome = Cosim.run_with_router ~trace ?pool ~fast_threshold:0 ~router cfg ~seed in
+  (outcome, trace)
+
+let prop_parallel_batch_oracle =
+  QCheck.Test.make ~name:"parallel report batches are bitwise identical to sequential"
+    ~count:2 QCheck.small_nat (fun trial ->
+      let fleet, cfg = big_scenario ~trial in
+      let seed = 9900 + trial in
+      let seq, t_seq = run_big fleet cfg ~seed in
+      Amb_sim.Domain_pool.with_pool ~jobs:4 (fun pool ->
+          let pooled, t_pool = run_big ~pool fleet cfg ~seed in
+          check_same ~ctx:(Printf.sprintf "big trial %d jobs=4" trial) seq t_seq pooled t_pool);
+      true)
+
+(* --- ledger charge-sequence kernels ---------------------------------- *)
+
+(* [would_die_charges] must predict exactly what [commit_charges] does
+   to an identical ledger — not conservatively — and must leave its own
+   ledger untouched. *)
+let prop_would_die_oracle =
+  QCheck.Test.make ~name:"would_die_charges matches commit_charges on a clone" ~count:60
+    QCheck.small_nat (fun trial ->
+      let rng = Amb_sim.Rng.create (8100 + trial) in
+      let cfg =
+        { (Fleet.microwatt_leaf ()) with
+          Fleet.budget_override = Some (Energy.joules (0.2 +. (0.6 *. Amb_sim.Rng.float rng)))
+        }
+      in
+      let agents = Array.init 3 (fun id -> Node_agent.create ~id ~cfg ()) in
+      let mult = Amb_energy.Day_profile.(income_multiplier office_lighting) in
+      let lg_a = Fleet_ledger.of_agents ~income_multiplier:mult agents in
+      let lg_b = Fleet_ledger.of_agents ~income_multiplier:mult agents in
+      let k = 1 + Amb_sim.Rng.int rng 12 in
+      let t = ref 0.0 in
+      let times =
+        Array.init k (fun _ ->
+            t := !t +. (3600.0 *. Amb_sim.Rng.float rng);
+            !t)
+      in
+      let joules = Array.init k (fun _ -> 0.12 *. Amb_sim.Rng.float rng) in
+      let i = Amb_sim.Rng.int rng 3 in
+      let before = Fleet_ledger.reserve_j lg_a i in
+      let predicted = Fleet_ledger.would_die_charges lg_a i ~times ~joules ~lo:0 ~hi:k in
+      if not (same_bits before (Fleet_ledger.reserve_j lg_a i)) then
+        Alcotest.failf "trial %d: would_die_charges mutated the ledger" trial;
+      Fleet_ledger.commit_charges lg_b i ~times ~joules ~lo:0 ~hi:k;
+      let died = not (Fleet_ledger.alive lg_b i) in
+      if predicted <> died then
+        Alcotest.failf "trial %d: predicted %b but commit %s" trial predicted
+          (if died then "died" else "survived");
+      true)
+
+(* Mutation check for the bitwise comparisons above: committing the same
+   two charges in swapped time order must produce observably different
+   ledger state (here, a different death instant) — so a delta replay
+   that reordered deltas within a node could not pass the oracle. *)
+let test_charge_order_mutation () =
+  let cfg =
+    { (Fleet.microwatt_leaf ()) with Fleet.budget_override = Some (Energy.joules 0.5) }
+  in
+  let make () = Fleet_ledger.of_agents [| Node_agent.create ~id:0 ~cfg () |] in
+  let lg_fwd = make () and lg_rev = make () in
+  (* Each charge alone leaves the node alive; together they kill it, so
+     the death instant records whichever charge lands second. *)
+  let t1 = 100.0 and t2 = 200.0 and j = 0.3 in
+  Fleet_ledger.commit_charges lg_fwd 0 ~times:[| t1; t2 |] ~joules:[| j; j |] ~lo:0 ~hi:2;
+  Fleet_ledger.commit_charges lg_rev 0 ~times:[| t2; t1 |] ~joules:[| j; j |] ~lo:0 ~hi:2;
+  Alcotest.(check bool) "both orders kill the node" true
+    ((not (Fleet_ledger.alive lg_fwd 0)) && not (Fleet_ledger.alive lg_rev 0));
+  if same_bits (Fleet_ledger.died_at_s lg_fwd 0) (Fleet_ledger.died_at_s lg_rev 0) then
+    Alcotest.fail "swapped charge order went undetected (same death instant)"
 
 (* --- allocation budget ----------------------------------------------- *)
 
@@ -168,5 +282,8 @@ let test_minor_words_budget () =
     Alcotest.failf "fast path allocates %.1f minor words/event (budget 40)" per_event
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest [ prop_fast_path_oracle ]
-  @ [ Alcotest.test_case "fast path minor words per event" `Quick test_minor_words_budget ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_fast_path_oracle; prop_parallel_batch_oracle; prop_would_die_oracle ]
+  @ [ Alcotest.test_case "charge order mutation detected" `Quick test_charge_order_mutation;
+      Alcotest.test_case "fast path minor words per event" `Quick test_minor_words_budget;
+    ]

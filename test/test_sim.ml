@@ -141,6 +141,74 @@ let test_engine_past_rejected () =
         (fun () -> Engine.schedule_at e (Time_span.seconds 1.0) (fun _ -> ())));
   ignore (Engine.run engine)
 
+(* --- Engine batch drain --- *)
+
+(* A batched engine must replay the exact chronology of an unbatched
+   one: same (time, idx) pairs in the same order, same interleaving
+   with closure events and other channels, same executed count.
+   [calendar_threshold] picks the backend under test — a huge value
+   keeps the run on the binary heap, a tiny one migrates the pending
+   set into the calendar queue. *)
+let batch_drain_check ~calendar_threshold =
+  let streams = 24 in
+  let window = 5.0 in
+  let period k = window +. (0.25 *. Float.of_int k) in
+  let horizon = 120.0 in
+  let batch_calls = ref 0 and max_batch = ref 0 in
+  let run ~batched =
+    let engine = Engine.create ~calendar_threshold () in
+    let seen = ref [] in
+    let record t idx = seen := (t, idx) :: !seen in
+    let hid = ref (-1) in
+    let handler =
+      Engine.register_handler engine (fun e idx ->
+          record (Engine.now_s e) idx;
+          Engine.schedule_idx_s e ~handler:!hid ~idx ~delay_s:(period idx))
+    in
+    hid := handler;
+    (* A second, unbatched channel and plain closure events: both must
+       break batches without perturbing the order. *)
+    let other = Engine.register_handler engine (fun e idx -> record (Engine.now_s e) (1000 + idx)) in
+    if batched then
+      Engine.set_batch_handler engine ~handler ~window_s:window (fun e count ->
+          incr batch_calls;
+          if count > !max_batch then max_batch := count;
+          let ts = Engine.batch_times e and xs = Engine.batch_idxs e in
+          let clk = Engine.clock_cell e in
+          if ts.(count - 1) >= ts.(0) +. window then
+            Alcotest.failf "batch spans %.3f s, window %.3f" (ts.(count - 1) -. ts.(0)) window;
+          for k = 0 to count - 1 do
+            let t = ts.(k) and idx = xs.(k) in
+            clk.Engine.v <- t;
+            record t idx;
+            Engine.schedule_idx_s e ~handler ~idx ~delay_s:(period idx)
+          done);
+    for k = 0 to streams - 1 do
+      Engine.schedule_idx_s engine ~handler ~idx:k ~delay_s:(period k)
+    done;
+    Engine.schedule_idx_s engine ~handler:other ~idx:3 ~delay_s:7.3;
+    Engine.schedule_idx_s engine ~handler:other ~idx:4 ~delay_s:33.0;
+    Engine.schedule_at_s engine 18.25 (fun e -> record (Engine.now_s e) (-1));
+    let final = Engine.run_s ~until_s:horizon engine in
+    (List.rev !seen, Engine.event_count engine, final)
+  in
+  let plain, count_p, final_p = run ~batched:false in
+  let drained, count_d, final_d = run ~batched:true in
+  Alcotest.(check int) "same executed count" count_p count_d;
+  Alcotest.(check (float 0.0)) "same final time" final_p final_d;
+  Alcotest.(check int) "same chronology length" (List.length plain) (List.length drained);
+  List.iter2
+    (fun (tp, ip) (td, id) ->
+      Alcotest.(check int) "same idx" ip id;
+      if not (Int64.equal (Int64.bits_of_float tp) (Int64.bits_of_float td)) then
+        Alcotest.failf "fire time diverged at idx %d: %h <> %h" ip tp td)
+    plain drained;
+  if !batch_calls = 0 then Alcotest.fail "no batch was drained";
+  if !max_batch < 2 then Alcotest.fail "no batch held more than one event"
+
+let test_engine_batch_drain_heap () = batch_drain_check ~calendar_threshold:max_int
+let test_engine_batch_drain_calendar () = batch_drain_check ~calendar_threshold:8
+
 (* --- Rng --- *)
 
 let test_rng_deterministic () =
@@ -358,6 +426,8 @@ let suite =
     ("engine stop", `Quick, test_engine_stop);
     ("engine every", `Quick, test_engine_every);
     ("engine rejects past", `Quick, test_engine_past_rejected);
+    ("engine batch drain (heap)", `Quick, test_engine_batch_drain_heap);
+    ("engine batch drain (calendar)", `Quick, test_engine_batch_drain_calendar);
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng uniform range", `Quick, test_rng_uniform_range);
     ("rng exponential mean", `Quick, test_rng_exponential_mean);
